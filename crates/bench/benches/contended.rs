@@ -1,0 +1,62 @@
+//! Criterion benchmarks under contention: fixed-work multi-thread
+//! runs through the whole stack suite (the regression-tracking twin of
+//! experiment E3).
+//!
+//! Criterion measures the wall-clock of completing a fixed batch of
+//! operations split across threads (`iter_custom`), which is robust on
+//! boxes where thread count exceeds core count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
+use cso_bench::adapters::{prefill_stack, stack_suite, BenchStack};
+use cso_bench::workload::{thread_rng, OpMix};
+
+const OPS_PER_THREAD: u64 = 5_000;
+
+/// Runs a fixed operation batch on `threads` threads; returns only
+/// after every thread finished (the caller times the whole call).
+fn contended_batch(stack: &dyn BenchStack, threads: usize) {
+    std::thread::scope(|scope| {
+        for thread in 0..threads {
+            scope.spawn(move || {
+                let mut rng = thread_rng(thread, 11);
+                for i in 0..OPS_PER_THREAD {
+                    if OpMix::BALANCED.next_is_push(&mut rng) {
+                        stack.push(thread, i as u32);
+                    } else {
+                        stack.pop(thread);
+                    }
+                }
+            });
+        }
+    });
+}
+
+fn bench_contended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stack_contended_2_threads");
+    group.sample_size(10);
+
+    for stack in stack_suite(16_384, 4) {
+        prefill_stack(stack.as_ref(), 2_048);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(stack.name()),
+            &stack,
+            |b, stack| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let start = Instant::now();
+                        contended_batch(stack.as_ref(), 2);
+                        total += start.elapsed();
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_contended);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks: uncontended lock acquire/release for
+//! every lock in `cso-locks` (the regression-tracking twin of
+//! experiment E7's solo column).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cso_locks::{
+    Anonymous, ClhLock, LamportFastLock, McsLock, OsLock, ProcLock, RawLock, StarvationFree,
+    TasLock, TicketLock, TournamentLock, TtasLock,
+};
+
+fn raw_locks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lock_uncontended");
+
+    let tas = TasLock::new();
+    group.bench_function("tas", |b| {
+        b.iter(|| {
+            tas.lock();
+            black_box(());
+            tas.unlock();
+        })
+    });
+
+    let ttas = TtasLock::new();
+    group.bench_function("ttas", |b| {
+        b.iter(|| {
+            ttas.lock();
+            black_box(());
+            ttas.unlock();
+        })
+    });
+
+    let ticket = TicketLock::new();
+    group.bench_function("ticket", |b| {
+        b.iter(|| {
+            ticket.lock();
+            black_box(());
+            ticket.unlock();
+        })
+    });
+
+    let os = OsLock::new();
+    group.bench_function("os_parking_lot", |b| {
+        b.iter(|| {
+            os.lock();
+            black_box(());
+            os.unlock();
+        })
+    });
+
+    group.finish();
+}
+
+fn proc_locks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proc_lock_uncontended");
+
+    let clh = ClhLock::new(4);
+    group.bench_function("clh", |b| {
+        b.iter(|| {
+            clh.lock(0);
+            black_box(());
+            clh.unlock(0);
+        })
+    });
+
+    let mcs = McsLock::new(4);
+    group.bench_function("mcs", |b| {
+        b.iter(|| {
+            mcs.lock(0);
+            black_box(());
+            mcs.unlock(0);
+        })
+    });
+
+    let tree = TournamentLock::new(4);
+    group.bench_function("peterson_tree", |b| {
+        b.iter(|| {
+            tree.lock(0);
+            black_box(());
+            tree.unlock(0);
+        })
+    });
+
+    let lamport = LamportFastLock::new(4);
+    group.bench_function("lamport_fast", |b| {
+        b.iter(|| {
+            lamport.lock(0);
+            black_box(());
+            lamport.unlock(0);
+        })
+    });
+
+    let boosted = StarvationFree::new(TasLock::new(), 4);
+    group.bench_function("tas_boosted_4_4", |b| {
+        b.iter(|| {
+            boosted.lock(0);
+            black_box(());
+            boosted.unlock(0);
+        })
+    });
+
+    let anon = Anonymous::new(TasLock::new(), 4);
+    group.bench_function("tas_via_anonymous", |b| {
+        b.iter(|| {
+            anon.lock(0);
+            black_box(());
+            anon.unlock(0);
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, raw_locks, proc_locks);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Criterion micro-benchmarks: contention-free operation latency for
+//! every stack and queue implementation (the regression-tracking twin
+//! of experiment E1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cso_queue::{AbortableQueue, CsQueue, LockQueue, MsQueue, NonBlockingQueue};
+use cso_stack::{
+    AbortableStack, CsStack, EliminationStack, LockStack, NonBlockingStack, TreiberStack,
+};
+
+fn stack_solo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stack_solo_push_pop");
+
+    let weak: AbortableStack<u32> = AbortableStack::new(1024);
+    group.bench_function("abortable(fig1)", |b| {
+        b.iter(|| {
+            weak.weak_push(black_box(1)).unwrap();
+            black_box(weak.weak_pop().unwrap());
+        })
+    });
+
+    let nb: NonBlockingStack<u32> = NonBlockingStack::new(1024);
+    group.bench_function("non_blocking(fig2)", |b| {
+        b.iter(|| {
+            nb.push(black_box(1));
+            black_box(nb.pop());
+        })
+    });
+
+    let cs: CsStack<u32> = CsStack::new(1024, 4);
+    group.bench_function("contention_sensitive(fig3)", |b| {
+        b.iter(|| {
+            cs.push(0, black_box(1));
+            black_box(cs.pop(0));
+        })
+    });
+
+    let treiber: TreiberStack<u32> = TreiberStack::new();
+    group.bench_function("treiber", |b| {
+        b.iter(|| {
+            treiber.push(black_box(1));
+            black_box(treiber.pop());
+        })
+    });
+
+    let elim: EliminationStack<u32> = EliminationStack::new(2);
+    group.bench_function("elimination", |b| {
+        b.iter(|| {
+            elim.push(black_box(1));
+            black_box(elim.pop());
+        })
+    });
+
+    let locked: LockStack<u32> = LockStack::new(1024);
+    group.bench_function("lock_tas", |b| {
+        b.iter(|| {
+            locked.push(black_box(1));
+            black_box(locked.pop());
+        })
+    });
+
+    // The deque used as a stack (right end only): its O(capacity)
+    // boundary scan shows up directly in the latency.
+    for capacity in [8usize, 256] {
+        let deque: cso_deque::HlmDeque<u32> = cso_deque::HlmDeque::new(capacity);
+        group.bench_function(format!("hlm_deque_cap{capacity}"), |b| {
+            b.iter(|| {
+                deque.push(cso_deque::End::Right, black_box(1));
+                black_box(deque.pop(cso_deque::End::Right));
+            })
+        });
+    }
+
+    group.finish();
+}
+
+fn queue_solo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_solo_enq_deq");
+
+    let weak: AbortableQueue<u32> = AbortableQueue::new(1024);
+    group.bench_function("abortable", |b| {
+        b.iter(|| {
+            weak.weak_enqueue(black_box(1)).unwrap();
+            black_box(weak.weak_dequeue().unwrap());
+        })
+    });
+
+    let nb: NonBlockingQueue<u32> = NonBlockingQueue::new(1024);
+    group.bench_function("non_blocking", |b| {
+        b.iter(|| {
+            nb.enqueue(black_box(1));
+            black_box(nb.dequeue());
+        })
+    });
+
+    let cs: CsQueue<u32> = CsQueue::new(1024, 4);
+    group.bench_function("contention_sensitive", |b| {
+        b.iter(|| {
+            cs.enqueue(0, black_box(1));
+            black_box(cs.dequeue(0));
+        })
+    });
+
+    let ms: MsQueue<u32> = MsQueue::new();
+    group.bench_function("michael_scott", |b| {
+        b.iter(|| {
+            ms.enqueue(black_box(1));
+            black_box(ms.dequeue());
+        })
+    });
+
+    let locked: LockQueue<u32> = LockQueue::new(1024);
+    group.bench_function("lock_tas", |b| {
+        b.iter(|| {
+            locked.enqueue(black_box(1));
+            black_box(locked.dequeue());
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, stack_solo, queue_solo);
+criterion_main!(benches);

@@ -1,0 +1,488 @@
+//! Uniform adapters over every stack/queue implementation, so the
+//! experiment binaries can sweep a whole suite with one driver.
+
+use cso_core::CsConfig;
+use cso_locks::{OsLock, TasLock, TicketLock};
+use cso_queue::{CsQueue, EnqueueOutcome, LockQueue, MsQueue, NonBlockingQueue};
+use cso_stack::{
+    CsStack, EliminationStack, LockStack, NonBlockingStack, PushOutcome, TreiberStack,
+};
+
+/// A stack under benchmark: push returns `false` on `Full` (unbounded
+/// stacks always return `true`).
+pub trait BenchStack: Send + Sync {
+    /// Implementation name shown in tables.
+    fn name(&self) -> &'static str;
+
+    /// Pushes on behalf of process `proc`.
+    fn push(&self, proc: usize, value: u32) -> bool;
+
+    /// Pops on behalf of process `proc`.
+    fn pop(&self, proc: usize) -> Option<u32>;
+
+    /// Fraction of operations that took a lock path, if the
+    /// implementation distinguishes paths.
+    fn locked_fraction(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// The contention-sensitive stack (Figure 3), paper configuration.
+pub struct CsAdapter(pub CsStack<u32>);
+
+impl BenchStack for CsAdapter {
+    fn name(&self) -> &'static str {
+        "cs-stack"
+    }
+
+    fn push(&self, proc: usize, value: u32) -> bool {
+        self.0.push(proc, value) == PushOutcome::Pushed
+    }
+
+    fn pop(&self, proc: usize) -> Option<u32> {
+        self.0.pop(proc).into_option()
+    }
+
+    fn locked_fraction(&self) -> Option<f64> {
+        Some(self.0.path_stats().locked_fraction())
+    }
+}
+
+/// The non-blocking stack (Figure 2).
+pub struct NbAdapter(pub NonBlockingStack<u32>);
+
+impl BenchStack for NbAdapter {
+    fn name(&self) -> &'static str {
+        "nb-stack"
+    }
+
+    fn push(&self, _proc: usize, value: u32) -> bool {
+        self.0.push(value) == PushOutcome::Pushed
+    }
+
+    fn pop(&self, _proc: usize) -> Option<u32> {
+        self.0.pop().into_option()
+    }
+}
+
+/// Treiber's lock-free stack.
+pub struct TreiberAdapter(pub TreiberStack<u32>);
+
+impl BenchStack for TreiberAdapter {
+    fn name(&self) -> &'static str {
+        "treiber"
+    }
+
+    fn push(&self, _proc: usize, value: u32) -> bool {
+        self.0.push(value);
+        true
+    }
+
+    fn pop(&self, _proc: usize) -> Option<u32> {
+        self.0.pop()
+    }
+}
+
+/// Elimination back-off stack.
+pub struct EliminationAdapter(pub EliminationStack<u32>);
+
+impl BenchStack for EliminationAdapter {
+    fn name(&self) -> &'static str {
+        "elimination"
+    }
+
+    fn push(&self, _proc: usize, value: u32) -> bool {
+        self.0.push(value);
+        true
+    }
+
+    fn pop(&self, _proc: usize) -> Option<u32> {
+        self.0.pop()
+    }
+}
+
+/// Everything under one TAS lock.
+pub struct LockTasAdapter(pub LockStack<u32, TasLock>);
+
+impl BenchStack for LockTasAdapter {
+    fn name(&self) -> &'static str {
+        "lock(tas)"
+    }
+
+    fn push(&self, _proc: usize, value: u32) -> bool {
+        self.0.push(value) == PushOutcome::Pushed
+    }
+
+    fn pop(&self, _proc: usize) -> Option<u32> {
+        self.0.pop().into_option()
+    }
+
+    fn locked_fraction(&self) -> Option<f64> {
+        Some(1.0)
+    }
+}
+
+/// Everything under one ticket lock.
+pub struct LockTicketAdapter(pub LockStack<u32, TicketLock>);
+
+impl BenchStack for LockTicketAdapter {
+    fn name(&self) -> &'static str {
+        "lock(ticket)"
+    }
+
+    fn push(&self, _proc: usize, value: u32) -> bool {
+        self.0.push(value) == PushOutcome::Pushed
+    }
+
+    fn pop(&self, _proc: usize) -> Option<u32> {
+        self.0.pop().into_option()
+    }
+
+    fn locked_fraction(&self) -> Option<f64> {
+        Some(1.0)
+    }
+}
+
+/// Everything under one OS (parking_lot) mutex.
+pub struct LockOsAdapter(pub LockStack<u32, OsLock>);
+
+impl BenchStack for LockOsAdapter {
+    fn name(&self) -> &'static str {
+        "lock(os)"
+    }
+
+    fn push(&self, _proc: usize, value: u32) -> bool {
+        self.0.push(value) == PushOutcome::Pushed
+    }
+
+    fn pop(&self, _proc: usize) -> Option<u32> {
+        self.0.pop().into_option()
+    }
+
+    fn locked_fraction(&self) -> Option<f64> {
+        Some(1.0)
+    }
+}
+
+/// A `CsStack` with an explicit ablation config (experiment E8).
+pub struct CsConfigAdapter {
+    label: &'static str,
+    stack: CsStack<u32>,
+}
+
+impl CsConfigAdapter {
+    /// Builds a stack under `config` with the given display label.
+    #[must_use]
+    pub fn new(
+        label: &'static str,
+        capacity: usize,
+        n: usize,
+        config: CsConfig,
+    ) -> CsConfigAdapter {
+        CsConfigAdapter {
+            label,
+            stack: CsStack::with_config(capacity, TasLock::new(), n, config),
+        }
+    }
+}
+
+impl BenchStack for CsConfigAdapter {
+    fn name(&self) -> &'static str {
+        self.label
+    }
+
+    fn push(&self, proc: usize, value: u32) -> bool {
+        self.stack.push(proc, value) == PushOutcome::Pushed
+    }
+
+    fn pop(&self, proc: usize) -> Option<u32> {
+        self.stack.pop(proc).into_option()
+    }
+
+    fn locked_fraction(&self) -> Option<f64> {
+        Some(self.stack.path_stats().locked_fraction())
+    }
+}
+
+/// The standard stack suite swept by E3/E5: the paper's two lock-free
+/// constructions, three fully locked baselines, Treiber and the
+/// elimination stack.
+#[must_use]
+pub fn stack_suite(capacity: usize, n: usize) -> Vec<Box<dyn BenchStack>> {
+    vec![
+        Box::new(CsAdapter(CsStack::new(capacity, n))),
+        Box::new(NbAdapter(NonBlockingStack::new(capacity))),
+        Box::new(TreiberAdapter(TreiberStack::new())),
+        Box::new(EliminationAdapter(EliminationStack::new(2))),
+        Box::new(LockTasAdapter(LockStack::new(capacity))),
+        Box::new(LockTicketAdapter(LockStack::with_lock(
+            capacity,
+            TicketLock::new(),
+        ))),
+        Box::new(LockOsAdapter(LockStack::with_lock(capacity, OsLock::new()))),
+    ]
+}
+
+/// A queue under benchmark.
+pub trait BenchQueue: Send + Sync {
+    /// Implementation name shown in tables.
+    fn name(&self) -> &'static str;
+
+    /// Enqueues on behalf of process `proc`.
+    fn enqueue(&self, proc: usize, value: u32) -> bool;
+
+    /// Dequeues on behalf of process `proc`.
+    fn dequeue(&self, proc: usize) -> Option<u32>;
+}
+
+/// The contention-sensitive queue.
+pub struct CsQueueAdapter(pub CsQueue<u32>);
+
+impl BenchQueue for CsQueueAdapter {
+    fn name(&self) -> &'static str {
+        "cs-queue"
+    }
+
+    fn enqueue(&self, proc: usize, value: u32) -> bool {
+        self.0.enqueue(proc, value) == EnqueueOutcome::Enqueued
+    }
+
+    fn dequeue(&self, proc: usize) -> Option<u32> {
+        self.0.dequeue(proc).into_option()
+    }
+}
+
+/// The non-blocking queue.
+pub struct NbQueueAdapter(pub NonBlockingQueue<u32>);
+
+impl BenchQueue for NbQueueAdapter {
+    fn name(&self) -> &'static str {
+        "nb-queue"
+    }
+
+    fn enqueue(&self, _proc: usize, value: u32) -> bool {
+        self.0.enqueue(value) == EnqueueOutcome::Enqueued
+    }
+
+    fn dequeue(&self, _proc: usize) -> Option<u32> {
+        self.0.dequeue().into_option()
+    }
+}
+
+/// Michael–Scott queue.
+pub struct MsQueueAdapter(pub MsQueue<u32>);
+
+impl BenchQueue for MsQueueAdapter {
+    fn name(&self) -> &'static str {
+        "ms-queue"
+    }
+
+    fn enqueue(&self, _proc: usize, value: u32) -> bool {
+        self.0.enqueue(value);
+        true
+    }
+
+    fn dequeue(&self, _proc: usize) -> Option<u32> {
+        self.0.dequeue()
+    }
+}
+
+/// Everything under one TAS lock.
+pub struct LockQueueAdapter(pub LockQueue<u32, TasLock>);
+
+impl BenchQueue for LockQueueAdapter {
+    fn name(&self) -> &'static str {
+        "lock-queue(tas)"
+    }
+
+    fn enqueue(&self, _proc: usize, value: u32) -> bool {
+        self.0.enqueue(value) == EnqueueOutcome::Enqueued
+    }
+
+    fn dequeue(&self, _proc: usize) -> Option<u32> {
+        self.0.dequeue().into_option()
+    }
+}
+
+/// The standard queue suite swept by E6.
+#[must_use]
+pub fn queue_suite(capacity: usize, n: usize) -> Vec<Box<dyn BenchQueue>> {
+    vec![
+        Box::new(CsQueueAdapter(CsQueue::new(capacity, n))),
+        Box::new(NbQueueAdapter(NonBlockingQueue::new(capacity))),
+        Box::new(MsQueueAdapter(MsQueue::new())),
+        Box::new(LockQueueAdapter(LockQueue::new(capacity))),
+    ]
+}
+
+/// Pre-fills a stack with `count` values from process 0.
+pub fn prefill_stack(stack: &dyn BenchStack, count: usize) {
+    for v in 0..count as u32 {
+        assert!(
+            stack.push(0, v),
+            "prefill exceeded capacity of {}",
+            stack.name()
+        );
+    }
+}
+
+/// Pre-fills a queue with `count` values from process 0.
+pub fn prefill_queue(queue: &dyn BenchQueue, count: usize) {
+    for v in 0..count as u32 {
+        assert!(
+            queue.enqueue(0, v),
+            "prefill exceeded capacity of {}",
+            queue.name()
+        );
+    }
+}
+
+/// The standard timed driver: `threads` threads issue operations from
+/// `mix` with `think_iters` pause instructions between operations.
+/// Returns per-thread completed-operation counts (`Full`/`Empty`
+/// answers count — they are completed operations).
+pub fn drive_stack(
+    stack: &dyn BenchStack,
+    threads: usize,
+    duration: std::time::Duration,
+    mix: crate::workload::OpMix,
+    think_iters: u32,
+) -> crate::measure::RunResult {
+    use std::sync::atomic::Ordering;
+    crate::measure::timed_run(threads, duration, |thread, stop| {
+        let mut rng = crate::workload::thread_rng(thread, 0xBEEF);
+        let mut ops = 0u64;
+        let mut value = thread as u32;
+        while !stop.load(Ordering::Relaxed) {
+            if mix.next_is_push(&mut rng) {
+                stack.push(thread, value);
+                value = value.wrapping_add(threads as u32);
+            } else {
+                stack.pop(thread);
+            }
+            ops += 1;
+            crate::workload::think(think_iters);
+        }
+        ops
+    })
+}
+
+/// The queue twin of [`drive_stack`].
+pub fn drive_queue(
+    queue: &dyn BenchQueue,
+    threads: usize,
+    duration: std::time::Duration,
+    mix: crate::workload::OpMix,
+    think_iters: u32,
+) -> crate::measure::RunResult {
+    use std::sync::atomic::Ordering;
+    crate::measure::timed_run(threads, duration, |thread, stop| {
+        let mut rng = crate::workload::thread_rng(thread, 0xF00D);
+        let mut ops = 0u64;
+        let mut value = thread as u32;
+        while !stop.load(Ordering::Relaxed) {
+            if mix.next_is_push(&mut rng) {
+                queue.enqueue(thread, value);
+                value = value.wrapping_add(threads as u32);
+            } else {
+                queue.dequeue(thread);
+            }
+            ops += 1;
+            crate::workload::think(think_iters);
+        }
+        ops
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_suite_round_trips() {
+        for stack in stack_suite(64, 4) {
+            assert!(stack.push(0, 7), "{}", stack.name());
+            assert_eq!(stack.pop(1), Some(7), "{}", stack.name());
+            assert_eq!(stack.pop(2), None, "{}", stack.name());
+        }
+    }
+
+    #[test]
+    fn queue_suite_round_trips() {
+        for queue in queue_suite(64, 4) {
+            assert!(queue.enqueue(0, 7), "{}", queue.name());
+            assert!(queue.enqueue(0, 8), "{}", queue.name());
+            assert_eq!(queue.dequeue(1), Some(7), "FIFO: {}", queue.name());
+            assert_eq!(queue.dequeue(1), Some(8), "{}", queue.name());
+        }
+    }
+
+    #[test]
+    fn lock_fractions_are_sensible() {
+        let suite = stack_suite(64, 2);
+        for stack in &suite {
+            stack.push(0, 1);
+            stack.pop(0);
+            if let Some(fraction) = stack.locked_fraction() {
+                assert!((0.0..=1.0).contains(&fraction), "{}", stack.name());
+            }
+        }
+    }
+
+    #[test]
+    fn ablation_adapter_works() {
+        let adapter = CsConfigAdapter::new("cs/no-flag", 16, 2, CsConfig::NO_FLAG);
+        assert!(adapter.push(0, 3));
+        assert_eq!(adapter.pop(1), Some(3));
+        assert_eq!(adapter.name(), "cs/no-flag");
+    }
+
+    #[test]
+    fn prefill_fills_exactly() {
+        let adapter = CsAdapter(CsStack::new(64, 2));
+        prefill_stack(&adapter, 10);
+        let mut drained = 0;
+        while adapter.pop(0).is_some() {
+            drained += 1;
+        }
+        assert_eq!(drained, 10);
+
+        let q = CsQueueAdapter(CsQueue::new(64, 2));
+        prefill_queue(&q, 10);
+        let mut drained = 0;
+        while q.dequeue(0).is_some() {
+            drained += 1;
+        }
+        assert_eq!(drained, 10);
+    }
+
+    #[test]
+    fn drive_stack_reports_ops_for_every_thread() {
+        let adapter = CsAdapter(CsStack::new(1024, 3));
+        prefill_stack(&adapter, 100);
+        let result = drive_stack(
+            &adapter,
+            3,
+            std::time::Duration::from_millis(30),
+            crate::workload::OpMix::BALANCED,
+            0,
+        );
+        assert_eq!(result.per_thread.len(), 3);
+        assert!(result.total_ops() > 0);
+    }
+
+    #[test]
+    fn drive_queue_reports_ops_for_every_thread() {
+        let q = CsQueueAdapter(CsQueue::new(1024, 2));
+        prefill_queue(&q, 100);
+        let result = drive_queue(
+            &q,
+            2,
+            std::time::Duration::from_millis(30),
+            crate::workload::OpMix::BALANCED,
+            4,
+        );
+        assert_eq!(result.per_thread.len(), 2);
+        assert!(result.total_ops() > 0);
+    }
+}

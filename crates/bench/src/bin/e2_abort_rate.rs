@@ -1,0 +1,126 @@
+//! E2 — abortability: ⊥ appears only under contention and grows with
+//! it.
+//!
+//! Drives the bare abortable stack (Figure 1) with 1..N threads and
+//! reports the fraction of weak operations that returned ⊥. The
+//! one-thread row is the paper's solo-success guarantee: its abort
+//! rate must be exactly zero.
+
+use std::sync::atomic::Ordering;
+
+use cso_bench::measure::timed_run;
+use cso_bench::report::{fmt_pct, fmt_rate, Table};
+use cso_bench::workload::{thread_rng, OpMix};
+use cso_bench::{cell_duration, thread_counts};
+use cso_stack::AbortableStack;
+
+fn main() {
+    println!("E2: weak-operation abort rate vs offered contention");
+    println!(
+        "(abortable stack, 50/50 push/pop, {} ms per cell)\n",
+        cell_duration().as_millis()
+    );
+
+    let mut table = Table::new(&[
+        "threads",
+        "attempts/s",
+        "push aborts",
+        "pop aborts",
+        "abort rate",
+    ]);
+
+    for threads in thread_counts() {
+        let stack: AbortableStack<u32> = AbortableStack::new(8192);
+        for v in 0..64 {
+            stack.weak_push(v).expect("prefill");
+        }
+        stack.reset_abort_stats();
+
+        let result = timed_run(threads, cell_duration(), |thread, stop| {
+            let mut rng = thread_rng(thread, 2);
+            let mut ops = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                if OpMix::BALANCED.next_is_push(&mut rng) {
+                    let _ = stack.weak_push(thread as u32);
+                } else {
+                    let _ = stack.weak_pop();
+                }
+                ops += 1;
+            }
+            ops
+        });
+
+        let stats = stack.abort_stats();
+        if threads == 1 {
+            assert_eq!(
+                stats.abort_rate(),
+                0.0,
+                "solo weak operations must never abort"
+            );
+        }
+        table.row(vec![
+            threads.to_string(),
+            fmt_rate(result.ops_per_sec()),
+            stats.push_aborts.to_string(),
+            stats.pop_aborts.to_string(),
+            fmt_pct(stats.abort_rate()),
+        ]);
+    }
+
+    table.print();
+    println!("\nRow `threads = 1` is the paper's solo-success guarantee (rate must be 0).");
+    println!("NOTE: on few-core hosts threads interleave only at scheduler quanta, so");
+    println!("wall-clock contention windows are rare; part 2 interleaves per access.\n");
+
+    // ----------------------------------------------------------------
+    // Part 2: per-access interleaving in the virtual-memory model —
+    // the hardware-independent abort-rate curve.
+    // ----------------------------------------------------------------
+    println!("E2 part 2: abort rate under per-access random interleaving (model)");
+    println!("(weak stack machines, 400 random schedules per cell)\n");
+
+    use cso_explore::algos::stack::{stack_layout, weak_stack_factory};
+    use cso_explore::explorer::{explore_random, ExploreConfig};
+    use cso_lincheck::specs::stack::SpecStackOp;
+
+    let mut table = Table::new(&["procs", "ops", "aborted", "abort rate"]);
+    for procs in 1..=6usize {
+        let layout = stack_layout(64);
+        let scripts: Vec<Vec<SpecStackOp>> = (0..procs)
+            .map(|p| {
+                vec![
+                    SpecStackOp::Push(p as u32),
+                    SpecStackOp::Pop,
+                    SpecStackOp::Push(100 + p as u32),
+                    SpecStackOp::Pop,
+                ]
+            })
+            .collect();
+        let mut total_ops = 0u64;
+        let mut aborted = 0u64;
+        explore_random(
+            &layout.initial_mem_with(&[1, 2, 3, 4]),
+            &scripts,
+            weak_stack_factory(layout),
+            &ExploreConfig::default(),
+            400,
+            0xE2,
+            |t| {
+                total_ops += t.op_steps.len() as u64;
+                aborted += t.op_steps.iter().filter(|s| s.aborted).count() as u64;
+            },
+        );
+        if procs == 1 {
+            assert_eq!(aborted, 0, "solo weak operations must never abort");
+        }
+        table.row(vec![
+            procs.to_string(),
+            total_ops.to_string(),
+            aborted.to_string(),
+            fmt_pct(aborted as f64 / total_ops as f64),
+        ]);
+    }
+    table.print();
+    println!("\nExpected shape: 0% solo, growing with the number of interleaved");
+    println!("processes — ⊥ is the price of contention, and only of contention.");
+}

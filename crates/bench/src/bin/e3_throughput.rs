@@ -1,0 +1,47 @@
+//! E3/E4 throughput series — stack implementations across thread
+//! counts.
+//!
+//! The performance story the paper argues for: the
+//! contention-sensitive stack should track the lock-free stacks when
+//! contention is rare (here: 1 thread, or high think time) while the
+//! fully locked baselines pay the lock on every operation.
+
+use cso_bench::adapters::{drive_stack, prefill_stack, stack_suite};
+use cso_bench::report::{fmt_rate, Table};
+use cso_bench::workload::OpMix;
+use cso_bench::{cell_duration, thread_counts};
+
+fn main() {
+    println!("E3: stack throughput (ops/s), 50/50 push/pop, prefilled half");
+    println!("({} ms per cell)\n", cell_duration().as_millis());
+
+    let threads_list = thread_counts();
+    let mut headers: Vec<String> = vec!["impl".into()];
+    headers.extend(threads_list.iter().map(|t| format!("{t} thr")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+
+    // One fresh suite per thread count (so prefill and stats are
+    // clean); iterate implementation-major for the table rows.
+    let names: Vec<&'static str> = stack_suite(8192, 32).iter().map(|s| s.name()).collect();
+    let mut rows: Vec<Vec<String>> = names.iter().map(|n| vec![(*n).to_owned()]).collect();
+
+    for &threads in &threads_list {
+        let suite = stack_suite(8192, threads.max(1));
+        for (i, stack) in suite.iter().enumerate() {
+            prefill_stack(stack.as_ref(), 4096);
+            let result = drive_stack(stack.as_ref(), threads, cell_duration(), OpMix::BALANCED, 0);
+            rows[i].push(fmt_rate(result.ops_per_sec()));
+        }
+    }
+
+    for row in rows {
+        table.row(row);
+    }
+    table.print();
+
+    println!("\nExpected shape: at 1 thread the lock-free family (cs, nb, treiber)");
+    println!("clusters together and beats the lock(...) rows; under contention the");
+    println!("cs-stack must stay within the lock-free cluster (its lock engages only");
+    println!("when operations actually interfere).");
+}

@@ -1,0 +1,77 @@
+//! E8 — ablating Figure 3's mechanisms.
+//!
+//! Three variants of the contention-sensitive stack:
+//! * `cs/paper` — Figure 3 verbatim;
+//! * `cs/no-flag` — without the `CONTENTION` register (lines
+//!   01/07/09): every operation attempts the fast path even while a
+//!   lock holder works, so weak-op abort storms grow;
+//! * `cs/unfair` — without the `FLAG`/`TURN` booster (lines
+//!   04–05/10–11): the slow path degrades to the bare deadlock-free
+//!   lock, so fairness collapses under pressure.
+//!
+//! Plus the contention-free cost of each (the no-flag variant saves
+//! the one `CONTENTION` read; locking everything costs the most).
+
+use cso_bench::adapters::{drive_stack, prefill_stack, BenchStack, CsConfigAdapter};
+use cso_bench::report::{fmt_pct, fmt_rate, Table};
+use cso_bench::workload::OpMix;
+use cso_bench::{cell_duration, thread_counts};
+use cso_core::CsConfig;
+use cso_memory::counting::CountScope;
+
+fn variants(threads: usize) -> Vec<CsConfigAdapter> {
+    vec![
+        CsConfigAdapter::new("cs/paper", 8192, threads, CsConfig::PAPER),
+        CsConfigAdapter::new("cs/no-flag", 8192, threads, CsConfig::NO_FLAG),
+        CsConfigAdapter::new("cs/unfair", 8192, threads, CsConfig::UNFAIR),
+    ]
+}
+
+fn main() {
+    let threads = *thread_counts().last().unwrap_or(&4);
+    println!("E8: Figure 3 mechanism ablations at {threads} threads, 50/50 mix");
+    println!("({} ms per cell)\n", cell_duration().as_millis());
+
+    let mut table = Table::new(&[
+        "variant",
+        "solo accesses/op",
+        "ops/s",
+        "lock fraction",
+        "max/min",
+        "jain",
+    ]);
+
+    for adapter in variants(threads) {
+        // Contention-free cost (one thread, counted).
+        adapter.push(0, 1);
+        let scope = CountScope::start();
+        const SOLO: u64 = 10_000;
+        for i in 0..SOLO {
+            if i % 2 == 0 {
+                adapter.push(0, i as u32);
+            } else {
+                adapter.pop(0);
+            }
+        }
+        let solo = scope.take().total() as f64 / SOLO as f64;
+
+        // Contended run.
+        prefill_stack(&adapter, 4096);
+        let result = drive_stack(&adapter, threads, cell_duration(), OpMix::BALANCED, 0);
+        let min = result.min_ops().max(1);
+        table.row(vec![
+            adapter.name().to_owned(),
+            format!("{solo:.2}"),
+            fmt_rate(result.ops_per_sec()),
+            fmt_pct(adapter.locked_fraction().unwrap_or(0.0)),
+            format!("{:.2}", result.max_ops() as f64 / min as f64),
+            format!("{:.4}", result.jain_index()),
+        ]);
+    }
+
+    table.print();
+    println!("\nReading: cs/no-flag shaves the solo cost to 5 accesses but loses the");
+    println!("contention gate; cs/unfair keeps the fast path but lets the slow path");
+    println!("starve threads (max/min, jain). The paper configuration is the");
+    println!("balanced point: 6 solo accesses, gated fallback, starvation-free.");
+}

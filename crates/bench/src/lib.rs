@@ -1,0 +1,56 @@
+//! Benchmark harness for the `cso` workspace.
+//!
+//! The paper has no measured evaluation — its claims are analytic
+//! (step counts, progress conditions) plus a performance argument
+//! (contention-sensitivity beats always-locking when contention is
+//! rare). `DESIGN.md` turns those into experiments E1–E8; this crate
+//! provides the shared machinery and one binary per experiment:
+//!
+//! | Binary | Experiment |
+//! |---|---|
+//! | `e1_access_counts` | Theorem 1 / ref \[16\] shared-access counts |
+//! | `e2_abort_rate` | abortability under contention |
+//! | `e3_throughput` | stack throughput across implementations |
+//! | `e4_lock_fraction` | fraction of operations taking the lock path |
+//! | `e5_fairness` | per-thread fairness / starvation |
+//! | `e6_queue` | queue family + non-interference |
+//! | `e7_locks` | lock substrate comparison + §4.4 booster |
+//! | `e8_ablation` | Figure 3 mechanism ablations |
+//!
+//! Environment knobs: `CSO_BENCH_MS` (milliseconds per measured cell,
+//! default 300), `CSO_MAX_THREADS` (default 8).
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+pub mod adapters;
+pub mod measure;
+pub mod report;
+pub mod workload;
+
+use std::time::Duration;
+
+/// Milliseconds each measured cell runs for (`CSO_BENCH_MS`, default
+/// 300).
+#[must_use]
+pub fn cell_duration() -> Duration {
+    let ms = std::env::var("CSO_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300u64);
+    Duration::from_millis(ms)
+}
+
+/// The thread counts swept by the scaling experiments
+/// (`CSO_MAX_THREADS` caps the list, default 8).
+#[must_use]
+pub fn thread_counts() -> Vec<usize> {
+    let max = std::env::var("CSO_MAX_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8usize);
+    [1usize, 2, 3, 4, 6, 8, 12, 16]
+        .into_iter()
+        .filter(|&t| t <= max)
+        .collect()
+}

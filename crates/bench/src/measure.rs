@@ -1,0 +1,224 @@
+//! Fixed-duration throughput measurement.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// The outcome of one timed multi-thread run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Operations completed by each thread.
+    pub per_thread: Vec<u64>,
+    /// Wall-clock time actually measured.
+    pub elapsed: Duration,
+}
+
+impl RunResult {
+    /// Total operations completed.
+    #[must_use]
+    pub fn total_ops(&self) -> u64 {
+        self.per_thread.iter().sum()
+    }
+
+    /// Aggregate throughput in operations per second.
+    #[must_use]
+    pub fn ops_per_sec(&self) -> f64 {
+        self.total_ops() as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// The least-served thread's operation count.
+    #[must_use]
+    pub fn min_ops(&self) -> u64 {
+        self.per_thread.iter().copied().min().unwrap_or(0)
+    }
+
+    /// The most-served thread's operation count.
+    #[must_use]
+    pub fn max_ops(&self) -> u64 {
+        self.per_thread.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Jain's fairness index over per-thread counts: 1.0 = perfectly
+    /// fair, `1/n` = one thread got everything.
+    #[must_use]
+    pub fn jain_index(&self) -> f64 {
+        let n = self.per_thread.len() as f64;
+        let sum: f64 = self.per_thread.iter().map(|&x| x as f64).sum();
+        let sum_sq: f64 = self
+            .per_thread
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum();
+        if sum_sq == 0.0 {
+            1.0
+        } else {
+            sum * sum / (n * sum_sq)
+        }
+    }
+}
+
+/// Runs `body(thread_index, &stop)` on `threads` threads for
+/// `duration`, after a common barrier. Each body returns the number of
+/// operations it completed; bodies must poll `stop` and return
+/// promptly once it is set.
+///
+/// ```
+/// use cso_bench::measure::timed_run;
+/// use std::sync::atomic::Ordering;
+/// use std::time::Duration;
+///
+/// let result = timed_run(2, Duration::from_millis(20), |_thread, stop| {
+///     let mut ops = 0;
+///     while !stop.load(Ordering::Relaxed) {
+///         ops += 1;
+///     }
+///     ops
+/// });
+/// assert_eq!(result.per_thread.len(), 2);
+/// assert!(result.total_ops() > 0);
+/// ```
+pub fn timed_run<F>(threads: usize, duration: Duration, body: F) -> RunResult
+where
+    F: Fn(usize, &AtomicBool) -> u64 + Sync,
+{
+    let stop = AtomicBool::new(false);
+    let barrier = Barrier::new(threads + 1);
+    let mut per_thread = vec![0u64; threads];
+    let mut elapsed = Duration::ZERO;
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for thread in 0..threads {
+            let body = &body;
+            let stop = &stop;
+            let barrier = &barrier;
+            handles.push(scope.spawn(move || {
+                barrier.wait();
+                body(thread, stop)
+            }));
+        }
+        barrier.wait();
+        let start = Instant::now();
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::SeqCst);
+        for (i, handle) in handles.into_iter().enumerate() {
+            per_thread[i] = handle.join().expect("benchmark thread panicked");
+        }
+        elapsed = start.elapsed();
+    });
+
+    RunResult {
+        per_thread,
+        elapsed,
+    }
+}
+
+/// Percentile summary of sampled operation latencies (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Worst observed.
+    pub max: u64,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+/// Samples the latency of `op`, one invocation per sample, after
+/// `warmup` unmeasured invocations.
+///
+/// Timer granularity on most systems is tens of nanoseconds — single
+/// operations of a few nanoseconds are better measured with Criterion
+/// (`cargo bench`); this sampler is for tail behaviour (p99/p999),
+/// where preemption and slow paths dominate.
+///
+/// ```
+/// use cso_bench::measure::sample_latency;
+/// let summary = sample_latency(|| { std::hint::black_box(1 + 1); }, 1_000, 100);
+/// assert_eq!(summary.samples, 1_000);
+/// assert!(summary.p50 <= summary.p99 && summary.p99 <= summary.max);
+/// ```
+pub fn sample_latency(mut op: impl FnMut(), samples: usize, warmup: usize) -> LatencySummary {
+    assert!(samples > 0, "need at least one sample");
+    for _ in 0..warmup {
+        op();
+    }
+    let mut laps: Vec<u64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        op();
+        laps.push(start.elapsed().as_nanos() as u64);
+    }
+    laps.sort_unstable();
+    let at = |q: f64| laps[((laps.len() - 1) as f64 * q) as usize];
+    LatencySummary {
+        p50: at(0.50),
+        p90: at(0.90),
+        p99: at(0.99),
+        p999: at(0.999),
+        max: *laps.last().expect("non-empty"),
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_percentiles_are_ordered() {
+        let summary = sample_latency(|| std::thread::yield_now(), 500, 10);
+        assert_eq!(summary.samples, 500);
+        assert!(summary.p50 <= summary.p90);
+        assert!(summary.p90 <= summary.p99);
+        assert!(summary.p99 <= summary.p999);
+        assert!(summary.p999 <= summary.max);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_panics() {
+        let _ = sample_latency(|| {}, 0, 0);
+    }
+
+    #[test]
+    fn all_threads_report() {
+        let result = timed_run(3, Duration::from_millis(30), |_t, stop| {
+            let mut ops = 0;
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::yield_now();
+                ops += 1;
+            }
+            ops
+        });
+        assert_eq!(result.per_thread.len(), 3);
+        assert!(result.total_ops() > 0);
+        assert!(result.ops_per_sec() > 0.0);
+        assert!(result.min_ops() <= result.max_ops());
+    }
+
+    #[test]
+    fn jain_index_bounds() {
+        let balanced = RunResult {
+            per_thread: vec![100, 100, 100],
+            elapsed: Duration::from_secs(1),
+        };
+        assert!((balanced.jain_index() - 1.0).abs() < 1e-9);
+        let skewed = RunResult {
+            per_thread: vec![300, 0, 0],
+            elapsed: Duration::from_secs(1),
+        };
+        assert!((skewed.jain_index() - 1.0 / 3.0).abs() < 1e-9);
+        let empty = RunResult {
+            per_thread: vec![0, 0],
+            elapsed: Duration::from_secs(1),
+        };
+        assert_eq!(empty.jain_index(), 1.0);
+    }
+}

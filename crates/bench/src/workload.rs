@@ -1,0 +1,91 @@
+//! Workload generation: operation mixes and think time.
+
+use cso_memory::backoff::XorShift64;
+
+/// A push/pop (or enqueue/dequeue) operation mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMix {
+    /// Percentage of operations that are pushes/enqueues (0–100).
+    pub push_pct: u32,
+}
+
+impl OpMix {
+    /// The canonical 50/50 mix.
+    pub const BALANCED: OpMix = OpMix { push_pct: 50 };
+    /// Producer-only workload.
+    pub const PUSH_ONLY: OpMix = OpMix { push_pct: 100 };
+    /// Consumer-only workload.
+    pub const POP_ONLY: OpMix = OpMix { push_pct: 0 };
+
+    /// Draws the next operation kind: `true` = push.
+    pub fn next_is_push(&self, rng: &mut XorShift64) -> bool {
+        rng.next_below(100) < u64::from(self.push_pct)
+    }
+}
+
+impl std::fmt::Display for OpMix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.push_pct, 100 - self.push_pct)
+    }
+}
+
+/// Spins for roughly `iters` pause instructions — the "think time"
+/// separating an application's object operations. Longer think time =
+/// lower offered contention (experiment E4's sweep axis).
+#[inline]
+pub fn think(iters: u32) {
+    for _ in 0..iters {
+        std::hint::spin_loop();
+    }
+}
+
+/// A per-thread deterministic RNG, decorrelated across threads.
+#[must_use]
+pub fn thread_rng(thread: usize, seed: u64) -> XorShift64 {
+    XorShift64::new(seed ^ ((thread as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_hit_their_ratio_approximately() {
+        let mut rng = thread_rng(0, 7);
+        let mut pushes = 0;
+        for _ in 0..10_000 {
+            if OpMix::BALANCED.next_is_push(&mut rng) {
+                pushes += 1;
+            }
+        }
+        assert!((4_000..6_000).contains(&pushes), "got {pushes}");
+    }
+
+    #[test]
+    fn extreme_mixes_are_exact() {
+        let mut rng = thread_rng(1, 7);
+        for _ in 0..100 {
+            assert!(OpMix::PUSH_ONLY.next_is_push(&mut rng));
+            assert!(!OpMix::POP_ONLY.next_is_push(&mut rng));
+        }
+    }
+
+    #[test]
+    fn thread_rngs_are_decorrelated() {
+        let a = thread_rng(0, 1).next_u64();
+        let b = thread_rng(1, 1).next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mix_displays() {
+        assert_eq!(OpMix::BALANCED.to_string(), "50/50");
+        assert_eq!(OpMix { push_pct: 90 }.to_string(), "90/10");
+    }
+
+    #[test]
+    fn think_returns() {
+        think(0);
+        think(100);
+    }
+}

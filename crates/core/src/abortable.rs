@@ -1,0 +1,91 @@
+//! The abortable-object abstraction.
+
+use crate::error::Aborted;
+
+/// An *abortable* concurrent object (paper §1.2).
+///
+/// "An abortable concurrent object behaves like an ordinary object
+/// when accessed sequentially, but may abort operations when accessed
+/// concurrently (in that case the aborted operation **has no effect**
+/// and returns a default value denoted ⊥)."
+///
+/// # Contract for implementors
+///
+/// * **Total**: `try_apply` always returns (it never blocks or loops
+///   unboundedly);
+/// * **Solo success**: an invocation that runs in a contention-free
+///   context (no concurrent operation on the object) must return
+///   `Ok(_)`;
+/// * **Abort = no effect**: an `Err(Aborted)` invocation must leave
+///   the abstract state of the object exactly as if it was never
+///   invoked;
+/// * **Linearizable**: the non-aborted operations must be linearizable
+///   with respect to the object's sequential specification.
+///
+/// The operation is taken by reference so the retry-based
+/// transformations ([`crate::NonBlocking`], [`crate::ContentionSensitive`])
+/// can re-submit it without requiring `Op: Clone`.
+///
+/// An abortable object is *stronger* than an obstruction-free one:
+/// both guarantee solo termination, but the abortable object also
+/// terminates (with ⊥) under contention, instead of possibly not
+/// terminating at all (§1.2).
+pub trait Abortable: Send + Sync {
+    /// The operation descriptor (e.g. `Push(v)` / `Pop` for a stack).
+    type Op;
+
+    /// The non-⊥ result of an operation (e.g. the popped value).
+    type Response;
+
+    /// Attempts the operation once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Aborted`] (the paper's ⊥) when a concurrent operation
+    /// interfered; the object state is unchanged in that case.
+    fn try_apply(&self, op: &Self::Op) -> Result<Self::Response, Aborted>;
+}
+
+// An `Arc<O>` or reference to an abortable object is itself abortable,
+// so the transformations can share objects freely.
+impl<O: Abortable + ?Sized> Abortable for &O {
+    type Op = O::Op;
+    type Response = O::Response;
+
+    fn try_apply(&self, op: &Self::Op) -> Result<Self::Response, Aborted> {
+        (**self).try_apply(op)
+    }
+}
+
+impl<O: Abortable + ?Sized> Abortable for std::sync::Arc<O> {
+    type Op = O::Op;
+    type Response = O::Response;
+
+    fn try_apply(&self, op: &Self::Op) -> Result<Self::Response, Aborted> {
+        (**self).try_apply(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testobj::{Bump, ScriptedObject};
+    use std::sync::Arc;
+
+    #[test]
+    fn scripted_object_aborts_then_succeeds() {
+        let obj = ScriptedObject::with_aborts(2);
+        assert_eq!(obj.try_apply(&Bump(1)), Err(Aborted));
+        assert_eq!(obj.try_apply(&Bump(1)), Err(Aborted));
+        assert_eq!(obj.try_apply(&Bump(1)), Ok(1));
+        assert_eq!(obj.try_apply(&Bump(5)), Ok(6));
+    }
+
+    #[test]
+    fn references_and_arcs_forward() {
+        let obj = Arc::new(ScriptedObject::with_aborts(0));
+        assert_eq!(obj.try_apply(&Bump(2)), Ok(2));
+        let by_ref: &ScriptedObject = &obj;
+        assert_eq!(by_ref.try_apply(&Bump(2)), Ok(4));
+    }
+}

@@ -1,0 +1,361 @@
+//! Figure 3: the abortable → contention-sensitive, starvation-free
+//! transformation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cso_locks::{ProcLock, RawLock, StarvationFree};
+use cso_memory::backoff::Spinner;
+use cso_memory::reg::RegBool;
+
+use crate::abortable::Abortable;
+use crate::progress::ProgressCondition;
+
+/// Which of Figure 3's mechanisms are enabled — the paper
+/// configuration plus the ablations of experiment E8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsConfig {
+    /// Lines 01/07/09: guard the fast path with the `CONTENTION`
+    /// register. Disabling it makes every invocation attempt the weak
+    /// operation first, even while a lock holder is working — abort
+    /// storms under contention.
+    pub contention_flag: bool,
+    /// Lines 04–05/10–11: the `FLAG`/`TURN` starvation-freedom
+    /// booster. Disabling it takes the deadlock-free lock directly:
+    /// progress degrades from starvation-free to non-blocking.
+    pub fair: bool,
+}
+
+impl CsConfig {
+    /// The configuration of the paper's Figure 3 (everything on).
+    pub const PAPER: CsConfig = CsConfig {
+        contention_flag: true,
+        fair: true,
+    };
+    /// Ablation (i): no `CONTENTION` guard.
+    pub const NO_FLAG: CsConfig = CsConfig {
+        contention_flag: false,
+        fair: true,
+    };
+    /// Ablation (ii): no `FLAG`/`TURN` fairness.
+    pub const UNFAIR: CsConfig = CsConfig {
+        contention_flag: true,
+        fair: false,
+    };
+}
+
+impl Default for CsConfig {
+    fn default() -> CsConfig {
+        CsConfig::PAPER
+    }
+}
+
+/// How many operations completed on each path (diagnostics for
+/// experiment E4: "fraction of ops that took the lock").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PathStats {
+    /// Operations that completed on the lock-free fast path
+    /// (lines 01–03).
+    pub fast: u64,
+    /// Operations that completed under the lock (lines 04–13).
+    pub locked: u64,
+}
+
+impl PathStats {
+    /// Total completed operations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.fast + self.locked
+    }
+
+    /// Fraction of operations that needed the lock (0.0 when idle).
+    #[must_use]
+    pub fn locked_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.locked as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Figure 3 of the paper, generalized to any [`Abortable`] object:
+/// a **contention-sensitive, starvation-free** implementation.
+///
+/// ```text
+/// operation strong_op(par):                                 % code for p_i %
+/// (01) if (¬CONTENTION)
+/// (02)     then res ← weak_op(par); if (res ≠ ⊥) then return(res) end if
+/// (03) end if;
+/// (04) FLAG[i] ← true;                                      ⎫
+/// (05) wait((TURN = i) ∨ (¬FLAG[TURN]));                    ⎬ starvation-free
+/// (06) LOCK.lock();                                         ⎭ lock (§4.4)
+/// (07) CONTENTION ← true;
+/// (08) repeat res ← weak_op(par) until res ≠ ⊥;
+/// (09) CONTENTION ← false;
+/// (10) FLAG[i] ← false;                                     ⎫
+/// (11) if (¬FLAG[TURN]) then TURN ← (TURN mod n) + 1;       ⎬ §4.4
+/// (12) LOCK.unlock();                                       ⎭
+/// (13) return(res).
+/// ```
+///
+/// Properties (Theorem 1): every invocation returns a non-⊥ value, all
+/// invocations are linearizable, and a contention-free invocation uses
+/// **no lock and six shared-memory accesses** (one read of
+/// `CONTENTION` + the five accesses of a solo weak operation).
+///
+/// The starred lines live in [`StarvationFree`]; the inner lock `L`
+/// only needs to be deadlock-free (a plain TAS lock suffices).
+pub struct ContentionSensitive<O, L> {
+    inner: O,
+    /// The paper's `CONTENTION` boolean register.
+    contention: RegBool,
+    /// The §4.4-boosted lock (lines 04–06 / 10–12).
+    lock: StarvationFree<L>,
+    config: CsConfig,
+    // Path statistics: plain (uncounted) atomics — metrics, not part
+    // of the algorithm's shared-memory footprint.
+    fast: AtomicU64,
+    locked: AtomicU64,
+}
+
+impl<O, L> std::fmt::Debug for ContentionSensitive<O, L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = PathStats {
+            fast: self.fast.load(Ordering::Relaxed),
+            locked: self.locked.load(Ordering::Relaxed),
+        };
+        f.debug_struct("ContentionSensitive")
+            .field("config", &self.config)
+            .field("stats", &stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
+    /// Wraps `inner` for `n` processes, using the deadlock-free lock
+    /// `lock` for the slow path — the paper's exact Figure 3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(inner: O, lock: L, n: usize) -> ContentionSensitive<O, L> {
+        ContentionSensitive::with_config(inner, lock, n, CsConfig::PAPER)
+    }
+
+    /// Like [`ContentionSensitive::new`] with an explicit mechanism
+    /// selection (see [`CsConfig`]; used by the E8 ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn with_config(inner: O, lock: L, n: usize, config: CsConfig) -> ContentionSensitive<O, L> {
+        ContentionSensitive {
+            inner,
+            contention: RegBool::new(false),
+            lock: StarvationFree::new(lock, n),
+            config,
+            fast: AtomicU64::new(0),
+            locked: AtomicU64::new(0),
+        }
+    }
+
+    /// The progress condition of the paper configuration.
+    pub const PROGRESS: ProgressCondition = ProgressCondition::StarvationFree;
+
+    /// Applies `op` on behalf of process `proc`; never returns ⊥
+    /// (Theorem 1 / Lemma 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is not below the `n` given at construction.
+    pub fn apply(&self, proc: usize, op: &O::Op) -> O::Response {
+        assert!(proc < self.lock.n(), "process id out of range");
+        // Lines 01–03: the lock-free shortcut.
+        if !self.config.contention_flag || !self.contention.read() {
+            if let Ok(res) = self.inner.try_apply(op) {
+                self.fast.fetch_add(1, Ordering::Relaxed);
+                return res;
+            }
+        }
+
+        // Lines 04–06: acquire the (boosted) lock.
+        if self.config.fair {
+            self.lock.lock(proc);
+        } else {
+            self.lock.inner().lock();
+        }
+
+        // Line 07.
+        if self.config.contention_flag {
+            self.contention.write(true);
+        }
+
+        // Line 08: bounded in practice by Lemma 2 — only the fast-path
+        // operations already in flight can make us abort, and future
+        // invocations see CONTENTION and queue behind the lock. The
+        // spinner only yields the CPU so those in-flight operations can
+        // finish on oversubscribed machines; it adds no shared accesses.
+        let mut spinner = Spinner::new();
+        let res = loop {
+            match self.inner.try_apply(op) {
+                Ok(res) => break res,
+                Err(_) => spinner.spin(),
+            }
+        };
+
+        // Line 09.
+        if self.config.contention_flag {
+            self.contention.write(false);
+        }
+
+        // Lines 10–12.
+        if self.config.fair {
+            self.lock.unlock(proc);
+        } else {
+            self.lock.inner().unlock();
+        }
+
+        self.locked.fetch_add(1, Ordering::Relaxed);
+        // Line 13.
+        res
+    }
+
+    /// Snapshot of how many operations used each path.
+    pub fn stats(&self) -> PathStats {
+        PathStats {
+            fast: self.fast.load(Ordering::Relaxed),
+            locked: self.locked.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the path statistics to zero.
+    pub fn reset_stats(&self) {
+        self.fast.store(0, Ordering::Relaxed);
+        self.locked.store(0, Ordering::Relaxed);
+    }
+
+    /// The number of processes this instance serves.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.lock.n()
+    }
+
+    /// The mechanism configuration in force.
+    #[must_use]
+    pub fn config(&self) -> CsConfig {
+        self.config
+    }
+
+    /// The wrapped abortable object.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testobj::{Bump, ScriptedObject};
+    use cso_locks::TasLock;
+    use cso_memory::counting::CountScope;
+
+    fn make(aborts: usize, config: CsConfig) -> ContentionSensitive<ScriptedObject, TasLock> {
+        ContentionSensitive::with_config(
+            ScriptedObject::with_aborts(aborts),
+            TasLock::new(),
+            4,
+            config,
+        )
+    }
+
+    #[test]
+    fn solo_apply_takes_fast_path() {
+        let cs = make(0, CsConfig::PAPER);
+        assert_eq!(cs.apply(0, &Bump(7)), 7);
+        assert_eq!(cs.stats(), PathStats { fast: 1, locked: 0 });
+    }
+
+    #[test]
+    fn abort_falls_back_to_lock_and_succeeds() {
+        let cs = make(1, CsConfig::PAPER);
+        assert_eq!(cs.apply(2, &Bump(7)), 7);
+        assert_eq!(cs.stats(), PathStats { fast: 0, locked: 1 });
+    }
+
+    #[test]
+    fn repeated_aborts_are_absorbed_under_the_lock() {
+        let cs = make(25, CsConfig::PAPER);
+        assert_eq!(cs.apply(1, &Bump(1)), 1);
+        assert_eq!(cs.apply(1, &Bump(1)), 2);
+        let stats = cs.stats();
+        assert_eq!(stats.total(), 2);
+    }
+
+    #[test]
+    fn solo_fast_path_overhead_is_one_access() {
+        // The transformation adds exactly one shared access (the read
+        // of CONTENTION) to a solo weak operation. ScriptedObject does
+        // no counted accesses, so the total must be exactly 1.
+        let cs = make(0, CsConfig::PAPER);
+        let scope = CountScope::start();
+        cs.apply(0, &Bump(1));
+        assert_eq!(scope.take().total(), 1);
+    }
+
+    #[test]
+    fn ablation_no_flag_still_correct() {
+        let cs = make(3, CsConfig::NO_FLAG);
+        assert_eq!(cs.apply(0, &Bump(4)), 4);
+        // Without the CONTENTION register the solo fast path costs 0
+        // extra accesses.
+        let scope = CountScope::start();
+        cs.apply(0, &Bump(1));
+        assert_eq!(scope.take().total(), 0);
+    }
+
+    #[test]
+    fn ablation_unfair_still_correct() {
+        let cs = make(2, CsConfig::UNFAIR);
+        assert_eq!(cs.apply(3, &Bump(9)), 9);
+        assert_eq!(cs.stats().locked, 1);
+    }
+
+    #[test]
+    fn stats_reset() {
+        let cs = make(0, CsConfig::PAPER);
+        cs.apply(0, &Bump(1));
+        cs.reset_stats();
+        assert_eq!(cs.stats().total(), 0);
+    }
+
+    #[test]
+    fn locked_fraction_math() {
+        let stats = PathStats { fast: 3, locked: 1 };
+        assert!((stats.locked_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(PathStats::default().locked_fraction(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_strong_ops_all_complete() {
+        use std::sync::Arc;
+        let cs = Arc::new(make(0, CsConfig::PAPER));
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let cs = Arc::clone(&cs);
+                std::thread::spawn(move || {
+                    for _ in 0..2_000 {
+                        cs.apply(i, &Bump(1));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = cs.inner().applied.load(std::sync::atomic::Ordering::SeqCst);
+        assert_eq!(total, 8_000);
+        assert_eq!(cs.stats().total(), 8_000);
+    }
+}

@@ -1,0 +1,40 @@
+//! The ⊥ value.
+
+use std::error::Error;
+use std::fmt;
+
+/// The paper's ⊥: an operation on an abortable object was aborted
+/// because of contention, and **had no effect** on the object.
+///
+/// The definition used here is the paper's strengthening of Aguilera et
+/// al. (reference \[1\]): an aborted operation *never* takes effect (in
+/// \[1\] it may take effect without the invoker learning it). The object
+/// state is never left inconsistent either way.
+///
+/// ```
+/// use cso_core::Aborted;
+/// let err = Aborted;
+/// assert_eq!(err.to_string(), "operation aborted under contention (\u{22a5}) with no effect");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Aborted;
+
+impl fmt::Display for Aborted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("operation aborted under contention (\u{22a5}) with no effect")
+    }
+}
+
+impl Error for Aborted {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_a_well_behaved_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<Aborted>();
+        assert!(Aborted.to_string().contains("aborted"));
+    }
+}

@@ -1,0 +1,192 @@
+//! The original HLM deque: retry ⊥ — obstruction-free, and *only*
+//! obstruction-free.
+
+use cso_core::{ContentionManager, NoBackoff, ProgressCondition};
+use cso_memory::bits::Bits32;
+
+use crate::abortable::AbortableDeque;
+use crate::outcome::{DequePopOutcome, DequePushOutcome, End};
+
+/// The Herlihy–Luchangco–Moir deque as published: each operation
+/// retries its attempt until it gets a definitive answer.
+///
+/// **Progress: obstruction-free** — an operation is guaranteed to
+/// terminate only when it eventually runs solo (paper §1.2 / ref
+/// \[8\]). Unlike the stack's Figure 2, the retry loop here is *not*
+/// non-blocking: two symmetric two-`C&S` operations can keep
+/// invalidating each other's first `C&S` forever without either
+/// completing (no "my abort implies your success" property). This is
+/// the genuinely weakest rung of the paper's hierarchy, which is why
+/// a contention manager (`M`) matters in practice and why
+/// [`crate::CsDeque`] exists.
+///
+/// ```
+/// use cso_deque::{HlmDeque, DequePushOutcome, DequePopOutcome, End};
+///
+/// let deque: HlmDeque<u32> = HlmDeque::new(8);
+/// assert_eq!(deque.push(End::Left, 1), DequePushOutcome::Pushed);
+/// assert_eq!(deque.pop(End::Right), DequePopOutcome::Popped(1));
+/// ```
+#[derive(Debug)]
+pub struct HlmDeque<V: Bits32, M: ContentionManager = NoBackoff> {
+    inner: AbortableDeque<V>,
+    manager: M,
+}
+
+impl<V: Bits32> HlmDeque<V, NoBackoff> {
+    /// Creates an empty deque with immediate retries.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid capacities (see [`AbortableDeque::new`]).
+    #[must_use]
+    pub fn new(capacity: usize) -> HlmDeque<V, NoBackoff> {
+        HlmDeque {
+            inner: AbortableDeque::new(capacity),
+            manager: NoBackoff,
+        }
+    }
+}
+
+impl<V: Bits32, M: ContentionManager> HlmDeque<V, M> {
+    /// Creates an empty deque whose retries are paced by `manager`
+    /// (the practical mitigation for the livelock the progress
+    /// condition permits).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid capacities.
+    #[must_use]
+    pub fn with_manager(capacity: usize, manager: M) -> HlmDeque<V, M> {
+        HlmDeque {
+            inner: AbortableDeque::new(capacity),
+            manager,
+        }
+    }
+
+    /// The progress condition of this implementation.
+    pub const PROGRESS: ProgressCondition = ProgressCondition::ObstructionFree;
+
+    /// Pushes `value` at `end`, retrying ⊥.
+    pub fn push(&self, end: End, value: V) -> DequePushOutcome {
+        let mut attempt = 0u32;
+        loop {
+            match self.inner.try_push(end, value) {
+                Ok(outcome) => return outcome,
+                Err(_) => {
+                    self.manager.on_abort(attempt);
+                    attempt = attempt.saturating_add(1);
+                }
+            }
+        }
+    }
+
+    /// Pops from `end`, retrying ⊥.
+    pub fn pop(&self, end: End) -> DequePopOutcome<V> {
+        let mut attempt = 0u32;
+        loop {
+            match self.inner.try_pop(end) {
+                Ok(outcome) => return outcome,
+                Err(_) => {
+                    self.manager.on_abort(attempt);
+                    attempt = attempt.saturating_add(1);
+                }
+            }
+        }
+    }
+
+    /// The underlying abortable deque.
+    pub fn as_abortable(&self) -> &AbortableDeque<V> {
+        &self.inner
+    }
+
+    /// The total value capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    /// Racy size snapshot.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Racy emptiness snapshot.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cso_core::YieldBackoff;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn deque_semantics_solo() {
+        let d: HlmDeque<u32> = HlmDeque::new(6);
+        d.push(End::Right, 2);
+        d.push(End::Left, 1);
+        d.push(End::Right, 3);
+        assert_eq!(d.pop(End::Left), DequePopOutcome::Popped(1));
+        assert_eq!(d.pop(End::Left), DequePopOutcome::Popped(2));
+        assert_eq!(d.pop(End::Left), DequePopOutcome::Popped(3));
+        assert_eq!(d.pop(End::Left), DequePopOutcome::Empty);
+        assert_eq!(d.capacity(), 6);
+    }
+
+    /// Under real threads (with yields giving solo windows,
+    /// satisfying the obstruction-freedom hypothesis) values are
+    /// conserved.
+    #[test]
+    fn concurrent_conservation_with_yielding() {
+        const THREADS: u32 = 3;
+        const PER_THREAD: u32 = 800;
+        let deque: Arc<HlmDeque<u32, YieldBackoff>> =
+            Arc::new(HlmDeque::with_manager(16, YieldBackoff));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let deque = Arc::clone(&deque);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    let my_end = if t % 2 == 0 { End::Right } else { End::Left };
+                    for i in 0..PER_THREAD {
+                        let v = t * PER_THREAD + i;
+                        // Bounded deque: on Full, drain one and retry.
+                        loop {
+                            match deque.push(my_end, v) {
+                                DequePushOutcome::Pushed => break,
+                                DequePushOutcome::Full => {
+                                    if let DequePopOutcome::Popped(v) = deque.pop(my_end) {
+                                        got.push(v);
+                                    }
+                                }
+                            }
+                        }
+                        if let DequePopOutcome::Popped(v) = deque.pop(my_end.opposite()) {
+                            got.push(v);
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<u32> = Vec::new();
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        loop {
+            match deque.pop(End::Left) {
+                DequePopOutcome::Popped(v) => all.push(v),
+                DequePopOutcome::Empty => break,
+            }
+        }
+        assert_eq!(all.len(), (THREADS * PER_THREAD) as usize);
+        let distinct: HashSet<u32> = all.iter().copied().collect();
+        assert_eq!(distinct.len(), all.len(), "no duplicates, nothing lost");
+    }
+}

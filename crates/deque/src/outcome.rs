@@ -1,0 +1,143 @@
+//! Operation descriptors and outcomes for the deque family.
+
+/// Which end of the deque an operation works on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum End {
+    /// The left end (the `LN` side).
+    Left,
+    /// The right end (the `RN` side).
+    Right,
+}
+
+impl End {
+    /// The opposite end.
+    #[must_use]
+    pub fn opposite(self) -> End {
+        match self {
+            End::Left => End::Right,
+            End::Right => End::Left,
+        }
+    }
+}
+
+/// The definitive (non-⊥) result of a push.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DequePushOutcome {
+    /// The value is now at the chosen end.
+    Pushed,
+    /// That end's null block is down to its sentinel — no room on
+    /// this side (linear HLM semantics; the other side may have
+    /// space).
+    Full,
+}
+
+impl DequePushOutcome {
+    /// True when the value landed in the deque.
+    #[must_use]
+    pub fn is_pushed(self) -> bool {
+        matches!(self, DequePushOutcome::Pushed)
+    }
+}
+
+/// The definitive (non-⊥) result of a pop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DequePopOutcome<V> {
+    /// The value that was at the chosen end.
+    Popped(V),
+    /// The deque held no values.
+    Empty,
+}
+
+impl<V> DequePopOutcome<V> {
+    /// Converts to an `Option`.
+    pub fn into_option(self) -> Option<V> {
+        match self {
+            DequePopOutcome::Popped(v) => Some(v),
+            DequePopOutcome::Empty => None,
+        }
+    }
+
+    /// True when a value was returned.
+    #[must_use]
+    pub fn is_popped(&self) -> bool {
+        matches!(self, DequePopOutcome::Popped(_))
+    }
+}
+
+impl<V> From<DequePopOutcome<V>> for Option<V> {
+    fn from(outcome: DequePopOutcome<V>) -> Option<V> {
+        outcome.into_option()
+    }
+}
+
+/// A deque operation descriptor for the generic transformations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DequeOp<V> {
+    /// Push `v` at `End`.
+    Push(End, V),
+    /// Pop from `End`.
+    Pop(End),
+}
+
+/// The response to a [`DequeOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DequeResponse<V> {
+    /// Response to a push.
+    Push(DequePushOutcome),
+    /// Response to a pop.
+    Pop(DequePopOutcome<V>),
+}
+
+impl<V> DequeResponse<V> {
+    /// Extracts a push outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a pop response.
+    #[must_use]
+    pub fn expect_push(self) -> DequePushOutcome {
+        match self {
+            DequeResponse::Push(outcome) => outcome,
+            DequeResponse::Pop(_) => panic!("expected a push response, got a pop response"),
+        }
+    }
+
+    /// Extracts a pop outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a push response.
+    #[must_use]
+    pub fn expect_pop(self) -> DequePopOutcome<V> {
+        match self {
+            DequeResponse::Pop(outcome) => outcome,
+            DequeResponse::Push(_) => panic!("expected a pop response, got a push response"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ends_mirror() {
+        assert_eq!(End::Left.opposite(), End::Right);
+        assert_eq!(End::Right.opposite(), End::Left);
+    }
+
+    #[test]
+    fn conversions_and_predicates() {
+        assert!(DequePushOutcome::Pushed.is_pushed());
+        assert!(!DequePushOutcome::Full.is_pushed());
+        assert_eq!(DequePopOutcome::Popped(3).into_option(), Some(3));
+        assert_eq!(DequePopOutcome::<u32>::Empty.into_option(), None);
+        assert!(DequePopOutcome::Popped(1).is_popped());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a pop response")]
+    fn mismatched_extractor_panics() {
+        let _ = DequeResponse::<u32>::Push(DequePushOutcome::Pushed).expect_pop();
+    }
+}

@@ -1,0 +1,25 @@
+//! Step-machine transcriptions of the workspace's algorithms.
+//!
+//! Each module hand-compiles an algorithm into a
+//! [`crate::machine::StepMachine`] over the virtual memory, mirroring
+//! the production implementation line by line:
+//!
+//! * [`stack`] — Figure 1's `weak_push`/`weak_pop` (mirrors
+//!   `cso_stack::AbortableStack`);
+//! * [`queue`] — the abortable bounded queue (mirrors
+//!   `cso_queue::AbortableQueue`);
+//! * [`fig3`] — the *generic* Figure 3 protocol machine (`CONTENTION`
+//!   register, `FLAG`/`TURN` booster, TAS lock) over any weak machine;
+//! * [`cs_stack`] / [`cs_queue`] — Figure 3 bound to the stack and to
+//!   the queue (mirror `cso_stack::CsStack` / `cso_queue::CsQueue`);
+//! * [`locks`] — lock cycles (TAS, Peterson, the §4.4 booster) with an
+//!   in-execution mutual-exclusion detector.
+
+pub mod cs_queue;
+pub mod cs_stack;
+pub mod deque;
+pub mod exchanger;
+pub mod fig3;
+pub mod locks;
+pub mod queue;
+pub mod stack;

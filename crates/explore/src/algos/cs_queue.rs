@@ -1,0 +1,176 @@
+//! Figure 3 over the bounded queue (the `cso-queue` extension) as a
+//! step machine.
+//!
+//! Binds the generic [`Fig3Machine`] protocol to the weak queue
+//! machine, validating `cso_queue::CsQueue`'s logic under per-access
+//! interleaving. Contains busy-wait loops: explore with
+//! [`crate::explore_random`] / [`crate::fair`].
+
+use cso_lincheck::specs::queue::{SpecQueueOp, SpecQueueResp};
+
+use crate::algos::fig3::{Fig3Addrs, Fig3Machine};
+use crate::algos::queue::{QueueLayout, WeakQueueMachine};
+use crate::mem::{Addr, Mem};
+
+/// Memory layout of one Figure 3 queue instance: the [`QueueLayout`]
+/// registers first (`HEAD`, `TAIL`, ring), then `CONTENTION`,
+/// `FLAG[0..n]`, `TURN`, `LOCK`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsQueueLayout {
+    /// The embedded weak queue's layout.
+    pub queue: QueueLayout,
+    /// Number of processes (size of `FLAG`).
+    pub n: usize,
+}
+
+/// Builds the layout for a Figure 3 queue.
+#[must_use]
+pub fn cs_queue_layout(capacity: usize, n: usize) -> CsQueueLayout {
+    assert!(n >= 1, "at least one process");
+    CsQueueLayout {
+        queue: crate::algos::queue::queue_layout(capacity),
+        n,
+    }
+}
+
+impl CsQueueLayout {
+    /// The coordination-register addresses (after the queue's
+    /// `HEAD` + `TAIL` + ring block).
+    #[must_use]
+    pub fn addrs(&self) -> Fig3Addrs {
+        let base = 2 + self.queue.capacity;
+        Fig3Addrs {
+            contention: base,
+            flag_base: base + 1,
+            n: self.n,
+            turn: base + 1 + self.n,
+            lock: base + 2 + self.n,
+        }
+    }
+
+    /// Address of the TAS lock register.
+    #[must_use]
+    pub fn lock(&self) -> Addr {
+        self.addrs().lock
+    }
+
+    /// The initial memory: an empty queue, coordination registers
+    /// cleared.
+    #[must_use]
+    pub fn initial_mem(&self) -> Mem {
+        self.initial_mem_with(&[])
+    }
+
+    /// The initial memory with a pre-filled queue (front first).
+    #[must_use]
+    pub fn initial_mem_with(&self, values: &[u32]) -> Mem {
+        let queue_mem = self.queue.initial_mem_with(values);
+        let mut words: Vec<u64> = (0..queue_mem.len()).map(|a| queue_mem.read(a)).collect();
+        words.resize(self.addrs().end(), 0);
+        Mem::new(words)
+    }
+}
+
+/// Figure 3's strong operation for the queue. Never returns ⊥.
+pub type StrongQueueMachine = Fig3Machine<WeakQueueMachine, SpecQueueResp>;
+
+/// A machine ready to run `op` on behalf of `proc`.
+///
+/// # Panics
+///
+/// Panics if `proc >= layout.n`.
+#[must_use]
+pub fn strong_queue_machine(
+    layout: CsQueueLayout,
+    proc: usize,
+    op: SpecQueueOp,
+) -> StrongQueueMachine {
+    Fig3Machine::new(
+        layout.addrs(),
+        proc,
+        WeakQueueMachine::new(layout.queue, op),
+    )
+}
+
+/// The factory the explorer uses to start Figure 3 queue operations.
+#[must_use]
+pub fn strong_queue_factory(
+    layout: CsQueueLayout,
+) -> impl Fn(usize, &SpecQueueOp) -> StrongQueueMachine {
+    move |proc, op| strong_queue_machine(layout, proc, *op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Step, StepMachine};
+
+    fn run_solo(
+        mem: &mut Mem,
+        layout: CsQueueLayout,
+        proc: usize,
+        op: SpecQueueOp,
+    ) -> (SpecQueueResp, usize) {
+        let mut machine = strong_queue_machine(layout, proc, op);
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            match machine.step(mem) {
+                Step::Continue => {}
+                Step::Done(Ok(resp)) => return (resp, steps),
+                Step::Done(Err(_)) => unreachable!("strong ops never return ⊥"),
+            }
+        }
+    }
+
+    /// The queue twin of Theorem 1: solo strong operations are seven
+    /// accesses (one `CONTENTION` read + the six-access weak op) and
+    /// never touch the lock.
+    #[test]
+    fn solo_strong_ops_are_exactly_seven_accesses() {
+        let layout = cs_queue_layout(4, 3);
+        let mut mem = layout.initial_mem();
+        let (resp, steps) = run_solo(&mut mem, layout, 0, SpecQueueOp::Enqueue(5));
+        assert_eq!((resp, steps), (SpecQueueResp::Enqueued, 7));
+        let (resp, steps) = run_solo(&mut mem, layout, 2, SpecQueueOp::Dequeue);
+        assert_eq!((resp, steps), (SpecQueueResp::Dequeued(5), 7));
+        assert_eq!(mem.read(layout.lock()), 0, "lock untouched");
+    }
+
+    #[test]
+    fn fifo_order_survives_the_wrapper() {
+        let layout = cs_queue_layout(4, 2);
+        let mut mem = layout.initial_mem_with(&[8, 9]);
+        assert_eq!(
+            run_solo(&mut mem, layout, 0, SpecQueueOp::Dequeue).0,
+            SpecQueueResp::Dequeued(8)
+        );
+        assert_eq!(
+            run_solo(&mut mem, layout, 1, SpecQueueOp::Dequeue).0,
+            SpecQueueResp::Dequeued(9)
+        );
+        assert_eq!(
+            run_solo(&mut mem, layout, 0, SpecQueueOp::Dequeue).0,
+            SpecQueueResp::Empty
+        );
+    }
+
+    #[test]
+    fn slow_path_completes_and_cleans_up() {
+        let layout = cs_queue_layout(4, 2);
+        let mut mem = layout.initial_mem();
+        mem.write(layout.addrs().contention, 1);
+        let mut machine = strong_queue_machine(layout, 1, SpecQueueOp::Enqueue(3));
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            assert!(steps < 1_000);
+            if let Step::Done(result) = machine.step(&mut mem) {
+                assert_eq!(result, Ok(SpecQueueResp::Enqueued));
+                break;
+            }
+        }
+        assert_eq!(mem.read(layout.lock()), 0);
+        assert_eq!(mem.read(layout.addrs().flag(1)), 0);
+    }
+}

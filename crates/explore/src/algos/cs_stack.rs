@@ -1,0 +1,197 @@
+//! Figure 3 over the stack — the paper's exact construction — as a
+//! step machine.
+//!
+//! The protocol logic lives in the generic [`Fig3Machine`]
+//! (`CONTENTION` + `FLAG`/`TURN` booster + TAS lock); this module
+//! binds it to the Figure 1 weak stack and fixes the memory layout.
+//! Contains busy-wait loops: explore with [`crate::explore_random`] /
+//! [`crate::fair`].
+
+use cso_lincheck::specs::stack::{SpecStackOp, SpecStackResp};
+
+use crate::algos::fig3::{Fig3Addrs, Fig3Machine};
+use crate::algos::stack::{StackLayout, WeakStackMachine};
+use crate::mem::{Addr, Mem};
+
+/// Memory layout of one Figure 3 stack instance: the [`StackLayout`]
+/// registers first, then `CONTENTION`, `FLAG[0..n]`, `TURN`, `LOCK`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsStackLayout {
+    /// The embedded weak stack's layout.
+    pub stack: StackLayout,
+    /// Number of processes (size of `FLAG`).
+    pub n: usize,
+}
+
+/// Builds the layout for a Figure 3 stack.
+#[must_use]
+pub fn cs_stack_layout(capacity: usize, n: usize) -> CsStackLayout {
+    assert!(n >= 1, "at least one process");
+    CsStackLayout {
+        stack: crate::algos::stack::stack_layout(capacity),
+        n,
+    }
+}
+
+impl CsStackLayout {
+    /// The coordination-register addresses (after the stack's
+    /// `TOP` + `STACK[0..k]` block).
+    #[must_use]
+    pub fn addrs(&self) -> Fig3Addrs {
+        let base = self.stack.capacity + 2;
+        Fig3Addrs {
+            contention: base,
+            flag_base: base + 1,
+            n: self.n,
+            turn: base + 1 + self.n,
+            lock: base + 2 + self.n,
+        }
+    }
+
+    /// Address of the `CONTENTION` register.
+    #[must_use]
+    pub fn contention(&self) -> Addr {
+        self.addrs().contention
+    }
+
+    /// Address of `FLAG[i]`.
+    #[must_use]
+    pub fn flag(&self, i: usize) -> Addr {
+        self.addrs().flag(i)
+    }
+
+    /// Address of `TURN`.
+    #[must_use]
+    pub fn turn(&self) -> Addr {
+        self.addrs().turn
+    }
+
+    /// Address of the TAS lock register.
+    #[must_use]
+    pub fn lock(&self) -> Addr {
+        self.addrs().lock
+    }
+
+    /// The initial memory: an empty stack, `CONTENTION = false`,
+    /// all flags down, `TURN = 0`, lock free.
+    #[must_use]
+    pub fn initial_mem(&self) -> Mem {
+        self.initial_mem_with(&[])
+    }
+
+    /// The initial memory with a pre-filled stack.
+    #[must_use]
+    pub fn initial_mem_with(&self, values: &[u32]) -> Mem {
+        let stack_mem = self.stack.initial_mem_with(values);
+        let mut words: Vec<u64> = (0..stack_mem.len()).map(|a| stack_mem.read(a)).collect();
+        words.resize(self.addrs().end(), 0);
+        Mem::new(words)
+    }
+}
+
+/// Figure 3's `strong_push_or_pop(par)` for the stack. Never returns
+/// ⊥ (Lemma 1 — structurally: every `Done` carries `Ok`).
+pub type StrongStackMachine = Fig3Machine<WeakStackMachine, SpecStackResp>;
+
+/// A machine ready to run `op` on behalf of `proc`.
+///
+/// # Panics
+///
+/// Panics if `proc >= layout.n`.
+#[must_use]
+pub fn strong_stack_machine(
+    layout: CsStackLayout,
+    proc: usize,
+    op: SpecStackOp,
+) -> StrongStackMachine {
+    Fig3Machine::new(
+        layout.addrs(),
+        proc,
+        WeakStackMachine::new(layout.stack, op),
+    )
+}
+
+/// The factory the explorer uses to start Figure 3 stack operations.
+#[must_use]
+pub fn strong_stack_factory(
+    layout: CsStackLayout,
+) -> impl Fn(usize, &SpecStackOp) -> StrongStackMachine {
+    move |proc, op| strong_stack_machine(layout, proc, *op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Step, StepMachine};
+
+    fn run_solo(
+        mem: &mut Mem,
+        layout: CsStackLayout,
+        proc: usize,
+        op: SpecStackOp,
+    ) -> (SpecStackResp, usize) {
+        let mut machine = strong_stack_machine(layout, proc, op);
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            match machine.step(mem) {
+                Step::Continue => {}
+                Step::Done(Ok(resp)) => return (resp, steps),
+                Step::Done(Err(_)) => unreachable!("strong ops never return ⊥"),
+            }
+        }
+    }
+
+    /// Theorem 1 in the model: a contention-free strong operation is
+    /// exactly six accesses and never touches the lock.
+    #[test]
+    fn solo_strong_op_is_exactly_six_accesses() {
+        let layout = cs_stack_layout(4, 3);
+        let mut mem = layout.initial_mem();
+        let (resp, steps) = run_solo(&mut mem, layout, 0, SpecStackOp::Push(5));
+        assert_eq!((resp, steps), (SpecStackResp::Pushed, 6));
+        assert_eq!(mem.read(layout.lock()), 0, "lock untouched");
+        let (resp, steps) = run_solo(&mut mem, layout, 2, SpecStackOp::Pop);
+        assert_eq!((resp, steps), (SpecStackResp::Popped(5), 6));
+    }
+
+    #[test]
+    fn contention_flag_diverts_to_lock_path() {
+        let layout = cs_stack_layout(4, 2);
+        let mut mem = layout.initial_mem();
+        // Simulate the transient state where CONTENTION is set but the
+        // lock is free: the op must go through FLAG/TURN + lock and
+        // still complete.
+        mem.write(layout.contention(), 1);
+        let mut machine = strong_stack_machine(layout, 0, SpecStackOp::Push(1));
+        let mut steps = 0;
+        let resp = loop {
+            steps += 1;
+            assert!(steps < 1_000, "must terminate");
+            match machine.step(&mut mem) {
+                Step::Continue => {}
+                Step::Done(Ok(resp)) => break resp,
+                Step::Done(Err(_)) => unreachable!(),
+            }
+        };
+        assert_eq!(resp, SpecStackResp::Pushed);
+        assert_eq!(mem.read(layout.lock()), 0, "lock released");
+        assert_eq!(mem.read(layout.flag(0)), 0, "flag lowered");
+    }
+
+    #[test]
+    fn turn_advances_after_uncontended_lock_path() {
+        let layout = cs_stack_layout(4, 3);
+        let mut mem = layout.initial_mem();
+        mem.write(layout.contention(), 1); // force the slow path once
+        let mut machine = strong_stack_machine(layout, 0, SpecStackOp::Push(1));
+        loop {
+            match machine.step(&mut mem) {
+                Step::Continue => {}
+                Step::Done(_) => break,
+            }
+        }
+        // TURN was 0 and FLAG[0] is down at handoff: TURN moves to 1.
+        assert_eq!(mem.read(layout.turn()), 1);
+    }
+}

@@ -1,0 +1,455 @@
+//! The abortable HLM deque as a step machine.
+//!
+//! `cso_deque::AbortableDeque` is the one algorithm in this workspace
+//! whose single-attempt formulation we derived ourselves (from the
+//! retry-loop original of the paper's ref \[8\]), so it gets the
+//! strongest verification: this transcription is explored
+//! *exhaustively* for small configurations, checking linearizability
+//! against the linear-arena specification, the `LN⁺ DATA* RN⁺`
+//! representation invariant, and the no-effect property of aborts.
+
+use cso_memory::packed::{DequeState, DequeWord};
+
+use crate::machine::{Bot, Step, StepMachine};
+use crate::mem::{Addr, Mem};
+
+/// Memory layout: slots `A[0..=m]` at addresses `0..=m`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DequeLayout {
+    /// The value capacity (arena size is `capacity + 2`).
+    pub capacity: usize,
+}
+
+/// Builds the layout for a deque of the given capacity.
+#[must_use]
+pub fn deque_layout(capacity: usize) -> DequeLayout {
+    assert!(capacity >= 1, "capacity must be positive");
+    DequeLayout { capacity }
+}
+
+impl DequeLayout {
+    /// Highest slot index `m`.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.capacity + 1
+    }
+
+    /// Address of slot `i`.
+    #[must_use]
+    pub fn slot(&self, i: usize) -> Addr {
+        i
+    }
+
+    /// The initial memory, nulls split as in
+    /// `cso_deque::AbortableDeque::new`.
+    #[must_use]
+    pub fn initial_mem(&self) -> Mem {
+        let left_block = 1 + self.capacity.div_ceil(2);
+        let words = (0..=self.m())
+            .map(|i| {
+                let state = if i < left_block {
+                    DequeState::LeftNull
+                } else {
+                    DequeState::RightNull
+                };
+                DequeWord {
+                    state,
+                    seq: 0,
+                    value: 0,
+                }
+                .pack()
+            })
+            .collect();
+        Mem::new(words)
+    }
+}
+
+/// Which end an operation works on (model-side mirror of
+/// `cso_deque::End`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelEnd {
+    /// The `LN` side.
+    Left,
+    /// The `RN` side.
+    Right,
+}
+
+/// A deque response in the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelDequeResp {
+    /// The value landed.
+    Pushed,
+    /// This side's null block is exhausted.
+    Full,
+    /// The value popped.
+    Popped(u32),
+    /// No values stored.
+    Empty,
+}
+
+/// An operation for the deque machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MDequeOp {
+    /// Push a value at an end.
+    Push(ModelEnd, u32),
+    /// Pop from an end.
+    Pop(ModelEnd),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pc {
+    /// Scanning for the boundary; `usize` is the next index to read.
+    Scan(usize),
+    /// Re-read the neighbour slot to validate a Full/Empty answer.
+    ValidateNeighbour,
+    /// Re-read the boundary slot to finish the validation.
+    ValidateBoundary,
+    /// First C&S (the bump).
+    FirstCas,
+    /// Second C&S (the conversion).
+    SecondCas,
+}
+
+/// One attempt of an HLM deque operation, one access per step.
+#[derive(Debug, Clone)]
+pub struct WeakDequeMachine {
+    layout: DequeLayout,
+    op: MDequeOp,
+    pc: Pc,
+    /// The word read at the previous scan index (the neighbour).
+    neighbour: DequeWord,
+    /// The boundary word (`RN` for right ops, `LN` for left ops).
+    boundary: DequeWord,
+    /// Boundary index.
+    k: usize,
+}
+
+impl WeakDequeMachine {
+    /// A machine ready to run `op`.
+    #[must_use]
+    pub fn new(layout: DequeLayout, op: MDequeOp) -> WeakDequeMachine {
+        let start = match Self::end_of(op) {
+            ModelEnd::Right => 0,
+            ModelEnd::Left => layout.m(),
+        };
+        WeakDequeMachine {
+            layout,
+            op,
+            pc: Pc::Scan(start),
+            neighbour: DequeWord {
+                state: DequeState::LeftNull,
+                seq: 0,
+                value: 0,
+            },
+            boundary: DequeWord {
+                state: DequeState::LeftNull,
+                seq: 0,
+                value: 0,
+            },
+            k: 0,
+        }
+    }
+
+    fn end_of(op: MDequeOp) -> ModelEnd {
+        match op {
+            MDequeOp::Push(end, _) | MDequeOp::Pop(end) => end,
+        }
+    }
+
+    /// Index of the neighbour slot for the current boundary.
+    fn neighbour_index(&self) -> usize {
+        match Self::end_of(self.op) {
+            ModelEnd::Right => self.k - 1,
+            ModelEnd::Left => self.k + 1,
+        }
+    }
+
+    /// Is this word the null this end scans for?
+    fn is_my_null(&self, word: DequeWord) -> bool {
+        match Self::end_of(self.op) {
+            ModelEnd::Right => word.state == DequeState::RightNull,
+            ModelEnd::Left => word.state == DequeState::LeftNull,
+        }
+    }
+
+    /// Is the boundary at this end's sentinel (push must answer Full)?
+    fn at_sentinel(&self) -> bool {
+        match Self::end_of(self.op) {
+            ModelEnd::Right => self.k == self.layout.m(),
+            ModelEnd::Left => self.k == 0,
+        }
+    }
+}
+
+impl StepMachine<ModelDequeResp> for WeakDequeMachine {
+    fn step(&mut self, mem: &mut Mem) -> Step<ModelDequeResp> {
+        let end = Self::end_of(self.op);
+        match self.pc {
+            Pc::Scan(i) => {
+                let word = DequeWord::unpack(mem.read(self.layout.slot(i)));
+                let first = match end {
+                    ModelEnd::Right => i == 0,
+                    ModelEnd::Left => i == self.layout.m(),
+                };
+                if first && self.is_my_null(word) {
+                    // The far sentinel looks like our null: torn scan.
+                    return Step::Done(Err(Bot));
+                }
+                if !first && self.is_my_null(word) {
+                    self.k = i;
+                    self.boundary = word;
+                    // Decide the next phase locally.
+                    return match self.op {
+                        MDequeOp::Push(..) if self.at_sentinel() => {
+                            self.pc = Pc::ValidateNeighbour;
+                            Step::Continue
+                        }
+                        MDequeOp::Push(..) => {
+                            self.pc = Pc::FirstCas;
+                            Step::Continue
+                        }
+                        MDequeOp::Pop(_) => {
+                            if self.neighbour.state == DequeState::Data {
+                                self.pc = Pc::FirstCas;
+                            } else {
+                                // Neighbour is the opposite null: Empty.
+                                self.pc = Pc::ValidateNeighbour;
+                            }
+                            Step::Continue
+                        }
+                    };
+                }
+                self.neighbour = word;
+                let next = match end {
+                    ModelEnd::Right => i + 1,
+                    ModelEnd::Left => i.wrapping_sub(1),
+                };
+                if next > self.layout.m() {
+                    // Ran off the arena without finding the null:
+                    // torn scan under concurrency.
+                    return Step::Done(Err(Bot));
+                }
+                self.pc = Pc::Scan(next);
+                Step::Continue
+            }
+            Pc::ValidateNeighbour => {
+                let word = DequeWord::unpack(mem.read(self.layout.slot(self.neighbour_index())));
+                if word == self.neighbour {
+                    self.pc = Pc::ValidateBoundary;
+                    Step::Continue
+                } else {
+                    Step::Done(Err(Bot))
+                }
+            }
+            Pc::ValidateBoundary => {
+                let word = DequeWord::unpack(mem.read(self.layout.slot(self.k)));
+                if word != self.boundary {
+                    return Step::Done(Err(Bot));
+                }
+                Step::Done(Ok(match self.op {
+                    MDequeOp::Push(..) => ModelDequeResp::Full,
+                    MDequeOp::Pop(_) => ModelDequeResp::Empty,
+                }))
+            }
+            Pc::FirstCas => {
+                // Push bumps the neighbour; pop bumps the boundary.
+                let (addr, old) = match self.op {
+                    MDequeOp::Push(..) => (self.neighbour_index(), self.neighbour),
+                    MDequeOp::Pop(_) => (self.k, self.boundary),
+                };
+                if mem.cas(self.layout.slot(addr), old.pack(), old.bumped().pack()) {
+                    self.pc = Pc::SecondCas;
+                    Step::Continue
+                } else {
+                    Step::Done(Err(Bot))
+                }
+            }
+            Pc::SecondCas => match self.op {
+                MDequeOp::Push(_, v) => {
+                    let data = DequeWord {
+                        state: DequeState::Data,
+                        seq: self.boundary.seq.wrapping_add(1),
+                        value: v,
+                    };
+                    if mem.cas(self.layout.slot(self.k), self.boundary.pack(), data.pack()) {
+                        Step::Done(Ok(ModelDequeResp::Pushed))
+                    } else {
+                        Step::Done(Err(Bot))
+                    }
+                }
+                MDequeOp::Pop(end) => {
+                    let hole = DequeWord {
+                        state: match end {
+                            ModelEnd::Right => DequeState::RightNull,
+                            ModelEnd::Left => DequeState::LeftNull,
+                        },
+                        seq: self.neighbour.seq.wrapping_add(1),
+                        value: 0,
+                    };
+                    let addr = self.neighbour_index();
+                    if mem.cas(self.layout.slot(addr), self.neighbour.pack(), hole.pack()) {
+                        Step::Done(Ok(ModelDequeResp::Popped(self.neighbour.value)))
+                    } else {
+                        Step::Done(Err(Bot))
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// The factory the explorer uses to start deque operations.
+#[must_use]
+pub fn weak_deque_factory(layout: DequeLayout) -> impl Fn(usize, &MDequeOp) -> WeakDequeMachine {
+    move |_proc, op| WeakDequeMachine::new(layout, *op)
+}
+
+/// Pre-fills a memory by running solo right-push machines (the
+/// test-setup twin of `AbortableDeque` construction + pushes).
+///
+/// # Panics
+///
+/// Panics if a push reports `Full` or aborts (impossible solo within
+/// capacity).
+pub fn prefill_right(mem: &mut Mem, layout: DequeLayout, values: &[u32]) {
+    for &v in values {
+        let mut machine = WeakDequeMachine::new(layout, MDequeOp::Push(ModelEnd::Right, v));
+        loop {
+            match machine.step(mem) {
+                Step::Continue => {}
+                Step::Done(Ok(ModelDequeResp::Pushed)) => break,
+                other => panic!("prefill push failed: {other:?}"),
+            }
+        }
+    }
+}
+
+/// Reads the arena back out of a terminal memory:
+/// `(left_nulls, values-left-to-right, right_nulls)`; panics if the
+/// `LN⁺ DATA* RN⁺` representation invariant is broken.
+#[must_use]
+pub fn abstract_deque(mem: &Mem, layout: &DequeLayout) -> (usize, Vec<u32>, usize) {
+    let mut left = 0usize;
+    let mut values = Vec::new();
+    let mut right = 0usize;
+    #[derive(PartialEq)]
+    enum Zone {
+        Left,
+        Data,
+        Right,
+    }
+    let mut zone = Zone::Left;
+    for i in 0..=layout.m() {
+        let word = DequeWord::unpack(mem.read(layout.slot(i)));
+        match (word.state, &zone) {
+            (DequeState::LeftNull, Zone::Left) => left += 1,
+            (DequeState::Data, Zone::Left | Zone::Data) => {
+                zone = Zone::Data;
+                values.push(word.value);
+            }
+            (DequeState::RightNull, _) => {
+                zone = Zone::Right;
+                right += 1;
+            }
+            _ => panic!("representation invariant LN+ DATA* RN+ violated at slot {i}"),
+        }
+    }
+    assert!(left >= 1 && right >= 1, "sentinels must survive");
+    (left, values, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_solo(mem: &mut Mem, layout: DequeLayout, op: MDequeOp) -> ModelDequeResp {
+        let mut machine = WeakDequeMachine::new(layout, op);
+        loop {
+            match machine.step(mem) {
+                Step::Continue => {}
+                Step::Done(Ok(resp)) => return resp,
+                Step::Done(Err(_)) => panic!("solo attempts never abort"),
+            }
+        }
+    }
+
+    #[test]
+    fn solo_deque_semantics() {
+        let layout = deque_layout(2);
+        let mut mem = layout.initial_mem();
+        assert_eq!(
+            run_solo(&mut mem, layout, MDequeOp::Push(ModelEnd::Right, 7)),
+            ModelDequeResp::Pushed
+        );
+        assert_eq!(
+            run_solo(&mut mem, layout, MDequeOp::Push(ModelEnd::Right, 8)),
+            ModelDequeResp::Full
+        );
+        assert_eq!(
+            run_solo(&mut mem, layout, MDequeOp::Push(ModelEnd::Left, 6)),
+            ModelDequeResp::Pushed
+        );
+        let (l, values, r) = abstract_deque(&mem, &layout);
+        assert_eq!((l, values.clone(), r), (1, vec![6, 7], 1));
+        assert_eq!(
+            run_solo(&mut mem, layout, MDequeOp::Pop(ModelEnd::Left)),
+            ModelDequeResp::Popped(6)
+        );
+        assert_eq!(
+            run_solo(&mut mem, layout, MDequeOp::Pop(ModelEnd::Left)),
+            ModelDequeResp::Popped(7)
+        );
+        assert_eq!(
+            run_solo(&mut mem, layout, MDequeOp::Pop(ModelEnd::Right)),
+            ModelDequeResp::Empty
+        );
+    }
+
+    /// The machine and the production code agree on a scripted
+    /// sequence (transcription fidelity).
+    #[test]
+    fn machine_matches_production_code() {
+        use cso_deque::{AbortableDeque, End};
+        let layout = deque_layout(3);
+        let mut mem = layout.initial_mem();
+        let production: AbortableDeque<u32> = AbortableDeque::new(3);
+        let script = [
+            MDequeOp::Push(ModelEnd::Left, 1),
+            MDequeOp::Push(ModelEnd::Right, 2),
+            MDequeOp::Pop(ModelEnd::Right),
+            MDequeOp::Push(ModelEnd::Right, 3),
+            MDequeOp::Pop(ModelEnd::Left),
+            MDequeOp::Pop(ModelEnd::Left),
+            MDequeOp::Pop(ModelEnd::Left),
+            MDequeOp::Push(ModelEnd::Left, 4),
+        ];
+        for op in script {
+            let model = run_solo(&mut mem, layout, op);
+            let real = match op {
+                MDequeOp::Push(e, v) => {
+                    let end = if e == ModelEnd::Left {
+                        End::Left
+                    } else {
+                        End::Right
+                    };
+                    match production.try_push(end, v).unwrap() {
+                        cso_deque::DequePushOutcome::Pushed => ModelDequeResp::Pushed,
+                        cso_deque::DequePushOutcome::Full => ModelDequeResp::Full,
+                    }
+                }
+                MDequeOp::Pop(e) => {
+                    let end = if e == ModelEnd::Left {
+                        End::Left
+                    } else {
+                        End::Right
+                    };
+                    match production.try_pop(end).unwrap() {
+                        cso_deque::DequePopOutcome::Popped(v) => ModelDequeResp::Popped(v),
+                        cso_deque::DequePopOutcome::Empty => ModelDequeResp::Empty,
+                    }
+                }
+            };
+            assert_eq!(model, real, "model/production divergence on {op:?}");
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! The elimination exchange-slot protocol as step machines.
+//!
+//! `cso_stack::EliminationStack` uses a custom slot state machine
+//! (`EMPTY → CLAIMED → WAITING → {BUSY → EMPTY, RETRACT → EMPTY}`)
+//! to hand a value from a pusher to a popper without touching the
+//! stack. Its safety argument — the state machine grants exclusive
+//! item-cell access to one thread at a time — is transcribed and
+//! exhaustively checked here: over every schedule, an item is either
+//! exchanged exactly once or retracted intact, never lost or
+//! duplicated.
+
+use crate::machine::{Step, StepMachine};
+use crate::mem::{Addr, Mem};
+
+/// Slot states (low 32 bits; high 32 bits are the tag), mirroring
+/// `cso_stack::elimination`.
+pub const EMPTY: u64 = 0;
+/// A pusher owns the cell and is writing its item.
+pub const CLAIMED: u64 = 1;
+/// An item is parked, available to a popper.
+pub const WAITING: u64 = 2;
+/// A popper owns the cell and is taking the item.
+pub const BUSY: u64 = 3;
+/// The pusher timed out and is reclaiming its item.
+pub const RETRACT: u64 = 4;
+
+fn pack(tag: u64, state: u64) -> u64 {
+    (tag << 32) | state
+}
+
+fn unpack(word: u64) -> (u64, u64) {
+    (word >> 32, word & 0xFFFF_FFFF)
+}
+
+/// Memory layout: the slot's state word and its item cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExchangerLayout {
+    /// The packed (tag, state) word.
+    pub state: Addr,
+    /// The item cell (the model twin of the `UnsafeCell`).
+    pub item: Addr,
+}
+
+impl ExchangerLayout {
+    /// The canonical two-register layout.
+    #[must_use]
+    pub fn new() -> ExchangerLayout {
+        ExchangerLayout { state: 0, item: 1 }
+    }
+
+    /// The initial memory (empty slot, tag 0).
+    #[must_use]
+    pub fn initial_mem(&self) -> Mem {
+        Mem::new(vec![pack(0, EMPTY), 0])
+    }
+}
+
+impl Default for ExchangerLayout {
+    fn default() -> ExchangerLayout {
+        ExchangerLayout::new()
+    }
+}
+
+/// The outcome of one elimination visit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExchangeResult {
+    /// Pusher: the item was taken by a popper.
+    Exchanged,
+    /// Pusher: timed out, item reclaimed (carried value returned).
+    Retracted(u32),
+    /// Either side: the slot was not in a usable state; no effect.
+    NoExchange,
+    /// Popper: took this value.
+    Took(u32),
+    /// Popper: found nothing to take.
+    Nothing,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PusherPc {
+    ReadState,
+    ClaimCas,
+    WriteItem,
+    SetWaiting,
+    Poll(u32),
+    RetractCas,
+    TakeItemBack,
+    SetEmptyAfterRetract,
+}
+
+/// A pusher's single visit to the slot: claim, park the item, poll
+/// `polls` times, then retract.
+#[derive(Debug, Clone)]
+pub struct PusherMachine {
+    layout: ExchangerLayout,
+    value: u32,
+    polls: u32,
+    pc: PusherPc,
+    tag: u64,
+    word: u64,
+}
+
+impl PusherMachine {
+    /// A pusher carrying `value` that waits `polls` polls.
+    #[must_use]
+    pub fn new(layout: ExchangerLayout, value: u32, polls: u32) -> PusherMachine {
+        PusherMachine {
+            layout,
+            value,
+            polls,
+            pc: PusherPc::ReadState,
+            tag: 0,
+            word: 0,
+        }
+    }
+}
+
+impl StepMachine<ExchangeResult> for PusherMachine {
+    fn step(&mut self, mem: &mut Mem) -> Step<ExchangeResult> {
+        match self.pc {
+            PusherPc::ReadState => {
+                self.word = mem.read(self.layout.state);
+                let (tag, state) = unpack(self.word);
+                if state == EMPTY {
+                    self.tag = tag;
+                    self.pc = PusherPc::ClaimCas;
+                    Step::Continue
+                } else {
+                    Step::Done(Ok(ExchangeResult::NoExchange))
+                }
+            }
+            PusherPc::ClaimCas => {
+                if mem.cas(self.layout.state, self.word, pack(self.tag, CLAIMED)) {
+                    self.pc = PusherPc::WriteItem;
+                    Step::Continue
+                } else {
+                    Step::Done(Ok(ExchangeResult::NoExchange))
+                }
+            }
+            PusherPc::WriteItem => {
+                // Exclusive window (CLAIMED): the model checks this by
+                // the absence of racing writes in any schedule.
+                mem.write(self.layout.item, u64::from(self.value));
+                self.pc = PusherPc::SetWaiting;
+                Step::Continue
+            }
+            PusherPc::SetWaiting => {
+                mem.write(self.layout.state, pack(self.tag, WAITING));
+                self.pc = PusherPc::Poll(0);
+                Step::Continue
+            }
+            PusherPc::Poll(i) => {
+                let (tag, state) = unpack(mem.read(self.layout.state));
+                if tag != self.tag || state == BUSY {
+                    return Step::Done(Ok(ExchangeResult::Exchanged));
+                }
+                self.pc = if i + 1 < self.polls {
+                    PusherPc::Poll(i + 1)
+                } else {
+                    PusherPc::RetractCas
+                };
+                Step::Continue
+            }
+            PusherPc::RetractCas => {
+                if mem.cas(
+                    self.layout.state,
+                    pack(self.tag, WAITING),
+                    pack(self.tag, RETRACT),
+                ) {
+                    self.pc = PusherPc::TakeItemBack;
+                    Step::Continue
+                } else {
+                    // The CAS lost: a popper committed first.
+                    Step::Done(Ok(ExchangeResult::Exchanged))
+                }
+            }
+            PusherPc::TakeItemBack => {
+                let got = mem.read(self.layout.item) as u32;
+                assert_eq!(
+                    got, self.value,
+                    "retract must reclaim the parked item intact"
+                );
+                self.pc = PusherPc::SetEmptyAfterRetract;
+                Step::Continue
+            }
+            PusherPc::SetEmptyAfterRetract => {
+                mem.write(self.layout.state, pack(self.tag + 1, EMPTY));
+                Step::Done(Ok(ExchangeResult::Retracted(self.value)))
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PopperPc {
+    ReadState,
+    CasBusy,
+    TakeItem,
+    SetEmpty(u32),
+}
+
+/// A popper's single visit: find a `WAITING` slot, commit, take.
+#[derive(Debug, Clone)]
+pub struct PopperMachine {
+    layout: ExchangerLayout,
+    pc: PopperPc,
+    word: u64,
+    tag: u64,
+}
+
+impl PopperMachine {
+    /// A fresh popper visit.
+    #[must_use]
+    pub fn new(layout: ExchangerLayout) -> PopperMachine {
+        PopperMachine {
+            layout,
+            pc: PopperPc::ReadState,
+            word: 0,
+            tag: 0,
+        }
+    }
+}
+
+impl StepMachine<ExchangeResult> for PopperMachine {
+    fn step(&mut self, mem: &mut Mem) -> Step<ExchangeResult> {
+        match self.pc {
+            PopperPc::ReadState => {
+                self.word = mem.read(self.layout.state);
+                let (tag, state) = unpack(self.word);
+                if state == WAITING {
+                    self.tag = tag;
+                    self.pc = PopperPc::CasBusy;
+                    Step::Continue
+                } else {
+                    Step::Done(Ok(ExchangeResult::Nothing))
+                }
+            }
+            PopperPc::CasBusy => {
+                if mem.cas(self.layout.state, self.word, pack(self.tag, BUSY)) {
+                    self.pc = PopperPc::TakeItem;
+                    Step::Continue
+                } else {
+                    Step::Done(Ok(ExchangeResult::Nothing))
+                }
+            }
+            PopperPc::TakeItem => {
+                let value = mem.read(self.layout.item) as u32;
+                self.pc = PopperPc::SetEmpty(value);
+                Step::Continue
+            }
+            PopperPc::SetEmpty(value) => {
+                mem.write(self.layout.state, pack(self.tag + 1, EMPTY));
+                Step::Done(Ok(ExchangeResult::Took(value)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explorer::{explore_exhaustive, ExploreConfig, Terminal};
+
+    /// The protocol op: a pusher visit (with value) or a popper visit.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    enum Visit {
+        Push(u32),
+        Pop,
+    }
+
+    #[derive(Clone)]
+    enum Machine {
+        Pusher(PusherMachine),
+        Popper(PopperMachine),
+    }
+
+    impl StepMachine<ExchangeResult> for Machine {
+        fn step(&mut self, mem: &mut Mem) -> Step<ExchangeResult> {
+            match self {
+                Machine::Pusher(m) => m.step(mem),
+                Machine::Popper(m) => m.step(mem),
+            }
+        }
+    }
+
+    fn factory(polls: u32) -> impl Fn(usize, &Visit) -> Machine {
+        move |_proc, visit| match visit {
+            Visit::Push(v) => {
+                Machine::Pusher(PusherMachine::new(ExchangerLayout::new(), *v, polls))
+            }
+            Visit::Pop => Machine::Popper(PopperMachine::new(ExchangerLayout::new())),
+        }
+    }
+
+    fn results(t: &Terminal<Visit, ExchangeResult>) -> Vec<ExchangeResult> {
+        t.history
+            .operations()
+            .iter()
+            .map(|op| op.returned.as_ref().expect("complete").0)
+            .collect()
+    }
+
+    /// One pusher, one popper, every schedule: the item is exchanged
+    /// exactly once, retracted intact, or the popper legitimately
+    /// misses — never lost, never duplicated.
+    #[test]
+    fn pusher_popper_exhaustive() {
+        let layout = ExchangerLayout::new();
+        for polls in [1u32, 2, 3] {
+            let scripts = vec![vec![Visit::Push(42)], vec![Visit::Pop]];
+            let stats = explore_exhaustive(
+                &layout.initial_mem(),
+                &scripts,
+                factory(polls),
+                &ExploreConfig::default(),
+                |t| {
+                    let rs = results(t);
+                    let pusher = rs[0];
+                    let popper = rs[1];
+                    match (pusher, popper) {
+                        (ExchangeResult::Exchanged, ExchangeResult::Took(v)) => {
+                            assert_eq!(v, 42, "exchanged value intact");
+                        }
+                        (ExchangeResult::Retracted(v), ExchangeResult::Nothing) => {
+                            assert_eq!(v, 42, "retracted value intact");
+                        }
+                        // The popper may miss while the pusher still
+                        // succeeds later with... no: single visits.
+                        (ExchangeResult::Exchanged, other) => {
+                            panic!("pusher exchanged but popper got {other:?}")
+                        }
+                        (ExchangeResult::Retracted(_), other) => {
+                            panic!("pusher retracted but popper got {other:?}")
+                        }
+                        (ExchangeResult::NoExchange, _) => {
+                            panic!("a solo-slot pusher cannot fail to claim")
+                        }
+                        (p, q) => panic!("unexpected outcome pair {p:?} / {q:?}"),
+                    }
+                    // The slot always ends EMPTY (tag advanced on reuse).
+                    let (_, state) = super::unpack(t.mem.read(layout.state));
+                    assert_eq!(state, EMPTY, "slot must end empty");
+                },
+            );
+            assert!(stats.executions > 10, "polls={polls}");
+        }
+    }
+
+    /// Two pushers: at most one claims; the other reports NoExchange
+    /// without touching the item cell.
+    #[test]
+    fn racing_pushers_never_corrupt_the_cell() {
+        let layout = ExchangerLayout::new();
+        let scripts = vec![vec![Visit::Push(1)], vec![Visit::Push(2)]];
+        explore_exhaustive(
+            &layout.initial_mem(),
+            &scripts,
+            factory(1),
+            &ExploreConfig::default(),
+            |t| {
+                let rs = results(t);
+                let retracted: Vec<u32> = rs
+                    .iter()
+                    .filter_map(|r| match r {
+                        ExchangeResult::Retracted(v) => Some(*v),
+                        _ => None,
+                    })
+                    .collect();
+                let no_exchange = rs
+                    .iter()
+                    .filter(|r| matches!(r, ExchangeResult::NoExchange))
+                    .count();
+                // Exactly one pusher parks (and, with no popper,
+                // retracts its own value); the loser backs off — or
+                // the loser arrives after the winner fully retracted
+                // and claims the recycled slot itself.
+                assert!(retracted.len() + no_exchange == 2 && !retracted.is_empty());
+                for v in retracted {
+                    assert!(v == 1 || v == 2);
+                }
+            },
+        );
+    }
+
+    /// Two poppers racing on one parked item: exactly one takes it.
+    #[test]
+    fn racing_poppers_take_at_most_once() {
+        let layout = ExchangerLayout::new();
+        // Pre-park an item by running a pusher solo up to WAITING.
+        let mut mem = layout.initial_mem();
+        let mut pusher = PusherMachine::new(layout, 7, 1_000);
+        for _ in 0..4 {
+            // ReadState, ClaimCas, WriteItem, SetWaiting.
+            assert!(matches!(pusher.step(&mut mem), Step::Continue));
+        }
+        let scripts = vec![vec![Visit::Pop], vec![Visit::Pop]];
+        explore_exhaustive(&mem, &scripts, factory(1), &ExploreConfig::default(), |t| {
+            let takes = results(t)
+                .iter()
+                .filter(|r| matches!(r, ExchangeResult::Took(7)))
+                .count();
+            assert_eq!(takes, 1, "the parked item is taken exactly once");
+        });
+    }
+}

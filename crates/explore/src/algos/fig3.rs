@@ -1,0 +1,346 @@
+//! The generic Figure 3 step machine.
+//!
+//! Figure 3 is object-agnostic: `weak_push_or_pop(par)` can be *any*
+//! abortable operation (§4 presents the stack; `cso-core` implements
+//! the generic transformation for the production code). This module
+//! is its model-checker twin: [`Fig3Machine`] wraps any weak
+//! [`StepMachine`] with the `CONTENTION` register (lines 01/07/09),
+//! the `FLAG`/`TURN` starvation-freedom booster (lines 04–05/10–11,
+//! §4.4) and a test-and-set lock (lines 06/12).
+//!
+//! The machine contains busy-wait loops, so it is explored with
+//! [`crate::explore_random`] / [`crate::fair`] rather than
+//! exhaustively.
+
+use crate::machine::{Step, StepMachine};
+use crate::mem::{Addr, Mem};
+
+/// Addresses of Figure 3's coordination registers (the wrapped weak
+/// machine carries its own layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fig3Addrs {
+    /// The `CONTENTION` boolean register.
+    pub contention: Addr,
+    /// `FLAG[i]` lives at `flag_base + i`.
+    pub flag_base: Addr,
+    /// Number of processes (`FLAG` length, `TURN` modulus).
+    pub n: usize,
+    /// The `TURN` register.
+    pub turn: Addr,
+    /// The test-and-set lock register.
+    pub lock: Addr,
+}
+
+impl Fig3Addrs {
+    /// Address of `FLAG[i]`.
+    #[must_use]
+    pub fn flag(&self, i: usize) -> Addr {
+        self.flag_base + i
+    }
+
+    /// One past the last register this block occupies.
+    #[must_use]
+    pub fn end(&self) -> Addr {
+        self.lock + 1
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Line 01: read `CONTENTION`.
+    ReadContention,
+    /// Line 02: the lock-free shortcut (one weak operation).
+    FastWeak,
+    /// Line 04: `FLAG[i] ← true`.
+    SetFlag,
+    /// Line 05, first conjunct: read `TURN`.
+    WaitReadTurn,
+    /// Line 05, second conjunct: read `FLAG[TURN]`.
+    WaitReadFlag,
+    /// Line 06: TAS acquire attempt (spins in place).
+    TryLock,
+    /// Line 07: `CONTENTION ← true`.
+    SetContention,
+    /// Line 08: `repeat weak_op until ≠ ⊥`.
+    LoopWeak,
+    /// Line 09: `CONTENTION ← false`.
+    ClearContention,
+    /// Line 10: `FLAG[i] ← false`.
+    ClearFlag,
+    /// Line 11a: read `TURN`.
+    ReadTurnForHandoff,
+    /// Line 11b: read `FLAG[TURN]`.
+    ReadFlagForHandoff,
+    /// Line 11c: `TURN ← (TURN + 1) mod n`.
+    AdvanceTurn,
+    /// Line 12: release the lock, then return (line 13).
+    Unlock,
+}
+
+/// Figure 3's `strong_push_or_pop(par)` over any weak machine `W`.
+///
+/// The weak machine is rebuilt from a pristine template whenever the
+/// algorithm restarts it (line 08's retry loop, or entering the fast
+/// path). Never returns ⊥: every `Done` carries `Ok` (Lemma 1,
+/// structurally).
+#[derive(Debug, Clone)]
+pub struct Fig3Machine<W, R> {
+    addrs: Fig3Addrs,
+    proc: usize,
+    /// Pristine copy of the weak operation, cloned on every (re)start.
+    template: W,
+    phase: Phase,
+    weak: W,
+    turn_seen: usize,
+    result: Option<R>,
+}
+
+impl<W: Clone, R> Fig3Machine<W, R> {
+    /// A machine running the weak operation `weak` on behalf of
+    /// `proc` under the Figure 3 protocol at `addrs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc >= addrs.n`.
+    #[must_use]
+    pub fn new(addrs: Fig3Addrs, proc: usize, weak: W) -> Fig3Machine<W, R> {
+        assert!(proc < addrs.n, "process id out of range");
+        Fig3Machine {
+            addrs,
+            proc,
+            template: weak.clone(),
+            phase: Phase::ReadContention,
+            weak,
+            turn_seen: 0,
+            result: None,
+        }
+    }
+}
+
+impl<W, R> StepMachine<R> for Fig3Machine<W, R>
+where
+    W: StepMachine<R> + Clone,
+    R: Clone,
+{
+    fn step(&mut self, mem: &mut Mem) -> Step<R> {
+        match self.phase {
+            Phase::ReadContention => {
+                if mem.read(self.addrs.contention) == 0 {
+                    self.weak = self.template.clone();
+                    self.phase = Phase::FastWeak;
+                } else {
+                    self.phase = Phase::SetFlag;
+                }
+                Step::Continue
+            }
+            Phase::FastWeak => match self.weak.step(mem) {
+                Step::Continue => Step::Continue,
+                Step::Done(Ok(resp)) => Step::Done(Ok(resp)),
+                Step::Done(Err(_)) => {
+                    self.phase = Phase::SetFlag;
+                    Step::Continue
+                }
+            },
+            Phase::SetFlag => {
+                mem.write(self.addrs.flag(self.proc), 1);
+                self.phase = Phase::WaitReadTurn;
+                Step::Continue
+            }
+            Phase::WaitReadTurn => {
+                self.turn_seen = mem.read(self.addrs.turn) as usize;
+                self.phase = if self.turn_seen == self.proc {
+                    Phase::TryLock
+                } else {
+                    Phase::WaitReadFlag
+                };
+                Step::Continue
+            }
+            Phase::WaitReadFlag => {
+                self.phase = if mem.read(self.addrs.flag(self.turn_seen)) == 0 {
+                    Phase::TryLock
+                } else {
+                    Phase::WaitReadTurn
+                };
+                Step::Continue
+            }
+            Phase::TryLock => {
+                if mem.swap(self.addrs.lock, 1) == 0 {
+                    self.phase = Phase::SetContention;
+                }
+                Step::Continue
+            }
+            Phase::SetContention => {
+                mem.write(self.addrs.contention, 1);
+                self.weak = self.template.clone();
+                self.phase = Phase::LoopWeak;
+                Step::Continue
+            }
+            Phase::LoopWeak => match self.weak.step(mem) {
+                Step::Continue => Step::Continue,
+                Step::Done(Ok(resp)) => {
+                    self.result = Some(resp);
+                    self.phase = Phase::ClearContention;
+                    Step::Continue
+                }
+                Step::Done(Err(_)) => {
+                    self.weak = self.template.clone();
+                    Step::Continue
+                }
+            },
+            Phase::ClearContention => {
+                mem.write(self.addrs.contention, 0);
+                self.phase = Phase::ClearFlag;
+                Step::Continue
+            }
+            Phase::ClearFlag => {
+                mem.write(self.addrs.flag(self.proc), 0);
+                self.phase = Phase::ReadTurnForHandoff;
+                Step::Continue
+            }
+            Phase::ReadTurnForHandoff => {
+                self.turn_seen = mem.read(self.addrs.turn) as usize;
+                self.phase = Phase::ReadFlagForHandoff;
+                Step::Continue
+            }
+            Phase::ReadFlagForHandoff => {
+                self.phase = if mem.read(self.addrs.flag(self.turn_seen)) == 0 {
+                    Phase::AdvanceTurn
+                } else {
+                    Phase::Unlock
+                };
+                Step::Continue
+            }
+            Phase::AdvanceTurn => {
+                mem.write(
+                    self.addrs.turn,
+                    ((self.turn_seen + 1) % self.addrs.n) as u64,
+                );
+                self.phase = Phase::Unlock;
+                Step::Continue
+            }
+            Phase::Unlock => {
+                mem.write(self.addrs.lock, 0);
+                Step::Done(Ok(self.result.take().expect("result recorded in LoopWeak")))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Bot;
+
+    /// A two-step read-CAS increment as the weak operation.
+    #[derive(Debug, Clone)]
+    struct Incr {
+        target: Addr,
+        pc: u8,
+        seen: u64,
+    }
+
+    impl StepMachine<u64> for Incr {
+        fn step(&mut self, mem: &mut Mem) -> Step<u64> {
+            match self.pc {
+                0 => {
+                    self.seen = mem.read(self.target);
+                    self.pc = 1;
+                    Step::Continue
+                }
+                _ => {
+                    if mem.cas(self.target, self.seen, self.seen + 1) {
+                        Step::Done(Ok(self.seen + 1))
+                    } else {
+                        Step::Done(Err(Bot))
+                    }
+                }
+            }
+        }
+    }
+
+    fn addrs() -> Fig3Addrs {
+        // word 0: the counter; 1: CONTENTION; 2..4: FLAG; 4: TURN; 5: LOCK.
+        Fig3Addrs {
+            contention: 1,
+            flag_base: 2,
+            n: 2,
+            turn: 4,
+            lock: 5,
+        }
+    }
+
+    fn initial_mem() -> Mem {
+        Mem::new(vec![0; addrs().end()])
+    }
+
+    #[test]
+    fn solo_fig3_over_counter_is_fast_path() {
+        let mut mem = initial_mem();
+        let mut m = Fig3Machine::new(
+            addrs(),
+            0,
+            Incr {
+                target: 0,
+                pc: 0,
+                seen: 0,
+            },
+        );
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            match m.step(&mut mem) {
+                Step::Continue => {}
+                Step::Done(Ok(v)) => {
+                    assert_eq!(v, 1);
+                    break;
+                }
+                Step::Done(Err(_)) => unreachable!("Fig3 never returns ⊥"),
+            }
+        }
+        // 1 CONTENTION read + 2 weak accesses.
+        assert_eq!(steps, 3);
+        assert_eq!(mem.read(addrs().lock), 0);
+    }
+
+    #[test]
+    fn contended_fig3_goes_through_lock_and_releases() {
+        let mut mem = initial_mem();
+        mem.write(addrs().contention, 1); // force the slow path
+        let mut m = Fig3Machine::new(
+            addrs(),
+            1,
+            Incr {
+                target: 0,
+                pc: 0,
+                seen: 0,
+            },
+        );
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            assert!(steps < 100, "must terminate");
+            if let Step::Done(result) = m.step(&mut mem) {
+                assert_eq!(result, Ok(1));
+                break;
+            }
+        }
+        assert_eq!(mem.read(addrs().lock), 0, "lock released");
+        assert_eq!(mem.read(addrs().flag(1)), 0, "flag lowered");
+        assert_eq!(mem.read(addrs().contention), 0, "contention cleared");
+        assert!(steps > 6, "took the slow path");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_proc() {
+        let _ = Fig3Machine::<Incr, u64>::new(
+            addrs(),
+            2,
+            Incr {
+                target: 0,
+                pc: 0,
+                seen: 0,
+            },
+        );
+    }
+}

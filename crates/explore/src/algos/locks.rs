@@ -1,0 +1,567 @@
+//! Mutual-exclusion algorithms as step machines.
+//!
+//! Each machine performs one full `lock → critical section → unlock`
+//! cycle; the critical section is entered by an atomic swap on an
+//! occupancy register, so a mutual-exclusion violation is *observable
+//! in the execution itself* (the machine returns `false`). The tests
+//! sweep random and fair schedules asserting that no schedule ever
+//! observes a violation — the model-checking complement of the
+//! stress tests in `cso-locks`.
+
+use crate::machine::{Step, StepMachine};
+use crate::mem::{Addr, Mem};
+
+/// The verdict of one lock cycle: `true` iff the critical section was
+/// exclusive (and, for Peterson, the protocol held).
+pub type CycleOk = bool;
+
+// ----------------------------------------------------------------
+// Test-and-set lock.
+// ----------------------------------------------------------------
+
+/// Memory layout of a TAS-lock instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TasLayout {
+    /// The lock register.
+    pub lock: Addr,
+    /// The critical-section occupancy register.
+    pub cs: Addr,
+}
+
+impl TasLayout {
+    /// The canonical layout at the start of memory.
+    #[must_use]
+    pub fn new() -> TasLayout {
+        TasLayout { lock: 0, cs: 1 }
+    }
+
+    /// The initial memory (lock free, section empty).
+    #[must_use]
+    pub fn initial_mem(&self) -> Mem {
+        Mem::new(vec![0; 2])
+    }
+}
+
+impl Default for TasLayout {
+    fn default() -> TasLayout {
+        TasLayout::new()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TasPc {
+    TryLock,
+    EnterCs,
+    ExitCs,
+    Unlock,
+}
+
+/// One `lock(); CS; unlock()` cycle through a TAS lock.
+#[derive(Debug, Clone)]
+pub struct TasCycleMachine {
+    layout: TasLayout,
+    pc: TasPc,
+    exclusive: bool,
+}
+
+impl TasCycleMachine {
+    /// A fresh cycle.
+    #[must_use]
+    pub fn new(layout: TasLayout) -> TasCycleMachine {
+        TasCycleMachine {
+            layout,
+            pc: TasPc::TryLock,
+            exclusive: true,
+        }
+    }
+}
+
+impl StepMachine<CycleOk> for TasCycleMachine {
+    fn step(&mut self, mem: &mut Mem) -> Step<CycleOk> {
+        match self.pc {
+            TasPc::TryLock => {
+                if mem.swap(self.layout.lock, 1) == 0 {
+                    self.pc = TasPc::EnterCs;
+                }
+                Step::Continue
+            }
+            TasPc::EnterCs => {
+                // Exclusive iff nobody is inside.
+                self.exclusive = mem.swap(self.layout.cs, 1) == 0;
+                self.pc = TasPc::ExitCs;
+                Step::Continue
+            }
+            TasPc::ExitCs => {
+                mem.write(self.layout.cs, 0);
+                self.pc = TasPc::Unlock;
+                Step::Continue
+            }
+            TasPc::Unlock => {
+                mem.write(self.layout.lock, 0);
+                Step::Done(Ok(self.exclusive))
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------
+// Peterson's 2-process lock.
+// ----------------------------------------------------------------
+
+/// Memory layout of a Peterson instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PetersonLayout {
+    /// `flag[side]` at `flag_base + side`.
+    pub flag_base: Addr,
+    /// The victim register.
+    pub victim: Addr,
+    /// The critical-section occupancy register.
+    pub cs: Addr,
+}
+
+impl PetersonLayout {
+    /// The canonical layout at the start of memory.
+    #[must_use]
+    pub fn new() -> PetersonLayout {
+        PetersonLayout {
+            flag_base: 0,
+            victim: 2,
+            cs: 3,
+        }
+    }
+
+    /// The initial memory.
+    #[must_use]
+    pub fn initial_mem(&self) -> Mem {
+        Mem::new(vec![0; 4])
+    }
+}
+
+impl Default for PetersonLayout {
+    fn default() -> PetersonLayout {
+        PetersonLayout::new()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PetersonPc {
+    SetFlag,
+    SetVictim,
+    ReadOtherFlag,
+    ReadVictim,
+    EnterCs,
+    ExitCs,
+    Unlock,
+}
+
+/// One Peterson `lock(side); CS; unlock(side)` cycle.
+#[derive(Debug, Clone)]
+pub struct PetersonCycleMachine {
+    layout: PetersonLayout,
+    side: usize,
+    pc: PetersonPc,
+    exclusive: bool,
+}
+
+impl PetersonCycleMachine {
+    /// A fresh cycle for `side` (0 or 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side > 1`.
+    #[must_use]
+    pub fn new(layout: PetersonLayout, side: usize) -> PetersonCycleMachine {
+        assert!(side < 2, "Peterson sides are 0 and 1");
+        PetersonCycleMachine {
+            layout,
+            side,
+            pc: PetersonPc::SetFlag,
+            exclusive: true,
+        }
+    }
+}
+
+impl StepMachine<CycleOk> for PetersonCycleMachine {
+    fn step(&mut self, mem: &mut Mem) -> Step<CycleOk> {
+        match self.pc {
+            PetersonPc::SetFlag => {
+                mem.write(self.layout.flag_base + self.side, 1);
+                self.pc = PetersonPc::SetVictim;
+                Step::Continue
+            }
+            PetersonPc::SetVictim => {
+                mem.write(self.layout.victim, self.side as u64);
+                self.pc = PetersonPc::ReadOtherFlag;
+                Step::Continue
+            }
+            PetersonPc::ReadOtherFlag => {
+                if mem.read(self.layout.flag_base + (1 - self.side)) == 0 {
+                    self.pc = PetersonPc::EnterCs;
+                } else {
+                    self.pc = PetersonPc::ReadVictim;
+                }
+                Step::Continue
+            }
+            PetersonPc::ReadVictim => {
+                if mem.read(self.layout.victim) == self.side as u64 {
+                    // Still the victim: keep waiting.
+                    self.pc = PetersonPc::ReadOtherFlag;
+                } else {
+                    self.pc = PetersonPc::EnterCs;
+                }
+                Step::Continue
+            }
+            PetersonPc::EnterCs => {
+                self.exclusive = mem.swap(self.layout.cs, 1) == 0;
+                self.pc = PetersonPc::ExitCs;
+                Step::Continue
+            }
+            PetersonPc::ExitCs => {
+                mem.write(self.layout.cs, 0);
+                self.pc = PetersonPc::Unlock;
+                Step::Continue
+            }
+            PetersonPc::Unlock => {
+                mem.write(self.layout.flag_base + self.side, 0);
+                Step::Done(Ok(self.exclusive))
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------
+// The §4.4 booster over a TAS lock.
+// ----------------------------------------------------------------
+
+/// Memory layout of a boosted-lock instance: `FLAG[0..n]`, `TURN`,
+/// `LOCK`, `CS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoostedLayout {
+    /// Number of processes.
+    pub n: usize,
+}
+
+impl BoostedLayout {
+    /// Address of `FLAG[i]`.
+    #[must_use]
+    pub fn flag(&self, i: usize) -> Addr {
+        i
+    }
+
+    /// Address of `TURN`.
+    #[must_use]
+    pub fn turn(&self) -> Addr {
+        self.n
+    }
+
+    /// Address of the inner TAS lock.
+    #[must_use]
+    pub fn lock(&self) -> Addr {
+        self.n + 1
+    }
+
+    /// Address of the occupancy register.
+    #[must_use]
+    pub fn cs(&self) -> Addr {
+        self.n + 2
+    }
+
+    /// The initial memory.
+    #[must_use]
+    pub fn initial_mem(&self) -> Mem {
+        Mem::new(vec![0; self.n + 3])
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BoostPc {
+    SetFlag,
+    ReadTurn,
+    ReadFlagOfTurn,
+    TryLock,
+    EnterCs,
+    ExitCs,
+    ClearFlag,
+    HandoffReadTurn,
+    HandoffReadFlag,
+    AdvanceTurn,
+    Unlock,
+}
+
+/// One cycle through the §4.4 starvation-free booster wrapping a TAS
+/// lock (the starred lines of Figure 3, isolated).
+#[derive(Debug, Clone)]
+pub struct BoostedCycleMachine {
+    layout: BoostedLayout,
+    proc: usize,
+    pc: BoostPc,
+    turn_seen: usize,
+    exclusive: bool,
+}
+
+impl BoostedCycleMachine {
+    /// A fresh cycle for process `proc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc >= layout.n`.
+    #[must_use]
+    pub fn new(layout: BoostedLayout, proc: usize) -> BoostedCycleMachine {
+        assert!(proc < layout.n, "process id out of range");
+        BoostedCycleMachine {
+            layout,
+            proc,
+            pc: BoostPc::SetFlag,
+            turn_seen: 0,
+            exclusive: true,
+        }
+    }
+}
+
+impl StepMachine<CycleOk> for BoostedCycleMachine {
+    fn step(&mut self, mem: &mut Mem) -> Step<CycleOk> {
+        match self.pc {
+            // Line 04.
+            BoostPc::SetFlag => {
+                mem.write(self.layout.flag(self.proc), 1);
+                self.pc = BoostPc::ReadTurn;
+                Step::Continue
+            }
+            // Line 05.
+            BoostPc::ReadTurn => {
+                self.turn_seen = mem.read(self.layout.turn()) as usize;
+                self.pc = if self.turn_seen == self.proc {
+                    BoostPc::TryLock
+                } else {
+                    BoostPc::ReadFlagOfTurn
+                };
+                Step::Continue
+            }
+            BoostPc::ReadFlagOfTurn => {
+                self.pc = if mem.read(self.layout.flag(self.turn_seen)) == 0 {
+                    BoostPc::TryLock
+                } else {
+                    BoostPc::ReadTurn
+                };
+                Step::Continue
+            }
+            // Line 06.
+            BoostPc::TryLock => {
+                if mem.swap(self.layout.lock(), 1) == 0 {
+                    self.pc = BoostPc::EnterCs;
+                }
+                Step::Continue
+            }
+            BoostPc::EnterCs => {
+                self.exclusive = mem.swap(self.layout.cs(), 1) == 0;
+                self.pc = BoostPc::ExitCs;
+                Step::Continue
+            }
+            BoostPc::ExitCs => {
+                mem.write(self.layout.cs(), 0);
+                self.pc = BoostPc::ClearFlag;
+                Step::Continue
+            }
+            // Line 10.
+            BoostPc::ClearFlag => {
+                mem.write(self.layout.flag(self.proc), 0);
+                self.pc = BoostPc::HandoffReadTurn;
+                Step::Continue
+            }
+            // Line 11.
+            BoostPc::HandoffReadTurn => {
+                self.turn_seen = mem.read(self.layout.turn()) as usize;
+                self.pc = BoostPc::HandoffReadFlag;
+                Step::Continue
+            }
+            BoostPc::HandoffReadFlag => {
+                self.pc = if mem.read(self.layout.flag(self.turn_seen)) == 0 {
+                    BoostPc::AdvanceTurn
+                } else {
+                    BoostPc::Unlock
+                };
+                Step::Continue
+            }
+            BoostPc::AdvanceTurn => {
+                mem.write(
+                    self.layout.turn(),
+                    ((self.turn_seen + 1) % self.layout.n) as u64,
+                );
+                self.pc = BoostPc::Unlock;
+                Step::Continue
+            }
+            // Line 12.
+            BoostPc::Unlock => {
+                mem.write(self.layout.lock(), 0);
+                Step::Done(Ok(self.exclusive))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explorer::{explore_random, ExploreConfig, Terminal};
+    use crate::fair::run_fair;
+
+    fn assert_all_exclusive(terminal: &Terminal<(), CycleOk>) {
+        for op in terminal.history.operations() {
+            let (ok, _) = op.returned.as_ref().expect("cycles complete");
+            assert!(*ok, "mutual exclusion violated in a schedule");
+        }
+    }
+
+    #[test]
+    fn tas_mutual_exclusion_over_random_schedules() {
+        let layout = TasLayout::new();
+        let scripts = vec![vec![(), ()], vec![(), ()], vec![()]];
+        let config = ExploreConfig {
+            max_steps_per_op: 5_000,
+            max_executions: usize::MAX,
+        };
+        let stats = explore_random(
+            &layout.initial_mem(),
+            &scripts,
+            |_p, _op: &()| TasCycleMachine::new(layout),
+            &config,
+            1_500,
+            1,
+            assert_all_exclusive,
+        );
+        assert_eq!(stats.executions, 1_500);
+    }
+
+    #[test]
+    fn peterson_mutual_exclusion_over_random_schedules() {
+        let layout = PetersonLayout::new();
+        let scripts = vec![vec![(), (), ()], vec![(), (), ()]];
+        let config = ExploreConfig {
+            max_steps_per_op: 5_000,
+            max_executions: usize::MAX,
+        };
+        let stats = explore_random(
+            &layout.initial_mem(),
+            &scripts,
+            |side, _op: &()| PetersonCycleMachine::new(layout, side),
+            &config,
+            2_000,
+            2,
+            assert_all_exclusive,
+        );
+        assert_eq!(stats.executions, 2_000);
+    }
+
+    /// A deliberately broken "lock" (no lock at all) must be caught by
+    /// the same harness — the violation detector is not vacuous.
+    #[test]
+    fn the_violation_detector_detects() {
+        #[derive(Clone)]
+        struct NoLock {
+            pc: u8,
+            exclusive: bool,
+        }
+        impl StepMachine<CycleOk> for NoLock {
+            fn step(&mut self, mem: &mut Mem) -> Step<CycleOk> {
+                match self.pc {
+                    0 => {
+                        self.exclusive = mem.swap(0, 1) == 0;
+                        self.pc = 1;
+                        Step::Continue
+                    }
+                    _ => {
+                        mem.write(0, 0);
+                        Step::Done(Ok(self.exclusive))
+                    }
+                }
+            }
+        }
+        let scripts = vec![vec![()], vec![()]];
+        let mut violations = 0;
+        explore_random(
+            &Mem::new(vec![0]),
+            &scripts,
+            |_p, _op: &()| NoLock {
+                pc: 0,
+                exclusive: true,
+            },
+            &ExploreConfig::default(),
+            500,
+            3,
+            |t: &Terminal<(), CycleOk>| {
+                for op in t.history.operations() {
+                    if !op.returned.as_ref().unwrap().0 {
+                        violations += 1;
+                    }
+                }
+            },
+        );
+        assert!(violations > 0, "an unprotected section must show overlap");
+    }
+
+    #[test]
+    fn boosted_lock_mutual_exclusion_over_random_schedules() {
+        for n in [2, 3] {
+            let layout = BoostedLayout { n };
+            let scripts: Vec<Vec<()>> = (0..n).map(|_| vec![(), ()]).collect();
+            let config = ExploreConfig {
+                max_steps_per_op: 5_000,
+                max_executions: usize::MAX,
+            };
+            let stats = explore_random(
+                &layout.initial_mem(),
+                &scripts,
+                |proc, _op: &()| BoostedCycleMachine::new(layout, proc),
+                &config,
+                1_000,
+                4,
+                assert_all_exclusive,
+            );
+            assert_eq!(stats.executions, 1_000, "n={n}");
+        }
+    }
+
+    /// Lemma 3, bounded form: under fair scheduling every boosted-lock
+    /// cycle completes within a modest step bound, for every process.
+    #[test]
+    fn boosted_lock_is_fair_under_fair_scheduling() {
+        for n in [2, 3, 4] {
+            let layout = BoostedLayout { n };
+            let scripts: Vec<Vec<()>> = (0..n).map(|_| vec![(), (), ()]).collect();
+            let report = run_fair::<_, _, CycleOk>(
+                &layout.initial_mem(),
+                &scripts,
+                |proc, _op: &()| BoostedCycleMachine::new(layout, proc),
+                2_000,
+            );
+            let terminal = report.terminal.expect("no cycle may starve under fairness");
+            assert_all_exclusive(&terminal);
+            assert!(
+                report.max_op_steps <= 300,
+                "n={n}: a cycle needed {} steps",
+                report.max_op_steps
+            );
+        }
+    }
+
+    #[test]
+    fn solo_cycles_complete_quickly() {
+        let layout = BoostedLayout { n: 4 };
+        let mut mem = layout.initial_mem();
+        let mut machine = BoostedCycleMachine::new(layout, 2);
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            if let Step::Done(result) = machine.step(&mut mem) {
+                assert_eq!(result, Ok(true));
+                break;
+            }
+        }
+        // flag, turn, flag[turn], lock, cs×2, flag, turn, flag[turn],
+        // advance, unlock — 11 accesses solo.
+        assert_eq!(steps, 11);
+        assert_eq!(mem.read(layout.lock()), 0);
+        // TURN was 0 and idle, so the handoff advances it to 1.
+        assert_eq!(mem.read(layout.turn()), 1);
+    }
+}

@@ -1,0 +1,364 @@
+//! The abortable bounded queue as step machines.
+
+use cso_lincheck::specs::queue::{SpecQueueOp, SpecQueueResp};
+use cso_memory::packed::{HeadWord, SlotWord, TailWord};
+
+use crate::machine::{Bot, Step, StepMachine};
+use crate::mem::{Addr, Mem};
+
+const BOTTOM: u32 = 0;
+
+/// Memory layout of one abortable queue instance: `HEAD` at 0, `TAIL`
+/// at 1, ring slot `x` at `2 + x`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueLayout {
+    /// The capacity (a power of two).
+    pub capacity: usize,
+}
+
+/// Builds the layout for a queue of the given capacity.
+#[must_use]
+pub fn queue_layout(capacity: usize) -> QueueLayout {
+    assert!(
+        capacity.is_power_of_two() && capacity <= 1 << 15,
+        "capacity must be a power of two ≤ 2^15"
+    );
+    QueueLayout { capacity }
+}
+
+impl QueueLayout {
+    /// Address of `HEAD`.
+    #[must_use]
+    pub fn head(&self) -> Addr {
+        0
+    }
+
+    /// Address of `TAIL`.
+    #[must_use]
+    pub fn tail(&self) -> Addr {
+        1
+    }
+
+    /// Address of the ring slot of element number `element`.
+    #[must_use]
+    pub fn slot_of(&self, element: u16) -> Addr {
+        2 + (usize::from(element) & (self.capacity - 1))
+    }
+
+    /// The initial memory of an empty queue.
+    #[must_use]
+    pub fn initial_mem(&self) -> Mem {
+        self.initial_mem_with(&[])
+    }
+
+    /// The memory of a quiescent queue already holding `values`
+    /// (front first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more values than capacity are supplied.
+    #[must_use]
+    pub fn initial_mem_with(&self, values: &[u32]) -> Mem {
+        assert!(
+            values.len() <= self.capacity,
+            "more initial values than capacity"
+        );
+        let mut words = vec![0u64; 2 + self.capacity];
+        for x in 0..self.capacity {
+            let seq = if x == 0 && values.is_empty() {
+                u16::MAX
+            } else {
+                0
+            };
+            words[2 + x] = SlotWord { value: BOTTOM, seq }.pack();
+        }
+        for (i, &v) in values.iter().enumerate() {
+            let element = (i + 1) as u16;
+            words[self.slot_of(element)] = SlotWord { value: v, seq: 1 }.pack();
+        }
+        words[self.head()] = HeadWord { count: 0 }.pack();
+        let tail = if values.is_empty() {
+            TailWord {
+                count: 0,
+                seq: 0,
+                value: BOTTOM,
+            }
+        } else {
+            TailWord {
+                count: values.len() as u16,
+                seq: 1,
+                value: values[values.len() - 1],
+            }
+        };
+        words[self.tail()] = tail.pack();
+        Mem::new(words)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pc {
+    // Enqueue path.
+    EnqReadTail,
+    EnqHelpRead,
+    EnqHelpCas,
+    EnqReadHead,
+    EnqRevalidateTail,
+    EnqReadNextSlot,
+    EnqCasTail,
+    // Dequeue path.
+    DeqReadHead,
+    DeqReadTail,
+    DeqHelpRead,
+    DeqHelpCas,
+    DeqRevalidateHead,
+    DeqReadSlot,
+    DeqCasHead,
+}
+
+/// The abortable queue's `weak_enqueue(v)` / `weak_dequeue()` as a
+/// six-access machine (see `cso_queue::AbortableQueue` for the
+/// production twin and the invariant argument).
+#[derive(Debug, Clone)]
+pub struct WeakQueueMachine {
+    layout: QueueLayout,
+    op: SpecQueueOp,
+    pc: Pc,
+    head: HeadWord,
+    tail: TailWord,
+    slot_value: u32,
+    new_tail: TailWord,
+    deq_value: u32,
+}
+
+impl WeakQueueMachine {
+    /// A machine ready to run `op` against a queue with `layout`.
+    #[must_use]
+    pub fn new(layout: QueueLayout, op: SpecQueueOp) -> WeakQueueMachine {
+        let pc = match op {
+            SpecQueueOp::Enqueue(_) => Pc::EnqReadTail,
+            SpecQueueOp::Dequeue => Pc::DeqReadHead,
+        };
+        WeakQueueMachine {
+            layout,
+            op,
+            pc,
+            head: HeadWord::default(),
+            tail: TailWord::default(),
+            slot_value: 0,
+            new_tail: TailWord::default(),
+            deq_value: 0,
+        }
+    }
+
+    fn help_old_new(&self) -> (u64, u64) {
+        let old = SlotWord {
+            value: self.slot_value,
+            seq: self.tail.seq.wrapping_sub(1),
+        };
+        let new = SlotWord {
+            value: self.tail.value,
+            seq: self.tail.seq,
+        };
+        (old.pack(), new.pack())
+    }
+}
+
+impl StepMachine<SpecQueueResp> for WeakQueueMachine {
+    fn step(&mut self, mem: &mut Mem) -> Step<SpecQueueResp> {
+        match self.pc {
+            // ----- enqueue -----
+            Pc::EnqReadTail => {
+                self.tail = TailWord::unpack(mem.read(self.layout.tail()));
+                self.pc = Pc::EnqHelpRead;
+                Step::Continue
+            }
+            Pc::EnqHelpRead => {
+                self.slot_value =
+                    SlotWord::unpack(mem.read(self.layout.slot_of(self.tail.count))).value;
+                self.pc = Pc::EnqHelpCas;
+                Step::Continue
+            }
+            Pc::EnqHelpCas => {
+                let (old, new) = self.help_old_new();
+                mem.cas(self.layout.slot_of(self.tail.count), old, new);
+                self.pc = Pc::EnqReadHead;
+                Step::Continue
+            }
+            Pc::EnqReadHead => {
+                self.head = HeadWord::unpack(mem.read(self.layout.head()));
+                if usize::from(self.tail.count.wrapping_sub(self.head.count))
+                    == self.layout.capacity
+                {
+                    self.pc = Pc::EnqRevalidateTail;
+                } else {
+                    self.pc = Pc::EnqReadNextSlot;
+                }
+                Step::Continue
+            }
+            Pc::EnqRevalidateTail => {
+                let revalidated = TailWord::unpack(mem.read(self.layout.tail()));
+                if revalidated == self.tail {
+                    Step::Done(Ok(SpecQueueResp::Full))
+                } else {
+                    Step::Done(Err(Bot))
+                }
+            }
+            Pc::EnqReadNextSlot => {
+                let SpecQueueOp::Enqueue(v) = self.op else {
+                    unreachable!("enqueue path")
+                };
+                let element = self.tail.count.wrapping_add(1);
+                let next = SlotWord::unpack(mem.read(self.layout.slot_of(element)));
+                self.new_tail = TailWord {
+                    count: element,
+                    value: v,
+                    seq: next.seq.wrapping_add(1),
+                };
+                self.pc = Pc::EnqCasTail;
+                Step::Continue
+            }
+            Pc::EnqCasTail => {
+                if mem.cas(self.layout.tail(), self.tail.pack(), self.new_tail.pack()) {
+                    Step::Done(Ok(SpecQueueResp::Enqueued))
+                } else {
+                    Step::Done(Err(Bot))
+                }
+            }
+            // ----- dequeue -----
+            Pc::DeqReadHead => {
+                self.head = HeadWord::unpack(mem.read(self.layout.head()));
+                self.pc = Pc::DeqReadTail;
+                Step::Continue
+            }
+            Pc::DeqReadTail => {
+                self.tail = TailWord::unpack(mem.read(self.layout.tail()));
+                self.pc = Pc::DeqHelpRead;
+                Step::Continue
+            }
+            Pc::DeqHelpRead => {
+                self.slot_value =
+                    SlotWord::unpack(mem.read(self.layout.slot_of(self.tail.count))).value;
+                self.pc = Pc::DeqHelpCas;
+                Step::Continue
+            }
+            Pc::DeqHelpCas => {
+                let (old, new) = self.help_old_new();
+                mem.cas(self.layout.slot_of(self.tail.count), old, new);
+                if self.head.count == self.tail.count {
+                    self.pc = Pc::DeqRevalidateHead;
+                } else {
+                    self.pc = Pc::DeqReadSlot;
+                }
+                Step::Continue
+            }
+            Pc::DeqRevalidateHead => {
+                let revalidated = HeadWord::unpack(mem.read(self.layout.head()));
+                if revalidated == self.head {
+                    Step::Done(Ok(SpecQueueResp::Empty))
+                } else {
+                    Step::Done(Err(Bot))
+                }
+            }
+            Pc::DeqReadSlot => {
+                let element = self.head.count.wrapping_add(1);
+                self.deq_value = SlotWord::unpack(mem.read(self.layout.slot_of(element))).value;
+                self.pc = Pc::DeqCasHead;
+                Step::Continue
+            }
+            Pc::DeqCasHead => {
+                let new_head = HeadWord {
+                    count: self.head.count.wrapping_add(1),
+                };
+                if mem.cas(self.layout.head(), self.head.pack(), new_head.pack()) {
+                    Step::Done(Ok(SpecQueueResp::Dequeued(self.deq_value)))
+                } else {
+                    Step::Done(Err(Bot))
+                }
+            }
+        }
+    }
+}
+
+/// The factory the explorer uses to start queue operations.
+#[must_use]
+pub fn weak_queue_factory(layout: QueueLayout) -> impl Fn(usize, &SpecQueueOp) -> WeakQueueMachine {
+    move |_proc, op| WeakQueueMachine::new(layout, *op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_solo(mem: &mut Mem, layout: QueueLayout, op: SpecQueueOp) -> (SpecQueueResp, usize) {
+        let mut machine = WeakQueueMachine::new(layout, op);
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            match machine.step(mem) {
+                Step::Continue => {}
+                Step::Done(Ok(resp)) => return (resp, steps),
+                Step::Done(Err(_)) => panic!("solo operations never abort"),
+            }
+        }
+    }
+
+    #[test]
+    fn solo_fifo_six_steps() {
+        let layout = queue_layout(4);
+        let mut mem = layout.initial_mem();
+        let (resp, steps) = run_solo(&mut mem, layout, SpecQueueOp::Enqueue(7));
+        assert_eq!((resp, steps), (SpecQueueResp::Enqueued, 6));
+        let (resp, _) = run_solo(&mut mem, layout, SpecQueueOp::Enqueue(9));
+        assert_eq!(resp, SpecQueueResp::Enqueued);
+        let (resp, steps) = run_solo(&mut mem, layout, SpecQueueOp::Dequeue);
+        assert_eq!((resp, steps), (SpecQueueResp::Dequeued(7), 6));
+        let (resp, _) = run_solo(&mut mem, layout, SpecQueueOp::Dequeue);
+        assert_eq!(resp, SpecQueueResp::Dequeued(9));
+        let (resp, steps) = run_solo(&mut mem, layout, SpecQueueOp::Dequeue);
+        assert_eq!((resp, steps), (SpecQueueResp::Empty, 5));
+    }
+
+    #[test]
+    fn full_detected_with_revalidation() {
+        let layout = queue_layout(2);
+        let mut mem = layout.initial_mem();
+        run_solo(&mut mem, layout, SpecQueueOp::Enqueue(1));
+        run_solo(&mut mem, layout, SpecQueueOp::Enqueue(2));
+        let (resp, steps) = run_solo(&mut mem, layout, SpecQueueOp::Enqueue(3));
+        assert_eq!((resp, steps), (SpecQueueResp::Full, 5));
+    }
+
+    #[test]
+    fn ring_wraps_in_the_model_too() {
+        let layout = queue_layout(2);
+        let mut mem = layout.initial_mem();
+        for round in 0..50 {
+            let (resp, _) = run_solo(&mut mem, layout, SpecQueueOp::Enqueue(round));
+            assert_eq!(resp, SpecQueueResp::Enqueued);
+            let (resp, _) = run_solo(&mut mem, layout, SpecQueueOp::Dequeue);
+            assert_eq!(resp, SpecQueueResp::Dequeued(round));
+        }
+    }
+
+    #[test]
+    fn prefilled_memory_dequeues_front_first() {
+        let layout = queue_layout(4);
+        let mut mem = layout.initial_mem_with(&[5, 6, 7]);
+        assert_eq!(
+            run_solo(&mut mem, layout, SpecQueueOp::Dequeue).0,
+            SpecQueueResp::Dequeued(5)
+        );
+        assert_eq!(
+            run_solo(&mut mem, layout, SpecQueueOp::Dequeue).0,
+            SpecQueueResp::Dequeued(6)
+        );
+        assert_eq!(
+            run_solo(&mut mem, layout, SpecQueueOp::Dequeue).0,
+            SpecQueueResp::Dequeued(7)
+        );
+        assert_eq!(
+            run_solo(&mut mem, layout, SpecQueueOp::Dequeue).0,
+            SpecQueueResp::Empty
+        );
+    }
+}

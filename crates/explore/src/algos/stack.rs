@@ -1,0 +1,269 @@
+//! Figure 1 as step machines.
+
+use cso_lincheck::specs::stack::{SpecStackOp, SpecStackResp};
+use cso_memory::packed::{SlotWord, TopWord};
+
+use crate::machine::{Bot, Step, StepMachine};
+use crate::mem::{Addr, Mem};
+
+const BOTTOM: u32 = 0;
+
+/// Memory layout of one abortable stack instance: `TOP` at address 0,
+/// `STACK[x]` at address `1 + x` for `x ∈ 0..=capacity`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StackLayout {
+    /// The stack capacity `k`.
+    pub capacity: usize,
+}
+
+/// Builds the layout for a stack of the given capacity.
+#[must_use]
+pub fn stack_layout(capacity: usize) -> StackLayout {
+    assert!(
+        capacity >= 1 && capacity < usize::from(u16::MAX),
+        "capacity must fit u16"
+    );
+    StackLayout { capacity }
+}
+
+impl StackLayout {
+    /// Address of the `TOP` register.
+    #[must_use]
+    pub fn top(&self) -> Addr {
+        0
+    }
+
+    /// Address of `STACK[x]`.
+    #[must_use]
+    pub fn slot(&self, x: u16) -> Addr {
+        1 + usize::from(x)
+    }
+
+    /// The initial memory of an empty stack: `TOP = ⟨0, ⊥, 0⟩`,
+    /// `STACK\[0\] = ⟨⊥, −1⟩`, `STACK[x] = ⟨⊥, 0⟩`.
+    #[must_use]
+    pub fn initial_mem(&self) -> Mem {
+        self.initial_mem_with(&[])
+    }
+
+    /// The memory of a quiescent stack already holding `values`
+    /// (bottom first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more values than capacity are supplied.
+    #[must_use]
+    pub fn initial_mem_with(&self, values: &[u32]) -> Mem {
+        assert!(
+            values.len() <= self.capacity,
+            "more initial values than capacity"
+        );
+        let mut words = vec![0u64; self.capacity + 2];
+        for x in 0..=self.capacity {
+            let (value, seq) = if x == 0 {
+                (BOTTOM, if values.is_empty() { u16::MAX } else { 0 })
+            } else if x <= values.len() {
+                (values[x - 1], 1)
+            } else {
+                (BOTTOM, 0)
+            };
+            words[self.slot(x as u16)] = SlotWord { value, seq }.pack();
+        }
+        let top = if values.is_empty() {
+            TopWord {
+                index: 0,
+                seq: 0,
+                value: BOTTOM,
+            }
+        } else {
+            TopWord {
+                index: values.len() as u16,
+                seq: 1,
+                value: values[values.len() - 1],
+            }
+        };
+        words[self.top()] = top.pack();
+        Mem::new(words)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pc {
+    ReadTop,
+    HelpRead,
+    HelpCas,
+    ReadNeighbour,
+    CasTop,
+}
+
+/// Figure 1's `weak_push(v)` / `weak_pop()` as a five-access machine.
+#[derive(Debug, Clone)]
+pub struct WeakStackMachine {
+    layout: StackLayout,
+    op: SpecStackOp,
+    pc: Pc,
+    top: TopWord,
+    slot_value: u32,
+    new_top: TopWord,
+}
+
+impl WeakStackMachine {
+    /// A machine ready to run `op` against a stack with `layout`.
+    #[must_use]
+    pub fn new(layout: StackLayout, op: SpecStackOp) -> WeakStackMachine {
+        WeakStackMachine {
+            layout,
+            op,
+            pc: Pc::ReadTop,
+            top: TopWord::default(),
+            slot_value: 0,
+            new_top: TopWord::default(),
+        }
+    }
+}
+
+impl StepMachine<SpecStackResp> for WeakStackMachine {
+    fn step(&mut self, mem: &mut Mem) -> Step<SpecStackResp> {
+        match self.pc {
+            // Line 01/08: (index, value, seqnb) ← TOP.
+            Pc::ReadTop => {
+                self.top = TopWord::unpack(mem.read(self.layout.top()));
+                self.pc = Pc::HelpRead;
+                Step::Continue
+            }
+            // Line 15: stacktop ← STACK[index].val.
+            Pc::HelpRead => {
+                self.slot_value =
+                    SlotWord::unpack(mem.read(self.layout.slot(self.top.index))).value;
+                self.pc = Pc::HelpCas;
+                Step::Continue
+            }
+            // Line 16: STACK[index].C&S(⟨stacktop, sn−1⟩, ⟨value, sn⟩);
+            // then the local full/empty tests (lines 03/10).
+            Pc::HelpCas => {
+                let old = SlotWord {
+                    value: self.slot_value,
+                    seq: self.top.seq.wrapping_sub(1),
+                };
+                let new = SlotWord {
+                    value: self.top.value,
+                    seq: self.top.seq,
+                };
+                mem.cas(self.layout.slot(self.top.index), old.pack(), new.pack());
+                match self.op {
+                    SpecStackOp::Push(_) if usize::from(self.top.index) == self.layout.capacity => {
+                        Step::Done(Ok(SpecStackResp::Full))
+                    }
+                    SpecStackOp::Pop if self.top.index == 0 => Step::Done(Ok(SpecStackResp::Empty)),
+                    _ => {
+                        self.pc = Pc::ReadNeighbour;
+                        Step::Continue
+                    }
+                }
+            }
+            // Line 04: sn_of_next ← STACK[index+1].sn  (push), or
+            // line 11: belowtop ← STACK[index−1]        (pop).
+            Pc::ReadNeighbour => {
+                self.new_top = match self.op {
+                    SpecStackOp::Push(v) => {
+                        let next = SlotWord::unpack(mem.read(self.layout.slot(self.top.index + 1)));
+                        TopWord {
+                            index: self.top.index + 1,
+                            value: v,
+                            seq: next.seq.wrapping_add(1),
+                        }
+                    }
+                    SpecStackOp::Pop => {
+                        let below =
+                            SlotWord::unpack(mem.read(self.layout.slot(self.top.index - 1)));
+                        TopWord {
+                            index: self.top.index - 1,
+                            value: below.value,
+                            seq: below.seq.wrapping_add(1),
+                        }
+                    }
+                };
+                self.pc = Pc::CasTop;
+                Step::Continue
+            }
+            // Line 06/13: TOP.C&S(old, newtop).
+            Pc::CasTop => {
+                if mem.cas(self.layout.top(), self.top.pack(), self.new_top.pack()) {
+                    Step::Done(Ok(match self.op {
+                        SpecStackOp::Push(_) => SpecStackResp::Pushed,
+                        SpecStackOp::Pop => SpecStackResp::Popped(self.top.value),
+                    }))
+                } else {
+                    Step::Done(Err(Bot))
+                }
+            }
+        }
+    }
+}
+
+/// The factory the explorer uses to start Figure 1 operations.
+#[must_use]
+pub fn weak_stack_factory(layout: StackLayout) -> impl Fn(usize, &SpecStackOp) -> WeakStackMachine {
+    move |_proc, op| WeakStackMachine::new(layout, *op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Step;
+
+    fn run_solo(mem: &mut Mem, layout: StackLayout, op: SpecStackOp) -> (SpecStackResp, usize) {
+        let mut machine = WeakStackMachine::new(layout, op);
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            match machine.step(mem) {
+                Step::Continue => {}
+                Step::Done(Ok(resp)) => return (resp, steps),
+                Step::Done(Err(_)) => panic!("solo operations never abort"),
+            }
+        }
+    }
+
+    #[test]
+    fn solo_push_pop_five_steps_and_lifo() {
+        let layout = stack_layout(4);
+        let mut mem = layout.initial_mem();
+        let (resp, steps) = run_solo(&mut mem, layout, SpecStackOp::Push(7));
+        assert_eq!((resp, steps), (SpecStackResp::Pushed, 5));
+        let (resp, steps) = run_solo(&mut mem, layout, SpecStackOp::Push(9));
+        assert_eq!((resp, steps), (SpecStackResp::Pushed, 5));
+        let (resp, steps) = run_solo(&mut mem, layout, SpecStackOp::Pop);
+        assert_eq!((resp, steps), (SpecStackResp::Popped(9), 5));
+        let (resp, _) = run_solo(&mut mem, layout, SpecStackOp::Pop);
+        assert_eq!(resp, SpecStackResp::Popped(7));
+        let (resp, steps) = run_solo(&mut mem, layout, SpecStackOp::Pop);
+        assert_eq!((resp, steps), (SpecStackResp::Empty, 3));
+    }
+
+    #[test]
+    fn full_detected_in_three_steps() {
+        let layout = stack_layout(1);
+        let mut mem = layout.initial_mem();
+        run_solo(&mut mem, layout, SpecStackOp::Push(1));
+        let (resp, steps) = run_solo(&mut mem, layout, SpecStackOp::Push(2));
+        assert_eq!((resp, steps), (SpecStackResp::Full, 3));
+    }
+
+    #[test]
+    fn prefilled_memory_matches_push_built_memory() {
+        let layout = stack_layout(4);
+        let mut built = layout.initial_mem();
+        run_solo(&mut built, layout, SpecStackOp::Push(5));
+        run_solo(&mut built, layout, SpecStackOp::Push(6));
+        // The prefilled memory is a *quiescent-equivalent* state: the
+        // observable behaviour from both must agree.
+        let mut pre = layout.initial_mem_with(&[5, 6]);
+        let (a, _) = run_solo(&mut built, layout, SpecStackOp::Pop);
+        let (b, _) = run_solo(&mut pre, layout, SpecStackOp::Pop);
+        assert_eq!(a, b);
+        let (a, _) = run_solo(&mut built, layout, SpecStackOp::Pop);
+        let (b, _) = run_solo(&mut pre, layout, SpecStackOp::Pop);
+        assert_eq!(a, b);
+    }
+}

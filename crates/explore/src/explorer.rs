@@ -1,0 +1,547 @@
+//! Schedule exploration: exhaustive DFS and random sampling.
+
+use cso_lincheck::history::{Event, History};
+use cso_memory::backoff::XorShift64;
+
+use crate::machine::{Bot, Step, StepMachine};
+use crate::mem::Mem;
+
+/// Exploration limits.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreConfig {
+    /// A single operation taking more steps than this prunes the
+    /// schedule (guards the busy-wait loops of the Figure 3 machines;
+    /// the loop-free weak operations never come close).
+    pub max_steps_per_op: usize,
+    /// Stop after visiting this many terminal executions.
+    pub max_executions: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> ExploreConfig {
+        ExploreConfig {
+            max_steps_per_op: 10_000,
+            max_executions: 5_000_000,
+        }
+    }
+}
+
+/// Counters reported by an exploration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Terminal executions visited.
+    pub executions: usize,
+    /// Schedules abandoned because an operation exceeded the step
+    /// budget.
+    pub pruned: usize,
+}
+
+/// Step count and outcome of one operation within an execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpSteps {
+    /// The process that ran the operation.
+    pub proc: usize,
+    /// The operation's index within the process's script.
+    pub op_index: usize,
+    /// Shared-memory accesses the operation performed.
+    pub steps: usize,
+    /// Whether the operation returned ⊥.
+    pub aborted: bool,
+}
+
+/// One complete execution, as handed to the visitor.
+#[derive(Debug, Clone)]
+pub struct Terminal<Op, Resp> {
+    /// The execution's history with aborted (⊥, no-effect) operations
+    /// removed — exactly the history linearizability is judged on.
+    pub history: History<Op, Resp>,
+    /// How many operations aborted.
+    pub aborted: usize,
+    /// The final memory.
+    pub mem: Mem,
+    /// Per-operation step counts, in completion order.
+    pub op_steps: Vec<OpSteps>,
+}
+
+struct OpRec<Op, Resp> {
+    proc: usize,
+    op_index: usize,
+    op: Op,
+    invoke_seq: u64,
+    result: Option<(Result<Resp, Bot>, u64)>,
+    steps: usize,
+}
+
+impl<Op: Clone, Resp: Clone> Clone for OpRec<Op, Resp> {
+    fn clone(&self) -> Self {
+        OpRec {
+            proc: self.proc,
+            op_index: self.op_index,
+            op: self.op.clone(),
+            invoke_seq: self.invoke_seq,
+            result: self.result.clone(),
+            steps: self.steps,
+        }
+    }
+}
+
+struct Config<'s, Op, Resp> {
+    mem: Mem,
+    /// Per-process: index of the next script op to start, and the
+    /// index into `records` of the active operation (if any).
+    procs: Vec<(usize, Option<usize>)>,
+    records: Vec<OpRec<Op, Resp>>,
+    seq: u64,
+    scripts: &'s [Vec<Op>],
+}
+
+impl<Op: Clone, Resp: Clone> Clone for Config<'_, Op, Resp> {
+    fn clone(&self) -> Self {
+        Config {
+            mem: self.mem.clone(),
+            procs: self.procs.clone(),
+            records: self.records.clone(),
+            seq: self.seq,
+            scripts: self.scripts,
+        }
+    }
+}
+
+enum StepOutcome {
+    Progress,
+    Pruned,
+}
+
+impl<'s, Op, Resp> Config<'s, Op, Resp>
+where
+    Op: Clone,
+    Resp: Clone,
+{
+    fn new<M: StepMachine<Resp> + Clone>(
+        mem: Mem,
+        scripts: &'s [Vec<Op>],
+        factory: &impl Fn(usize, &Op) -> M,
+    ) -> (Self, Vec<Option<M>>) {
+        let mut config = Config {
+            mem,
+            procs: scripts.iter().map(|_| (0usize, None)).collect(),
+            records: Vec::new(),
+            seq: 0,
+            scripts,
+        };
+        let mut machines: Vec<Option<M>> = scripts.iter().map(|_| None).collect();
+        for proc in 0..scripts.len() {
+            config.activate(proc, factory, &mut machines);
+        }
+        (config, machines)
+    }
+
+    /// Starts the next scripted operation of `proc` (records its
+    /// invocation — eager, matching program order).
+    fn activate<M: StepMachine<Resp> + Clone>(
+        &mut self,
+        proc: usize,
+        factory: &impl Fn(usize, &Op) -> M,
+        machines: &mut [Option<M>],
+    ) {
+        let (next_op, active) = &mut self.procs[proc];
+        debug_assert!(active.is_none());
+        if let Some(op) = self.scripts[proc].get(*next_op) {
+            machines[proc] = Some(factory(proc, op));
+            self.records.push(OpRec {
+                proc,
+                op_index: *next_op,
+                op: op.clone(),
+                invoke_seq: self.seq,
+                result: None,
+                steps: 0,
+            });
+            self.seq += 1;
+            *active = Some(self.records.len() - 1);
+            *next_op += 1;
+        }
+    }
+
+    fn enabled(&self) -> Vec<usize> {
+        (0..self.procs.len())
+            .filter(|&p| self.procs[p].1.is_some())
+            .collect()
+    }
+
+    fn step_proc<M: StepMachine<Resp> + Clone>(
+        &mut self,
+        proc: usize,
+        factory: &impl Fn(usize, &Op) -> M,
+        machines: &mut [Option<M>],
+        max_steps: usize,
+    ) -> StepOutcome {
+        let rec_idx = self.procs[proc].1.expect("stepping an enabled process");
+        let machine = machines[proc]
+            .as_mut()
+            .expect("active process has a machine");
+        let step = machine.step(&mut self.mem);
+        self.records[rec_idx].steps += 1;
+        match step {
+            Step::Continue => {
+                if self.records[rec_idx].steps > max_steps {
+                    StepOutcome::Pruned
+                } else {
+                    StepOutcome::Progress
+                }
+            }
+            Step::Done(result) => {
+                self.records[rec_idx].result = Some((result, self.seq));
+                self.seq += 1;
+                self.procs[proc].1 = None;
+                machines[proc] = None;
+                self.activate(proc, factory, machines);
+                StepOutcome::Progress
+            }
+        }
+    }
+
+    fn to_terminal(&self) -> Terminal<Op, Resp> {
+        // Order events by sequence number; drop aborted operations
+        // (they returned ⊥ with no effect, so the remaining history
+        // must still be linearizable — that is precisely the check).
+        let mut timeline: Vec<(u64, Event<Op, Resp>)> = Vec::new();
+        let mut aborted = 0;
+        let mut op_steps = Vec::new();
+        for rec in &self.records {
+            let Some((result, return_seq)) = &rec.result else {
+                continue; // pending (only on pruned paths, not visited)
+            };
+            match result {
+                Ok(resp) => {
+                    timeline.push((
+                        rec.invoke_seq,
+                        Event::Invoke {
+                            proc: rec.proc,
+                            op: rec.op.clone(),
+                        },
+                    ));
+                    timeline.push((
+                        *return_seq,
+                        Event::Return {
+                            proc: rec.proc,
+                            resp: resp.clone(),
+                        },
+                    ));
+                    op_steps.push(OpSteps {
+                        proc: rec.proc,
+                        op_index: rec.op_index,
+                        steps: rec.steps,
+                        aborted: false,
+                    });
+                }
+                Err(Bot) => {
+                    aborted += 1;
+                    op_steps.push(OpSteps {
+                        proc: rec.proc,
+                        op_index: rec.op_index,
+                        steps: rec.steps,
+                        aborted: true,
+                    });
+                }
+            }
+        }
+        timeline.sort_by_key(|(seq, _)| *seq);
+        let history = History::from_events(timeline.into_iter().map(|(_, e)| e).collect());
+        Terminal {
+            history,
+            aborted,
+            mem: self.mem.clone(),
+            op_steps,
+        }
+    }
+}
+
+/// Exhaustively explores **every** schedule of the given scripts,
+/// invoking `visit` on each terminal execution.
+///
+/// Suitable for the loop-free weak operations (Figure 1 and the queue
+/// analogue); loop-based machines should use [`explore_random`]. Keep
+/// configurations small: the schedule tree grows combinatorially.
+pub fn explore_exhaustive<M, Op, Resp>(
+    initial_mem: &Mem,
+    scripts: &[Vec<Op>],
+    factory: impl Fn(usize, &Op) -> M,
+    config: &ExploreConfig,
+    mut visit: impl FnMut(&Terminal<Op, Resp>),
+) -> ExploreStats
+where
+    M: StepMachine<Resp> + Clone,
+    Op: Clone,
+    Resp: Clone,
+{
+    let mut stats = ExploreStats::default();
+    let (root, machines) = Config::new(initial_mem.clone(), scripts, &factory);
+    dfs(root, machines, &factory, config, &mut stats, &mut visit);
+    stats
+}
+
+fn dfs<M, Op, Resp>(
+    node: Config<'_, Op, Resp>,
+    machines: Vec<Option<M>>,
+    factory: &impl Fn(usize, &Op) -> M,
+    config: &ExploreConfig,
+    stats: &mut ExploreStats,
+    visit: &mut impl FnMut(&Terminal<Op, Resp>),
+) where
+    M: StepMachine<Resp> + Clone,
+    Op: Clone,
+    Resp: Clone,
+{
+    if stats.executions >= config.max_executions {
+        return;
+    }
+    let enabled = node.enabled();
+    if enabled.is_empty() {
+        stats.executions += 1;
+        visit(&node.to_terminal());
+        return;
+    }
+    for proc in enabled {
+        let mut child = node.clone();
+        let mut child_machines = machines.clone();
+        match child.step_proc(proc, factory, &mut child_machines, config.max_steps_per_op) {
+            StepOutcome::Progress => dfs(child, child_machines, factory, config, stats, visit),
+            StepOutcome::Pruned => stats.pruned += 1,
+        }
+    }
+}
+
+/// Runs a single execution under an explicit scheduling policy:
+/// `choose` receives the enabled process list and picks the next one
+/// to step. Returns the terminal execution, or `None` if an operation
+/// exceeded the step budget.
+///
+/// This is the primitive behind [`crate::fair`]'s round-robin runs.
+pub fn run_scheduled<M, Op, Resp>(
+    initial_mem: &Mem,
+    scripts: &[Vec<Op>],
+    factory: impl Fn(usize, &Op) -> M,
+    config: &ExploreConfig,
+    mut choose: impl FnMut(&[usize]) -> usize,
+) -> Option<Terminal<Op, Resp>>
+where
+    M: StepMachine<Resp> + Clone,
+    Op: Clone,
+    Resp: Clone,
+{
+    let (mut node, mut machines) = Config::new(initial_mem.clone(), scripts, &factory);
+    loop {
+        let enabled = node.enabled();
+        if enabled.is_empty() {
+            return Some(node.to_terminal());
+        }
+        let pick = choose(&enabled);
+        debug_assert!(
+            enabled.contains(&pick),
+            "scheduler must pick an enabled process"
+        );
+        match node.step_proc(pick, &factory, &mut machines, config.max_steps_per_op) {
+            StepOutcome::Progress => {}
+            StepOutcome::Pruned => return None,
+        }
+    }
+}
+
+/// Explores `samples` uniformly random schedules (seeded, hence
+/// reproducible), invoking `visit` on each terminal execution.
+///
+/// This is the mode for the loop-based Figure 3 machines, whose
+/// busy-wait loops make the full schedule tree infinite.
+pub fn explore_random<M, Op, Resp>(
+    initial_mem: &Mem,
+    scripts: &[Vec<Op>],
+    factory: impl Fn(usize, &Op) -> M,
+    config: &ExploreConfig,
+    samples: usize,
+    seed: u64,
+    mut visit: impl FnMut(&Terminal<Op, Resp>),
+) -> ExploreStats
+where
+    M: StepMachine<Resp> + Clone,
+    Op: Clone,
+    Resp: Clone,
+{
+    let mut stats = ExploreStats::default();
+    let mut rng = XorShift64::new(seed);
+    for _ in 0..samples {
+        let (mut node, mut machines) = Config::new(initial_mem.clone(), scripts, &factory);
+        let outcome = loop {
+            let enabled = node.enabled();
+            if enabled.is_empty() {
+                break StepOutcome::Progress;
+            }
+            let pick = enabled[rng.next_below(enabled.len() as u64) as usize];
+            match node.step_proc(pick, &factory, &mut machines, config.max_steps_per_op) {
+                StepOutcome::Progress => {}
+                StepOutcome::Pruned => break StepOutcome::Pruned,
+            }
+        };
+        match outcome {
+            StepOutcome::Progress => {
+                stats.executions += 1;
+                visit(&node.to_terminal());
+            }
+            StepOutcome::Pruned => stats.pruned += 1,
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Bot, Step, StepMachine};
+
+    /// Read-then-CAS increment (aborts on interference).
+    #[derive(Debug, Clone)]
+    struct Incr {
+        pc: u8,
+        seen: u64,
+    }
+
+    fn incr_factory(_proc: usize, _op: &()) -> Incr {
+        Incr { pc: 0, seen: 0 }
+    }
+
+    impl StepMachine<u64> for Incr {
+        fn step(&mut self, mem: &mut Mem) -> Step<u64> {
+            match self.pc {
+                0 => {
+                    self.seen = mem.read(0);
+                    self.pc = 1;
+                    Step::Continue
+                }
+                _ => {
+                    if mem.cas(0, self.seen, self.seen + 1) {
+                        Step::Done(Ok(self.seen + 1))
+                    } else {
+                        Step::Done(Err(Bot))
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_covers_all_interleavings_of_two_two_step_machines() {
+        // Two 2-step machines have C(4, 2) = 6 interleavings.
+        let scripts = vec![vec![()], vec![()]];
+        let mut terminals = 0;
+        let stats = explore_exhaustive(
+            &Mem::new(vec![0]),
+            &scripts,
+            incr_factory,
+            &ExploreConfig::default(),
+            |_| terminals += 1,
+        );
+        assert_eq!(stats.executions, 6);
+        assert_eq!(terminals, 6);
+        assert_eq!(stats.pruned, 0);
+    }
+
+    #[test]
+    fn aborts_appear_only_in_interleaved_schedules() {
+        let scripts = vec![vec![()], vec![()]];
+        let mut saw_abort = false;
+        let mut saw_both_succeed = false;
+        explore_exhaustive(
+            &Mem::new(vec![0]),
+            &scripts,
+            incr_factory,
+            &ExploreConfig::default(),
+            |t: &Terminal<(), u64>| {
+                match t.aborted {
+                    0 => {
+                        saw_both_succeed = true;
+                        assert_eq!(t.mem.read(0), 2);
+                    }
+                    1 => {
+                        saw_abort = true;
+                        // The aborted op had no effect.
+                        assert_eq!(t.mem.read(0), 1);
+                    }
+                    _ => panic!("at most one of two increments can abort"),
+                }
+            },
+        );
+        assert!(saw_abort && saw_both_succeed);
+    }
+
+    #[test]
+    fn solo_script_has_single_schedule() {
+        let scripts = vec![vec![(), ()]];
+        let stats = explore_exhaustive(
+            &Mem::new(vec![0]),
+            &scripts,
+            incr_factory,
+            &ExploreConfig::default(),
+            |t: &Terminal<(), u64>| {
+                assert_eq!(t.aborted, 0, "solo machines never abort");
+                assert_eq!(t.mem.read(0), 2);
+                assert!(t.op_steps.iter().all(|s| s.steps == 2));
+                assert_eq!(t.history.operations().len(), 2);
+            },
+        );
+        assert_eq!(stats.executions, 1);
+    }
+
+    #[test]
+    fn random_explorer_is_reproducible() {
+        let scripts = vec![vec![()], vec![()]];
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        explore_random(
+            &Mem::new(vec![0]),
+            &scripts,
+            incr_factory,
+            &ExploreConfig::default(),
+            50,
+            42,
+            |t: &Terminal<(), u64>| a.push(t.aborted),
+        );
+        explore_random(
+            &Mem::new(vec![0]),
+            &scripts,
+            incr_factory,
+            &ExploreConfig::default(),
+            50,
+            42,
+            |t: &Terminal<(), u64>| b.push(t.aborted),
+        );
+        assert_eq!(a, b);
+    }
+
+    /// A machine that never terminates (models a busy-wait loop).
+    #[derive(Debug, Clone)]
+    struct Spin;
+
+    impl StepMachine<u64> for Spin {
+        fn step(&mut self, mem: &mut Mem) -> Step<u64> {
+            let _ = mem.read(0);
+            Step::Continue
+        }
+    }
+
+    #[test]
+    fn step_budget_prunes_divergent_schedules() {
+        let scripts = vec![vec![()]];
+        let config = ExploreConfig {
+            max_steps_per_op: 10,
+            max_executions: 100,
+        };
+        let stats = explore_exhaustive(
+            &Mem::new(vec![0]),
+            &scripts,
+            |_, _: &()| Spin,
+            &config,
+            |_: &Terminal<(), u64>| panic!("a spinning machine cannot terminate"),
+        );
+        assert_eq!(stats.executions, 0);
+        assert_eq!(stats.pruned, 1);
+    }
+}

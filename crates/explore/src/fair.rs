@@ -1,0 +1,123 @@
+//! Fair-scheduler runs: the mechanical shadow of Lemmas 2–3.
+//!
+//! Starvation-freedom is a liveness property over infinite fair
+//! executions, which finite exploration cannot decide outright. What
+//! it *can* decide is the bounded form: under a round-robin fair
+//! scheduler (every live process steps once per round), every
+//! operation of the Figure 3 machines completes within a bounded
+//! number of its own steps — for any of the sampled adversarial
+//! interleavings of the operations' start times, and for every process
+//! identity. A violation of Lemma 2 or Lemma 3 would show up here as
+//! an operation spinning past the bound.
+
+use crate::explorer::{run_scheduled, ExploreConfig, Terminal};
+use crate::machine::StepMachine;
+use crate::mem::Mem;
+
+/// The outcome of a fair run.
+#[derive(Debug, Clone)]
+pub struct FairReport<Op, Resp> {
+    /// The terminal execution (`None` if some operation exceeded the
+    /// step budget — a starvation-freedom violation for these
+    /// machines).
+    pub terminal: Option<Terminal<Op, Resp>>,
+    /// The largest number of steps any single operation needed.
+    pub max_op_steps: usize,
+}
+
+/// Runs the scripts under a strict round-robin scheduler and reports
+/// the worst per-operation step count.
+///
+/// `max_steps_per_op` is the starvation bound: machines that busy-wait
+/// (Figure 3) must complete within it under fair scheduling, or the
+/// run reports `terminal: None`.
+pub fn run_fair<M, Op, Resp>(
+    initial_mem: &Mem,
+    scripts: &[Vec<Op>],
+    factory: impl Fn(usize, &Op) -> M,
+    max_steps_per_op: usize,
+) -> FairReport<Op, Resp>
+where
+    M: StepMachine<Resp> + Clone,
+    Op: Clone,
+    Resp: Clone,
+{
+    let config = ExploreConfig {
+        max_steps_per_op,
+        max_executions: 1,
+    };
+    let mut cursor = 0usize;
+    let terminal = run_scheduled(initial_mem, scripts, factory, &config, |enabled| {
+        // Strict round-robin over live processes: pick the first
+        // enabled process at or after the cursor.
+        let pick = *enabled
+            .iter()
+            .find(|&&p| p >= cursor)
+            .unwrap_or_else(|| enabled.first().expect("non-empty"));
+        cursor = pick + 1;
+        pick
+    });
+    let max_op_steps = terminal
+        .as_ref()
+        .map(|t: &Terminal<Op, Resp>| t.op_steps.iter().map(|s| s.steps).max().unwrap_or(0))
+        .unwrap_or(usize::MAX);
+    FairReport {
+        terminal,
+        max_op_steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algos::cs_stack::{cs_stack_layout, strong_stack_factory};
+    use cso_lincheck::specs::stack::{SpecStackOp, SpecStackResp};
+
+    /// Lemma 2 + Lemma 3, bounded form: with every process
+    /// simultaneously pushing through Figure 3 under fair scheduling,
+    /// every operation completes within a modest step bound.
+    #[test]
+    fn all_strong_ops_complete_under_fair_scheduling() {
+        for n in [2, 3, 4] {
+            let layout = cs_stack_layout(16, n);
+            let scripts: Vec<Vec<SpecStackOp>> = (0..n)
+                .map(|i| vec![SpecStackOp::Push(i as u32), SpecStackOp::Pop])
+                .collect();
+            let report: FairReport<SpecStackOp, SpecStackResp> = run_fair(
+                &layout.initial_mem(),
+                &scripts,
+                strong_stack_factory(layout),
+                2_000,
+            );
+            let terminal = report
+                .terminal
+                .expect("no operation may starve under fairness");
+            assert_eq!(terminal.aborted, 0, "strong operations never return ⊥");
+            assert_eq!(terminal.history.operations().len(), 2 * n);
+            assert!(
+                report.max_op_steps <= 500,
+                "n={n}: an operation needed {} steps",
+                report.max_op_steps
+            );
+        }
+    }
+
+    #[test]
+    fn round_robin_is_deterministic() {
+        let layout = cs_stack_layout(8, 2);
+        let scripts = vec![vec![SpecStackOp::Push(1)], vec![SpecStackOp::Push(2)]];
+        let a: FairReport<_, SpecStackResp> = run_fair(
+            &layout.initial_mem(),
+            &scripts,
+            strong_stack_factory(layout),
+            1_000,
+        );
+        let b: FairReport<_, SpecStackResp> = run_fair(
+            &layout.initial_mem(),
+            &scripts,
+            strong_stack_factory(layout),
+            1_000,
+        );
+        assert_eq!(a.max_op_steps, b.max_op_steps);
+    }
+}

@@ -1,0 +1,315 @@
+//! Terminal-state invariants: the memory must agree with the
+//! linearization.
+//!
+//! A linearization witness predicts a final abstract state; the
+//! virtual memory, read back through the representation invariant
+//! (Figure 1's "the value of `STACK[TOP.index]` is `TOP.value`" lazy
+//! rule), must hold exactly that state. Together with per-execution
+//! linearizability this checks that aborted operations truly had no
+//! effect and that the helping discipline leaves no slot corrupted.
+
+use cso_lincheck::checker::check_linearizable;
+use cso_lincheck::history::History;
+use cso_lincheck::spec::SeqSpec;
+use cso_lincheck::specs::queue::{QueueSpec, SpecQueueOp, SpecQueueResp};
+use cso_lincheck::specs::stack::{SpecStackOp, SpecStackResp, StackSpec};
+use cso_memory::packed::{HeadWord, SlotWord, TailWord, TopWord};
+
+use crate::algos::queue::QueueLayout;
+use crate::algos::stack::StackLayout;
+use crate::explorer::Terminal;
+use crate::mem::Mem;
+
+/// Reads the abstract stack content (bottom first) out of a quiescent
+/// memory, honouring the lazy-write rule: the value at `TOP.index` is
+/// `TOP.value`, not necessarily `STACK[TOP.index].val`.
+#[must_use]
+pub fn abstract_stack(mem: &Mem, layout: &StackLayout) -> Vec<u32> {
+    let top = TopWord::unpack(mem.read(layout.top()));
+    (1..=top.index)
+        .map(|x| {
+            if x == top.index {
+                top.value
+            } else {
+                SlotWord::unpack(mem.read(layout.slot(x))).value
+            }
+        })
+        .collect()
+}
+
+/// Reads the abstract queue content (front first) out of a quiescent
+/// memory, honouring the lazy-write rule at the tail element.
+#[must_use]
+pub fn abstract_queue(mem: &Mem, layout: &QueueLayout) -> Vec<u32> {
+    let head = HeadWord::unpack(mem.read(layout.head()));
+    let tail = TailWord::unpack(mem.read(layout.tail()));
+    let size = tail.count.wrapping_sub(head.count);
+    (1..=size)
+        .map(|offset| {
+            let element = head.count.wrapping_add(offset);
+            if element == tail.count {
+                tail.value
+            } else {
+                SlotWord::unpack(mem.read(layout.slot_of(element))).value
+            }
+        })
+        .collect()
+}
+
+/// Replays a linearization witness through a spec, returning the
+/// predicted final state.
+///
+/// # Panics
+///
+/// Panics if a witnessed response disagrees with the spec (the
+/// witness would not be valid — checker bug).
+#[must_use]
+pub fn replay_witness<S: SeqSpec>(
+    spec: &S,
+    history: &History<S::Op, S::Resp>,
+    witness: &[usize],
+) -> S::State {
+    let ops = history.operations();
+    let mut state = spec.initial();
+    for &idx in witness {
+        let (next, resp) = spec.apply(&state, &ops[idx].op);
+        if let Some((actual, _)) = &ops[idx].returned {
+            assert!(
+                resp == *actual,
+                "witness replay must reproduce observed responses"
+            );
+        }
+        state = next;
+    }
+    state
+}
+
+/// The full per-execution check for stack explorations: the history
+/// (aborted ops dropped), *extended with a sequential drain of the
+/// observed final memory*, must be linearizable.
+///
+/// Encoding the final state as trailing sequential pops makes the
+/// check exact without privileging one linearization order: the
+/// combined history is linearizable **iff** the concurrent part is
+/// linearizable *and* some valid linearization leaves the stack in
+/// exactly the state the memory holds.
+///
+/// # Panics
+///
+/// Panics — with a diagnostic — when the check fails; designed for
+/// use as an exploration visitor.
+pub fn check_stack_terminal(
+    capacity: usize,
+    initial: &[u32],
+    layout: &StackLayout,
+    terminal: &Terminal<SpecStackOp, SpecStackResp>,
+) {
+    // Prepend the pre-fill as completed pushes so the spec starts
+    // from the right state.
+    let mut history: History<SpecStackOp, SpecStackResp> = History::new();
+    const SETUP: usize = usize::MAX - 1;
+    for &v in initial {
+        history.invoke(SETUP, SpecStackOp::Push(v));
+        history.ret(SETUP, SpecStackResp::Pushed);
+    }
+    for event in terminal.history.events() {
+        match event {
+            cso_lincheck::history::Event::Invoke { proc, op } => history.invoke(*proc, *op),
+            cso_lincheck::history::Event::Return { proc, resp } => history.ret(*proc, *resp),
+        }
+    }
+    // Append the observed final content as a sequential drain
+    // (top first), closed by an Empty.
+    let observed = abstract_stack(&terminal.mem, layout);
+    for &v in observed.iter().rev() {
+        history.invoke(SETUP, SpecStackOp::Pop);
+        history.ret(SETUP, SpecStackResp::Popped(v));
+    }
+    history.invoke(SETUP, SpecStackOp::Pop);
+    history.ret(SETUP, SpecStackResp::Empty);
+
+    let spec = StackSpec::new(capacity);
+    if !check_linearizable(&spec, &history).is_linearizable() {
+        panic!("execution (with final-memory drain) not linearizable:\n{history}");
+    }
+}
+
+/// The queue analogue of [`check_stack_terminal`].
+///
+/// # Panics
+///
+/// Panics — with a diagnostic — when either check fails.
+pub fn check_queue_terminal(
+    capacity: usize,
+    initial: &[u32],
+    layout: &QueueLayout,
+    terminal: &Terminal<SpecQueueOp, SpecQueueResp>,
+) {
+    let mut history: History<SpecQueueOp, SpecQueueResp> = History::new();
+    const SETUP: usize = usize::MAX - 1;
+    for &v in initial {
+        history.invoke(SETUP, SpecQueueOp::Enqueue(v));
+        history.ret(SETUP, SpecQueueResp::Enqueued);
+    }
+    for event in terminal.history.events() {
+        match event {
+            cso_lincheck::history::Event::Invoke { proc, op } => history.invoke(*proc, *op),
+            cso_lincheck::history::Event::Return { proc, resp } => history.ret(*proc, *resp),
+        }
+    }
+    // Sequential drain of the observed final content (front first),
+    // closed by an Empty.
+    let observed = abstract_queue(&terminal.mem, layout);
+    for &v in &observed {
+        history.invoke(SETUP, SpecQueueOp::Dequeue);
+        history.ret(SETUP, SpecQueueResp::Dequeued(v));
+    }
+    history.invoke(SETUP, SpecQueueOp::Dequeue);
+    history.ret(SETUP, SpecQueueResp::Empty);
+
+    let spec = QueueSpec::new(capacity);
+    if !check_linearizable(&spec, &history).is_linearizable() {
+        panic!("execution (with final-memory drain) not linearizable");
+    }
+}
+
+/// The sequential specification of the linear-arena HLM deque:
+/// state = (left nulls, items left-to-right); right nulls are implied
+/// by the arena size.
+#[derive(Debug, Clone, Copy)]
+pub struct ArenaDequeSpec {
+    /// Value capacity (arena = capacity + 2).
+    pub capacity: usize,
+}
+
+impl cso_lincheck::spec::SeqSpec for ArenaDequeSpec {
+    type State = (usize, std::collections::VecDeque<u32>);
+    type Op = crate::algos::deque::MDequeOp;
+    type Resp = crate::algos::deque::ModelDequeResp;
+
+    fn initial(&self) -> Self::State {
+        (
+            1 + self.capacity.div_ceil(2),
+            std::collections::VecDeque::new(),
+        )
+    }
+
+    fn apply(&self, state: &Self::State, op: &Self::Op) -> (Self::State, Self::Resp) {
+        use crate::algos::deque::{MDequeOp, ModelDequeResp, ModelEnd};
+        let arena = self.capacity + 2;
+        let (mut left, mut items) = state.clone();
+        let right = arena - left - items.len();
+        let resp = match op {
+            MDequeOp::Push(ModelEnd::Right, v) => {
+                if right == 1 {
+                    ModelDequeResp::Full
+                } else {
+                    items.push_back(*v);
+                    ModelDequeResp::Pushed
+                }
+            }
+            MDequeOp::Push(ModelEnd::Left, v) => {
+                if left == 1 {
+                    ModelDequeResp::Full
+                } else {
+                    left -= 1;
+                    items.push_front(*v);
+                    ModelDequeResp::Pushed
+                }
+            }
+            MDequeOp::Pop(ModelEnd::Right) => match items.pop_back() {
+                Some(v) => ModelDequeResp::Popped(v),
+                None => ModelDequeResp::Empty,
+            },
+            MDequeOp::Pop(ModelEnd::Left) => match items.pop_front() {
+                Some(v) => {
+                    left += 1;
+                    ModelDequeResp::Popped(v)
+                }
+                None => ModelDequeResp::Empty,
+            },
+        };
+        ((left, items), resp)
+    }
+}
+
+/// The full per-execution check for deque explorations: the
+/// representation invariant holds in the terminal memory, and the
+/// history — extended with a sequential drain of the observed final
+/// values *and* a Full probe pinning down the final left-null count —
+/// is linearizable against [`ArenaDequeSpec`].
+///
+/// # Panics
+///
+/// Panics — with a diagnostic — when a check fails.
+pub fn check_deque_terminal(
+    capacity: usize,
+    initial: &[u32],
+    layout: &crate::algos::deque::DequeLayout,
+    terminal: &Terminal<crate::algos::deque::MDequeOp, crate::algos::deque::ModelDequeResp>,
+) {
+    use crate::algos::deque::{abstract_deque, MDequeOp, ModelDequeResp, ModelEnd};
+    // Representation invariant (panics internally if broken).
+    let (left, values, _right) = abstract_deque(&terminal.mem, layout);
+
+    const SETUP: usize = usize::MAX - 1;
+    let mut history: History<MDequeOp, ModelDequeResp> = History::new();
+    let spec = ArenaDequeSpec { capacity };
+    // Pre-fill (built with right pushes, matching the test setup).
+    for &v in initial {
+        history.invoke(SETUP, MDequeOp::Push(ModelEnd::Right, v));
+        history.ret(SETUP, ModelDequeResp::Pushed);
+    }
+    for event in terminal.history.events() {
+        match event {
+            cso_lincheck::history::Event::Invoke { proc, op } => history.invoke(*proc, *op),
+            cso_lincheck::history::Event::Return { proc, resp } => history.ret(*proc, *resp),
+        }
+    }
+    // Drain the observed values from the left.
+    for &v in &values {
+        history.invoke(SETUP, MDequeOp::Pop(ModelEnd::Left));
+        history.ret(SETUP, ModelDequeResp::Popped(v));
+    }
+    history.invoke(SETUP, MDequeOp::Pop(ModelEnd::Left));
+    history.ret(SETUP, ModelDequeResp::Empty);
+    // Pin the final left-null count: after draining from the left,
+    // the spec's left block is `left + values.len()`; pushing left
+    // that many times less one must succeed, one more must be Full.
+    let pushable_left = left + values.len() - 1;
+    for _ in 0..pushable_left {
+        history.invoke(SETUP, MDequeOp::Push(ModelEnd::Left, 0));
+        history.ret(SETUP, ModelDequeResp::Pushed);
+    }
+    history.invoke(SETUP, MDequeOp::Push(ModelEnd::Left, 0));
+    history.ret(SETUP, ModelDequeResp::Full);
+
+    if !check_linearizable(&spec, &history).is_linearizable() {
+        panic!("deque execution (with drain + Full probe) not linearizable");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algos::queue::queue_layout;
+    use crate::algos::stack::stack_layout;
+
+    #[test]
+    fn abstract_stack_reads_lazy_top() {
+        let layout = stack_layout(4);
+        let mem = layout.initial_mem_with(&[3, 1, 4]);
+        assert_eq!(abstract_stack(&mem, &layout), vec![3, 1, 4]);
+        let empty = layout.initial_mem();
+        assert!(abstract_stack(&empty, &layout).is_empty());
+    }
+
+    #[test]
+    fn abstract_queue_reads_lazy_tail() {
+        let layout = queue_layout(4);
+        let mem = layout.initial_mem_with(&[2, 7]);
+        assert_eq!(abstract_queue(&mem, &layout), vec![2, 7]);
+        let empty = layout.initial_mem();
+        assert!(abstract_queue(&empty, &layout).is_empty());
+    }
+}

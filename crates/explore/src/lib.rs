@@ -1,0 +1,64 @@
+//! A deterministic model checker for the paper's algorithms.
+//!
+//! The proofs in §4.3 of Mostefaoui & Raynal (2011) are manual. This
+//! crate checks the same properties mechanically — by exhaustion on
+//! bounded instances:
+//!
+//! 1. Every algorithm is hand-compiled into a **step machine**
+//!    ([`machine::StepMachine`]): a program-counter automaton whose
+//!    every `step` performs *exactly one* shared-memory access against
+//!    a virtual memory ([`mem::Mem`]). A schedule — which process
+//!    steps next — is then the only source of non-determinism, exactly
+//!    the asynchronous model of §2.1.
+//! 2. The [`explorer`] enumerates **all** schedules of small
+//!    configurations (loop-free weak operations), or samples random
+//!    schedules for the loop-based Figure 3 machines, and hands every
+//!    terminal execution to a visitor.
+//! 3. Visitors check linearizability (via `cso-lincheck`), the
+//!    abort-only-under-contention contract, exact solo step counts,
+//!    and the final-memory/abstraction agreement ([`invariants`]).
+//! 4. [`fair`] runs loop-based machines under a round-robin fair
+//!    scheduler and checks bounded completion (the mechanical shadow
+//!    of Lemmas 2–3).
+//!
+//! The machines mirror `cso-stack`/`cso-queue` line by line but live
+//! on the virtual memory, so the logic is validated independently of
+//! `std::sync::atomic` and of the 16-bit tag packing.
+//!
+//! # Example: exhaustively check two racing pushes
+//!
+//! ```
+//! use cso_explore::algos::stack::{stack_layout, weak_stack_factory};
+//! use cso_explore::explorer::{explore_exhaustive, ExploreConfig};
+//! use cso_lincheck::specs::stack::{SpecStackOp, SpecStackResp, StackSpec};
+//! use cso_lincheck::checker::check_linearizable;
+//!
+//! let layout = stack_layout(4);
+//! let scripts = vec![vec![SpecStackOp::Push(1)], vec![SpecStackOp::Push(2)]];
+//! let stats = explore_exhaustive(
+//!     &layout.initial_mem(),
+//!     &scripts,
+//!     weak_stack_factory(layout),
+//!     &ExploreConfig::default(),
+//!     |terminal| {
+//!         // Every interleaving is linearizable once aborted (⊥,
+//!         // no-effect) operations are dropped.
+//!         assert!(check_linearizable(&StackSpec::new(4), &terminal.history).is_linearizable());
+//!     },
+//! );
+//! assert!(stats.executions > 1); // genuinely explored many schedules
+//! ```
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+pub mod algos;
+pub mod explorer;
+pub mod fair;
+pub mod invariants;
+pub mod machine;
+pub mod mem;
+
+pub use explorer::{explore_exhaustive, explore_random, ExploreConfig, ExploreStats, Terminal};
+pub use machine::{Bot, Step, StepMachine};
+pub use mem::Mem;

@@ -1,0 +1,80 @@
+//! Step machines: one shared access per step.
+
+use crate::mem::Mem;
+
+/// The ⊥ marker: the machine's operation aborted with no effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Bot;
+
+/// The result of one machine step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step<R> {
+    /// The operation needs more steps.
+    Continue,
+    /// The operation finished: either a definitive response or ⊥.
+    Done(Result<R, Bot>),
+}
+
+/// A hand-compiled algorithm: a program-counter automaton whose every
+/// [`StepMachine::step`] performs **exactly one** shared-memory access
+/// (plus any amount of process-local computation, which is free in the
+/// model of §2.1).
+///
+/// `Clone` is required so the explorer can snapshot configurations
+/// when branching over schedules.
+pub trait StepMachine<R>: Clone {
+    /// Executes one shared-memory access.
+    fn step(&mut self, mem: &mut Mem) -> Step<R>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A two-step machine: read a register, then CAS it up by one.
+    #[derive(Debug, Clone)]
+    struct Incr {
+        pc: u8,
+        seen: u64,
+    }
+
+    impl StepMachine<u64> for Incr {
+        fn step(&mut self, mem: &mut Mem) -> Step<u64> {
+            match self.pc {
+                0 => {
+                    self.seen = mem.read(0);
+                    self.pc = 1;
+                    Step::Continue
+                }
+                _ => {
+                    if mem.cas(0, self.seen, self.seen + 1) {
+                        Step::Done(Ok(self.seen + 1))
+                    } else {
+                        Step::Done(Err(Bot))
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solo_machine_runs_to_completion() {
+        let mut mem = Mem::new(vec![0]);
+        let mut m = Incr { pc: 0, seen: 0 };
+        assert_eq!(m.step(&mut mem), Step::Continue);
+        assert_eq!(m.step(&mut mem), Step::Done(Ok(1)));
+        assert_eq!(mem.read(0), 1);
+    }
+
+    #[test]
+    fn interleaved_machine_aborts_without_effect() {
+        let mut mem = Mem::new(vec![0]);
+        let mut a = Incr { pc: 0, seen: 0 };
+        let mut b = Incr { pc: 0, seen: 0 };
+        a.step(&mut mem); // a reads 0
+        b.step(&mut mem); // b reads 0
+        assert_eq!(b.step(&mut mem), Step::Done(Ok(1)));
+        assert_eq!(a.step(&mut mem), Step::Done(Err(Bot))); // a's CAS loses
+        assert_eq!(mem.read(0), 1, "the aborted machine had no effect");
+    }
+}

@@ -1,0 +1,98 @@
+//! The virtual shared memory.
+
+/// An address in the virtual memory.
+pub type Addr = usize;
+
+/// A virtual shared memory of 64-bit atomic registers.
+///
+/// Exploration is single-threaded, so "atomic" is by construction:
+/// the explorer executes one machine step — hence one access — at a
+/// time. Snapshots are plain clones.
+///
+/// ```
+/// use cso_explore::mem::Mem;
+///
+/// let mut mem = Mem::new(vec![0, 7]);
+/// assert_eq!(mem.read(1), 7);
+/// assert!(mem.cas(1, 7, 9));
+/// assert!(!mem.cas(1, 7, 9));
+/// assert_eq!(mem.swap(0, 5), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Mem {
+    words: Vec<u64>,
+}
+
+impl Mem {
+    /// Creates a memory with the given initial register contents.
+    #[must_use]
+    pub fn new(words: Vec<u64>) -> Mem {
+        Mem { words }
+    }
+
+    /// Number of registers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when the memory has no registers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Atomic read.
+    #[must_use]
+    pub fn read(&self, addr: Addr) -> u64 {
+        self.words[addr]
+    }
+
+    /// Atomic write.
+    pub fn write(&mut self, addr: Addr, value: u64) {
+        self.words[addr] = value;
+    }
+
+    /// The paper's `C&S(old, new)` (§2.2).
+    pub fn cas(&mut self, addr: Addr, old: u64, new: u64) -> bool {
+        if self.words[addr] == old {
+            self.words[addr] = new;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Atomic swap (returns the previous value).
+    pub fn swap(&mut self, addr: Addr, value: u64) -> u64 {
+        std::mem::replace(&mut self.words[addr], value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_operations() {
+        let mut mem = Mem::new(vec![1, 2, 3]);
+        assert_eq!(mem.len(), 3);
+        assert!(!mem.is_empty());
+        mem.write(0, 10);
+        assert_eq!(mem.read(0), 10);
+        assert!(mem.cas(1, 2, 20));
+        assert_eq!(mem.read(1), 20);
+        assert!(!mem.cas(1, 2, 30));
+        assert_eq!(mem.swap(2, 30), 3);
+        assert_eq!(mem.read(2), 30);
+    }
+
+    #[test]
+    fn clone_is_a_snapshot() {
+        let mut mem = Mem::new(vec![0]);
+        let snap = mem.clone();
+        mem.write(0, 1);
+        assert_eq!(snap.read(0), 0);
+        assert_eq!(mem.read(0), 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! §5 of the paper: "the reader can easily verify that these
+//! algorithms still work despite process crashes **if no process
+//! crashes while holding the lock**."
+//!
+//! In the model a crash is simply a process the scheduler never picks
+//! again. We freeze a process at every possible point of its
+//! operation and check the survivor:
+//!
+//! * Figure 1 (lock-free): the survivor completes no matter where the
+//!   victim crashed — even mid-help, because helping is idempotent
+//!   and `TOP` is the single authority;
+//! * Figure 3 fast path: same;
+//! * Figure 3 **inside the lock**: the survivor blocks — the caveat
+//!   the paper states, demonstrated rather than assumed.
+
+use cso_explore::algos::cs_stack::{cs_stack_layout, strong_stack_machine};
+use cso_explore::algos::stack::{stack_layout, WeakStackMachine};
+use cso_explore::machine::{Step, StepMachine};
+use cso_explore::mem::Mem;
+use cso_lincheck::specs::stack::{SpecStackOp, SpecStackResp};
+
+/// Steps `victim` exactly `crash_after` times, then runs `survivor`
+/// alone; returns the survivor's result and how many steps it took,
+/// or `None` if it exceeded `budget` (i.e. it was blocked).
+fn crash_scenario<M: StepMachine<R>, R>(
+    mem: &mut Mem,
+    victim: &mut M,
+    crash_after: usize,
+    survivor: &mut M,
+    budget: usize,
+) -> Option<(Result<R, cso_explore::machine::Bot>, usize)> {
+    for _ in 0..crash_after {
+        match victim.step(mem) {
+            Step::Continue => {}
+            Step::Done(_) => break, // op finished before the crash point
+        }
+    }
+    // The victim is now frozen forever; the survivor runs solo.
+    for steps in 1..=budget {
+        if let Step::Done(result) = survivor.step(mem) {
+            return Some((result, steps));
+        }
+    }
+    None
+}
+
+/// Figure 1 is crash-tolerant at every point: freeze a pusher after
+/// each possible prefix of its 5 accesses; a fresh pop must still
+/// complete with a definitive answer.
+#[test]
+fn weak_stack_survives_crashes_anywhere() {
+    let layout = stack_layout(4);
+    for crash_after in 0..=5 {
+        let mut mem = layout.initial_mem_with(&[7]);
+        let mut victim = WeakStackMachine::new(layout, SpecStackOp::Push(9));
+        let mut survivor = WeakStackMachine::new(layout, SpecStackOp::Pop);
+        let (result, steps) =
+            crash_scenario(&mut mem, &mut victim, crash_after, &mut survivor, 100)
+                .expect("a lock-free operation cannot be blocked by a crashed process");
+        assert!(steps <= 5);
+        match result {
+            Ok(SpecStackResp::Popped(v)) => {
+                // Depending on where the victim froze, the pop sees 9
+                // (victim's CAS landed) or 7 (it did not).
+                assert!(v == 7 || v == 9, "crash_after={crash_after}: popped {v}");
+            }
+            other => panic!("crash_after={crash_after}: unexpected {other:?}"),
+        }
+    }
+}
+
+/// The survivor can even *complete the victim's pending lazy write*
+/// (help) and still pop the victim's value — the helping mechanism is
+/// exactly what makes mid-operation crashes harmless.
+#[test]
+fn survivor_helps_a_crashed_operation() {
+    let layout = stack_layout(4);
+    let mut mem = layout.initial_mem();
+    // The victim's push performs all 5 accesses (its CAS on TOP
+    // lands) — but its slot write is logically pending for the next
+    // op; "crash" immediately after.
+    let mut victim = WeakStackMachine::new(layout, SpecStackOp::Push(42));
+    loop {
+        if let Step::Done(result) = victim.step(&mut mem) {
+            assert_eq!(result, Ok(SpecStackResp::Pushed));
+            break;
+        }
+    }
+    let mut survivor = WeakStackMachine::new(layout, SpecStackOp::Pop);
+    let (result, _) = crash_scenario(&mut mem, &mut victim, 0, &mut survivor, 100).unwrap();
+    assert_eq!(result, Ok(SpecStackResp::Popped(42)));
+}
+
+/// Figure 3: crashes on the lock-free fast path are harmless…
+#[test]
+fn cs_stack_survives_fast_path_crashes() {
+    let layout = cs_stack_layout(4, 2);
+    // The fast path is 6 accesses; freeze the victim after each prefix.
+    for crash_after in 0..=6 {
+        let mut mem = layout.initial_mem_with(&[7]);
+        let mut victim = strong_stack_machine(layout, 0, SpecStackOp::Push(9));
+        let mut survivor = strong_stack_machine(layout, 1, SpecStackOp::Pop);
+        let (result, _) = crash_scenario(&mut mem, &mut victim, crash_after, &mut survivor, 1_000)
+            .expect("fast-path crashes must not block the survivor");
+        assert!(matches!(result, Ok(SpecStackResp::Popped(_))));
+    }
+}
+
+/// …but a crash **while holding the lock** blocks later lock-path
+/// operations — the §5 caveat, observed in the model.
+#[test]
+fn cs_stack_blocks_on_a_crash_inside_the_lock() {
+    let layout = cs_stack_layout(4, 2);
+    let mut mem = layout.initial_mem();
+    // Force the victim onto the lock path and freeze it right after
+    // it sets CONTENTION (it now holds the lock).
+    mem.write(layout.contention(), 1);
+    let mut victim = strong_stack_machine(layout, 0, SpecStackOp::Push(9));
+    // Steps: ReadContention, SetFlag, WaitReadTurn(turn=0=proc → TryLock),
+    // TryLock (acquires), SetContention — 5 steps, lock held.
+    for _ in 0..5 {
+        assert!(matches!(victim.step(&mut mem), Step::Continue));
+    }
+    assert_eq!(mem.read(layout.lock()), 1, "victim holds the lock");
+
+    // The survivor reads CONTENTION=1, goes to the lock path, and
+    // spins forever on the dead process's lock.
+    let mut survivor = strong_stack_machine(layout, 1, SpecStackOp::Pop);
+    let blocked = crash_scenario(&mut mem, &mut victim, 0, &mut survivor, 10_000).is_none();
+    assert!(
+        blocked,
+        "a crash while holding the lock must block the lock path (§5)"
+    );
+}
+
+/// The survivor's *fast path* still works even while a crashed
+/// process holds the lock, as long as CONTENTION is down — the
+/// window between lines 06 and 07.
+#[test]
+fn fast_path_survives_even_a_lock_holder_crash_before_line_07() {
+    let layout = cs_stack_layout(4, 2);
+    let mut mem = layout.initial_mem_with(&[7]);
+    // Victim acquires the lock via FLAG/TURN but crashes before
+    // setting CONTENTION: simulate by forcing the slow path with a
+    // transient CONTENTION pulse.
+    mem.write(layout.contention(), 1);
+    let mut victim = strong_stack_machine(layout, 0, SpecStackOp::Push(9));
+    for _ in 0..4 {
+        assert!(matches!(victim.step(&mut mem), Step::Continue));
+    }
+    assert_eq!(mem.read(layout.lock()), 1, "victim holds the lock");
+    mem.write(layout.contention(), 0); // the pulse ends
+
+    // The survivor sees no contention and completes on the fast path.
+    let mut survivor = strong_stack_machine(layout, 1, SpecStackOp::Pop);
+    let (result, steps) =
+        crash_scenario(&mut mem, &mut victim, 0, &mut survivor, 100).expect("fast path is free");
+    assert_eq!(result, Ok(SpecStackResp::Popped(7)));
+    assert_eq!(steps, 6);
+}

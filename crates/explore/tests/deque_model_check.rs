@@ -1,0 +1,297 @@
+//! Exhaustive model checking of the abortable HLM deque — the
+//! single-attempt formulation derived in `cso-deque`, verified here
+//! over **every** schedule of bounded instances.
+//!
+//! Each terminal execution is checked for: the `LN⁺ DATA* RN⁺`
+//! representation invariant, linearizability against the linear-arena
+//! specification (with a drain *and* a `Full` probe pinning the final
+//! null accounting), and the no-effect property of ⊥.
+
+use cso_explore::algos::deque::{
+    abstract_deque, deque_layout, prefill_right, weak_deque_factory, MDequeOp, ModelDequeResp,
+    ModelEnd,
+};
+use cso_explore::explorer::{explore_exhaustive, ExploreConfig};
+use cso_explore::invariants::check_deque_terminal;
+
+#[test]
+fn racing_right_pushes() {
+    let layout = deque_layout(2);
+    let scripts = vec![
+        vec![MDequeOp::Push(ModelEnd::Right, 1)],
+        vec![MDequeOp::Push(ModelEnd::Right, 2)],
+    ];
+    let mut aborted_seen = false;
+    let stats = explore_exhaustive(
+        &layout.initial_mem(),
+        &scripts,
+        weak_deque_factory(layout),
+        &ExploreConfig::default(),
+        |t| {
+            check_deque_terminal(2, &[], &layout, t);
+            aborted_seen |= t.aborted > 0;
+        },
+    );
+    assert!(stats.executions > 100, "non-trivial schedule space");
+    assert!(
+        aborted_seen,
+        "same-end pushes must conflict in some schedule"
+    );
+}
+
+/// The deque's signature weakness: *opposite-end* pushes can also
+/// conflict when the boundaries are adjacent (near-empty arena) —
+/// unlike the queue's provably non-interfering ends.
+#[test]
+fn opposite_end_pushes_on_small_arena() {
+    let layout = deque_layout(2);
+    let scripts = vec![
+        vec![MDequeOp::Push(ModelEnd::Left, 1)],
+        vec![MDequeOp::Push(ModelEnd::Right, 2)],
+    ];
+    let mut aborted_seen = false;
+    explore_exhaustive(
+        &layout.initial_mem(),
+        &scripts,
+        weak_deque_factory(layout),
+        &ExploreConfig::default(),
+        |t| {
+            check_deque_terminal(2, &[], &layout, t);
+            aborted_seen |= t.aborted > 0;
+        },
+    );
+    assert!(
+        aborted_seen,
+        "adjacent boundaries make even opposite ends interfere — \
+         the obstruction-freedom story"
+    );
+}
+
+#[test]
+fn push_racing_pop_same_end() {
+    let layout = deque_layout(2);
+    let mut mem = layout.initial_mem();
+    prefill_right(&mut mem, layout, &[9]);
+    let scripts = vec![
+        vec![MDequeOp::Push(ModelEnd::Right, 1)],
+        vec![MDequeOp::Pop(ModelEnd::Right)],
+    ];
+    explore_exhaustive(
+        &mem,
+        &scripts,
+        weak_deque_factory(layout),
+        &ExploreConfig::default(),
+        |t| {
+            check_deque_terminal(2, &[9], &layout, t);
+        },
+    );
+}
+
+#[test]
+fn racing_pops_from_both_ends() {
+    // Capacity 4: arena LLL RRR — the right side can absorb two
+    // pushes for the pre-fill.
+    let layout = deque_layout(4);
+    let mut mem = layout.initial_mem();
+    prefill_right(&mut mem, layout, &[5, 6]);
+    let scripts = vec![
+        vec![MDequeOp::Pop(ModelEnd::Left)],
+        vec![MDequeOp::Pop(ModelEnd::Right)],
+    ];
+    let mut both_popped = false;
+    explore_exhaustive(
+        &mem,
+        &scripts,
+        weak_deque_factory(layout),
+        &ExploreConfig::default(),
+        |t| {
+            check_deque_terminal(4, &[5, 6], &layout, t);
+            let popped = t
+                .history
+                .operations()
+                .iter()
+                .filter(|op| {
+                    matches!(
+                        op.returned.as_ref().map(|(r, _)| *r),
+                        Some(ModelDequeResp::Popped(_))
+                    )
+                })
+                .count();
+            if popped == 2 {
+                both_popped = true;
+                let (_, values, _) = abstract_deque(&t.mem, &layout);
+                assert!(values.is_empty());
+            }
+        },
+    );
+    assert!(both_popped, "some schedule lets both pops succeed");
+}
+
+#[test]
+fn pop_race_on_single_element() {
+    // One element, both ends pop: exactly one can win; Empty and ⊥
+    // must sort themselves out linearizably in every schedule.
+    let layout = deque_layout(2);
+    let mut mem = layout.initial_mem();
+    prefill_right(&mut mem, layout, &[7]);
+    let scripts = vec![
+        vec![MDequeOp::Pop(ModelEnd::Left)],
+        vec![MDequeOp::Pop(ModelEnd::Right)],
+    ];
+    explore_exhaustive(
+        &mem,
+        &scripts,
+        weak_deque_factory(layout),
+        &ExploreConfig::default(),
+        |t| {
+            check_deque_terminal(2, &[7], &layout, t);
+            let wins = t
+                .history
+                .operations()
+                .iter()
+                .filter(|op| {
+                    matches!(
+                        op.returned.as_ref().map(|(r, _)| *r),
+                        Some(ModelDequeResp::Popped(7))
+                    )
+                })
+                .count();
+            assert!(wins <= 1, "the single element must be popped at most once");
+        },
+    );
+}
+
+#[test]
+fn full_boundary_race() {
+    // Right side down to the sentinel: a racing right push and right
+    // pop must produce linearizable Full/Popped combinations.
+    let layout = deque_layout(2);
+    let mut mem = layout.initial_mem();
+    prefill_right(&mut mem, layout, &[1]); // right block now at sentinel
+    let scripts = vec![
+        vec![MDequeOp::Push(ModelEnd::Right, 2)],
+        vec![MDequeOp::Pop(ModelEnd::Right)],
+    ];
+    explore_exhaustive(
+        &mem,
+        &scripts,
+        weak_deque_factory(layout),
+        &ExploreConfig::default(),
+        |t| {
+            check_deque_terminal(2, &[1], &layout, t);
+        },
+    );
+}
+
+#[test]
+fn two_ops_per_process() {
+    let layout = deque_layout(2);
+    let scripts = vec![
+        vec![
+            MDequeOp::Push(ModelEnd::Left, 1),
+            MDequeOp::Pop(ModelEnd::Right),
+        ],
+        vec![
+            MDequeOp::Push(ModelEnd::Right, 2),
+            MDequeOp::Pop(ModelEnd::Left),
+        ],
+    ];
+    let stats = explore_exhaustive(
+        &layout.initial_mem(),
+        &scripts,
+        weak_deque_factory(layout),
+        &ExploreConfig::default(),
+        |t| check_deque_terminal(2, &[], &layout, t),
+    );
+    assert_eq!(stats.pruned, 0);
+    assert!(stats.executions > 10_000);
+}
+
+/// Figure 3 over the deque, in the model: the generic protocol
+/// machine composes with the deque machine unchanged, and random
+/// schedules confirm every strong operation terminates (the
+/// obstruction-free → starvation-free leap), linearizably.
+#[test]
+fn fig3_over_deque_random_schedules() {
+    use cso_explore::algos::deque::WeakDequeMachine;
+    use cso_explore::algos::fig3::{Fig3Addrs, Fig3Machine};
+    use cso_explore::explorer::explore_random;
+    use cso_explore::mem::Mem;
+
+    let layout = deque_layout(2);
+    let n = 3;
+    let base = layout.m() + 1;
+    let addrs = Fig3Addrs {
+        contention: base,
+        flag_base: base + 1,
+        n,
+        turn: base + 1 + n,
+        lock: base + 2 + n,
+    };
+    let mut words: Vec<u64> = {
+        let mem = layout.initial_mem();
+        (0..mem.len()).map(|a| mem.read(a)).collect()
+    };
+    words.resize(addrs.end(), 0);
+    let initial = Mem::new(words);
+
+    let scripts = vec![
+        vec![
+            MDequeOp::Push(ModelEnd::Left, 1),
+            MDequeOp::Pop(ModelEnd::Right),
+        ],
+        vec![MDequeOp::Push(ModelEnd::Right, 2)],
+        vec![
+            MDequeOp::Pop(ModelEnd::Left),
+            MDequeOp::Push(ModelEnd::Right, 3),
+        ],
+    ];
+    let config = ExploreConfig {
+        max_steps_per_op: 10_000,
+        max_executions: usize::MAX,
+    };
+    let stats = explore_random(
+        &initial,
+        &scripts,
+        |proc, op: &MDequeOp| Fig3Machine::new(addrs, proc, WeakDequeMachine::new(layout, *op)),
+        &config,
+        600,
+        0xD0,
+        |t| {
+            assert_eq!(t.aborted, 0, "strong deque ops never return ⊥");
+            check_deque_terminal(2, &[], &layout, t);
+            assert_eq!(t.mem.read(addrs.lock), 0, "lock released");
+        },
+    );
+    assert_eq!(
+        stats.executions, 600,
+        "no schedule exceeded the step budget"
+    );
+}
+
+/// Solo attempts never abort and leave a clean arena — over the
+/// single schedule of each solo script.
+#[test]
+fn solo_attempts_never_abort() {
+    let layout = deque_layout(3);
+    for op in [
+        MDequeOp::Push(ModelEnd::Left, 1),
+        MDequeOp::Push(ModelEnd::Right, 2),
+        MDequeOp::Pop(ModelEnd::Left),
+        MDequeOp::Pop(ModelEnd::Right),
+    ] {
+        let mut mem = layout.initial_mem();
+        prefill_right(&mut mem, layout, &[4]);
+        let stats = explore_exhaustive(
+            &mem,
+            &[vec![op]],
+            weak_deque_factory(layout),
+            &ExploreConfig::default(),
+            |t| {
+                assert_eq!(t.aborted, 0, "solo {op:?} must not abort");
+                check_deque_terminal(3, &[4], &layout, t);
+            },
+        );
+        assert_eq!(stats.executions, 1);
+    }
+}

@@ -1,0 +1,413 @@
+//! Exhaustive and randomized model checking of the paper's algorithms
+//! (experiments V1, V2 and V3 of `DESIGN.md`).
+//!
+//! Every test enumerates (or samples) schedules of the step-machine
+//! transcriptions and checks, per terminal execution:
+//! * linearizability of the history with aborted ops dropped (Lemma 1
+//!   / Theorem 1 safety);
+//! * agreement between the final virtual memory and the linearization
+//!   witness (aborts had no effect; helping corrupted no slot);
+//! * the abortability contract (solo never aborts; abort counts are
+//!   bounded by the contention).
+
+use cso_explore::algos::cs_stack::{cs_stack_layout, strong_stack_factory};
+use cso_explore::algos::queue::{queue_layout, weak_queue_factory};
+use cso_explore::algos::stack::{stack_layout, weak_stack_factory};
+use cso_explore::explorer::{explore_exhaustive, explore_random, ExploreConfig};
+use cso_explore::invariants::{check_queue_terminal, check_stack_terminal};
+use cso_lincheck::specs::queue::SpecQueueOp;
+use cso_lincheck::specs::stack::SpecStackOp;
+
+// ---------------------------------------------------------------
+// V1/V2 — Figure 1 (weak stack), exhaustive.
+// ---------------------------------------------------------------
+
+#[test]
+fn exhaustive_two_racing_pushes() {
+    let layout = stack_layout(4);
+    let scripts = vec![vec![SpecStackOp::Push(1)], vec![SpecStackOp::Push(2)]];
+    let mut max_aborts = 0;
+    let stats = explore_exhaustive(
+        &layout.initial_mem(),
+        &scripts,
+        weak_stack_factory(layout),
+        &ExploreConfig::default(),
+        |t| {
+            check_stack_terminal(4, &[], &layout, t);
+            max_aborts = max_aborts.max(t.aborted);
+        },
+    );
+    assert_eq!(stats.pruned, 0);
+    assert!(stats.executions >= 252, "C(10,5) schedules at least");
+    assert_eq!(
+        max_aborts, 1,
+        "at least one of two racing pushes always wins"
+    );
+}
+
+#[test]
+fn exhaustive_push_racing_pop_on_prefilled_stack() {
+    let layout = stack_layout(4);
+    let scripts = vec![vec![SpecStackOp::Push(9)], vec![SpecStackOp::Pop]];
+    explore_exhaustive(
+        &layout.initial_mem_with(&[5, 6]),
+        &scripts,
+        weak_stack_factory(layout),
+        &ExploreConfig::default(),
+        |t| check_stack_terminal(4, &[5, 6], &layout, t),
+    );
+}
+
+#[test]
+fn exhaustive_push_racing_pop_on_empty_stack() {
+    let layout = stack_layout(2);
+    let scripts = vec![vec![SpecStackOp::Push(9)], vec![SpecStackOp::Pop]];
+    let mut saw_empty_pop = false;
+    let mut saw_popped_nine = false;
+    explore_exhaustive(
+        &layout.initial_mem(),
+        &scripts,
+        weak_stack_factory(layout),
+        &ExploreConfig::default(),
+        |t| {
+            check_stack_terminal(2, &[], &layout, t);
+            for op in t.history.operations() {
+                match op.returned.as_ref().map(|(r, _)| *r) {
+                    Some(cso_lincheck::specs::stack::SpecStackResp::Empty) => {
+                        saw_empty_pop = true;
+                    }
+                    Some(cso_lincheck::specs::stack::SpecStackResp::Popped(9)) => {
+                        saw_popped_nine = true;
+                    }
+                    _ => {}
+                }
+            }
+        },
+    );
+    assert!(saw_empty_pop, "some schedule pops before the push lands");
+    assert!(saw_popped_nine, "some schedule pops the pushed value");
+}
+
+#[test]
+fn exhaustive_two_ops_per_process() {
+    let layout = stack_layout(4);
+    let scripts = vec![
+        vec![SpecStackOp::Push(1), SpecStackOp::Pop],
+        vec![SpecStackOp::Push(2), SpecStackOp::Pop],
+    ];
+    let stats = explore_exhaustive(
+        &layout.initial_mem(),
+        &scripts,
+        weak_stack_factory(layout),
+        &ExploreConfig::default(),
+        |t| check_stack_terminal(4, &[], &layout, t),
+    );
+    assert_eq!(stats.pruned, 0);
+    assert!(
+        stats.executions > 10_000,
+        "a genuinely large schedule space"
+    );
+}
+
+#[test]
+fn exhaustive_three_processes() {
+    let layout = stack_layout(4);
+    let scripts = vec![
+        vec![SpecStackOp::Push(1)],
+        vec![SpecStackOp::Push(2)],
+        vec![SpecStackOp::Pop],
+    ];
+    let mut aborts_seen = [false; 3];
+    explore_exhaustive(
+        &layout.initial_mem_with(&[7]),
+        &scripts,
+        weak_stack_factory(layout),
+        &ExploreConfig::default(),
+        |t| {
+            check_stack_terminal(4, &[7], &layout, t);
+            aborts_seen[t.aborted.min(2)] = true;
+        },
+    );
+    assert!(
+        aborts_seen[0] && aborts_seen[1],
+        "both quiet and contended schedules exist"
+    );
+}
+
+#[test]
+fn exhaustive_full_boundary() {
+    let layout = stack_layout(1);
+    let scripts = vec![vec![SpecStackOp::Push(1)], vec![SpecStackOp::Push(2)]];
+    let mut full_seen = false;
+    explore_exhaustive(
+        &layout.initial_mem(),
+        &scripts,
+        weak_stack_factory(layout),
+        &ExploreConfig::default(),
+        |t| {
+            check_stack_terminal(1, &[], &layout, t);
+            for op in t.history.operations() {
+                if matches!(
+                    op.returned.as_ref().map(|(r, _)| *r),
+                    Some(cso_lincheck::specs::stack::SpecStackResp::Full)
+                ) {
+                    full_seen = true;
+                }
+            }
+        },
+    );
+    assert!(
+        full_seen,
+        "capacity-1 stack must report Full in some schedule"
+    );
+}
+
+/// V2 — solo executions: exactly 5 accesses, never ⊥ (exhaustive over
+/// the single schedule).
+#[test]
+fn solo_executions_are_five_accesses_and_never_abort() {
+    let layout = stack_layout(4);
+    for op in [SpecStackOp::Push(1), SpecStackOp::Pop] {
+        let scripts = vec![vec![op]];
+        let stats = explore_exhaustive(
+            &layout.initial_mem_with(&[3]),
+            &scripts,
+            weak_stack_factory(layout),
+            &ExploreConfig::default(),
+            |t| {
+                assert_eq!(t.aborted, 0);
+                assert_eq!(t.op_steps[0].steps, 5);
+            },
+        );
+        assert_eq!(stats.executions, 1, "solo scripts have a single schedule");
+    }
+}
+
+// ---------------------------------------------------------------
+// Queue analogues, including the non-interference theorem.
+// ---------------------------------------------------------------
+
+#[test]
+fn exhaustive_two_racing_enqueues() {
+    let layout = queue_layout(4);
+    let scripts = vec![vec![SpecQueueOp::Enqueue(1)], vec![SpecQueueOp::Enqueue(2)]];
+    let mut max_aborts = 0;
+    explore_exhaustive(
+        &layout.initial_mem(),
+        &scripts,
+        weak_queue_factory(layout),
+        &ExploreConfig::default(),
+        |t| {
+            check_queue_terminal(4, &[], &layout, t);
+            max_aborts = max_aborts.max(t.aborted);
+        },
+    );
+    assert_eq!(max_aborts, 1);
+}
+
+#[test]
+fn exhaustive_two_racing_dequeues() {
+    let layout = queue_layout(4);
+    let scripts = vec![vec![SpecQueueOp::Dequeue], vec![SpecQueueOp::Dequeue]];
+    explore_exhaustive(
+        &layout.initial_mem_with(&[8, 9]),
+        &scripts,
+        weak_queue_factory(layout),
+        &ExploreConfig::default(),
+        |t| check_queue_terminal(4, &[8, 9], &layout, t),
+    );
+}
+
+/// **The paper's §1.1 non-interference example, verified exhaustively:**
+/// on a non-empty, non-full queue, a concurrent enqueue and dequeue
+/// never abort each other — in *any* schedule.
+#[test]
+fn enqueue_and_dequeue_never_interfere_in_any_schedule() {
+    let layout = queue_layout(4);
+    let scripts = vec![vec![SpecQueueOp::Enqueue(9)], vec![SpecQueueOp::Dequeue]];
+    let stats = explore_exhaustive(
+        &layout.initial_mem_with(&[5, 6]),
+        &scripts,
+        weak_queue_factory(layout),
+        &ExploreConfig::default(),
+        |t| {
+            assert_eq!(
+                t.aborted, 0,
+                "enqueue and dequeue on a non-empty non-full queue are non-interfering"
+            );
+            check_queue_terminal(4, &[5, 6], &layout, t);
+        },
+    );
+    assert!(stats.executions >= 900, "C(12,6) = 924 schedules");
+}
+
+/// At the Empty boundary the same pair *can* interfere (the dequeue's
+/// emptiness re-validation races the enqueue) — aborts may appear,
+/// but linearizability must hold throughout.
+#[test]
+fn empty_boundary_enqueue_dequeue_race() {
+    let layout = queue_layout(2);
+    let scripts = vec![vec![SpecQueueOp::Enqueue(9)], vec![SpecQueueOp::Dequeue]];
+    explore_exhaustive(
+        &layout.initial_mem(),
+        &scripts,
+        weak_queue_factory(layout),
+        &ExploreConfig::default(),
+        |t| check_queue_terminal(2, &[], &layout, t),
+    );
+}
+
+#[test]
+fn solo_queue_ops_are_six_accesses() {
+    let layout = queue_layout(4);
+    for (op, prefill, expected) in [
+        (SpecQueueOp::Enqueue(1), vec![], 6),
+        (SpecQueueOp::Dequeue, vec![5u32], 6),
+    ] {
+        let scripts = vec![vec![op]];
+        explore_exhaustive(
+            &layout.initial_mem_with(&prefill),
+            &scripts,
+            weak_queue_factory(layout),
+            &ExploreConfig::default(),
+            |t| {
+                assert_eq!(t.aborted, 0);
+                assert_eq!(t.op_steps[0].steps, expected);
+            },
+        );
+    }
+}
+
+// ---------------------------------------------------------------
+// V1/V3 — Figure 3 (strong stack), randomized + solo.
+// ---------------------------------------------------------------
+
+/// Theorem 1 in the model: solo strong operations are exactly six
+/// accesses and lock-free.
+#[test]
+fn solo_strong_ops_are_six_accesses() {
+    let layout = cs_stack_layout(4, 2);
+    let scripts = vec![vec![SpecStackOp::Push(1), SpecStackOp::Pop]];
+    explore_exhaustive(
+        &layout.initial_mem(),
+        &scripts,
+        strong_stack_factory(layout),
+        &ExploreConfig::default(),
+        |t| {
+            assert_eq!(t.aborted, 0);
+            assert!(t.op_steps.iter().all(|s| s.steps == 6), "{:?}", t.op_steps);
+            assert_eq!(t.mem.read(layout.lock()), 0);
+        },
+    );
+}
+
+/// Randomized sweep over Figure 3 schedules: strong operations never
+/// return ⊥ and every sampled execution is linearizable, with the
+/// final memory matching the witness.
+#[test]
+fn random_strong_stack_runs_are_linearizable() {
+    let layout = cs_stack_layout(8, 3);
+    let scripts = vec![
+        vec![SpecStackOp::Push(1), SpecStackOp::Pop],
+        vec![SpecStackOp::Push(2), SpecStackOp::Push(3)],
+        vec![SpecStackOp::Pop, SpecStackOp::Push(4)],
+    ];
+    let config = ExploreConfig {
+        max_steps_per_op: 5_000,
+        max_executions: usize::MAX,
+    };
+    let stats = explore_random(
+        &layout.initial_mem(),
+        &scripts,
+        strong_stack_factory(layout),
+        &config,
+        1_000,
+        0xC50,
+        |t| {
+            assert_eq!(t.aborted, 0, "strong operations never return ⊥ (Lemma 1)");
+            // Linearizability + memory agreement, via the embedded
+            // weak-stack layout.
+            check_stack_terminal(8, &[], &layout.stack, t);
+            // The lock is always released.
+            assert_eq!(t.mem.read(layout.lock()), 0);
+            // Every flag is lowered.
+            for i in 0..layout.n {
+                assert_eq!(t.mem.read(layout.flag(i)), 0);
+            }
+        },
+    );
+    assert_eq!(
+        stats.executions, 1_000,
+        "no sampled schedule may exceed the step budget"
+    );
+}
+
+/// The queue twin: random schedules of the full Figure 3 queue
+/// machine are linearizable, never ⊥, and leave the coordination
+/// registers clean.
+#[test]
+fn random_strong_queue_runs_are_linearizable() {
+    use cso_explore::algos::cs_queue::{cs_queue_layout, strong_queue_factory};
+    let layout = cs_queue_layout(8, 3);
+    let scripts = vec![
+        vec![SpecQueueOp::Enqueue(1), SpecQueueOp::Dequeue],
+        vec![SpecQueueOp::Enqueue(2), SpecQueueOp::Enqueue(3)],
+        vec![SpecQueueOp::Dequeue, SpecQueueOp::Enqueue(4)],
+    ];
+    let config = ExploreConfig {
+        max_steps_per_op: 5_000,
+        max_executions: usize::MAX,
+    };
+    let stats = explore_random(
+        &layout.initial_mem_with(&[9]),
+        &scripts,
+        strong_queue_factory(layout),
+        &config,
+        800,
+        0xC5,
+        |t| {
+            assert_eq!(t.aborted, 0, "strong operations never return ⊥");
+            check_queue_terminal(8, &[9], &layout.queue, t);
+            assert_eq!(t.mem.read(layout.lock()), 0);
+        },
+    );
+    assert_eq!(stats.executions, 800);
+}
+
+/// The CONTENTION flag really diverts contended operations: in random
+/// schedules of many processes, some operations take the lock path
+/// (observable as step counts well above the 6-access fast path).
+#[test]
+fn random_runs_exercise_both_paths() {
+    let layout = cs_stack_layout(8, 3);
+    let scripts = vec![
+        vec![SpecStackOp::Push(1)],
+        vec![SpecStackOp::Push(2)],
+        vec![SpecStackOp::Push(3)],
+    ];
+    let config = ExploreConfig {
+        max_steps_per_op: 5_000,
+        max_executions: usize::MAX,
+    };
+    let mut fast = 0u32;
+    let mut slow = 0u32;
+    explore_random(
+        &layout.initial_mem(),
+        &scripts,
+        strong_stack_factory(layout),
+        &config,
+        500,
+        7,
+        |t| {
+            for op in &t.op_steps {
+                if op.steps == 6 {
+                    fast += 1;
+                } else {
+                    slow += 1;
+                }
+            }
+        },
+    );
+    assert!(fast > 0, "some operations complete on the fast path");
+    assert!(slow > 0, "some operations fall back to the lock path");
+}

@@ -1,0 +1,52 @@
+//! Linearizability checking for concurrent-object histories.
+//!
+//! Linearizability (Herlihy & Wing, the paper's safety condition,
+//! §1.1) holds when "the operation invocations issued by the processes
+//! appear as if they have been executed sequentially, each invocation
+//! appearing as being executed instantaneously at some point of the
+//! time line between its start event and its end event".
+//!
+//! This crate decides that property for recorded histories:
+//!
+//! * [`history`] — invoke/return event sequences ([`History`]);
+//! * [`recorder`] — a concurrent [`Recorder`] producing real-time
+//!   ordered histories from live runs;
+//! * [`spec`] — the [`SeqSpec`] trait: a sequential specification as a
+//!   pure state-transition function;
+//! * [`checker`] — the decision procedure: the Wing & Gong
+//!   backtracking search with Lowe-style memoization of
+//!   (linearized-set, state) configurations;
+//! * [`specs`] — ready-made specifications for the paper's objects
+//!   (bounded stack, bounded queue, CAS register).
+//!
+//! # Example
+//!
+//! ```
+//! use cso_lincheck::checker::check_linearizable;
+//! use cso_lincheck::history::History;
+//! use cso_lincheck::specs::stack::{StackSpec, SpecStackOp as Op, SpecStackResp as Resp};
+//!
+//! // p0: push(1) then pop() overlapping nothing — a sequential history.
+//! let mut history = History::new();
+//! history.invoke(0, Op::Push(1));
+//! history.ret(0, Resp::Pushed);
+//! history.invoke(0, Op::Pop);
+//! history.ret(0, Resp::Popped(1));
+//!
+//! let verdict = check_linearizable(&StackSpec::new(4), &history);
+//! assert!(verdict.is_linearizable());
+//! ```
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod history;
+pub mod recorder;
+pub mod spec;
+pub mod specs;
+
+pub use checker::{check_linearizable, check_linearizable_bounded, BoundedLinResult, LinResult};
+pub use history::{Event, History};
+pub use recorder::Recorder;
+pub use spec::SeqSpec;

@@ -1,0 +1,5 @@
+//! Ready-made sequential specifications for the paper's objects.
+
+pub mod queue;
+pub mod register;
+pub mod stack;

@@ -1,0 +1,120 @@
+//! Sequential specification of the bounded FIFO queue.
+
+use std::collections::VecDeque;
+
+use crate::spec::SeqSpec;
+
+/// Queue operations (checker-side mirror of `cso_queue::QueueOp`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecQueueOp {
+    /// Enqueue a value at the rear.
+    Enqueue(u32),
+    /// Dequeue from the front.
+    Dequeue,
+}
+
+/// Queue responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecQueueResp {
+    /// The value was enqueued.
+    Enqueued,
+    /// The queue was full.
+    Full,
+    /// The dequeued value.
+    Dequeued(u32),
+    /// The queue was empty.
+    Empty,
+}
+
+/// The bounded FIFO queue specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueSpec {
+    capacity: usize,
+}
+
+impl QueueSpec {
+    /// A queue of capacity `capacity`.
+    #[must_use]
+    pub fn new(capacity: usize) -> QueueSpec {
+        QueueSpec { capacity }
+    }
+}
+
+impl SeqSpec for QueueSpec {
+    type State = VecDeque<u32>;
+    type Op = SpecQueueOp;
+    type Resp = SpecQueueResp;
+
+    fn initial(&self) -> VecDeque<u32> {
+        VecDeque::new()
+    }
+
+    fn apply(&self, state: &VecDeque<u32>, op: &SpecQueueOp) -> (VecDeque<u32>, SpecQueueResp) {
+        match op {
+            SpecQueueOp::Enqueue(v) => {
+                if state.len() == self.capacity {
+                    (state.clone(), SpecQueueResp::Full)
+                } else {
+                    let mut next = state.clone();
+                    next.push_back(*v);
+                    (next, SpecQueueResp::Enqueued)
+                }
+            }
+            SpecQueueOp::Dequeue => {
+                let mut next = state.clone();
+                match next.pop_front() {
+                    Some(v) => (next, SpecQueueResp::Dequeued(v)),
+                    None => (next, SpecQueueResp::Empty),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::check_linearizable;
+    use crate::history::History;
+
+    #[test]
+    fn fifo_with_capacity() {
+        let spec = QueueSpec::new(2);
+        let s0 = spec.initial();
+        let (s1, _) = spec.apply(&s0, &SpecQueueOp::Enqueue(1));
+        let (s2, _) = spec.apply(&s1, &SpecQueueOp::Enqueue(2));
+        let (s3, r) = spec.apply(&s2, &SpecQueueOp::Enqueue(3));
+        assert_eq!(r, SpecQueueResp::Full);
+        assert_eq!(s3, s2);
+        let (_, r) = spec.apply(&s2, &SpecQueueOp::Dequeue);
+        assert_eq!(r, SpecQueueResp::Dequeued(1));
+        let (_, r) = spec.apply(&s0, &SpecQueueOp::Dequeue);
+        assert_eq!(r, SpecQueueResp::Empty);
+    }
+
+    #[test]
+    fn fifo_order_violation_is_not_linearizable() {
+        // enq(1); enq(2) sequentially, then a dequeue (sequential)
+        // returning 2: violates FIFO.
+        let mut h = History::new();
+        h.invoke(0, SpecQueueOp::Enqueue(1));
+        h.ret(0, SpecQueueResp::Enqueued);
+        h.invoke(0, SpecQueueOp::Enqueue(2));
+        h.ret(0, SpecQueueResp::Enqueued);
+        h.invoke(1, SpecQueueOp::Dequeue);
+        h.ret(1, SpecQueueResp::Dequeued(2));
+        assert!(!check_linearizable(&QueueSpec::new(4), &h).is_linearizable());
+    }
+
+    #[test]
+    fn overlapping_enqueues_allow_either_order() {
+        let mut h = History::new();
+        h.invoke(0, SpecQueueOp::Enqueue(1));
+        h.invoke(1, SpecQueueOp::Enqueue(2));
+        h.ret(0, SpecQueueResp::Enqueued);
+        h.ret(1, SpecQueueResp::Enqueued);
+        h.invoke(0, SpecQueueOp::Dequeue);
+        h.ret(0, SpecQueueResp::Dequeued(2)); // 2 first is fine: enqueues overlapped
+        assert!(check_linearizable(&QueueSpec::new(4), &h).is_linearizable());
+    }
+}

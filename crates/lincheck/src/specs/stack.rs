@@ -1,0 +1,119 @@
+//! Sequential specification of the paper's bounded stack.
+
+use crate::spec::SeqSpec;
+
+/// Stack operations (checker-side mirror of `cso_stack::StackOp`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecStackOp {
+    /// Push a value.
+    Push(u32),
+    /// Pop the top value.
+    Pop,
+}
+
+impl std::fmt::Display for SpecStackOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecStackOp::Push(v) => write!(f, "push({v})"),
+            SpecStackOp::Pop => write!(f, "pop()"),
+        }
+    }
+}
+
+/// Stack responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecStackResp {
+    /// `done`.
+    Pushed,
+    /// `full`.
+    Full,
+    /// The popped value.
+    Popped(u32),
+    /// `empty`.
+    Empty,
+}
+
+impl std::fmt::Display for SpecStackResp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecStackResp::Pushed => write!(f, "done"),
+            SpecStackResp::Full => write!(f, "full"),
+            SpecStackResp::Popped(v) => write!(f, "{v}"),
+            SpecStackResp::Empty => write!(f, "empty"),
+        }
+    }
+}
+
+/// The bounded LIFO stack specification (§3 of the paper: `weak_push`
+/// returns `done`/`full`, `weak_pop` returns the value/`empty`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StackSpec {
+    capacity: usize,
+}
+
+impl StackSpec {
+    /// A stack of capacity `capacity`.
+    #[must_use]
+    pub fn new(capacity: usize) -> StackSpec {
+        StackSpec { capacity }
+    }
+}
+
+impl SeqSpec for StackSpec {
+    type State = Vec<u32>;
+    type Op = SpecStackOp;
+    type Resp = SpecStackResp;
+
+    fn initial(&self) -> Vec<u32> {
+        Vec::new()
+    }
+
+    fn apply(&self, state: &Vec<u32>, op: &SpecStackOp) -> (Vec<u32>, SpecStackResp) {
+        match op {
+            SpecStackOp::Push(v) => {
+                if state.len() == self.capacity {
+                    (state.clone(), SpecStackResp::Full)
+                } else {
+                    let mut next = state.clone();
+                    next.push(*v);
+                    (next, SpecStackResp::Pushed)
+                }
+            }
+            SpecStackOp::Pop => {
+                let mut next = state.clone();
+                match next.pop() {
+                    Some(v) => (next, SpecStackResp::Popped(v)),
+                    None => (next, SpecStackResp::Empty),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_with_capacity() {
+        let spec = StackSpec::new(2);
+        let s0 = spec.initial();
+        let (s1, r1) = spec.apply(&s0, &SpecStackOp::Push(1));
+        assert_eq!(r1, SpecStackResp::Pushed);
+        let (s2, _) = spec.apply(&s1, &SpecStackOp::Push(2));
+        let (s3, r3) = spec.apply(&s2, &SpecStackOp::Push(3));
+        assert_eq!(r3, SpecStackResp::Full);
+        assert_eq!(s3, s2);
+        let (_, r4) = spec.apply(&s3, &SpecStackOp::Pop);
+        assert_eq!(r4, SpecStackResp::Popped(2));
+        let (empty, r5) = spec.apply(&s0, &SpecStackOp::Pop);
+        assert_eq!(r5, SpecStackResp::Empty);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn display_renders() {
+        assert_eq!(SpecStackOp::Push(3).to_string(), "push(3)");
+        assert_eq!(SpecStackResp::Empty.to_string(), "empty");
+    }
+}

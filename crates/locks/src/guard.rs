@@ -1,0 +1,63 @@
+//! RAII guards pairing a lock acquisition with its release.
+
+use crate::raw::{ProcLock, RawLock};
+use std::fmt;
+
+/// Releases a [`RawLock`] when dropped.
+///
+/// Created by [`RawLock::lock_guard`]; see that method for an example.
+pub struct LockGuard<'a, L: RawLock + ?Sized> {
+    lock: &'a L,
+}
+
+impl<'a, L: RawLock + ?Sized> LockGuard<'a, L> {
+    pub(crate) fn new(lock: &'a L) -> LockGuard<'a, L> {
+        LockGuard { lock }
+    }
+}
+
+impl<L: RawLock + ?Sized> Drop for LockGuard<'_, L> {
+    fn drop(&mut self) {
+        self.lock.unlock();
+    }
+}
+
+impl<L: RawLock + ?Sized> fmt::Debug for LockGuard<'_, L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LockGuard").finish_non_exhaustive()
+    }
+}
+
+/// Releases a [`ProcLock`] (with the acquiring identity) when dropped.
+///
+/// Created by [`ProcLock::lock_proc_guard`].
+pub struct ProcLockGuard<'a, L: ProcLock + ?Sized> {
+    lock: &'a L,
+    proc: usize,
+}
+
+impl<'a, L: ProcLock + ?Sized> ProcLockGuard<'a, L> {
+    pub(crate) fn new(lock: &'a L, proc: usize) -> ProcLockGuard<'a, L> {
+        ProcLockGuard { lock, proc }
+    }
+
+    /// The identity that holds the lock through this guard.
+    #[must_use]
+    pub fn proc(&self) -> usize {
+        self.proc
+    }
+}
+
+impl<L: ProcLock + ?Sized> Drop for ProcLockGuard<'_, L> {
+    fn drop(&mut self) {
+        self.lock.unlock(self.proc);
+    }
+}
+
+impl<L: ProcLock + ?Sized> fmt::Debug for ProcLockGuard<'_, L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProcLockGuard")
+            .field("proc", &self.proc)
+            .finish()
+    }
+}

@@ -1,0 +1,158 @@
+//! Lamport's fast mutual-exclusion algorithm (1987).
+//!
+//! Reference \[16\] of the paper — the first contention-sensitive
+//! algorithm avant la lettre: "in a contention-free context, a process
+//! has to execute only **seven** shared memory accesses to enter [and
+//! leave] the critical section. When there is contention, the number
+//! of shared memory accesses depends on the number of processes".
+//! Experiment E1 measures exactly this seven-access fast path.
+
+use cso_memory::backoff::Spinner;
+use cso_memory::reg::{RegBool, RegUsize};
+
+use crate::raw::ProcLock;
+
+const NONE: usize = 0;
+
+/// Lamport's fast mutex for `n` processes.
+///
+/// Built from read/write registers only (no `Compare&Swap`).
+/// Deadlock-free but **not** starvation-free: under contention a
+/// process can lose the `x`/`y` race repeatedly. Contention-free cost:
+/// five accesses to acquire plus two to release — the "seven" of the
+/// paper's introduction.
+///
+/// ```
+/// use cso_locks::{LamportFastLock, ProcLock};
+/// let lock = LamportFastLock::new(4);
+/// lock.lock(1);
+/// lock.unlock(1);
+/// ```
+#[derive(Debug)]
+pub struct LamportFastLock {
+    /// Doorway register written by every entrant (`i + 1`; 0 = none).
+    x: RegUsize,
+    /// Gate register: non-zero while the critical section is claimed.
+    y: RegUsize,
+    /// `b[i]`: process `i` is trying.
+    b: Vec<RegBool>,
+}
+
+impl LamportFastLock {
+    /// Creates an unlocked lock for `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> LamportFastLock {
+        assert!(n > 0, "a Lamport fast lock needs at least one process");
+        LamportFastLock {
+            x: RegUsize::new(NONE),
+            y: RegUsize::new(NONE),
+            b: (0..n).map(|_| RegBool::new(false)).collect(),
+        }
+    }
+}
+
+impl ProcLock for LamportFastLock {
+    fn n(&self) -> usize {
+        self.b.len()
+    }
+
+    fn lock(&self, proc: usize) {
+        let me = proc + 1;
+        let mut spinner = Spinner::new();
+        loop {
+            self.b[proc].write(true); // access 1
+            self.x.write(me); // access 2
+            if self.y.read() != NONE {
+                // access 3 (slow branch)
+                self.b[proc].write(false);
+                while self.y.read() != NONE {
+                    spinner.spin();
+                }
+                continue;
+            }
+            self.y.write(me); // access 4
+            if self.x.read() != me {
+                // access 5 (slow branch)
+                self.b[proc].write(false);
+                // Wait for every announced contender to retreat.
+                for j in 0..self.b.len() {
+                    while self.b[j].read() {
+                        spinner.spin();
+                    }
+                }
+                if self.y.read() != me {
+                    while self.y.read() != NONE {
+                        spinner.spin();
+                    }
+                    continue;
+                }
+            }
+            return; // fast path: accesses 1–5
+        }
+    }
+
+    fn unlock(&self, proc: usize) {
+        self.y.write(NONE); // access 6
+        self.b[proc].write(false); // access 7
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::stress_proc;
+    use cso_memory::counting::CountScope;
+
+    #[test]
+    fn provides_mutual_exclusion() {
+        stress_proc(LamportFastLock::new(4), 4, 2_500);
+    }
+
+    #[test]
+    fn solo_acquire_release_is_seven_accesses() {
+        let lock = LamportFastLock::new(8);
+        // Warm up once, then measure.
+        lock.lock(0);
+        lock.unlock(0);
+        let scope = CountScope::start();
+        lock.lock(0);
+        lock.unlock(0);
+        let counts = scope.take();
+        assert_eq!(
+            counts.total(),
+            7,
+            "paper ref [16]: contention-free entry+exit must be 7 accesses, got {counts}"
+        );
+    }
+
+    #[test]
+    fn fast_path_cost_is_independent_of_n() {
+        for n in [1, 2, 16, 64] {
+            let lock = LamportFastLock::new(n);
+            let scope = CountScope::start();
+            lock.lock(0);
+            lock.unlock(0);
+            assert_eq!(scope.take().total(), 7, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn handoff_between_two_processes() {
+        use std::sync::Arc;
+        let lock = Arc::new(LamportFastLock::new(2));
+        let l2 = Arc::clone(&lock);
+        lock.lock(0);
+        let waiter = std::thread::spawn(move || {
+            l2.lock(1);
+            l2.unlock(1);
+            true
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        lock.unlock(0);
+        assert!(waiter.join().unwrap());
+    }
+}

@@ -1,0 +1,83 @@
+//! OS-assisted mutex baseline.
+
+use parking_lot::lock_api::RawMutex as _;
+use parking_lot::RawMutex;
+
+use crate::raw::RawLock;
+
+/// A [`RawLock`] over `parking_lot`'s raw mutex — the state-of-practice
+/// blocking lock, included as a baseline in the lock and stack
+/// benchmarks (E4, E7).
+///
+/// Unlike the register-based locks in this crate, its internal accesses
+/// are *not* recorded by [`cso_memory::counting`]; it represents the
+/// "traditional lock-based synchronization" the paper's introduction
+/// contrasts with.
+///
+/// ```
+/// use cso_locks::{OsLock, RawLock};
+/// let lock = OsLock::new();
+/// lock.with(|| { /* critical section */ });
+/// ```
+pub struct OsLock {
+    raw: RawMutex,
+}
+
+impl std::fmt::Debug for OsLock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OsLock")
+            .field("locked", &self.raw.is_locked())
+            .finish()
+    }
+}
+
+impl OsLock {
+    /// Creates an unlocked lock.
+    #[must_use]
+    pub fn new() -> OsLock {
+        OsLock {
+            raw: RawMutex::INIT,
+        }
+    }
+}
+
+impl Default for OsLock {
+    fn default() -> OsLock {
+        OsLock::new()
+    }
+}
+
+impl RawLock for OsLock {
+    fn lock(&self) {
+        self.raw.lock();
+    }
+
+    fn unlock(&self) {
+        // SAFETY: the `RawLock` contract requires the caller to hold
+        // the lock, which is exactly `RawMutex::unlock`'s requirement.
+        unsafe { self.raw.unlock() };
+    }
+
+    fn try_lock(&self) -> bool {
+        self.raw.try_lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::stress_raw;
+
+    #[test]
+    fn try_lock_reports_state() {
+        let lock = OsLock::new();
+        assert!(lock.try_lock());
+        assert!(!lock.try_lock());
+        lock.unlock();
+    }
+
+    #[test]
+    fn provides_mutual_exclusion() {
+        stress_raw(OsLock::new(), 4, 2_500);
+    }
+}

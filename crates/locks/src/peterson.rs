@@ -1,0 +1,211 @@
+//! Peterson's 2-process lock and its tournament-tree generalization.
+//!
+//! Peterson's algorithm (\[17\] in the paper) needs only atomic
+//! read/write registers — no `Compare&Swap` — and is starvation-free
+//! with bounded bypass 1. The [`TournamentLock`] composes a complete
+//! binary tree of 2-process instances to serve `n` processes; a
+//! process walks leaf-to-root acquiring each level, giving `O(log n)`
+//! accesses per acquisition.
+
+use cso_memory::backoff::Spinner;
+use cso_memory::reg::{RegBool, RegUsize};
+
+use crate::raw::ProcLock;
+
+/// Peterson's classic 2-process mutual-exclusion lock.
+///
+/// The two sides are `0` and `1`; each side must be used by at most
+/// one thread at a time.
+///
+/// ```
+/// use cso_locks::PetersonLock;
+/// let lock = PetersonLock::new();
+/// lock.lock(0);
+/// lock.unlock(0);
+/// ```
+#[derive(Debug)]
+pub struct PetersonLock {
+    flag: [RegBool; 2],
+    /// The side that most recently offered to wait.
+    victim: RegUsize,
+}
+
+impl PetersonLock {
+    /// Creates an unlocked lock.
+    #[must_use]
+    pub fn new() -> PetersonLock {
+        PetersonLock {
+            flag: [RegBool::new(false), RegBool::new(false)],
+            victim: RegUsize::new(0),
+        }
+    }
+
+    /// Acquires the lock for `side` (0 or 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side > 1`.
+    pub fn lock(&self, side: usize) {
+        assert!(side < 2, "Peterson sides are 0 and 1");
+        let other = 1 - side;
+        self.flag[side].write(true);
+        self.victim.write(side);
+        let mut spinner = Spinner::new();
+        while self.flag[other].read() && self.victim.read() == side {
+            spinner.spin();
+        }
+    }
+
+    /// Releases the lock held by `side`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side > 1`.
+    pub fn unlock(&self, side: usize) {
+        assert!(side < 2, "Peterson sides are 0 and 1");
+        self.flag[side].write(false);
+    }
+}
+
+impl Default for PetersonLock {
+    fn default() -> PetersonLock {
+        PetersonLock::new()
+    }
+}
+
+impl ProcLock for PetersonLock {
+    fn n(&self) -> usize {
+        2
+    }
+
+    fn lock(&self, proc: usize) {
+        PetersonLock::lock(self, proc);
+    }
+
+    fn unlock(&self, proc: usize) {
+        PetersonLock::unlock(self, proc);
+    }
+}
+
+/// A starvation-free `n`-process lock built as a tournament tree of
+/// [`PetersonLock`]s.
+///
+/// Process `i` starts at leaf `i` and acquires the Peterson instance
+/// at every internal node up to the root, entering each from the side
+/// (left/right) its subtree hangs on. Release walks the same path
+/// downward (reverse acquisition order).
+///
+/// ```
+/// use cso_locks::{ProcLock, TournamentLock};
+/// let lock = TournamentLock::new(5);
+/// lock.lock(4);
+/// lock.unlock(4);
+/// ```
+#[derive(Debug)]
+pub struct TournamentLock {
+    n: usize,
+    /// Leaf count: `n` rounded up to a power of two.
+    width: usize,
+    /// Heap-ordered internal nodes: root at 1, children of `x` at
+    /// `2x` / `2x + 1`. Entry 0 unused.
+    nodes: Vec<PetersonLock>,
+}
+
+impl TournamentLock {
+    /// Creates a lock for `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> TournamentLock {
+        assert!(n > 0, "a tournament lock needs at least one process");
+        let width = n.next_power_of_two().max(2);
+        let nodes = (0..width).map(|_| PetersonLock::new()).collect();
+        TournamentLock { n, width, nodes }
+    }
+
+    /// The leaf-to-root path of heap positions for process `proc`,
+    /// excluding the leaf itself (leaves are not locks).
+    fn path(&self, proc: usize) -> impl Iterator<Item = usize> {
+        let mut pos = self.width + proc;
+        std::iter::from_fn(move || {
+            if pos <= 1 {
+                None
+            } else {
+                let here = pos;
+                pos /= 2;
+                Some(here)
+            }
+        })
+    }
+}
+
+impl ProcLock for TournamentLock {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn lock(&self, proc: usize) {
+        assert!(proc < self.n, "process id out of range");
+        for pos in self.path(proc) {
+            let parent = pos / 2;
+            let side = pos % 2;
+            self.nodes[parent].lock(side);
+        }
+    }
+
+    fn unlock(&self, proc: usize) {
+        assert!(proc < self.n, "process id out of range");
+        // Release in reverse acquisition order: root first.
+        let path: Vec<usize> = self.path(proc).collect();
+        for pos in path.into_iter().rev() {
+            let parent = pos / 2;
+            let side = pos % 2;
+            self.nodes[parent].unlock(side);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::stress_proc;
+
+    #[test]
+    fn peterson_mutual_exclusion() {
+        stress_proc(PetersonLock::new(), 2, 5_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "sides are 0 and 1")]
+    fn peterson_rejects_bad_side() {
+        PetersonLock::new().lock(2);
+    }
+
+    #[test]
+    fn tournament_mutual_exclusion_power_of_two() {
+        stress_proc(TournamentLock::new(4), 4, 1_500);
+    }
+
+    #[test]
+    fn tournament_mutual_exclusion_odd_n() {
+        stress_proc(TournamentLock::new(3), 3, 1_500);
+    }
+
+    #[test]
+    fn tournament_single_process() {
+        let lock = TournamentLock::new(1);
+        for _ in 0..100 {
+            lock.lock(0);
+            lock.unlock(0);
+        }
+    }
+
+    #[test]
+    fn tournament_path_reaches_root() {
+        let lock = TournamentLock::new(8);
+        let path: Vec<usize> = lock.path(5).collect();
+        assert_eq!(path, vec![13, 6, 3]); // leaf 13 → node 6 → node 3 (root parent 1)
+    }
+}

@@ -1,0 +1,80 @@
+//! Test-and-set spin lock.
+
+use cso_memory::backoff::Spinner;
+use cso_memory::reg::RegBool;
+
+use crate::raw::RawLock;
+
+/// The simplest deadlock-free lock: spin on an atomic test-and-set.
+///
+/// This is the minimal lock Figure 3 of the paper assumes: it is
+/// **deadlock-free but not starvation-free** — under contention an
+/// unlucky thread can lose the race forever. The paper's §4.4
+/// `FLAG`/`TURN` mechanism ([`crate::StarvationFree`]) exists precisely
+/// to repair that.
+///
+/// ```
+/// use cso_locks::{RawLock, TasLock};
+/// let lock = TasLock::new();
+/// lock.lock();
+/// assert!(!lock.try_lock());
+/// lock.unlock();
+/// ```
+#[derive(Debug)]
+pub struct TasLock {
+    held: RegBool,
+}
+
+impl TasLock {
+    /// Creates an unlocked lock.
+    #[must_use]
+    pub fn new() -> TasLock {
+        TasLock {
+            held: RegBool::new(false),
+        }
+    }
+}
+
+impl Default for TasLock {
+    fn default() -> TasLock {
+        TasLock::new()
+    }
+}
+
+impl RawLock for TasLock {
+    fn lock(&self) {
+        let mut spinner = Spinner::new();
+        while self.held.swap(true) {
+            spinner.spin();
+        }
+    }
+
+    fn unlock(&self) {
+        self.held.write(false);
+    }
+
+    fn try_lock(&self) -> bool {
+        !self.held.swap(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::stress_raw;
+
+    #[test]
+    fn try_lock_reports_state() {
+        let lock = TasLock::new();
+        assert!(lock.try_lock());
+        assert!(!lock.try_lock());
+        lock.unlock();
+        assert!(lock.try_lock());
+        lock.unlock();
+    }
+
+    #[test]
+    fn provides_mutual_exclusion() {
+        stress_raw(TasLock::new(), 4, 2_500);
+    }
+}

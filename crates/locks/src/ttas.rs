@@ -1,0 +1,89 @@
+//! Test-and-test-and-set spin lock with exponential backoff.
+
+use cso_memory::backoff::{Backoff, Spinner};
+use cso_memory::reg::RegBool;
+
+use crate::raw::RawLock;
+
+/// A [`crate::TasLock`] refined for cache behaviour: spin **reading**
+/// the flag (a local cache hit once it settles) and only attempt the
+/// swap when the lock looks free; back off exponentially after a lost
+/// race.
+///
+/// Same progress condition as TAS — deadlock-free, not starvation-free
+/// — but far fewer coherence misses under contention, which is what the
+/// lock-comparison experiment (E7) shows.
+///
+/// ```
+/// use cso_locks::{RawLock, TtasLock};
+/// let lock = TtasLock::new();
+/// lock.with(|| { /* critical section */ });
+/// ```
+#[derive(Debug)]
+pub struct TtasLock {
+    held: RegBool,
+}
+
+impl TtasLock {
+    /// Creates an unlocked lock.
+    #[must_use]
+    pub fn new() -> TtasLock {
+        TtasLock {
+            held: RegBool::new(false),
+        }
+    }
+}
+
+impl Default for TtasLock {
+    fn default() -> TtasLock {
+        TtasLock::new()
+    }
+}
+
+impl RawLock for TtasLock {
+    fn lock(&self) {
+        let mut backoff = Backoff::new();
+        let mut spinner = Spinner::new();
+        loop {
+            // Spin on the read until the lock looks free.
+            while self.held.read() {
+                spinner.spin();
+            }
+            if !self.held.swap(true) {
+                return;
+            }
+            // Lost the race at the swap: somebody else got in. Back off
+            // before re-probing so the winners' cache lines settle.
+            backoff.spin();
+        }
+    }
+
+    fn unlock(&self) {
+        self.held.write(false);
+    }
+
+    fn try_lock(&self) -> bool {
+        !self.held.read() && !self.held.swap(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::stress_raw;
+
+    #[test]
+    fn try_lock_does_not_acquire_when_held() {
+        let lock = TtasLock::new();
+        lock.lock();
+        assert!(!lock.try_lock());
+        lock.unlock();
+        assert!(lock.try_lock());
+        lock.unlock();
+    }
+
+    #[test]
+    fn provides_mutual_exclusion() {
+        stress_raw(TtasLock::new(), 4, 2_500);
+    }
+}

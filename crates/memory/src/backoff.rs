@@ -1,0 +1,270 @@
+//! Spin/backoff helpers for retry loops and contention managers.
+//!
+//! The paper's Figure 2 turns the abortable stack into a non-blocking
+//! one with a bare `repeat … until res ≠ ⊥` loop. A practical
+//! implementation inserts backoff between retries to reduce CAS
+//! contention; `cso-core`'s contention managers are built from the
+//! pieces here.
+
+use std::hint;
+use std::thread;
+
+/// A deterministic xorshift64* pseudo-random generator.
+///
+/// Used for backoff jitter and for the elimination stack's slot
+/// selection. Not cryptographic; deliberately dependency-free so the
+/// core crates stay `std`-only.
+///
+/// ```
+/// use cso_memory::backoff::XorShift64;
+/// let mut rng = XorShift64::new(42);
+/// let a = rng.next_u64();
+/// let b = rng.next_u64();
+/// assert_ne!(a, b);
+/// assert!(rng.next_below(10) < 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator from a seed (a zero seed is remapped to a
+    /// fixed non-zero constant, since xorshift has a fixed point at 0).
+    #[must_use]
+    pub fn new(seed: u64) -> XorShift64 {
+        XorShift64 {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Creates a generator seeded from the current thread and time.
+    #[must_use]
+    pub fn from_entropy() -> XorShift64 {
+        use std::collections::hash_map::RandomState;
+        use std::hash::{BuildHasher, Hasher};
+        let mut hasher = RandomState::new().build_hasher();
+        hasher.write_u64(0xC0FF_EE00);
+        XorShift64::new(hasher.finish())
+    }
+
+    /// Returns the next pseudo-random 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Returns a pseudo-random value in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.next_u64() % bound
+    }
+}
+
+/// Exponential spin backoff with an eventual yield to the scheduler.
+///
+/// Modeled on the classical TTAS backoff: spin `2^k` pause
+/// instructions, doubling up to a cap, then start yielding the OS
+/// thread so oversubscribed runs still make progress.
+///
+/// ```
+/// use cso_memory::backoff::Backoff;
+/// let mut b = Backoff::new();
+/// for _ in 0..4 {
+///     b.spin(); // grows 1, 2, 4, 8 pauses
+/// }
+/// b.reset();
+/// ```
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// Spins below this exponent; yields the thread at or above it.
+    pub const YIELD_THRESHOLD: u32 = 10;
+    /// The exponent stops growing here (2¹⁶ pauses max — with yields).
+    pub const MAX_STEP: u32 = 16;
+
+    /// Creates a fresh backoff at the shortest delay.
+    #[must_use]
+    pub fn new() -> Backoff {
+        Backoff { step: 0 }
+    }
+
+    /// Resets to the shortest delay (call after a successful operation).
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// True once the backoff has escalated to yielding the thread.
+    #[must_use]
+    pub fn is_yielding(&self) -> bool {
+        self.step >= Self::YIELD_THRESHOLD
+    }
+
+    /// Waits for the current delay and doubles it (up to the cap).
+    pub fn spin(&mut self) {
+        if self.step < Self::YIELD_THRESHOLD {
+            for _ in 0..(1u32 << self.step) {
+                hint::spin_loop();
+            }
+        } else {
+            thread::yield_now();
+        }
+        if self.step < Self::MAX_STEP {
+            self.step += 1;
+        }
+    }
+
+    /// Like [`Backoff::spin`] but randomizes the spin count in
+    /// `[1, 2^step]`, decorrelating threads that failed together.
+    pub fn spin_jittered(&mut self, rng: &mut XorShift64) {
+        if self.step < Self::YIELD_THRESHOLD {
+            let max = 1u64 << self.step;
+            for _ in 0..=rng.next_below(max) {
+                hint::spin_loop();
+            }
+        } else {
+            thread::yield_now();
+        }
+        if self.step < Self::MAX_STEP {
+            self.step += 1;
+        }
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Backoff {
+        Backoff::new()
+    }
+}
+
+/// A cooperative wait-loop helper: busy-spins a handful of iterations
+/// (cheap when the awaited condition flips quickly on another core),
+/// then starts yielding the OS thread (essential when cores are scarce
+/// — a pure spinner would burn its whole quantum while the thread it
+/// waits for is descheduled).
+///
+/// Use one `Spinner` per wait loop:
+///
+/// ```
+/// use cso_memory::backoff::Spinner;
+/// use std::sync::atomic::{AtomicBool, Ordering};
+///
+/// let ready = AtomicBool::new(true);
+/// let mut spinner = Spinner::new();
+/// while !ready.load(Ordering::Acquire) {
+///     spinner.spin();
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Spinner {
+    count: u32,
+}
+
+impl Spinner {
+    /// Busy-spin iterations before the first yield.
+    pub const SPIN_LIMIT: u32 = 64;
+
+    /// Creates a fresh spinner.
+    #[must_use]
+    pub fn new() -> Spinner {
+        Spinner { count: 0 }
+    }
+
+    /// Waits one step: a pause instruction for the first
+    /// [`Spinner::SPIN_LIMIT`] calls, a `thread::yield_now` after.
+    pub fn spin(&mut self) {
+        if self.count < Self::SPIN_LIMIT {
+            self.count += 1;
+            hint::spin_loop();
+        } else {
+            thread::yield_now();
+        }
+    }
+}
+
+impl Default for Spinner {
+    fn default() -> Spinner {
+        Spinner::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_is_deterministic() {
+        let mut a = XorShift64::new(7);
+        let mut b = XorShift64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn xorshift_zero_seed_is_remapped() {
+        let mut rng = XorShift64::new(0);
+        assert_ne!(rng.next_u64(), 0);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = XorShift64::new(123);
+        for bound in [1u64, 2, 3, 17, 1000] {
+            for _ in 0..200 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn xorshift_covers_residues() {
+        // Sanity: over 1000 draws mod 8, every residue appears.
+        let mut rng = XorShift64::new(99);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[(rng.next_u64() % 8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn backoff_escalates_to_yield_and_caps() {
+        let mut b = Backoff::new();
+        assert!(!b.is_yielding());
+        for _ in 0..Backoff::YIELD_THRESHOLD {
+            b.spin();
+        }
+        assert!(b.is_yielding());
+        for _ in 0..40 {
+            b.spin(); // must not overflow past MAX_STEP
+        }
+        b.reset();
+        assert!(!b.is_yielding());
+    }
+
+    #[test]
+    fn jittered_backoff_advances() {
+        let mut b = Backoff::new();
+        let mut rng = XorShift64::new(5);
+        for _ in 0..20 {
+            b.spin_jittered(&mut rng);
+        }
+        assert!(b.is_yielding());
+    }
+}

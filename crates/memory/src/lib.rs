@@ -1,0 +1,52 @@
+//! Shared-memory substrate for the `cso` workspace.
+//!
+//! The computation model of Mostefaoui & Raynal (2011), §2, is a set of
+//! `n` asynchronous processes communicating through *atomic registers*
+//! supporting `read`, `write` and `Compare&Swap`. This crate provides
+//! that model on top of `std::sync::atomic`:
+//!
+//! * [`reg`] — atomic registers whose every access is recorded in a
+//!   per-thread counter (so experiments can *measure* the paper's
+//!   "six shared memory accesses" claim rather than assert it);
+//! * [`packed`] — the multi-field register words the paper uses
+//!   (`TOP = ⟨index, value, seqnb⟩`, `STACK[x] = ⟨val, sn⟩`), packed
+//!   into a single `u64` so they can be CAS-ed atomically;
+//! * [`counting`] — the per-thread shared-access counters;
+//! * [`registry`] — process identities `0..n` (the paper's `p_1..p_n`),
+//!   needed by the `FLAG`/`TURN` starvation-freedom mechanism;
+//! * [`backoff`] — spin/backoff helpers used by retry loops;
+//! * [`slab`] — a fixed-capacity slab with an ABA-safe array freelist,
+//!   used to lift the 32-bit-value algorithms to arbitrary payloads.
+//!
+//! # Example
+//!
+//! ```
+//! use cso_memory::counting;
+//! use cso_memory::reg::Reg64;
+//!
+//! let r = Reg64::new(1);
+//! let scope = counting::CountScope::start();
+//! r.write(2);
+//! assert!(r.cas(2, 3));
+//! assert_eq!(r.read(), 3);
+//! let counts = scope.take();
+//! assert_eq!(counts.total(), 3);
+//! ```
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+pub mod backoff;
+pub mod bits;
+pub mod counting;
+pub mod packed;
+pub mod reg;
+pub mod registry;
+pub mod slab;
+
+pub use bits::Bits32;
+pub use counting::{AccessCounts, CountScope};
+pub use packed::{DequeState, DequeWord, HeadWord, SlotWord, TailWord, TopWord};
+pub use reg::{Reg64, RegBool, RegUsize};
+pub use registry::{ProcRegistry, ProcToken, RegistryFull};
+pub use slab::Slab;

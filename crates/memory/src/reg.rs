@@ -1,0 +1,275 @@
+//! Counted atomic registers.
+//!
+//! The paper's computation model (§2) provides atomic registers with
+//! `read`, `write` and `Compare&Swap`. These wrappers implement that
+//! model over `std::sync::atomic` with two deliberate choices:
+//!
+//! * **every access records itself** in the thread-local counters of
+//!   [`crate::counting`], making step-complexity claims measurable;
+//! * **all orderings are `SeqCst`** — the paper's registers are atomic
+//!   in the sequential-consistency sense, and the point of the
+//!   algorithms is their structure, not fence minimization. Baseline
+//!   structures that traditionally use acquire/release live outside
+//!   this module.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+use crate::counting::{record, AccessKind};
+
+/// A counted 64-bit atomic register.
+///
+/// This is the register type the paper's stack is built from: `TOP` and
+/// every `STACK[x]` are multi-field words (see [`crate::packed`]) stored
+/// in one `Reg64` so the whole word is read and CAS-ed atomically.
+///
+/// ```
+/// use cso_memory::reg::Reg64;
+/// let top = Reg64::new(0);
+/// assert!(top.cas(0, 7));
+/// assert!(!top.cas(0, 9));
+/// assert_eq!(top.read(), 7);
+/// ```
+#[derive(Debug)]
+pub struct Reg64 {
+    cell: AtomicU64,
+}
+
+impl Reg64 {
+    /// Creates a register holding `value`.
+    #[must_use]
+    pub fn new(value: u64) -> Reg64 {
+        Reg64 {
+            cell: AtomicU64::new(value),
+        }
+    }
+
+    /// Atomically reads the register.
+    #[inline]
+    pub fn read(&self) -> u64 {
+        record(AccessKind::Read);
+        self.cell.load(Ordering::SeqCst)
+    }
+
+    /// Atomically writes `value` into the register.
+    #[inline]
+    pub fn write(&self, value: u64) {
+        record(AccessKind::Write);
+        self.cell.store(value, Ordering::SeqCst);
+    }
+
+    /// The paper's `X.C&S(old, new)` (§2.2): atomically, if the register
+    /// holds `old`, replaces it with `new` and returns `true`;
+    /// otherwise returns `false` and leaves the register unchanged.
+    #[inline]
+    pub fn cas(&self, old: u64, new: u64) -> bool {
+        record(AccessKind::Cas);
+        self.cell
+            .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Like [`Reg64::cas`], but on failure returns the value observed,
+    /// matching machines whose `Compare&Swap` "returned value is not a
+    /// boolean, but the previous value of X" (§2.2).
+    #[inline]
+    pub fn cas_observe(&self, old: u64, new: u64) -> Result<(), u64> {
+        record(AccessKind::Cas);
+        self.cell
+            .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
+            .map(|_| ())
+            .map_err(|observed| observed)
+    }
+}
+
+/// A counted boolean atomic register (the paper's `CONTENTION` and
+/// `FLAG[i]` registers).
+///
+/// ```
+/// use cso_memory::reg::RegBool;
+/// let contention = RegBool::new(false);
+/// contention.write(true);
+/// assert!(contention.read());
+/// ```
+#[derive(Debug)]
+pub struct RegBool {
+    cell: AtomicBool,
+}
+
+impl RegBool {
+    /// Creates a register holding `value`.
+    #[must_use]
+    pub fn new(value: bool) -> RegBool {
+        RegBool {
+            cell: AtomicBool::new(value),
+        }
+    }
+
+    /// Atomically reads the register.
+    #[inline]
+    pub fn read(&self) -> bool {
+        record(AccessKind::Read);
+        self.cell.load(Ordering::SeqCst)
+    }
+
+    /// Atomically writes `value`.
+    #[inline]
+    pub fn write(&self, value: bool) {
+        record(AccessKind::Write);
+        self.cell.store(value, Ordering::SeqCst);
+    }
+
+    /// Atomic `Compare&Swap`; returns whether the swap happened.
+    #[inline]
+    pub fn cas(&self, old: bool, new: bool) -> bool {
+        record(AccessKind::Cas);
+        self.cell
+            .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Atomically replaces the value, returning the previous one.
+    /// Counted as one CAS-class access (it is a read-modify-write).
+    #[inline]
+    pub fn swap(&self, value: bool) -> bool {
+        record(AccessKind::Cas);
+        self.cell.swap(value, Ordering::SeqCst)
+    }
+}
+
+/// A counted `usize` atomic register (the paper's `TURN` register and
+/// the ticket/queue lock counters).
+///
+/// ```
+/// use cso_memory::reg::RegUsize;
+/// let turn = RegUsize::new(0);
+/// turn.write(3);
+/// assert_eq!(turn.fetch_add(1), 3);
+/// assert_eq!(turn.read(), 4);
+/// ```
+#[derive(Debug)]
+pub struct RegUsize {
+    cell: AtomicUsize,
+}
+
+impl RegUsize {
+    /// Creates a register holding `value`.
+    #[must_use]
+    pub fn new(value: usize) -> RegUsize {
+        RegUsize {
+            cell: AtomicUsize::new(value),
+        }
+    }
+
+    /// Atomically reads the register.
+    #[inline]
+    pub fn read(&self) -> usize {
+        record(AccessKind::Read);
+        self.cell.load(Ordering::SeqCst)
+    }
+
+    /// Atomically writes `value`.
+    #[inline]
+    pub fn write(&self, value: usize) {
+        record(AccessKind::Write);
+        self.cell.store(value, Ordering::SeqCst);
+    }
+
+    /// Atomic `Compare&Swap`; returns whether the swap happened.
+    #[inline]
+    pub fn cas(&self, old: usize, new: usize) -> bool {
+        record(AccessKind::Cas);
+        self.cell
+            .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Atomically adds `delta`, returning the previous value.
+    /// Counted as one CAS-class access.
+    #[inline]
+    pub fn fetch_add(&self, delta: usize) -> usize {
+        record(AccessKind::Cas);
+        self.cell.fetch_add(delta, Ordering::SeqCst)
+    }
+
+    /// Atomically replaces the value, returning the previous one.
+    /// Counted as one CAS-class access.
+    #[inline]
+    pub fn swap(&self, value: usize) -> usize {
+        record(AccessKind::Cas);
+        self.cell.swap(value, Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counting::CountScope;
+
+    #[test]
+    fn reg64_cas_semantics() {
+        let r = Reg64::new(5);
+        assert!(r.cas(5, 6));
+        assert!(!r.cas(5, 7));
+        assert_eq!(r.read(), 6);
+        assert_eq!(r.cas_observe(9, 1), Err(6));
+        assert_eq!(r.cas_observe(6, 1), Ok(()));
+        assert_eq!(r.read(), 1);
+    }
+
+    #[test]
+    fn reg64_counts_every_access() {
+        let r = Reg64::new(0);
+        let scope = CountScope::start();
+        r.read();
+        r.write(1);
+        r.cas(1, 2);
+        r.cas(1, 3); // failed CAS still counts: it touched shared memory
+        let c = scope.take();
+        assert_eq!((c.reads, c.writes, c.cas), (1, 1, 2));
+    }
+
+    #[test]
+    fn regbool_swap_and_cas() {
+        let b = RegBool::new(false);
+        assert!(!b.swap(true));
+        assert!(b.read());
+        assert!(b.cas(true, false));
+        assert!(!b.cas(true, false));
+    }
+
+    #[test]
+    fn regusize_fetch_add_wraps_forward() {
+        let u = RegUsize::new(10);
+        assert_eq!(u.fetch_add(5), 10);
+        assert_eq!(u.swap(0), 15);
+        assert_eq!(u.read(), 0);
+    }
+
+    #[test]
+    fn registers_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Reg64>();
+        assert_send_sync::<RegBool>();
+        assert_send_sync::<RegUsize>();
+    }
+
+    #[test]
+    fn concurrent_cas_is_atomic() {
+        use std::sync::Arc;
+        let r = Arc::new(RegUsize::new(0));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        r.fetch_add(1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(r.read(), 40_000);
+    }
+}

@@ -1,0 +1,182 @@
+//! Process identities.
+//!
+//! The paper's system model (§2.1) is "n sequential processes denoted
+//! p₁, p₂, …, pₙ; the integer i is the identity of pᵢ". The
+//! starvation-freedom mechanism of Figure 3 indexes a `FLAG[1..n]`
+//! array by process identity and rotates a `TURN` token round-robin
+//! over `1..n`, so every participating thread must own a distinct
+//! identity from a dense range.
+//!
+//! A [`ProcRegistry`] hands out identities `0..n` as RAII
+//! [`ProcToken`]s; dropping a token returns its identity to the pool,
+//! so thread pools can rotate through identities safely.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// A pool of `n` process identities (`0..n`).
+///
+/// ```
+/// use cso_memory::registry::ProcRegistry;
+///
+/// let registry = ProcRegistry::new(2);
+/// let p0 = registry.register().unwrap();
+/// let p1 = registry.register().unwrap();
+/// assert!(registry.register().is_err()); // pool exhausted
+/// assert_ne!(p0.id(), p1.id());
+/// drop(p0);
+/// let p0_again = registry.register().unwrap(); // identity recycled
+/// assert_eq!(p0_again.n(), 2);
+/// ```
+#[derive(Debug)]
+pub struct ProcRegistry {
+    n: usize,
+    free: Mutex<Vec<usize>>,
+}
+
+impl ProcRegistry {
+    /// Creates a registry with identities `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Arc<ProcRegistry> {
+        assert!(n > 0, "a process registry needs at least one identity");
+        // Hand out low ids first: pop from the back of the freelist.
+        let free = (0..n).rev().collect();
+        Arc::new(ProcRegistry {
+            n,
+            free: Mutex::new(free),
+        })
+    }
+
+    /// The number of identities this registry manages (the paper's `n`).
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of identities currently available.
+    #[must_use]
+    pub fn available(&self) -> usize {
+        self.free.lock().expect("registry freelist poisoned").len()
+    }
+
+    /// Claims an identity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryFull`] if all `n` identities are in use.
+    pub fn register(self: &Arc<ProcRegistry>) -> Result<ProcToken, RegistryFull> {
+        let id = self
+            .free
+            .lock()
+            .expect("registry freelist poisoned")
+            .pop()
+            .ok_or(RegistryFull { n: self.n })?;
+        Ok(ProcToken {
+            id,
+            registry: Arc::clone(self),
+        })
+    }
+}
+
+/// Error returned by [`ProcRegistry::register`] when all identities are
+/// taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegistryFull {
+    n: usize,
+}
+
+impl fmt::Display for RegistryFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "all {} process identities are in use", self.n)
+    }
+}
+
+impl Error for RegistryFull {}
+
+/// An owned process identity; returns to the pool on drop.
+///
+/// The token is `Send` so it can be moved into the thread that will act
+/// as process `pᵢ`.
+#[derive(Debug)]
+pub struct ProcToken {
+    id: usize,
+    registry: Arc<ProcRegistry>,
+}
+
+impl ProcToken {
+    /// This process's identity `i ∈ 0..n`.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The `n` of the registry this identity belongs to.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.registry.n
+    }
+}
+
+impl Drop for ProcToken {
+    fn drop(&mut self) {
+        if let Ok(mut free) = self.registry.free.lock() {
+            free.push(self.id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn identities_are_dense_and_distinct() {
+        let registry = ProcRegistry::new(4);
+        let tokens: Vec<_> = (0..4).map(|_| registry.register().unwrap()).collect();
+        let ids: HashSet<usize> = tokens.iter().map(ProcToken::id).collect();
+        assert_eq!(ids, (0..4).collect());
+        assert_eq!(registry.available(), 0);
+    }
+
+    #[test]
+    fn exhaustion_yields_error_with_message() {
+        let registry = ProcRegistry::new(1);
+        let _t = registry.register().unwrap();
+        let err = registry.register().unwrap_err();
+        assert_eq!(err.to_string(), "all 1 process identities are in use");
+    }
+
+    #[test]
+    fn drop_recycles_identity() {
+        let registry = ProcRegistry::new(2);
+        let t0 = registry.register().unwrap();
+        let id0 = t0.id();
+        drop(t0);
+        assert_eq!(registry.available(), 2);
+        let again = registry.register().unwrap();
+        // Low ids are handed out first, so the recycled id comes back.
+        assert_eq!(again.id(), id0);
+    }
+
+    #[test]
+    fn tokens_move_across_threads() {
+        let registry = ProcRegistry::new(2);
+        let token = registry.register().unwrap();
+        let handle = std::thread::spawn(move || token.id());
+        let id = handle.join().unwrap();
+        assert!(id < 2);
+        assert_eq!(registry.available(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one identity")]
+    fn zero_sized_registry_panics() {
+        let _ = ProcRegistry::new(0);
+    }
+}

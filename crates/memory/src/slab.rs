@@ -1,0 +1,330 @@
+//! A fixed-capacity concurrent slab with an ABA-safe array freelist.
+//!
+//! The paper's stack stores 32-bit values directly in registers. To
+//! offer `Stack<T>` for arbitrary `T`, `cso-stack` and `cso-queue`
+//! store each `T` in a slab slot and run the register algorithm on the
+//! 32-bit *handle*. The slab therefore needs exactly two concurrent
+//! operations — allocate-and-write and take-and-free — and both must be
+//! safe against the ABA problem (§2.2 of the paper), which the freelist
+//! head defeats with a tag counter, the same countermeasure the paper
+//! applies to `STACK[x]`.
+//!
+//! Slab bookkeeping accesses are *not* recorded in
+//! [`crate::counting`]: the paper's step-complexity claims concern the
+//! stack algorithm itself, and experiment E1 measures the direct
+//! (`u32`-valued) stack.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+const NONE: u32 = u32::MAX;
+
+struct Slot<T> {
+    occupied: AtomicBool,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// A fixed-capacity concurrent slab handing out `u32` handles.
+///
+/// ```
+/// use cso_memory::slab::Slab;
+///
+/// let slab: Slab<String> = Slab::new(8);
+/// let h = slab.insert("hello".to_owned()).unwrap();
+/// assert_eq!(slab.remove(h).as_deref(), Some("hello"));
+/// assert_eq!(slab.remove(h), None); // a handle can be taken once
+/// ```
+pub struct Slab<T> {
+    slots: Box<[Slot<T>]>,
+    /// Freelist links: `next[i]` is the slot after `i` on the freelist.
+    next: Box<[AtomicU32]>,
+    /// Tagged freelist head: high 32 bits tag, low 32 bits slot index.
+    head: AtomicU64,
+    len: AtomicUsize,
+}
+
+// SAFETY: the slab moves owned `T` values between threads (insert on
+// one thread, remove on another), which requires `T: Send`. The
+// `occupied` flag guarantees exclusive access to a slot's value while
+// it is being written or taken, so no `&T` is ever shared: `T: Sync`
+// is not required.
+unsafe impl<T: Send> Send for Slab<T> {}
+unsafe impl<T: Send> Sync for Slab<T> {}
+
+impl<T> Slab<T> {
+    /// Creates a slab with room for `capacity` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `capacity >= u32::MAX`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Slab<T> {
+        assert!(capacity > 0, "slab capacity must be positive");
+        assert!(
+            (capacity as u64) < u64::from(u32::MAX),
+            "slab capacity must fit in a u32 handle"
+        );
+        let slots = (0..capacity)
+            .map(|_| Slot {
+                occupied: AtomicBool::new(false),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        // Initially the freelist threads every slot: 0 → 1 → … → cap-1.
+        let next = (0..capacity)
+            .map(|i| {
+                AtomicU32::new(if i + 1 == capacity {
+                    NONE
+                } else {
+                    (i + 1) as u32
+                })
+            })
+            .collect();
+        Slab {
+            slots,
+            next,
+            head: AtomicU64::new(pack(0, 0)),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Maximum number of values the slab can hold.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of values currently stored (racy snapshot).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::SeqCst)
+    }
+
+    /// True when the slab holds no values (racy snapshot).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stores `value`, returning its handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(value)` — handing the value back to the caller —
+    /// when the slab is full.
+    pub fn insert(&self, value: T) -> Result<u32, T> {
+        let Some(idx) = self.alloc() else {
+            return Err(value);
+        };
+        let slot = &self.slots[idx as usize];
+        debug_assert!(
+            !slot.occupied.load(Ordering::SeqCst),
+            "allocated slot marked occupied"
+        );
+        // SAFETY: `alloc` grants exclusive ownership of slot `idx`
+        // until it is freed, so writing the value is unaliased.
+        unsafe { (*slot.value.get()).write(value) };
+        slot.occupied.store(true, Ordering::SeqCst);
+        self.len.fetch_add(1, Ordering::SeqCst);
+        Ok(idx)
+    }
+
+    /// Takes the value stored under `handle`, if any.
+    ///
+    /// Each handle yields its value at most once, even when several
+    /// threads race on the same handle; losers observe `None`.
+    pub fn remove(&self, handle: u32) -> Option<T> {
+        let slot = self.slots.get(handle as usize)?;
+        if !slot.occupied.swap(false, Ordering::SeqCst) {
+            return None;
+        }
+        // SAFETY: the winning swap above transfers exclusive ownership
+        // of the initialized value to this thread; the slot is not on
+        // the freelist, so no concurrent insert targets it.
+        let value = unsafe { (*slot.value.get()).assume_init_read() };
+        self.len.fetch_sub(1, Ordering::SeqCst);
+        self.free(handle);
+        Some(value)
+    }
+
+    /// Pops a slot off the tagged freelist.
+    fn alloc(&self) -> Option<u32> {
+        loop {
+            let head = self.head.load(Ordering::SeqCst);
+            let (tag, idx) = unpack(head);
+            if idx == NONE {
+                return None;
+            }
+            let next = self.next[idx as usize].load(Ordering::SeqCst);
+            // The tag makes a stale `next` harmless: if `idx` was
+            // freed and reallocated meanwhile, the tag has moved on
+            // and this CAS fails (the ABA countermeasure of §2.2).
+            if self
+                .head
+                .compare_exchange(
+                    head,
+                    pack(tag.wrapping_add(1), next),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_ok()
+            {
+                return Some(idx);
+            }
+        }
+    }
+
+    /// Pushes a slot back onto the tagged freelist.
+    fn free(&self, idx: u32) {
+        loop {
+            let head = self.head.load(Ordering::SeqCst);
+            let (tag, old_idx) = unpack(head);
+            self.next[idx as usize].store(old_idx, Ordering::SeqCst);
+            if self
+                .head
+                .compare_exchange(
+                    head,
+                    pack(tag.wrapping_add(1), idx),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+}
+
+impl<T> Drop for Slab<T> {
+    fn drop(&mut self) {
+        for slot in self.slots.iter() {
+            if slot.occupied.load(Ordering::SeqCst) {
+                // SAFETY: `&mut self` means no concurrent access; the
+                // occupied flag marks exactly the initialized slots.
+                unsafe { (*slot.value.get()).assume_init_drop() };
+            }
+        }
+    }
+}
+
+impl<T> fmt::Debug for Slab<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Slab")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+fn pack(tag: u32, idx: u32) -> u64 {
+    (u64::from(tag) << 32) | u64::from(idx)
+}
+
+fn unpack(word: u64) -> (u32, u32) {
+    ((word >> 32) as u32, word as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn insert_then_remove_round_trips() {
+        let slab: Slab<Vec<u8>> = Slab::new(4);
+        let h = slab.insert(vec![1, 2, 3]).unwrap();
+        assert_eq!(slab.len(), 1);
+        assert_eq!(slab.remove(h), Some(vec![1, 2, 3]));
+        assert!(slab.is_empty());
+    }
+
+    #[test]
+    fn full_slab_returns_the_value() {
+        let slab: Slab<u8> = Slab::new(2);
+        let _a = slab.insert(1).unwrap();
+        let _b = slab.insert(2).unwrap();
+        assert_eq!(slab.insert(3), Err(3));
+    }
+
+    #[test]
+    fn double_remove_yields_none() {
+        let slab: Slab<u8> = Slab::new(2);
+        let h = slab.insert(9).unwrap();
+        assert_eq!(slab.remove(h), Some(9));
+        assert_eq!(slab.remove(h), None);
+        assert_eq!(slab.remove(42), None); // out-of-range handle
+    }
+
+    #[test]
+    fn handles_recycle_after_free() {
+        let slab: Slab<u32> = Slab::new(1);
+        for i in 0..100 {
+            let h = slab.insert(i).unwrap();
+            assert_eq!(slab.remove(h), Some(i));
+        }
+    }
+
+    #[test]
+    fn drop_releases_outstanding_values() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let slab: Slab<Counted> = Slab::new(8);
+            for _ in 0..5 {
+                slab.insert(Counted).unwrap();
+            }
+            let h = slab.insert(Counted).unwrap();
+            slab.remove(h); // 1 drop here
+        } // 5 drops here
+        assert_eq!(DROPS.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn concurrent_insert_remove_preserves_every_value() {
+        const THREADS: usize = 4;
+        const PER_THREAD: usize = 5_000;
+        let slab: Arc<Slab<usize>> = Arc::new(Slab::new(64));
+        let total = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let slab = Arc::clone(&slab);
+                let total = Arc::clone(&total);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let v = t * PER_THREAD + i;
+                        let h = loop {
+                            match slab.insert(v) {
+                                Ok(h) => break h,
+                                Err(_) => std::thread::yield_now(),
+                            }
+                        };
+                        let got = slab.remove(h).expect("own handle must still hold value");
+                        assert_eq!(got, v);
+                        total.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::SeqCst), THREADS * PER_THREAD);
+        assert!(slab.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Slab::<u8>::new(0);
+    }
+}

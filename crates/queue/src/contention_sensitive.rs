@@ -1,0 +1,239 @@
+//! The contention-sensitive starvation-free queue (Figure-3
+//! methodology).
+
+use cso_core::{ContentionSensitive, CsConfig, PathStats, ProgressCondition};
+use cso_locks::{RawLock, TasLock};
+use cso_memory::bits::Bits32;
+
+use crate::abortable::{AbortableQueue, QueueAbortStats};
+use crate::outcome::{DequeueOutcome, EnqueueOutcome, QueueOp};
+
+/// A **contention-sensitive, starvation-free bounded FIFO queue**:
+/// the Figure 3 transformation instantiated for the queue.
+///
+/// A contention-free `enqueue`/`dequeue` takes the lock-free fast path
+/// in **seven** shared-memory accesses (one `CONTENTION` read + the
+/// six of a solo weak queue operation — one more than the stack
+/// because a bounded queue checks the opposite end). Under contention
+/// operations fall back to the §4.4-boosted lock, so every invocation
+/// terminates with a non-⊥ value.
+///
+/// Because the weak enqueue and dequeue never abort each other, the
+/// pairs the paper calls *non-interfering* (§1.1) almost always stay
+/// on the fast path even when both ends are busy — experiment E6
+/// measures exactly that.
+///
+/// ```
+/// use cso_queue::{CsQueue, EnqueueOutcome, DequeueOutcome};
+///
+/// let queue: CsQueue<u32> = CsQueue::new(16, 2);
+/// assert_eq!(queue.enqueue(0, 10), EnqueueOutcome::Enqueued);
+/// assert_eq!(queue.dequeue(1), DequeueOutcome::Dequeued(10));
+/// assert_eq!(queue.dequeue(1), DequeueOutcome::Empty);
+/// ```
+#[derive(Debug)]
+pub struct CsQueue<V: Bits32, L: RawLock = TasLock> {
+    inner: ContentionSensitive<AbortableQueue<V>, L>,
+}
+
+impl<V: Bits32> CsQueue<V, TasLock> {
+    /// Creates an empty queue of capacity `capacity` (a power of two
+    /// at most 2¹⁵) for `n` processes with the default TAS lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid capacities (see [`AbortableQueue::new`]) or
+    /// if `n == 0`.
+    #[must_use]
+    pub fn new(capacity: usize, n: usize) -> CsQueue<V, TasLock> {
+        CsQueue::with_lock(capacity, TasLock::new(), n)
+    }
+}
+
+impl<V: Bits32, L: RawLock> CsQueue<V, L> {
+    /// Creates an empty queue using `lock` (deadlock-free suffices)
+    /// for the slow path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid capacities or if `n == 0`.
+    #[must_use]
+    pub fn with_lock(capacity: usize, lock: L, n: usize) -> CsQueue<V, L> {
+        CsQueue::with_config(capacity, lock, n, CsConfig::PAPER)
+    }
+
+    /// Creates a queue with an explicit mechanism selection (the E8
+    /// ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid capacities or if `n == 0`.
+    #[must_use]
+    pub fn with_config(capacity: usize, lock: L, n: usize, config: CsConfig) -> CsQueue<V, L> {
+        CsQueue {
+            inner: ContentionSensitive::with_config(AbortableQueue::new(capacity), lock, n, config),
+        }
+    }
+
+    /// The progress condition of this implementation.
+    pub const PROGRESS: ProgressCondition = ProgressCondition::StarvationFree;
+
+    /// Enqueues `value` on behalf of process `proc`; never returns ⊥.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc >= n`.
+    pub fn enqueue(&self, proc: usize, value: V) -> EnqueueOutcome {
+        self.inner
+            .apply(proc, &QueueOp::Enqueue(value))
+            .expect_enqueue()
+    }
+
+    /// Dequeues on behalf of process `proc`; never returns ⊥.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc >= n`.
+    pub fn dequeue(&self, proc: usize) -> DequeueOutcome<V> {
+        self.inner.apply(proc, &QueueOp::Dequeue).expect_dequeue()
+    }
+
+    /// The capacity fixed at construction.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.inner.inner().capacity()
+    }
+
+    /// Racy size snapshot (two shared accesses).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.inner().len()
+    }
+
+    /// Racy emptiness snapshot.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.inner().is_empty()
+    }
+
+    /// The number of processes this queue serves.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    /// Fast-path vs lock-path completion counts (experiment E6).
+    pub fn path_stats(&self) -> PathStats {
+        self.inner.stats()
+    }
+
+    /// Resets the path statistics.
+    pub fn reset_path_stats(&self) {
+        self.inner.reset_stats()
+    }
+
+    /// Attempt/abort counters of the underlying weak operations.
+    pub fn abort_stats(&self) -> QueueAbortStats {
+        self.inner.inner().abort_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cso_memory::counting::CountScope;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_solo() {
+        let queue: CsQueue<u32> = CsQueue::new(8, 2);
+        for v in 1..=5 {
+            assert_eq!(queue.enqueue(0, v), EnqueueOutcome::Enqueued);
+        }
+        for v in 1..=5 {
+            assert_eq!(queue.dequeue(1), DequeueOutcome::Dequeued(v));
+        }
+        assert_eq!(queue.dequeue(0), DequeueOutcome::Empty);
+    }
+
+    #[test]
+    fn solo_ops_are_exactly_seven_accesses() {
+        let queue: CsQueue<u32> = CsQueue::new(64, 4);
+        queue.enqueue(0, 1);
+        let scope = CountScope::start();
+        queue.enqueue(0, 2);
+        assert_eq!(
+            scope.take().total(),
+            7,
+            "CONTENTION read + 6-access weak enqueue"
+        );
+        let scope = CountScope::start();
+        queue.dequeue(0);
+        assert_eq!(
+            scope.take().total(),
+            7,
+            "CONTENTION read + 6-access weak dequeue"
+        );
+        assert_eq!(queue.path_stats().locked, 0);
+    }
+
+    #[test]
+    fn full_and_empty_solo() {
+        let queue: CsQueue<u32> = CsQueue::new(1, 2);
+        assert_eq!(queue.dequeue(0), DequeueOutcome::Empty);
+        assert_eq!(queue.enqueue(0, 1), EnqueueOutcome::Enqueued);
+        assert_eq!(queue.enqueue(0, 2), EnqueueOutcome::Full);
+        assert_eq!(queue.dequeue(1), DequeueOutcome::Dequeued(1));
+    }
+
+    #[test]
+    fn concurrent_strong_ops_conserve_values() {
+        const THREADS: u32 = 4;
+        const PER_THREAD: u32 = 1_500;
+        let queue: Arc<CsQueue<u32>> = Arc::new(CsQueue::new(8192, THREADS as usize));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    for i in 0..PER_THREAD {
+                        assert_eq!(
+                            queue.enqueue(t as usize, t * PER_THREAD + i),
+                            EnqueueOutcome::Enqueued
+                        );
+                        if let DequeueOutcome::Dequeued(v) = queue.dequeue(t as usize) {
+                            got.push(v);
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<u32> = Vec::new();
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        while let DequeueOutcome::Dequeued(v) = queue.dequeue(0) {
+            all.push(v);
+        }
+        assert_eq!(all.len(), (THREADS * PER_THREAD) as usize);
+        assert_eq!(all.iter().collect::<HashSet<_>>().len(), all.len());
+    }
+
+    #[test]
+    fn ablation_configs_remain_correct() {
+        for config in [CsConfig::PAPER, CsConfig::NO_FLAG, CsConfig::UNFAIR] {
+            let queue: CsQueue<u32> = CsQueue::with_config(8, TasLock::new(), 2, config);
+            assert_eq!(queue.enqueue(0, 1), EnqueueOutcome::Enqueued);
+            assert_eq!(queue.dequeue(1), DequeueOutcome::Dequeued(1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_proc() {
+        let queue: CsQueue<u32> = CsQueue::new(8, 2);
+        let _ = queue.enqueue(2, 1);
+    }
+}

@@ -1,0 +1,205 @@
+//! Arbitrary payloads over the 32-bit register queues.
+
+use cso_core::ContentionManager;
+use cso_locks::RawLock;
+use cso_memory::slab::Slab;
+
+use crate::contention_sensitive::CsQueue;
+use crate::nonblocking::NonBlockingQueue;
+use crate::outcome::{DequeueOutcome, EnqueueOutcome};
+
+/// A queue of 32-bit *handles* — the common face of [`CsQueue<u32>`]
+/// and [`NonBlockingQueue<u32>`] that [`IndirectQueue`] builds on.
+pub trait HandleQueue: Send + Sync {
+    /// Enqueues a handle.
+    fn enqueue_handle(&self, proc: usize, handle: u32) -> EnqueueOutcome;
+
+    /// Dequeues a handle.
+    fn dequeue_handle(&self, proc: usize) -> DequeueOutcome<u32>;
+
+    /// The capacity of the handle queue.
+    fn handle_capacity(&self) -> usize;
+}
+
+impl<L: RawLock> HandleQueue for CsQueue<u32, L> {
+    fn enqueue_handle(&self, proc: usize, handle: u32) -> EnqueueOutcome {
+        self.enqueue(proc, handle)
+    }
+
+    fn dequeue_handle(&self, proc: usize) -> DequeueOutcome<u32> {
+        self.dequeue(proc)
+    }
+
+    fn handle_capacity(&self) -> usize {
+        self.capacity()
+    }
+}
+
+impl<M: ContentionManager> HandleQueue for NonBlockingQueue<u32, M> {
+    fn enqueue_handle(&self, _proc: usize, handle: u32) -> EnqueueOutcome {
+        self.enqueue(handle)
+    }
+
+    fn dequeue_handle(&self, _proc: usize) -> DequeueOutcome<u32> {
+        self.dequeue()
+    }
+
+    fn handle_capacity(&self) -> usize {
+        self.capacity()
+    }
+}
+
+/// A bounded concurrent FIFO queue of arbitrary `Send` payloads:
+/// values live in a fixed slab and the chosen register queue carries
+/// their 32-bit handles.
+///
+/// ```
+/// use cso_queue::{CsQueue, IndirectQueue};
+///
+/// let inner: CsQueue<u32> = CsQueue::new(64, 4);
+/// let queue: IndirectQueue<String, _> = IndirectQueue::new(inner, 4);
+/// assert!(queue.enqueue(0, "job".to_owned()).is_ok());
+/// assert_eq!(queue.dequeue(1), Some("job".to_owned()));
+/// ```
+#[derive(Debug)]
+pub struct IndirectQueue<T, Q> {
+    handles: Q,
+    slab: Slab<T>,
+}
+
+impl<T: Send, Q: HandleQueue> IndirectQueue<T, Q> {
+    /// Wraps the handle queue `handles`; at most `max_enqueuers`
+    /// enqueues may be in flight concurrently.
+    #[must_use]
+    pub fn new(handles: Q, max_enqueuers: usize) -> IndirectQueue<T, Q> {
+        let slab = Slab::new(handles.handle_capacity() + max_enqueuers.max(1));
+        IndirectQueue { handles, slab }
+    }
+
+    /// Enqueues `value` on behalf of process `proc`.
+    ///
+    /// # Errors
+    ///
+    /// Hands `value` back when the queue is at capacity.
+    pub fn enqueue(&self, proc: usize, value: T) -> Result<(), T> {
+        let handle = match self.slab.insert(value) {
+            Ok(h) => h,
+            Err(value) => return Err(value),
+        };
+        match self.handles.enqueue_handle(proc, handle) {
+            EnqueueOutcome::Enqueued => Ok(()),
+            EnqueueOutcome::Full => {
+                let value = self.slab.remove(handle).expect("staged value present");
+                Err(value)
+            }
+        }
+    }
+
+    /// Dequeues the oldest payload on behalf of process `proc`.
+    pub fn dequeue(&self, proc: usize) -> Option<T> {
+        match self.handles.dequeue_handle(proc) {
+            DequeueOutcome::Dequeued(handle) => Some(
+                self.slab
+                    .remove(handle)
+                    .expect("dequeued handle maps to a staged value"),
+            ),
+            DequeueOutcome::Empty => None,
+        }
+    }
+
+    /// Racy size snapshot of staged + queued payloads.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slab.len()
+    }
+
+    /// Racy emptiness snapshot.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slab.is_empty()
+    }
+
+    /// The capacity of the underlying handle queue.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.handles.handle_capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn round_trips_owned_payloads_fifo() {
+        let queue: IndirectQueue<String, CsQueue<u32>> = IndirectQueue::new(CsQueue::new(4, 2), 2);
+        queue.enqueue(0, "a".to_owned()).unwrap();
+        queue.enqueue(0, "b".to_owned()).unwrap();
+        assert_eq!(queue.dequeue(1).as_deref(), Some("a"));
+        assert_eq!(queue.dequeue(1).as_deref(), Some("b"));
+        assert_eq!(queue.dequeue(1), None);
+    }
+
+    #[test]
+    fn full_hands_the_value_back() {
+        let queue: IndirectQueue<String, CsQueue<u32>> = IndirectQueue::new(CsQueue::new(1, 1), 1);
+        queue.enqueue(0, "kept".to_owned()).unwrap();
+        assert_eq!(
+            queue.enqueue(0, "bounced".to_owned()).unwrap_err(),
+            "bounced"
+        );
+        assert_eq!(queue.len(), 1);
+        assert_eq!(queue.capacity(), 1);
+    }
+
+    #[test]
+    fn nonblocking_flavour_works() {
+        let inner: NonBlockingQueue<u32> = NonBlockingQueue::new(8);
+        let queue: IndirectQueue<Vec<u8>, _> = IndirectQueue::new(inner, 2);
+        queue.enqueue(0, vec![9]).unwrap();
+        assert_eq!(queue.dequeue(0), Some(vec![9]));
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn concurrent_producer_consumer_with_boxes() {
+        const JOBS: usize = 3_000;
+        let queue: Arc<IndirectQueue<Box<usize>, CsQueue<u32>>> =
+            Arc::new(IndirectQueue::new(CsQueue::new(1024, 2), 2));
+        let producer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                for i in 0..JOBS {
+                    let mut item = Box::new(i);
+                    loop {
+                        match queue.enqueue(0, item) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                item = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            })
+        };
+        let consumer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                let mut next = 0usize;
+                while next < JOBS {
+                    if let Some(v) = queue.dequeue(1) {
+                        assert_eq!(*v, next, "FIFO order preserved");
+                        next += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        };
+        producer.join().unwrap();
+        consumer.join().unwrap();
+        assert!(queue.is_empty());
+    }
+}

@@ -1,0 +1,61 @@
+//! The Mostefaoui–Raynal methodology applied to a FIFO queue.
+//!
+//! The paper's motivating example of *non-interfering* concurrent
+//! operations is "enqueuing and dequeuing on a non-empty queue"
+//! (§1.1): the two operations touch opposite ends and should not pay
+//! for each other. The paper then develops only the stack; this crate
+//! is the **extension** (flagged in `DESIGN.md`) that carries the same
+//! three-layer construction to a bounded FIFO queue:
+//!
+//! | Type | Analogue of | Progress |
+//! |---|---|---|
+//! | [`AbortableQueue`] | Figure 1 | abortable |
+//! | [`NonBlockingQueue`] | Figure 2 | non-blocking |
+//! | [`CsQueue`] | Figure 3 | starvation-free, contention-sensitive |
+//!
+//! plus the baselines [`MsQueue`] (Michael–Scott two-lock-free linked
+//! queue) and [`LockQueue`] (a single lock around a ring buffer).
+//!
+//! The design mirrors the stack's register discipline: a `TAIL`
+//! register `⟨count, value, sn⟩` is the authority for the enqueue end
+//! (with the same lazy slot write + helping + per-slot sequence
+//! numbers), and a `HEAD` register carries the monotone dequeue
+//! counter. Because enqueue CASes only `TAIL` and dequeue CASes only
+//! `HEAD`, **an enqueue never aborts a dequeue and vice versa** — the
+//! paper's non-interference, made measurable (experiment E6).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cso_queue::{CsQueue, EnqueueOutcome, DequeueOutcome};
+//!
+//! let queue: CsQueue<u32> = CsQueue::new(64, 2);
+//! assert_eq!(queue.enqueue(0, 1), EnqueueOutcome::Enqueued);
+//! assert_eq!(queue.enqueue(0, 2), EnqueueOutcome::Enqueued);
+//! assert_eq!(queue.dequeue(1), DequeueOutcome::Dequeued(1)); // FIFO
+//! ```
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+mod abortable;
+mod contention_sensitive;
+mod indirect;
+mod lock_queue;
+mod ms_queue;
+mod nonblocking;
+mod outcome;
+mod seqspec;
+
+pub use abortable::{AbortableQueue, QueueAbortStats};
+pub use contention_sensitive::CsQueue;
+pub use indirect::{HandleQueue, IndirectQueue};
+pub use lock_queue::LockQueue;
+pub use ms_queue::MsQueue;
+pub use nonblocking::NonBlockingQueue;
+pub use outcome::{DequeueOutcome, EnqueueOutcome, QueueOp, QueueResponse};
+pub use seqspec::SeqQueue;
+
+/// A value storable directly in the queue's packed registers — an
+/// alias for [`cso_memory::bits::Bits32`].
+pub use cso_memory::bits::Bits32 as QueueValue;

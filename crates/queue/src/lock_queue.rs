@@ -1,0 +1,178 @@
+//! The traditional fully lock-based queue.
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+
+use cso_core::ProgressCondition;
+use cso_locks::{RawLock, TasLock};
+
+use crate::outcome::{DequeueOutcome, EnqueueOutcome};
+
+/// A bounded FIFO queue protected by a single lock — the
+/// "traditional lock-based shared memory synchronization" of §1.1,
+/// where even the non-interfering enqueue/dequeue pairs serialize.
+///
+/// ```
+/// use cso_queue::{LockQueue, EnqueueOutcome, DequeueOutcome};
+///
+/// let queue: LockQueue<&str> = LockQueue::new(2);
+/// assert_eq!(queue.enqueue("a"), EnqueueOutcome::Enqueued);
+/// assert_eq!(queue.enqueue("b"), EnqueueOutcome::Enqueued);
+/// assert_eq!(queue.enqueue("c"), EnqueueOutcome::Full);
+/// assert_eq!(queue.dequeue(), DequeueOutcome::Dequeued("a"));
+/// ```
+pub struct LockQueue<T, L: RawLock = TasLock> {
+    lock: L,
+    capacity: usize,
+    items: UnsafeCell<VecDeque<T>>,
+}
+
+// SAFETY: all access to `items` happens inside the critical section of
+// `lock` (mutual exclusion per the `RawLock` contract).
+unsafe impl<T: Send, L: RawLock> Send for LockQueue<T, L> {}
+unsafe impl<T: Send, L: RawLock> Sync for LockQueue<T, L> {}
+
+impl<T> LockQueue<T, TasLock> {
+    /// Creates an empty queue of capacity `capacity` behind a TAS
+    /// lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> LockQueue<T, TasLock> {
+        LockQueue::with_lock(capacity, TasLock::new())
+    }
+}
+
+impl<T, L: RawLock> LockQueue<T, L> {
+    /// Creates an empty queue of capacity `capacity` behind `lock`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn with_lock(capacity: usize, lock: L) -> LockQueue<T, L> {
+        assert!(capacity > 0, "queue capacity must be positive");
+        LockQueue {
+            lock,
+            capacity,
+            items: UnsafeCell::new(VecDeque::new()),
+        }
+    }
+
+    /// The progress condition (that of the weakest supported lock).
+    pub const PROGRESS: ProgressCondition = ProgressCondition::NonBlocking;
+
+    /// Enqueues `value`, or reports `Full` at capacity.
+    pub fn enqueue(&self, value: T) -> EnqueueOutcome {
+        self.lock.with(|| {
+            // SAFETY: inside the critical section.
+            let items = unsafe { &mut *self.items.get() };
+            if items.len() == self.capacity {
+                EnqueueOutcome::Full
+            } else {
+                items.push_back(value);
+                EnqueueOutcome::Enqueued
+            }
+        })
+    }
+
+    /// Dequeues the front value, or reports `Empty`.
+    pub fn dequeue(&self) -> DequeueOutcome<T> {
+        self.lock.with(|| {
+            // SAFETY: inside the critical section.
+            let items = unsafe { &mut *self.items.get() };
+            match items.pop_front() {
+                Some(v) => DequeueOutcome::Dequeued(v),
+                None => DequeueOutcome::Empty,
+            }
+        })
+    }
+
+    /// Current size (takes the lock).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        // SAFETY: inside the critical section.
+        self.lock.with(|| unsafe { (*self.items.get()).len() })
+    }
+
+    /// True when empty (takes the lock).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The capacity bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl<T, L: RawLock> std::fmt::Debug for LockQueue<T, L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LockQueue")
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cso_locks::TicketLock;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_and_bounds() {
+        let queue: LockQueue<u32> = LockQueue::new(2);
+        assert_eq!(queue.dequeue(), DequeueOutcome::Empty);
+        assert_eq!(queue.enqueue(1), EnqueueOutcome::Enqueued);
+        assert_eq!(queue.enqueue(2), EnqueueOutcome::Enqueued);
+        assert_eq!(queue.enqueue(3), EnqueueOutcome::Full);
+        assert_eq!(queue.dequeue(), DequeueOutcome::Dequeued(1));
+        assert_eq!(queue.len(), 1);
+        assert_eq!(queue.capacity(), 2);
+        assert!(!queue.is_empty());
+    }
+
+    #[test]
+    fn works_with_other_locks() {
+        let queue: LockQueue<u32, TicketLock> = LockQueue::with_lock(4, TicketLock::new());
+        assert_eq!(queue.enqueue(1), EnqueueOutcome::Enqueued);
+        assert_eq!(queue.dequeue(), DequeueOutcome::Dequeued(1));
+    }
+
+    #[test]
+    fn concurrent_conservation() {
+        const THREADS: u32 = 4;
+        const PER_THREAD: u32 = 1_500;
+        let queue: Arc<LockQueue<u32>> = Arc::new(LockQueue::new((THREADS * PER_THREAD) as usize));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    for i in 0..PER_THREAD {
+                        assert_eq!(queue.enqueue(t * PER_THREAD + i), EnqueueOutcome::Enqueued);
+                        if let DequeueOutcome::Dequeued(v) = queue.dequeue() {
+                            got.push(v);
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<u32> = Vec::new();
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        while let DequeueOutcome::Dequeued(v) = queue.dequeue() {
+            all.push(v);
+        }
+        assert_eq!(all.len(), (THREADS * PER_THREAD) as usize);
+        assert_eq!(all.iter().collect::<HashSet<_>>().len(), all.len());
+    }
+}

@@ -1,0 +1,279 @@
+//! The Michael–Scott lock-free linked queue — the classical baseline.
+
+use std::mem::MaybeUninit;
+use std::sync::atomic::Ordering;
+
+use crossbeam_epoch::{self as epoch, Atomic, Owned, Shared};
+use cso_core::ProgressCondition;
+
+/// Michael & Scott's unbounded lock-free FIFO queue, the standard
+/// point of comparison for concurrent queues.
+///
+/// Linked nodes with a permanent dummy head; both ends helped forward
+/// by any thread that observes a lagging `tail` (the classical MS
+/// helping, a cousin of the paper's Figure-1 lazy-write helping).
+/// Non-blocking, not starvation-free.
+///
+/// ```
+/// use cso_queue::MsQueue;
+///
+/// let queue = MsQueue::new();
+/// queue.enqueue("a");
+/// queue.enqueue("b");
+/// assert_eq!(queue.dequeue(), Some("a"));
+/// assert_eq!(queue.dequeue(), Some("b"));
+/// assert_eq!(queue.dequeue(), None);
+/// ```
+#[derive(Debug)]
+pub struct MsQueue<T> {
+    head: Atomic<Node<T>>,
+    tail: Atomic<Node<T>>,
+}
+
+#[derive(Debug)]
+struct Node<T> {
+    /// Uninitialized in the dummy node, initialized in value nodes.
+    /// A value is *taken* (moved out) by the dequeuer that unlinks the
+    /// node's predecessor.
+    value: MaybeUninit<T>,
+    next: Atomic<Node<T>>,
+}
+
+unsafe impl<T: Send> Send for MsQueue<T> {}
+unsafe impl<T: Send> Sync for MsQueue<T> {}
+
+impl<T> MsQueue<T> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> MsQueue<T> {
+        let dummy = Owned::new(Node {
+            value: MaybeUninit::uninit(),
+            next: Atomic::null(),
+        });
+        let queue = MsQueue {
+            head: Atomic::null(),
+            tail: Atomic::null(),
+        };
+        let guard = unsafe { epoch::unprotected() };
+        let dummy = dummy.into_shared(guard);
+        queue.head.store(dummy, Ordering::Relaxed);
+        queue.tail.store(dummy, Ordering::Relaxed);
+        queue
+    }
+
+    /// The progress condition of this implementation.
+    pub const PROGRESS: ProgressCondition = ProgressCondition::NonBlocking;
+
+    /// Enqueues `value` at the rear (unbounded; always succeeds).
+    pub fn enqueue(&self, value: T) {
+        let guard = epoch::pin();
+        let node = Owned::new(Node {
+            value: MaybeUninit::new(value),
+            next: Atomic::null(),
+        })
+        .into_shared(&guard);
+        loop {
+            let tail = self.tail.load(Ordering::Acquire, &guard);
+            // SAFETY: tail is never null (dummy node) and protected by
+            // the guard.
+            let tail_ref = unsafe { tail.deref() };
+            let next = tail_ref.next.load(Ordering::Acquire, &guard);
+            if !next.is_null() {
+                // Tail lags; help it forward (MS helping).
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    next,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                    &guard,
+                );
+                continue;
+            }
+            if tail_ref
+                .next
+                .compare_exchange(
+                    Shared::null(),
+                    node,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                    &guard,
+                )
+                .is_ok()
+            {
+                // Linearization point; swing tail (failure is fine —
+                // someone helped).
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    node,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                    &guard,
+                );
+                return;
+            }
+        }
+    }
+
+    /// Dequeues from the front, or returns `None` when empty.
+    pub fn dequeue(&self) -> Option<T> {
+        let guard = epoch::pin();
+        loop {
+            let head = self.head.load(Ordering::Acquire, &guard);
+            // SAFETY: head is never null (dummy node).
+            let head_ref = unsafe { head.deref() };
+            let next = head_ref.next.load(Ordering::Acquire, &guard);
+            let next_ref = unsafe { next.as_ref() }?;
+            let tail = self.tail.load(Ordering::Acquire, &guard);
+            if head == tail {
+                // Tail lags behind a non-empty queue; help.
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    next,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                    &guard,
+                );
+            }
+            if self
+                .head
+                .compare_exchange(head, next, Ordering::Release, Ordering::Relaxed, &guard)
+                .is_ok()
+            {
+                // `next` becomes the new dummy; its value is ours.
+                // SAFETY: exactly one dequeuer wins this CAS, so the
+                // value is read exactly once; the old dummy `head` is
+                // retired via the epoch.
+                let value = unsafe { next_ref.value.assume_init_read() };
+                unsafe { guard.defer_destroy(head) };
+                return Some(value);
+            }
+        }
+    }
+
+    /// Racy emptiness snapshot.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        let guard = epoch::pin();
+        let head = self.head.load(Ordering::Acquire, &guard);
+        // SAFETY: head is never null.
+        unsafe { head.deref() }
+            .next
+            .load(Ordering::Acquire, &guard)
+            .is_null()
+    }
+}
+
+impl<T> Default for MsQueue<T> {
+    fn default() -> MsQueue<T> {
+        MsQueue::new()
+    }
+}
+
+impl<T> Drop for MsQueue<T> {
+    fn drop(&mut self) {
+        let guard = unsafe { epoch::unprotected() };
+        // The head node is the dummy: its value is NOT initialized.
+        let mut cursor = self.head.load(Ordering::Relaxed, guard);
+        let mut is_dummy = true;
+        while !cursor.is_null() {
+            // SAFETY: `&mut self` excludes concurrent access; values
+            // are initialized in every node but the current dummy.
+            unsafe {
+                let mut node = cursor.into_owned();
+                if !is_dummy {
+                    node.value.assume_init_drop();
+                }
+                is_dummy = false;
+                cursor = node.next.load(Ordering::Relaxed, guard);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_solo() {
+        let queue = MsQueue::new();
+        for v in 0..10 {
+            queue.enqueue(v);
+        }
+        for v in 0..10 {
+            assert_eq!(queue.dequeue(), Some(v));
+        }
+        assert_eq!(queue.dequeue(), None);
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn drop_frees_remaining_values() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let queue = MsQueue::new();
+            for _ in 0..10 {
+                queue.enqueue(Counted);
+            }
+            drop(queue.dequeue());
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn concurrent_conservation_and_producer_order() {
+        const PRODUCERS: u64 = 2;
+        const PER_PRODUCER: u64 = 3_000;
+        let queue: Arc<MsQueue<u64>> = Arc::new(MsQueue::new());
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|t| {
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        queue.enqueue(t * PER_PRODUCER + i);
+                    }
+                })
+            })
+            .collect();
+        let consumer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while got.len() < (PRODUCERS * PER_PRODUCER) as usize {
+                    if let Some(v) = queue.dequeue() {
+                        got.push(v);
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                got
+            })
+        };
+        for p in producers {
+            p.join().unwrap();
+        }
+        let got = consumer.join().unwrap();
+        assert_eq!(got.iter().collect::<HashSet<_>>().len(), got.len());
+        for t in 0..PRODUCERS {
+            let sub: Vec<u64> = got
+                .iter()
+                .copied()
+                .filter(|v| v / PER_PRODUCER == t)
+                .collect();
+            assert!(
+                sub.windows(2).all(|w| w[0] < w[1]),
+                "producer {t} order violated"
+            );
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Operation descriptors and outcomes shared by all queue flavours.
+
+/// The definitive (non-⊥) result of an enqueue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EnqueueOutcome {
+    /// The value is now at the rear of the queue.
+    Enqueued,
+    /// The queue was at capacity; nothing was enqueued.
+    Full,
+}
+
+impl EnqueueOutcome {
+    /// True when the value landed in the queue.
+    #[must_use]
+    pub fn is_enqueued(self) -> bool {
+        matches!(self, EnqueueOutcome::Enqueued)
+    }
+}
+
+/// The definitive (non-⊥) result of a dequeue.
+///
+/// The paper's definition of a *total* operation (§1.1) uses exactly
+/// this example: "instead of blocking the invoking process, a
+/// dequeue() operation on an empty queue returns it the value empty".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DequeueOutcome<V> {
+    /// The value that was at the front of the queue.
+    Dequeued(V),
+    /// The queue was empty.
+    Empty,
+}
+
+impl<V> DequeueOutcome<V> {
+    /// Converts to an `Option`.
+    pub fn into_option(self) -> Option<V> {
+        match self {
+            DequeueOutcome::Dequeued(v) => Some(v),
+            DequeueOutcome::Empty => None,
+        }
+    }
+
+    /// True when a value was returned.
+    #[must_use]
+    pub fn is_dequeued(&self) -> bool {
+        matches!(self, DequeueOutcome::Dequeued(_))
+    }
+}
+
+impl<V> From<DequeueOutcome<V>> for Option<V> {
+    fn from(outcome: DequeueOutcome<V>) -> Option<V> {
+        outcome.into_option()
+    }
+}
+
+/// A queue operation descriptor, for the generic transformations of
+/// `cso-core`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueueOp<V> {
+    /// Enqueue `v` at the rear.
+    Enqueue(V),
+    /// Dequeue from the front.
+    Dequeue,
+}
+
+/// The response to a [`QueueOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueueResponse<V> {
+    /// Response to [`QueueOp::Enqueue`].
+    Enqueue(EnqueueOutcome),
+    /// Response to [`QueueOp::Dequeue`].
+    Dequeue(DequeueOutcome<V>),
+}
+
+impl<V> QueueResponse<V> {
+    /// Extracts an enqueue outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a dequeue response.
+    #[must_use]
+    pub fn expect_enqueue(self) -> EnqueueOutcome {
+        match self {
+            QueueResponse::Enqueue(outcome) => outcome,
+            QueueResponse::Dequeue(_) => panic!("expected an enqueue response, got a dequeue"),
+        }
+    }
+
+    /// Extracts a dequeue outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is an enqueue response.
+    #[must_use]
+    pub fn expect_dequeue(self) -> DequeueOutcome<V> {
+        match self {
+            QueueResponse::Dequeue(outcome) => outcome,
+            QueueResponse::Enqueue(_) => panic!("expected a dequeue response, got an enqueue"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_predicates() {
+        assert!(EnqueueOutcome::Enqueued.is_enqueued());
+        assert!(!EnqueueOutcome::Full.is_enqueued());
+        assert_eq!(DequeueOutcome::Dequeued(3).into_option(), Some(3));
+        assert_eq!(DequeueOutcome::<u32>::Empty.into_option(), None);
+        assert!(DequeueOutcome::Dequeued(1).is_dequeued());
+        let opt: Option<u32> = DequeueOutcome::Dequeued(4).into();
+        assert_eq!(opt, Some(4));
+    }
+
+    #[test]
+    fn response_extractors() {
+        assert_eq!(
+            QueueResponse::<u32>::Enqueue(EnqueueOutcome::Full).expect_enqueue(),
+            EnqueueOutcome::Full
+        );
+        assert_eq!(
+            QueueResponse::<u32>::Dequeue(DequeueOutcome::Empty).expect_dequeue(),
+            DequeueOutcome::Empty
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a dequeue response")]
+    fn mismatched_extractor_panics() {
+        let _ = QueueResponse::<u32>::Enqueue(EnqueueOutcome::Enqueued).expect_dequeue();
+    }
+}

@@ -1,0 +1,117 @@
+//! The sequential reference queue (differential-testing oracle).
+
+use std::collections::VecDeque;
+
+use crate::outcome::{DequeueOutcome, EnqueueOutcome, QueueOp, QueueResponse};
+
+/// A plain single-threaded bounded FIFO queue with the same
+/// vocabulary as the concurrent ones — the sequential specification
+/// linearizability is defined against.
+///
+/// ```
+/// use cso_queue::{SeqQueue, EnqueueOutcome, DequeueOutcome};
+///
+/// let mut queue = SeqQueue::new(2);
+/// assert_eq!(queue.enqueue(1), EnqueueOutcome::Enqueued);
+/// assert_eq!(queue.enqueue(2), EnqueueOutcome::Enqueued);
+/// assert_eq!(queue.enqueue(3), EnqueueOutcome::Full);
+/// assert_eq!(queue.dequeue(), DequeueOutcome::Dequeued(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SeqQueue<V> {
+    capacity: usize,
+    items: VecDeque<V>,
+}
+
+impl<V: Clone> SeqQueue<V> {
+    /// Creates an empty queue of capacity `capacity`.
+    #[must_use]
+    pub fn new(capacity: usize) -> SeqQueue<V> {
+        SeqQueue {
+            capacity,
+            items: VecDeque::new(),
+        }
+    }
+
+    /// Enqueues `value`, or reports `Full` at capacity.
+    pub fn enqueue(&mut self, value: V) -> EnqueueOutcome {
+        if self.items.len() == self.capacity {
+            EnqueueOutcome::Full
+        } else {
+            self.items.push_back(value);
+            EnqueueOutcome::Enqueued
+        }
+    }
+
+    /// Dequeues the front value, or reports `Empty`.
+    pub fn dequeue(&mut self) -> DequeueOutcome<V> {
+        match self.items.pop_front() {
+            Some(v) => DequeueOutcome::Dequeued(v),
+            None => DequeueOutcome::Empty,
+        }
+    }
+
+    /// Applies an operation descriptor (checker-facing interface).
+    pub fn apply(&mut self, op: &QueueOp<V>) -> QueueResponse<V> {
+        match op {
+            QueueOp::Enqueue(v) => QueueResponse::Enqueue(self.enqueue(v.clone())),
+            QueueOp::Dequeue => QueueResponse::Dequeue(self.dequeue()),
+        }
+    }
+
+    /// Current size.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The capacity bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// A front-first view of the current content.
+    #[must_use]
+    pub fn items(&self) -> &VecDeque<V> {
+        &self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_fifo_semantics() {
+        let mut q = SeqQueue::new(2);
+        assert_eq!(q.dequeue(), DequeueOutcome::<u32>::Empty);
+        assert_eq!(q.enqueue(1), EnqueueOutcome::Enqueued);
+        assert_eq!(q.enqueue(2), EnqueueOutcome::Enqueued);
+        assert_eq!(q.enqueue(3), EnqueueOutcome::Full);
+        assert_eq!(q.dequeue(), DequeueOutcome::Dequeued(1));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        assert_eq!(q.capacity(), 2);
+        assert_eq!(q.items().front(), Some(&2));
+    }
+
+    #[test]
+    fn apply_mirrors_direct_calls() {
+        let mut q = SeqQueue::new(4);
+        assert_eq!(
+            q.apply(&QueueOp::Enqueue(7u32)),
+            QueueResponse::Enqueue(EnqueueOutcome::Enqueued)
+        );
+        assert_eq!(
+            q.apply(&QueueOp::Dequeue),
+            QueueResponse::Dequeue(DequeueOutcome::Dequeued(7))
+        );
+    }
+}

@@ -1,0 +1,508 @@
+//! Figure 1: the abortable array-based stack.
+//!
+//! A faithful transcription of the paper's Figure 1 (itself a
+//! simplified version of Shafiei's non-blocking array stack, paper
+//! ref \[22\]). Line numbers in the code comments refer to the figure.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cso_core::{Abortable, Aborted};
+use cso_memory::packed::{SlotWord, TopWord};
+use cso_memory::reg::Reg64;
+
+use crate::outcome::{PopOutcome, PushOutcome, StackOp, StackResponse};
+use crate::value::StackValue;
+
+/// Abort/attempt counters for experiment E2 (kept in plain atomics —
+/// they are diagnostics, not part of the algorithm's shared-memory
+/// footprint).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AbortStats {
+    /// `weak_push` invocations.
+    pub push_attempts: u64,
+    /// `weak_push` invocations that returned ⊥.
+    pub push_aborts: u64,
+    /// `weak_pop` invocations.
+    pub pop_attempts: u64,
+    /// `weak_pop` invocations that returned ⊥.
+    pub pop_aborts: u64,
+}
+
+impl AbortStats {
+    /// Fraction of all attempts that aborted (0.0 when idle).
+    #[must_use]
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.push_attempts + self.pop_attempts;
+        if attempts == 0 {
+            0.0
+        } else {
+            (self.push_aborts + self.pop_aborts) as f64 / attempts as f64
+        }
+    }
+}
+
+/// The paper's **abortable stack** (Figure 1).
+///
+/// Two registers implement the stack of capacity `k`:
+///
+/// * `TOP` — a `⟨index, value, seqnb⟩` triple naming the top entry,
+///   its value, and the sequence number of the *pending* write of
+///   `STACK[index]`;
+/// * `STACK[0..k]` — `⟨val, sn⟩` pairs; `STACK\[0\]` is a dummy entry
+///   for the empty stack.
+///
+/// The implementation is *lazy*: a successful operation installs its
+/// result in `TOP` only and leaves the matching `STACK[index]` write
+/// to the **next** operation (the `help` procedure, lines 15–16). The
+/// per-slot sequence numbers make helping idempotent and defeat the
+/// ABA problem (§2.2).
+///
+/// Both operations are **abortable**: executed solo they always return
+/// a definitive outcome ([`PushOutcome`]/[`PopOutcome`]), and under
+/// contention they may return ⊥ ([`Aborted`]) *with no effect* —
+/// exactly one `TOP.C&S` decides each state change.
+///
+/// A solo `weak_push`/`weak_pop` performs exactly **five** shared
+/// memory accesses (read `TOP`; the two accesses of `help`; read the
+/// neighbour slot; `C&S` on `TOP`) — the building block of Theorem 1's
+/// six-access bound.
+///
+/// ```
+/// use cso_stack::{AbortableStack, PushOutcome, PopOutcome};
+///
+/// let stack: AbortableStack<u32> = AbortableStack::new(8);
+/// assert_eq!(stack.weak_push(5), Ok(PushOutcome::Pushed)); // solo: never ⊥
+/// assert_eq!(stack.weak_pop(), Ok(PopOutcome::Popped(5)));
+/// assert_eq!(stack.weak_pop(), Ok(PopOutcome::Empty));
+/// ```
+#[derive(Debug)]
+pub struct AbortableStack<V> {
+    /// The `TOP` register.
+    top: Reg64,
+    /// `STACK[0..k]`: entry 0 is the dummy; capacity is `len - 1`.
+    slots: Box<[Reg64]>,
+    // Diagnostics (not shared-memory accesses).
+    push_attempts: AtomicU64,
+    push_aborts: AtomicU64,
+    pop_attempts: AtomicU64,
+    pop_aborts: AtomicU64,
+    _values: PhantomData<V>,
+}
+
+/// The dummy value stored below the stack bottom (never observed by
+/// users: popping at index 0 returns `Empty` before reading it).
+const BOTTOM: u32 = 0;
+
+impl<V: StackValue> AbortableStack<V> {
+    /// Creates an empty stack of capacity `capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0 or exceeds `u16::MAX - 1` (the index
+    /// field of the packed `TOP` register is 16 bits).
+    #[must_use]
+    pub fn new(capacity: usize) -> AbortableStack<V> {
+        assert!(capacity > 0, "stack capacity must be positive");
+        assert!(
+            capacity <= usize::from(u16::MAX) - 1,
+            "stack capacity must fit the 16-bit index field"
+        );
+        // TOP ← ⟨0, ⊥, 0⟩; STACK[0] ← ⟨⊥, −1⟩ (so the very first help,
+        // with seqnb = 0, finds old = ⟨⊥, −1⟩ and idempotently
+        // rewrites the dummy); STACK[1..k] ← ⟨⊥, 0⟩.
+        let top = Reg64::new(
+            TopWord {
+                index: 0,
+                seq: 0,
+                value: BOTTOM,
+            }
+            .pack(),
+        );
+        let slots = (0..=capacity)
+            .map(|x| {
+                let seq = if x == 0 { u16::MAX } else { 0 };
+                Reg64::new(SlotWord { value: BOTTOM, seq }.pack())
+            })
+            .collect();
+        AbortableStack {
+            top,
+            slots,
+            push_attempts: AtomicU64::new(0),
+            push_aborts: AtomicU64::new(0),
+            pop_attempts: AtomicU64::new(0),
+            pop_aborts: AtomicU64::new(0),
+            _values: PhantomData,
+        }
+    }
+
+    /// The capacity `k` fixed at construction.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len() - 1
+    }
+
+    /// A racy snapshot of the current size (the `index` field of
+    /// `TOP`). Exact only in a quiescent state.
+    ///
+    /// Note: this performs one (counted) shared-memory access.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        usize::from(TopWord::unpack(self.top.read()).index)
+    }
+
+    /// Racy emptiness snapshot; see [`AbortableStack::len`].
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `help(index, value, seqnb)` — lines 15–16: finish the pending
+    /// lazy write of the previous successful operation.
+    ///
+    /// The previous operation required `⟨value, seqnb⟩` to be written
+    /// into `STACK[index]`; do it with a `C&S` so it happens at most
+    /// once (if some other helper already did it, the slot's sequence
+    /// number has moved past `seqnb − 1` and our `C&S` fails,
+    /// harmlessly).
+    fn help(&self, top: TopWord) {
+        let slot = &self.slots[usize::from(top.index)];
+        // Line 15: stacktop ← STACK[index].val.
+        let current = SlotWord::unpack(slot.read());
+        // Line 16: STACK[index].C&S(⟨stacktop, seqnb − 1⟩, ⟨value, seqnb⟩).
+        let old = SlotWord {
+            value: current.value,
+            seq: top.seq.wrapping_sub(1),
+        };
+        let new = SlotWord {
+            value: top.value,
+            seq: top.seq,
+        };
+        slot.cas(old.pack(), new.pack());
+    }
+
+    /// `weak_push(v)` — lines 01–07.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Aborted`] (⊥) if a concurrent operation changed `TOP`
+    /// between lines 01 and 06; the stack is unchanged in that case.
+    /// Never aborts in a contention-free execution.
+    pub fn weak_push(&self, value: V) -> Result<PushOutcome, Aborted> {
+        self.push_attempts.fetch_add(1, Ordering::Relaxed);
+        // Line 01: (index, value, seqnb) ← TOP.
+        let observed = TopWord::unpack(self.top.read());
+        // Line 02: help the previous operation's pending write.
+        self.help(observed);
+        // Line 03: full?
+        if usize::from(observed.index) == self.capacity() {
+            return Ok(PushOutcome::Full);
+        }
+        // Line 04: sn_of_next ← STACK[index + 1].sn.
+        let next_slot = SlotWord::unpack(self.slots[usize::from(observed.index) + 1].read());
+        // Line 05: newtop ← ⟨index + 1, v, sn_of_next + 1⟩.
+        let newtop = TopWord {
+            index: observed.index + 1,
+            value: value.to_bits(),
+            seq: next_slot.seq.wrapping_add(1),
+        };
+        // Lines 06–07: register the push in TOP, or abort.
+        if self.top.cas(observed.pack(), newtop.pack()) {
+            Ok(PushOutcome::Pushed)
+        } else {
+            self.push_aborts.fetch_add(1, Ordering::Relaxed);
+            Err(Aborted)
+        }
+    }
+
+    /// `weak_pop()` — lines 08–14.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Aborted`] (⊥) if a concurrent operation changed `TOP`
+    /// between lines 08 and 13; the stack is unchanged in that case.
+    /// Never aborts in a contention-free execution.
+    pub fn weak_pop(&self) -> Result<PopOutcome<V>, Aborted> {
+        self.pop_attempts.fetch_add(1, Ordering::Relaxed);
+        // Line 08: (index, value, seqnb) ← TOP.
+        let observed = TopWord::unpack(self.top.read());
+        // Line 09: help the previous operation's pending write.
+        self.help(observed);
+        // Line 10: empty?
+        if observed.index == 0 {
+            return Ok(PopOutcome::Empty);
+        }
+        // Line 11: belowtop ← STACK[index − 1]. (That slot is final:
+        // the only possibly-stale slot is STACK[index], which help
+        // just fixed.)
+        let below = SlotWord::unpack(self.slots[usize::from(observed.index) - 1].read());
+        // Line 12: newtop ← ⟨index − 1, belowtop.val, belowtop.sn + 1⟩.
+        let newtop = TopWord {
+            index: observed.index - 1,
+            value: below.value,
+            seq: below.seq.wrapping_add(1),
+        };
+        // Lines 13–14: register the pop in TOP, or abort.
+        if self.top.cas(observed.pack(), newtop.pack()) {
+            Ok(PopOutcome::Popped(V::from_bits(observed.value)))
+        } else {
+            self.pop_aborts.fetch_add(1, Ordering::Relaxed);
+            Err(Aborted)
+        }
+    }
+
+    /// Snapshot of the attempt/abort counters (experiment E2).
+    pub fn abort_stats(&self) -> AbortStats {
+        AbortStats {
+            push_attempts: self.push_attempts.load(Ordering::Relaxed),
+            push_aborts: self.push_aborts.load(Ordering::Relaxed),
+            pop_attempts: self.pop_attempts.load(Ordering::Relaxed),
+            pop_aborts: self.pop_aborts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the attempt/abort counters.
+    pub fn reset_abort_stats(&self) {
+        self.push_attempts.store(0, Ordering::Relaxed);
+        self.push_aborts.store(0, Ordering::Relaxed);
+        self.pop_attempts.store(0, Ordering::Relaxed);
+        self.pop_aborts.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Plugs the stack into the generic transformations of `cso-core`
+/// (Figure 2 / Figure 3 are written over `weak_push_or_pop(par)`).
+impl<V: StackValue> Abortable for AbortableStack<V> {
+    type Op = StackOp<V>;
+    type Response = StackResponse<V>;
+
+    fn try_apply(&self, op: &StackOp<V>) -> Result<StackResponse<V>, Aborted> {
+        match op {
+            StackOp::Push(v) => self.weak_push(*v).map(StackResponse::Push),
+            StackOp::Pop => self.weak_pop().map(StackResponse::Pop),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cso_memory::counting::CountScope;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lifo_order_solo() {
+        let stack: AbortableStack<u32> = AbortableStack::new(16);
+        for v in 1..=5 {
+            assert_eq!(stack.weak_push(v), Ok(PushOutcome::Pushed));
+        }
+        for v in (1..=5).rev() {
+            assert_eq!(stack.weak_pop(), Ok(PopOutcome::Popped(v)));
+        }
+        assert_eq!(stack.weak_pop(), Ok(PopOutcome::Empty));
+    }
+
+    #[test]
+    fn full_and_empty_are_definitive_not_aborts() {
+        let stack: AbortableStack<u32> = AbortableStack::new(2);
+        assert_eq!(stack.weak_pop(), Ok(PopOutcome::Empty));
+        assert_eq!(stack.weak_push(1), Ok(PushOutcome::Pushed));
+        assert_eq!(stack.weak_push(2), Ok(PushOutcome::Pushed));
+        assert_eq!(stack.weak_push(3), Ok(PushOutcome::Full));
+        // Full did not clobber anything.
+        assert_eq!(stack.weak_pop(), Ok(PopOutcome::Popped(2)));
+    }
+
+    #[test]
+    fn solo_push_is_exactly_five_accesses() {
+        let stack: AbortableStack<u32> = AbortableStack::new(64);
+        let scope = CountScope::start();
+        stack.weak_push(1).unwrap();
+        let c = scope.take();
+        assert_eq!(c.total(), 5, "Figure 1 solo push: got {c}");
+        assert_eq!((c.reads, c.cas), (3, 2));
+    }
+
+    #[test]
+    fn solo_pop_is_exactly_five_accesses() {
+        let stack: AbortableStack<u32> = AbortableStack::new(64);
+        stack.weak_push(1).unwrap();
+        let scope = CountScope::start();
+        stack.weak_pop().unwrap();
+        let c = scope.take();
+        assert_eq!(c.total(), 5, "Figure 1 solo pop: got {c}");
+    }
+
+    #[test]
+    fn empty_pop_is_three_accesses() {
+        let stack: AbortableStack<u32> = AbortableStack::new(8);
+        let scope = CountScope::start();
+        assert_eq!(stack.weak_pop(), Ok(PopOutcome::Empty));
+        assert_eq!(scope.take().total(), 3); // read TOP + help (2)
+    }
+
+    #[test]
+    fn len_tracks_quiescent_size() {
+        let stack: AbortableStack<u32> = AbortableStack::new(8);
+        assert!(stack.is_empty());
+        stack.weak_push(1).unwrap();
+        stack.weak_push(2).unwrap();
+        assert_eq!(stack.len(), 2);
+        stack.weak_pop().unwrap();
+        assert_eq!(stack.len(), 1);
+        assert_eq!(stack.capacity(), 8);
+    }
+
+    #[test]
+    fn solo_operations_never_abort_long_run() {
+        // The "solo success" half of the abortable contract, run long
+        // enough to cycle sequence numbers within slots.
+        let stack: AbortableStack<u16> = AbortableStack::new(4);
+        for round in 0..10_000u32 {
+            let v = (round % 17) as u16;
+            assert!(stack.weak_push(v).is_ok());
+            assert_eq!(stack.weak_pop(), Ok(PopOutcome::Popped(v)));
+        }
+        assert_eq!(stack.abort_stats().abort_rate(), 0.0);
+    }
+
+    #[test]
+    fn abortable_trait_round_trips() {
+        let stack: AbortableStack<u32> = AbortableStack::new(4);
+        let resp = stack.try_apply(&StackOp::Push(9)).unwrap();
+        assert_eq!(resp.expect_push(), PushOutcome::Pushed);
+        let resp = stack.try_apply(&StackOp::Pop).unwrap();
+        assert_eq!(resp.expect_pop(), PopOutcome::Popped(9));
+    }
+
+    #[test]
+    fn stats_count_attempts() {
+        let stack: AbortableStack<u32> = AbortableStack::new(4);
+        stack.weak_push(1).unwrap();
+        stack.weak_pop().unwrap();
+        stack.weak_pop().unwrap(); // Empty still counts as an attempt
+        let stats = stack.abort_stats();
+        assert_eq!(stats.push_attempts, 1);
+        assert_eq!(stats.pop_attempts, 2);
+        assert_eq!(stats.push_aborts + stats.pop_aborts, 0);
+        stack.reset_abort_stats();
+        assert_eq!(stack.abort_stats(), AbortStats::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = AbortableStack::<u32>::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "16-bit index")]
+    fn oversized_capacity_panics() {
+        let _ = AbortableStack::<u32>::new(usize::from(u16::MAX));
+    }
+
+    /// Concurrent aborts leave the stack consistent: every pushed
+    /// value is popped exactly once (conservation), even though weak
+    /// operations freely abort.
+    #[test]
+    fn concurrent_weak_ops_conserve_values() {
+        use std::collections::HashSet;
+        use std::sync::{Arc, Mutex};
+        const THREADS: usize = 4;
+        const PER_THREAD: u32 = 2_000;
+
+        let stack: Arc<AbortableStack<u32>> = Arc::new(AbortableStack::new(1024));
+        let popped = Arc::new(Mutex::new(Vec::<u32>::new()));
+
+        let handles: Vec<_> = (0..THREADS as u32)
+            .map(|t| {
+                let stack = Arc::clone(&stack);
+                let popped = Arc::clone(&popped);
+                std::thread::spawn(move || {
+                    let mut mine = Vec::new();
+                    for i in 0..PER_THREAD {
+                        let v = t * PER_THREAD + i;
+                        // Retry aborted pushes (Full cannot happen:
+                        // capacity ≥ total pushes in flight).
+                        loop {
+                            match stack.weak_push(v) {
+                                Ok(PushOutcome::Pushed) => break,
+                                Ok(PushOutcome::Full) => panic!("stack cannot be full"),
+                                Err(Aborted) => std::thread::yield_now(),
+                            }
+                        }
+                        // Pop something back (retry ⊥; Empty possible
+                        // if others popped our value first — then we
+                        // just carry on).
+                        loop {
+                            match stack.weak_pop() {
+                                Ok(PopOutcome::Popped(v)) => {
+                                    mine.push(v);
+                                    break;
+                                }
+                                Ok(PopOutcome::Empty) => break,
+                                Err(Aborted) => std::thread::yield_now(),
+                            }
+                        }
+                    }
+                    popped.lock().unwrap().extend(mine);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        // Drain the remainder.
+        let mut remaining = Vec::new();
+        loop {
+            match stack.weak_pop() {
+                Ok(PopOutcome::Popped(v)) => remaining.push(v),
+                Ok(PopOutcome::Empty) => break,
+                Err(Aborted) => unreachable!("no contention while draining"),
+            }
+        }
+        let mut all = popped.lock().unwrap().clone();
+        all.extend(remaining);
+        assert_eq!(
+            all.len(),
+            THREADS * PER_THREAD as usize,
+            "every push popped exactly once"
+        );
+        let distinct: HashSet<u32> = all.iter().copied().collect();
+        assert_eq!(distinct.len(), all.len(), "no duplicates");
+    }
+
+    proptest! {
+        /// Solo differential test: the abortable stack agrees with the
+        /// sequential reference on arbitrary operation sequences.
+        #[test]
+        fn prop_matches_sequential_spec(ops in proptest::collection::vec(any::<Option<u16>>(), 0..200)) {
+            let stack: AbortableStack<u16> = AbortableStack::new(16);
+            let mut reference: Vec<u16> = Vec::new();
+            for op in ops {
+                match op {
+                    Some(v) => {
+                        let got = stack.weak_push(v).expect("solo never aborts");
+                        let want = if reference.len() == 16 {
+                            PushOutcome::Full
+                        } else {
+                            reference.push(v);
+                            PushOutcome::Pushed
+                        };
+                        prop_assert_eq!(got, want);
+                    }
+                    None => {
+                        let got = stack.weak_pop().expect("solo never aborts");
+                        let want = match reference.pop() {
+                            Some(v) => PopOutcome::Popped(v),
+                            None => PopOutcome::Empty,
+                        };
+                        prop_assert_eq!(got, want);
+                    }
+                }
+            }
+            prop_assert_eq!(stack.len(), reference.len());
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Figure 3: the contention-sensitive starvation-free stack.
+
+use cso_core::{Abortable, Aborted, ContentionSensitive, CsConfig, PathStats, ProgressCondition};
+use cso_locks::{RawLock, TasLock};
+
+use crate::abortable::{AbortStats, AbortableStack};
+use crate::outcome::{PopOutcome, PushOutcome, StackOp};
+use crate::value::StackValue;
+
+/// The paper's **contention-sensitive, starvation-free stack**
+/// (Figure 3, the paper's headline construction).
+///
+/// `strong_push`/`strong_pop` first read the `CONTENTION` register
+/// and, if clear, run one weak operation with no lock: in a
+/// contention-free context an operation completes in **six shared
+/// memory accesses and lock-free** (Theorem 1). Under contention they
+/// fall back to a critical section protected by a deadlock-free lock
+/// `L` boosted to starvation freedom by the `FLAG`/`TURN` round-robin
+/// of §4.4 — so *every* invocation terminates with a non-⊥ value.
+///
+/// Each participating thread passes its process identity
+/// (`0..n`, typically from [`cso_memory::registry::ProcRegistry`]).
+///
+/// ```
+/// use cso_stack::{CsStack, PushOutcome, PopOutcome};
+/// use cso_memory::counting::CountScope;
+///
+/// let stack: CsStack<u32> = CsStack::new(64, 2);
+/// let scope = CountScope::start();
+/// assert_eq!(stack.push(0, 42), PushOutcome::Pushed);
+/// assert_eq!(scope.take().total(), 6); // Theorem 1
+/// assert_eq!(stack.pop(1), PopOutcome::Popped(42));
+/// ```
+#[derive(Debug)]
+pub struct CsStack<V: StackValue, L: RawLock = TasLock> {
+    inner: ContentionSensitive<AbortableStack<V>, L>,
+}
+
+impl<V: StackValue> CsStack<V, TasLock> {
+    /// Creates an empty stack of capacity `capacity` for `n`
+    /// processes, with the default TAS lock for the slow path (any
+    /// deadlock-free lock works; the paper assumes nothing more).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0 or exceeds `u16::MAX - 1`, or if
+    /// `n == 0`.
+    #[must_use]
+    pub fn new(capacity: usize, n: usize) -> CsStack<V, TasLock> {
+        CsStack::with_lock(capacity, TasLock::new(), n)
+    }
+}
+
+impl<V: StackValue, L: RawLock> CsStack<V, L> {
+    /// Creates an empty stack using `lock` (deadlock-free suffices)
+    /// for the slow path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0 or exceeds `u16::MAX - 1`, or if
+    /// `n == 0`.
+    #[must_use]
+    pub fn with_lock(capacity: usize, lock: L, n: usize) -> CsStack<V, L> {
+        CsStack::with_config(capacity, lock, n, CsConfig::PAPER)
+    }
+
+    /// Creates a stack with an explicit mechanism selection (the E8
+    /// ablations; [`CsConfig::PAPER`] is Figure 3 verbatim).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0 or exceeds `u16::MAX - 1`, or if
+    /// `n == 0`.
+    #[must_use]
+    pub fn with_config(capacity: usize, lock: L, n: usize, config: CsConfig) -> CsStack<V, L> {
+        CsStack {
+            inner: ContentionSensitive::with_config(AbortableStack::new(capacity), lock, n, config),
+        }
+    }
+
+    /// The progress condition of this implementation.
+    pub const PROGRESS: ProgressCondition = ProgressCondition::StarvationFree;
+
+    /// `strong_push(v)` on behalf of process `proc`; never returns ⊥.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc >= n`.
+    pub fn push(&self, proc: usize, value: V) -> PushOutcome {
+        self.inner.apply(proc, &StackOp::Push(value)).expect_push()
+    }
+
+    /// `strong_pop()` on behalf of process `proc`; never returns ⊥.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc >= n`.
+    pub fn pop(&self, proc: usize) -> PopOutcome<V> {
+        self.inner.apply(proc, &StackOp::Pop).expect_pop()
+    }
+
+    /// The capacity fixed at construction.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.inner.inner().capacity()
+    }
+
+    /// Racy size snapshot (one shared access).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.inner().len()
+    }
+
+    /// Racy emptiness snapshot (one shared access).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.inner().is_empty()
+    }
+
+    /// The number of processes this stack serves.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    /// How many operations completed on the fast path vs under the
+    /// lock (experiment E4).
+    pub fn path_stats(&self) -> PathStats {
+        self.inner.stats()
+    }
+
+    /// Resets the path statistics.
+    pub fn reset_path_stats(&self) {
+        self.inner.reset_stats()
+    }
+
+    /// Attempt/abort counters of the underlying weak operations.
+    pub fn abort_stats(&self) -> AbortStats {
+        self.inner.inner().abort_stats()
+    }
+}
+
+/// A `CsStack` is itself abortable in the degenerate sense that it
+/// never aborts; exposing the trait lets generic harnesses treat every
+/// stack uniformly. `proc` is carried in the op via
+/// [`CsStackOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsStackOp<V> {
+    /// The invoking process identity.
+    pub proc: usize,
+    /// The stack operation.
+    pub op: StackOp<V>,
+}
+
+impl<V: StackValue, L: RawLock> Abortable for CsStack<V, L> {
+    type Op = CsStackOp<V>;
+    type Response = crate::outcome::StackResponse<V>;
+
+    fn try_apply(&self, op: &CsStackOp<V>) -> Result<Self::Response, Aborted> {
+        Ok(self.inner.apply(op.proc, &op.op))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cso_memory::counting::CountScope;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn lifo_order_solo() {
+        let stack: CsStack<u32> = CsStack::new(8, 2);
+        for v in 1..=5 {
+            assert_eq!(stack.push(0, v), PushOutcome::Pushed);
+        }
+        for v in (1..=5).rev() {
+            assert_eq!(stack.pop(1), PopOutcome::Popped(v));
+        }
+        assert_eq!(stack.pop(0), PopOutcome::Empty);
+    }
+
+    /// Theorem 1's headline number: a contention-free strong operation
+    /// performs exactly six shared-memory accesses and takes no lock.
+    #[test]
+    fn solo_strong_push_is_exactly_six_accesses() {
+        let stack: CsStack<u32> = CsStack::new(64, 4);
+        let scope = CountScope::start();
+        stack.push(0, 1);
+        let c = scope.take();
+        assert_eq!(c.total(), 6, "Theorem 1: got {c}");
+        assert_eq!(stack.path_stats().locked, 0, "no lock in a solo run");
+    }
+
+    #[test]
+    fn solo_strong_pop_is_exactly_six_accesses() {
+        let stack: CsStack<u32> = CsStack::new(64, 4);
+        stack.push(0, 1);
+        let scope = CountScope::start();
+        assert_eq!(stack.pop(0), PopOutcome::Popped(1));
+        assert_eq!(scope.take().total(), 6);
+    }
+
+    #[test]
+    fn six_access_bound_is_independent_of_capacity_and_n() {
+        for (capacity, n) in [(2, 1), (16, 2), (4096, 32), (60_000, 64)] {
+            let stack: CsStack<u32> = CsStack::new(capacity, n);
+            stack.push(0, 7);
+            let scope = CountScope::start();
+            stack.push(n - 1, 9);
+            assert_eq!(scope.take().total(), 6, "capacity={capacity}, n={n}");
+            let scope = CountScope::start();
+            stack.pop(0);
+            assert_eq!(scope.take().total(), 6, "capacity={capacity}, n={n}");
+        }
+    }
+
+    #[test]
+    fn full_and_empty_solo() {
+        let stack: CsStack<u32> = CsStack::new(1, 2);
+        assert_eq!(stack.pop(0), PopOutcome::Empty);
+        assert_eq!(stack.push(0, 1), PushOutcome::Pushed);
+        assert_eq!(stack.push(0, 2), PushOutcome::Full);
+        assert_eq!(stack.pop(1), PopOutcome::Popped(1));
+    }
+
+    #[test]
+    fn concurrent_strong_ops_conserve_values_and_never_bot() {
+        const THREADS: u32 = 4;
+        const PER_THREAD: u32 = 1_500;
+        let stack: Arc<CsStack<u32>> = Arc::new(CsStack::new(
+            (THREADS * PER_THREAD) as usize,
+            THREADS as usize,
+        ));
+
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let stack = Arc::clone(&stack);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    for i in 0..PER_THREAD {
+                        assert_eq!(
+                            stack.push(t as usize, t * PER_THREAD + i),
+                            PushOutcome::Pushed
+                        );
+                        if let PopOutcome::Popped(v) = stack.pop(t as usize) {
+                            got.push(v);
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<u32> = Vec::new();
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        loop {
+            match stack.pop(0) {
+                PopOutcome::Popped(v) => all.push(v),
+                PopOutcome::Empty => break,
+            }
+        }
+        assert_eq!(all.len(), (THREADS * PER_THREAD) as usize);
+        let distinct: HashSet<u32> = all.iter().copied().collect();
+        assert_eq!(distinct.len(), all.len());
+        // Every operation completed on one of the two paths.
+        assert_eq!(
+            stack.path_stats().total(),
+            u64::from(THREADS * PER_THREAD) * 2 + 1
+        );
+    }
+
+    #[test]
+    fn ablation_configs_remain_correct() {
+        for config in [CsConfig::PAPER, CsConfig::NO_FLAG, CsConfig::UNFAIR] {
+            let stack: CsStack<u32> = CsStack::with_config(16, TasLock::new(), 2, config);
+            assert_eq!(stack.push(0, 1), PushOutcome::Pushed);
+            assert_eq!(stack.pop(1), PopOutcome::Popped(1));
+            assert_eq!(stack.pop(1), PopOutcome::Empty);
+        }
+    }
+
+    #[test]
+    fn custom_lock_variant() {
+        use cso_locks::TicketLock;
+        let stack: CsStack<u32, TicketLock> = CsStack::with_lock(8, TicketLock::new(), 3);
+        assert_eq!(stack.push(2, 5), PushOutcome::Pushed);
+        assert_eq!(stack.pop(0), PopOutcome::Popped(5));
+        assert_eq!(stack.n(), 3);
+        assert_eq!(stack.capacity(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_proc() {
+        let stack: CsStack<u32> = CsStack::new(8, 2);
+        let _ = stack.push(5, 1);
+    }
+}

@@ -1,0 +1,402 @@
+//! Elimination back-off stack (extension baseline).
+//!
+//! Hendler, Shavit & Yerushalmi's observation: a concurrent push and
+//! pop *cancel out* — they can meet in a side array and exchange the
+//! value without touching the stack at all. This is the classical
+//! high-contention stack optimization and a natural "non-interfering
+//! operations" companion to the paper's contention-sensitive theme
+//! (it eliminates precisely the operation pairs that commute).
+//!
+//! This is an **extension** (see `DESIGN.md`): the paper mentions no
+//! elimination, but its related-work discussion of contention
+//! management motivates including one strong lock-free baseline.
+
+use std::cell::{RefCell, UnsafeCell};
+use std::mem::ManuallyDrop;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam_epoch::{self as epoch, Atomic, Owned};
+use cso_core::ProgressCondition;
+use cso_memory::backoff::XorShift64;
+
+// Exchange-slot states (low 32 bits of the packed word; high 32 = tag).
+const EMPTY: u32 = 0;
+/// A pusher owns the cell and is writing its item.
+const CLAIMED: u32 = 1;
+/// An item is parked and available to a popper.
+const WAITING: u32 = 2;
+/// A popper owns the cell and is taking the item.
+const BUSY: u32 = 3;
+/// The pusher timed out and is reclaiming its item.
+const RETRACT: u32 = 4;
+
+fn pack(tag: u32, state: u32) -> u64 {
+    (u64::from(tag) << 32) | u64::from(state)
+}
+
+fn unpack(word: u64) -> (u32, u32) {
+    ((word >> 32) as u32, word as u32)
+}
+
+struct ExchangeSlot<T> {
+    state: AtomicU64,
+    item: UnsafeCell<Option<T>>,
+}
+
+// SAFETY: the slot's state machine grants exclusive access to `item`
+// to exactly one thread at a time (see the window analysis on
+// `try_eliminate_push` / `try_eliminate_pop`), and items move across
+// threads, hence `T: Send`.
+unsafe impl<T: Send> Send for ExchangeSlot<T> {}
+unsafe impl<T: Send> Sync for ExchangeSlot<T> {}
+
+impl<T> ExchangeSlot<T> {
+    fn new() -> ExchangeSlot<T> {
+        ExchangeSlot {
+            state: AtomicU64::new(pack(0, EMPTY)),
+            item: UnsafeCell::new(None),
+        }
+    }
+}
+
+thread_local! {
+    static RNG: RefCell<XorShift64> = RefCell::new(XorShift64::from_entropy());
+}
+
+/// A lock-free stack with an elimination back-off array.
+///
+/// Push and pop first attempt one CAS on the Treiber head; on failure
+/// (i.e. under contention) they visit a random slot of the elimination
+/// array, where a concurrent push/pop pair can exchange the value and
+/// complete without ever modifying the stack.
+///
+/// ```
+/// use cso_stack::EliminationStack;
+///
+/// let stack = EliminationStack::new(4);
+/// stack.push(1u32);
+/// assert_eq!(stack.pop(), Some(1));
+/// assert_eq!(stack.pop(), None);
+/// ```
+pub struct EliminationStack<T> {
+    head: Atomic<Node<T>>,
+    slots: Box<[ExchangeSlot<T>]>,
+    eliminated: AtomicU64,
+}
+
+struct Node<T> {
+    value: ManuallyDrop<T>,
+    next: Atomic<Node<T>>,
+}
+
+impl<T: Send> EliminationStack<T> {
+    /// How long a parked pusher waits for a partner before retracting.
+    const PARK_POLLS: u32 = 128;
+
+    /// Creates an empty stack with `slots` elimination slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots == 0`.
+    #[must_use]
+    pub fn new(slots: usize) -> EliminationStack<T> {
+        assert!(slots > 0, "the elimination array needs at least one slot");
+        EliminationStack {
+            head: Atomic::null(),
+            slots: (0..slots).map(|_| ExchangeSlot::new()).collect(),
+            eliminated: AtomicU64::new(0),
+        }
+    }
+
+    /// The progress condition of this implementation.
+    pub const PROGRESS: ProgressCondition = ProgressCondition::NonBlocking;
+
+    /// Number of operation *pairs* completed via elimination.
+    #[must_use]
+    pub fn eliminated_pairs(&self) -> u64 {
+        self.eliminated.load(Ordering::Relaxed)
+    }
+
+    /// Pushes `value` (unbounded; always succeeds).
+    pub fn push(&self, mut value: T) {
+        loop {
+            match self.try_push(value) {
+                Ok(()) => return,
+                Err(v) => value = v,
+            }
+            // Head contention: try to meet a popper instead.
+            match self.try_eliminate_push(value) {
+                Ok(()) => {
+                    self.eliminated.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                Err(v) => value = v,
+            }
+        }
+    }
+
+    /// Pops the most recently pushed value, or `None` when the stack
+    /// is observed empty.
+    pub fn pop(&self) -> Option<T> {
+        loop {
+            match self.try_pop() {
+                Ok(result) => return result,
+                Err(()) => {}
+            }
+            if let Some(value) = self.try_eliminate_pop() {
+                return Some(value);
+            }
+        }
+    }
+
+    /// One CAS attempt on the Treiber head.
+    fn try_push(&self, value: T) -> Result<(), T> {
+        let guard = epoch::pin();
+        let head = self.head.load(Ordering::Acquire, &guard);
+        let node = Owned::new(Node {
+            value: ManuallyDrop::new(value),
+            next: Atomic::null(),
+        });
+        node.next.store(head, Ordering::Relaxed);
+        match self
+            .head
+            .compare_exchange(head, node, Ordering::Release, Ordering::Relaxed, &guard)
+        {
+            Ok(_) => Ok(()),
+            Err(err) => {
+                let node = err.new;
+                // Reclaim the value from the unpublished node.
+                let Node { value, .. } = *node.into_box();
+                Err(ManuallyDrop::into_inner(value))
+            }
+        }
+    }
+
+    /// One CAS attempt on the Treiber head; `Err(())` means contention.
+    fn try_pop(&self) -> Result<Option<T>, ()> {
+        let guard = epoch::pin();
+        let head = self.head.load(Ordering::Acquire, &guard);
+        let Some(node) = (unsafe { head.as_ref() }) else {
+            return Ok(None);
+        };
+        let next = node.next.load(Ordering::Acquire, &guard);
+        if self
+            .head
+            .compare_exchange(head, next, Ordering::Release, Ordering::Relaxed, &guard)
+            .is_ok()
+        {
+            // SAFETY: unlinked; unique ownership of the value (see
+            // `TreiberStack::pop`).
+            let value = unsafe { std::ptr::read(&node.value) };
+            unsafe { guard.defer_destroy(head) };
+            Ok(Some(ManuallyDrop::into_inner(value)))
+        } else {
+            Err(())
+        }
+    }
+
+    /// Parks `value` in a random slot hoping a popper takes it.
+    ///
+    /// Cell-access windows (exclusive by the state machine):
+    /// pusher owns the cell from the `EMPTY→CLAIMED` CAS to the
+    /// `WAITING` store, and again from a successful `WAITING→RETRACT`
+    /// CAS to the `EMPTY` store; a popper owns it from a successful
+    /// `WAITING→BUSY` CAS to its `EMPTY` store. A new claim is only
+    /// possible after an `EMPTY` store with a bumped tag.
+    fn try_eliminate_push(&self, value: T) -> Result<(), T> {
+        let slot = self.random_slot();
+        let word = slot.state.load(Ordering::Acquire);
+        let (tag, state) = unpack(word);
+        if state != EMPTY
+            || slot
+                .state
+                .compare_exchange(
+                    word,
+                    pack(tag, CLAIMED),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_err()
+        {
+            return Err(value);
+        }
+        // We own the cell: park the item.
+        // SAFETY: exclusive window (CLAIMED).
+        unsafe { *slot.item.get() = Some(value) };
+        slot.state.store(pack(tag, WAITING), Ordering::Release);
+
+        for _ in 0..Self::PARK_POLLS {
+            let (now_tag, now_state) = unpack(slot.state.load(Ordering::Acquire));
+            if now_tag != tag || now_state == BUSY {
+                // A popper moved us to BUSY (and possibly already
+                // recycled the slot): the item is theirs.
+                return Ok(());
+            }
+            std::hint::spin_loop();
+        }
+        // Timed out: retract if no popper has committed.
+        if slot
+            .state
+            .compare_exchange(
+                pack(tag, WAITING),
+                pack(tag, RETRACT),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+        {
+            // SAFETY: exclusive window (RETRACT).
+            let value = unsafe { (*slot.item.get()).take() }.expect("parked item present");
+            slot.state
+                .store(pack(tag.wrapping_add(1), EMPTY), Ordering::Release);
+            Err(value)
+        } else {
+            // The CAS lost: a popper got there first — exchanged.
+            Ok(())
+        }
+    }
+
+    /// Visits a random slot hoping to find a parked pusher.
+    fn try_eliminate_pop(&self) -> Option<T> {
+        let slot = self.random_slot();
+        let word = slot.state.load(Ordering::Acquire);
+        let (tag, state) = unpack(word);
+        if state != WAITING {
+            return None;
+        }
+        if slot
+            .state
+            .compare_exchange(word, pack(tag, BUSY), Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return None;
+        }
+        // SAFETY: exclusive window (BUSY).
+        let value = unsafe { (*slot.item.get()).take() }.expect("parked item present");
+        slot.state
+            .store(pack(tag.wrapping_add(1), EMPTY), Ordering::Release);
+        // The pair is counted on the push side.
+        Some(value)
+    }
+
+    fn random_slot(&self) -> &ExchangeSlot<T> {
+        let idx = RNG.with(|rng| rng.borrow_mut().next_below(self.slots.len() as u64)) as usize;
+        &self.slots[idx]
+    }
+
+    /// Racy emptiness snapshot of the backing stack (parked items in
+    /// the elimination array are in flight, not "in" the stack).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        let guard = epoch::pin();
+        self.head.load(Ordering::Acquire, &guard).is_null()
+    }
+}
+
+impl<T> Drop for EliminationStack<T> {
+    fn drop(&mut self) {
+        let guard = unsafe { epoch::unprotected() };
+        let mut cursor = self.head.load(Ordering::Relaxed, guard);
+        while !cursor.is_null() {
+            // SAFETY: `&mut self` excludes concurrent access.
+            unsafe {
+                let mut node = cursor.into_owned();
+                ManuallyDrop::drop(&mut node.value);
+                cursor = node.next.load(Ordering::Relaxed, guard);
+            }
+        }
+        // Parked items (if a thread died mid-exchange) drop with the
+        // UnsafeCell<Option<T>> automatically.
+    }
+}
+
+impl<T> std::fmt::Debug for EliminationStack<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EliminationStack")
+            .field("slots", &self.slots.len())
+            .field("eliminated_pairs", &self.eliminated.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn lifo_order_solo() {
+        let stack = EliminationStack::new(2);
+        for v in 0..5u32 {
+            stack.push(v);
+        }
+        for v in (0..5).rev() {
+            assert_eq!(stack.pop(), Some(v));
+        }
+        assert_eq!(stack.pop(), None);
+    }
+
+    #[test]
+    fn exchange_slot_direct_protocol() {
+        // Drive the elimination protocol deterministically: park via
+        // the internal path by simulating contention is hard solo, so
+        // exercise the public API with one slot and check stats stay
+        // coherent.
+        let stack = EliminationStack::new(1);
+        stack.push(7u32);
+        assert_eq!(stack.pop(), Some(7));
+        assert!(stack.eliminated_pairs() <= 1);
+    }
+
+    #[test]
+    fn concurrent_conservation() {
+        const THREADS: u64 = 4;
+        const PER_THREAD: u64 = 2_000;
+        let stack: Arc<EliminationStack<u64>> = Arc::new(EliminationStack::new(2));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let stack = Arc::clone(&stack);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    for i in 0..PER_THREAD {
+                        stack.push(t * PER_THREAD + i);
+                        if let Some(v) = stack.pop() {
+                            got.push(v);
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<u64> = Vec::new();
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        while let Some(v) = stack.pop() {
+            all.push(v);
+        }
+        assert_eq!(all.len(), (THREADS * PER_THREAD) as usize);
+        assert_eq!(all.iter().collect::<HashSet<_>>().len(), all.len());
+    }
+
+    #[test]
+    fn drop_frees_everything() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let stack = EliminationStack::new(2);
+            for _ in 0..8 {
+                stack.push(Counted);
+            }
+            drop(stack.pop());
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 8);
+    }
+}

@@ -1,0 +1,217 @@
+//! Arbitrary payloads over the 32-bit register stacks.
+
+use cso_core::ContentionManager;
+use cso_locks::RawLock;
+use cso_memory::slab::Slab;
+
+use crate::contention_sensitive::CsStack;
+use crate::nonblocking::NonBlockingStack;
+use crate::outcome::{PopOutcome, PushOutcome};
+
+/// A stack of 32-bit *handles* — the common face of [`CsStack<u32>`]
+/// and [`NonBlockingStack<u32>`] that [`IndirectStack`] builds on.
+///
+/// The `proc` argument is the invoking process identity; handle stacks
+/// that do not need identities (Figure 2) ignore it.
+pub trait HandleStack: Send + Sync {
+    /// Pushes a handle.
+    fn push_handle(&self, proc: usize, handle: u32) -> PushOutcome;
+
+    /// Pops a handle.
+    fn pop_handle(&self, proc: usize) -> PopOutcome<u32>;
+
+    /// The capacity of the handle stack.
+    fn handle_capacity(&self) -> usize;
+}
+
+impl<L: RawLock> HandleStack for CsStack<u32, L> {
+    fn push_handle(&self, proc: usize, handle: u32) -> PushOutcome {
+        self.push(proc, handle)
+    }
+
+    fn pop_handle(&self, proc: usize) -> PopOutcome<u32> {
+        self.pop(proc)
+    }
+
+    fn handle_capacity(&self) -> usize {
+        self.capacity()
+    }
+}
+
+impl<M: ContentionManager> HandleStack for NonBlockingStack<u32, M> {
+    fn push_handle(&self, _proc: usize, handle: u32) -> PushOutcome {
+        self.push(handle)
+    }
+
+    fn pop_handle(&self, _proc: usize) -> PopOutcome<u32> {
+        self.pop()
+    }
+
+    fn handle_capacity(&self) -> usize {
+        self.capacity()
+    }
+}
+
+/// A bounded concurrent stack of arbitrary `Send` payloads: values
+/// live in a fixed slab and the chosen register stack (`S`) carries
+/// their 32-bit handles.
+///
+/// The slab is provisioned with `capacity + max_pushers` slots, since
+/// up to `max_pushers` values can be staged in the slab while their
+/// pushes are in flight.
+///
+/// ```
+/// use cso_stack::{CsStack, IndirectStack};
+///
+/// // Capacity 64, up to 4 processes; payloads are Strings.
+/// let inner: CsStack<u32> = CsStack::new(64, 4);
+/// let stack: IndirectStack<String, _> = IndirectStack::new(inner, 4);
+/// assert!(stack.push(0, "hello".to_owned()).is_ok());
+/// assert_eq!(stack.pop(1), Some("hello".to_owned()));
+/// assert_eq!(stack.pop(1), None);
+/// ```
+#[derive(Debug)]
+pub struct IndirectStack<T, S> {
+    handles: S,
+    slab: Slab<T>,
+}
+
+impl<T: Send, S: HandleStack> IndirectStack<T, S> {
+    /// Wraps the handle stack `handles`; at most `max_pushers` pushes
+    /// may be in flight concurrently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined slab capacity would exceed `u32` handle
+    /// space.
+    #[must_use]
+    pub fn new(handles: S, max_pushers: usize) -> IndirectStack<T, S> {
+        let slab = Slab::new(handles.handle_capacity() + max_pushers.max(1));
+        IndirectStack { handles, slab }
+    }
+
+    /// Pushes `value` on behalf of process `proc`.
+    ///
+    /// # Errors
+    ///
+    /// Hands `value` back when the stack is at capacity.
+    pub fn push(&self, proc: usize, value: T) -> Result<(), T> {
+        // Stage the payload, then publish the handle.
+        let handle = match self.slab.insert(value) {
+            Ok(h) => h,
+            Err(value) => return Err(value), // slab full ⇒ stack full + max pushers staged
+        };
+        match self.handles.push_handle(proc, handle) {
+            PushOutcome::Pushed => Ok(()),
+            PushOutcome::Full => {
+                // Unstage: the push never happened.
+                let value = self.slab.remove(handle).expect("staged value present");
+                Err(value)
+            }
+        }
+    }
+
+    /// Pops the most recent payload on behalf of process `proc`.
+    pub fn pop(&self, proc: usize) -> Option<T> {
+        match self.handles.pop_handle(proc) {
+            PopOutcome::Popped(handle) => Some(
+                self.slab
+                    .remove(handle)
+                    .expect("popped handle maps to a staged value"),
+            ),
+            PopOutcome::Empty => None,
+        }
+    }
+
+    /// Racy size snapshot of staged + stacked payloads.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slab.len()
+    }
+
+    /// Racy emptiness snapshot.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slab.is_empty()
+    }
+
+    /// The capacity of the underlying handle stack.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.handles.handle_capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    fn cs_indirect(capacity: usize, n: usize) -> IndirectStack<String, CsStack<u32>> {
+        IndirectStack::new(CsStack::new(capacity, n), n)
+    }
+
+    #[test]
+    fn round_trips_owned_payloads() {
+        let stack = cs_indirect(4, 2);
+        stack.push(0, "a".to_owned()).unwrap();
+        stack.push(0, "b".to_owned()).unwrap();
+        assert_eq!(stack.pop(1).as_deref(), Some("b"));
+        assert_eq!(stack.pop(1).as_deref(), Some("a"));
+        assert_eq!(stack.pop(1), None);
+    }
+
+    #[test]
+    fn full_hands_the_value_back() {
+        let stack = cs_indirect(1, 1);
+        stack.push(0, "kept".to_owned()).unwrap();
+        let err = stack.push(0, "bounced".to_owned()).unwrap_err();
+        assert_eq!(err, "bounced");
+        assert_eq!(stack.len(), 1);
+    }
+
+    #[test]
+    fn nonblocking_flavour_works() {
+        let inner: NonBlockingStack<u32> = NonBlockingStack::new(8);
+        let stack: IndirectStack<Vec<u8>, _> = IndirectStack::new(inner, 2);
+        stack.push(0, vec![1, 2]).unwrap();
+        assert_eq!(stack.pop(0), Some(vec![1, 2]));
+        assert_eq!(stack.capacity(), 8);
+    }
+
+    #[test]
+    fn concurrent_conservation_of_boxed_values() {
+        const THREADS: usize = 4;
+        const PER_THREAD: usize = 500;
+        let stack: Arc<IndirectStack<Box<usize>, CsStack<u32>>> = Arc::new(IndirectStack::new(
+            CsStack::new(THREADS * PER_THREAD, THREADS),
+            THREADS,
+        ));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let stack = Arc::clone(&stack);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    for i in 0..PER_THREAD {
+                        stack.push(t, Box::new(t * PER_THREAD + i)).unwrap();
+                        if let Some(v) = stack.pop(t) {
+                            got.push(*v);
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<usize> = Vec::new();
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        while let Some(v) = stack.pop(0) {
+            all.push(*v);
+        }
+        assert_eq!(all.len(), THREADS * PER_THREAD);
+        assert_eq!(all.iter().collect::<HashSet<_>>().len(), all.len());
+        assert!(stack.is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! Operation descriptors and outcomes shared by all stack flavours.
+
+/// The definitive (non-⊥) result of a push.
+///
+/// The paper's `weak_push` "returns `done` if v has been pushed on the
+/// stack and `full` if the stack is full" (§3). Both are *answers*,
+/// not aborts: a `Full` outcome linearizes like any other operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PushOutcome {
+    /// The value is now on the stack (`done`).
+    Pushed,
+    /// The stack was at capacity; nothing was pushed (`full`).
+    Full,
+}
+
+impl PushOutcome {
+    /// True when the value landed on the stack.
+    #[must_use]
+    pub fn is_pushed(self) -> bool {
+        matches!(self, PushOutcome::Pushed)
+    }
+}
+
+/// The definitive (non-⊥) result of a pop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PopOutcome<V> {
+    /// The value that was at the top of the stack.
+    Popped(V),
+    /// The stack was empty (`empty`).
+    Empty,
+}
+
+impl<V> PopOutcome<V> {
+    /// Converts to an `Option`, discarding the `Empty`/`Popped`
+    /// vocabulary.
+    pub fn into_option(self) -> Option<V> {
+        match self {
+            PopOutcome::Popped(v) => Some(v),
+            PopOutcome::Empty => None,
+        }
+    }
+
+    /// True when a value was returned.
+    #[must_use]
+    pub fn is_popped(&self) -> bool {
+        matches!(self, PopOutcome::Popped(_))
+    }
+}
+
+impl<V> From<PopOutcome<V>> for Option<V> {
+    fn from(outcome: PopOutcome<V>) -> Option<V> {
+        outcome.into_option()
+    }
+}
+
+/// A stack operation descriptor, for plugging stacks into the generic
+/// transformations of `cso-core` (the paper's
+/// `weak_push_or_pop(par)` where "`par = v` if the operation is push
+/// and ⊥ if the operation is pop", §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StackOp<V> {
+    /// Push `v`.
+    Push(V),
+    /// Pop the top value.
+    Pop,
+}
+
+/// The response to a [`StackOp`], preserving which operation it
+/// answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StackResponse<V> {
+    /// Response to [`StackOp::Push`].
+    Push(PushOutcome),
+    /// Response to [`StackOp::Pop`].
+    Pop(PopOutcome<V>),
+}
+
+impl<V> StackResponse<V> {
+    /// Extracts a push outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a pop response.
+    #[must_use]
+    pub fn expect_push(self) -> PushOutcome {
+        match self {
+            StackResponse::Push(outcome) => outcome,
+            StackResponse::Pop(_) => panic!("expected a push response, got a pop response"),
+        }
+    }
+
+    /// Extracts a pop outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a push response.
+    #[must_use]
+    pub fn expect_pop(self) -> PopOutcome<V> {
+        match self {
+            StackResponse::Pop(outcome) => outcome,
+            StackResponse::Push(_) => panic!("expected a pop response, got a push response"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_outcome_option_conversion() {
+        assert_eq!(PopOutcome::Popped(3).into_option(), Some(3));
+        assert_eq!(PopOutcome::<u32>::Empty.into_option(), None);
+        let opt: Option<u32> = PopOutcome::Popped(9).into();
+        assert_eq!(opt, Some(9));
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(PushOutcome::Pushed.is_pushed());
+        assert!(!PushOutcome::Full.is_pushed());
+        assert!(PopOutcome::Popped(1).is_popped());
+        assert!(!PopOutcome::<u32>::Empty.is_popped());
+    }
+
+    #[test]
+    fn response_extractors() {
+        assert_eq!(
+            StackResponse::<u32>::Push(PushOutcome::Full).expect_push(),
+            PushOutcome::Full
+        );
+        assert_eq!(
+            StackResponse::<u32>::Pop(PopOutcome::Empty).expect_pop(),
+            PopOutcome::Empty
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a push response")]
+    fn mismatched_extractor_panics() {
+        let _ = StackResponse::<u32>::Pop(PopOutcome::Empty).expect_push();
+    }
+}

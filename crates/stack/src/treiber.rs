@@ -1,0 +1,198 @@
+//! Treiber's lock-free linked stack — the classical baseline.
+
+use std::mem::ManuallyDrop;
+use std::sync::atomic::Ordering;
+
+use crossbeam_epoch::{self as epoch, Atomic, Owned};
+use cso_core::ProgressCondition;
+
+/// Treiber's stack: an unbounded lock-free linked stack, the standard
+/// point of comparison for concurrent stacks.
+///
+/// Unlike the paper's array-based algorithms it allocates a node per
+/// element and needs safe memory reclamation (provided here by
+/// epoch-based reclamation, `crossbeam-epoch`) — which is exactly the
+/// machinery the paper's array + sequence-number design avoids.
+/// Non-blocking (lock-free), not starvation-free.
+///
+/// ```
+/// use cso_stack::TreiberStack;
+///
+/// let stack = TreiberStack::new();
+/// stack.push("a");
+/// stack.push("b");
+/// assert_eq!(stack.pop(), Some("b"));
+/// assert_eq!(stack.pop(), Some("a"));
+/// assert_eq!(stack.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct TreiberStack<T> {
+    head: Atomic<Node<T>>,
+}
+
+#[derive(Debug)]
+struct Node<T> {
+    value: ManuallyDrop<T>,
+    next: Atomic<Node<T>>,
+}
+
+impl<T> TreiberStack<T> {
+    /// Creates an empty stack.
+    #[must_use]
+    pub fn new() -> TreiberStack<T> {
+        TreiberStack {
+            head: Atomic::null(),
+        }
+    }
+
+    /// The progress condition of this implementation.
+    pub const PROGRESS: ProgressCondition = ProgressCondition::NonBlocking;
+
+    /// Pushes `value` (always succeeds; the stack is unbounded).
+    pub fn push(&self, value: T) {
+        let guard = epoch::pin();
+        let mut node = Owned::new(Node {
+            value: ManuallyDrop::new(value),
+            next: Atomic::null(),
+        });
+        loop {
+            let head = self.head.load(Ordering::Acquire, &guard);
+            node.next.store(head, Ordering::Relaxed);
+            match self.head.compare_exchange(
+                head,
+                node,
+                Ordering::Release,
+                Ordering::Relaxed,
+                &guard,
+            ) {
+                Ok(_) => return,
+                Err(err) => node = err.new,
+            }
+        }
+    }
+
+    /// Pops the most recently pushed value, or `None` when empty.
+    pub fn pop(&self) -> Option<T> {
+        let guard = epoch::pin();
+        loop {
+            let head = self.head.load(Ordering::Acquire, &guard);
+            let node = unsafe { head.as_ref() }?;
+            let next = node.next.load(Ordering::Acquire, &guard);
+            if self
+                .head
+                .compare_exchange(head, next, Ordering::Release, Ordering::Relaxed, &guard)
+                .is_ok()
+            {
+                // SAFETY: we unlinked `head`, so we are the unique
+                // owner of its value (`ManuallyDrop` keeps the node's
+                // destructor from double-dropping it); the node itself
+                // is freed once the epoch advances past all readers.
+                let value = unsafe { std::ptr::read(&node.value) };
+                unsafe { guard.defer_destroy(head) };
+                return Some(ManuallyDrop::into_inner(value));
+            }
+        }
+    }
+
+    /// Racy emptiness snapshot.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        let guard = epoch::pin();
+        self.head.load(Ordering::Acquire, &guard).is_null()
+    }
+}
+
+impl<T> Default for TreiberStack<T> {
+    fn default() -> TreiberStack<T> {
+        TreiberStack::new()
+    }
+}
+
+impl<T> Drop for TreiberStack<T> {
+    fn drop(&mut self) {
+        // Single-threaded teardown: walk and free the list.
+        let guard = unsafe { epoch::unprotected() };
+        let mut cursor = self.head.load(Ordering::Relaxed, guard);
+        while !cursor.is_null() {
+            // SAFETY: `&mut self` excludes concurrent access; each
+            // node is visited once, its value dropped exactly once.
+            unsafe {
+                let mut node = cursor.into_owned();
+                ManuallyDrop::drop(&mut node.value);
+                cursor = node.next.load(Ordering::Relaxed, guard);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn lifo_order_solo() {
+        let stack = TreiberStack::new();
+        for v in 0..10 {
+            stack.push(v);
+        }
+        for v in (0..10).rev() {
+            assert_eq!(stack.pop(), Some(v));
+        }
+        assert_eq!(stack.pop(), None);
+        assert!(stack.is_empty());
+    }
+
+    #[test]
+    fn drop_frees_remaining_nodes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let stack = TreiberStack::new();
+            for _ in 0..10 {
+                stack.push(Counted);
+            }
+            drop(stack.pop());
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn concurrent_conservation() {
+        const THREADS: u64 = 4;
+        const PER_THREAD: u64 = 2_000;
+        let stack: Arc<TreiberStack<u64>> = Arc::new(TreiberStack::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let stack = Arc::clone(&stack);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    for i in 0..PER_THREAD {
+                        stack.push(t * PER_THREAD + i);
+                        if let Some(v) = stack.pop() {
+                            got.push(v);
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<u64> = Vec::new();
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        while let Some(v) = stack.pop() {
+            all.push(v);
+        }
+        assert_eq!(all.len(), (THREADS * PER_THREAD) as usize);
+        assert_eq!(all.iter().collect::<HashSet<_>>().len(), all.len());
+    }
+}

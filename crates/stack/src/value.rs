@@ -1,0 +1,12 @@
+//! Values storable directly in the paper's registers.
+
+/// A value that fits the 32-bit `value` field of the packed `TOP` /
+/// `STACK[x]` registers — an alias for [`cso_memory::bits::Bits32`],
+/// which carries the implementations for the primitive types and the
+/// lossless round-trip law.
+///
+/// ```
+/// use cso_stack::StackValue;
+/// assert_eq!(<i32 as StackValue>::from_bits((-5i32).to_bits()), -5);
+/// ```
+pub use cso_memory::bits::Bits32 as StackValue;

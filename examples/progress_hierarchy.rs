@@ -1,0 +1,93 @@
+//! The §1.2 progress hierarchy, one object per rung.
+//!
+//! obstruction-free < non-blocking < starvation-free — demonstrated
+//! with the workspace's three object families and the generic
+//! transformations that climb the ladder.
+//!
+//! Run with: `cargo run --release --example progress_hierarchy`
+
+use cso::core::ProgressCondition;
+use cso::deque::{CsDeque, DequePopOutcome, End, HlmDeque};
+use cso::queue::NonBlockingQueue;
+use cso::stack::{CsStack, NonBlockingStack};
+
+fn main() {
+    // ------------------------------------------------------------
+    // The hierarchy itself is a first-class, ordered type.
+    // ------------------------------------------------------------
+    for condition in ProgressCondition::ALL {
+        println!("{condition}");
+    }
+    assert!(ProgressCondition::ObstructionFree < ProgressCondition::StarvationFree);
+
+    // ------------------------------------------------------------
+    // Rung 1 — obstruction-free: the HLM deque (paper ref [8]). Its
+    // retry loop guarantees termination only in solo windows; under
+    // contention, attempts abort each other. We measure the churn.
+    // ------------------------------------------------------------
+    assert_eq!(
+        HlmDeque::<u32>::PROGRESS,
+        ProgressCondition::ObstructionFree
+    );
+    let deque: HlmDeque<u32> = HlmDeque::new(8);
+    std::thread::scope(|s| {
+        for t in 0..2 {
+            let deque = &deque;
+            s.spawn(move || {
+                let end = if t == 0 { End::Left } else { End::Right };
+                for i in 0..20_000u32 {
+                    deque.push(end, i);
+                    deque.pop(end);
+                }
+            });
+        }
+    });
+    let (attempts, aborts) = deque.as_abortable().abort_counts();
+    println!(
+        "\nHLM deque (obstruction-free): {attempts} attempts, {aborts} aborts \
+         ({:.4}% — each abort is a retry the progress condition does not bound)",
+        aborts as f64 / attempts as f64 * 100.0
+    );
+
+    // ------------------------------------------------------------
+    // Rung 2 — non-blocking: Figure 2's stack and queue. Someone
+    // always finishes, but a particular thread may be the one who
+    // never does.
+    // ------------------------------------------------------------
+    assert_eq!(
+        NonBlockingStack::<u32>::PROGRESS,
+        ProgressCondition::NonBlocking
+    );
+    assert_eq!(
+        NonBlockingQueue::<u32>::PROGRESS,
+        ProgressCondition::NonBlocking
+    );
+    println!("\nFigure 2 stack/queue: non-blocking (system-wide progress).");
+
+    // ------------------------------------------------------------
+    // Rung 3 — starvation-free: Figure 3, over any of the objects —
+    // including the deque, which it lifts two rungs at once.
+    // ------------------------------------------------------------
+    assert_eq!(CsStack::<u32>::PROGRESS, ProgressCondition::StarvationFree);
+    assert_eq!(CsDeque::<u32>::PROGRESS, ProgressCondition::StarvationFree);
+    let cs: CsDeque<u32> = CsDeque::new(8, 4);
+    std::thread::scope(|s| {
+        for proc in 0..4 {
+            let cs = &cs;
+            s.spawn(move || {
+                let end = if proc % 2 == 0 { End::Left } else { End::Right };
+                for i in 0..10_000u32 {
+                    cs.push(proc, end, i);
+                    if let DequePopOutcome::Popped(_) = cs.pop(proc, end.opposite()) {}
+                }
+            });
+        }
+    });
+    let stats = cs.path_stats();
+    println!(
+        "Figure 3 deque (starvation-free): all 80000 invocations terminated \
+         ({} fast-path, {} via the fair lock).",
+        stats.fast, stats.locked
+    );
+    println!("\nhierarchy demo OK");
+}

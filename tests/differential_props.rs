@@ -1,0 +1,215 @@
+//! Property-based differential testing: every implementation, driven
+//! solo with arbitrary operation sequences, must agree exactly with
+//! the sequential reference (`SeqStack` / `SeqQueue`).
+//!
+//! This is the "behaves like an ordinary object when accessed
+//! sequentially" half of the abortable-object definition (§1.2),
+//! checked across the whole family at once.
+
+use proptest::prelude::*;
+
+use cso::queue::{
+    AbortableQueue, CsQueue, DequeueOutcome, EnqueueOutcome, LockQueue, MsQueue, NonBlockingQueue,
+    SeqQueue,
+};
+use cso::stack::{
+    AbortableStack, CsStack, EliminationStack, LockStack, NonBlockingStack, PopOutcome,
+    PushOutcome, SeqStack, TreiberStack,
+};
+
+const CAPACITY: usize = 8;
+
+/// A solo driver facade over each stack flavour.
+enum AnyStack {
+    Weak(AbortableStack<u16>),
+    Nb(NonBlockingStack<u16>),
+    Cs(CsStack<u16>),
+    Treiber(TreiberStack<u16>),
+    Elim(EliminationStack<u16>),
+    Locked(LockStack<u16>),
+}
+
+impl AnyStack {
+    fn all() -> Vec<AnyStack> {
+        vec![
+            AnyStack::Weak(AbortableStack::new(CAPACITY)),
+            AnyStack::Nb(NonBlockingStack::new(CAPACITY)),
+            AnyStack::Cs(CsStack::new(CAPACITY, 1)),
+            AnyStack::Treiber(TreiberStack::new()),
+            AnyStack::Elim(EliminationStack::new(2)),
+            AnyStack::Locked(LockStack::new(CAPACITY)),
+        ]
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            AnyStack::Weak(_) => "abortable",
+            AnyStack::Nb(_) => "non-blocking",
+            AnyStack::Cs(_) => "contention-sensitive",
+            AnyStack::Treiber(_) => "treiber",
+            AnyStack::Elim(_) => "elimination",
+            AnyStack::Locked(_) => "lock",
+        }
+    }
+
+    /// Unbounded stacks can't answer `Full`; the differential check
+    /// skips push-at-capacity steps for them.
+    fn bounded(&self) -> bool {
+        !matches!(self, AnyStack::Treiber(_) | AnyStack::Elim(_))
+    }
+
+    fn push(&self, v: u16) -> PushOutcome {
+        match self {
+            AnyStack::Weak(s) => s.weak_push(v).expect("solo never aborts"),
+            AnyStack::Nb(s) => s.push(v),
+            AnyStack::Cs(s) => s.push(0, v),
+            AnyStack::Treiber(s) => {
+                s.push(v);
+                PushOutcome::Pushed
+            }
+            AnyStack::Elim(s) => {
+                s.push(v);
+                PushOutcome::Pushed
+            }
+            AnyStack::Locked(s) => s.push(v),
+        }
+    }
+
+    fn pop(&self) -> PopOutcome<u16> {
+        match self {
+            AnyStack::Weak(s) => s.weak_pop().expect("solo never aborts"),
+            AnyStack::Nb(s) => s.pop(),
+            AnyStack::Cs(s) => s.pop(0),
+            AnyStack::Treiber(s) => match s.pop() {
+                Some(v) => PopOutcome::Popped(v),
+                None => PopOutcome::Empty,
+            },
+            AnyStack::Elim(s) => match s.pop() {
+                Some(v) => PopOutcome::Popped(v),
+                None => PopOutcome::Empty,
+            },
+            AnyStack::Locked(s) => s.pop(),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_stacks_agree_with_the_sequential_reference(
+        ops in proptest::collection::vec(any::<Option<u16>>(), 0..120)
+    ) {
+        for stack in AnyStack::all() {
+            let mut reference: SeqStack<u16> = SeqStack::new(CAPACITY);
+            for op in &ops {
+                match op {
+                    Some(v) => {
+                        if !stack.bounded() && reference.len() == CAPACITY {
+                            continue; // unbounded stacks can't report Full
+                        }
+                        let got = stack.push(*v);
+                        let want = reference.push(*v);
+                        prop_assert_eq!(got, want, "{} push", stack.name());
+                    }
+                    None => {
+                        let got = stack.pop();
+                        let want = reference.pop();
+                        prop_assert_eq!(got, want, "{} pop", stack.name());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A solo driver facade over each queue flavour.
+enum AnyQueue {
+    Weak(AbortableQueue<u16>),
+    Nb(NonBlockingQueue<u16>),
+    Cs(CsQueue<u16>),
+    Ms(MsQueue<u16>),
+    Locked(LockQueue<u16>),
+}
+
+impl AnyQueue {
+    fn all() -> Vec<AnyQueue> {
+        vec![
+            AnyQueue::Weak(AbortableQueue::new(CAPACITY)),
+            AnyQueue::Nb(NonBlockingQueue::new(CAPACITY)),
+            AnyQueue::Cs(CsQueue::new(CAPACITY, 1)),
+            AnyQueue::Ms(MsQueue::new()),
+            AnyQueue::Locked(LockQueue::new(CAPACITY)),
+        ]
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            AnyQueue::Weak(_) => "abortable",
+            AnyQueue::Nb(_) => "non-blocking",
+            AnyQueue::Cs(_) => "contention-sensitive",
+            AnyQueue::Ms(_) => "michael-scott",
+            AnyQueue::Locked(_) => "lock",
+        }
+    }
+
+    fn bounded(&self) -> bool {
+        !matches!(self, AnyQueue::Ms(_))
+    }
+
+    fn enqueue(&self, v: u16) -> EnqueueOutcome {
+        match self {
+            AnyQueue::Weak(q) => q.weak_enqueue(v).expect("solo never aborts"),
+            AnyQueue::Nb(q) => q.enqueue(v),
+            AnyQueue::Cs(q) => q.enqueue(0, v),
+            AnyQueue::Ms(q) => {
+                q.enqueue(v);
+                EnqueueOutcome::Enqueued
+            }
+            AnyQueue::Locked(q) => q.enqueue(v),
+        }
+    }
+
+    fn dequeue(&self) -> DequeueOutcome<u16> {
+        match self {
+            AnyQueue::Weak(q) => q.weak_dequeue().expect("solo never aborts"),
+            AnyQueue::Nb(q) => q.dequeue(),
+            AnyQueue::Cs(q) => q.dequeue(0),
+            AnyQueue::Ms(q) => match q.dequeue() {
+                Some(v) => DequeueOutcome::Dequeued(v),
+                None => DequeueOutcome::Empty,
+            },
+            AnyQueue::Locked(q) => q.dequeue(),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_queues_agree_with_the_sequential_reference(
+        ops in proptest::collection::vec(any::<Option<u16>>(), 0..120)
+    ) {
+        for queue in AnyQueue::all() {
+            let mut reference: SeqQueue<u16> = SeqQueue::new(CAPACITY);
+            for op in &ops {
+                match op {
+                    Some(v) => {
+                        if !queue.bounded() && reference.len() == CAPACITY {
+                            continue;
+                        }
+                        let got = queue.enqueue(*v);
+                        let want = reference.enqueue(*v);
+                        prop_assert_eq!(got, want, "{} enqueue", queue.name());
+                    }
+                    None => {
+                        let got = queue.dequeue();
+                        let want = reference.dequeue();
+                        prop_assert_eq!(got, want, "{} dequeue", queue.name());
+                    }
+                }
+            }
+        }
+    }
+}

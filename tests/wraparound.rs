@@ -1,0 +1,171 @@
+//! Sequence-tag wrap-around stress.
+//!
+//! The packed registers carry 16-bit sequence tags (`DESIGN.md`
+//! documents the bounded-tag caveat). These tests drive tiny-capacity
+//! structures through *many multiples* of 2¹⁶ same-slot operations so
+//! every tag wraps repeatedly, while tracking value uniqueness: a
+//! tag-logic bug (stale help resurrecting an old word) would surface
+//! as a duplicated, lost or invented value.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU8, Ordering};
+use std::sync::Arc;
+
+use cso::queue::{CsQueue, DequeueOutcome, EnqueueOutcome};
+use cso::stack::{CsStack, PopOutcome, PushOutcome};
+
+/// Each pushed value is a globally unique ticket; each popped ticket
+/// is marked in a byte map. Duplicate pops or invented values panic.
+struct Ledger {
+    next: AtomicU32,
+    seen: Vec<AtomicU8>,
+}
+
+impl Ledger {
+    fn new(max: usize) -> Ledger {
+        Ledger {
+            next: AtomicU32::new(0),
+            seen: (0..max).map(|_| AtomicU8::new(0)).collect(),
+        }
+    }
+
+    fn issue(&self) -> u32 {
+        let ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        assert!((ticket as usize) < self.seen.len(), "ledger capacity");
+        ticket
+    }
+
+    fn redeem(&self, ticket: u32) {
+        let slot = self
+            .seen
+            .get(ticket as usize)
+            .unwrap_or_else(|| panic!("invented value {ticket}"));
+        let prev = slot.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(prev, 0, "value {ticket} popped twice");
+    }
+
+    fn assert_all_redeemed_up_to(&self, issued: u32) {
+        for ticket in 0..issued {
+            assert_eq!(
+                self.seen[ticket as usize].load(Ordering::Relaxed),
+                1,
+                "value {ticket} lost"
+            );
+        }
+    }
+}
+
+/// Solo: capacity-1 stack cycled 4 × 2¹⁶ times — the slot-1 sequence
+/// tag wraps four times; LIFO answers must stay exact.
+#[test]
+fn stack_tags_wrap_solo() {
+    const CYCLES: u32 = 4 * 65_536 + 17;
+    let stack: CsStack<u32> = CsStack::new(1, 1);
+    for i in 0..CYCLES {
+        assert_eq!(stack.push(0, i), PushOutcome::Pushed);
+        assert_eq!(stack.push(0, i), PushOutcome::Full);
+        assert_eq!(stack.pop(0), PopOutcome::Popped(i));
+        assert_eq!(stack.pop(0), PopOutcome::Empty);
+    }
+}
+
+/// Solo: capacity-2 queue cycled past several counter wraps (HEAD and
+/// TAIL counters are 16-bit); FIFO answers must stay exact.
+#[test]
+fn queue_tags_wrap_solo() {
+    const CYCLES: u32 = 3 * 65_536 + 5;
+    let queue: CsQueue<u32> = CsQueue::new(2, 1);
+    assert_eq!(queue.enqueue(0, u32::MAX), EnqueueOutcome::Enqueued);
+    for i in 0..CYCLES {
+        assert_eq!(queue.enqueue(0, i), EnqueueOutcome::Enqueued);
+        let expected = if i == 0 { u32::MAX } else { i - 1 };
+        assert_eq!(queue.dequeue(0), DequeueOutcome::Dequeued(expected));
+    }
+}
+
+/// Concurrent: two threads hammer a capacity-2 stack across multiple
+/// tag wraps; the ledger proves no value is duplicated, lost or
+/// invented.
+#[test]
+fn stack_tags_wrap_concurrently() {
+    const PER_THREAD: usize = 150_000; // ≥ 2 wraps of slot tags per slot
+    const THREADS: usize = 2;
+    let stack: Arc<CsStack<u32>> = Arc::new(CsStack::new(2, THREADS));
+    let ledger = Arc::new(Ledger::new(THREADS * PER_THREAD + 4));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|proc| {
+            let stack = Arc::clone(&stack);
+            let ledger = Arc::clone(&ledger);
+            std::thread::spawn(move || {
+                for _ in 0..PER_THREAD {
+                    let ticket = ledger.issue();
+                    // A tiny stack may be Full; retry with a fresh pop.
+                    loop {
+                        match stack.push(proc, ticket) {
+                            PushOutcome::Pushed => break,
+                            PushOutcome::Full => {
+                                if let PopOutcome::Popped(v) = stack.pop(proc) {
+                                    ledger.redeem(v);
+                                }
+                            }
+                        }
+                    }
+                    if let PopOutcome::Popped(v) = stack.pop(proc) {
+                        ledger.redeem(v);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Drain the residue.
+    while let PopOutcome::Popped(v) = stack.pop(0) {
+        ledger.redeem(v);
+    }
+    let issued = ledger.next.load(Ordering::Relaxed);
+    assert_eq!(issued as usize, THREADS * PER_THREAD);
+    ledger.assert_all_redeemed_up_to(issued);
+}
+
+/// Concurrent: producer/consumer across several 16-bit counter wraps
+/// on a small queue; FIFO order is asserted end to end.
+#[test]
+fn queue_counters_wrap_concurrently() {
+    const EVENTS: u32 = 200_000; // ~3 wraps of the 16-bit counters
+    let queue: Arc<CsQueue<u32>> = Arc::new(CsQueue::new(4, 2));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let producer = {
+        let queue = Arc::clone(&queue);
+        std::thread::spawn(move || {
+            for v in 0..EVENTS {
+                while queue.enqueue(0, v) != EnqueueOutcome::Enqueued {
+                    std::thread::yield_now();
+                }
+            }
+        })
+    };
+    let consumer = {
+        let queue = Arc::clone(&queue);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut expected = 0u32;
+            while expected < EVENTS {
+                match queue.dequeue(1) {
+                    DequeueOutcome::Dequeued(v) => {
+                        assert_eq!(v, expected, "FIFO across counter wraps");
+                        expected += 1;
+                    }
+                    DequeueOutcome::Empty => std::thread::yield_now(),
+                }
+            }
+            done.store(true, Ordering::Relaxed);
+        })
+    };
+    producer.join().unwrap();
+    consumer.join().unwrap();
+    assert!(done.load(Ordering::Relaxed));
+    assert!(queue.is_empty());
+}
