@@ -1,12 +1,12 @@
-//! Criterion benchmarks under contention: fixed-work multi-thread
-//! runs through the whole stack suite (the regression-tracking twin of
-//! experiment E3).
+//! Benchmarks under contention: fixed-work multi-thread runs through
+//! the whole stack suite (the regression-tracking twin of experiment
+//! E3).
 //!
-//! Criterion measures the wall-clock of completing a fixed batch of
+//! The harness measures the wall-clock of completing a fixed batch of
 //! operations split across threads (`iter_custom`), which is robust on
 //! boxes where thread count exceeds core count.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cso_bench::microbench;
 use std::time::{Duration, Instant};
 
 use cso_bench::adapters::{prefill_stack, stack_suite, BenchStack};
@@ -33,30 +33,26 @@ fn contended_batch(stack: &dyn BenchStack, threads: usize) {
     });
 }
 
-fn bench_contended(c: &mut Criterion) {
-    let mut group = c.benchmark_group("stack_contended_2_threads");
-    group.sample_size(10);
+fn bench_contended() {
+    let mut group = microbench::group("stack_contended_2_threads");
 
     for stack in stack_suite(16_384, 4) {
         prefill_stack(stack.as_ref(), 2_048);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(stack.name()),
-            &stack,
-            |b, stack| {
-                b.iter_custom(|iters| {
-                    let mut total = Duration::ZERO;
-                    for _ in 0..iters {
-                        let start = Instant::now();
-                        contended_batch(stack.as_ref(), 2);
-                        total += start.elapsed();
-                    }
-                    total
-                })
-            },
-        );
+        group.bench_function(stack.name(), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let start = Instant::now();
+                    contended_batch(stack.as_ref(), 2);
+                    total += start.elapsed();
+                }
+                total
+            })
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_contended);
-criterion_main!(benches);
+fn main() {
+    bench_contended();
+}

@@ -1,8 +1,8 @@
-//! Criterion micro-benchmarks: uncontended lock acquire/release for
-//! every lock in `cso-locks` (the regression-tracking twin of
-//! experiment E7's solo column).
+//! Micro-benchmarks: uncontended lock acquire/release for every lock
+//! in `cso-locks` (the regression-tracking twin of experiment E7's
+//! solo column).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cso_bench::microbench;
 use std::hint::black_box;
 
 use cso_locks::{
@@ -10,8 +10,8 @@ use cso_locks::{
     TasLock, TicketLock, TournamentLock, TtasLock,
 };
 
-fn raw_locks(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lock_uncontended");
+fn raw_locks() {
+    let mut group = microbench::group("lock_uncontended");
 
     let tas = TasLock::new();
     group.bench_function("tas", |b| {
@@ -41,7 +41,7 @@ fn raw_locks(c: &mut Criterion) {
     });
 
     let os = OsLock::new();
-    group.bench_function("os_parking_lot", |b| {
+    group.bench_function("os_std_mutex", |b| {
         b.iter(|| {
             os.lock();
             black_box(());
@@ -52,8 +52,8 @@ fn raw_locks(c: &mut Criterion) {
     group.finish();
 }
 
-fn proc_locks(c: &mut Criterion) {
-    let mut group = c.benchmark_group("proc_lock_uncontended");
+fn proc_locks() {
+    let mut group = microbench::group("proc_lock_uncontended");
 
     let clh = ClhLock::new(4);
     group.bench_function("clh", |b| {
@@ -112,5 +112,7 @@ fn proc_locks(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, raw_locks, proc_locks);
-criterion_main!(benches);
+fn main() {
+    raw_locks();
+    proc_locks();
+}

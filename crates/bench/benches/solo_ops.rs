@@ -1,8 +1,8 @@
-//! Criterion micro-benchmarks: contention-free operation latency for
-//! every stack and queue implementation (the regression-tracking twin
-//! of experiment E1).
+//! Micro-benchmarks: contention-free operation latency for every
+//! stack and queue implementation (the regression-tracking twin of
+//! experiment E1).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cso_bench::microbench;
 use std::hint::black_box;
 
 use cso_queue::{AbortableQueue, CsQueue, LockQueue, MsQueue, NonBlockingQueue};
@@ -10,8 +10,8 @@ use cso_stack::{
     AbortableStack, CsStack, EliminationStack, LockStack, NonBlockingStack, TreiberStack,
 };
 
-fn stack_solo(c: &mut Criterion) {
-    let mut group = c.benchmark_group("stack_solo_push_pop");
+fn stack_solo() {
+    let mut group = microbench::group("stack_solo_push_pop");
 
     let weak: AbortableStack<u32> = AbortableStack::new(1024);
     group.bench_function("abortable(fig1)", |b| {
@@ -76,8 +76,8 @@ fn stack_solo(c: &mut Criterion) {
     group.finish();
 }
 
-fn queue_solo(c: &mut Criterion) {
-    let mut group = c.benchmark_group("queue_solo_enq_deq");
+fn queue_solo() {
+    let mut group = microbench::group("queue_solo_enq_deq");
 
     let weak: AbortableQueue<u32> = AbortableQueue::new(1024);
     group.bench_function("abortable", |b| {
@@ -122,5 +122,7 @@ fn queue_solo(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, stack_solo, queue_solo);
-criterion_main!(benches);
+fn main() {
+    stack_solo();
+    queue_solo();
+}

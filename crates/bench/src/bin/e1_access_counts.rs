@@ -11,7 +11,6 @@
 
 use cso_bench::report::Table;
 use cso_core::CsConfig;
-use cso_deque; // deque scan-cost contrast
 use cso_locks::{LamportFastLock, ProcLock, RawLock, TasLock, TicketLock};
 use cso_memory::counting::CountScope;
 use cso_queue::{AbortableQueue, CsQueue};

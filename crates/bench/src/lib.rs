@@ -25,6 +25,7 @@
 
 pub mod adapters;
 pub mod measure;
+pub mod microbench;
 pub mod report;
 pub mod workload;
 

@@ -173,7 +173,7 @@ mod tests {
 
     #[test]
     fn latency_percentiles_are_ordered() {
-        let summary = sample_latency(|| std::thread::yield_now(), 500, 10);
+        let summary = sample_latency(std::thread::yield_now, 500, 10);
         assert_eq!(summary.samples, 500);
         assert!(summary.p50 <= summary.p90);
         assert!(summary.p90 <= summary.p99);

@@ -1,0 +1,111 @@
+//! A minimal micro-benchmark harness with a criterion-like surface
+//! (`group` / `bench_function` / `Bencher::iter`), used by the
+//! `benches/` targets. The workspace builds offline with no external
+//! crates, so the statistical machinery is deliberately simple:
+//! calibrate a batch size targeting ~5 ms per batch, run a fixed
+//! number of timed batches, and report the median ns/iteration
+//! (median resists scheduler outliers better than the mean).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Timed batches per benchmark (median reported).
+const BATCHES: usize = 15;
+/// Target wall-clock per timed batch.
+const BATCH_TARGET: Duration = Duration::from_millis(5);
+/// Upper bound on iterations per batch, calibration aside.
+const MAX_BATCH: u64 = 1 << 20;
+
+/// Passed to the benchmark closure; `iter` runs and times the body.
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `body`, storing the median ns/iteration.
+    pub fn iter<R>(&mut self, mut body: impl FnMut() -> R) {
+        self.iter_custom(|iters| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(body());
+            }
+            start.elapsed()
+        });
+    }
+
+    /// Criterion-style escape hatch: `run` receives an iteration count
+    /// and returns the wall-clock those iterations took. Use when the
+    /// body must control its own timing (e.g. spawning threads once
+    /// per batch rather than once per iteration).
+    pub fn iter_custom(&mut self, mut run: impl FnMut(u64) -> Duration) {
+        // Calibrate: grow the batch until it takes long enough to time.
+        let mut batch: u64 = 1;
+        loop {
+            let took = run(batch);
+            if took >= BATCH_TARGET || batch >= MAX_BATCH {
+                break;
+            }
+            let scaled = if took.is_zero() {
+                batch * 16
+            } else {
+                let ratio = BATCH_TARGET.as_secs_f64() / took.as_secs_f64();
+                // Aim just past the target; cap growth at 16x per step
+                // so one noisy fast sample cannot overshoot wildly.
+                ((batch as f64 * ratio * 1.2) as u64).clamp(batch + 1, batch * 16)
+            };
+            batch = scaled.min(MAX_BATCH);
+        }
+        let mut samples = [0f64; BATCHES];
+        for sample in &mut samples {
+            *sample = run(batch).as_nanos() as f64 / batch as f64;
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[BATCHES / 2];
+    }
+}
+
+/// A named set of benchmarks, printed as `group/id  median ns/iter`.
+pub struct Group {
+    name: String,
+}
+
+impl Group {
+    /// Runs one benchmark and prints its result immediately.
+    pub fn bench_function(&mut self, id: impl AsRef<str>, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        println!(
+            "{:<46} {:>12.1} ns/iter",
+            format!("{}/{}", self.name, id.as_ref()),
+            b.ns_per_iter
+        );
+    }
+
+    /// Ends the group (marker for the criterion-style call shape).
+    pub fn finish(self) {}
+}
+
+/// Starts a benchmark group.
+pub fn group(name: impl Into<String>) -> Group {
+    Group { name: name.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_positive_latency() {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        b.iter(|| std::hint::black_box(1u64.wrapping_mul(3)));
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn iter_custom_scales_by_batch() {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        // Pretend each iteration costs exactly 1 µs.
+        b.iter_custom(Duration::from_micros);
+        assert!((b.ns_per_iter - 1_000.0).abs() < 1.0);
+    }
+}

@@ -1,13 +1,33 @@
 //! Figure 3: the abortable → contention-sensitive, starvation-free
 //! transformation.
+//!
+//! # Fault model
+//!
+//! The paper (§5) observes that the transformation tolerates crashes
+//! everywhere *except* inside the critical section: a process that
+//! stops between lines 06 and 12 leaves `CONTENTION` raised and the
+//! lock held, wedging every future slow-path operation. This module
+//! hardens the two recoverable flavours of that failure:
+//!
+//! * **panics** (unwinding, not process death) inside the slow path
+//!   are survived: an RAII guard restores `CONTENTION`, lowers
+//!   `FLAG[i]`, hands `TURN` on, and releases the lock during unwind,
+//!   so other processes keep completing (see
+//!   [`ContentionSensitive::fault_stats`] for the poisoning record);
+//! * **unbounded waits** on a genuinely wedged lock are made
+//!   reportable by the deadline-bounded
+//!   [`ContentionSensitive::try_apply_for`].
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 use cso_locks::{ProcLock, RawLock, StarvationFree};
-use cso_memory::backoff::Spinner;
+use cso_memory::backoff::{Deadline, Spinner};
+use cso_memory::fail_point;
 use cso_memory::reg::RegBool;
 
 use crate::abortable::Abortable;
+use crate::error::TimedOut;
 use crate::progress::ProgressCondition;
 
 /// Which of Figure 3's mechanisms are enabled — the paper
@@ -78,6 +98,19 @@ impl PathStats {
     }
 }
 
+/// How often the slow path degraded instead of completing — the
+/// robustness twin of [`PathStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Slow-path invocations that unwound (panicked) while holding the
+    /// lock. Each one had its lock released and `CONTENTION` restored
+    /// by the drop guard, so this counts *survived* poisonings, not
+    /// wedged states.
+    pub poisoned: u64,
+    /// Deadline-bounded invocations that returned [`TimedOut`].
+    pub timeouts: u64,
+}
+
 /// Figure 3 of the paper, generalized to any [`Abortable`] object:
 /// a **contention-sensitive, starvation-free** implementation.
 ///
@@ -116,6 +149,53 @@ pub struct ContentionSensitive<O, L> {
     // of the algorithm's shared-memory footprint.
     fast: AtomicU64,
     locked: AtomicU64,
+    poisoned: AtomicU64,
+    timeouts: AtomicU64,
+}
+
+/// RAII custody of the slow path's shared state (lines 07–12).
+///
+/// Constructed immediately after the lock is acquired; its drop —
+/// which also runs during a panic unwind — performs lines 09–12 in
+/// order: restore `CONTENTION`, lower `FLAG[i]`, hand `TURN` on,
+/// release the lock. Holding all of that in one drop makes the
+/// critical section **panic-safe**: a weak operation (or an injected
+/// fault) unwinding under the lock cannot strand `CONTENTION` or the
+/// lock, which is exactly the §5 wedge this subsystem defends against.
+///
+/// The path counters live here too, *before* the release, so no
+/// window exists in which the lock is free but the operation is
+/// missing from [`PathStats`] (the old post-unlock `fetch_add` race).
+struct SlowGuard<'a, O, L: RawLock> {
+    cs: &'a ContentionSensitive<O, L>,
+    proc: usize,
+    /// Set on normal completion; selects the `locked` counter. Left
+    /// false on unwind (counts `poisoned`) and on an under-lock
+    /// timeout (the caller counts `timeouts`).
+    completed: bool,
+}
+
+impl<O, L: RawLock> Drop for SlowGuard<'_, O, L> {
+    fn drop(&mut self) {
+        let cs = self.cs;
+        // Count first: once the lock is released, observers must
+        // already see this operation in the statistics.
+        if self.completed {
+            cs.locked.fetch_add(1, Ordering::Relaxed);
+        } else if std::thread::panicking() {
+            cs.poisoned.fetch_add(1, Ordering::Relaxed);
+        }
+        // Line 09.
+        if cs.config.contention_flag {
+            cs.contention.write(false);
+        }
+        // Lines 10–12 (fair) or line 12 alone (unfair ablation).
+        if cs.config.fair {
+            cs.lock.unlock(self.proc);
+        } else {
+            cs.lock.inner().unlock();
+        }
+    }
 }
 
 impl<O, L> std::fmt::Debug for ContentionSensitive<O, L> {
@@ -158,6 +238,8 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
             config,
             fast: AtomicU64::new(0),
             locked: AtomicU64::new(0),
+            poisoned: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
         }
     }
 
@@ -173,24 +255,28 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
     pub fn apply(&self, proc: usize, op: &O::Op) -> O::Response {
         assert!(proc < self.lock.n(), "process id out of range");
         // Lines 01–03: the lock-free shortcut.
-        if !self.config.contention_flag || !self.contention.read() {
-            if let Ok(res) = self.inner.try_apply(op) {
-                self.fast.fetch_add(1, Ordering::Relaxed);
-                return res;
-            }
+        if let Some(res) = self.fast_path(op) {
+            return res;
         }
 
         // Lines 04–06: acquire the (boosted) lock.
+        fail_point!("cs::lock-wait");
         if self.config.fair {
             self.lock.lock(proc);
         } else {
             self.lock.inner().lock();
         }
+        let mut guard = SlowGuard {
+            cs: self,
+            proc,
+            completed: false,
+        };
 
         // Line 07.
         if self.config.contention_flag {
             self.contention.write(true);
         }
+        fail_point!("cs::locked");
 
         // Line 08: bounded in practice by Lemma 2 — only the fast-path
         // operations already in flight can make us abort, and future
@@ -205,21 +291,119 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
             }
         };
 
-        // Line 09.
-        if self.config.contention_flag {
-            self.contention.write(false);
-        }
-
-        // Lines 10–12.
-        if self.config.fair {
-            self.lock.unlock(proc);
-        } else {
-            self.lock.inner().unlock();
-        }
-
-        self.locked.fetch_add(1, Ordering::Relaxed);
-        // Line 13.
+        // Lines 09–13 run in the guard's drop (also on unwind).
+        guard.completed = true;
+        drop(guard);
         res
+    }
+
+    /// Deadline-bounded [`ContentionSensitive::apply`]: gives up — with
+    /// **no effect** on the object — once `timeout` elapses without the
+    /// operation completing.
+    ///
+    /// The fast path is unchanged (lines 01–03 are wait-free already);
+    /// the deadline governs the slow path: both the starvation-free
+    /// lock acquisition (lines 04–06) and the under-lock retry loop
+    /// (line 08) stop at the deadline. This keeps invocations live even
+    /// when a *crashed* (not merely panicked) process wedged the lock —
+    /// the paper's §5 failure the transformation cannot otherwise
+    /// survive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimedOut`] if the deadline expired first. The
+    /// operation took no effect in that case: it either never acquired
+    /// the lock, or held it only across aborted weak attempts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is not below the `n` given at construction.
+    pub fn try_apply_for(
+        &self,
+        proc: usize,
+        op: &O::Op,
+        timeout: Duration,
+    ) -> Result<O::Response, TimedOut> {
+        self.try_apply_until(proc, op, Deadline::after(timeout))
+    }
+
+    /// [`ContentionSensitive::try_apply_for`] with an absolute
+    /// [`Deadline`] (shared across several calls when composing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimedOut`] if the deadline expired first; the object
+    /// is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is not below the `n` given at construction.
+    pub fn try_apply_until(
+        &self,
+        proc: usize,
+        op: &O::Op,
+        deadline: Deadline,
+    ) -> Result<O::Response, TimedOut> {
+        assert!(proc < self.lock.n(), "process id out of range");
+        // Lines 01–03: the shortcut costs no waiting, deadline or not.
+        if let Some(res) = self.fast_path(op) {
+            return Ok(res);
+        }
+
+        // Lines 04–06, bounded.
+        fail_point!("cs::lock-wait");
+        let acquired = if self.config.fair {
+            self.lock.lock_until(proc, deadline)
+        } else {
+            self.lock.inner().try_lock_until(deadline)
+        };
+        if !acquired {
+            self.timeouts.fetch_add(1, Ordering::Relaxed);
+            return Err(TimedOut);
+        }
+        let mut guard = SlowGuard {
+            cs: self,
+            proc,
+            completed: false,
+        };
+
+        // Line 07.
+        if self.config.contention_flag {
+            self.contention.write(true);
+        }
+        fail_point!("cs::locked");
+
+        // Line 08, bounded. Giving up mid-loop is safe: every failed
+        // try_apply had no effect, and the guard restores lines 09–12.
+        let mut spinner = Spinner::new();
+        loop {
+            match self.inner.try_apply(op) {
+                Ok(res) => {
+                    guard.completed = true;
+                    drop(guard);
+                    return Ok(res);
+                }
+                Err(_) => {
+                    if !spinner.spin_deadline(deadline) {
+                        drop(guard);
+                        self.timeouts.fetch_add(1, Ordering::Relaxed);
+                        return Err(TimedOut);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lines 01–03: one `CONTENTION` read plus a weak attempt.
+    fn fast_path(&self, op: &O::Op) -> Option<O::Response> {
+        if !self.config.contention_flag || !self.contention.read() {
+            fail_point!("cs::fast", return None);
+            if let Ok(res) = self.inner.try_apply(op) {
+                self.fast.fetch_add(1, Ordering::Relaxed);
+                return Some(res);
+            }
+        }
+        None
     }
 
     /// Snapshot of how many operations used each path.
@@ -230,10 +414,21 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
         }
     }
 
-    /// Resets the path statistics to zero.
+    /// Snapshot of the degradation counters (survived slow-path panics
+    /// and deadline expiries). See the module docs for the fault model.
+    pub fn fault_stats(&self) -> FaultStats {
+        FaultStats {
+            poisoned: self.poisoned.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the path and fault statistics to zero.
     pub fn reset_stats(&self) {
         self.fast.store(0, Ordering::Relaxed);
         self.locked.store(0, Ordering::Relaxed);
+        self.poisoned.store(0, Ordering::Relaxed);
+        self.timeouts.store(0, Ordering::Relaxed);
     }
 
     /// The number of processes this instance serves.

@@ -27,6 +27,37 @@ impl fmt::Display for Aborted {
 
 impl Error for Aborted {}
 
+/// A deadline-bounded strong operation
+/// ([`ContentionSensitive::try_apply_for`]) ran out of time before it
+/// could acquire the slow-path lock or complete under it. The object
+/// is unchanged: the operation either never reached the lock, or held
+/// it only across aborted (effect-free) weak attempts.
+///
+/// This is the graceful-degradation answer to the paper's §5 caveat —
+/// a process crashing *inside* the critical section wedges the lock
+/// for every slow-path operation; a deadline turns that unbounded wait
+/// into a bounded, reportable failure.
+///
+/// [`ContentionSensitive::try_apply_for`]: crate::ContentionSensitive::try_apply_for
+///
+/// ```
+/// use cso_core::TimedOut;
+/// assert_eq!(
+///     TimedOut.to_string(),
+///     "operation timed out waiting for the slow-path lock; no effect",
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TimedOut;
+
+impl fmt::Display for TimedOut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("operation timed out waiting for the slow-path lock; no effect")
+    }
+}
+
+impl Error for TimedOut {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

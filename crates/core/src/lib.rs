@@ -65,8 +65,8 @@ mod nonblocking;
 pub mod progress;
 
 pub use abortable::Abortable;
-pub use contention_sensitive::{ContentionSensitive, CsConfig, PathStats};
-pub use error::Aborted;
+pub use contention_sensitive::{ContentionSensitive, CsConfig, FaultStats, PathStats};
+pub use error::{Aborted, TimedOut};
 pub use manager::{ContentionManager, ExpBackoff, NoBackoff, SpinBackoff, YieldBackoff};
 pub use nonblocking::NonBlocking;
 pub use progress::ProgressCondition;

@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use cso_core::{Abortable, Aborted};
 use cso_memory::bits::Bits32;
+use cso_memory::fail_point;
 use cso_memory::packed::{DequeState, DequeWord};
 use cso_memory::reg::Reg64;
 
@@ -161,6 +162,10 @@ impl<V: Bits32> AbortableDeque<V> {
     /// interfered. Never aborts solo.
     pub fn try_push(&self, end: End, value: V) -> Result<DequePushOutcome, Aborted> {
         self.attempts.fetch_add(1, Ordering::Relaxed);
+        fail_point!("deque::push", {
+            self.aborts.fetch_add(1, Ordering::Relaxed);
+            return Err(Aborted);
+        });
         let result = match end {
             End::Right => self.try_push_right(value),
             End::Left => self.try_push_left(value),
@@ -179,6 +184,10 @@ impl<V: Bits32> AbortableDeque<V> {
     /// interfered. Never aborts solo.
     pub fn try_pop(&self, end: End) -> Result<DequePopOutcome<V>, Aborted> {
         self.attempts.fetch_add(1, Ordering::Relaxed);
+        fail_point!("deque::pop", {
+            self.aborts.fetch_add(1, Ordering::Relaxed);
+            return Err(Aborted);
+        });
         let result = match end {
             End::Right => self.try_pop_right(),
             End::Left => self.try_pop_left(),
@@ -312,7 +321,7 @@ impl<V: Bits32> Abortable for AbortableDeque<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use cso_memory::backoff::XorShift64;
 
     #[test]
     fn deque_semantics_solo() {
@@ -405,25 +414,28 @@ mod tests {
         let _ = AbortableDeque::<u32>::new(0);
     }
 
-    proptest! {
-        /// Solo differential test against the sequential reference.
-        #[test]
-        fn prop_matches_sequential_spec(
-            ops in proptest::collection::vec((any::<bool>(), any::<bool>(), any::<u16>()), 0..200)
-        ) {
+    /// Solo differential test against the sequential reference, over
+    /// randomized operation sequences.
+    #[test]
+    fn random_ops_match_sequential_spec() {
+        let mut rng = XorShift64::new(0xDE9E_CAFE);
+        for _ in 0..256u64 {
             let deque: AbortableDeque<u16> = AbortableDeque::new(6);
             let mut reference = crate::seqspec::SeqDeque::new(6);
-            for (is_push, right, v) in ops {
-                let end = if right { End::Right } else { End::Left };
-                if is_push {
+            let len = (rng.next_u64() % 200) as usize;
+            for _ in 0..len {
+                let word = rng.next_u64();
+                let end = if word & 2 == 0 { End::Left } else { End::Right };
+                let v = (word >> 2) as u16;
+                if word & 1 == 0 {
                     let got = deque.try_push(end, v).expect("solo never aborts");
-                    prop_assert_eq!(got, reference.push(end, v));
+                    assert_eq!(got, reference.push(end, v));
                 } else {
                     let got = deque.try_pop(end).expect("solo never aborts");
-                    prop_assert_eq!(got, reference.pop(end));
+                    assert_eq!(got, reference.pop(end));
                 }
             }
-            prop_assert_eq!(deque.len(), reference.len());
+            assert_eq!(deque.len(), reference.len());
         }
     }
 }

@@ -210,11 +210,8 @@ mod tests {
         for h in handles {
             all.extend(h.join().unwrap());
         }
-        loop {
-            match deque.pop_left(0) {
-                DequePopOutcome::Popped(v) => all.push(v),
-                DequePopOutcome::Empty => break,
-            }
+        while let DequePopOutcome::Popped(v) = deque.pop_left(0) {
+            all.push(v);
         }
         assert_eq!(all.len(), (THREADS * PER_THREAD) as usize);
         let distinct: HashSet<u32> = all.iter().copied().collect();

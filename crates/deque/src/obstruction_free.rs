@@ -156,13 +156,20 @@ mod tests {
                     let my_end = if t % 2 == 0 { End::Right } else { End::Left };
                     for i in 0..PER_THREAD {
                         let v = t * PER_THREAD + i;
-                        // Bounded deque: on Full, drain one and retry.
+                        // Bounded *linear* deque: on Full, drain one
+                        // from this end to regenerate a null cell. If
+                        // the data block has drifted away from this
+                        // end (Full with nothing to pop — every null
+                        // is on the far side), push there instead.
+                        let mut end = my_end;
                         loop {
-                            match deque.push(my_end, v) {
+                            match deque.push(end, v) {
                                 DequePushOutcome::Pushed => break,
                                 DequePushOutcome::Full => {
-                                    if let DequePopOutcome::Popped(v) = deque.pop(my_end) {
+                                    if let DequePopOutcome::Popped(v) = deque.pop(end) {
                                         got.push(v);
+                                    } else {
+                                        end = end.opposite();
                                     }
                                 }
                             }
@@ -179,11 +186,8 @@ mod tests {
         for h in handles {
             all.extend(h.join().unwrap());
         }
-        loop {
-            match deque.pop(End::Left) {
-                DequePopOutcome::Popped(v) => all.push(v),
-                DequePopOutcome::Empty => break,
-            }
+        while let DequePopOutcome::Popped(v) = deque.pop(End::Left) {
+            all.push(v);
         }
         assert_eq!(all.len(), (THREADS * PER_THREAD) as usize);
         let distinct: HashSet<u32> = all.iter().copied().collect();

@@ -93,7 +93,6 @@ pub fn strong_queue_machine(
 }
 
 /// The factory the explorer uses to start Figure 3 queue operations.
-#[must_use]
 pub fn strong_queue_factory(
     layout: CsQueueLayout,
 ) -> impl Fn(usize, &SpecQueueOp) -> StrongQueueMachine {

@@ -112,7 +112,6 @@ pub fn strong_stack_machine(
 }
 
 /// The factory the explorer uses to start Figure 3 stack operations.
-#[must_use]
 pub fn strong_stack_factory(
     layout: CsStackLayout,
 ) -> impl Fn(usize, &SpecStackOp) -> StrongStackMachine {
@@ -185,12 +184,7 @@ mod tests {
         let mut mem = layout.initial_mem();
         mem.write(layout.contention(), 1); // force the slow path once
         let mut machine = strong_stack_machine(layout, 0, SpecStackOp::Push(1));
-        loop {
-            match machine.step(&mut mem) {
-                Step::Continue => {}
-                Step::Done(_) => break,
-            }
-        }
+        while let Step::Continue = machine.step(&mut mem) {}
         // TURN was 0 and FLAG[0] is down at handoff: TURN moves to 1.
         assert_eq!(mem.read(layout.turn()), 1);
     }

@@ -299,7 +299,6 @@ impl StepMachine<ModelDequeResp> for WeakDequeMachine {
 }
 
 /// The factory the explorer uses to start deque operations.
-#[must_use]
 pub fn weak_deque_factory(layout: DequeLayout) -> impl Fn(usize, &MDequeOp) -> WeakDequeMachine {
     move |_proc, op| WeakDequeMachine::new(layout, *op)
 }

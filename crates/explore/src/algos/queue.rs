@@ -280,7 +280,6 @@ impl StepMachine<SpecQueueResp> for WeakQueueMachine {
 }
 
 /// The factory the explorer uses to start queue operations.
-#[must_use]
 pub fn weak_queue_factory(layout: QueueLayout) -> impl Fn(usize, &SpecQueueOp) -> WeakQueueMachine {
     move |_proc, op| WeakQueueMachine::new(layout, *op)
 }

@@ -202,7 +202,6 @@ impl StepMachine<SpecStackResp> for WeakStackMachine {
 }
 
 /// The factory the explorer uses to start Figure 1 operations.
-#[must_use]
 pub fn weak_stack_factory(layout: StackLayout) -> impl Fn(usize, &SpecStackOp) -> WeakStackMachine {
     move |_proc, op| WeakStackMachine::new(layout, *op)
 }

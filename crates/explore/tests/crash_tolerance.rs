@@ -13,10 +13,17 @@
 //! * Figure 3 **inside the lock**: the survivor blocks — the caveat
 //!   the paper states, demonstrated rather than assumed.
 
+use cso_explore::algos::cs_queue::{cs_queue_layout, strong_queue_machine};
 use cso_explore::algos::cs_stack::{cs_stack_layout, strong_stack_machine};
+use cso_explore::algos::deque::{
+    abstract_deque, deque_layout, prefill_right, MDequeOp, ModelDequeResp, ModelEnd,
+    WeakDequeMachine,
+};
+use cso_explore::algos::queue::{queue_layout, WeakQueueMachine};
 use cso_explore::algos::stack::{stack_layout, WeakStackMachine};
 use cso_explore::machine::{Step, StepMachine};
 use cso_explore::mem::Mem;
+use cso_lincheck::specs::queue::{SpecQueueOp, SpecQueueResp};
 use cso_lincheck::specs::stack::{SpecStackOp, SpecStackResp};
 
 /// Steps `victim` exactly `crash_after` times, then runs `survivor`
@@ -157,4 +164,181 @@ fn fast_path_survives_even_a_lock_holder_crash_before_line_07() {
         crash_scenario(&mut mem, &mut victim, 0, &mut survivor, 100).expect("fast path is free");
     assert_eq!(result, Ok(SpecStackResp::Popped(7)));
     assert_eq!(steps, 6);
+}
+
+// ---------------------------------------------------------------------
+// The queue: same crash matrix as the stack.
+// ---------------------------------------------------------------------
+
+/// The weak queue (ref \[16\]) is crash-tolerant at every point:
+/// freeze an enqueuer after each possible prefix of its 6 accesses; a
+/// fresh dequeue still completes with a definitive answer.
+#[test]
+fn weak_queue_survives_crashes_anywhere() {
+    let layout = queue_layout(4);
+    for crash_after in 0..=6 {
+        let mut mem = layout.initial_mem_with(&[7]);
+        let mut victim = WeakQueueMachine::new(layout, SpecQueueOp::Enqueue(9));
+        let mut survivor = WeakQueueMachine::new(layout, SpecQueueOp::Dequeue);
+        let (result, _) = crash_scenario(&mut mem, &mut victim, crash_after, &mut survivor, 100)
+            .expect("a lock-free dequeue cannot be blocked by a crashed enqueuer");
+        // FIFO: the prefilled 7 is at the front no matter where the
+        // victim's enqueue of 9 froze.
+        assert_eq!(
+            result,
+            Ok(SpecQueueResp::Dequeued(7)),
+            "crash_after={crash_after}"
+        );
+    }
+}
+
+/// Figure 3 over the queue: fast-path crashes (7 accesses) are
+/// harmless.
+#[test]
+fn cs_queue_survives_fast_path_crashes() {
+    let layout = cs_queue_layout(4, 2);
+    for crash_after in 0..=7 {
+        let mut mem = layout.initial_mem_with(&[7]);
+        let mut victim = strong_queue_machine(layout, 0, SpecQueueOp::Enqueue(9));
+        let mut survivor = strong_queue_machine(layout, 1, SpecQueueOp::Dequeue);
+        let (result, _) = crash_scenario(&mut mem, &mut victim, crash_after, &mut survivor, 1_000)
+            .expect("fast-path crashes must not block the survivor");
+        assert_eq!(
+            result,
+            Ok(SpecQueueResp::Dequeued(7)),
+            "crash_after={crash_after}"
+        );
+    }
+}
+
+/// …and the §5 caveat holds for the queue too: a crash while holding
+/// the lock blocks every later lock-path operation.
+#[test]
+fn cs_queue_blocks_on_a_crash_inside_the_lock() {
+    let layout = cs_queue_layout(4, 2);
+    let mut mem = layout.initial_mem();
+    mem.write(layout.addrs().contention, 1);
+    let mut victim = strong_queue_machine(layout, 0, SpecQueueOp::Enqueue(9));
+    // ReadContention, SetFlag, WaitReadTurn, TryLock (acquires),
+    // SetContention — 5 steps, lock held.
+    for _ in 0..5 {
+        assert!(matches!(victim.step(&mut mem), Step::Continue));
+    }
+    assert_eq!(mem.read(layout.lock()), 1, "victim holds the lock");
+
+    let mut survivor = strong_queue_machine(layout, 1, SpecQueueOp::Dequeue);
+    let blocked = crash_scenario(&mut mem, &mut victim, 0, &mut survivor, 10_000).is_none();
+    assert!(
+        blocked,
+        "a crash while holding the lock must block the lock path (§5)"
+    );
+}
+
+// ---------------------------------------------------------------------
+// The deque: obstruction-freedom under crashes.
+// ---------------------------------------------------------------------
+
+/// The linear-HLM deque is obstruction-free: a survivor running solo
+/// after a crash always finishes, though the victim's half-done C&S
+/// pair may cost it one abort-and-retry first. Freeze a right-pusher
+/// at every possible prefix and check a left-pop completes, and that
+/// the arena still holds a sensible value set.
+#[test]
+fn weak_deque_survives_crashes_anywhere() {
+    let layout = deque_layout(8);
+    for crash_after in 0..=14 {
+        let mut mem = layout.initial_mem();
+        prefill_right(&mut mem, layout, &[7]);
+        let mut victim = WeakDequeMachine::new(layout, MDequeOp::Push(ModelEnd::Right, 9));
+        for _ in 0..crash_after {
+            match victim.step(&mut mem) {
+                Step::Continue => {}
+                Step::Done(_) => break,
+            }
+        }
+        // Solo from here on: obstruction-freedom promises termination,
+        // but the first attempt may abort on the victim's debris.
+        let mut popped = None;
+        'attempts: for _ in 0..4 {
+            let mut survivor = WeakDequeMachine::new(layout, MDequeOp::Pop(ModelEnd::Left));
+            for _ in 0..1_000 {
+                match survivor.step(&mut mem) {
+                    Step::Continue => {}
+                    Step::Done(Ok(resp)) => {
+                        popped = Some(resp);
+                        break 'attempts;
+                    }
+                    Step::Done(Err(_)) => continue 'attempts, // ⊥: retry fresh
+                }
+            }
+            panic!("crash_after={crash_after}: solo pop neither finished nor aborted");
+        }
+        match popped {
+            // 7 was prefilled; 9 only if the victim's push landed.
+            Some(ModelDequeResp::Popped(v)) => {
+                assert!(v == 7 || v == 9, "crash_after={crash_after}: popped {v}")
+            }
+            other => panic!("crash_after={crash_after}: unexpected {other:?}"),
+        }
+        // The representation invariant survived the crash too.
+        let (_, values, _) = abstract_deque(&mem, &layout);
+        assert!(
+            values.iter().all(|v| *v == 7 || *v == 9),
+            "crash_after={crash_after}: arena corrupted: {values:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// The implementation narrows the §5 caveat: panics are not crashes.
+// ---------------------------------------------------------------------
+
+/// The model above shows a process *dead* inside the critical section
+/// wedges the lock path forever. The real implementation distinguishes
+/// the recoverable flavour: a slow path that **panics** (unwinds)
+/// under the lock is cleaned up by the RAII guard — lock released,
+/// `CONTENTION` restored — so the survivor completes instead of
+/// blocking.
+#[test]
+fn real_transformation_recovers_from_a_panic_inside_the_lock() {
+    use cso_core::{Abortable, Aborted, ContentionSensitive};
+    use cso_locks::TasLock;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    /// Stage 0: abort (forces the slow path). Stage 1: panic (under
+    /// the lock). Stage ≥ 2: behave.
+    struct CrashDummy {
+        stage: AtomicUsize,
+        applied: AtomicU64,
+    }
+
+    impl Abortable for CrashDummy {
+        type Op = ();
+        type Response = u64;
+
+        fn try_apply(&self, _op: &()) -> Result<u64, Aborted> {
+            match self.stage.fetch_add(1, Ordering::SeqCst) {
+                0 => Err(Aborted),
+                1 => panic!("modelled crash inside the critical section"),
+                _ => Ok(self.applied.fetch_add(1, Ordering::SeqCst) + 1),
+            }
+        }
+    }
+
+    let cs = ContentionSensitive::new(
+        CrashDummy {
+            stage: AtomicUsize::new(0),
+            applied: AtomicU64::new(0),
+        },
+        TasLock::new(),
+        2,
+    );
+    let unwound =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cs.apply(0, &()))).is_err();
+    assert!(unwound, "the modelled crash must unwind");
+    assert_eq!(cs.fault_stats().poisoned, 1);
+
+    // Where the model's survivor spun forever, this one completes.
+    assert_eq!(cs.apply(1, &()), 1);
+    assert_eq!(cs.stats().total(), 1, "only the survivor's op counts");
 }

@@ -11,7 +11,7 @@
 //! | [`TasLock`] | [`RawLock`] | deadlock-free | test-and-set; the paper's minimal assumption |
 //! | [`TtasLock`] | [`RawLock`] | deadlock-free | test-and-test-and-set with exponential backoff |
 //! | [`TicketLock`] | [`RawLock`] | starvation-free | FIFO |
-//! | [`OsLock`] | [`RawLock`] | deadlock-free | `parking_lot` raw mutex (state of practice) |
+//! | [`OsLock`] | [`RawLock`] | deadlock-free | `std` mutex + condvar (OS-assisted state of practice) |
 //! | [`ClhLock`] | [`ProcLock`] | starvation-free | implicit queue of spin nodes |
 //! | [`McsLock`] | [`ProcLock`] | starvation-free | explicit queue, local spinning |
 //! | [`PetersonLock`] | 2-proc | starvation-free | classic 2-process algorithm |

@@ -1,18 +1,21 @@
 //! OS-assisted mutex baseline.
 
-use parking_lot::lock_api::RawMutex as _;
-use parking_lot::RawMutex;
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 use crate::raw::RawLock;
 
-/// A [`RawLock`] over `parking_lot`'s raw mutex — the state-of-practice
-/// blocking lock, included as a baseline in the lock and stack
-/// benchmarks (E4, E7).
+/// A [`RawLock`] over a blocking OS primitive (`std`'s mutex plus a
+/// condition variable) — the "traditional lock-based synchronization"
+/// the paper's introduction contrasts with. Contended acquirers sleep
+/// in the kernel instead of spinning.
+///
+/// The `std` pair is used (rather than an external raw-mutex crate)
+/// because [`RawLock`] needs split `lock()`/`unlock()` calls, which a
+/// guard-based `Mutex<()>` cannot express, and the workspace builds
+/// with no external dependencies.
 ///
 /// Unlike the register-based locks in this crate, its internal accesses
-/// are *not* recorded by [`cso_memory::counting`]; it represents the
-/// "traditional lock-based synchronization" the paper's introduction
-/// contrasts with.
+/// are *not* recorded by [`cso_memory::counting`].
 ///
 /// ```
 /// use cso_locks::{OsLock, RawLock};
@@ -20,13 +23,14 @@ use crate::raw::RawLock;
 /// lock.with(|| { /* critical section */ });
 /// ```
 pub struct OsLock {
-    raw: RawMutex,
+    held: Mutex<bool>,
+    freed: Condvar,
 }
 
 impl std::fmt::Debug for OsLock {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("OsLock")
-            .field("locked", &self.raw.is_locked())
+            .field("locked", &*self.state())
             .finish()
     }
 }
@@ -36,8 +40,16 @@ impl OsLock {
     #[must_use]
     pub fn new() -> OsLock {
         OsLock {
-            raw: RawMutex::INIT,
+            held: Mutex::new(false),
+            freed: Condvar::new(),
         }
+    }
+
+    /// The inner mutex only protects the `held` flag for instants;
+    /// a panic inside it is unreachable from this module, but clear
+    /// the poison anyway so one crashed thread cannot wedge the lock.
+    fn state(&self) -> MutexGuard<'_, bool> {
+        self.held.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -49,17 +61,26 @@ impl Default for OsLock {
 
 impl RawLock for OsLock {
     fn lock(&self) {
-        self.raw.lock();
+        let mut held = self.state();
+        while *held {
+            held = self.freed.wait(held).unwrap_or_else(|e| e.into_inner());
+        }
+        *held = true;
     }
 
     fn unlock(&self) {
-        // SAFETY: the `RawLock` contract requires the caller to hold
-        // the lock, which is exactly `RawMutex::unlock`'s requirement.
-        unsafe { self.raw.unlock() };
+        *self.state() = false;
+        self.freed.notify_one();
     }
 
     fn try_lock(&self) -> bool {
-        self.raw.try_lock()
+        let mut held = self.state();
+        if *held {
+            false
+        } else {
+            *held = true;
+            true
+        }
     }
 }
 
@@ -79,5 +100,22 @@ mod tests {
     #[test]
     fn provides_mutual_exclusion() {
         stress_raw(OsLock::new(), 4, 2_500);
+    }
+
+    #[test]
+    fn contended_lock_wakes_sleepers() {
+        use std::sync::Arc;
+        let lock = Arc::new(OsLock::new());
+        lock.lock();
+        let waiter = {
+            let lock = Arc::clone(&lock);
+            std::thread::spawn(move || {
+                lock.lock();
+                lock.unlock();
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        lock.unlock();
+        waiter.join().expect("sleeping waiter must be woken");
     }
 }

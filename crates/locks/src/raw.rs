@@ -7,6 +7,8 @@
 //!   like the paper's §4.4 `FLAG`/`TURN` booster, CLH/MCS queue locks,
 //!   Peterson trees and Lamport's fast mutex.
 
+use cso_memory::backoff::{Deadline, Spinner};
+
 use crate::guard::{LockGuard, ProcLockGuard};
 
 /// An anonymous mutual-exclusion lock.
@@ -29,6 +31,35 @@ pub trait RawLock: Send + Sync {
     /// Attempts to acquire the lock without waiting; returns whether
     /// the acquisition succeeded.
     fn try_lock(&self) -> bool;
+
+    /// Attempts to acquire the lock until `deadline` expires; returns
+    /// whether the acquisition succeeded. The default implementation
+    /// polls [`RawLock::try_lock`] through a [`Spinner`], so it never
+    /// sleeps past the deadline even over a blocking inner lock.
+    ///
+    /// ```
+    /// use cso_locks::{RawLock, TasLock};
+    /// use cso_memory::backoff::Deadline;
+    /// use std::time::Duration;
+    ///
+    /// let lock = TasLock::new();
+    /// lock.lock();
+    /// assert!(!lock.try_lock_until(Deadline::after(Duration::from_millis(1))));
+    /// lock.unlock();
+    /// assert!(lock.try_lock_until(Deadline::NEVER));
+    /// lock.unlock();
+    /// ```
+    fn try_lock_until(&self, deadline: Deadline) -> bool {
+        let mut spinner = Spinner::new();
+        loop {
+            if self.try_lock() {
+                return true;
+            }
+            if !spinner.spin_deadline(deadline) {
+                return false;
+            }
+        }
+    }
 
     /// Acquires the lock and returns a guard that releases it on drop
     /// (including on unwind).

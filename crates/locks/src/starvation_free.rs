@@ -20,7 +20,8 @@
 //! unique contender allowed past line 05 and the deadlock-free inner
 //! lock must admit it.
 
-use cso_memory::backoff::Spinner;
+use cso_memory::backoff::{Deadline, Spinner};
+use cso_memory::fail_point;
 use cso_memory::reg::{RegBool, RegUsize};
 
 use crate::raw::{ProcLock, RawLock};
@@ -133,6 +134,45 @@ impl<L: RawLock> StarvationFree<L> {
         self.flag[proc].write(false);
         false
     }
+
+    /// Deadline-bounded acquisition: like [`ProcLock::lock`], but gives
+    /// up — lowering `FLAG[proc]` so nobody waits on a ghost — once
+    /// `deadline` expires, whether the wait was on the line-05
+    /// predicate or on the inner lock. Returns whether the lock was
+    /// acquired (release with [`ProcLock::unlock`]).
+    ///
+    /// The inner lock is taken through [`RawLock::try_lock_until`], so
+    /// even a *wedged* inner lock (e.g. a crashed holder, the §5
+    /// failure scenario) cannot block past the deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is out of range.
+    pub fn lock_until(&self, proc: usize, deadline: Deadline) -> bool {
+        assert!(proc < self.flag.len(), "process id out of range");
+        // Line 04: announce the competition.
+        self.flag[proc].write(true);
+        fail_point!("sfree::wait");
+        // Line 05, deadline-bounded.
+        let mut spinner = Spinner::new();
+        loop {
+            let t = self.turn.read();
+            if t == proc || !self.flag[t].read() {
+                break;
+            }
+            if !spinner.spin_deadline(deadline) {
+                self.flag[proc].write(false);
+                return false;
+            }
+        }
+        // Line 06, deadline-bounded.
+        if self.inner.try_lock_until(deadline) {
+            true
+        } else {
+            self.flag[proc].write(false);
+            false
+        }
+    }
 }
 
 impl<L: RawLock> ProcLock for StarvationFree<L> {
@@ -144,6 +184,7 @@ impl<L: RawLock> ProcLock for StarvationFree<L> {
         assert!(proc < self.flag.len(), "process id out of range");
         // Line 04: announce the competition.
         self.flag[proc].write(true);
+        fail_point!("sfree::wait");
         // Line 05: wait until we have priority or the priority holder
         // is not competing.
         let mut spinner = Spinner::new();
@@ -160,6 +201,7 @@ impl<L: RawLock> ProcLock for StarvationFree<L> {
 
     fn unlock(&self, proc: usize) {
         assert!(proc < self.flag.len(), "process id out of range");
+        fail_point!("sfree::unlock");
         // Line 10: we are no longer competing.
         self.flag[proc].write(false);
         // Line 11: if the priority holder is idle, pass priority on —

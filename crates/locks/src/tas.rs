@@ -1,6 +1,7 @@
 //! Test-and-set spin lock.
 
 use cso_memory::backoff::Spinner;
+use cso_memory::fail_point;
 use cso_memory::reg::RegBool;
 
 use crate::raw::RawLock;
@@ -43,6 +44,7 @@ impl Default for TasLock {
 
 impl RawLock for TasLock {
     fn lock(&self) {
+        fail_point!("tas::acquire");
         let mut spinner = Spinner::new();
         while self.held.swap(true) {
             spinner.spin();
@@ -50,6 +52,7 @@ impl RawLock for TasLock {
     }
 
     fn unlock(&self) {
+        fail_point!("tas::release");
         self.held.write(false);
     }
 

@@ -1,6 +1,7 @@
 //! Ticket (bakery-counter) lock.
 
 use cso_memory::backoff::Spinner;
+use cso_memory::fail_point;
 use cso_memory::reg::RegUsize;
 
 use crate::raw::RawLock;
@@ -45,6 +46,7 @@ impl Default for TicketLock {
 
 impl RawLock for TicketLock {
     fn lock(&self) {
+        fail_point!("ticket::acquire");
         let ticket = self.next.fetch_add(1);
         let mut spinner = Spinner::new();
         while self.serving.read() != ticket {
@@ -53,6 +55,7 @@ impl RawLock for TicketLock {
     }
 
     fn unlock(&self) {
+        fail_point!("ticket::release");
         // Only the holder advances `serving`, so read-then-write is
         // race-free.
         let current = self.serving.read();

@@ -1,6 +1,7 @@
 //! Test-and-test-and-set spin lock with exponential backoff.
 
 use cso_memory::backoff::{Backoff, Spinner};
+use cso_memory::fail_point;
 use cso_memory::reg::RegBool;
 
 use crate::raw::RawLock;
@@ -42,6 +43,7 @@ impl Default for TtasLock {
 
 impl RawLock for TtasLock {
     fn lock(&self) {
+        fail_point!("ttas::acquire");
         let mut backoff = Backoff::new();
         let mut spinner = Spinner::new();
         loop {
@@ -59,6 +61,7 @@ impl RawLock for TtasLock {
     }
 
     fn unlock(&self) {
+        fail_point!("ttas::release");
         self.held.write(false);
     }
 

@@ -8,6 +8,64 @@
 
 use std::hint;
 use std::thread;
+use std::time::{Duration, Instant};
+
+/// A point in time a wait loop must not spin past.
+///
+/// The paper's waits (Figure 3 line 05, the line-08 retry loop, every
+/// lock acquisition) are unbounded: if the awaited process stalls
+/// forever — the §5 crash caveat — so does the waiter. A `Deadline`
+/// bounds that: deadline-aware loops poll [`Deadline::expired`] and
+/// bail out with a timeout the caller can handle.
+///
+/// ```
+/// use cso_memory::backoff::Deadline;
+/// use std::time::Duration;
+///
+/// let d = Deadline::after(Duration::from_millis(5));
+/// assert!(!d.expired() || d.remaining().is_none());
+/// assert!(Deadline::NEVER.remaining().is_none() || true);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    /// `None` = never expires.
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// A deadline that never expires (waits degrade to unbounded).
+    pub const NEVER: Deadline = Deadline { at: None };
+
+    /// A deadline `timeout` from now.
+    #[must_use]
+    pub fn after(timeout: Duration) -> Deadline {
+        Deadline {
+            at: Instant::now().checked_add(timeout),
+        }
+    }
+
+    /// A deadline at an absolute instant.
+    #[must_use]
+    pub fn at(instant: Instant) -> Deadline {
+        Deadline { at: Some(instant) }
+    }
+
+    /// Whether the deadline has passed.
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        match self.at {
+            Some(at) => Instant::now() >= at,
+            None => false,
+        }
+    }
+
+    /// Time left, or `None` when unbounded; `Some(ZERO)` once expired.
+    #[must_use]
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at
+            .map(|at| at.saturating_duration_since(Instant::now()))
+    }
+}
 
 /// A deterministic xorshift64* pseudo-random generator.
 ///
@@ -195,6 +253,30 @@ impl Spinner {
             thread::yield_now();
         }
     }
+
+    /// Deadline-aware wait step: like [`Spinner::spin`], but returns
+    /// `false` — without waiting — once `deadline` has expired.
+    /// Checking *before* waiting keeps the first call of an
+    /// already-expired deadline from burning a yield.
+    ///
+    /// ```
+    /// use cso_memory::backoff::{Deadline, Spinner};
+    /// use std::time::Duration;
+    ///
+    /// let deadline = Deadline::after(Duration::from_millis(1));
+    /// let mut spinner = Spinner::new();
+    /// while spinner.spin_deadline(deadline) {
+    ///     // ... re-check the awaited condition ...
+    /// }
+    /// assert!(deadline.expired());
+    /// ```
+    pub fn spin_deadline(&mut self, deadline: Deadline) -> bool {
+        if deadline.expired() {
+            return false;
+        }
+        self.spin();
+        true
+    }
 }
 
 impl Default for Spinner {
@@ -256,6 +338,34 @@ mod tests {
         }
         b.reset();
         assert!(!b.is_yielding());
+    }
+
+    #[test]
+    fn deadline_expires_and_reports_remaining() {
+        let d = Deadline::after(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+        assert!(!Deadline::NEVER.expired());
+        assert_eq!(Deadline::NEVER.remaining(), None);
+        let far = Deadline::after(Duration::from_secs(3600));
+        assert!(!far.expired());
+        assert!(far.remaining().unwrap() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn spin_deadline_refuses_after_expiry() {
+        let expired = Deadline::at(Instant::now());
+        let mut spinner = Spinner::new();
+        assert!(!spinner.spin_deadline(expired));
+        let mut spins = 0u32;
+        let live = Deadline::after(Duration::from_millis(2));
+        let mut spinner = Spinner::new();
+        while spinner.spin_deadline(live) {
+            spins += 1;
+            assert!(spins < 100_000_000, "deadline never fired");
+        }
+        assert!(live.expired());
     }
 
     #[test]

@@ -135,7 +135,6 @@ impl Bits32 for () {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn round_trips<V: Bits32 + PartialEq + std::fmt::Debug>(v: V) {
         assert_eq!(V::from_bits(v.to_bits()), v);
@@ -166,25 +165,22 @@ mod tests {
         );
     }
 
-    proptest! {
-        #[test]
-        fn prop_u32(v: u32) { round_trips(v); }
-
-        #[test]
-        fn prop_i32(v: i32) { round_trips(v); }
-
-        #[test]
-        fn prop_i16(v: i16) { round_trips(v); }
-
-        #[test]
-        fn prop_u8(v: u8) { round_trips(v); }
-
-        #[test]
-        fn prop_char(v: char) { round_trips(v); }
-
-        #[test]
-        fn prop_f32_non_nan(v in proptest::num::f32::ANY.prop_filter("non-nan", |f| !f.is_nan())) {
-            round_trips(v);
+    #[test]
+    fn random_values_round_trip() {
+        let mut rng = crate::backoff::XorShift64::new(0xB175);
+        for _ in 0..2_000 {
+            let raw = rng.next_u64() as u32;
+            round_trips(raw);
+            round_trips(raw as i32);
+            round_trips(raw as u16 as i16);
+            round_trips(raw as u8);
+            if let Some(c) = char::from_u32(raw % 0x11_0000) {
+                round_trips(c);
+            }
+            let f = f32::from_bits(raw);
+            if !f.is_nan() {
+                round_trips(f);
+            }
         }
     }
 }

@@ -14,9 +14,15 @@
 //! * [`counting`] — the per-thread shared-access counters;
 //! * [`registry`] — process identities `0..n` (the paper's `p_1..p_n`),
 //!   needed by the `FLAG`/`TURN` starvation-freedom mechanism;
-//! * [`backoff`] — spin/backoff helpers used by retry loops;
+//! * [`backoff`] — spin/backoff helpers and deadlines used by retry
+//!   and wait loops;
 //! * [`slab`] — a fixed-capacity slab with an ABA-safe array freelist,
-//!   used to lift the 32-bit-value algorithms to arbitrary payloads.
+//!   used to lift the 32-bit-value algorithms to arbitrary payloads;
+//! * [`epoch`] — a minimal epoch-based reclamation scheme for the
+//!   node-allocating baselines (Treiber, Michael–Scott, elimination);
+//! * [`chaos`] (behind the `chaos` cargo feature) — the fail-point
+//!   registry behind [`fail_point!`], for fault-injection testing of
+//!   the §5 crash caveat.
 //!
 //! # Example
 //!
@@ -38,12 +44,52 @@
 
 pub mod backoff;
 pub mod bits;
+#[cfg(feature = "chaos")]
+pub mod chaos;
 pub mod counting;
+pub mod epoch;
 pub mod packed;
 pub mod reg;
 pub mod registry;
 pub mod slab;
 
+/// Declares a named fault-injection site (see [`chaos`]).
+///
+/// With the `chaos` cargo feature **disabled** (the default) the macro
+/// expands to nothing — zero code, zero cost. With it enabled, the
+/// site consults the [`chaos`] registry: one relaxed atomic load when
+/// nothing is armed, the armed [`chaos::Fault`] otherwise.
+///
+/// Two forms:
+///
+/// * `fail_point!("site")` — injects delays, yields, panics or stalls
+///   in place; a [`chaos::Fault::SpuriousAbort`] is ignored.
+/// * `fail_point!("site", expr)` — additionally evaluates `expr`
+///   (typically `return Err(Aborted)`) when the armed fault asks the
+///   operation to abort.
+#[cfg(feature = "chaos")]
+#[macro_export]
+macro_rules! fail_point {
+    ($site:expr) => {{
+        let _ = $crate::chaos::hit($site);
+    }};
+    ($site:expr, $on_abort:expr) => {{
+        if $crate::chaos::hit($site) == $crate::chaos::Action::Abort {
+            $on_abort
+        }
+    }};
+}
+
+/// Declares a named fault-injection site (disabled: expands to
+/// nothing; enable the `chaos` cargo feature to activate).
+#[cfg(not(feature = "chaos"))]
+#[macro_export]
+macro_rules! fail_point {
+    ($site:expr) => {};
+    ($site:expr, $on_abort:expr) => {};
+}
+
+pub use backoff::Deadline;
 pub use bits::Bits32;
 pub use counting::{AccessCounts, CountScope};
 pub use packed::{DequeState, DequeWord, HeadWord, SlotWord, TailWord, TopWord};

@@ -305,7 +305,6 @@ impl From<u64> for DequeWord {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn top_word_round_trip_extremes() {
@@ -407,47 +406,108 @@ mod tests {
         );
     }
 
-    proptest! {
-        #[test]
-        fn prop_deque_word_round_trip(seq: u16, value: u32, s in 0u8..3) {
-            let state = match s {
+    // Randomized round-trip checks, driven by the in-repo
+    // deterministic generator (dependency-free, reproducible).
+    const RANDOM_CASES: usize = 2_000;
+
+    fn rng() -> crate::backoff::XorShift64 {
+        crate::backoff::XorShift64::new(0xD06F_00D5_EED5)
+    }
+
+    #[test]
+    fn random_deque_word_round_trip() {
+        let mut rng = rng();
+        for _ in 0..RANDOM_CASES {
+            let state = match rng.next_below(3) {
                 0 => DequeState::LeftNull,
                 1 => DequeState::RightNull,
                 _ => DequeState::Data,
             };
-            let w = DequeWord { state, seq, value };
-            prop_assert_eq!(DequeWord::unpack(w.pack()), w);
+            let w = DequeWord {
+                state,
+                seq: rng.next_u64() as u16,
+                value: rng.next_u64() as u32,
+            };
+            assert_eq!(DequeWord::unpack(w.pack()), w);
         }
+    }
 
-        #[test]
-        fn prop_top_word_round_trip(index: u16, seq: u16, value: u32) {
-            let w = TopWord { index, seq, value };
-            prop_assert_eq!(TopWord::unpack(w.pack()), w);
+    #[test]
+    fn random_top_word_round_trip() {
+        let mut rng = rng();
+        for _ in 0..RANDOM_CASES {
+            let w = TopWord {
+                index: rng.next_u64() as u16,
+                seq: rng.next_u64() as u16,
+                value: rng.next_u64() as u32,
+            };
+            assert_eq!(TopWord::unpack(w.pack()), w);
         }
+    }
 
-        #[test]
-        fn prop_slot_word_round_trip(seq: u16, value: u32) {
-            let w = SlotWord { seq, value };
-            prop_assert_eq!(SlotWord::unpack(w.pack()), w);
+    #[test]
+    fn random_slot_word_round_trip() {
+        let mut rng = rng();
+        for _ in 0..RANDOM_CASES {
+            let w = SlotWord {
+                seq: rng.next_u64() as u16,
+                value: rng.next_u64() as u32,
+            };
+            assert_eq!(SlotWord::unpack(w.pack()), w);
         }
+    }
 
-        #[test]
-        fn prop_tail_word_round_trip(count: u16, seq: u16, value: u32) {
-            let w = TailWord { count, seq, value };
-            prop_assert_eq!(TailWord::unpack(w.pack()), w);
+    #[test]
+    fn random_tail_word_round_trip() {
+        let mut rng = rng();
+        for _ in 0..RANDOM_CASES {
+            let w = TailWord {
+                count: rng.next_u64() as u16,
+                seq: rng.next_u64() as u16,
+                value: rng.next_u64() as u32,
+            };
+            assert_eq!(TailWord::unpack(w.pack()), w);
         }
+    }
 
-        #[test]
-        fn prop_head_word_round_trip(count: u16) {
-            let w = HeadWord { count };
-            prop_assert_eq!(HeadWord::unpack(w.pack()), w);
+    #[test]
+    fn random_head_word_round_trip() {
+        let mut rng = rng();
+        for _ in 0..RANDOM_CASES {
+            let w = HeadWord {
+                count: rng.next_u64() as u16,
+            };
+            assert_eq!(HeadWord::unpack(w.pack()), w);
         }
+    }
 
-        #[test]
-        fn prop_packing_is_injective(a: (u16, u16, u32), b: (u16, u16, u32)) {
-            let wa = TopWord { index: a.0, seq: a.1, value: a.2 };
-            let wb = TopWord { index: b.0, seq: b.1, value: b.2 };
-            prop_assert_eq!(wa.pack() == wb.pack(), wa == wb);
+    #[test]
+    fn random_packing_is_injective() {
+        let mut rng = rng();
+        for _ in 0..RANDOM_CASES {
+            let wa = TopWord {
+                index: rng.next_u64() as u16,
+                seq: rng.next_u64() as u16,
+                value: rng.next_u64() as u32,
+            };
+            // Mix fresh values with near-collisions (sharing fields).
+            let wb = match rng.next_below(4) {
+                0 => wa,
+                1 => TopWord {
+                    index: rng.next_u64() as u16,
+                    ..wa
+                },
+                2 => TopWord {
+                    seq: rng.next_u64() as u16,
+                    ..wa
+                },
+                _ => TopWord {
+                    index: rng.next_u64() as u16,
+                    seq: rng.next_u64() as u16,
+                    value: rng.next_u64() as u32,
+                },
+            };
+            assert_eq!(wa.pack() == wb.pack(), wa == wb);
         }
     }
 }

@@ -77,7 +77,6 @@ impl Reg64 {
         self.cell
             .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
             .map(|_| ())
-            .map_err(|observed| observed)
     }
 }
 

@@ -33,6 +33,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use cso_core::{Abortable, Aborted};
 use cso_memory::bits::Bits32;
+use cso_memory::fail_point;
 use cso_memory::packed::{HeadWord, SlotWord, TailWord};
 use cso_memory::reg::Reg64;
 
@@ -190,6 +191,10 @@ impl<V: Bits32> AbortableQueue<V> {
     /// that case. Never aborts solo.
     pub fn weak_enqueue(&self, value: V) -> Result<EnqueueOutcome, Aborted> {
         self.enq_attempts.fetch_add(1, Ordering::Relaxed);
+        fail_point!("queue::enqueue", {
+            self.enq_aborts.fetch_add(1, Ordering::Relaxed);
+            return Err(Aborted);
+        });
         // 1. Read the enqueue authority.
         let tail = TailWord::unpack(self.tail.read());
         // 2-3. Help the previous enqueue's pending slot write.
@@ -236,6 +241,10 @@ impl<V: Bits32> AbortableQueue<V> {
     /// that case. Never aborts solo.
     pub fn weak_dequeue(&self) -> Result<DequeueOutcome<V>, Aborted> {
         self.deq_attempts.fetch_add(1, Ordering::Relaxed);
+        fail_point!("queue::dequeue", {
+            self.deq_aborts.fetch_add(1, Ordering::Relaxed);
+            return Err(Aborted);
+        });
         // 1. Read the dequeue authority.
         let head = HeadWord::unpack(self.head.read());
         // 2. Read the enqueue authority (for emptiness and helping).
@@ -304,8 +313,8 @@ impl<V: Bits32> Abortable for AbortableQueue<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cso_memory::backoff::XorShift64;
     use cso_memory::counting::CountScope;
-    use proptest::prelude::*;
 
     #[test]
     fn fifo_order_solo() {
@@ -506,36 +515,38 @@ mod tests {
         assert_eq!(distinct.len(), all.len());
     }
 
-    proptest! {
-        /// Solo differential test against a VecDeque reference.
-        #[test]
-        fn prop_matches_sequential_spec(ops in proptest::collection::vec(any::<Option<u16>>(), 0..200)) {
-            use std::collections::VecDeque;
+    /// Solo differential test against a VecDeque reference, over
+    /// randomized operation sequences.
+    #[test]
+    fn random_ops_match_sequential_spec() {
+        use std::collections::VecDeque;
+        let mut rng = XorShift64::new(0xF1F0_0FFE);
+        for _ in 0..256u64 {
             let queue: AbortableQueue<u16> = AbortableQueue::new(16);
             let mut reference: VecDeque<u16> = VecDeque::new();
-            for op in ops {
-                match op {
-                    Some(v) => {
-                        let got = queue.weak_enqueue(v).expect("solo never aborts");
-                        let want = if reference.len() == 16 {
-                            EnqueueOutcome::Full
-                        } else {
-                            reference.push_back(v);
-                            EnqueueOutcome::Enqueued
-                        };
-                        prop_assert_eq!(got, want);
-                    }
-                    None => {
-                        let got = queue.weak_dequeue().expect("solo never aborts");
-                        let want = match reference.pop_front() {
-                            Some(v) => DequeueOutcome::Dequeued(v),
-                            None => DequeueOutcome::Empty,
-                        };
-                        prop_assert_eq!(got, want);
-                    }
+            let len = (rng.next_u64() % 200) as usize;
+            for _ in 0..len {
+                let word = rng.next_u64();
+                if word & 1 == 0 {
+                    let v = (word >> 1) as u16;
+                    let got = queue.weak_enqueue(v).expect("solo never aborts");
+                    let want = if reference.len() == 16 {
+                        EnqueueOutcome::Full
+                    } else {
+                        reference.push_back(v);
+                        EnqueueOutcome::Enqueued
+                    };
+                    assert_eq!(got, want);
+                } else {
+                    let got = queue.weak_dequeue().expect("solo never aborts");
+                    let want = match reference.pop_front() {
+                        Some(v) => DequeueOutcome::Dequeued(v),
+                        None => DequeueOutcome::Empty,
+                    };
+                    assert_eq!(got, want);
                 }
             }
-            prop_assert_eq!(queue.len(), reference.len());
+            assert_eq!(queue.len(), reference.len());
         }
     }
 }

@@ -1,7 +1,9 @@
 //! The contention-sensitive starvation-free queue (Figure-3
 //! methodology).
 
-use cso_core::{ContentionSensitive, CsConfig, PathStats, ProgressCondition};
+use std::time::Duration;
+
+use cso_core::{ContentionSensitive, CsConfig, FaultStats, PathStats, ProgressCondition, TimedOut};
 use cso_locks::{RawLock, TasLock};
 use cso_memory::bits::Bits32;
 
@@ -98,6 +100,48 @@ impl<V: Bits32, L: RawLock> CsQueue<V, L> {
         self.inner.apply(proc, &QueueOp::Dequeue).expect_dequeue()
     }
 
+    /// Deadline-bounded [`CsQueue::enqueue`]: gives up with no effect
+    /// if the slow-path lock stays unavailable for `timeout` (e.g.
+    /// wedged by a crashed holder — the §5 failure mode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimedOut`] if the deadline expired first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc >= n`.
+    pub fn try_enqueue_for(
+        &self,
+        proc: usize,
+        value: V,
+        timeout: Duration,
+    ) -> Result<EnqueueOutcome, TimedOut> {
+        self.inner
+            .try_apply_for(proc, &QueueOp::Enqueue(value), timeout)
+            .map(|resp| resp.expect_enqueue())
+    }
+
+    /// Deadline-bounded [`CsQueue::dequeue`]; see
+    /// [`CsQueue::try_enqueue_for`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimedOut`] if the deadline expired first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc >= n`.
+    pub fn try_dequeue_for(
+        &self,
+        proc: usize,
+        timeout: Duration,
+    ) -> Result<DequeueOutcome<V>, TimedOut> {
+        self.inner
+            .try_apply_for(proc, &QueueOp::Dequeue, timeout)
+            .map(|resp| resp.expect_dequeue())
+    }
+
     /// The capacity fixed at construction.
     #[must_use]
     pub fn capacity(&self) -> usize {
@@ -135,6 +179,12 @@ impl<V: Bits32, L: RawLock> CsQueue<V, L> {
     /// Attempt/abort counters of the underlying weak operations.
     pub fn abort_stats(&self) -> QueueAbortStats {
         self.inner.inner().abort_stats()
+    }
+
+    /// Survived slow-path panics and deadline expiries (see
+    /// [`ContentionSensitive::fault_stats`]).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.inner.fault_stats()
     }
 }
 

@@ -82,10 +82,7 @@ impl<T: Send, Q: HandleQueue> IndirectQueue<T, Q> {
     ///
     /// Hands `value` back when the queue is at capacity.
     pub fn enqueue(&self, proc: usize, value: T) -> Result<(), T> {
-        let handle = match self.slab.insert(value) {
-            Ok(h) => h,
-            Err(value) => return Err(value),
-        };
+        let handle = self.slab.insert(value)?;
         match self.handles.enqueue_handle(proc, handle) {
             EnqueueOutcome::Enqueued => Ok(()),
             EnqueueOutcome::Full => {

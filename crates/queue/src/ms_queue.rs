@@ -3,8 +3,8 @@
 use std::mem::MaybeUninit;
 use std::sync::atomic::Ordering;
 
-use crossbeam_epoch::{self as epoch, Atomic, Owned, Shared};
 use cso_core::ProgressCondition;
+use cso_memory::epoch::{self, Atomic, Owned, Shared};
 
 /// Michael & Scott's unbounded lock-free FIFO queue, the standard
 /// point of comparison for concurrent queues.

@@ -8,6 +8,7 @@ use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use cso_core::{Abortable, Aborted};
+use cso_memory::fail_point;
 use cso_memory::packed::{SlotWord, TopWord};
 use cso_memory::reg::Reg64;
 
@@ -105,7 +106,7 @@ impl<V: StackValue> AbortableStack<V> {
     pub fn new(capacity: usize) -> AbortableStack<V> {
         assert!(capacity > 0, "stack capacity must be positive");
         assert!(
-            capacity <= usize::from(u16::MAX) - 1,
+            capacity < usize::from(u16::MAX),
             "stack capacity must fit the 16-bit index field"
         );
         // TOP ← ⟨0, ⊥, 0⟩; STACK[0] ← ⟨⊥, −1⟩ (so the very first help,
@@ -190,6 +191,10 @@ impl<V: StackValue> AbortableStack<V> {
     /// Never aborts in a contention-free execution.
     pub fn weak_push(&self, value: V) -> Result<PushOutcome, Aborted> {
         self.push_attempts.fetch_add(1, Ordering::Relaxed);
+        fail_point!("stack::push", {
+            self.push_aborts.fetch_add(1, Ordering::Relaxed);
+            return Err(Aborted);
+        });
         // Line 01: (index, value, seqnb) ← TOP.
         let observed = TopWord::unpack(self.top.read());
         // Line 02: help the previous operation's pending write.
@@ -224,6 +229,10 @@ impl<V: StackValue> AbortableStack<V> {
     /// Never aborts in a contention-free execution.
     pub fn weak_pop(&self) -> Result<PopOutcome<V>, Aborted> {
         self.pop_attempts.fetch_add(1, Ordering::Relaxed);
+        fail_point!("stack::pop", {
+            self.pop_aborts.fetch_add(1, Ordering::Relaxed);
+            return Err(Aborted);
+        });
         // Line 08: (index, value, seqnb) ← TOP.
         let observed = TopWord::unpack(self.top.read());
         // Line 09: help the previous operation's pending write.
@@ -287,8 +296,8 @@ impl<V: StackValue> Abortable for AbortableStack<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cso_memory::backoff::XorShift64;
     use cso_memory::counting::CountScope;
-    use proptest::prelude::*;
 
     #[test]
     fn lifo_order_solo() {
@@ -473,36 +482,38 @@ mod tests {
         assert_eq!(distinct.len(), all.len(), "no duplicates");
     }
 
-    proptest! {
-        /// Solo differential test: the abortable stack agrees with the
-        /// sequential reference on arbitrary operation sequences.
-        #[test]
-        fn prop_matches_sequential_spec(ops in proptest::collection::vec(any::<Option<u16>>(), 0..200)) {
+    /// Solo differential test: the abortable stack agrees with the
+    /// sequential reference on randomized operation sequences.
+    #[test]
+    fn random_ops_match_sequential_spec() {
+        let mut rng = XorShift64::new(0xABBA_57AC);
+        for case in 0..256u64 {
+            let _ = case;
             let stack: AbortableStack<u16> = AbortableStack::new(16);
             let mut reference: Vec<u16> = Vec::new();
-            for op in ops {
-                match op {
-                    Some(v) => {
-                        let got = stack.weak_push(v).expect("solo never aborts");
-                        let want = if reference.len() == 16 {
-                            PushOutcome::Full
-                        } else {
-                            reference.push(v);
-                            PushOutcome::Pushed
-                        };
-                        prop_assert_eq!(got, want);
-                    }
-                    None => {
-                        let got = stack.weak_pop().expect("solo never aborts");
-                        let want = match reference.pop() {
-                            Some(v) => PopOutcome::Popped(v),
-                            None => PopOutcome::Empty,
-                        };
-                        prop_assert_eq!(got, want);
-                    }
+            let len = (rng.next_u64() % 200) as usize;
+            for _ in 0..len {
+                let word = rng.next_u64();
+                if word & 1 == 0 {
+                    let v = (word >> 1) as u16;
+                    let got = stack.weak_push(v).expect("solo never aborts");
+                    let want = if reference.len() == 16 {
+                        PushOutcome::Full
+                    } else {
+                        reference.push(v);
+                        PushOutcome::Pushed
+                    };
+                    assert_eq!(got, want);
+                } else {
+                    let got = stack.weak_pop().expect("solo never aborts");
+                    let want = match reference.pop() {
+                        Some(v) => PopOutcome::Popped(v),
+                        None => PopOutcome::Empty,
+                    };
+                    assert_eq!(got, want);
                 }
             }
-            prop_assert_eq!(stack.len(), reference.len());
+            assert_eq!(stack.len(), reference.len());
         }
     }
 }

@@ -1,6 +1,11 @@
 //! Figure 3: the contention-sensitive starvation-free stack.
 
-use cso_core::{Abortable, Aborted, ContentionSensitive, CsConfig, PathStats, ProgressCondition};
+use std::time::Duration;
+
+use cso_core::{
+    Abortable, Aborted, ContentionSensitive, CsConfig, FaultStats, PathStats, ProgressCondition,
+    TimedOut,
+};
 use cso_locks::{RawLock, TasLock};
 
 use crate::abortable::{AbortStats, AbortableStack};
@@ -99,6 +104,43 @@ impl<V: StackValue, L: RawLock> CsStack<V, L> {
         self.inner.apply(proc, &StackOp::Pop).expect_pop()
     }
 
+    /// Deadline-bounded [`CsStack::push`]: gives up with no effect if
+    /// the slow-path lock stays unavailable for `timeout` (e.g. wedged
+    /// by a crashed holder — the §5 failure mode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimedOut`] if the deadline expired first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc >= n`.
+    pub fn try_push_for(
+        &self,
+        proc: usize,
+        value: V,
+        timeout: Duration,
+    ) -> Result<PushOutcome, TimedOut> {
+        self.inner
+            .try_apply_for(proc, &StackOp::Push(value), timeout)
+            .map(|resp| resp.expect_push())
+    }
+
+    /// Deadline-bounded [`CsStack::pop`]; see [`CsStack::try_push_for`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimedOut`] if the deadline expired first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc >= n`.
+    pub fn try_pop_for(&self, proc: usize, timeout: Duration) -> Result<PopOutcome<V>, TimedOut> {
+        self.inner
+            .try_apply_for(proc, &StackOp::Pop, timeout)
+            .map(|resp| resp.expect_pop())
+    }
+
     /// The capacity fixed at construction.
     #[must_use]
     pub fn capacity(&self) -> usize {
@@ -137,6 +179,12 @@ impl<V: StackValue, L: RawLock> CsStack<V, L> {
     /// Attempt/abort counters of the underlying weak operations.
     pub fn abort_stats(&self) -> AbortStats {
         self.inner.inner().abort_stats()
+    }
+
+    /// Survived slow-path panics and deadline expiries (see
+    /// [`ContentionSensitive::fault_stats`]).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.inner.fault_stats()
     }
 }
 
@@ -255,11 +303,8 @@ mod tests {
         for h in handles {
             all.extend(h.join().unwrap());
         }
-        loop {
-            match stack.pop(0) {
-                PopOutcome::Popped(v) => all.push(v),
-                PopOutcome::Empty => break,
-            }
+        while let PopOutcome::Popped(v) = stack.pop(0) {
+            all.push(v);
         }
         assert_eq!(all.len(), (THREADS * PER_THREAD) as usize);
         let distinct: HashSet<u32> = all.iter().copied().collect();

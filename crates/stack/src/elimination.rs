@@ -15,9 +15,9 @@ use std::cell::{RefCell, UnsafeCell};
 use std::mem::ManuallyDrop;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crossbeam_epoch::{self as epoch, Atomic, Owned};
 use cso_core::ProgressCondition;
 use cso_memory::backoff::XorShift64;
+use cso_memory::epoch::{self, Atomic, Owned};
 
 // Exchange-slot states (low 32 bits of the packed word; high 32 = tag).
 const EMPTY: u32 = 0;
@@ -139,9 +139,8 @@ impl<T: Send> EliminationStack<T> {
     /// is observed empty.
     pub fn pop(&self) -> Option<T> {
         loop {
-            match self.try_pop() {
-                Ok(result) => return result,
-                Err(()) => {}
+            if let Ok(result) = self.try_pop() {
+                return result;
             }
             if let Some(value) = self.try_eliminate_pop() {
                 return Some(value);

@@ -96,11 +96,9 @@ impl<T: Send, S: HandleStack> IndirectStack<T, S> {
     ///
     /// Hands `value` back when the stack is at capacity.
     pub fn push(&self, proc: usize, value: T) -> Result<(), T> {
-        // Stage the payload, then publish the handle.
-        let handle = match self.slab.insert(value) {
-            Ok(h) => h,
-            Err(value) => return Err(value), // slab full ⇒ stack full + max pushers staged
-        };
+        // Stage the payload, then publish the handle. A full slab means
+        // the stack is full with the maximum number of pushers staged.
+        let handle = self.slab.insert(value)?;
         match self.handles.push_handle(proc, handle) {
             PushOutcome::Pushed => Ok(()),
             PushOutcome::Full => {

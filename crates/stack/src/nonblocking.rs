@@ -163,11 +163,8 @@ mod tests {
                 let stack = Arc::clone(&stack);
                 std::thread::spawn(move || {
                     let mut got = Vec::new();
-                    loop {
-                        match stack.pop() {
-                            PopOutcome::Popped(v) => got.push(v),
-                            PopOutcome::Empty => break,
-                        }
+                    while let PopOutcome::Popped(v) = stack.pop() {
+                        got.push(v);
                     }
                     got
                 })

@@ -3,15 +3,15 @@
 use std::mem::ManuallyDrop;
 use std::sync::atomic::Ordering;
 
-use crossbeam_epoch::{self as epoch, Atomic, Owned};
 use cso_core::ProgressCondition;
+use cso_memory::epoch::{self, Atomic, Owned};
 
 /// Treiber's stack: an unbounded lock-free linked stack, the standard
 /// point of comparison for concurrent stacks.
 ///
 /// Unlike the paper's array-based algorithms it allocates a node per
 /// element and needs safe memory reclamation (provided here by
-/// epoch-based reclamation, `crossbeam-epoch`) — which is exactly the
+/// epoch-based reclamation, `cso_memory::epoch`) — which is exactly the
 /// machinery the paper's array + sequence-number design avoids.
 /// Non-blocking (lock-free), not starvation-free.
 ///

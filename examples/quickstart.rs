@@ -4,7 +4,7 @@
 
 use cso::core::Aborted;
 use cso::memory::counting::CountScope;
-use cso::stack::{AbortableStack, CsStack, NonBlockingStack, PopOutcome, PushOutcome};
+use cso::stack::{AbortableStack, CsStack, NonBlockingStack, PopOutcome};
 
 fn main() {
     // ------------------------------------------------------------
@@ -24,8 +24,8 @@ fn main() {
     assert_eq!(weak.weak_pop(), Ok(PopOutcome::Empty)); // an answer, not an abort
 
     // The ⊥ value is a real error type:
-    let bot: Result<PushOutcome, Aborted> = Err(Aborted);
-    println!("the bottom value renders as: {}", bot.unwrap_err());
+    let bot: Aborted = Aborted;
+    println!("the bottom value renders as: {bot}");
 
     // ------------------------------------------------------------
     // Layer 2 — Figure 2: retry ⊥ until a definitive answer. The

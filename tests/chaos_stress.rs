@@ -1,0 +1,323 @@
+//! Chaos stress harness (`--features chaos`): arm the fail points in
+//! the weak operations, the transformation, and the locks, then check
+//! that the contention-sensitive objects stay **linearizable** and
+//! **conserve values** while faults fire.
+//!
+//! This is the integration half of the fault-injection subsystem: the
+//! fail points simulate abort storms, perturbed schedules, and §5-style
+//! crashes at adversarial program points, and cso-lincheck's Wing–Gong
+//! checker plus conservation accounting prove the degradation is
+//! graceful — slower paths, never wrong answers.
+
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+use cso::deque::{CsDeque, DequeOp, DequePopOutcome, DequePushOutcome, End, SeqDeque};
+use cso::lincheck::checker::check_linearizable;
+use cso::lincheck::recorder::Recorder;
+use cso::lincheck::spec::SeqSpec;
+use cso::lincheck::specs::queue::{QueueSpec, SpecQueueOp, SpecQueueResp};
+use cso::lincheck::specs::stack::{SpecStackOp, SpecStackResp, StackSpec};
+use cso::memory::chaos::{self, Fault, Plan};
+use cso::queue::{CsQueue, DequeueOutcome, EnqueueOutcome};
+use cso::stack::{CsStack, PopOutcome, PushOutcome};
+
+// The chaos registry is process-global: serialize the scenarios.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const THREADS: usize = 3;
+const OPS: usize = 7;
+
+#[test]
+fn cs_stack_linearizes_under_weak_op_abort_storm() {
+    let _serial = serial();
+    chaos::reset();
+    // Aborts in the weak push/pop (pathological interference), vetoes
+    // of the fast path, and yields inside the TAS lock.
+    chaos::arm_plan("stack::push", Plan::one_in(Fault::SpuriousAbort, 3));
+    chaos::arm_plan("stack::pop", Plan::one_in(Fault::SpuriousAbort, 3));
+    chaos::arm_plan("cs::fast", Plan::one_in(Fault::SpuriousAbort, 4));
+    chaos::arm_plan("tas::acquire", Plan::one_in(Fault::Yield, 2));
+
+    let spec = StackSpec::new(4);
+    for round in 0..40 {
+        let stack: CsStack<u32> = CsStack::new(4, THREADS);
+        let recorder: Recorder<SpecStackOp, SpecStackResp> = Recorder::new();
+        std::thread::scope(|s| {
+            for proc in 0..THREADS {
+                let stack = &stack;
+                let recorder = recorder.clone();
+                s.spawn(move || {
+                    for i in 0..OPS {
+                        if (proc * 31 + i * 17 + round) % 3 != 0 {
+                            let v = (round * 100 + proc * OPS + i) as u32;
+                            recorder.invoke(proc, SpecStackOp::Push(v));
+                            let resp = match stack.push(proc, v) {
+                                PushOutcome::Pushed => SpecStackResp::Pushed,
+                                PushOutcome::Full => SpecStackResp::Full,
+                            };
+                            recorder.ret(proc, resp);
+                        } else {
+                            recorder.invoke(proc, SpecStackOp::Pop);
+                            let resp = match stack.pop(proc) {
+                                PopOutcome::Popped(v) => SpecStackResp::Popped(v),
+                                PopOutcome::Empty => SpecStackResp::Empty,
+                            };
+                            recorder.ret(proc, resp);
+                        }
+                    }
+                });
+            }
+        });
+        let history = recorder.finish();
+        assert!(
+            check_linearizable(&spec, &history).is_linearizable(),
+            "round {round} under chaos:\n{history}"
+        );
+    }
+    assert!(
+        chaos::fires("stack::push") > 0 && chaos::fires("stack::pop") > 0,
+        "the storm never fired — the harness tested nothing"
+    );
+    chaos::reset();
+}
+
+#[test]
+fn cs_queue_conserves_values_under_chaos() {
+    let _serial = serial();
+    chaos::reset();
+    chaos::arm_plan("queue::enqueue", Plan::one_in(Fault::SpuriousAbort, 3));
+    chaos::arm_plan("queue::dequeue", Plan::one_in(Fault::SpuriousAbort, 3));
+    chaos::arm_plan(
+        "cs::lock-wait",
+        Plan::one_in(Fault::Delay(Duration::from_micros(20)), 4),
+    );
+
+    const WORKERS: u32 = 4;
+    const PER_THREAD: u32 = 400;
+    let queue: CsQueue<u32> = CsQueue::new(4096, WORKERS as usize);
+    let mut all: Vec<u32> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|t| {
+                let queue = &queue;
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    for i in 0..PER_THREAD {
+                        assert_eq!(
+                            queue.enqueue(t as usize, t * PER_THREAD + i),
+                            EnqueueOutcome::Enqueued
+                        );
+                        if let DequeueOutcome::Dequeued(v) = queue.dequeue(t as usize) {
+                            got.push(v);
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    while let DequeueOutcome::Dequeued(v) = queue.dequeue(0) {
+        all.push(v);
+    }
+    // Conservation: every value enqueued exactly once came out exactly
+    // once, spurious aborts notwithstanding.
+    assert_eq!(all.len(), (WORKERS * PER_THREAD) as usize);
+    assert_eq!(all.iter().collect::<HashSet<_>>().len(), all.len());
+    assert!(chaos::fires("queue::enqueue") > 0);
+    chaos::reset();
+}
+
+#[test]
+fn cs_queue_linearizes_under_chaos() {
+    let _serial = serial();
+    chaos::reset();
+    chaos::arm_plan("queue::enqueue", Plan::one_in(Fault::SpuriousAbort, 3));
+    chaos::arm_plan("queue::dequeue", Plan::one_in(Fault::SpuriousAbort, 3));
+    chaos::arm_plan("sfree::wait", Plan::one_in(Fault::Yield, 2));
+
+    let spec = QueueSpec::new(4);
+    for round in 0..40 {
+        let queue: CsQueue<u32> = CsQueue::new(4, THREADS);
+        let recorder: Recorder<SpecQueueOp, SpecQueueResp> = Recorder::new();
+        std::thread::scope(|s| {
+            for proc in 0..THREADS {
+                let queue = &queue;
+                let recorder = recorder.clone();
+                s.spawn(move || {
+                    for i in 0..OPS {
+                        if (proc * 13 + i * 7 + round) % 3 != 0 {
+                            let v = (round * 100 + proc * OPS + i) as u32;
+                            recorder.invoke(proc, SpecQueueOp::Enqueue(v));
+                            let resp = match queue.enqueue(proc, v) {
+                                EnqueueOutcome::Enqueued => SpecQueueResp::Enqueued,
+                                EnqueueOutcome::Full => SpecQueueResp::Full,
+                            };
+                            recorder.ret(proc, resp);
+                        } else {
+                            recorder.invoke(proc, SpecQueueOp::Dequeue);
+                            let resp = match queue.dequeue(proc) {
+                                DequeueOutcome::Dequeued(v) => SpecQueueResp::Dequeued(v),
+                                DequeueOutcome::Empty => SpecQueueResp::Empty,
+                            };
+                            recorder.ret(proc, resp);
+                        }
+                    }
+                });
+            }
+        });
+        let history = recorder.finish();
+        assert!(
+            check_linearizable(&spec, &history).is_linearizable(),
+            "round {round}: queue history not linearizable under chaos"
+        );
+    }
+    chaos::reset();
+}
+
+/// The linear-HLM deque specification (see tests/deque_lincheck.rs).
+struct DequeSpec {
+    capacity: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DequeResp {
+    Pushed,
+    Full,
+    Popped(u32),
+    Empty,
+}
+
+impl SeqSpec for DequeSpec {
+    type State = SeqDeque<u32>;
+    type Op = DequeOp<u32>;
+    type Resp = DequeResp;
+
+    fn initial(&self) -> SeqDeque<u32> {
+        SeqDeque::new(self.capacity)
+    }
+
+    fn apply(&self, state: &SeqDeque<u32>, op: &DequeOp<u32>) -> (SeqDeque<u32>, DequeResp) {
+        let mut next = state.clone();
+        let resp = match op {
+            DequeOp::Push(end, v) => match next.push(*end, *v) {
+                DequePushOutcome::Pushed => DequeResp::Pushed,
+                DequePushOutcome::Full => DequeResp::Full,
+            },
+            DequeOp::Pop(end) => match next.pop(*end) {
+                DequePopOutcome::Popped(v) => DequeResp::Popped(v),
+                DequePopOutcome::Empty => DequeResp::Empty,
+            },
+        };
+        (next, resp)
+    }
+}
+
+#[test]
+fn cs_deque_linearizes_under_weak_op_abort_storm() {
+    let _serial = serial();
+    chaos::reset();
+    chaos::arm_plan("deque::push", Plan::one_in(Fault::SpuriousAbort, 3));
+    chaos::arm_plan("deque::pop", Plan::one_in(Fault::SpuriousAbort, 3));
+
+    let spec = DequeSpec { capacity: 4 };
+    for round in 0..30 {
+        let deque: CsDeque<u32> = CsDeque::new(4, THREADS);
+        let recorder: Recorder<DequeOp<u32>, DequeResp> = Recorder::new();
+        std::thread::scope(|s| {
+            for proc in 0..THREADS {
+                let deque = &deque;
+                let recorder = recorder.clone();
+                s.spawn(move || {
+                    for i in 0..OPS {
+                        let end = if (proc + i + round) % 2 == 0 {
+                            End::Left
+                        } else {
+                            End::Right
+                        };
+                        if (proc * 31 + i * 17 + round) % 3 != 0 {
+                            let v = (round * 100 + proc * OPS + i) as u32;
+                            recorder.invoke(proc, DequeOp::Push(end, v));
+                            let resp = match deque.push(proc, end, v) {
+                                DequePushOutcome::Pushed => DequeResp::Pushed,
+                                DequePushOutcome::Full => DequeResp::Full,
+                            };
+                            recorder.ret(proc, resp);
+                        } else {
+                            recorder.invoke(proc, DequeOp::Pop(end));
+                            let resp = match deque.pop(proc, end) {
+                                DequePopOutcome::Popped(v) => DequeResp::Popped(v),
+                                DequePopOutcome::Empty => DequeResp::Empty,
+                            };
+                            recorder.ret(proc, resp);
+                        }
+                    }
+                });
+            }
+        });
+        let history = recorder.finish();
+        assert!(
+            check_linearizable(&spec, &history).is_linearizable(),
+            "round {round}: deque history not linearizable under chaos"
+        );
+    }
+    chaos::reset();
+}
+
+/// A §5-style crash (panic while holding the slow-path lock) in the
+/// middle of a stack workload: the victim's operation vanishes without
+/// effect, everyone else finishes, and the surviving contents are
+/// exactly the successfully pushed values.
+#[test]
+fn panic_in_stack_slow_path_preserves_conservation() {
+    let _serial = serial();
+    chaos::reset();
+    let stack: CsStack<u32> = CsStack::new(64, 3);
+    for v in 1..=10 {
+        assert_eq!(stack.push(0, v), PushOutcome::Pushed);
+    }
+
+    // Veto the fast path once so the next push goes under the lock,
+    // then kill it there.
+    chaos::arm_plan("cs::fast", Plan::once(Fault::SpuriousAbort));
+    chaos::arm_plan("cs::locked", Plan::once(Fault::Panic));
+    let poisoned = catch_unwind(AssertUnwindSafe(|| stack.push(1, 999)));
+    assert!(poisoned.is_err(), "the injected panic must surface");
+    assert_eq!(stack.fault_stats().poisoned, 1);
+
+    // The object heals: concurrent threads drain it completely.
+    let mut drained: Vec<u32> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..3)
+            .map(|proc| {
+                let stack = &stack;
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    while let PopOutcome::Popped(v) = stack.pop(proc) {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    drained.sort_unstable();
+    assert_eq!(
+        drained,
+        (1..=10).collect::<Vec<u32>>(),
+        "999 must not leak in"
+    );
+    chaos::reset();
+}

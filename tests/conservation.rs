@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use cso::queue::{CsQueue, DequeueOutcome, EnqueueOutcome, MsQueue, NonBlockingQueue};
 use cso::stack::{
-    CsStack, EliminationStack, LockStack, NonBlockingStack, PopOutcome, PushOutcome, TreiberStack,
+    CsStack, EliminationStack, LockStack, NonBlockingStack, PushOutcome, TreiberStack,
 };
 
 const THREADS: u32 = 4;

@@ -1,4 +1,4 @@
-//! Property-based differential testing: every implementation, driven
+//! Randomized differential testing: every implementation, driven
 //! solo with arbitrary operation sequences, must agree exactly with
 //! the sequential reference (`SeqStack` / `SeqQueue`).
 //!
@@ -6,7 +6,7 @@
 //! sequentially" half of the abortable-object definition (§1.2),
 //! checked across the whole family at once.
 
-use proptest::prelude::*;
+use cso::memory::backoff::XorShift64;
 
 use cso::queue::{
     AbortableQueue, CsQueue, DequeueOutcome, EnqueueOutcome, LockQueue, MsQueue, NonBlockingQueue,
@@ -93,13 +93,24 @@ impl AnyStack {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Draws a random op sequence: `Some(v)` = push/enqueue, `None` = pop.
+fn random_ops(rng: &mut XorShift64, max_len: u64) -> Vec<Option<u16>> {
+    let len = rng.next_u64() % max_len;
+    (0..len)
+        .map(|_| {
+            let word = rng.next_u64();
+            (word & 1 == 0).then_some((word >> 1) as u16)
+        })
+        .collect()
+}
 
-    #[test]
-    fn all_stacks_agree_with_the_sequential_reference(
-        ops in proptest::collection::vec(any::<Option<u16>>(), 0..120)
-    ) {
+const CASES: usize = 64;
+
+#[test]
+fn all_stacks_agree_with_the_sequential_reference() {
+    let mut rng = XorShift64::new(0xD1FF_57AC);
+    for _ in 0..CASES {
+        let ops = random_ops(&mut rng, 120);
         for stack in AnyStack::all() {
             let mut reference: SeqStack<u16> = SeqStack::new(CAPACITY);
             for op in &ops {
@@ -110,12 +121,12 @@ proptest! {
                         }
                         let got = stack.push(*v);
                         let want = reference.push(*v);
-                        prop_assert_eq!(got, want, "{} push", stack.name());
+                        assert_eq!(got, want, "{} push", stack.name());
                     }
                     None => {
                         let got = stack.pop();
                         let want = reference.pop();
-                        prop_assert_eq!(got, want, "{} pop", stack.name());
+                        assert_eq!(got, want, "{} pop", stack.name());
                     }
                 }
             }
@@ -184,13 +195,11 @@ impl AnyQueue {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn all_queues_agree_with_the_sequential_reference(
-        ops in proptest::collection::vec(any::<Option<u16>>(), 0..120)
-    ) {
+#[test]
+fn all_queues_agree_with_the_sequential_reference() {
+    let mut rng = XorShift64::new(0xD1FF_0EFE);
+    for _ in 0..CASES {
+        let ops = random_ops(&mut rng, 120);
         for queue in AnyQueue::all() {
             let mut reference: SeqQueue<u16> = SeqQueue::new(CAPACITY);
             for op in &ops {
@@ -201,12 +210,12 @@ proptest! {
                         }
                         let got = queue.enqueue(*v);
                         let want = reference.enqueue(*v);
-                        prop_assert_eq!(got, want, "{} enqueue", queue.name());
+                        assert_eq!(got, want, "{} enqueue", queue.name());
                     }
                     None => {
                         let got = queue.dequeue();
                         let want = reference.dequeue();
-                        prop_assert_eq!(got, want, "{} dequeue", queue.name());
+                        assert_eq!(got, want, "{} dequeue", queue.name());
                     }
                 }
             }

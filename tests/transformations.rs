@@ -15,12 +15,10 @@ fn figure2_over_the_queue() {
     // The paper instantiates Figure 2 for the stack; the
     // transformation is object-agnostic.
     let nb = NonBlocking::new(AbortableQueue::<u32>::new(8));
-    assert_eq!(
-        nb.apply(&QueueOp::Enqueue(5))
-            .expect_enqueue()
-            .is_enqueued(),
-        true
-    );
+    assert!(nb
+        .apply(&QueueOp::Enqueue(5))
+        .expect_enqueue()
+        .is_enqueued());
     match nb.apply(&QueueOp::Dequeue) {
         QueueResponse::Dequeue(out) => assert_eq!(out.into_option(), Some(5)),
         QueueResponse::Enqueue(_) => unreachable!(),
