@@ -21,9 +21,11 @@ use std::time::Duration;
 use cso_bench::adapters::{drive_stack, prefill_stack, CsAdapter};
 use cso_bench::cell_duration;
 use cso_bench::report::{fmt_pct, fmt_rate, Table};
+use cso_bench::tracing::{drive_stack_timed, poisoning_causes, PathHists};
 use cso_bench::workload::OpMix;
 use cso_memory::chaos::{self, Fault, Plan};
 use cso_stack::{CsStack, PopOutcome, PushOutcome};
+use cso_trace::probe;
 
 const THREADS: usize = 4;
 
@@ -164,7 +166,26 @@ fn stall_and_deadline(table: &mut Table) {
     ]);
 }
 
+/// Per-path operation latency under an abort storm: the "veto" cell
+/// again, but timing every operation into the histogram of the path it
+/// completed on. Without `--features trace` the completion path is
+/// unknown and every sample lands in the `unknown` row.
+fn latency_cell() {
+    let adapter = CsAdapter(CsStack::new(8192, THREADS));
+    prefill_stack(&adapter, 4096);
+    chaos::arm_plan("cs::fast", Plan::one_in(Fault::SpuriousAbort, 8));
+    let hists = PathHists::new();
+    let _ = drive_stack_timed(&adapter, THREADS, cell_duration(), OpMix::BALANCED, &hists);
+    chaos::reset();
+    println!("\nPer-path operation latency, veto 1/8 fast paths:");
+    hists.table().print();
+}
+
 fn main() {
+    // Mirror every fail-point fire into the probe stream (no-op
+    // without `--features trace`), so the trace can name the fail
+    // point behind each poisoning.
+    cso_trace::install_chaos_hook();
     println!("E10: graceful degradation of the cs-stack under injected faults");
     println!(
         "({THREADS} threads, 50/50 mix, {} ms per timed cell)\n",
@@ -204,10 +225,23 @@ fn main() {
     stall_and_deadline(&mut table);
 
     table.print();
+    latency_cell();
+
+    if probe::enabled() {
+        let causes = poisoning_causes(&probe::collect());
+        if !causes.is_empty() {
+            println!("\nPoisonings by causal fail point:");
+            for (site, count) in causes {
+                println!("  {site:<24} {count}");
+            }
+        }
+    }
+
     println!("\nReading the table:");
     println!("- abort storms move work onto the lock path; throughput bends, answers stay right;");
     println!("- every `poisoned` is a panic survived *inside* the critical section — the guard");
     println!("  released the lock and restored CONTENTION, and the drain confirmed conservation;");
     println!("- `timeouts` are the §5 wedge made visible: try_push_for reports TimedOut instead");
     println!("  of hanging, and service resumes once the stall clears.");
+    cso_bench::tracing::emit("e10_chaos");
 }

@@ -192,4 +192,5 @@ fn main() {
     println!("\nNote: the paper's §1.2 announces \"seven\" accesses for the stack while");
     println!("Theorem 1 proves six; the measured six matches the theorem. The seven");
     println!("matches Lamport's fast mutex (ref [16]), measured above.");
+    cso_bench::tracing::emit("e1_access_counts");
 }

@@ -123,4 +123,5 @@ fn main() {
     table.print();
     println!("\nExpected shape: 0% solo, growing with the number of interleaved");
     println!("processes — ⊥ is the price of contention, and only of contention.");
+    cso_bench::tracing::emit("e2_abort_rate");
 }

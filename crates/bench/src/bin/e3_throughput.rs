@@ -44,4 +44,5 @@ fn main() {
     println!("clusters together and beats the lock(...) rows; under contention the");
     println!("cs-stack must stay within the lock-free cluster (its lock engages only");
     println!("when operations actually interfere).");
+    cso_bench::tracing::emit("e3_throughput");
 }

@@ -108,4 +108,5 @@ fn main() {
     table.print();
     println!("\nContention-sensitivity, quantified: the lock engages exactly as often");
     println!("as operations actually interfere.");
+    cso_bench::tracing::emit("e4_lock_fraction");
 }

@@ -48,4 +48,5 @@ fn main() {
     println!("\nExpected shape: cs-stack and lock(ticket) (both starvation-free) hold");
     println!("the tightest max/min; nb-stack, lock(tas) and cs/unfair may starve a");
     println!("thread under pressure.");
+    cso_bench::tracing::emit("e5_fairness");
 }

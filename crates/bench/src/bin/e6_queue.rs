@@ -89,4 +89,5 @@ fn main() {
     table.print();
     println!("\nThe `enqueuer + dequeuer` row must read 0.00%: enqueue CASes only TAIL,");
     println!("dequeue only HEAD — the paper's non-interfering operations, realized.");
+    cso_bench::tracing::emit("e6_queue");
 }

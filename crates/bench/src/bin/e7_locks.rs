@@ -96,4 +96,5 @@ fn main() {
     println!("\nExpected shape: the §4.4 booster trades some raw rate for fairness —");
     println!("its max/min must be far tighter than bare tas; queue locks (ticket,");
     println!("clh, mcs) are fair by construction.");
+    cso_bench::tracing::emit("e7_locks");
 }

@@ -74,4 +74,5 @@ fn main() {
     println!("contention gate; cs/unfair keeps the fast path but lets the slow path");
     println!("starve threads (max/min, jain). The paper configuration is the");
     println!("balanced point: 6 solo accesses, gated fallback, starvation-free.");
+    cso_bench::tracing::emit("e8_ablation");
 }

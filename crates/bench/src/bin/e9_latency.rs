@@ -79,4 +79,5 @@ fn main() {
     println!("implementation via preemption; the paper's claim is about the *fast");
     println!("path* staying lock-free — compare each impl's contended tail against");
     println!("its own solo tail.");
+    cso_bench::tracing::emit("e9_latency");
 }

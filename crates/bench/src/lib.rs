@@ -16,9 +16,15 @@
 //! | `e6_queue` | queue family + non-interference |
 //! | `e7_locks` | lock substrate comparison + §4.4 booster |
 //! | `e8_ablation` | Figure 3 mechanism ablations |
+//! | `e9_latency` | per-operation latency tails |
+//! | `e10_chaos` | graceful degradation under injected faults |
+//!
+//! With `--features trace` every binary also collects the probe event
+//! stream and exports it (see [`tracing`]).
 //!
 //! Environment knobs: `CSO_BENCH_MS` (milliseconds per measured cell,
-//! default 300), `CSO_MAX_THREADS` (default 8).
+//! default 300), `CSO_MAX_THREADS` (default 8), `CSO_TRACE_OUT`
+//! (Chrome trace output path).
 
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
@@ -27,6 +33,7 @@ pub mod adapters;
 pub mod measure;
 pub mod microbench;
 pub mod report;
+pub mod tracing;
 pub mod workload;
 
 use std::time::Duration;

@@ -1,0 +1,245 @@
+//! Trace capture for the experiment binaries.
+//!
+//! Every `e*` binary finishes by calling [`emit`], which is a no-op in
+//! untraced builds and, under `--features trace`, prints the event
+//! summary table and writes a Chrome `trace_event` JSON next to the
+//! target directory (open it in `chrome://tracing` or
+//! <https://ui.perfetto.dev>). [`PathHists`] adds the per-path latency
+//! dimension: each operation's wall time lands in the histogram of the
+//! Figure 3 path it actually completed on, as reported by
+//! [`cso_trace::probe::last_path`].
+//!
+//! Environment knobs: `CSO_TRACE_OUT` overrides the JSON output path
+//! (default `target/trace/<bin>.json`).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use cso_trace::export;
+use cso_trace::hist::{HistSnapshot, LogHistogram};
+use cso_trace::probe::{self, Event, Path, Trace};
+
+use crate::report::Table;
+
+/// Latency histograms keyed by the completion path of each operation.
+///
+/// [`PathHists::time`] wraps one operation: the sample is recorded
+/// into `fast` or `locked` when the probe layer knows which path the
+/// operation completed on, and into `unknown` otherwise (untraced
+/// build, a non-path-reporting implementation, or a timed-out
+/// invocation). All three histograms are concurrent — one `PathHists`
+/// can serve every worker thread of a driver.
+#[derive(Default)]
+pub struct PathHists {
+    /// Operations that completed on the lock-free fast path.
+    pub fast: LogHistogram,
+    /// Operations that completed under the lock.
+    pub locked: LogHistogram,
+    /// Operations whose path the probe layer could not attribute.
+    pub unknown: LogHistogram,
+}
+
+impl PathHists {
+    /// Three empty histograms.
+    #[must_use]
+    pub fn new() -> PathHists {
+        PathHists::default()
+    }
+
+    /// Times `op` and records the sample in the histogram of the path
+    /// it completed on. Returns `op`'s result.
+    pub fn time<R>(&self, op: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = op();
+        let elapsed = start.elapsed();
+        match probe::last_path() {
+            Some(Path::Fast) => self.fast.record(elapsed),
+            Some(Path::Locked) => self.locked.record(elapsed),
+            None => self.unknown.record(elapsed),
+        }
+        out
+    }
+
+    /// Renders the non-empty histograms as a `path × percentile`
+    /// table (ns with adaptive units).
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(&["path", "ops", "mean", "p50", "p90", "p99", "max"]);
+        for (label, hist) in [
+            ("fast", &self.fast),
+            ("locked", &self.locked),
+            ("unknown", &self.unknown),
+        ] {
+            if hist.is_empty() {
+                continue;
+            }
+            let s = hist.snapshot();
+            table.row(vec![
+                label.to_owned(),
+                s.count.to_string(),
+                HistSnapshot::fmt_ns(s.mean_ns),
+                HistSnapshot::fmt_ns(s.p50_ns),
+                HistSnapshot::fmt_ns(s.p90_ns),
+                HistSnapshot::fmt_ns(s.p99_ns),
+                HistSnapshot::fmt_ns(s.max_ns),
+            ]);
+        }
+        table
+    }
+
+    /// True when nothing has been timed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fast.is_empty() && self.locked.is_empty() && self.unknown.is_empty()
+    }
+}
+
+/// [`crate::adapters::drive_stack`] with per-operation timing: every
+/// operation's latency lands in `hists` under the path it completed
+/// on. Slower than the untimed driver (two `Instant` reads per op) —
+/// use it for the dedicated latency cells, not the throughput sweeps.
+pub fn drive_stack_timed(
+    stack: &dyn crate::adapters::BenchStack,
+    threads: usize,
+    duration: std::time::Duration,
+    mix: crate::workload::OpMix,
+    hists: &PathHists,
+) -> crate::measure::RunResult {
+    use std::sync::atomic::Ordering;
+    crate::measure::timed_run(threads, duration, |thread, stop| {
+        let mut rng = crate::workload::thread_rng(thread, 0xBEEF);
+        let mut ops = 0u64;
+        let mut value = thread as u32;
+        while !stop.load(Ordering::Relaxed) {
+            if mix.next_is_push(&mut rng) {
+                hists.time(|| stack.push(thread, value));
+                value = value.wrapping_add(threads as u32);
+            } else {
+                hists.time(|| stack.pop(thread));
+            }
+            ops += 1;
+        }
+        ops
+    })
+}
+
+/// Attributes each survived poisoning to the chaos fail point that
+/// caused it: for every [`Event::SlowPoisoned`], the nearest preceding
+/// [`Event::FailPoint`] *on the same thread* is charged. Returns
+/// `(site, poisonings)` rows, descending by count. Requires
+/// [`cso_trace::install_chaos_hook`] to have been installed before the
+/// run (otherwise no fail-point events exist and every poisoning is
+/// charged to `"<unattributed>"`).
+#[must_use]
+pub fn poisoning_causes(trace: &Trace) -> Vec<(&'static str, u64)> {
+    let mut counts: Vec<(&'static str, u64)> = Vec::new();
+    let mut bump = |site: &'static str| match counts.iter_mut().find(|(s, _)| *s == site) {
+        Some((_, n)) => *n += 1,
+        None => counts.push((site, 1)),
+    };
+    for (i, e) in trace.events.iter().enumerate() {
+        if e.event != Event::SlowPoisoned {
+            continue;
+        }
+        let cause = trace.events[..i]
+            .iter()
+            .rev()
+            .filter(|c| c.thread == e.thread)
+            .find_map(|c| match c.event {
+                Event::FailPoint(site) => Some(site),
+                _ => None,
+            });
+        bump(cause.unwrap_or("<unattributed>"));
+    }
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+    counts
+}
+
+/// Ends a traced experiment: prints the event summary and writes the
+/// Chrome `trace_event` JSON for `bin` (to `CSO_TRACE_OUT`, or
+/// `target/trace/<bin>.json`). Completely silent when probes are not
+/// recording (untraced build or [`probe::set_enabled`]`(false)`),
+/// so every binary can call this unconditionally.
+pub fn emit(bin: &str) {
+    if !probe::enabled() {
+        return;
+    }
+    let trace = probe::collect();
+    println!();
+    print!("{}", export::summary(&trace));
+    let path = std::env::var_os("CSO_TRACE_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/trace").join(format!("{bin}.json")));
+    if let Some(dir) = path.parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("trace: cannot create {}: {e}", dir.display());
+            return;
+        }
+    }
+    match std::fs::write(&path, export::chrome_trace_json(&trace)) {
+        Ok(()) => println!(
+            "chrome trace: {} ({} events) — open in chrome://tracing or ui.perfetto.dev",
+            path.display(),
+            trace.events.len()
+        ),
+        Err(e) => eprintln!("trace: cannot write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cso_trace::probe::TraceEvent;
+
+    #[test]
+    fn path_hists_time_and_render() {
+        let hists = PathHists::new();
+        assert!(hists.is_empty());
+        let out = hists.time(|| 7);
+        assert_eq!(out, 7);
+        assert!(!hists.is_empty());
+        // Without the trace feature the sample is unattributed; with
+        // it, no completion probe fired inside the closure, so it is
+        // unattributed (or charged to this test thread's previous
+        // completion) either way — the table must still render.
+        let rendered = hists.table().render();
+        assert!(rendered.contains("path"));
+    }
+
+    #[test]
+    fn poisoning_attribution_charges_same_thread_fail_point() {
+        let ev = |thread, seq, event| TraceEvent {
+            thread,
+            seq,
+            wall_ns: seq,
+            event,
+        };
+        let trace = Trace {
+            events: vec![
+                ev(0, 0, Event::FailPoint("cs::locked")),
+                ev(1, 1, Event::FailPoint("stack::push")),
+                ev(0, 2, Event::SlowPoisoned),
+                ev(1, 3, Event::SlowPoisoned),
+                ev(2, 4, Event::SlowPoisoned),
+            ],
+            dropped: 0,
+        };
+        assert_eq!(
+            poisoning_causes(&trace),
+            vec![("<unattributed>", 1), ("cs::locked", 1), ("stack::push", 1),]
+        );
+    }
+
+    #[test]
+    fn emit_is_silent_when_not_recording() {
+        // In untraced builds enabled() is always false; in traced test
+        // builds, pause recording so emit() must take the silent path.
+        let was = probe::enabled();
+        probe::set_enabled(false);
+        emit("tracing-test");
+        if was {
+            probe::set_enabled(true);
+        }
+        assert!(!std::path::Path::new("target/trace/tracing-test.json").exists());
+    }
+}

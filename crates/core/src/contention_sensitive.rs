@@ -13,7 +13,8 @@
 //!   are survived: an RAII guard restores `CONTENTION`, lowers
 //!   `FLAG[i]`, hands `TURN` on, and releases the lock during unwind,
 //!   so other processes keep completing (see
-//!   [`ContentionSensitive::fault_stats`] for the poisoning record);
+//!   [`ContentionSensitive::telemetry`] for the poisoning record
+//!   alongside the path counters);
 //! * **unbounded waits** on a genuinely wedged lock are made
 //!   reportable by the deadline-bounded
 //!   [`ContentionSensitive::try_apply_for`].
@@ -25,6 +26,7 @@ use cso_locks::{ProcLock, RawLock, StarvationFree};
 use cso_memory::backoff::{Deadline, Spinner};
 use cso_memory::fail_point;
 use cso_memory::reg::RegBool;
+use cso_trace::{probe, Event};
 
 use crate::abortable::Abortable;
 use crate::error::TimedOut;
@@ -111,6 +113,72 @@ pub struct FaultStats {
     pub timeouts: u64,
 }
 
+/// Documented upper bound on the shared-memory accesses of a **solo,
+/// uncontended slow-path** invocation with the paper configuration and
+/// a TAS-class inner lock, counting only the transformation's own
+/// accesses (not the wrapped object's weak operation):
+///
+/// | lines | accesses |
+/// |---|---|
+/// | 01 (`CONTENTION` read) | 1 |
+/// | 04–06 (`FLAG[i]` write, `TURN` read, `FLAG[TURN]` read, lock TAS) | 4 |
+/// | 07 + 09 (`CONTENTION` write ×2) | 2 |
+/// | 10–12 (`FLAG[i]` write, `TURN` read, `FLAG[TURN]` read, `TURN` write, unlock write) | 5 |
+///
+/// Total 12, documented here with one access of headroom (a lock
+/// whose release re-reads state, e.g. ticket, may add it). Contended
+/// invocations wait, so their access count is unbounded in general —
+/// this bound is the *floor* cost of taking the lock at all, the
+/// number Theorem 1's "six accesses, no lock" fast path is avoiding.
+/// Guarded by a regression test (`locked_path_stays_within_bound`).
+pub const LOCKED_SOLO_ACCESS_BOUND: u64 = 13;
+
+/// One snapshot of both statistics families, taken together.
+///
+/// The two families partition *finished invocations* between them:
+/// [`PathStats`] counts the invocations that **completed** (returned a
+/// non-⊥ response), split by which Figure 3 path they took, while
+/// [`FaultStats`] counts the invocations that **degraded** instead —
+/// unwound by a panic under the lock, or gave up at a deadline. Every
+/// finished invocation lands in exactly one of the four counters, so
+/// [`Telemetry::invocations`] (`fast + locked + poisoned + timeouts`)
+/// is the total number of strong invocations that have returned,
+/// normally or otherwise.
+///
+/// Prefer [`ContentionSensitive::telemetry`] over calling
+/// [`ContentionSensitive::stats`] and
+/// [`ContentionSensitive::fault_stats`] separately when relating the
+/// families (e.g. computing a degradation rate): the one-call snapshot
+/// reads all four counters back-to-back, minimizing the skew window
+/// against concurrent completions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Telemetry {
+    /// Completions by path (fast vs locked).
+    pub paths: PathStats,
+    /// Degradations (survived poisonings, deadline expiries).
+    pub faults: FaultStats,
+}
+
+impl Telemetry {
+    /// Total finished invocations, completed or degraded.
+    #[must_use]
+    pub fn invocations(&self) -> u64 {
+        self.paths.total() + self.faults.poisoned + self.faults.timeouts
+    }
+
+    /// Fraction of finished invocations that degraded instead of
+    /// completing (0.0 when idle).
+    #[must_use]
+    pub fn degraded_fraction(&self) -> f64 {
+        let total = self.invocations();
+        if total == 0 {
+            0.0
+        } else {
+            (self.faults.poisoned + self.faults.timeouts) as f64 / total as f64
+        }
+    }
+}
+
 /// Figure 3 of the paper, generalized to any [`Abortable`] object:
 /// a **contention-sensitive, starvation-free** implementation.
 ///
@@ -182,13 +250,17 @@ impl<O, L: RawLock> Drop for SlowGuard<'_, O, L> {
         // already see this operation in the statistics.
         if self.completed {
             cs.locked.fetch_add(1, Ordering::Relaxed);
+            probe!(Event::LockedComplete);
         } else if std::thread::panicking() {
             cs.poisoned.fetch_add(1, Ordering::Relaxed);
+            probe!(Event::SlowPoisoned);
         }
         // Line 09.
         if cs.config.contention_flag {
             cs.contention.write(false);
+            probe!(Event::ContentionClear);
         }
+        probe!(Event::LockRelease(self.proc as u32));
         // Lines 10–12 (fair) or line 12 alone (unfair ablation).
         if cs.config.fair {
             cs.lock.unlock(self.proc);
@@ -266,6 +338,7 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
         } else {
             self.lock.inner().lock();
         }
+        probe!(Event::LockAcquire(proc as u32));
         let mut guard = SlowGuard {
             cs: self,
             proc,
@@ -275,6 +348,7 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
         // Line 07.
         if self.config.contention_flag {
             self.contention.write(true);
+            probe!(Event::ContentionRaise);
         }
         fail_point!("cs::locked");
 
@@ -359,8 +433,10 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
         };
         if !acquired {
             self.timeouts.fetch_add(1, Ordering::Relaxed);
+            probe!(Event::SlowTimeout);
             return Err(TimedOut);
         }
+        probe!(Event::LockAcquire(proc as u32));
         let mut guard = SlowGuard {
             cs: self,
             proc,
@@ -370,6 +446,7 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
         // Line 07.
         if self.config.contention_flag {
             self.contention.write(true);
+            probe!(Event::ContentionRaise);
         }
         fail_point!("cs::locked");
 
@@ -387,6 +464,7 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
                     if !spinner.spin_deadline(deadline) {
                         drop(guard);
                         self.timeouts.fetch_add(1, Ordering::Relaxed);
+                        probe!(Event::SlowTimeout);
                         return Err(TimedOut);
                     }
                 }
@@ -398,10 +476,13 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
     fn fast_path(&self, op: &O::Op) -> Option<O::Response> {
         if !self.config.contention_flag || !self.contention.read() {
             fail_point!("cs::fast", return None);
+            probe!(Event::FastAttempt);
             if let Ok(res) = self.inner.try_apply(op) {
                 self.fast.fetch_add(1, Ordering::Relaxed);
+                probe!(Event::FastSuccess);
                 return Some(res);
             }
+            probe!(Event::FastAbort);
         }
         None
     }
@@ -420,6 +501,15 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
         FaultStats {
             poisoned: self.poisoned.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// One coherent snapshot of [`PathStats`] and [`FaultStats`]
+    /// together — see [`Telemetry`] for how the families relate.
+    pub fn telemetry(&self) -> Telemetry {
+        Telemetry {
+            paths: self.stats(),
+            faults: self.fault_stats(),
         }
     }
 
@@ -515,6 +605,55 @@ mod tests {
         let cs = make(2, CsConfig::UNFAIR);
         assert_eq!(cs.apply(3, &Bump(9)), 9);
         assert_eq!(cs.stats().locked, 1);
+    }
+
+    #[test]
+    fn locked_path_stays_within_bound() {
+        // Solo invocation forced onto the slow path (one scripted
+        // abort defeats the fast path). ScriptedObject performs no
+        // counted accesses, so the measurement isolates the
+        // transformation's own footprint.
+        let cs = make(1, CsConfig::PAPER);
+        let scope = CountScope::start();
+        cs.apply(2, &Bump(1));
+        let counts = scope.take();
+        assert_eq!(
+            counts.total(),
+            12,
+            "solo slow path changed cost: {counts} (update the \
+             LOCKED_SOLO_ACCESS_BOUND table if intentional)"
+        );
+        assert!(counts.total() <= LOCKED_SOLO_ACCESS_BOUND);
+    }
+
+    #[test]
+    fn telemetry_partitions_finished_invocations() {
+        let cs = make(1, CsConfig::PAPER);
+        cs.apply(0, &Bump(1)); // locked (scripted abort)
+        cs.apply(0, &Bump(1)); // fast
+        assert!(cs
+            .try_apply_for(1, &Bump(1), Duration::from_millis(50))
+            .is_ok());
+        let t = cs.telemetry();
+        assert_eq!(t.paths, cs.stats());
+        assert_eq!(t.faults, cs.fault_stats());
+        assert_eq!(t.paths, PathStats { fast: 2, locked: 1 });
+        assert_eq!(t.faults, FaultStats::default());
+        assert_eq!(t.invocations(), 3);
+        assert_eq!(t.degraded_fraction(), 0.0);
+    }
+
+    #[test]
+    fn telemetry_counts_degradations() {
+        let t = Telemetry {
+            paths: PathStats { fast: 6, locked: 2 },
+            faults: FaultStats {
+                poisoned: 1,
+                timeouts: 1,
+            },
+        };
+        assert_eq!(t.invocations(), 10);
+        assert!((t.degraded_fraction() - 0.2).abs() < 1e-12);
     }
 
     #[test]

@@ -65,7 +65,9 @@ mod nonblocking;
 pub mod progress;
 
 pub use abortable::Abortable;
-pub use contention_sensitive::{ContentionSensitive, CsConfig, FaultStats, PathStats};
+pub use contention_sensitive::{
+    ContentionSensitive, CsConfig, FaultStats, PathStats, Telemetry, LOCKED_SOLO_ACCESS_BOUND,
+};
 pub use error::{Aborted, TimedOut};
 pub use manager::{ContentionManager, ExpBackoff, NoBackoff, SpinBackoff, YieldBackoff};
 pub use nonblocking::NonBlocking;

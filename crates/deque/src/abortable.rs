@@ -8,6 +8,7 @@ use cso_memory::bits::Bits32;
 use cso_memory::fail_point;
 use cso_memory::packed::{DequeState, DequeWord};
 use cso_memory::reg::Reg64;
+use cso_trace::{probe, Event};
 
 use crate::outcome::{DequeOp, DequePopOutcome, DequePushOutcome, DequeResponse, End};
 
@@ -172,6 +173,10 @@ impl<V: Bits32> AbortableDeque<V> {
         };
         if result.is_err() {
             self.aborts.fetch_add(1, Ordering::Relaxed);
+            probe!(Event::CasFail(match end {
+                End::Right => "deque::right",
+                End::Left => "deque::left",
+            }));
         }
         result
     }
@@ -194,6 +199,10 @@ impl<V: Bits32> AbortableDeque<V> {
         };
         if result.is_err() {
             self.aborts.fetch_add(1, Ordering::Relaxed);
+            probe!(Event::CasFail(match end {
+                End::Right => "deque::right",
+                End::Left => "deque::left",
+            }));
         }
         result
     }

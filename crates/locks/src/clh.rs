@@ -4,6 +4,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use cso_memory::backoff::Spinner;
 use cso_memory::reg::{RegBool, RegUsize};
+use cso_trace::{probe, Event};
 
 use crate::raw::ProcLock;
 
@@ -78,6 +79,7 @@ impl ProcLock for ClhLock {
     fn unlock(&self, proc: usize) {
         let node = self.my_node[proc].load(Ordering::Relaxed);
         self.nodes[node].write(false);
+        probe!(Event::LockHandoff("clh"));
         // Recycle: the predecessor's node is now free for our reuse.
         let pred = self.my_pred[proc].load(Ordering::Relaxed);
         self.my_node[proc].store(pred, Ordering::Relaxed);

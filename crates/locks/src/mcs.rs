@@ -2,6 +2,7 @@
 
 use cso_memory::backoff::Spinner;
 use cso_memory::reg::{RegBool, RegUsize};
+use cso_trace::{probe, Event};
 
 use crate::raw::ProcLock;
 
@@ -80,6 +81,7 @@ impl ProcLock for McsLock {
         }
         let succ = self.next[proc].read();
         self.locked[succ - 1].write(false);
+        probe!(Event::LockHandoff("mcs"));
     }
 }
 

@@ -23,6 +23,7 @@
 use cso_memory::backoff::{Deadline, Spinner};
 use cso_memory::fail_point;
 use cso_memory::reg::{RegBool, RegUsize};
+use cso_trace::{probe, Event};
 
 use crate::raw::{ProcLock, RawLock};
 
@@ -208,7 +209,9 @@ impl<L: RawLock> ProcLock for StarvationFree<L> {
         // round-robin, skipping nobody.
         let t = self.turn.read();
         if !self.flag[t].read() {
-            self.turn.write((t + 1) % self.flag.len());
+            let next = (t + 1) % self.flag.len();
+            self.turn.write(next);
+            probe!(Event::TurnAdvance(next as u32));
         }
         // Line 12.
         self.inner.unlock();

@@ -148,6 +148,22 @@ static GENERATION: AtomicU64 = AtomicU64::new(0);
 
 static REGISTRY: Mutex<Option<RegistryState>> = Mutex::new(None);
 
+/// Observer invoked (outside the registry lock, before the fault is
+/// applied) each time a fail point **fires**. Installed by tracing
+/// layers — see `cso_trace::install_chaos_hook` — so a trace can show
+/// which fail point caused each poisoning.
+static FIRE_HOOK: Mutex<Option<fn(&'static str)>> = Mutex::new(None);
+
+/// Installs (or, with `None`, removes) the global fire observer.
+///
+/// The hook runs on the firing thread after the plan decides to fire
+/// and before the fault is applied, so a `Panic`/`StallForever` fault
+/// is still preceded by its hook call. Keep hooks cheap and
+/// non-reentrant (they must not hit fail points themselves).
+pub fn set_fire_hook(hook: Option<fn(&'static str)>) {
+    *FIRE_HOOK.lock().unwrap_or_else(|e| e.into_inner()) = hook;
+}
+
 fn with_registry<R>(f: impl FnOnce(&mut RegistryState) -> R) -> R {
     let mut guard = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
     f(guard.get_or_insert_with(RegistryState::default))
@@ -276,6 +292,9 @@ pub fn hit(site: &'static str) -> Action {
     let Some(fault) = fault else {
         return Action::Continue;
     };
+    if let Some(hook) = *FIRE_HOOK.lock().unwrap_or_else(|e| e.into_inner()) {
+        hook(site);
+    }
     match fault {
         Fault::Delay(d) => {
             std::thread::sleep(d);
@@ -405,6 +424,33 @@ mod tests {
         assert!(!stalled.is_finished(), "thread must be stalled");
         reset();
         stalled.join().expect("reset must release the stall");
+    }
+
+    #[test]
+    fn fire_hook_sees_fires_not_mere_hits() {
+        let _serial = serial();
+        reset();
+        static HOOKED: AtomicU64 = AtomicU64::new(0);
+        set_fire_hook(Some(|site| {
+            assert_eq!(site, "chaos-test::hooked");
+            HOOKED.fetch_add(1, Ordering::SeqCst);
+        }));
+        arm_plan(
+            "chaos-test::hooked",
+            Plan {
+                fault: Fault::Yield,
+                after: 1,
+                one_in: 1,
+                max_fires: u64::MAX,
+            },
+        );
+        let _ = hit("chaos-test::hooked"); // skipped by `after`
+        let _ = hit("chaos-test::hooked"); // fires
+        assert_eq!(HOOKED.load(Ordering::SeqCst), 1);
+        set_fire_hook(None);
+        let _ = hit("chaos-test::hooked");
+        assert_eq!(HOOKED.load(Ordering::SeqCst), 1, "hook removed");
+        reset();
     }
 
     #[test]

@@ -66,6 +66,12 @@ pub struct AccessCounts {
 impl AccessCounts {
     /// Total number of shared-memory accesses.
     ///
+    /// Saturating: a nonsensical snapshot (e.g. the wrapped deltas
+    /// produced by subtracting counters from *different* threads — see
+    /// the [`CountScope`] visibility contract) yields a huge total,
+    /// never a panic, so budget checks built on `total()` fail loudly
+    /// instead of aborting in debug builds.
+    ///
     /// ```
     /// use cso_memory::counting::AccessCounts;
     /// let c = AccessCounts { reads: 3, writes: 1, cas: 2 };
@@ -73,7 +79,9 @@ impl AccessCounts {
     /// ```
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.reads + self.writes + self.cas
+        self.reads
+            .saturating_add(self.writes)
+            .saturating_add(self.cas)
     }
 }
 
@@ -127,6 +135,28 @@ pub fn snapshot() -> AccessCounts {
 /// A measurement scope: captures the counters at construction and
 /// reports the delta on [`CountScope::take`].
 ///
+/// # Visibility contract (cross-thread behaviour)
+///
+/// The underlying counters are **thread-local** (`Cell`s, no atomics),
+/// so a scope is *thread-affine*: [`CountScope::take`] and
+/// [`CountScope::lap`] subtract the **calling** thread's live counters
+/// from the baseline the scope captured on whatever thread called
+/// [`CountScope::start`]. Used on one thread — the only supported
+/// pattern — the delta is exact: no other thread's accesses can leak
+/// in, and nothing this thread recorded can be missed, because there
+/// is no shared state to race on. A `CountScope` that is copied or
+/// moved to a *different* thread is not UB and never panics, but its
+/// deltas are meaningless (two unrelated counter streams subtracted
+/// with wrapping arithmetic); to audit several threads, start one
+/// scope *on each thread* and combine the per-thread results with
+/// [`AccessCounts`]'s `Add` — see `StepAuditor` in `cso-trace` for the
+/// aggregated form.
+///
+/// Nested scopes on one thread compose exactly: the counters are
+/// cumulative and monotonic, so an inner scope's delta is a sub-range
+/// of every enclosing scope's delta (tested by
+/// `nested_scopes_compose`).
+///
 /// ```
 /// use cso_memory::counting::CountScope;
 /// use cso_memory::reg::RegBool;
@@ -157,6 +187,12 @@ impl CountScope {
 
     /// Returns the accesses since the scope started and moves the
     /// baseline forward, so consecutive calls report disjoint windows.
+    ///
+    /// Windows are exact and gap-free *on the owning thread*: the new
+    /// baseline is the same snapshot the delta was computed from, so
+    /// an access is reported in exactly one lap. Calling `lap` from a
+    /// different thread re-baselines the scope onto *that* thread's
+    /// counters (see the type-level visibility contract).
     pub fn lap(&mut self) -> AccessCounts {
         let now = snapshot();
         let delta = now - self.base;
@@ -197,6 +233,55 @@ mod tests {
         let second = scope.lap();
         assert_eq!(second.reads, 0);
         assert_eq!(second.writes, 1);
+    }
+
+    #[test]
+    fn nested_scopes_compose() {
+        let outer = CountScope::start();
+        record(AccessKind::Read);
+        let inner = CountScope::start();
+        record(AccessKind::Write);
+        record(AccessKind::Cas);
+        let inner_delta = inner.take();
+        record(AccessKind::Read);
+        let outer_delta = outer.take();
+        // The inner window sees only what happened inside it…
+        assert_eq!(
+            inner_delta,
+            AccessCounts {
+                reads: 0,
+                writes: 1,
+                cas: 1
+            }
+        );
+        // …and is a sub-range of the outer window: outer = before +
+        // inner + after, component-wise.
+        assert_eq!(
+            outer_delta,
+            AccessCounts {
+                reads: 2,
+                writes: 0,
+                cas: 0
+            } + inner_delta
+        );
+        // A still-open outer scope keeps extending while inner scopes
+        // come and go.
+        let mid = CountScope::start();
+        record(AccessKind::Cas);
+        assert_eq!(mid.take().total(), 1);
+        assert_eq!(outer.take().total(), outer_delta.total() + 1);
+    }
+
+    #[test]
+    fn total_saturates_on_garbage_deltas() {
+        // The wrapped delta a cross-thread misuse would produce must
+        // not overflow-panic in total().
+        let garbage = AccessCounts {
+            reads: u64::MAX - 1,
+            writes: 7,
+            cas: 7,
+        };
+        assert_eq!(garbage.total(), u64::MAX);
     }
 
     #[test]

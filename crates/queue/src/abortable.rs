@@ -36,6 +36,7 @@ use cso_memory::bits::Bits32;
 use cso_memory::fail_point;
 use cso_memory::packed::{HeadWord, SlotWord, TailWord};
 use cso_memory::reg::Reg64;
+use cso_trace::{probe, probe_if, Event};
 
 use crate::outcome::{DequeueOutcome, EnqueueOutcome, QueueOp, QueueResponse};
 
@@ -179,7 +180,10 @@ impl<V: Bits32> AbortableQueue<V> {
             value: tail.value,
             seq: tail.seq,
         };
-        slot.cas(old.pack(), new.pack());
+        probe_if!(
+            slot.cas(old.pack(), new.pack()),
+            Event::HelpingWrite("queue::ring")
+        );
     }
 
     /// Attempts to enqueue `value` once.
@@ -228,6 +232,7 @@ impl<V: Bits32> AbortableQueue<V> {
             Ok(EnqueueOutcome::Enqueued)
         } else {
             self.enq_aborts.fetch_add(1, Ordering::Relaxed);
+            probe!(Event::CasFail("queue::tail"));
             Err(Aborted)
         }
     }
@@ -275,6 +280,7 @@ impl<V: Bits32> AbortableQueue<V> {
             Ok(DequeueOutcome::Dequeued(V::from_bits(slot.value)))
         } else {
             self.deq_aborts.fetch_add(1, Ordering::Relaxed);
+            probe!(Event::CasFail("queue::head"));
             Err(Aborted)
         }
     }

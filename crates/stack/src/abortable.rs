@@ -11,6 +11,7 @@ use cso_core::{Abortable, Aborted};
 use cso_memory::fail_point;
 use cso_memory::packed::{SlotWord, TopWord};
 use cso_memory::reg::Reg64;
+use cso_trace::{probe, probe_if, Event};
 
 use crate::outcome::{PopOutcome, PushOutcome, StackOp, StackResponse};
 use crate::value::StackValue;
@@ -179,7 +180,10 @@ impl<V: StackValue> AbortableStack<V> {
             value: top.value,
             seq: top.seq,
         };
-        slot.cas(old.pack(), new.pack());
+        probe_if!(
+            slot.cas(old.pack(), new.pack()),
+            Event::HelpingWrite("stack::slot")
+        );
     }
 
     /// `weak_push(v)` — lines 01–07.
@@ -216,6 +220,7 @@ impl<V: StackValue> AbortableStack<V> {
             Ok(PushOutcome::Pushed)
         } else {
             self.push_aborts.fetch_add(1, Ordering::Relaxed);
+            probe!(Event::CasFail("stack::top"));
             Err(Aborted)
         }
     }
@@ -256,6 +261,7 @@ impl<V: StackValue> AbortableStack<V> {
             Ok(PopOutcome::Popped(V::from_bits(observed.value)))
         } else {
             self.pop_aborts.fetch_add(1, Ordering::Relaxed);
+            probe!(Event::CasFail("stack::top"));
             Err(Aborted)
         }
     }

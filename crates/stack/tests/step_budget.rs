@@ -1,0 +1,136 @@
+//! The paper's step-count claims as tests, enforced by the
+//! `cso-trace` step auditor — not just measured by the E1 bench bin.
+//!
+//! * Theorem 1: a contention-free strong `push`/`pop` on the Figure 3
+//!   stack performs at most **6** shared-memory accesses and takes no
+//!   lock (solo it is exactly 6, deterministically).
+//! * §3 / Figure 1: a solo `weak_push`/`weak_pop` performs exactly
+//!   **5**.
+//! * The locked slow path never exceeds its documented bound,
+//!   [`cso_core::LOCKED_SOLO_ACCESS_BOUND`] plus the weak operation's
+//!   own 5 accesses (chaos-gated — the fail point is the only
+//!   deterministic way to veto the fast path of a real stack).
+//!
+//! A budget violation panics inside [`StepAuditor::audit`], failing
+//! the build — Theorem 1 is a regression test now.
+
+use cso_memory::counting::CountScope;
+use cso_stack::{AbortableStack, CsStack, PopOutcome, PushOutcome};
+use cso_trace::StepAuditor;
+
+/// Theorem 1's budget for a contention-free strong operation.
+const STRONG_BUDGET: u64 = 6;
+/// Figure 1's cost for a solo weak operation.
+const WEAK_COST: u64 = 5;
+
+#[test]
+fn contention_free_strong_ops_stay_within_six_accesses() {
+    let cs: CsStack<u32> = CsStack::new(1024, 4);
+    // First op on a fresh object may take a boundary path; warm up.
+    cs.push(0, 0);
+    cs.pop(0);
+
+    let auditor = StepAuditor::strict(STRONG_BUDGET);
+    for i in 0..10_000u32 {
+        assert_eq!(auditor.audit(|| cs.push(0, i)), PushOutcome::Pushed);
+        assert_eq!(auditor.audit(|| cs.pop(0)), PopOutcome::Popped(i));
+    }
+
+    let report = auditor.report();
+    assert_eq!(report.checked, 20_000);
+    assert!(report.clean());
+    // Solo the cost is not merely bounded but exact.
+    assert_eq!(report.worst, STRONG_BUDGET, "Theorem 1 is tight");
+    assert_eq!(
+        cs.path_stats().locked,
+        0,
+        "Theorem 1: contention-free operations take no lock"
+    );
+}
+
+#[test]
+fn weak_ops_cost_exactly_five_accesses() {
+    let stack: AbortableStack<u32> = AbortableStack::new(1024);
+    stack.weak_push(0).expect("solo never aborts");
+    stack.weak_pop().expect("solo never aborts");
+
+    let auditor = StepAuditor::strict(WEAK_COST);
+    for i in 0..10_000u32 {
+        let scope = CountScope::start();
+        stack.weak_push(i).expect("solo never aborts");
+        let push_cost = scope.take();
+        assert_eq!(push_cost.total(), WEAK_COST, "weak_push: {push_cost}");
+        auditor.observe(push_cost);
+
+        let scope = CountScope::start();
+        stack.weak_pop().expect("solo never aborts");
+        let pop_cost = scope.take();
+        assert_eq!(pop_cost.total(), WEAK_COST, "weak_pop: {pop_cost}");
+        auditor.observe(pop_cost);
+    }
+    assert!(auditor.report().clean());
+}
+
+/// Under real concurrency the auditor can still enforce Theorem 1 —
+/// on exactly the operations that completed contention-free (fast
+/// path), which only the probe layer can identify.
+#[cfg(feature = "trace")]
+#[test]
+fn concurrent_fast_path_completions_stay_within_six_accesses() {
+    use std::sync::Arc;
+
+    const THREADS: usize = 4;
+    const OPS: u32 = 20_000;
+    let cs: Arc<CsStack<u32>> = Arc::new(CsStack::new(1 << 15, THREADS));
+    let auditor = Arc::new(StepAuditor::strict(STRONG_BUDGET));
+
+    std::thread::scope(|s| {
+        for proc in 0..THREADS {
+            let cs = Arc::clone(&cs);
+            let auditor = Arc::clone(&auditor);
+            s.spawn(move || {
+                for i in 0..OPS {
+                    if (proc + i as usize) % 2 == 0 {
+                        auditor.audit_contention_free(|| cs.push(proc, i));
+                    } else {
+                        auditor.audit_contention_free(|| cs.pop(proc));
+                    }
+                }
+            });
+        }
+    });
+
+    let report = auditor.report();
+    assert_eq!(report.checked, THREADS as u64 * u64::from(OPS));
+    assert!(report.clean(), "a fast-path completion exceeded 6 accesses");
+}
+
+/// The slow path has a documented bound too: the transformation's own
+/// footprint ([`cso_core::LOCKED_SOLO_ACCESS_BOUND`]) plus one weak
+/// operation. A solo invocation vetoed off the fast path must land
+/// within it.
+#[cfg(feature = "chaos")]
+#[test]
+fn locked_path_stays_within_documented_bound() {
+    use cso_memory::chaos::{self, Fault, Plan};
+
+    let locked_budget = cso_core::LOCKED_SOLO_ACCESS_BOUND + WEAK_COST;
+    let cs: CsStack<u32> = CsStack::new(1024, 4);
+    cs.push(0, 0);
+
+    let auditor = StepAuditor::strict(locked_budget);
+    for i in 0..1_000u32 {
+        chaos::arm_plan("cs::fast", Plan::once(Fault::SpuriousAbort));
+        assert_eq!(auditor.audit(|| cs.push(0, i)), PushOutcome::Pushed);
+        cs.pop(0);
+    }
+    chaos::reset();
+
+    let report = auditor.report();
+    assert!(report.clean());
+    assert_eq!(
+        cs.path_stats().locked,
+        1_000,
+        "every audited push must have been forced onto the lock path"
+    );
+}

@@ -1,0 +1,297 @@
+//! Exporters: Chrome `trace_event` JSON and a plain-text summary.
+//!
+//! Both render a collected [`Trace`]; neither depends on the `trace`
+//! feature (an empty trace exports to an empty-but-valid document).
+//! The JSON is hand-rolled — the workspace is deliberately
+//! dependency-free — against the published `trace_event` format, so
+//! the output opens directly in `chrome://tracing` or
+//! <https://ui.perfetto.dev>.
+
+use crate::probe::{Event, Trace};
+use std::fmt::Write as _;
+
+/// Minimal JSON string escaping (the only dynamic strings we embed are
+/// event names and `&'static str` site labels, but stay correct for
+/// arbitrary input).
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// One event rendered as a Chrome trace object (no trailing comma).
+fn push_instant(out: &mut String, name: &str, tid: u32, ts_us: f64, args: &[(&str, String)]) {
+    out.push_str("{\"name\":\"");
+    escape(name, out);
+    let _ = write!(
+        out,
+        "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"ts\":{ts_us:.3}"
+    );
+    push_args(out, args);
+    out.push('}');
+}
+
+fn push_complete(
+    out: &mut String,
+    name: &str,
+    tid: u32,
+    ts_us: f64,
+    dur_us: f64,
+    args: &[(&str, String)],
+) {
+    out.push_str("{\"name\":\"");
+    escape(name, out);
+    let _ = write!(
+        out,
+        "\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{ts_us:.3},\"dur\":{dur_us:.3}"
+    );
+    push_args(out, args);
+    out.push('}');
+}
+
+fn push_args(out: &mut String, args: &[(&str, String)]) {
+    if args.is_empty() {
+        return;
+    }
+    out.push_str(",\"args\":{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape(k, out);
+        out.push_str("\":\"");
+        escape(v, out);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+fn event_args(event: &Event) -> Vec<(&'static str, String)> {
+    let mut args = Vec::new();
+    if let Some(site) = event.site() {
+        args.push(("site", site.to_owned()));
+    }
+    if let Some(proc) = event.proc() {
+        args.push(("proc", proc.to_string()));
+    }
+    args
+}
+
+/// Renders a [`Trace`] as Chrome `trace_event` JSON (object form:
+/// `{"traceEvents":[...],"displayTimeUnit":"ns"}`).
+///
+/// Every probe event becomes a thread-scoped instant (`ph:"i"`) on its
+/// recording thread's track. Additionally, each
+/// [`Event::LockAcquire`]/[`Event::LockRelease`] pair observed on the
+/// same thread is folded into a complete span (`ph:"X"`) named
+/// `lock-held`, so the timeline shows lock-hold durations as bars
+/// rather than dots. Timestamps are the recorded wall-clock offsets
+/// converted to microseconds (the format's native unit), with the
+/// logical sequence number attached as an arg for exact ordering of
+/// same-microsecond events.
+#[must_use]
+pub fn chrome_trace_json(trace: &Trace) -> String {
+    let mut out = String::with_capacity(128 + trace.events.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+    };
+    // Open lock-acquires per (thread, proc), folded into spans on release.
+    let mut open_locks: Vec<(u32, u32, u64)> = Vec::new();
+    for e in &trace.events {
+        let ts_us = e.wall_ns as f64 / 1e3;
+        let mut args = event_args(&e.event);
+        args.push(("seq", e.seq.to_string()));
+        sep(&mut out);
+        push_instant(&mut out, &e.event.label(), e.thread, ts_us, &args);
+        match e.event {
+            Event::LockAcquire(p) => open_locks.push((e.thread, p, e.wall_ns)),
+            Event::LockRelease(p) => {
+                if let Some(i) = open_locks
+                    .iter()
+                    .rposition(|&(t, pr, _)| t == e.thread && pr == p)
+                {
+                    let (_, _, start_ns) = open_locks.swap_remove(i);
+                    let dur_us = e.wall_ns.saturating_sub(start_ns) as f64 / 1e3;
+                    sep(&mut out);
+                    push_complete(
+                        &mut out,
+                        "lock-held",
+                        e.thread,
+                        start_ns as f64 / 1e3,
+                        dur_us,
+                        &[("proc", p.to_string())],
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    if trace.dropped > 0 {
+        sep(&mut out);
+        push_instant(
+            &mut out,
+            "ring-dropped",
+            0,
+            0.0,
+            &[("count", trace.dropped.to_string())],
+        );
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+/// Renders a [`Trace`] as a plain-text counts table: one row per
+/// distinct [`Event::label`] (so CAS fails and fail points break out
+/// per site), descending by count, plus thread/drop totals.
+#[must_use]
+pub fn summary(trace: &Trace) -> String {
+    let rows = trace.counts();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace summary: {} events on {} thread(s), {} dropped",
+        trace.events.len(),
+        trace.thread_count(),
+        trace.dropped
+    );
+    let width = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(5).max(5);
+    let _ = writeln!(out, "  {:<width$}  {:>10}", "event", "count");
+    for (label, count) in rows {
+        let _ = writeln!(out, "  {label:<width$}  {count:>10}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::TraceEvent;
+
+    /// A compact structural JSON validity check: balanced containers
+    /// outside strings, proper string termination, no trailing junk.
+    fn assert_valid_json(s: &str) {
+        let mut depth: Vec<char> = Vec::new();
+        let mut in_string = false;
+        let mut escaped = false;
+        for c in s.chars() {
+            if in_string {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_string = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_string = true,
+                '{' => depth.push('}'),
+                '[' => depth.push(']'),
+                '}' | ']' => assert_eq!(depth.pop(), Some(c), "mismatched container in {s}"),
+                _ => {}
+            }
+        }
+        assert!(!in_string, "unterminated string");
+        assert!(depth.is_empty(), "unbalanced containers");
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        // No adjacent-value syntax errors from comma handling.
+        assert!(!s.contains(",,") && !s.contains("[,") && !s.contains(",]"));
+    }
+
+    fn ev(thread: u32, seq: u64, wall_ns: u64, event: Event) -> TraceEvent {
+        TraceEvent {
+            thread,
+            seq,
+            wall_ns,
+            event,
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_valid_json() {
+        let json = chrome_trace_json(&Trace::default());
+        assert_valid_json(&json);
+        assert!(json.contains("\"traceEvents\":[]"));
+    }
+
+    #[test]
+    fn events_render_with_sites_and_lock_spans() {
+        let trace = Trace {
+            events: vec![
+                ev(0, 0, 100, Event::FastAttempt),
+                ev(0, 1, 250, Event::CasFail("stack::top")),
+                ev(1, 2, 300, Event::LockAcquire(1)),
+                ev(1, 3, 2_300, Event::LockRelease(1)),
+            ],
+            dropped: 2,
+        };
+        let json = chrome_trace_json(&trace);
+        assert_valid_json(&json);
+        assert!(json.contains("\"name\":\"cas-fail@stack::top\""));
+        assert!(json.contains("\"site\":\"stack::top\""));
+        // 300ns..2300ns lock hold = 2.000µs complete event.
+        assert!(json.contains("\"name\":\"lock-held\""), "{json}");
+        assert!(json.contains("\"dur\":2.000"), "{json}");
+        assert!(json.contains("ring-dropped"));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 1);
+        assert_eq!(
+            json.matches("\"ph\":\"i\"").count(),
+            5,
+            "4 events + drop marker"
+        );
+    }
+
+    #[test]
+    fn unmatched_release_renders_no_span() {
+        let trace = Trace {
+            events: vec![ev(0, 0, 10, Event::LockRelease(3))],
+            dropped: 0,
+        };
+        let json = chrome_trace_json(&trace);
+        assert_valid_json(&json);
+        assert!(!json.contains("lock-held"));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        let mut s = String::new();
+        escape("a\"b\\c\nd\u{1}", &mut s);
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn summary_groups_and_reports_totals() {
+        let trace = Trace {
+            events: vec![
+                ev(0, 0, 0, Event::FastSuccess),
+                ev(0, 1, 1, Event::FastSuccess),
+                ev(1, 2, 2, Event::FailPoint("cs::locked")),
+            ],
+            dropped: 7,
+        };
+        let text = summary(&trace);
+        assert!(text.contains("3 events on 2 thread(s), 7 dropped"));
+        assert!(text.contains("fast-success"));
+        assert!(text.contains("fail-point@cs::locked"));
+        let fast_line = text.lines().find(|l| l.contains("fast-success")).unwrap();
+        assert!(fast_line.trim_end().ends_with('2'));
+    }
+}

@@ -1,0 +1,666 @@
+//! The probe event API: what happened, on which thread, in what order.
+//!
+//! Probe sites in the object/lock crates call [`crate::probe!`] with an
+//! [`Event`]. With the `trace` cargo feature enabled, each event is
+//! appended to a **lock-free per-thread ring buffer** together with a
+//! global logical timestamp (one relaxed `fetch_add`) and a wall-clock
+//! offset; [`collect`] merges every thread's ring into one ordered
+//! [`Trace`]. With the feature disabled the macro discards its tokens
+//! and none of the machinery below is compiled.
+//!
+//! # Concurrency contract
+//!
+//! Each ring has exactly one writer (its owning thread); [`collect`]
+//! reads the rings concurrently with relaxed loads below an
+//! acquire-read head, so every event published before the collect is
+//! seen intact. A ring that wraps overwrites its oldest events — the
+//! overwritten count is reported as [`Trace::dropped`], never silently.
+//! Collecting while writers are still recording can observe a slot
+//! mid-overwrite for events *older than the ring capacity*; collect in
+//! a quiescent moment (end of a benchmark cell) for exact results.
+
+use std::fmt;
+
+/// Which path a completed strong operation took (Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Path {
+    /// Lines 01–03: the lock-free fast path.
+    Fast,
+    /// Lines 04–13: under the (boosted) lock.
+    Locked,
+}
+
+/// One probe event. The taxonomy follows Figure 3's lifecycle plus the
+/// lock substrate's fairness mechanics:
+///
+/// * fast path: [`Event::FastAttempt`] / [`Event::FastAbort`] /
+///   [`Event::FastSuccess`];
+/// * weak-operation internals: [`Event::CasFail`] (the decisive `C&S`
+///   lost — the paper's only source of ⊥) and [`Event::HelpingWrite`]
+///   (a lazy write finished on behalf of the previous operation);
+/// * the `CONTENTION` register: [`Event::ContentionRaise`] /
+///   [`Event::ContentionClear`] (lines 07/09);
+/// * the slow path: [`Event::LockAcquire`] / [`Event::LockRelease`] /
+///   [`Event::LockedComplete`] / [`Event::SlowTimeout`] /
+///   [`Event::SlowPoisoned`];
+/// * fairness: [`Event::TurnAdvance`] (line 11) and
+///   [`Event::LockHandoff`] (queue locks passing custody directly);
+/// * chaos: [`Event::FailPoint`] — a fail point *fired* (see
+///   [`crate::install_chaos_hook`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A fast-path weak operation is about to run (line 02 entered).
+    FastAttempt,
+    /// The fast-path weak operation returned ⊥.
+    FastAbort,
+    /// The operation completed on the fast path.
+    FastSuccess,
+    /// A decisive `Compare&Swap` failed; the payload names the
+    /// register (e.g. `"stack::top"`).
+    CasFail(&'static str),
+    /// `CONTENTION ← true` (line 07).
+    ContentionRaise,
+    /// `CONTENTION ← false` (line 09).
+    ContentionClear,
+    /// Process `proc` acquired the slow-path lock (line 06 passed).
+    LockAcquire(u32),
+    /// Process `proc` released the slow-path lock (line 12).
+    LockRelease(u32),
+    /// A queue lock handed custody directly to its successor; the
+    /// payload names the lock kind (e.g. `"mcs"`).
+    LockHandoff(&'static str),
+    /// `TURN` advanced to the given identity (line 11).
+    TurnAdvance(u32),
+    /// A helping `C&S` performed the previous operation's pending
+    /// write; the payload names the helped register.
+    HelpingWrite(&'static str),
+    /// A chaos fail point fired; the payload is the site name.
+    FailPoint(&'static str),
+    /// The operation completed under the lock.
+    LockedComplete,
+    /// A deadline-bounded slow path gave up ([`cso_core::TimedOut`]
+    /// terms — no effect took place).
+    ///
+    /// [`cso_core::TimedOut`]: ../../cso_core/struct.TimedOut.html
+    SlowTimeout,
+    /// A slow path unwound (panicked) under the lock and was survived
+    /// by the RAII guard.
+    SlowPoisoned,
+}
+
+impl Event {
+    /// A stable short name for summaries and Chrome trace rows.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::FastAttempt => "fast-attempt",
+            Event::FastAbort => "fast-abort",
+            Event::FastSuccess => "fast-success",
+            Event::CasFail(_) => "cas-fail",
+            Event::ContentionRaise => "contention-raise",
+            Event::ContentionClear => "contention-clear",
+            Event::LockAcquire(_) => "lock-acquire",
+            Event::LockRelease(_) => "lock-release",
+            Event::LockHandoff(_) => "lock-handoff",
+            Event::TurnAdvance(_) => "turn-advance",
+            Event::HelpingWrite(_) => "helping-write",
+            Event::FailPoint(_) => "fail-point",
+            Event::LockedComplete => "locked-complete",
+            Event::SlowTimeout => "slow-timeout",
+            Event::SlowPoisoned => "slow-poisoned",
+        }
+    }
+
+    /// The site payload, for the variants that carry one.
+    #[must_use]
+    pub fn site(&self) -> Option<&'static str> {
+        match self {
+            Event::CasFail(s)
+            | Event::LockHandoff(s)
+            | Event::HelpingWrite(s)
+            | Event::FailPoint(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The process-identity payload, for the variants that carry one.
+    #[must_use]
+    pub fn proc(&self) -> Option<u32> {
+        match self {
+            Event::LockAcquire(p) | Event::LockRelease(p) | Event::TurnAdvance(p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// A qualified label: the name, plus `@site` or `(proc)` when the
+    /// variant carries a payload. This is the key the summary table
+    /// groups by, so e.g. `cas-fail@stack::top` and
+    /// `fail-point@cs::locked` get separate rows.
+    #[must_use]
+    pub fn label(&self) -> String {
+        if let Some(site) = self.site() {
+            format!("{}@{}", self.name(), site)
+        } else {
+            self.name().to_owned()
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(proc) = self.proc() {
+            write!(f, "{}({proc})", self.name())
+        } else {
+            f.write_str(&self.label())
+        }
+    }
+}
+
+/// One collected event: which thread, when (logical and wall), what.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Recorder thread (dense ids in registration order, not OS tids).
+    pub thread: u32,
+    /// Global logical timestamp: a total order across threads.
+    pub seq: u64,
+    /// Nanoseconds since the first recorded event (approximately).
+    pub wall_ns: u64,
+    /// What happened.
+    pub event: Event,
+}
+
+/// Every thread's ring merged and ordered by logical timestamp.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// The surviving events, sorted by [`TraceEvent::seq`].
+    pub events: Vec<TraceEvent>,
+    /// Events overwritten by ring wrap-around before collection.
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// True when nothing was recorded (always true without the
+    /// `trace` feature).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.dropped == 0
+    }
+
+    /// Event counts grouped by [`Event::label`], descending by count
+    /// (ties broken alphabetically for stable output).
+    #[must_use]
+    pub fn counts(&self) -> Vec<(String, u64)> {
+        let mut map: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+        for e in &self.events {
+            *map.entry(e.event.label()).or_insert(0) += 1;
+        }
+        let mut rows: Vec<(String, u64)> = map.into_iter().collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        rows
+    }
+
+    /// The number of distinct recording threads seen.
+    #[must_use]
+    pub fn thread_count(&self) -> usize {
+        let mut threads: Vec<u32> = self.events.iter().map(|e| e.thread).collect();
+        threads.sort_unstable();
+        threads.dedup();
+        threads.len()
+    }
+}
+
+#[cfg(feature = "trace")]
+mod imp {
+    use super::{Event, Path, Trace, TraceEvent};
+    use std::cell::{Cell, OnceCell, RefCell};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex, OnceLock};
+    use std::time::Instant;
+
+    /// Events kept per thread before the ring wraps (power of two).
+    pub(super) const RING_CAPACITY: usize = 1 << 12;
+
+    /// Runtime master switch (the compile-time switch is the feature).
+    static ENABLED: AtomicBool = AtomicBool::new(true);
+
+    /// The global logical clock: one relaxed `fetch_add` per event.
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+
+    /// Wall-clock origin, fixed at the first recorded event.
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+    /// Every thread's ring, in registration order.
+    static RINGS: Mutex<Vec<Arc<Ring>>> = Mutex::new(Vec::new());
+
+    /// Interned site names (`&'static str` payloads), id = index.
+    static SITES: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+
+    struct Slot {
+        seq: AtomicU64,
+        wall_ns: AtomicU64,
+        /// `code << 32 | arg`.
+        word: AtomicU64,
+    }
+
+    pub(super) struct Ring {
+        thread: u32,
+        /// Events ever written (monotonic; slot = head % capacity).
+        head: AtomicU64,
+        /// Events logically discarded by [`super::clear`].
+        floor: AtomicU64,
+        slots: Box<[Slot]>,
+    }
+
+    impl Ring {
+        fn push(&self, code: u8, arg: u32) {
+            let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+            let wall_ns = EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64;
+            let head = self.head.load(Ordering::Relaxed);
+            let slot = &self.slots[(head as usize) & (RING_CAPACITY - 1)];
+            slot.seq.store(seq, Ordering::Relaxed);
+            slot.wall_ns.store(wall_ns, Ordering::Relaxed);
+            slot.word
+                .store(u64::from(code) << 32 | u64::from(arg), Ordering::Relaxed);
+            // Publish: collectors acquire-read the head, so the slot
+            // stores above are visible for every index below it.
+            self.head.store(head + 1, Ordering::Release);
+        }
+    }
+
+    thread_local! {
+        static MY_RING: OnceCell<Arc<Ring>> = const { OnceCell::new() };
+        /// `(site pointer, interned id)` pairs already resolved by
+        /// this thread — the global table is locked at most once per
+        /// distinct site per thread.
+        static SITE_CACHE: RefCell<Vec<(usize, u32)>> = const { RefCell::new(Vec::new()) };
+        static LAST_PATH: Cell<Option<Path>> = const { Cell::new(None) };
+    }
+
+    fn register_ring() -> Arc<Ring> {
+        let mut rings = RINGS.lock().unwrap_or_else(|e| e.into_inner());
+        let ring = Arc::new(Ring {
+            thread: rings.len() as u32,
+            head: AtomicU64::new(0),
+            floor: AtomicU64::new(0),
+            slots: (0..RING_CAPACITY)
+                .map(|_| Slot {
+                    seq: AtomicU64::new(0),
+                    wall_ns: AtomicU64::new(0),
+                    word: AtomicU64::new(0),
+                })
+                .collect(),
+        });
+        rings.push(Arc::clone(&ring));
+        ring
+    }
+
+    fn site_id(site: &'static str) -> u32 {
+        SITE_CACHE.with(|cache| {
+            let key = site.as_ptr() as usize;
+            let mut cache = cache.borrow_mut();
+            if let Some(&(_, id)) = cache.iter().find(|(k, _)| *k == key) {
+                return id;
+            }
+            let mut sites = SITES.lock().unwrap_or_else(|e| e.into_inner());
+            let id = match sites.iter().position(|s| *s == site) {
+                Some(i) => i as u32,
+                None => {
+                    sites.push(site);
+                    (sites.len() - 1) as u32
+                }
+            };
+            drop(sites);
+            cache.push((key, id));
+            id
+        })
+    }
+
+    fn site_name(id: u32) -> &'static str {
+        SITES
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(id as usize)
+            .copied()
+            .unwrap_or("?")
+    }
+
+    fn encode(event: Event) -> (u8, u32) {
+        match event {
+            Event::FastAttempt => (0, 0),
+            Event::FastAbort => (1, 0),
+            Event::FastSuccess => (2, 0),
+            Event::CasFail(s) => (3, site_id(s)),
+            Event::ContentionRaise => (4, 0),
+            Event::ContentionClear => (5, 0),
+            Event::LockAcquire(p) => (6, p),
+            Event::LockRelease(p) => (7, p),
+            Event::LockHandoff(s) => (8, site_id(s)),
+            Event::TurnAdvance(p) => (9, p),
+            Event::HelpingWrite(s) => (10, site_id(s)),
+            Event::FailPoint(s) => (11, site_id(s)),
+            Event::LockedComplete => (12, 0),
+            Event::SlowTimeout => (13, 0),
+            Event::SlowPoisoned => (14, 0),
+        }
+    }
+
+    fn decode(code: u8, arg: u32) -> Option<Event> {
+        Some(match code {
+            0 => Event::FastAttempt,
+            1 => Event::FastAbort,
+            2 => Event::FastSuccess,
+            3 => Event::CasFail(site_name(arg)),
+            4 => Event::ContentionRaise,
+            5 => Event::ContentionClear,
+            6 => Event::LockAcquire(arg),
+            7 => Event::LockRelease(arg),
+            8 => Event::LockHandoff(site_name(arg)),
+            9 => Event::TurnAdvance(arg),
+            10 => Event::HelpingWrite(site_name(arg)),
+            11 => Event::FailPoint(site_name(arg)),
+            12 => Event::LockedComplete,
+            13 => Event::SlowTimeout,
+            14 => Event::SlowPoisoned,
+            _ => return None,
+        })
+    }
+
+    pub(super) fn record(event: Event) {
+        match event {
+            Event::FastSuccess => LAST_PATH.with(|p| p.set(Some(Path::Fast))),
+            Event::LockedComplete => LAST_PATH.with(|p| p.set(Some(Path::Locked))),
+            Event::SlowTimeout | Event::SlowPoisoned => LAST_PATH.with(|p| p.set(None)),
+            _ => {}
+        }
+        if !ENABLED.load(Ordering::Relaxed) {
+            return;
+        }
+        let (code, arg) = encode(event);
+        MY_RING.with(|cell| cell.get_or_init(register_ring).push(code, arg));
+    }
+
+    pub(super) fn last_path() -> Option<Path> {
+        LAST_PATH.with(Cell::get)
+    }
+
+    pub(super) fn set_enabled(on: bool) {
+        ENABLED.store(on, Ordering::SeqCst);
+    }
+
+    pub(super) fn enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    pub(super) fn collect() -> Trace {
+        let rings = RINGS.lock().unwrap_or_else(|e| e.into_inner());
+        let mut events = Vec::new();
+        let mut dropped = 0u64;
+        for ring in rings.iter() {
+            let head = ring.head.load(Ordering::Acquire);
+            let floor = ring.floor.load(Ordering::Acquire);
+            let oldest = head.saturating_sub(RING_CAPACITY as u64).max(floor);
+            dropped += oldest - floor;
+            for i in oldest..head {
+                let slot = &ring.slots[(i as usize) & (RING_CAPACITY - 1)];
+                let word = slot.word.load(Ordering::Relaxed);
+                let code = (word >> 32) as u8;
+                let arg = word as u32;
+                if let Some(event) = decode(code, arg) {
+                    events.push(TraceEvent {
+                        thread: ring.thread,
+                        seq: slot.seq.load(Ordering::Relaxed),
+                        wall_ns: slot.wall_ns.load(Ordering::Relaxed),
+                        event,
+                    });
+                }
+            }
+        }
+        events.sort_by_key(|e| e.seq);
+        Trace { events, dropped }
+    }
+
+    pub(super) fn clear() {
+        let rings = RINGS.lock().unwrap_or_else(|e| e.into_inner());
+        for ring in rings.iter() {
+            let head = ring.head.load(Ordering::Acquire);
+            ring.floor.store(head, Ordering::Release);
+        }
+    }
+}
+
+/// Appends `event` to the calling thread's ring buffer.
+///
+/// Prefer the [`crate::probe!`] macro at instrumentation sites: the
+/// macro disappears entirely in un-traced builds, while calling this
+/// function directly only exists when the `trace` feature is on.
+#[cfg(feature = "trace")]
+pub fn record(event: Event) {
+    imp::record(event);
+}
+
+/// The path taken by the calling thread's most recently **completed**
+/// strong operation: `Some(Fast)` after a fast-path success,
+/// `Some(Locked)` after an under-lock completion, `None` initially and
+/// after a timeout or survived panic (no completion took place).
+///
+/// Returns `None` always when the `trace` feature is off.
+#[must_use]
+pub fn last_path() -> Option<Path> {
+    #[cfg(feature = "trace")]
+    {
+        imp::last_path()
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        None
+    }
+}
+
+/// Runtime master switch for recording (default on). Turning it off
+/// leaves probe sites at one relaxed atomic load each — useful for
+/// measuring instrumentation overhead within a single traced build.
+/// No-op without the `trace` feature.
+pub fn set_enabled(on: bool) {
+    #[cfg(feature = "trace")]
+    imp::set_enabled(on);
+    #[cfg(not(feature = "trace"))]
+    let _ = on;
+}
+
+/// Whether probes currently record: the `trace` feature is compiled in
+/// *and* the runtime switch is on. Bench binaries use this to decide
+/// whether trace artifacts are worth emitting.
+#[must_use]
+pub fn enabled() -> bool {
+    #[cfg(feature = "trace")]
+    {
+        imp::enabled()
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        false
+    }
+}
+
+/// Merges every thread's ring into one [`Trace`] ordered by logical
+/// timestamp. Cheap relative to tracing itself; collect at quiescent
+/// points for exact results (see the module docs). Empty without the
+/// `trace` feature.
+#[must_use]
+pub fn collect() -> Trace {
+    #[cfg(feature = "trace")]
+    {
+        imp::collect()
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        Trace::default()
+    }
+}
+
+/// Logically discards everything recorded so far (subsequent
+/// [`collect`] calls return only newer events, and the dropped counter
+/// restarts). No-op without the `trace` feature.
+pub fn clear() {
+    #[cfg(feature = "trace")]
+    imp::clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_labels_and_payloads() {
+        assert_eq!(Event::FastSuccess.label(), "fast-success");
+        assert_eq!(Event::CasFail("stack::top").label(), "cas-fail@stack::top");
+        assert_eq!(Event::CasFail("stack::top").site(), Some("stack::top"));
+        assert_eq!(Event::LockAcquire(3).proc(), Some(3));
+        assert_eq!(Event::LockAcquire(3).to_string(), "lock-acquire(3)");
+        assert_eq!(
+            Event::FailPoint("cs::locked").to_string(),
+            "fail-point@cs::locked"
+        );
+    }
+
+    #[test]
+    fn trace_counts_group_and_sort() {
+        let mk = |event, seq| TraceEvent {
+            thread: 0,
+            seq,
+            wall_ns: seq,
+            event,
+        };
+        let trace = Trace {
+            events: vec![
+                mk(Event::FastSuccess, 0),
+                mk(Event::FastSuccess, 1),
+                mk(Event::CasFail("top"), 2),
+            ],
+            dropped: 0,
+        };
+        assert_eq!(
+            trace.counts(),
+            vec![
+                ("fast-success".to_owned(), 2),
+                ("cas-fail@top".to_owned(), 1)
+            ]
+        );
+        assert_eq!(trace.thread_count(), 1);
+        assert!(!trace.is_empty());
+    }
+
+    #[cfg(not(feature = "trace"))]
+    #[test]
+    fn disabled_build_records_nothing() {
+        crate::probe!(Event::FastSuccess);
+        assert!(collect().is_empty());
+        assert_eq!(last_path(), None);
+        assert!(!enabled());
+    }
+
+    #[cfg(feature = "trace")]
+    mod live {
+        use super::super::*;
+        use std::sync::Mutex;
+
+        /// The rings are process-global; live tests serialize.
+        static SERIAL: Mutex<()> = Mutex::new(());
+
+        fn serial() -> std::sync::MutexGuard<'static, ()> {
+            SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        #[test]
+        fn record_and_collect_round_trip() {
+            let _serial = serial();
+            clear();
+            record(Event::FastAttempt);
+            record(Event::CasFail("probe-test::site"));
+            record(Event::FastSuccess);
+            let trace = collect();
+            let ours: Vec<&TraceEvent> = trace
+                .events
+                .iter()
+                .filter(|e| {
+                    matches!(
+                        e.event,
+                        Event::FastAttempt
+                            | Event::CasFail("probe-test::site")
+                            | Event::FastSuccess
+                    )
+                })
+                .collect();
+            assert!(ours.len() >= 3, "got {} events", ours.len());
+            // Logical timestamps are strictly increasing in the merge.
+            assert!(trace.events.windows(2).all(|w| w[0].seq < w[1].seq));
+            clear();
+        }
+
+        #[test]
+        fn last_path_tracks_completions() {
+            let _serial = serial();
+            record(Event::FastSuccess);
+            assert_eq!(last_path(), Some(Path::Fast));
+            record(Event::LockedComplete);
+            assert_eq!(last_path(), Some(Path::Locked));
+            record(Event::SlowTimeout);
+            assert_eq!(last_path(), None);
+            clear();
+        }
+
+        #[test]
+        fn wraparound_reports_dropped() {
+            let _serial = serial();
+            clear();
+            let n = super::super::imp::RING_CAPACITY as u64 + 100;
+            for _ in 0..n {
+                record(Event::FastAttempt);
+            }
+            let trace = collect();
+            assert!(trace.dropped >= 100, "dropped {}", trace.dropped);
+            clear();
+            assert_eq!(collect().dropped, 0, "clear restarts the drop counter");
+        }
+
+        #[test]
+        fn runtime_switch_pauses_recording() {
+            let _serial = serial();
+            clear();
+            set_enabled(false);
+            assert!(!enabled());
+            record(Event::ContentionRaise);
+            set_enabled(true);
+            let raised = collect()
+                .events
+                .iter()
+                .filter(|e| e.event == Event::ContentionRaise)
+                .count();
+            assert_eq!(raised, 0, "disabled recording must drop events");
+            clear();
+        }
+
+        #[test]
+        fn threads_get_distinct_ids() {
+            let _serial = serial();
+            clear();
+            record(Event::TurnAdvance(1));
+            std::thread::spawn(|| record(Event::TurnAdvance(2)))
+                .join()
+                .unwrap();
+            let trace = collect();
+            let turn_threads: Vec<u32> = trace
+                .events
+                .iter()
+                .filter(|e| matches!(e.event, Event::TurnAdvance(_)))
+                .map(|e| e.thread)
+                .collect();
+            assert!(turn_threads.len() >= 2);
+            let mut distinct = turn_threads.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            assert!(distinct.len() >= 2, "each thread gets its own ring");
+            clear();
+        }
+    }
+}
