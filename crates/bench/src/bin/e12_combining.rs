@@ -1,0 +1,183 @@
+//! E12 — flat combining on the slow path.
+//!
+//! Both variants run with the fast path compiled *out*
+//! ([`CsConfig::without_fast_path`]), so every operation goes through
+//! the slow path and the experiment isolates what happens under the
+//! lock:
+//!
+//! * `slow/plain` — the paper's slow path: each operation takes the
+//!   §4.4-boosted lock, applies its own weak op, releases;
+//! * `slow/combining` — the lock winner serves every request posted
+//!   in the publication list before releasing
+//!   ([`CsConfig::with_combining`]).
+//!
+//! Under real contention one lock tenure amortizes over the whole
+//! pending batch, so combining throughput should *rise* (or at least
+//! hold) with the thread count while the plain lock's hand-off costs
+//! grow. The acceptance bar is combining ≥ 1.5× plain at ≥ 8 threads.
+//!
+//! Besides the table, the run writes a machine-readable
+//! `results/BENCH_e12.json` (`CSO_E12_OUT` overrides the path) so CI
+//! can validate the numbers.
+
+use std::io::Write as _;
+
+use cso_bench::adapters::{drive_stack, prefill_stack, BenchStack};
+use cso_bench::report::{fmt_rate, Table};
+use cso_bench::workload::OpMix;
+use cso_bench::{cell_duration, thread_counts};
+use cso_core::{CombiningStats, CsConfig};
+use cso_locks::TasLock;
+use cso_stack::{CsStack, PushOutcome};
+
+/// A forced-slow-path stack under one of the two slow-path designs.
+struct SlowPathAdapter {
+    label: &'static str,
+    stack: CsStack<u32>,
+}
+
+impl SlowPathAdapter {
+    fn new(label: &'static str, n: usize, config: CsConfig) -> SlowPathAdapter {
+        SlowPathAdapter {
+            label,
+            stack: CsStack::with_config(65_000, TasLock::new(), n, config),
+        }
+    }
+}
+
+impl BenchStack for SlowPathAdapter {
+    fn name(&self) -> &'static str {
+        self.label
+    }
+
+    fn push(&self, proc: usize, value: u32) -> bool {
+        self.stack.push(proc, value) == PushOutcome::Pushed
+    }
+
+    fn pop(&self, proc: usize) -> Option<u32> {
+        self.stack.pop(proc).into_option()
+    }
+
+    fn locked_fraction(&self) -> Option<f64> {
+        Some(self.stack.path_stats().locked_fraction())
+    }
+}
+
+/// One measured cell: both variants at one thread count.
+struct Cell {
+    threads: usize,
+    plain_ops_per_sec: f64,
+    combining_ops_per_sec: f64,
+    combining: CombiningStats,
+}
+
+impl Cell {
+    fn speedup(&self) -> f64 {
+        if self.plain_ops_per_sec > 0.0 {
+            self.combining_ops_per_sec / self.plain_ops_per_sec
+        } else {
+            0.0
+        }
+    }
+}
+
+fn measure(threads: usize) -> Cell {
+    let duration = cell_duration();
+
+    let plain = SlowPathAdapter::new("slow/plain", threads, CsConfig::PAPER.without_fast_path());
+    prefill_stack(&plain, 16_384);
+    plain.stack.reset_path_stats();
+    let plain_run = drive_stack(&plain, threads, duration, OpMix::BALANCED, 0);
+
+    let combining = SlowPathAdapter::new(
+        "slow/combining",
+        threads,
+        CsConfig::PAPER.without_fast_path().with_combining(),
+    );
+    prefill_stack(&combining, 16_384);
+    combining.stack.reset_path_stats();
+    let combining_run = drive_stack(&combining, threads, duration, OpMix::BALANCED, 0);
+
+    Cell {
+        threads,
+        plain_ops_per_sec: plain_run.ops_per_sec(),
+        combining_ops_per_sec: combining_run.ops_per_sec(),
+        combining: combining.stack.combining_stats(),
+    }
+}
+
+fn json_report(cells: &[Cell]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"e12_combining\",\n");
+    out.push_str(&format!(
+        "  \"bench_ms\": {},\n  \"mix\": \"50/50\",\n  \"cells\": [\n",
+        cell_duration().as_millis()
+    ));
+    for (i, cell) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"threads\": {}, \"plain_ops_per_sec\": {:.1}, ",
+                "\"combining_ops_per_sec\": {:.1}, \"speedup\": {:.3}, ",
+                "\"batches\": {}, \"combined\": {}, ",
+                "\"max_batch\": {}, \"avg_batch\": {:.2}}}{}\n"
+            ),
+            cell.threads,
+            cell.plain_ops_per_sec,
+            cell.combining_ops_per_sec,
+            cell.speedup(),
+            cell.combining.batches,
+            cell.combining.combined,
+            cell.combining.max_batch,
+            cell.combining.avg_batch(),
+            if i + 1 < cells.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    println!("E12: plain-lock vs flat-combining slow path (fast path disabled)");
+    println!("({} ms per cell, 50/50 mix)\n", cell_duration().as_millis());
+
+    let cells: Vec<Cell> = thread_counts().into_iter().map(measure).collect();
+
+    let mut table = Table::new(&[
+        "threads",
+        "plain ops/s",
+        "combining ops/s",
+        "speedup",
+        "batches",
+        "avg batch",
+        "max batch",
+    ]);
+    for cell in &cells {
+        table.row(vec![
+            cell.threads.to_string(),
+            fmt_rate(cell.plain_ops_per_sec),
+            fmt_rate(cell.combining_ops_per_sec),
+            format!("{:.2}x", cell.speedup()),
+            cell.combining.batches.to_string(),
+            format!("{:.2}", cell.combining.avg_batch()),
+            cell.combining.max_batch.to_string(),
+        ]);
+    }
+    table.print();
+
+    let out_path = std::env::var("CSO_E12_OUT").unwrap_or_else(|_| {
+        let root =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_e12.json");
+        root.to_string_lossy().into_owned()
+    });
+    let report = json_report(&cells);
+    match std::fs::File::create(&out_path).and_then(|mut f| f.write_all(report.as_bytes())) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => eprintln!("\nfailed to write {out_path}: {e}"),
+    }
+
+    println!("\nReading: with the fast path off, every operation pays the lock.");
+    println!("Plain hand-off serializes lock acquisitions; combining amortizes one");
+    println!("acquisition over the whole posted batch, so the gap widens with the");
+    println!("thread count (avg batch tracks how many requests a tenure serves).");
+    cso_bench::tracing::emit("e12_combining");
+}

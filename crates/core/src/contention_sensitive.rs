@@ -24,12 +24,14 @@ use std::time::Duration;
 
 use cso_locks::{ProcLock, RawLock, StarvationFree};
 use cso_memory::backoff::{Deadline, Spinner};
+use cso_memory::combining::{CachePadded, PubRecord, RecordState};
 use cso_memory::fail_point;
 use cso_memory::reg::RegBool;
 use cso_trace::{probe, Event};
 
 use crate::abortable::Abortable;
 use crate::error::TimedOut;
+use crate::gate::AdaptiveGate;
 use crate::progress::ProgressCondition;
 
 /// Which of Figure 3's mechanisms are enabled — the paper
@@ -45,6 +47,23 @@ pub struct CsConfig {
     /// booster. Disabling it takes the deadlock-free lock directly:
     /// progress degrades from starvation-free to non-blocking.
     pub fair: bool,
+    /// Lines 01–03: attempt the lock-free fast path at all. Disabling
+    /// it forces every invocation onto the slow path — the
+    /// always-locking strawman the paper argues against, kept as a
+    /// configuration so experiments (E12) can put the *slow paths*
+    /// under contention deliberately.
+    pub fast_path: bool,
+    /// Replace the one-at-a-time slow path with **flat combining**:
+    /// contended operations post publication records and the lock
+    /// winner applies every pending request in one tenure (see the
+    /// module docs of [`cso_memory::combining`]).
+    pub combining: bool,
+    /// Layer the [`AdaptiveGate`] over the fast path: divert to the
+    /// slow path only when the EWMA of recent fast-path aborts says
+    /// the fast path is genuinely losing, with hysteresis and periodic
+    /// probing. Off, the `CONTENTION` register alone routes (the
+    /// paper's exact behaviour).
+    pub adaptive_gate: bool,
 }
 
 impl CsConfig {
@@ -52,17 +71,58 @@ impl CsConfig {
     pub const PAPER: CsConfig = CsConfig {
         contention_flag: true,
         fair: true,
+        fast_path: true,
+        combining: false,
+        adaptive_gate: false,
     };
     /// Ablation (i): no `CONTENTION` guard.
     pub const NO_FLAG: CsConfig = CsConfig {
         contention_flag: false,
         fair: true,
+        fast_path: true,
+        combining: false,
+        adaptive_gate: false,
     };
     /// Ablation (ii): no `FLAG`/`TURN` fairness.
     pub const UNFAIR: CsConfig = CsConfig {
         contention_flag: true,
         fair: false,
+        fast_path: true,
+        combining: false,
+        adaptive_gate: false,
     };
+    /// The combining upgrade: Figure 3's fast path, a flat-combining
+    /// slow path, and the adaptive gate in front of the lock.
+    pub const COMBINING: CsConfig = CsConfig {
+        contention_flag: true,
+        fair: true,
+        fast_path: true,
+        combining: true,
+        adaptive_gate: true,
+    };
+
+    /// This configuration with the flat-combining slow path enabled.
+    #[must_use]
+    pub const fn with_combining(mut self) -> CsConfig {
+        self.combining = true;
+        self
+    }
+
+    /// This configuration with the adaptive gate enabled.
+    #[must_use]
+    pub const fn with_adaptive_gate(mut self) -> CsConfig {
+        self.adaptive_gate = true;
+        self
+    }
+
+    /// This configuration with the fast path disabled (every
+    /// invocation takes the slow path — for forced-contention
+    /// experiments and stress tests).
+    #[must_use]
+    pub const fn without_fast_path(mut self) -> CsConfig {
+        self.fast_path = false;
+        self
+    }
 }
 
 impl Default for CsConfig {
@@ -70,6 +130,9 @@ impl Default for CsConfig {
         CsConfig::PAPER
     }
 }
+
+/// The publication list: one cache-padded record per process.
+type PubList<O> = Box<[CachePadded<PubRecord<<O as Abortable>::Op, <O as Abortable>::Response>>]>;
 
 /// How many operations completed on each path (diagnostics for
 /// experiment E4: "fraction of ops that took the lock").
@@ -111,6 +174,13 @@ pub struct FaultStats {
     pub poisoned: u64,
     /// Deadline-bounded invocations that returned [`TimedOut`].
     pub timeouts: u64,
+    /// Publication records a combiner poisoned by unwinding mid-batch.
+    /// Each poisoned record's operation was **not** applied; its owner
+    /// reclaimed the record and retried cleanly, so — unlike
+    /// `poisoned` and `timeouts` — these are *survived handoffs inside
+    /// still-running invocations*, not finished invocations, and they
+    /// are excluded from [`Telemetry::invocations`].
+    pub record_poisoned: u64,
 }
 
 /// Documented upper bound on the shared-memory accesses of a **solo,
@@ -179,6 +249,38 @@ impl Telemetry {
     }
 }
 
+/// Activity counters of the flat-combining slow path (all zero unless
+/// [`CsConfig::combining`] is enabled).
+///
+/// In forced-slow-path runs every under-lock completion is either a
+/// combiner's own operation (one per batch) or a served request, so
+/// `batches + combined == PathStats::locked` — an invariant the stress
+/// tests assert.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CombiningStats {
+    /// Lock tenures that ran the combining loop.
+    pub batches: u64,
+    /// Requests applied by a combiner on behalf of *other* processes.
+    pub combined: u64,
+    /// The largest single tenure (the combiner's own operation plus
+    /// everything it served).
+    pub max_batch: u64,
+}
+
+impl CombiningStats {
+    /// Mean operations retired per lock tenure (≥ 1.0 once any batch
+    /// ran; 0.0 when idle). This is the number that explains the E12
+    /// speedup: a plain lock retires exactly 1.0 per tenure.
+    #[must_use]
+    pub fn avg_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            (self.batches + self.combined) as f64 / self.batches as f64
+        }
+    }
+}
+
 /// Figure 3 of the paper, generalized to any [`Abortable`] object:
 /// a **contention-sensitive, starvation-free** implementation.
 ///
@@ -206,19 +308,47 @@ impl Telemetry {
 ///
 /// The starred lines live in [`StarvationFree`]; the inner lock `L`
 /// only needs to be deadlock-free (a plain TAS lock suffices).
-pub struct ContentionSensitive<O, L> {
+///
+/// # The combining slow path
+///
+/// With [`CsConfig::combining`] enabled, the slow path is **flat
+/// combining** instead of one-at-a-time locking: a contended operation
+/// posts a request into its own cache-padded publication record
+/// ([`cso_memory::combining`]) and spins locally; the process that
+/// wins the lock becomes the *combiner* and applies every pending
+/// request in one tenure, writing responses back through the records.
+/// The fast path (lines 01–03) is untouched, so Theorem 1's six-access
+/// bound still holds contention-free — the publication list and the
+/// [`AdaptiveGate`] live entirely in uncounted atomics.
+///
+/// Linearizability is preserved: the combiner applies each claimed
+/// request via the object's own `try_apply` while its owner is still
+/// blocked inside `apply`, so the request's linearization point (the
+/// successful weak operation inside the lock tenure) falls strictly
+/// between the owner's invocation and response — who *executes* the
+/// operation changes, where it *takes effect* in real time does not.
+pub struct ContentionSensitive<O: Abortable, L> {
     inner: O,
     /// The paper's `CONTENTION` boolean register.
     contention: RegBool,
     /// The §4.4-boosted lock (lines 04–06 / 10–12).
     lock: StarvationFree<L>,
     config: CsConfig,
+    /// One publication record per process (combining slow path).
+    records: PubList<O>,
+    /// The EWMA abort-rate gate in front of the fast path.
+    gate: AdaptiveGate,
     // Path statistics: plain (uncounted) atomics — metrics, not part
     // of the algorithm's shared-memory footprint.
     fast: AtomicU64,
     locked: AtomicU64,
     poisoned: AtomicU64,
     timeouts: AtomicU64,
+    record_poisoned: AtomicU64,
+    // Combining statistics.
+    batches: AtomicU64,
+    combined: AtomicU64,
+    max_batch: AtomicU64,
 }
 
 /// RAII custody of the slow path's shared state (lines 07–12).
@@ -234,7 +364,7 @@ pub struct ContentionSensitive<O, L> {
 /// The path counters live here too, *before* the release, so no
 /// window exists in which the lock is free but the operation is
 /// missing from [`PathStats`] (the old post-unlock `fetch_add` race).
-struct SlowGuard<'a, O, L: RawLock> {
+struct SlowGuard<'a, O: Abortable, L: RawLock> {
     cs: &'a ContentionSensitive<O, L>,
     proc: usize,
     /// Set on normal completion; selects the `locked` counter. Left
@@ -243,7 +373,7 @@ struct SlowGuard<'a, O, L: RawLock> {
     completed: bool,
 }
 
-impl<O, L: RawLock> Drop for SlowGuard<'_, O, L> {
+impl<O: Abortable, L: RawLock> Drop for SlowGuard<'_, O, L> {
     fn drop(&mut self) {
         let cs = self.cs;
         // Count first: once the lock is released, observers must
@@ -270,7 +400,62 @@ impl<O, L: RawLock> Drop for SlowGuard<'_, O, L> {
     }
 }
 
-impl<O, L> std::fmt::Debug for ContentionSensitive<O, L> {
+/// How many claim-and-apply sweeps one combiner tenure runs before
+/// handing the lock back. Bounding the tenure keeps a steady stream of
+/// arrivals from starving the combiner's own caller; anything missed
+/// is picked up by the next tenure.
+const COMBINE_ROUNDS: usize = 3;
+
+/// RAII custody of a **combining** lock tenure — the flat-combining
+/// counterpart of [`SlowGuard`].
+///
+/// Between claiming a publication record and completing it, the record
+/// index sits in `claimed[applied..]`. If the tenure unwinds (an
+/// injected fault or a panicking weak operation), the drop poisons
+/// exactly those in-flight records **before** releasing the lock, so
+/// each owner observes a terminal state, reclaims, and retries —
+/// records that were merely posted (never claimed) are untouched and
+/// simply wait for the next combiner. Then `CONTENTION` is restored
+/// and the inner lock released, as in [`SlowGuard`].
+///
+/// The combining path takes the *inner* (deadlock-free) lock directly
+/// rather than the `FLAG`/`TURN`-boosted one: combining provides its
+/// own fairness (every tenure serves all pending records), so the
+/// round-robin booster would only add handoff latency.
+struct CombinerGuard<'a, O: Abortable, L: RawLock> {
+    cs: &'a ContentionSensitive<O, L>,
+    proc: usize,
+    /// Indices of records claimed in the current sweep.
+    claimed: Vec<usize>,
+    /// How many of `claimed` have been completed.
+    applied: usize,
+    completed: bool,
+}
+
+impl<O: Abortable, L: RawLock> Drop for CombinerGuard<'_, O, L> {
+    fn drop(&mut self) {
+        let cs = self.cs;
+        if self.completed {
+            cs.locked.fetch_add(1, Ordering::Relaxed);
+            probe!(Event::LockedComplete);
+        } else if std::thread::panicking() {
+            cs.poisoned.fetch_add(1, Ordering::Relaxed);
+            probe!(Event::SlowPoisoned);
+            // Poison only the in-flight claims; their owners retry.
+            for &i in &self.claimed[self.applied..] {
+                cs.records[i].poison();
+            }
+        }
+        if cs.config.contention_flag {
+            cs.contention.write(false);
+            probe!(Event::ContentionClear);
+        }
+        probe!(Event::LockRelease(self.proc as u32));
+        cs.lock.inner().unlock();
+    }
+}
+
+impl<O: Abortable, L> std::fmt::Debug for ContentionSensitive<O, L> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let stats = PathStats {
             fast: self.fast.load(Ordering::Relaxed),
@@ -308,10 +493,16 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
             contention: RegBool::new(false),
             lock: StarvationFree::new(lock, n),
             config,
+            records: (0..n).map(|_| CachePadded::new(PubRecord::new())).collect(),
+            gate: AdaptiveGate::new(),
             fast: AtomicU64::new(0),
             locked: AtomicU64::new(0),
             poisoned: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
+            record_poisoned: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            combined: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
         }
     }
 
@@ -329,6 +520,11 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
         // Lines 01–03: the lock-free shortcut.
         if let Some(res) = self.fast_path(op) {
             return res;
+        }
+
+        // The combining slow path replaces lines 04–13 wholesale.
+        if self.config.combining {
+            return self.apply_combining(proc, op);
         }
 
         // Lines 04–06: acquire the (boosted) lock.
@@ -472,19 +668,188 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
         }
     }
 
-    /// Lines 01–03: one `CONTENTION` read plus a weak attempt.
+    /// Lines 01–03: one `CONTENTION` read plus a weak attempt. With
+    /// the adaptive gate enabled, an engaged gate (sustained abort
+    /// EWMA) also diverts — but its bookkeeping is all uncounted, so
+    /// the contention-free cost stays at Theorem 1's six accesses.
     fn fast_path(&self, op: &O::Op) -> Option<O::Response> {
-        if !self.config.contention_flag || !self.contention.read() {
-            fail_point!("cs::fast", return None);
-            probe!(Event::FastAttempt);
-            if let Ok(res) = self.inner.try_apply(op) {
+        if !self.config.fast_path {
+            return None;
+        }
+        if self.config.contention_flag && self.contention.read() {
+            return None;
+        }
+        if self.config.adaptive_gate && self.gate.should_divert() {
+            return None;
+        }
+        fail_point!("cs::fast", return None);
+        probe!(Event::FastAttempt);
+        match self.inner.try_apply(op) {
+            Ok(res) => {
+                if self.config.adaptive_gate {
+                    self.gate.record(false);
+                }
                 self.fast.fetch_add(1, Ordering::Relaxed);
                 probe!(Event::FastSuccess);
-                return Some(res);
+                Some(res)
             }
-            probe!(Event::FastAbort);
+            Err(_) => {
+                if self.config.adaptive_gate {
+                    self.gate.record(true);
+                }
+                probe!(Event::FastAbort);
+                None
+            }
         }
-        None
+    }
+
+    /// The flat-combining slow path: post a publication record, then
+    /// spin locally until either a combiner delivers the response or
+    /// the lock is won — in which case *we* are the combiner.
+    ///
+    /// Progress: the record is withdrawn before combining (under the
+    /// lock, so no claim can race it), and every combiner's sweep
+    /// claims all records posted before it, so a posted request is
+    /// served within the next full tenure — no waiter starves as long
+    /// as some poster wins the (deadlock-free) lock.
+    fn apply_combining(&self, proc: usize, op: &O::Op) -> O::Response {
+        let rec: &PubRecord<O::Op, O::Response> = &self.records[proc];
+        #[cfg(feature = "trace")]
+        let posted_at = std::time::Instant::now();
+        // SAFETY: this frame does not return until the record reaches
+        // a terminal state it consumes (retract under the lock, take
+        // after Done, reclaim after Poisoned), so `op` stays valid for
+        // any claimer.
+        unsafe { rec.post(op) };
+        probe!(Event::RecordPost);
+        let mut spinner = Spinner::new();
+        loop {
+            match rec.state() {
+                RecordState::Done => {
+                    let res = rec.take_response();
+                    // An under-lock completion, attributed to this
+                    // (invoking) process — the combiner only executed.
+                    self.locked.fetch_add(1, Ordering::Relaxed);
+                    #[cfg(feature = "trace")]
+                    probe!(Event::RecordHandoff(
+                        u32::try_from(posted_at.elapsed().as_nanos()).unwrap_or(u32::MAX)
+                    ));
+                    probe!(Event::CombinedComplete);
+                    return res;
+                }
+                RecordState::Poisoned => {
+                    // The combiner unwound before applying us: the
+                    // operation took no effect. Reclaim and repost.
+                    rec.reclaim_poisoned();
+                    self.record_poisoned.fetch_add(1, Ordering::Relaxed);
+                    probe!(Event::RecordPoisoned);
+                    // SAFETY: as for the initial post above.
+                    unsafe { rec.post(op) };
+                    probe!(Event::RecordPost);
+                }
+                _ => {
+                    if self.lock.inner().try_lock() {
+                        probe!(Event::LockAcquire(proc as u32));
+                        if rec.try_retract() {
+                            return self.combine(proc, op);
+                        }
+                        // The previous holder moved our record to a
+                        // terminal state just before we acquired;
+                        // release and collect it on the next poll.
+                        probe!(Event::LockRelease(proc as u32));
+                        self.lock.inner().unlock();
+                    } else {
+                        spinner.spin();
+                    }
+                }
+            }
+        }
+    }
+
+    /// The combiner's lock tenure: apply our own operation, then serve
+    /// every pending publication record. Called with the inner lock
+    /// held and our own record retracted; the guard releases the lock
+    /// (and poisons in-flight claims) even on unwind.
+    fn combine(&self, proc: usize, op: &O::Op) -> O::Response {
+        let mut guard = CombinerGuard {
+            cs: self,
+            proc,
+            claimed: Vec::new(),
+            applied: 0,
+            completed: false,
+        };
+        // Line 07: divert fast-path arrivals while we batch.
+        if self.config.contention_flag {
+            self.contention.write(true);
+            probe!(Event::ContentionRaise);
+        }
+        fail_point!("cs::locked");
+        // Line 08 for our own operation.
+        let mut spinner = Spinner::new();
+        let res = loop {
+            match self.inner.try_apply(op) {
+                Ok(res) => break res,
+                Err(_) => spinner.spin(),
+            }
+        };
+        let served = self.serve_pending(&mut guard);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.combined.fetch_add(served, Ordering::Relaxed);
+        self.max_batch.fetch_max(served + 1, Ordering::Relaxed);
+        probe!(Event::CombineBatch(
+            u32::try_from(served + 1).unwrap_or(u32::MAX)
+        ));
+        guard.completed = true;
+        drop(guard);
+        res
+    }
+
+    /// Sweeps the publication list, claiming and applying every posted
+    /// request, for up to [`COMBINE_ROUNDS`] rounds (bounding the
+    /// tenure keeps the combiner itself from being starved by a steady
+    /// request stream). Returns the number of requests served.
+    fn serve_pending(&self, guard: &mut CombinerGuard<'_, O, L>) -> u64 {
+        let mut ops: Vec<*const O::Op> = Vec::new();
+        let mut served = 0u64;
+        for _ in 0..COMBINE_ROUNDS {
+            // Claim phase: collect everything posted so far.
+            ops.clear();
+            guard.claimed.clear();
+            guard.applied = 0;
+            for (i, rec) in self.records.iter().enumerate() {
+                if i == guard.proc {
+                    continue;
+                }
+                if let Some(ptr) = rec.try_claim() {
+                    guard.claimed.push(i);
+                    ops.push(ptr);
+                }
+            }
+            if ops.is_empty() {
+                break;
+            }
+            // Apply phase: the object sees the batch boundaries.
+            self.inner.batch_begin(ops.len());
+            for (k, ptr) in ops.iter().enumerate() {
+                fail_point!("cs::combine");
+                // SAFETY: the claim pins the owner in
+                // `apply_combining` until we publish a terminal state,
+                // so the pointer it posted is still live.
+                let claimed_op = unsafe { &**ptr };
+                let mut spinner = Spinner::new();
+                let res = loop {
+                    match self.inner.try_apply(claimed_op) {
+                        Ok(res) => break res,
+                        Err(_) => spinner.spin(),
+                    }
+                };
+                self.records[guard.claimed[k]].complete(res);
+                guard.applied = k + 1;
+            }
+            self.inner.batch_end(ops.len());
+            served += ops.len() as u64;
+        }
+        served
     }
 
     /// Snapshot of how many operations used each path.
@@ -501,7 +866,26 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
         FaultStats {
             poisoned: self.poisoned.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
+            record_poisoned: self.record_poisoned.load(Ordering::Relaxed),
         }
+    }
+
+    /// Snapshot of the flat-combining activity counters (all zero
+    /// unless [`CsConfig::combining`] is on).
+    pub fn combining_stats(&self) -> CombiningStats {
+        CombiningStats {
+            batches: self.batches.load(Ordering::Relaxed),
+            combined: self.combined.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The adaptive contention gate (for inspection, and for tests and
+    /// experiments that need to force a deterministic gate state via
+    /// [`AdaptiveGate::force_engage`]). It only routes operations when
+    /// [`CsConfig::adaptive_gate`] is on.
+    pub fn gate(&self) -> &AdaptiveGate {
+        &self.gate
     }
 
     /// One coherent snapshot of [`PathStats`] and [`FaultStats`]
@@ -519,6 +903,10 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
         self.locked.store(0, Ordering::Relaxed);
         self.poisoned.store(0, Ordering::Relaxed);
         self.timeouts.store(0, Ordering::Relaxed);
+        self.record_poisoned.store(0, Ordering::Relaxed);
+        self.batches.store(0, Ordering::Relaxed);
+        self.combined.store(0, Ordering::Relaxed);
+        self.max_batch.store(0, Ordering::Relaxed);
     }
 
     /// The number of processes this instance serves.
@@ -650,6 +1038,8 @@ mod tests {
             faults: FaultStats {
                 poisoned: 1,
                 timeouts: 1,
+                // Retried handoffs are not finished invocations.
+                record_poisoned: 5,
             },
         };
         assert_eq!(t.invocations(), 10);
@@ -691,5 +1081,114 @@ mod tests {
         let total = cs.inner().applied.load(std::sync::atomic::Ordering::SeqCst);
         assert_eq!(total, 8_000);
         assert_eq!(cs.stats().total(), 8_000);
+    }
+
+    #[test]
+    fn combining_solo_op_self_serves() {
+        // Forced slow path + combining: a solo op posts, wins the
+        // lock, retracts its own record, and serves an empty batch.
+        let cs = make(0, CsConfig::COMBINING.without_fast_path());
+        assert_eq!(cs.apply(0, &Bump(5)), 5);
+        assert_eq!(cs.stats(), PathStats { fast: 0, locked: 1 });
+        let combining = cs.combining_stats();
+        assert_eq!(
+            combining,
+            CombiningStats {
+                batches: 1,
+                combined: 0,
+                max_batch: 1,
+            }
+        );
+        assert!((combining.avg_batch() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combining_absorbs_aborts_under_the_lock() {
+        let cs = make(3, CsConfig::COMBINING.without_fast_path());
+        assert_eq!(cs.apply(1, &Bump(2)), 2);
+        assert_eq!(cs.apply(1, &Bump(2)), 4);
+        assert_eq!(cs.stats().locked, 2);
+    }
+
+    #[test]
+    fn combining_config_keeps_the_fast_path() {
+        let cs = make(0, CsConfig::COMBINING);
+        assert_eq!(cs.apply(0, &Bump(7)), 7);
+        assert_eq!(cs.stats(), PathStats { fast: 1, locked: 0 });
+        // And the fast path still costs exactly one extra access (the
+        // CONTENTION read): gate and records are uncounted.
+        let scope = CountScope::start();
+        cs.apply(0, &Bump(1));
+        assert_eq!(scope.take().total(), 1);
+    }
+
+    #[test]
+    fn concurrent_combining_completes_everything_exactly_once() {
+        use std::sync::Arc;
+        const THREADS: usize = 4;
+        const OPS: u64 = 2_000;
+        let cs = Arc::new(make(0, CsConfig::COMBINING.without_fast_path()));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|i| {
+                let cs = Arc::clone(&cs);
+                std::thread::spawn(move || {
+                    for _ in 0..OPS {
+                        cs.apply(i, &Bump(1));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let expected = THREADS as u64 * OPS;
+        let total = cs.inner().applied.load(std::sync::atomic::Ordering::SeqCst);
+        assert_eq!(total, expected, "every op applied exactly once");
+        let stats = cs.stats();
+        assert_eq!(
+            stats,
+            PathStats {
+                fast: 0,
+                locked: expected
+            }
+        );
+        // Every under-lock completion is either a combiner's own op
+        // (one per batch) or a served request.
+        let combining = cs.combining_stats();
+        assert_eq!(combining.batches + combining.combined, stats.locked);
+        assert_eq!(cs.fault_stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn engaged_gate_diverts_then_probes_its_way_back() {
+        let cs = make(0, CsConfig::COMBINING);
+        cs.gate().force_engage();
+        for _ in 0..2_000 {
+            cs.apply(0, &Bump(1));
+        }
+        assert!(
+            !cs.gate().engaged(),
+            "probe successes must disengage the gate (ewma {})",
+            cs.gate().abort_ewma()
+        );
+        let stats = cs.stats();
+        assert!(stats.locked > 0, "engaged gate diverted nothing");
+        assert!(stats.fast > 0, "probes and post-disengage ops run fast");
+        assert_eq!(stats.total(), 2_000);
+        assert!(cs.gate().stats().diverted > 0);
+    }
+
+    #[test]
+    fn batch_hooks_reach_the_inner_object() {
+        // Two processes: one blocks as a waiter (scripted abort forces
+        // it slow... not available deterministically here), so instead
+        // drive the hook directly through the trait to pin the default
+        // and the forwarding impls.
+        let obj = ScriptedObject::with_aborts(0);
+        obj.batch_begin(3); // default no-op must exist
+        obj.batch_end(3);
+        let by_ref: &ScriptedObject = &obj;
+        by_ref.batch_begin(1);
+        by_ref.batch_end(1);
     }
 }

@@ -60,15 +60,18 @@
 mod abortable;
 mod contention_sensitive;
 mod error;
+mod gate;
 mod manager;
 mod nonblocking;
 pub mod progress;
 
-pub use abortable::Abortable;
+pub use abortable::{Abortable, BatchCounters, BatchStats};
 pub use contention_sensitive::{
-    ContentionSensitive, CsConfig, FaultStats, PathStats, Telemetry, LOCKED_SOLO_ACCESS_BOUND,
+    CombiningStats, ContentionSensitive, CsConfig, FaultStats, PathStats, Telemetry,
+    LOCKED_SOLO_ACCESS_BOUND,
 };
 pub use error::{Aborted, TimedOut};
+pub use gate::{AdaptiveGate, GateStats};
 pub use manager::{ContentionManager, ExpBackoff, NoBackoff, SpinBackoff, YieldBackoff};
 pub use nonblocking::NonBlocking;
 pub use progress::ProgressCondition;

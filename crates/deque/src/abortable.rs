@@ -3,7 +3,7 @@
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use cso_core::{Abortable, Aborted};
+use cso_core::{Abortable, Aborted, BatchCounters, BatchStats};
 use cso_memory::bits::Bits32;
 use cso_memory::fail_point;
 use cso_memory::packed::{DequeState, DequeWord};
@@ -48,6 +48,7 @@ pub struct AbortableDeque<V> {
     slots: Box<[Reg64]>,
     attempts: AtomicU64,
     aborts: AtomicU64,
+    batch: BatchCounters,
     _values: PhantomData<V>,
 }
 
@@ -90,6 +91,7 @@ impl<V: Bits32> AbortableDeque<V> {
             slots,
             attempts: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
+            batch: BatchCounters::new(),
             _values: PhantomData,
         }
     }
@@ -313,6 +315,14 @@ impl<V: Bits32> AbortableDeque<V> {
             self.aborts.load(Ordering::Relaxed),
         )
     }
+
+    /// Combining-batch totals observed through the
+    /// [`Abortable::batch_begin`] / [`Abortable::batch_end`] hooks
+    /// (all zero unless a combining transformation drives this deque).
+    #[must_use]
+    pub fn batch_stats(&self) -> BatchStats {
+        self.batch.snapshot()
+    }
 }
 
 impl<V: Bits32> Abortable for AbortableDeque<V> {
@@ -324,6 +334,14 @@ impl<V: Bits32> Abortable for AbortableDeque<V> {
             DequeOp::Push(end, v) => self.try_push(*end, *v).map(DequeResponse::Push),
             DequeOp::Pop(end) => self.try_pop(*end).map(DequeResponse::Pop),
         }
+    }
+
+    fn batch_begin(&self, pending: usize) {
+        self.batch.begin(pending);
+    }
+
+    fn batch_end(&self, applied: usize) {
+        self.batch.end(applied);
     }
 }
 

@@ -1,7 +1,10 @@
 //! Figure 3 over the deque: obstruction-free → starvation-free in
 //! one transformation.
 
-use cso_core::{ContentionSensitive, CsConfig, PathStats, ProgressCondition};
+use cso_core::{
+    AdaptiveGate, BatchStats, CombiningStats, ContentionSensitive, CsConfig, FaultStats, PathStats,
+    ProgressCondition,
+};
 use cso_locks::{RawLock, TasLock};
 use cso_memory::bits::Bits32;
 
@@ -56,13 +59,20 @@ impl<V: Bits32, L: RawLock> CsDeque<V, L> {
     /// Panics on invalid capacities or if `n == 0`.
     #[must_use]
     pub fn with_lock(capacity: usize, lock: L, n: usize) -> CsDeque<V, L> {
+        CsDeque::with_config(capacity, lock, n, CsConfig::PAPER)
+    }
+
+    /// Creates a deque with an explicit mechanism selection (the E8
+    /// ablations; [`CsConfig::COMBINING`] adds the flat-combining slow
+    /// path).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid capacities or if `n == 0`.
+    #[must_use]
+    pub fn with_config(capacity: usize, lock: L, n: usize, config: CsConfig) -> CsDeque<V, L> {
         CsDeque {
-            inner: ContentionSensitive::with_config(
-                AbortableDeque::new(capacity),
-                lock,
-                n,
-                CsConfig::PAPER,
-            ),
+            inner: ContentionSensitive::with_config(AbortableDeque::new(capacity), lock, n, config),
         }
     }
 
@@ -136,6 +146,30 @@ impl<V: Bits32, L: RawLock> CsDeque<V, L> {
     /// Fast-path vs lock-path completion counts.
     pub fn path_stats(&self) -> PathStats {
         self.inner.stats()
+    }
+
+    /// Survived slow-path panics and deadline expiries (see
+    /// [`ContentionSensitive::fault_stats`]).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.inner.fault_stats()
+    }
+
+    /// Combiner-tenure totals of the flat-combining slow path
+    /// (all zero unless built with [`CsConfig::with_combining`]).
+    pub fn combining_stats(&self) -> CombiningStats {
+        self.inner.combining_stats()
+    }
+
+    /// Batches seen by the underlying abortable deque through its
+    /// batch-apply hooks.
+    pub fn batch_stats(&self) -> BatchStats {
+        self.inner.inner().batch_stats()
+    }
+
+    /// The adaptive contention gate (consulted only when built with
+    /// [`CsConfig::with_adaptive_gate`]).
+    pub fn gate(&self) -> &AdaptiveGate {
+        self.inner.gate()
     }
 }
 
@@ -216,6 +250,64 @@ mod tests {
         assert_eq!(all.len(), (THREADS * PER_THREAD) as usize);
         let distinct: HashSet<u32> = all.iter().copied().collect();
         assert_eq!(distinct.len(), all.len());
+    }
+
+    /// Forced-slow combining on the deque: both-end traffic conserves
+    /// values and the tenure accounting holds.
+    #[test]
+    fn combining_slow_path_conserves_and_reports_batches() {
+        use cso_locks::TasLock;
+        const THREADS: u32 = 3;
+        const PER_THREAD: u32 = 600;
+        let config = CsConfig::PAPER.without_fast_path().with_combining();
+        let deque: Arc<CsDeque<u32>> = Arc::new(CsDeque::with_config(
+            (THREADS * PER_THREAD) as usize,
+            TasLock::new(),
+            THREADS as usize,
+            config,
+        ));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let deque = Arc::clone(&deque);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    let my_end = if t % 2 == 0 { End::Right } else { End::Left };
+                    for i in 0..PER_THREAD {
+                        loop {
+                            // The arena splits capacity per end, so a
+                            // side can fill up: drain our own end then.
+                            match deque.push(t as usize, my_end, t * PER_THREAD + i) {
+                                DequePushOutcome::Pushed => break,
+                                DequePushOutcome::Full => {
+                                    if let DequePopOutcome::Popped(v) =
+                                        deque.pop(t as usize, my_end)
+                                    {
+                                        got.push(v);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut seen = HashSet::new();
+        for h in handles {
+            for v in h.join().unwrap() {
+                assert!(seen.insert(v), "duplicate value {v}");
+            }
+        }
+        while let DequePopOutcome::Popped(v) = deque.pop_left(0) {
+            assert!(seen.insert(v), "duplicate value {v}");
+        }
+        assert_eq!(seen.len(), (THREADS * PER_THREAD) as usize);
+
+        let paths = deque.path_stats();
+        let combining = deque.combining_stats();
+        assert_eq!(paths.fast, 0, "fast path disabled");
+        assert_eq!(combining.batches + combining.combined, paths.locked);
+        assert_eq!(deque.batch_stats().applied, combining.combined);
     }
 
     #[test]

@@ -1,0 +1,560 @@
+//! Model-checking the flat-combining publication-record handoff.
+//!
+//! The combining slow path of `cso-core` rests on a small protocol
+//! per publication record:
+//!
+//! ```text
+//! EMPTY ──post──▶ POSTED ──claim──▶ CLAIMED ──complete──▶ DONE
+//!    ▲              │                  │                    │
+//!    │           retract            poison (crash)      take_response
+//!    └──────────────┴──── reclaim ◀── POISONED              │
+//!    └──────────────────────────────────────────────────────┘
+//! ```
+//!
+//! This test hand-compiles that protocol — post, lock, retract, claim
+//! sweep, batch apply, result write-back, and the crash-recovery
+//! poison path — into a one-shared-access-per-step machine over the
+//! virtual memory, then explores schedules: exhaustively for two
+//! processes at small step bounds, randomized for three. The scripted
+//! `crash_after_served` knob is the model-side analogue of the
+//! `cs::combine` fail point armed by the chaos tests: the combiner
+//! dies mid-batch, poisons exactly the in-flight (claimed, unapplied)
+//! records, releases the lock, and its own operation returns ⊥ with
+//! no effect.
+//!
+//! Invariants checked on every terminal execution:
+//!
+//! * **No lock leak** — the lock is free once all operations finish,
+//!   even after combiner crashes.
+//! * **No stuck records** — every publication record returns to
+//!   `EMPTY`; a poisoned handoff is reclaimed and retried, never
+//!   abandoned in `CLAIMED`/`POISONED`.
+//! * **Exactly-once application** — the shared counter equals the sum
+//!   of all non-⊥ operations' increments, and the responses chain
+//!   (each equals its predecessor plus the operation's increment), so
+//!   no request is applied twice or lost.
+//! * **⊥ only from crashes** — operations without a scripted crash
+//!   always complete with a value.
+
+use cso_explore::explorer::{explore_exhaustive, explore_random, ExploreConfig, Terminal};
+use cso_explore::machine::{Bot, Step, StepMachine};
+use cso_explore::mem::Mem;
+
+// Record states (low byte of a record cell; payload in the high bits).
+const EMPTY: u64 = 0;
+const POSTED: u64 = 1;
+const CLAIMED: u64 = 2;
+const DONE: u64 = 3;
+const POISONED: u64 = 4;
+
+const LOCK: usize = 0;
+const COUNTER: usize = 1;
+
+fn rec(proc: usize) -> usize {
+    2 + proc
+}
+
+fn pack(state: u64, payload: u64) -> u64 {
+    state | (payload << 8)
+}
+
+fn state_of(word: u64) -> u64 {
+    word & 0xFF
+}
+
+fn payload_of(word: u64) -> u64 {
+    word >> 8
+}
+
+fn initial_mem(n: usize) -> Mem {
+    Mem::new(vec![0; 2 + n])
+}
+
+/// One combining operation: add `v` to the shared counter, returning
+/// the counter's new value. `crash_after_served` scripts a combiner
+/// crash after that many of its claimed records were applied (the
+/// model analogue of the `cs::combine` fail point).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CombineOp {
+    v: u64,
+    crash_after_served: Option<usize>,
+}
+
+impl CombineOp {
+    fn bump(v: u64) -> CombineOp {
+        CombineOp {
+            v,
+            crash_after_served: None,
+        }
+    }
+
+    fn crashing(v: u64, after: usize) -> CombineOp {
+        CombineOp {
+            v,
+            crash_after_served: Some(after),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pc {
+    /// Publish the request: `REC[p] ← POSTED|v`.
+    Post,
+    /// Spin on the own record / the lock.
+    Poll,
+    TryLock,
+    /// Lock won: take the own request back out of the list.
+    Retract,
+    /// Lock released because the record resolved while waiting.
+    ReleaseAndPoll,
+    /// Re-publish after a poisoned handoff.
+    Repost,
+    /// Combiner: sweep the publication list.
+    ScanRead,
+    ClaimCas(u64),
+    /// Combiner: apply one claimed request.
+    ServeRead,
+    ServeWrite(u64),
+    CompleteWrite(u64),
+    /// Combiner: apply the own request and leave.
+    ApplyOwnRead,
+    ApplyOwnWrite(u64),
+    Unlock,
+    /// Crash recovery: poison the in-flight claims, drop the lock.
+    PoisonNext,
+    CrashUnlock,
+    /// Waiter: the combiner served us; consume the result.
+    TakeResponse(u64),
+}
+
+#[derive(Debug, Clone)]
+struct CombineMachine {
+    proc: usize,
+    n: usize,
+    op: CombineOp,
+    pc: Pc,
+    scan_j: usize,
+    serve_idx: usize,
+    poison_idx: usize,
+    own_resp: u64,
+    claimed: Vec<(usize, u64)>,
+}
+
+impl CombineMachine {
+    fn new(proc: usize, n: usize, op: CombineOp) -> CombineMachine {
+        CombineMachine {
+            proc,
+            n,
+            op,
+            pc: Pc::Post,
+            scan_j: 0,
+            serve_idx: 0,
+            poison_idx: 0,
+            own_resp: 0,
+            claimed: Vec::new(),
+        }
+    }
+
+    /// Advances the scan cursor past the own slot; returns the next
+    /// slot to read or switches to the apply phase.
+    fn advance_scan(&mut self) {
+        self.scan_j += 1;
+        if self.scan_j == self.proc {
+            self.scan_j += 1;
+        }
+        if self.scan_j >= self.n {
+            self.serve_idx = 0;
+            self.pc = self.next_apply_pc();
+        } else {
+            self.pc = Pc::ScanRead;
+        }
+    }
+
+    /// Picks the next apply-phase step: crash if scripted for this
+    /// point, next claimed record if any remain, else the own op.
+    fn next_apply_pc(&mut self) -> Pc {
+        if self.op.crash_after_served == Some(self.serve_idx) {
+            self.poison_idx = self.serve_idx;
+            return Pc::PoisonNext;
+        }
+        if self.serve_idx < self.claimed.len() {
+            Pc::ServeRead
+        } else {
+            Pc::ApplyOwnRead
+        }
+    }
+
+    fn first_scan_pc(&mut self) -> Pc {
+        self.claimed.clear();
+        self.scan_j = if self.proc == 0 { 1 } else { 0 };
+        if self.scan_j >= self.n {
+            // Solo configuration: nothing to scan.
+            self.serve_idx = 0;
+            self.next_apply_pc()
+        } else {
+            Pc::ScanRead
+        }
+    }
+}
+
+impl StepMachine<u64> for CombineMachine {
+    fn step(&mut self, mem: &mut Mem) -> Step<u64> {
+        match self.pc {
+            Pc::Post | Pc::Repost => {
+                mem.write(rec(self.proc), pack(POSTED, self.op.v));
+                self.pc = Pc::Poll;
+                Step::Continue
+            }
+            Pc::Poll => {
+                let word = mem.read(rec(self.proc));
+                self.pc = match state_of(word) {
+                    DONE => Pc::TakeResponse(payload_of(word)),
+                    POISONED => Pc::Repost,
+                    CLAIMED => Pc::Poll, // a combiner is on it; keep waiting
+                    _ => Pc::TryLock,
+                };
+                Step::Continue
+            }
+            Pc::TryLock => {
+                self.pc = if mem.cas(LOCK, 0, 1) {
+                    Pc::Retract
+                } else {
+                    Pc::Poll
+                };
+                Step::Continue
+            }
+            Pc::Retract => {
+                // Holding the lock, the own record is POSTED (retract
+                // wins), or already resolved by the previous holder
+                // (DONE/POISONED — release and take that outcome).
+                self.pc = if mem.cas(rec(self.proc), pack(POSTED, self.op.v), EMPTY) {
+                    self.first_scan_pc()
+                } else {
+                    Pc::ReleaseAndPoll
+                };
+                Step::Continue
+            }
+            Pc::ReleaseAndPoll => {
+                mem.write(LOCK, 0);
+                self.pc = Pc::Poll;
+                Step::Continue
+            }
+            Pc::ScanRead => {
+                let word = mem.read(rec(self.scan_j));
+                if state_of(word) == POSTED {
+                    self.pc = Pc::ClaimCas(payload_of(word));
+                } else {
+                    self.advance_scan();
+                }
+                Step::Continue
+            }
+            Pc::ClaimCas(w) => {
+                if mem.cas(rec(self.scan_j), pack(POSTED, w), pack(CLAIMED, w)) {
+                    self.claimed.push((self.scan_j, w));
+                }
+                self.advance_scan();
+                Step::Continue
+            }
+            Pc::ServeRead => {
+                // The combiner is the only writer while it holds the
+                // lock, so read-then-write is atomic in effect.
+                let counter = mem.read(COUNTER);
+                let (_, w) = self.claimed[self.serve_idx];
+                self.pc = Pc::ServeWrite(counter + w);
+                Step::Continue
+            }
+            Pc::ServeWrite(resp) => {
+                mem.write(COUNTER, resp);
+                self.pc = Pc::CompleteWrite(resp);
+                Step::Continue
+            }
+            Pc::CompleteWrite(resp) => {
+                let (j, _) = self.claimed[self.serve_idx];
+                mem.write(rec(j), pack(DONE, resp));
+                self.serve_idx += 1;
+                self.pc = self.next_apply_pc();
+                Step::Continue
+            }
+            Pc::ApplyOwnRead => {
+                let counter = mem.read(COUNTER);
+                self.pc = Pc::ApplyOwnWrite(counter + self.op.v);
+                Step::Continue
+            }
+            Pc::ApplyOwnWrite(resp) => {
+                mem.write(COUNTER, resp);
+                self.own_resp = resp;
+                self.pc = Pc::Unlock;
+                Step::Continue
+            }
+            Pc::Unlock => {
+                mem.write(LOCK, 0);
+                Step::Done(Ok(self.own_resp))
+            }
+            Pc::PoisonNext => {
+                if self.poison_idx < self.claimed.len() {
+                    let (j, _) = self.claimed[self.poison_idx];
+                    mem.write(rec(j), POISONED);
+                    self.poison_idx += 1;
+                    if self.poison_idx == self.claimed.len() {
+                        self.pc = Pc::CrashUnlock;
+                    }
+                    Step::Continue
+                } else {
+                    // Nothing in flight: this step already drops the
+                    // lock.
+                    mem.write(LOCK, 0);
+                    Step::Done(Err(Bot))
+                }
+            }
+            Pc::CrashUnlock => {
+                mem.write(LOCK, 0);
+                Step::Done(Err(Bot))
+            }
+            Pc::TakeResponse(resp) => {
+                mem.write(rec(self.proc), EMPTY);
+                Step::Done(Ok(resp))
+            }
+        }
+    }
+}
+
+/// The per-terminal invariants; see the module docs.
+fn check_terminal(terminal: &Terminal<CombineOp, u64>, scripts: &[Vec<CombineOp>]) {
+    let n = scripts.len();
+    assert_eq!(terminal.mem.read(LOCK), 0, "lock leaked");
+    for p in 0..n {
+        assert_eq!(
+            terminal.mem.read(rec(p)),
+            EMPTY,
+            "publication record of process {p} left non-EMPTY"
+        );
+    }
+
+    // Exactly-once application: the counter equals the sum of the
+    // non-⊥ increments, and the responses chain.
+    let mut completed: Vec<(u64, u64)> = terminal
+        .history
+        .operations()
+        .iter()
+        .map(|op| {
+            let (resp, _) = op.returned.as_ref().expect("terminal ops are complete");
+            (op.op.v, *resp)
+        })
+        .collect();
+    let total: u64 = completed.iter().map(|(v, _)| *v).sum();
+    assert_eq!(
+        terminal.mem.read(COUNTER),
+        total,
+        "counter disagrees with the applied increments (lost or doubled apply)"
+    );
+    completed.sort_by_key(|&(_, resp)| resp);
+    let mut running = 0;
+    for (v, resp) in completed {
+        assert_eq!(resp, running + v, "response chain broken at {resp}");
+        running = resp;
+    }
+
+    // ⊥ comes only from scripted combiner crashes.
+    for op in &terminal.op_steps {
+        if op.aborted {
+            assert!(
+                scripts[op.proc][op.op_index].crash_after_served.is_some(),
+                "process {} aborted without a scripted crash",
+                op.proc
+            );
+        }
+    }
+}
+
+/// The handoff in isolation, deterministically: p1 posts, p0 combines
+/// and serves p1's record, p1 consumes the written-back result.
+#[test]
+fn deterministic_post_combine_result_handoff() {
+    let n = 2;
+    let mut mem = initial_mem(n);
+    let mut combiner = CombineMachine::new(0, n, CombineOp::bump(10));
+    let mut waiter = CombineMachine::new(1, n, CombineOp::bump(3));
+
+    // p1 publishes its request and reads it back still POSTED.
+    assert_eq!(waiter.step(&mut mem), Step::Continue);
+    assert_eq!(state_of(mem.read(rec(1))), POSTED);
+
+    // p0 runs to completion: post, lock, retract, claim p1's record,
+    // apply both ops, write the result back, unlock.
+    let combiner_resp = loop {
+        match combiner.step(&mut mem) {
+            Step::Continue => {}
+            Step::Done(resp) => break resp.expect("combiner completes"),
+        }
+    };
+    assert_eq!(state_of(mem.read(rec(1))), DONE, "handoff written back");
+    assert_eq!(payload_of(mem.read(rec(1))), 3, "served resp = 0 + 3");
+    assert_eq!(combiner_resp, 13, "own op applied after the batch");
+    assert_eq!(mem.read(LOCK), 0);
+
+    // p1 finds DONE and consumes it without ever taking the lock.
+    let waiter_resp = loop {
+        match waiter.step(&mut mem) {
+            Step::Continue => {}
+            Step::Done(resp) => break resp.expect("waiter completes"),
+        }
+    };
+    assert_eq!(waiter_resp, 3);
+    assert_eq!(mem.read(rec(1)), EMPTY, "take_response re-arms the record");
+    assert_eq!(mem.read(COUNTER), 13);
+}
+
+/// A combiner crash with one in-flight claim, deterministically: the
+/// claimed record is poisoned, the waiter reclaims, reposts, and
+/// completes by itself; the crasher's op has no effect.
+#[test]
+fn deterministic_crash_poisons_and_waiter_recovers() {
+    let n = 2;
+    let mut mem = initial_mem(n);
+    let mut crasher = CombineMachine::new(0, n, CombineOp::crashing(10, 0));
+    let mut waiter = CombineMachine::new(1, n, CombineOp::bump(3));
+
+    assert_eq!(waiter.step(&mut mem), Step::Continue); // p1 posts
+    let crash = loop {
+        match crasher.step(&mut mem) {
+            Step::Continue => {}
+            Step::Done(resp) => break resp,
+        }
+    };
+    assert_eq!(crash, Err(Bot), "the crashed combiner returns ⊥");
+    assert_eq!(mem.read(LOCK), 0, "the crash recovery released the lock");
+    assert_eq!(
+        state_of(mem.read(rec(1))),
+        POISONED,
+        "the in-flight claim was poisoned"
+    );
+    assert_eq!(mem.read(COUNTER), 0, "the crashed tenure applied nothing");
+
+    let waiter_resp = loop {
+        match waiter.step(&mut mem) {
+            Step::Continue => {}
+            Step::Done(resp) => break resp.expect("waiter recovers"),
+        }
+    };
+    assert_eq!(waiter_resp, 3, "the reposted op applied exactly once");
+    assert_eq!(mem.read(COUNTER), 3);
+    assert_eq!(mem.read(rec(1)), EMPTY);
+}
+
+fn exhaustive_config() -> ExploreConfig {
+    ExploreConfig {
+        // The longest interesting chains fit exactly: a full combine
+        // tenure serving one claim is 12 steps, and the poisoned →
+        // repost → self-serve recovery is 10. Schedules that spin
+        // beyond the bound are pruned — they only repeat record
+        // states the shorter schedules already cover.
+        max_steps_per_op: 12,
+        max_executions: 6_000_000,
+    }
+}
+
+/// Every interleaving of two combining operations at the step bound:
+/// handoffs, self-serves, and retract races all keep the invariants.
+#[test]
+fn exhaustive_two_process_handoff() {
+    let scripts = vec![vec![CombineOp::bump(1)], vec![CombineOp::bump(2)]];
+    let config = exhaustive_config();
+    let stats = explore_exhaustive(
+        &initial_mem(2),
+        &scripts,
+        |proc, op: &CombineOp| CombineMachine::new(proc, 2, op.clone()),
+        &config,
+        |terminal| check_terminal(terminal, &scripts),
+    );
+    assert!(
+        stats.executions > 1_000,
+        "expected real schedule coverage, got {}",
+        stats.executions
+    );
+    assert!(
+        stats.executions < config.max_executions,
+        "hit the execution cap — the exploration was not exhaustive"
+    );
+}
+
+/// Every interleaving of a crashing combiner and a clean waiter: the
+/// poison → reclaim → repost recovery holds on all schedules.
+#[test]
+fn exhaustive_two_process_combiner_crash() {
+    let scripts = vec![vec![CombineOp::crashing(1, 0)], vec![CombineOp::bump(2)]];
+    let config = exhaustive_config();
+    let mut crashed = 0usize;
+    let stats = explore_exhaustive(
+        &initial_mem(2),
+        &scripts,
+        |proc, op: &CombineOp| CombineMachine::new(proc, 2, op.clone()),
+        &config,
+        |terminal| {
+            check_terminal(terminal, &scripts);
+            crashed += terminal.aborted;
+        },
+    );
+    assert!(stats.executions > 1_000, "got {}", stats.executions);
+    assert!(
+        stats.executions < config.max_executions,
+        "hit the execution cap — the exploration was not exhaustive"
+    );
+    assert!(crashed > 0, "no schedule ever triggered the crash");
+}
+
+/// Three processes, randomized schedules, a combiner scripted to die
+/// mid-batch (after serving one of its claims): partially-served
+/// batches leave served owners with correct results and poisoned
+/// owners retrying cleanly.
+#[test]
+fn random_three_process_crash_mid_batch() {
+    let scripts = vec![
+        vec![CombineOp::crashing(1, 1)],
+        vec![CombineOp::bump(2)],
+        vec![CombineOp::bump(4)],
+    ];
+    let config = ExploreConfig {
+        max_steps_per_op: 120,
+        max_executions: usize::MAX,
+    };
+    let mut crashed = 0usize;
+    let stats = explore_random(
+        &initial_mem(3),
+        &scripts,
+        |proc, op: &CombineOp| CombineMachine::new(proc, 3, op.clone()),
+        &config,
+        4_000,
+        0xC0B17E5,
+        |terminal| {
+            check_terminal(terminal, &scripts);
+            crashed += terminal.aborted;
+        },
+    );
+    assert!(stats.executions > 3_000, "got {}", stats.executions);
+    assert!(crashed > 0, "the mid-batch crash never triggered");
+}
+
+/// Three clean processes under randomized schedules: batches of size
+/// two (one tenure serving both waiters) stay exactly-once.
+#[test]
+fn random_three_process_batches() {
+    let scripts = vec![
+        vec![CombineOp::bump(1)],
+        vec![CombineOp::bump(2)],
+        vec![CombineOp::bump(4)],
+    ];
+    let config = ExploreConfig {
+        max_steps_per_op: 120,
+        max_executions: usize::MAX,
+    };
+    let stats = explore_random(
+        &initial_mem(3),
+        &scripts,
+        |proc, op: &CombineOp| CombineMachine::new(proc, 3, op.clone()),
+        &config,
+        4_000,
+        0xBA7C4,
+        |terminal| check_terminal(terminal, &scripts),
+    );
+    assert!(stats.executions > 3_000, "got {}", stats.executions);
+}

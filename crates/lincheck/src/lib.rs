@@ -48,5 +48,5 @@ pub mod specs;
 
 pub use checker::{check_linearizable, check_linearizable_bounded, BoundedLinResult, LinResult};
 pub use history::{Event, History};
-pub use recorder::Recorder;
+pub use recorder::{OpHandle, Recorder};
 pub use spec::SeqSpec;

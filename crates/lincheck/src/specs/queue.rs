@@ -13,6 +13,15 @@ pub enum SpecQueueOp {
     Dequeue,
 }
 
+impl std::fmt::Display for SpecQueueOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecQueueOp::Enqueue(v) => write!(f, "enqueue({v})"),
+            SpecQueueOp::Dequeue => write!(f, "dequeue()"),
+        }
+    }
+}
+
 /// Queue responses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SpecQueueResp {
@@ -24,6 +33,17 @@ pub enum SpecQueueResp {
     Dequeued(u32),
     /// The queue was empty.
     Empty,
+}
+
+impl std::fmt::Display for SpecQueueResp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecQueueResp::Enqueued => write!(f, "ok"),
+            SpecQueueResp::Full => write!(f, "full"),
+            SpecQueueResp::Dequeued(v) => write!(f, "{v}"),
+            SpecQueueResp::Empty => write!(f, "empty"),
+        }
+    }
 }
 
 /// The bounded FIFO queue specification.

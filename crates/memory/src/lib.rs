@@ -18,6 +18,8 @@
 //!   and wait loops;
 //! * [`slab`] — a fixed-capacity slab with an ABA-safe array freelist,
 //!   used to lift the 32-bit-value algorithms to arbitrary payloads;
+//! * [`combining`] — cache-padded publication records for the
+//!   flat-combining slow path (post → claim → complete/poison);
 //! * [`epoch`] — a minimal epoch-based reclamation scheme for the
 //!   node-allocating baselines (Treiber, Michael–Scott, elimination);
 //! * [`chaos`] (behind the `chaos` cargo feature) — the fail-point
@@ -46,6 +48,7 @@ pub mod backoff;
 pub mod bits;
 #[cfg(feature = "chaos")]
 pub mod chaos;
+pub mod combining;
 pub mod counting;
 pub mod epoch;
 pub mod packed;
@@ -91,6 +94,7 @@ macro_rules! fail_point {
 
 pub use backoff::Deadline;
 pub use bits::Bits32;
+pub use combining::{CachePadded, PubRecord, RecordState};
 pub use counting::{AccessCounts, CountScope};
 pub use packed::{DequeState, DequeWord, HeadWord, SlotWord, TailWord, TopWord};
 pub use reg::{Reg64, RegBool, RegUsize};

@@ -31,7 +31,7 @@
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use cso_core::{Abortable, Aborted};
+use cso_core::{Abortable, Aborted, BatchCounters, BatchStats};
 use cso_memory::bits::Bits32;
 use cso_memory::fail_point;
 use cso_memory::packed::{HeadWord, SlotWord, TailWord};
@@ -92,6 +92,7 @@ pub struct AbortableQueue<V> {
     enq_aborts: AtomicU64,
     deq_attempts: AtomicU64,
     deq_aborts: AtomicU64,
+    batch: BatchCounters,
     _values: PhantomData<V>,
 }
 
@@ -137,6 +138,7 @@ impl<V: Bits32> AbortableQueue<V> {
             enq_aborts: AtomicU64::new(0),
             deq_attempts: AtomicU64::new(0),
             deq_aborts: AtomicU64::new(0),
+            batch: BatchCounters::new(),
             _values: PhantomData,
         }
     }
@@ -302,6 +304,14 @@ impl<V: Bits32> AbortableQueue<V> {
         self.deq_attempts.store(0, Ordering::Relaxed);
         self.deq_aborts.store(0, Ordering::Relaxed);
     }
+
+    /// Combining-batch totals observed through the
+    /// [`Abortable::batch_begin`] / [`Abortable::batch_end`] hooks
+    /// (all zero unless a combining transformation drives this queue).
+    #[must_use]
+    pub fn batch_stats(&self) -> BatchStats {
+        self.batch.snapshot()
+    }
 }
 
 impl<V: Bits32> Abortable for AbortableQueue<V> {
@@ -313,6 +323,14 @@ impl<V: Bits32> Abortable for AbortableQueue<V> {
             QueueOp::Enqueue(v) => self.weak_enqueue(*v).map(QueueResponse::Enqueue),
             QueueOp::Dequeue => self.weak_dequeue().map(QueueResponse::Dequeue),
         }
+    }
+
+    fn batch_begin(&self, pending: usize) {
+        self.batch.begin(pending);
+    }
+
+    fn batch_end(&self, applied: usize) {
+        self.batch.end(applied);
     }
 }
 

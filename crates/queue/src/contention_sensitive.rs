@@ -3,7 +3,10 @@
 
 use std::time::Duration;
 
-use cso_core::{ContentionSensitive, CsConfig, FaultStats, PathStats, ProgressCondition, TimedOut};
+use cso_core::{
+    AdaptiveGate, BatchStats, CombiningStats, ContentionSensitive, CsConfig, FaultStats, PathStats,
+    ProgressCondition, TimedOut,
+};
 use cso_locks::{RawLock, TasLock};
 use cso_memory::bits::Bits32;
 
@@ -186,6 +189,24 @@ impl<V: Bits32, L: RawLock> CsQueue<V, L> {
     pub fn fault_stats(&self) -> FaultStats {
         self.inner.fault_stats()
     }
+
+    /// Combiner-tenure totals of the flat-combining slow path
+    /// (all zero unless built with [`CsConfig::with_combining`]).
+    pub fn combining_stats(&self) -> CombiningStats {
+        self.inner.combining_stats()
+    }
+
+    /// Batches seen by the underlying abortable queue through its
+    /// batch-apply hooks.
+    pub fn batch_stats(&self) -> BatchStats {
+        self.inner.inner().batch_stats()
+    }
+
+    /// The adaptive contention gate (consulted only when built with
+    /// [`CsConfig::with_adaptive_gate`]).
+    pub fn gate(&self) -> &AdaptiveGate {
+        self.inner.gate()
+    }
 }
 
 #[cfg(test)]
@@ -278,6 +299,48 @@ mod tests {
             assert_eq!(queue.enqueue(0, 1), EnqueueOutcome::Enqueued);
             assert_eq!(queue.dequeue(1), DequeueOutcome::Dequeued(1));
         }
+    }
+
+    /// Forced-slow combining on the queue: tenure accounting holds and
+    /// the batch hooks reach the underlying abortable queue.
+    #[test]
+    fn combining_slow_path_conserves_and_reports_batches() {
+        const THREADS: u32 = 3;
+        const PER_THREAD: u32 = 1_000;
+        let config = CsConfig::PAPER.without_fast_path().with_combining();
+        let queue: Arc<CsQueue<u32>> = Arc::new(CsQueue::with_config(
+            4096,
+            TasLock::new(),
+            THREADS as usize,
+            config,
+        ));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        assert_eq!(
+                            queue.enqueue(t as usize, t * PER_THREAD + i),
+                            EnqueueOutcome::Enqueued
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut seen = HashSet::new();
+        while let DequeueOutcome::Dequeued(v) = queue.dequeue(0) {
+            assert!(seen.insert(v), "duplicate value {v}");
+        }
+        assert_eq!(seen.len(), (THREADS * PER_THREAD) as usize);
+
+        let paths = queue.path_stats();
+        let combining = queue.combining_stats();
+        assert_eq!(paths.fast, 0, "fast path disabled");
+        assert_eq!(combining.batches + combining.combined, paths.locked);
+        assert_eq!(queue.batch_stats().applied, combining.combined);
     }
 
     #[test]

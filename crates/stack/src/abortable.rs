@@ -7,7 +7,7 @@
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use cso_core::{Abortable, Aborted};
+use cso_core::{Abortable, Aborted, BatchCounters, BatchStats};
 use cso_memory::fail_point;
 use cso_memory::packed::{SlotWord, TopWord};
 use cso_memory::reg::Reg64;
@@ -89,6 +89,7 @@ pub struct AbortableStack<V> {
     push_aborts: AtomicU64,
     pop_attempts: AtomicU64,
     pop_aborts: AtomicU64,
+    batch: BatchCounters,
     _values: PhantomData<V>,
 }
 
@@ -134,6 +135,7 @@ impl<V: StackValue> AbortableStack<V> {
             push_aborts: AtomicU64::new(0),
             pop_attempts: AtomicU64::new(0),
             pop_aborts: AtomicU64::new(0),
+            batch: BatchCounters::new(),
             _values: PhantomData,
         }
     }
@@ -283,6 +285,14 @@ impl<V: StackValue> AbortableStack<V> {
         self.pop_attempts.store(0, Ordering::Relaxed);
         self.pop_aborts.store(0, Ordering::Relaxed);
     }
+
+    /// Combining-batch totals observed through the
+    /// [`Abortable::batch_begin`] / [`Abortable::batch_end`] hooks
+    /// (all zero unless a combining transformation drives this stack).
+    #[must_use]
+    pub fn batch_stats(&self) -> BatchStats {
+        self.batch.snapshot()
+    }
 }
 
 /// Plugs the stack into the generic transformations of `cso-core`
@@ -296,6 +306,14 @@ impl<V: StackValue> Abortable for AbortableStack<V> {
             StackOp::Push(v) => self.weak_push(*v).map(StackResponse::Push),
             StackOp::Pop => self.weak_pop().map(StackResponse::Pop),
         }
+    }
+
+    fn batch_begin(&self, pending: usize) {
+        self.batch.begin(pending);
+    }
+
+    fn batch_end(&self, applied: usize) {
+        self.batch.end(applied);
     }
 }
 

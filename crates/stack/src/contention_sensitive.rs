@@ -3,8 +3,8 @@
 use std::time::Duration;
 
 use cso_core::{
-    Abortable, Aborted, ContentionSensitive, CsConfig, FaultStats, PathStats, ProgressCondition,
-    TimedOut,
+    Abortable, Aborted, AdaptiveGate, BatchStats, CombiningStats, ContentionSensitive, CsConfig,
+    FaultStats, PathStats, ProgressCondition, TimedOut,
 };
 use cso_locks::{RawLock, TasLock};
 
@@ -186,6 +186,24 @@ impl<V: StackValue, L: RawLock> CsStack<V, L> {
     pub fn fault_stats(&self) -> FaultStats {
         self.inner.fault_stats()
     }
+
+    /// Combiner-tenure totals of the flat-combining slow path
+    /// (all zero unless built with [`CsConfig::with_combining`]).
+    pub fn combining_stats(&self) -> CombiningStats {
+        self.inner.combining_stats()
+    }
+
+    /// Batches seen by the underlying abortable stack through its
+    /// [`Abortable::batch_begin`] / [`Abortable::batch_end`] hooks.
+    pub fn batch_stats(&self) -> BatchStats {
+        self.inner.inner().batch_stats()
+    }
+
+    /// The adaptive contention gate (consulted only when built with
+    /// [`CsConfig::with_adaptive_gate`]).
+    pub fn gate(&self) -> &AdaptiveGate {
+        self.inner.gate()
+    }
 }
 
 /// A `CsStack` is itself abortable in the degenerate sense that it
@@ -206,6 +224,14 @@ impl<V: StackValue, L: RawLock> Abortable for CsStack<V, L> {
 
     fn try_apply(&self, op: &CsStackOp<V>) -> Result<Self::Response, Aborted> {
         Ok(self.inner.apply(op.proc, &op.op))
+    }
+
+    fn batch_begin(&self, pending: usize) {
+        self.inner.inner().batch_begin(pending);
+    }
+
+    fn batch_end(&self, applied: usize) {
+        self.inner.inner().batch_end(applied);
     }
 }
 
@@ -324,6 +350,53 @@ mod tests {
             assert_eq!(stack.pop(1), PopOutcome::Popped(1));
             assert_eq!(stack.pop(1), PopOutcome::Empty);
         }
+    }
+
+    /// Forced-slow combining: every completion is either a combiner's
+    /// own op or a served record, and the batch hooks reach the
+    /// underlying abortable stack.
+    #[test]
+    fn combining_slow_path_conserves_and_reports_batches() {
+        const THREADS: u32 = 3;
+        const PER_THREAD: u32 = 1_000;
+        let config = CsConfig::PAPER.without_fast_path().with_combining();
+        let stack: Arc<CsStack<u32>> = Arc::new(CsStack::with_config(
+            (THREADS * PER_THREAD) as usize,
+            TasLock::new(),
+            THREADS as usize,
+            config,
+        ));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let stack = Arc::clone(&stack);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        assert_eq!(
+                            stack.push(t as usize, t * PER_THREAD + i),
+                            PushOutcome::Pushed
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut seen = HashSet::new();
+        while let PopOutcome::Popped(v) = stack.pop(0) {
+            assert!(seen.insert(v), "duplicate value {v}");
+        }
+        assert_eq!(seen.len(), (THREADS * PER_THREAD) as usize);
+
+        let paths = stack.path_stats();
+        let combining = stack.combining_stats();
+        assert_eq!(paths.fast, 0, "fast path disabled");
+        // Pops above run after the threads joined, so the totals still
+        // satisfy the tenure accounting: every locked completion is a
+        // combiner's own op (one per batch) or a served record.
+        assert_eq!(combining.batches + combining.combined, paths.locked);
+        // The batch hooks reached the abortable stack itself.
+        assert_eq!(stack.batch_stats().applied, combining.combined);
     }
 
     #[test]

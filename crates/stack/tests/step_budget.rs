@@ -14,6 +14,8 @@
 //! A budget violation panics inside [`StepAuditor::audit`], failing
 //! the build — Theorem 1 is a regression test now.
 
+use cso_core::CsConfig;
+use cso_locks::TasLock;
 use cso_memory::counting::CountScope;
 use cso_stack::{AbortableStack, CsStack, PopOutcome, PushOutcome};
 use cso_trace::StepAuditor;
@@ -69,6 +71,91 @@ fn weak_ops_cost_exactly_five_accesses() {
         auditor.observe(pop_cost);
     }
     assert!(auditor.report().clean());
+}
+
+/// Theorem 1 must survive the combining upgrade: with the
+/// flat-combining slow path and the adaptive gate *compiled in* (the
+/// `COMBINING` config), a contention-free strong operation still
+/// performs exactly six counted shared-memory accesses — the
+/// publication records and the gate's EWMA bookkeeping live entirely
+/// in uncounted memory.
+#[test]
+fn combining_config_keeps_theorem_one_exact() {
+    let cs: CsStack<u32> = CsStack::with_config(1024, TasLock::new(), 4, CsConfig::COMBINING);
+    cs.push(0, 0);
+    cs.pop(0);
+
+    let auditor = StepAuditor::strict(STRONG_BUDGET);
+    for i in 0..10_000u32 {
+        assert_eq!(auditor.audit(|| cs.push(0, i)), PushOutcome::Pushed);
+        assert_eq!(auditor.audit(|| cs.pop(0)), PopOutcome::Popped(i));
+    }
+
+    let report = auditor.report();
+    assert_eq!(report.checked, 20_000);
+    assert!(report.clean());
+    assert_eq!(report.worst, STRONG_BUDGET, "Theorem 1 is still tight");
+    assert_eq!(cs.path_stats().locked, 0, "solo ops never take the lock");
+    assert!(!cs.gate().engaged(), "solo successes never engage the gate");
+    assert_eq!(cs.combining_stats().batches, 0);
+}
+
+/// The adaptive gate's full cycle, step-counted: engaged, it diverts
+/// operations onto the combining slow path (which costs more than six
+/// counted accesses — the batch apply runs under the lock); its
+/// periodic probes succeed, decay the abort estimate, and disengage
+/// it; after which the fast path is *exactly* six accesses again.
+#[test]
+fn engaged_gate_diverts_then_recovery_restores_the_six_access_fast_path() {
+    let cs: CsStack<u32> = CsStack::with_config(1024, TasLock::new(), 4, CsConfig::COMBINING);
+    cs.push(0, 0);
+    cs.pop(0);
+
+    // Phase 1: disengaged gate — Theorem 1 exactly.
+    let auditor = StepAuditor::strict(STRONG_BUDGET);
+    for i in 0..1_000u32 {
+        assert_eq!(auditor.audit(|| cs.push(0, i)), PushOutcome::Pushed);
+        assert_eq!(auditor.audit(|| cs.pop(0)), PopOutcome::Popped(i));
+    }
+    assert!(auditor.report().clean());
+    assert_eq!(auditor.report().worst, STRONG_BUDGET);
+
+    // Phase 2: force-engage. Diverted operations take the combining
+    // slow path; the probes (1 in PROBE_PERIOD) run the fast path,
+    // succeed solo, and decay the EWMA until the gate disengages.
+    cs.gate().force_engage();
+    let mut slow_costs = 0u32;
+    let mut ops = 0u32;
+    while cs.gate().engaged() {
+        let scope = CountScope::start();
+        assert_eq!(cs.push(0, ops), PushOutcome::Pushed);
+        if scope.take().total() != STRONG_BUDGET {
+            slow_costs += 1;
+        }
+        cs.pop(0);
+        ops += 1;
+        assert!(ops < 10_000, "engaged gate never disengaged");
+    }
+    assert!(
+        slow_costs > 0,
+        "an engaged gate never paid a slow-path cost"
+    );
+    assert!(cs.path_stats().locked > 0, "diversions must take the lock");
+    assert!(cs.gate().stats().diverted > 0);
+    assert!(
+        cs.combining_stats().batches > 0,
+        "diverted ops must go through the combining tenure machinery"
+    );
+
+    // Phase 3: disengaged again — back to exactly six.
+    let auditor = StepAuditor::strict(STRONG_BUDGET);
+    for i in 0..1_000u32 {
+        assert_eq!(auditor.audit(|| cs.push(0, i)), PushOutcome::Pushed);
+        assert_eq!(auditor.audit(|| cs.pop(0)), PopOutcome::Popped(i));
+    }
+    let report = auditor.report();
+    assert!(report.clean(), "recovery must restore the six-access bound");
+    assert_eq!(report.worst, STRONG_BUDGET, "Theorem 1 is tight again");
 }
 
 /// Under real concurrency the auditor can still enforce Theorem 1 —

@@ -45,6 +45,10 @@ pub enum Path {
 ///   [`Event::SlowPoisoned`];
 /// * fairness: [`Event::TurnAdvance`] (line 11) and
 ///   [`Event::LockHandoff`] (queue locks passing custody directly);
+/// * flat combining: [`Event::RecordPost`] / [`Event::RecordHandoff`] /
+///   [`Event::CombineBatch`] / [`Event::CombinedComplete`] /
+///   [`Event::RecordPoisoned`] (the publication-record lifecycle of
+///   the combining slow path);
 /// * chaos: [`Event::FailPoint`] — a fail point *fired* (see
 ///   [`crate::install_chaos_hook`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +90,22 @@ pub enum Event {
     /// A slow path unwound (panicked) under the lock and was survived
     /// by the RAII guard.
     SlowPoisoned,
+    /// A contended operation posted its publication record (combining
+    /// slow path entered).
+    RecordPost,
+    /// A waiter took the response a combiner wrote into its record;
+    /// the payload is the post-to-done handoff latency in nanoseconds
+    /// (saturated at `u32::MAX` ≈ 4.3 s).
+    RecordHandoff(u32),
+    /// A combiner finished one lock tenure; the payload is the batch
+    /// size (its own operation plus every request it served).
+    CombineBatch(u32),
+    /// The operation completed via a combiner (an under-lock
+    /// completion attributed to the *invoking* thread).
+    CombinedComplete,
+    /// A waiter reclaimed a record the combiner poisoned mid-batch
+    /// (the operation was not applied; the waiter reposts).
+    RecordPoisoned,
 }
 
 impl Event {
@@ -108,6 +128,11 @@ impl Event {
             Event::LockedComplete => "locked-complete",
             Event::SlowTimeout => "slow-timeout",
             Event::SlowPoisoned => "slow-poisoned",
+            Event::RecordPost => "record-post",
+            Event::RecordHandoff(_) => "record-handoff",
+            Event::CombineBatch(_) => "combine-batch",
+            Event::CombinedComplete => "combined-complete",
+            Event::RecordPoisoned => "record-poisoned",
         }
     }
 
@@ -128,6 +153,17 @@ impl Event {
     pub fn proc(&self) -> Option<u32> {
         match self {
             Event::LockAcquire(p) | Event::LockRelease(p) | Event::TurnAdvance(p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// The measurement payload, for the variants that carry one: the
+    /// handoff latency of [`Event::RecordHandoff`] (nanoseconds) or the
+    /// batch size of [`Event::CombineBatch`].
+    #[must_use]
+    pub fn value(&self) -> Option<u32> {
+        match self {
+            Event::RecordHandoff(v) | Event::CombineBatch(v) => Some(*v),
             _ => None,
         }
     }
@@ -341,6 +377,11 @@ mod imp {
             Event::LockedComplete => (12, 0),
             Event::SlowTimeout => (13, 0),
             Event::SlowPoisoned => (14, 0),
+            Event::RecordPost => (15, 0),
+            Event::RecordHandoff(v) => (16, v),
+            Event::CombineBatch(v) => (17, v),
+            Event::CombinedComplete => (18, 0),
+            Event::RecordPoisoned => (19, 0),
         }
     }
 
@@ -361,6 +402,11 @@ mod imp {
             12 => Event::LockedComplete,
             13 => Event::SlowTimeout,
             14 => Event::SlowPoisoned,
+            15 => Event::RecordPost,
+            16 => Event::RecordHandoff(arg),
+            17 => Event::CombineBatch(arg),
+            18 => Event::CombinedComplete,
+            19 => Event::RecordPoisoned,
             _ => return None,
         })
     }
@@ -368,7 +414,9 @@ mod imp {
     pub(super) fn record(event: Event) {
         match event {
             Event::FastSuccess => LAST_PATH.with(|p| p.set(Some(Path::Fast))),
-            Event::LockedComplete => LAST_PATH.with(|p| p.set(Some(Path::Locked))),
+            Event::LockedComplete | Event::CombinedComplete => {
+                LAST_PATH.with(|p| p.set(Some(Path::Locked)));
+            }
             Event::SlowTimeout | Event::SlowPoisoned => LAST_PATH.with(|p| p.set(None)),
             _ => {}
         }
@@ -521,6 +569,10 @@ mod tests {
             Event::FailPoint("cs::locked").to_string(),
             "fail-point@cs::locked"
         );
+        assert_eq!(Event::CombineBatch(5).value(), Some(5));
+        assert_eq!(Event::RecordHandoff(120).value(), Some(120));
+        assert_eq!(Event::CombineBatch(5).label(), "combine-batch");
+        assert_eq!(Event::RecordPost.value(), None);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
 
+use cso::core::CsConfig;
 use cso::deque::{CsDeque, DequeOp, DequePopOutcome, DequePushOutcome, End, SeqDeque};
 use cso::lincheck::checker::check_linearizable;
 use cso::lincheck::recorder::Recorder;
@@ -319,5 +320,82 @@ fn panic_in_stack_slow_path_preserves_conservation() {
         (1..=10).collect::<Vec<u32>>(),
         "999 must not leak in"
     );
+    chaos::reset();
+}
+
+/// A combiner killed **mid-batch** (the `cs::combine` fail point fires
+/// between claiming publication records and applying them): the guard
+/// poisons exactly the in-flight claims, their owners reclaim and
+/// retry clean, and the crash surfaces in [`FaultStats`] — one
+/// poisoned tenure, at least one poisoned record. The combiner applies
+/// its *own* operation before serving the batch, so even the
+/// panicking thread's value is on the stack; conservation is exact.
+///
+/// [`FaultStats`]: cso::core::FaultStats
+#[test]
+fn panic_in_combiner_batch_poisons_only_in_flight_records() {
+    let _serial = serial();
+    const WORKERS: usize = 3;
+    const PER_THREAD: u32 = 40;
+    // Forced slow path + combining: every operation posts a record, so
+    // any overlap produces a batch for the fail point to kill.
+    let config = CsConfig::PAPER.without_fast_path().with_combining();
+
+    // The fail point only fires when the panicking tenure actually
+    // claimed a record (a true mid-batch crash); retry the workload
+    // until scheduling produces one.
+    for attempt in 0.. {
+        assert!(attempt < 500, "no schedule ever produced a batch to kill");
+        chaos::reset();
+        let stack: cso::stack::CsStack<u32> = cso::stack::CsStack::with_config(
+            (WORKERS as u32 * PER_THREAD) as usize,
+            cso::locks::TasLock::new(),
+            WORKERS,
+            config,
+        );
+        chaos::arm_plan("cs::combine", Plan::once(Fault::Panic));
+
+        std::thread::scope(|s| {
+            for proc in 0..WORKERS {
+                let stack = &stack;
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let v = proc as u32 * PER_THREAD + i;
+                        // The injected panic unwinds out of the victim's
+                        // push — after its own op applied (see above).
+                        let _ = catch_unwind(AssertUnwindSafe(|| {
+                            assert_eq!(stack.push(proc, v), PushOutcome::Pushed);
+                        }));
+                    }
+                });
+            }
+        });
+
+        if chaos::fires("cs::combine") == 0 {
+            continue; // no batch overlapped the fail point; retry
+        }
+
+        let faults = stack.fault_stats();
+        assert_eq!(faults.poisoned, 1, "exactly one tenure was killed");
+        assert!(
+            faults.record_poisoned >= 1,
+            "a mid-batch crash must poison its in-flight claims"
+        );
+        assert!(stack.combining_stats().batches >= 1);
+
+        // Conservation: poisoned waiters retried clean and the victim's
+        // own op had already applied, so every value is present once.
+        let mut drained = Vec::new();
+        while let PopOutcome::Popped(v) = stack.pop(0) {
+            drained.push(v);
+        }
+        drained.sort_unstable();
+        assert_eq!(
+            drained,
+            (0..WORKERS as u32 * PER_THREAD).collect::<Vec<u32>>(),
+            "attempt {attempt}: values lost or duplicated across the crash"
+        );
+        break;
+    }
     chaos::reset();
 }
