@@ -1,0 +1,223 @@
+//! `BENCH_*.json` schema validation and aggregation.
+//!
+//! Every bench binary writes one report in the shared shape
+//! (`cso-bench::jsonreport::BenchReport`):
+//!
+//! ```json
+//! {"experiment": "e3_throughput", "config": {...}, "metrics": {...}}
+//! ```
+//!
+//! `validate` enforces that shape; `summarize` folds a results
+//! directory into one `BENCH_summary.json` with every experiment's
+//! config inline and scalar metrics lifted to the top (arrays and
+//! tables are summarised by length, not copied — the per-experiment
+//! files stay the source of truth).
+
+use std::path::{Path, PathBuf};
+
+use cso_metrics::Json;
+
+/// Why a report failed validation.
+#[derive(Debug)]
+pub struct SchemaError(pub String);
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Validates one parsed report against the shared bench schema.
+///
+/// # Errors
+///
+/// [`SchemaError`] naming the first missing or mistyped field.
+pub fn validate(report: &Json) -> Result<(), SchemaError> {
+    let obj = report
+        .as_obj()
+        .ok_or_else(|| SchemaError("top level must be an object".to_owned()))?;
+    let experiment = report
+        .get("experiment")
+        .ok_or_else(|| SchemaError("missing \"experiment\"".to_owned()))?;
+    if experiment.as_str().map_or(true, str::is_empty) {
+        return Err(SchemaError(
+            "\"experiment\" must be a non-empty string".to_owned(),
+        ));
+    }
+    for key in ["config", "metrics"] {
+        let value = report
+            .get(key)
+            .ok_or_else(|| SchemaError(format!("missing {key:?}")))?;
+        if value.as_obj().is_none() {
+            return Err(SchemaError(format!("{key:?} must be an object")));
+        }
+    }
+    for (key, _) in obj {
+        if !matches!(key.as_str(), "experiment" | "config" | "metrics") {
+            return Err(SchemaError(format!("unexpected top-level key {key:?}")));
+        }
+    }
+    Ok(())
+}
+
+/// Lists the `BENCH_*.json` report files under `dir` (excluding the
+/// summary itself), sorted by file name.
+///
+/// # Errors
+///
+/// An [`std::io::Error`] when the directory cannot be read.
+pub fn report_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name().and_then(|n| n.to_str()).is_some_and(|n| {
+                n.starts_with("BENCH_") && n.ends_with(".json") && n != "BENCH_summary.json"
+            })
+        })
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+/// One metric folded into the summary: scalars verbatim, containers
+/// by size.
+fn fold_metric(value: &Json) -> Json {
+    match value {
+        Json::Arr(items) => Json::obj().field("rows", items.len() as u64),
+        Json::Obj(fields) => {
+            // A bench table ({"headers": [...], "rows": [...]}) folds
+            // to its row count; other objects to their field count.
+            match value.get("rows").and_then(Json::as_arr) {
+                Some(rows) => Json::obj().field("rows", rows.len() as u64),
+                None => Json::obj().field("fields", fields.len() as u64),
+            }
+        }
+        scalar => scalar.clone(),
+    }
+}
+
+/// Folds validated reports into the summary document. `files` pairs
+/// each file name with its parsed report.
+#[must_use]
+pub fn summarize(files: &[(String, Json)]) -> Json {
+    let experiments: Vec<Json> = files
+        .iter()
+        .map(|(name, report)| {
+            let metrics = report
+                .get("metrics")
+                .and_then(Json::as_obj)
+                .unwrap_or(&[])
+                .iter()
+                .map(|(k, v)| (k.clone(), fold_metric(v)))
+                .collect();
+            Json::obj()
+                .field(
+                    "experiment",
+                    report
+                        .get("experiment")
+                        .and_then(Json::as_str)
+                        .unwrap_or(""),
+                )
+                .field("file", name.as_str())
+                .field(
+                    "config",
+                    report.get("config").cloned().unwrap_or(Json::Null),
+                )
+                .field("metrics", Json::Obj(metrics))
+        })
+        .collect();
+    Json::obj()
+        .field("schema", "cso-bench-summary v1")
+        .field("experiments", Json::Arr(experiments))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(text: &str) -> Json {
+        Json::parse(text).expect("test report parses")
+    }
+
+    #[test]
+    fn accepts_the_shared_shape() {
+        let ok = report(r#"{"experiment":"e1","config":{"n":2},"metrics":{"x":1}}"#);
+        assert!(validate(&ok).is_ok());
+    }
+
+    #[test]
+    fn rejects_missing_or_mistyped_fields() {
+        for (text, needle) in [
+            (r"[1,2]", "object"),
+            (r#"{"config":{},"metrics":{}}"#, "experiment"),
+            (r#"{"experiment":"","config":{},"metrics":{}}"#, "non-empty"),
+            (r#"{"experiment":"e1","metrics":{}}"#, "config"),
+            (r#"{"experiment":"e1","config":[],"metrics":{}}"#, "config"),
+            (r#"{"experiment":"e1","config":{}}"#, "metrics"),
+            (
+                r#"{"experiment":"e1","config":{},"metrics":{},"extra":1}"#,
+                "extra",
+            ),
+        ] {
+            let err = validate(&report(text)).expect_err(text);
+            assert!(err.0.contains(needle), "{text} -> {err}");
+        }
+    }
+
+    #[test]
+    fn summary_folds_tables_to_row_counts() {
+        let files = vec![
+            (
+                "BENCH_e1.json".to_owned(),
+                report(
+                    r#"{"experiment":"e1","config":{"ops":10},
+                        "metrics":{"rows":{"headers":["a"],"rows":[[1],[2]]},"solo":6}}"#,
+                ),
+            ),
+            (
+                "BENCH_e3.json".to_owned(),
+                report(r#"{"experiment":"e3","config":{},"metrics":{"cells":[1,2,3]}}"#),
+            ),
+        ];
+        let summary = summarize(&files);
+        assert_eq!(
+            summary.get("schema").and_then(Json::as_str),
+            Some("cso-bench-summary v1")
+        );
+        let experiments = summary
+            .get("experiments")
+            .and_then(Json::as_arr)
+            .expect("experiments array");
+        assert_eq!(experiments.len(), 2);
+        let e1 = &experiments[0];
+        assert_eq!(e1.get("experiment").and_then(Json::as_str), Some("e1"));
+        assert_eq!(
+            e1.get("config")
+                .and_then(|c| c.get("ops"))
+                .and_then(Json::as_u64),
+            Some(10)
+        );
+        let metrics = e1.get("metrics").expect("metrics");
+        assert_eq!(
+            metrics
+                .get("rows")
+                .and_then(|t| t.get("rows"))
+                .and_then(Json::as_u64),
+            Some(2),
+            "table folded to row count"
+        );
+        assert_eq!(metrics.get("solo").and_then(Json::as_u64), Some(6));
+        let e3 = &experiments[1];
+        assert_eq!(
+            e3.get("metrics")
+                .and_then(|m| m.get("cells"))
+                .and_then(|t| t.get("rows"))
+                .and_then(Json::as_u64),
+            Some(3),
+            "array folded to length"
+        );
+        // The summary itself renders as valid JSON.
+        Json::parse(&summary.render_pretty()).expect("round-trips");
+    }
+}

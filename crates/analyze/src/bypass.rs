@@ -1,0 +1,229 @@
+//! The §4.4 empirical bypass-bound check.
+//!
+//! The paper's starvation-freedom argument: once process `p` raises
+//! its `FLAG` (line 04), at most `n − 1` other processes can acquire
+//! the lock before `p` does — the round-robin `TURN` hand-off (lines
+//! 10–11) reaches every flagged process within one sweep of the ring.
+//!
+//! This module replays a captured event log and measures the bound
+//! *empirically*: for every `flag-raise(p)` → `lock-acquire(p)`
+//! interval it counts the lock acquisitions by other processes inside
+//! the interval. The maximum over all intervals is the observed
+//! bypass count; any interval above the bound is a violation.
+//!
+//! Combining-path acquisitions (which go through the raw inner lock
+//! without raising a flag) still *count as bypasses of waiting flagged
+//! processes* — they genuinely delay them — so a mixed
+//! combining/locked workload can legitimately exceed `n − 1`. The
+//! bound is a CLI knob (`--bound`) for exactly that reason; the
+//! default stays the paper's `n − 1`.
+
+use crate::log::EventLog;
+
+/// One interval that exceeded the bound.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The flagged process that was bypassed.
+    pub proc_id: u32,
+    /// Acquisitions by other processes inside its interval.
+    pub bypasses: u64,
+    /// Sequence number of the `flag-raise` opening the interval.
+    pub flag_seq: u64,
+    /// Sequence number of the closing `lock-acquire`.
+    pub acquire_seq: u64,
+}
+
+/// The result of the bypass scan.
+#[derive(Debug)]
+pub struct BypassReport {
+    /// Number of participating processes used for the default bound.
+    pub procs: usize,
+    /// The bound checked against (default `procs − 1`).
+    pub bound: u64,
+    /// Closed `flag-raise` → `lock-acquire` intervals examined.
+    pub intervals: u64,
+    /// Largest bypass count observed over all closed intervals.
+    pub max_bypass: u64,
+    /// Per-process maximum bypass count, ascending by process id.
+    pub per_proc_max: Vec<(u32, u64)>,
+    /// Intervals above the bound.
+    pub violations: Vec<Violation>,
+    /// Intervals still open when the capture ended (reported, never
+    /// counted as violations — the acquire may simply be unrecorded).
+    pub open_intervals: usize,
+}
+
+impl BypassReport {
+    /// True when every closed interval respected the bound.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Scans `log` (globally, in sequence order) for bypass-bound
+/// violations. `procs` defaults to the highest process id seen plus
+/// one; `bound` defaults to `procs − 1`.
+#[must_use]
+pub fn check(log: &EventLog, procs: Option<usize>, bound: Option<u64>) -> BypassReport {
+    let procs = procs.unwrap_or_else(|| log.inferred_procs()).max(1);
+    let bound = bound.unwrap_or_else(|| procs.saturating_sub(1) as u64);
+
+    // proc -> (bypass count so far, flag seq) for open intervals.
+    let mut open: Vec<Option<(u64, u64)>> = Vec::new();
+    let mut per_proc_max: Vec<(u32, u64)> = Vec::new();
+    let mut report = BypassReport {
+        procs,
+        bound,
+        intervals: 0,
+        max_bypass: 0,
+        per_proc_max: Vec::new(),
+        violations: Vec::new(),
+        open_intervals: 0,
+    };
+
+    let slot = |v: &mut Vec<Option<(u64, u64)>>, p: u32| {
+        let i = p as usize;
+        if v.len() <= i {
+            v.resize(i + 1, None);
+        }
+        i
+    };
+
+    for row in &log.rows {
+        match row.name.as_str() {
+            "flag-raise" => {
+                if let Some(p) = row.proc_id {
+                    let i = slot(&mut open, p);
+                    // A flag-raise with an interval already open means
+                    // the closing acquire was lost (ring wrap): start
+                    // over rather than inventing bypasses.
+                    open[i] = Some((0, row.seq));
+                }
+            }
+            "lock-acquire" => {
+                let Some(q) = row.proc_id else { continue };
+                let qi = slot(&mut open, q);
+                if let Some((bypasses, flag_seq)) = open[qi].take() {
+                    report.intervals += 1;
+                    report.max_bypass = report.max_bypass.max(bypasses);
+                    match per_proc_max.iter_mut().find(|(p, _)| *p == q) {
+                        Some((_, m)) => *m = (*m).max(bypasses),
+                        None => per_proc_max.push((q, bypasses)),
+                    }
+                    if bypasses > bound {
+                        report.violations.push(Violation {
+                            proc_id: q,
+                            bypasses,
+                            flag_seq,
+                            acquire_seq: row.seq,
+                        });
+                    }
+                }
+                // This acquisition bypasses every other flagged waiter.
+                for (p, interval) in open.iter_mut().enumerate() {
+                    if p != q as usize {
+                        if let Some((bypasses, _)) = interval {
+                            *bypasses += 1;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    report.open_intervals = open.iter().flatten().count();
+    per_proc_max.sort_unstable_by_key(|(p, _)| *p);
+    report.per_proc_max = per_proc_max;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_of(rows: &[(u64, &str, u32)]) -> EventLog {
+        let mut text = String::from("# cso-trace-events v1\n# dropped 0\n");
+        for (seq, name, proc_id) in rows {
+            text.push_str(&format!(
+                "{seq}\t{proc_id}\t{seq}\t{name}\t-\t{proc_id}\t-\n"
+            ));
+        }
+        EventLog::parse(&text).expect("test log parses")
+    }
+
+    #[test]
+    fn round_robin_respects_n_minus_one() {
+        // Three procs all flag, then acquire in turn order: the last
+        // is bypassed exactly twice = n − 1.
+        let log = log_of(&[
+            (0, "flag-raise", 0),
+            (1, "flag-raise", 1),
+            (2, "flag-raise", 2),
+            (3, "lock-acquire", 0),
+            (4, "lock-acquire", 1),
+            (5, "lock-acquire", 2),
+        ]);
+        let report = check(&log, None, None);
+        assert_eq!(report.procs, 3);
+        assert_eq!(report.bound, 2);
+        assert_eq!(report.intervals, 3);
+        assert_eq!(report.max_bypass, 2);
+        assert!(report.holds());
+        assert_eq!(report.per_proc_max, vec![(0, 0), (1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn a_starved_proc_is_a_violation() {
+        // Proc 1 flags once; proc 0 acquires three times before it —
+        // 3 > n − 1 = 1.
+        let log = log_of(&[
+            (0, "flag-raise", 1),
+            (1, "lock-acquire", 0),
+            (2, "lock-acquire", 0),
+            (3, "lock-acquire", 0),
+            (4, "lock-acquire", 1),
+        ]);
+        let report = check(&log, None, None);
+        assert_eq!(report.bound, 1);
+        assert_eq!(report.violations.len(), 1);
+        let v = &report.violations[0];
+        assert_eq!((v.proc_id, v.bypasses), (1, 3));
+        assert_eq!((v.flag_seq, v.acquire_seq), (0, 4));
+        assert!(!report.holds());
+
+        // The same trace passes with a caller-supplied looser bound.
+        assert!(check(&log, None, Some(3)).holds());
+    }
+
+    #[test]
+    fn open_intervals_are_reported_not_violations() {
+        let log = log_of(&[
+            (0, "flag-raise", 0),
+            (1, "lock-acquire", 1),
+            (2, "lock-acquire", 1),
+        ]);
+        let report = check(&log, Some(2), None);
+        assert_eq!(report.open_intervals, 1);
+        assert_eq!(report.intervals, 0);
+        assert!(report.holds());
+    }
+
+    #[test]
+    fn reflag_after_lost_acquire_resets_the_interval() {
+        // flag(0) ... flag(0) again: the first interval's acquire was
+        // lost to the ring; only the second interval counts.
+        let log = log_of(&[
+            (0, "flag-raise", 0),
+            (1, "lock-acquire", 1),
+            (2, "lock-acquire", 1),
+            (3, "flag-raise", 0),
+            (4, "lock-acquire", 0),
+        ]);
+        let report = check(&log, Some(2), None);
+        assert_eq!(report.intervals, 1);
+        assert_eq!(report.max_bypass, 0);
+        assert!(report.holds());
+    }
+}

@@ -1,0 +1,213 @@
+//! Critical-path summary and collapsed-stack (flamegraph) output.
+//!
+//! The collapsed format is the one `flamegraph.pl` / `inferno`
+//! consume: one `frame;frame;... weight` line per stack, weights in
+//! nanoseconds here. Spans fold into a two-level stack — the process
+//! on top, then the completion path, with the locked path split into
+//! its wait (flag → acquire) and hold (acquire → release) phases so
+//! the flame shows where slow-path time actually goes.
+
+use std::collections::BTreeMap;
+
+use crate::spans::{Outcome, Path, Span, SpanReport};
+
+/// Aggregated duration statistics for one group of spans.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DurationStats {
+    /// Number of spans in the group.
+    pub count: usize,
+    /// Sum of durations in nanoseconds.
+    pub total_ns: u64,
+    /// 50th percentile duration.
+    pub p50_ns: u64,
+    /// 99th percentile duration.
+    pub p99_ns: u64,
+    /// Maximum duration.
+    pub max_ns: u64,
+}
+
+impl DurationStats {
+    fn of(mut durations: Vec<u64>) -> DurationStats {
+        durations.sort_unstable();
+        let pick = |q: f64| {
+            if durations.is_empty() {
+                0
+            } else {
+                let i = ((durations.len() - 1) as f64 * q).round() as usize;
+                durations[i]
+            }
+        };
+        DurationStats {
+            count: durations.len(),
+            total_ns: durations.iter().sum(),
+            p50_ns: pick(0.50),
+            p99_ns: pick(0.99),
+            max_ns: *durations.last().unwrap_or(&0),
+        }
+    }
+
+    /// Mean duration in nanoseconds (0 for an empty group).
+    #[must_use]
+    pub fn mean_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.total_ns / self.count as u64
+        }
+    }
+}
+
+/// Per-path duration statistics plus the wall-clock critical path.
+#[derive(Debug)]
+pub struct CriticalPath {
+    /// `(path label, stats)` for each populated path, fast first.
+    pub per_path: Vec<(&'static str, DurationStats)>,
+    /// Total nanoseconds the lock was held (sum of span holds).
+    pub lock_held_ns: u64,
+    /// Wall-clock extent of the capture (first start → last end).
+    pub wall_ns: u64,
+    /// The single longest span.
+    pub longest: Option<Span>,
+}
+
+impl CriticalPath {
+    /// Fraction of the capture during which *some* operation held the
+    /// lock — the serial fraction that bounds scalability. Can exceed
+    /// 1.0 only if tenures overlapped, which would itself be a bug.
+    #[must_use]
+    pub fn lock_saturation(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.lock_held_ns as f64 / self.wall_ns as f64
+        }
+    }
+}
+
+/// Computes per-path statistics and the lock's share of the capture.
+#[must_use]
+pub fn critical_path(report: &SpanReport) -> CriticalPath {
+    let paths = [Path::Fast, Path::Locked, Path::Combined, Path::Combiner];
+    let per_path = paths
+        .iter()
+        .map(|&p| {
+            let durations: Vec<u64> = report.on_path(p).map(Span::duration_ns).collect();
+            (p.label(), DurationStats::of(durations))
+        })
+        .filter(|(_, s)| s.count > 0)
+        .collect();
+
+    let lock_held_ns = report.spans.iter().filter_map(|s| s.hold_ns).sum();
+    let wall_ns = match (
+        report.spans.iter().map(|s| s.start_ns).min(),
+        report.spans.iter().map(|s| s.end_ns).max(),
+    ) {
+        (Some(lo), Some(hi)) => hi.saturating_sub(lo),
+        _ => 0,
+    };
+    let longest = report.spans.iter().max_by_key(|s| s.duration_ns()).cloned();
+
+    CriticalPath {
+        per_path,
+        lock_held_ns,
+        wall_ns,
+        longest,
+    }
+}
+
+/// Renders spans in collapsed-stack format, nanosecond weights,
+/// lexicographically sorted (stable output for diffing).
+#[must_use]
+pub fn collapsed(report: &SpanReport) -> String {
+    let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+    let mut add = |stack: String, ns: u64| {
+        if ns > 0 {
+            *stacks.entry(stack).or_insert(0) += ns;
+        }
+    };
+    for span in &report.spans {
+        let who = match span.proc_id {
+            Some(p) => format!("proc_{p}"),
+            None => format!("thread_{}", span.thread),
+        };
+        let leaf = match span.outcome {
+            Outcome::Completed => span.path.label().to_owned(),
+            Outcome::TimedOut => format!("{};timeout", span.path.label()),
+            Outcome::Poisoned => format!("{};poisoned", span.path.label()),
+        };
+        match (span.wait_ns, span.hold_ns) {
+            (wait, Some(hold)) => {
+                let wait = wait.unwrap_or(0);
+                add(format!("{who};{leaf};wait"), wait);
+                add(format!("{who};{leaf};hold"), hold);
+                // Anything not in wait or hold (fast-abort, post spin).
+                add(
+                    format!("{who};{leaf};other"),
+                    span.duration_ns().saturating_sub(wait + hold),
+                );
+            }
+            _ => add(format!("{who};{leaf}"), span.duration_ns()),
+        }
+    }
+    let mut out = String::new();
+    for (stack, ns) in stacks {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&ns.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::EventLog;
+    use crate::spans::reconstruct;
+
+    fn report_of(body: &str) -> SpanReport {
+        let text = format!("# cso-trace-events v1\n# dropped 0\n{body}");
+        reconstruct(&EventLog::parse(&text).expect("parses"))
+    }
+
+    #[test]
+    fn collapsed_splits_locked_spans_into_wait_and_hold() {
+        let report = report_of(
+            "0\t0\t0\tfast-attempt\t-\t-\t-\n\
+             1\t0\t10\tfast-success\t-\t-\t-\n\
+             2\t0\t100\tflag-raise\t-\t0\t-\n\
+             3\t0\t140\tlock-acquire\t-\t0\t-\n\
+             4\t0\t190\tlocked-complete\t-\t-\t-\n\
+             5\t0\t200\tlock-release\t-\t0\t-\n",
+        );
+        let out = collapsed(&report);
+        assert!(out.contains("proc_0;locked;wait 40\n"), "{out}");
+        assert!(out.contains("proc_0;locked;hold 60\n"), "{out}");
+        assert!(out.contains("thread_0;fast 10\n"), "{out}");
+        // Weights on each line parse as integers.
+        for line in out.lines() {
+            let (_, weight) = line.rsplit_once(' ').expect("stack weight");
+            weight.parse::<u64>().expect("numeric weight");
+        }
+    }
+
+    #[test]
+    fn critical_path_reports_lock_share() {
+        let report = report_of(
+            "0\t0\t0\tflag-raise\t-\t0\t-\n\
+             1\t0\t10\tlock-acquire\t-\t0\t-\n\
+             2\t0\t60\tlocked-complete\t-\t-\t-\n\
+             3\t0\t100\tlock-release\t-\t0\t-\n\
+             4\t1\t100\tfast-attempt\t-\t-\t-\n\
+             5\t1\t200\tfast-success\t-\t-\t-\n",
+        );
+        let cp = critical_path(&report);
+        assert_eq!(cp.wall_ns, 200);
+        assert_eq!(cp.lock_held_ns, 90);
+        assert!((cp.lock_saturation() - 0.45).abs() < 1e-9);
+        assert_eq!(cp.longest.as_ref().map(Span::duration_ns), Some(100));
+        let locked = cp.per_path.iter().find(|(l, _)| *l == "locked").unwrap();
+        assert_eq!(locked.1.count, 1);
+        assert_eq!(locked.1.mean_ns(), 100);
+    }
+}

@@ -1,0 +1,276 @@
+//! Lock-tenure accounting: convoys and combiner stalls.
+//!
+//! A **convoy** is the classic pathology where the lock is handed
+//! holder-to-holder without ever going idle — every arriving thread
+//! queues behind the current holder, so the lock's *own* overhead
+//! (handoff latency, cache-line migration) becomes the throughput
+//! ceiling. We detect it structurally: a maximal run of consecutive
+//! tenures where the gap between one `lock-release` and the next
+//! `lock-acquire` stays under a small threshold is a *saturated run*;
+//! runs at least as long as the process count are reported as
+//! convoys.
+//!
+//! A **combiner-tenure stall** is the flat-combining failure mode:
+//! one combiner holds the lock for a long tenure while serving a
+//! *small* batch — the amortisation argument collapses and everyone
+//! queues behind a slow tenure. We flag combining tenures whose
+//! per-served-request cost exceeds a multiple of the median locked
+//! tenure.
+
+use crate::log::EventLog;
+
+/// One lock tenure: a paired `lock-acquire` → `lock-release` on a
+/// single thread.
+#[derive(Debug, Clone)]
+pub struct Tenure {
+    /// Holding thread.
+    pub thread: u32,
+    /// Holding process (from the acquire payload).
+    pub proc_id: u32,
+    /// Acquire wall-clock nanoseconds.
+    pub start_ns: u64,
+    /// Release wall-clock nanoseconds.
+    pub end_ns: u64,
+    /// Acquire sequence number.
+    pub start_seq: u64,
+    /// `combine-batch` payload if this tenure combined.
+    pub batch: Option<u64>,
+}
+
+impl Tenure {
+    /// Tenure length in nanoseconds.
+    #[must_use]
+    pub fn hold_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// A maximal saturated run of tenures (no idle gap between them).
+#[derive(Debug, Clone)]
+pub struct Convoy {
+    /// Number of consecutive saturated hand-offs.
+    pub length: usize,
+    /// Wall-clock span of the run in nanoseconds.
+    pub duration_ns: u64,
+    /// Acquire sequence number of the first tenure in the run.
+    pub start_seq: u64,
+    /// Distinct processes trapped in the run.
+    pub procs: usize,
+}
+
+/// A combining tenure whose amortisation collapsed.
+#[derive(Debug, Clone)]
+pub struct CombinerStall {
+    /// The offending tenure.
+    pub tenure: Tenure,
+    /// Nanoseconds of tenure per served request.
+    pub ns_per_request: u64,
+}
+
+/// The full tenure analysis.
+#[derive(Debug, Default)]
+pub struct ConvoyReport {
+    /// All paired tenures, in acquire order.
+    pub tenures: Vec<Tenure>,
+    /// Median tenure in nanoseconds (0 when no tenures).
+    pub median_hold_ns: u64,
+    /// Maximum tenure in nanoseconds.
+    pub max_hold_ns: u64,
+    /// Saturated runs of length ≥ the process count.
+    pub convoys: Vec<Convoy>,
+    /// Combining tenures with collapsed amortisation.
+    pub stalls: Vec<CombinerStall>,
+}
+
+/// Release-to-acquire gaps under this are "the lock never went idle".
+pub const DEFAULT_GAP_NS: u64 = 1_000;
+
+/// A combining tenure stalls when its per-request cost exceeds this
+/// multiple of the median tenure.
+const STALL_FACTOR: u64 = 4;
+
+/// Pairs tenures and scans them for convoys and combiner stalls.
+/// `gap_ns` is the idle-gap threshold (default [`DEFAULT_GAP_NS`]).
+#[must_use]
+pub fn analyze(log: &EventLog, gap_ns: Option<u64>) -> ConvoyReport {
+    let gap_ns = gap_ns.unwrap_or(DEFAULT_GAP_NS);
+    let mut report = ConvoyReport::default();
+
+    // Pair acquire/release per thread; attach the batch probed inside.
+    let mut open: Vec<(u32, Tenure)> = Vec::new();
+    for row in &log.rows {
+        match row.name.as_str() {
+            "lock-acquire" => {
+                open.retain(|(t, _)| *t != row.thread);
+                open.push((
+                    row.thread,
+                    Tenure {
+                        thread: row.thread,
+                        proc_id: row.proc_id.unwrap_or(u32::MAX),
+                        start_ns: row.wall_ns,
+                        end_ns: row.wall_ns,
+                        start_seq: row.seq,
+                        batch: None,
+                    },
+                ));
+            }
+            "combine-batch" => {
+                if let Some((_, tenure)) = open.iter_mut().find(|(t, _)| *t == row.thread) {
+                    tenure.batch = row.value;
+                }
+            }
+            "lock-release" => {
+                if let Some(i) = open.iter().position(|(t, _)| t == &row.thread) {
+                    let (_, mut tenure) = open.remove(i);
+                    tenure.end_ns = row.wall_ns;
+                    report.tenures.push(tenure);
+                }
+            }
+            _ => {}
+        }
+    }
+    report.tenures.sort_by_key(|t| t.start_ns);
+
+    if report.tenures.is_empty() {
+        return report;
+    }
+    let mut holds: Vec<u64> = report.tenures.iter().map(Tenure::hold_ns).collect();
+    holds.sort_unstable();
+    report.median_hold_ns = holds[holds.len() / 2];
+    report.max_hold_ns = *holds.last().unwrap_or(&0);
+
+    // Convoys: maximal saturated runs, reported when at least as many
+    // hand-offs as there are processes chain up.
+    let min_len = log.inferred_procs().max(2);
+    let mut run_start = 0usize;
+    let flush = |report: &mut ConvoyReport, start: usize, end: usize| {
+        let length = end - start;
+        if length >= min_len {
+            let run = &report.tenures[start..end];
+            let mut procs: Vec<u32> = run.iter().map(|t| t.proc_id).collect();
+            procs.sort_unstable();
+            procs.dedup();
+            report.convoys.push(Convoy {
+                length,
+                duration_ns: run[length - 1].end_ns.saturating_sub(run[0].start_ns),
+                start_seq: run[0].start_seq,
+                procs: procs.len(),
+            });
+        }
+    };
+    for i in 1..report.tenures.len() {
+        let gap = report.tenures[i]
+            .start_ns
+            .saturating_sub(report.tenures[i - 1].end_ns);
+        if gap > gap_ns {
+            flush(&mut report, run_start, i);
+            run_start = i;
+        }
+    }
+    let tenure_count = report.tenures.len();
+    flush(&mut report, run_start, tenure_count);
+
+    // Combiner stalls: tenure cost per served request far above the
+    // median tenure means the batch did not amortise the hold.
+    let threshold = report.median_hold_ns.saturating_mul(STALL_FACTOR).max(1);
+    for tenure in &report.tenures {
+        if let Some(batch) = tenure.batch {
+            let ns_per_request = tenure.hold_ns() / batch.max(1);
+            if ns_per_request > threshold {
+                report.stalls.push(CombinerStall {
+                    tenure: tenure.clone(),
+                    ns_per_request,
+                });
+            }
+        }
+    }
+    report
+        .stalls
+        .sort_by_key(|s| std::cmp::Reverse(s.ns_per_request));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type TestRow<'a> = (u64, u32, u64, &'a str, Option<u32>, Option<u64>);
+
+    fn log_of(rows: &[TestRow<'_>]) -> EventLog {
+        let mut text = String::from("# cso-trace-events v1\n# dropped 0\n");
+        for (seq, thread, ns, name, proc_id, value) in rows {
+            let p = proc_id.map_or("-".to_owned(), |p| p.to_string());
+            let v = value.map_or("-".to_owned(), |v| v.to_string());
+            text.push_str(&format!("{seq}\t{thread}\t{ns}\t{name}\t-\t{p}\t{v}\n"));
+        }
+        EventLog::parse(&text).expect("test log parses")
+    }
+
+    #[test]
+    fn pairs_tenures_and_finds_a_convoy() {
+        // Two procs hand the lock off back-to-back (gaps of 10 ns),
+        // then the lock goes idle for 10 µs, then one more tenure.
+        let log = log_of(&[
+            (0, 0, 1_000, "lock-acquire", Some(0), None),
+            (1, 0, 2_000, "lock-release", Some(0), None),
+            (2, 1, 2_010, "lock-acquire", Some(1), None),
+            (3, 1, 3_000, "lock-release", Some(1), None),
+            (4, 0, 3_005, "lock-acquire", Some(0), None),
+            (5, 0, 4_000, "lock-release", Some(0), None),
+            (6, 1, 14_000, "lock-acquire", Some(1), None),
+            (7, 1, 15_000, "lock-release", Some(1), None),
+        ]);
+        let report = analyze(&log, None);
+        assert_eq!(report.tenures.len(), 4);
+        assert_eq!(report.median_hold_ns, 1_000);
+        assert_eq!(report.convoys.len(), 1);
+        let convoy = &report.convoys[0];
+        assert_eq!(convoy.length, 3);
+        assert_eq!(convoy.procs, 2);
+        assert_eq!(convoy.duration_ns, 3_000);
+    }
+
+    #[test]
+    fn small_batch_long_tenure_is_a_stall() {
+        // Three quick plain tenures set the median at 100 ns; one
+        // combining tenure holds 4 µs for a batch of 2 → 2 µs per
+        // request, far above 4× median.
+        let log = log_of(&[
+            (0, 0, 0, "lock-acquire", Some(0), None),
+            (1, 0, 100, "lock-release", Some(0), None),
+            (2, 0, 5_000, "lock-acquire", Some(0), None),
+            (3, 0, 5_100, "lock-release", Some(0), None),
+            (4, 0, 10_000, "lock-acquire", Some(0), None),
+            (5, 0, 10_100, "lock-release", Some(0), None),
+            (6, 1, 20_000, "lock-acquire", Some(1), None),
+            (7, 1, 21_000, "combine-batch", None, Some(2)),
+            (8, 1, 24_000, "lock-release", Some(1), None),
+        ]);
+        let report = analyze(&log, None);
+        assert_eq!(report.stalls.len(), 1);
+        assert_eq!(report.stalls[0].ns_per_request, 2_000);
+        assert_eq!(report.stalls[0].tenure.batch, Some(2));
+
+        // A large batch over the same tenure amortises fine.
+        let log = log_of(&[
+            (0, 0, 0, "lock-acquire", Some(0), None),
+            (1, 0, 100, "lock-release", Some(0), None),
+            (2, 0, 5_000, "lock-acquire", Some(0), None),
+            (3, 0, 5_100, "lock-release", Some(0), None),
+            (4, 0, 10_000, "lock-acquire", Some(0), None),
+            (5, 0, 10_100, "lock-release", Some(0), None),
+            (6, 1, 20_000, "lock-acquire", Some(1), None),
+            (7, 1, 21_000, "combine-batch", None, Some(64)),
+            (8, 1, 24_000, "lock-release", Some(1), None),
+        ]);
+        assert!(analyze(&log, None).stalls.is_empty());
+    }
+
+    #[test]
+    fn unreleased_tenures_are_ignored() {
+        let log = log_of(&[(0, 0, 0, "lock-acquire", Some(0), None)]);
+        let report = analyze(&log, None);
+        assert!(report.tenures.is_empty());
+        assert!(report.convoys.is_empty());
+    }
+}

@@ -1,0 +1,259 @@
+//! Parser for the `cso-trace-events v1` TSV format that
+//! [`cso_trace::export::event_log`] writes.
+//!
+//! The format is line-oriented so it survives partial captures:
+//!
+//! ```text
+//! # cso-trace-events v1
+//! # dropped 0
+//! # truncated 3 17
+//! 0\t0\t120\tfast-attempt\t-\t-\t-
+//! 1\t0\t190\tfast-success\t-\t-\t-
+//! ```
+//!
+//! Header lines carry the ring-buffer loss accounting: `# dropped n`
+//! is the total number of events overwritten before collection, and
+//! each `# truncated <thread> <count>` names a thread whose ring
+//! wrapped — that thread's stream is a contiguous *suffix* of what it
+//! recorded, so its leading events may reference operations whose
+//! start was lost. Downstream analyses use this to tell truncation
+//! apart from genuine protocol violations.
+
+/// One parsed event row. Field meanings mirror
+/// `cso_trace::probe::TraceEvent`; absent payloads (`-` in the TSV)
+/// become `None`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    /// Global capture order (monotonic across threads).
+    pub seq: u64,
+    /// Recording thread index.
+    pub thread: u32,
+    /// Wall-clock nanoseconds since the trace epoch.
+    pub wall_ns: u64,
+    /// Stable event name (`fast-attempt`, `lock-acquire`, ...).
+    pub name: String,
+    /// Site payload for `cas-fail` / `fail-point` / ... rows.
+    pub site: Option<String>,
+    /// Process-identity payload for `lock-acquire` / `flag-raise` / ...
+    pub proc_id: Option<u32>,
+    /// Measurement payload (`combine-batch` size, handoff ns).
+    pub value: Option<u64>,
+}
+
+/// A parsed event log: loss accounting plus rows sorted by `seq`.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    /// Events overwritten by ring wrap-around before collection.
+    pub dropped: u64,
+    /// `(thread, lost_count)` for each thread whose ring wrapped.
+    pub truncated: Vec<(u32, u64)>,
+    /// All surviving events, sorted by global sequence number.
+    pub rows: Vec<Row>,
+}
+
+/// A malformed line in the TSV input.
+#[derive(Debug)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+fn field<'a>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    line: usize,
+    what: &str,
+) -> Result<&'a str, ParseError> {
+    parts.next().ok_or_else(|| ParseError {
+        line,
+        message: format!("missing {what} column"),
+    })
+}
+
+fn number<T: std::str::FromStr>(text: &str, line: usize, what: &str) -> Result<T, ParseError> {
+    text.parse().map_err(|_| ParseError {
+        line,
+        message: format!("bad {what}: {text:?}"),
+    })
+}
+
+fn optional<T: std::str::FromStr>(
+    text: &str,
+    line: usize,
+    what: &str,
+) -> Result<Option<T>, ParseError> {
+    if text == "-" {
+        Ok(None)
+    } else {
+        number(text, line, what).map(Some)
+    }
+}
+
+impl EventLog {
+    /// Parses the TSV text. Rows are re-sorted by `seq` (the writer
+    /// emits them grouped by thread).
+    ///
+    /// # Errors
+    ///
+    /// [`ParseError`] on a missing/mismatched version header or any
+    /// row that does not have the seven expected columns with
+    /// parseable numbers.
+    pub fn parse(text: &str) -> Result<EventLog, ParseError> {
+        let mut lines = text.lines().enumerate();
+        let (_, first) = lines.next().ok_or(ParseError {
+            line: 1,
+            message: "empty input".to_owned(),
+        })?;
+        if first.trim() != "# cso-trace-events v1" {
+            return Err(ParseError {
+                line: 1,
+                message: format!("expected `# cso-trace-events v1` header, got {first:?}"),
+            });
+        }
+
+        let mut log = EventLog::default();
+        for (i, line) in lines {
+            let lineno = i + 1;
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('#') {
+                let mut parts = rest.split_whitespace();
+                match parts.next() {
+                    Some("dropped") => {
+                        let n = field(&mut parts, lineno, "dropped count")?;
+                        log.dropped = number(n, lineno, "dropped count")?;
+                    }
+                    Some("truncated") => {
+                        let thread = field(&mut parts, lineno, "truncated thread")?;
+                        let count = field(&mut parts, lineno, "truncated count")?;
+                        log.truncated.push((
+                            number(thread, lineno, "truncated thread")?,
+                            number(count, lineno, "truncated count")?,
+                        ));
+                    }
+                    // Unknown comments are forward-compatible noise.
+                    _ => {}
+                }
+                continue;
+            }
+            let mut parts = line.split('\t');
+            let seq = number(field(&mut parts, lineno, "seq")?, lineno, "seq")?;
+            let thread = number(field(&mut parts, lineno, "thread")?, lineno, "thread")?;
+            let wall_ns = number(field(&mut parts, lineno, "wall_ns")?, lineno, "wall_ns")?;
+            let name = field(&mut parts, lineno, "name")?.to_owned();
+            if name.is_empty() {
+                return Err(ParseError {
+                    line: lineno,
+                    message: "empty event name".to_owned(),
+                });
+            }
+            let site = match field(&mut parts, lineno, "site")? {
+                "-" => None,
+                s => Some(s.to_owned()),
+            };
+            let proc_id = optional(field(&mut parts, lineno, "proc")?, lineno, "proc")?;
+            let value = optional(field(&mut parts, lineno, "value")?, lineno, "value")?;
+            log.rows.push(Row {
+                seq,
+                thread,
+                wall_ns,
+                name,
+                site,
+                proc_id,
+                value,
+            });
+        }
+        log.rows.sort_by_key(|r| r.seq);
+        Ok(log)
+    }
+
+    /// Events lost to ring wrap-around on `thread` (0 if its ring
+    /// never wrapped).
+    #[must_use]
+    pub fn truncated_for(&self, thread: u32) -> u64 {
+        self.truncated
+            .iter()
+            .find(|(t, _)| *t == thread)
+            .map_or(0, |(_, n)| *n)
+    }
+
+    /// The number of participating processes, inferred as the highest
+    /// process-identity payload seen plus one. Zero if no row carries
+    /// a process id.
+    #[must_use]
+    pub fn inferred_procs(&self) -> usize {
+        self.rows
+            .iter()
+            .filter_map(|r| r.proc_id)
+            .max()
+            .map_or(0, |p| p as usize + 1)
+    }
+
+    /// The rows of one thread, in sequence order.
+    pub fn thread_rows(&self, thread: u32) -> impl Iterator<Item = &Row> {
+        self.rows.iter().filter(move |r| r.thread == thread)
+    }
+
+    /// All thread indices present, ascending.
+    #[must_use]
+    pub fn threads(&self) -> Vec<u32> {
+        let mut threads: Vec<u32> = self.rows.iter().map(|r| r.thread).collect();
+        threads.sort_unstable();
+        threads.dedup();
+        threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_headers_and_rows() {
+        let text = "# cso-trace-events v1\n# dropped 7\n# truncated 2 5\n\
+                    3\t1\t900\tlock-acquire\t-\t1\t-\n\
+                    0\t0\t100\tfast-attempt\t-\t-\t-\n\
+                    1\t0\t150\tcas-fail\tstack::push\t-\t-\n";
+        let log = EventLog::parse(text).expect("parses");
+        assert_eq!(log.dropped, 7);
+        assert_eq!(log.truncated, vec![(2, 5)]);
+        assert_eq!(log.truncated_for(2), 5);
+        assert_eq!(log.truncated_for(0), 0);
+        // Re-sorted by seq.
+        assert_eq!(log.rows[0].seq, 0);
+        assert_eq!(log.rows[0].name, "fast-attempt");
+        assert_eq!(log.rows[1].site.as_deref(), Some("stack::push"));
+        assert_eq!(log.rows[2].proc_id, Some(1));
+        assert_eq!(log.inferred_procs(), 2);
+        assert_eq!(log.threads(), vec![0, 1]);
+    }
+
+    #[test]
+    fn rejects_wrong_version_and_bad_rows() {
+        assert!(EventLog::parse("# cso-trace-events v2\n").is_err());
+        assert!(EventLog::parse("").is_err());
+        let err = EventLog::parse("# cso-trace-events v1\n0\t0\t1\tfoo\t-\n")
+            .expect_err("short row rejected");
+        assert_eq!(err.line, 2);
+        let err = EventLog::parse("# cso-trace-events v1\nx\t0\t1\tfoo\t-\t-\t-\n")
+            .expect_err("bad seq rejected");
+        assert!(err.message.contains("seq"));
+    }
+
+    #[test]
+    fn tolerates_unknown_comments_and_blank_lines() {
+        let text =
+            "# cso-trace-events v1\n# some future header\n\n0\t0\t1\tfast-attempt\t-\t-\t-\n";
+        let log = EventLog::parse(text).expect("parses");
+        assert_eq!(log.rows.len(), 1);
+    }
+}

@@ -1,0 +1,604 @@
+//! Per-operation span reconstruction.
+//!
+//! Each thread's event stream is replayed through a state machine that
+//! mirrors the instrumented code paths of the Figure 3 transformation
+//! (see `cso-core::contention_sensitive` for the emission sites):
+//!
+//! * **fast**: `fast-attempt` → `fast-success`;
+//! * **locked**: [`fast-abort` →] [`flag-raise` →] `lock-acquire` →
+//!   `locked-complete` → `lock-release` (completion is probed *before*
+//!   the release so observers never see a released lock with an
+//!   uncounted operation);
+//! * **combined** (poster served by a combiner): `record-post` →
+//!   [`record-poisoned` → `record-post` →] `record-handoff` →
+//!   `combined-complete`;
+//! * **combiner** (poster that won the lock): `record-post` →
+//!   `lock-acquire` → `combine-batch` → `locked-complete` →
+//!   `lock-release`; an acquire that loses the retract race releases
+//!   immediately and falls back to waiting (`lock-acquire` →
+//!   `lock-release` with nothing in between);
+//! * **timeout**: `slow-timeout` either before any acquire (the
+//!   deadline passed in the wait queue) or *after* `lock-release`
+//!   (the weak op never succeeded while the lock was held).
+//!
+//! Events that only annotate a path (`contention-raise/clear`,
+//! `turn-advance`, `cas-fail`, `fail-point`, `lock-handoff`,
+//! `helping-write`) never delimit spans. A stream that violates the
+//! protocol yields a [`Malformed`] record — except at the head of a
+//! thread whose ring wrapped, where orphaned events are classified as
+//! truncation loss instead.
+
+use crate::log::{EventLog, Row};
+
+/// Which code path an operation completed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Path {
+    /// Lines 01–03: the weak operation succeeded without the lock.
+    Fast,
+    /// Lines 04–13: applied under the (§4.4-boosted) lock.
+    Locked,
+    /// Posted to the publication list and served by another process.
+    Combined,
+    /// Posted, won the lock, and served a batch as the combiner.
+    Combiner,
+}
+
+impl Path {
+    /// Stable lower-case label for reports and collapsed stacks.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Path::Fast => "fast",
+            Path::Locked => "locked",
+            Path::Combined => "combined",
+            Path::Combiner => "combiner",
+        }
+    }
+}
+
+/// How an operation span ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The operation completed and returned a response.
+    Completed,
+    /// A deadline-bounded operation gave up (`slow-timeout`).
+    TimedOut,
+    /// The critical section unwound (`slow-poisoned`).
+    Poisoned,
+}
+
+/// One reconstructed operation.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Recording thread.
+    pub thread: u32,
+    /// Process identity, when the slow path revealed it.
+    pub proc_id: Option<u32>,
+    /// Completion path.
+    pub path: Path,
+    /// How the span ended.
+    pub outcome: Outcome,
+    /// Wall-clock nanoseconds of the first event.
+    pub start_ns: u64,
+    /// Wall-clock nanoseconds of the last event.
+    pub end_ns: u64,
+    /// `flag-raise` → `lock-acquire` wait, when both were observed.
+    pub wait_ns: Option<u64>,
+    /// `lock-acquire` → `lock-release` tenure, when both were observed.
+    pub hold_ns: Option<u64>,
+    /// `combine-batch` payload (requests served, self included).
+    pub batch: Option<u64>,
+    /// The operation was vetoed off the fast path first.
+    pub aborted_fast: bool,
+    /// Times the publication record was poisoned and reposted.
+    pub reposts: u64,
+    /// Sequence number of the first event.
+    pub start_seq: u64,
+    /// Sequence number of the last event.
+    pub end_seq: u64,
+}
+
+impl Span {
+    /// Total span duration in nanoseconds.
+    #[must_use]
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// A protocol violation: an event that is illegal in the state its
+/// thread was in, outside any truncation window.
+#[derive(Debug, Clone)]
+pub struct Malformed {
+    /// Thread whose stream violated the protocol.
+    pub thread: u32,
+    /// Sequence number of the offending event.
+    pub seq: u64,
+    /// Name of the offending event.
+    pub event: String,
+    /// The state it was illegal in.
+    pub state: &'static str,
+}
+
+/// The result of replaying a whole log.
+#[derive(Debug, Default)]
+pub struct SpanReport {
+    /// Well-formed spans, in per-thread completion order.
+    pub spans: Vec<Span>,
+    /// Operations still in flight when the capture ended (not errors).
+    pub open: usize,
+    /// Orphan events attributed to ring truncation (not errors).
+    pub truncated_events: usize,
+    /// Protocol violations.
+    pub malformed: Vec<Malformed>,
+}
+
+impl SpanReport {
+    /// Fraction of observed operations reconstructed into well-formed
+    /// spans: `spans / (spans + malformed)`. 1.0 on an empty log.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        let total = self.spans.len() + self.malformed.len();
+        if total == 0 {
+            1.0
+        } else {
+            self.spans.len() as f64 / total as f64
+        }
+    }
+
+    /// Spans that completed on `path`.
+    pub fn on_path(&self, path: Path) -> impl Iterator<Item = &Span> {
+        self.spans.iter().filter(move |s| s.path == path)
+    }
+}
+
+/// In-progress span bookkeeping shared by all non-idle states.
+#[derive(Debug, Clone)]
+struct Pending {
+    start_seq: u64,
+    start_ns: u64,
+    aborted_fast: bool,
+    reposts: u64,
+    proc_id: Option<u32>,
+    flag_ns: Option<u64>,
+    acquire_ns: Option<u64>,
+    batch: Option<u64>,
+}
+
+impl Pending {
+    fn start(row: &Row) -> Pending {
+        Pending {
+            start_seq: row.seq,
+            start_ns: row.wall_ns,
+            aborted_fast: false,
+            reposts: 0,
+            proc_id: row.proc_id,
+            flag_ns: None,
+            acquire_ns: None,
+            batch: None,
+        }
+    }
+
+    fn finish(self, row: &Row, path: Path, outcome: Outcome) -> Span {
+        Span {
+            thread: row.thread,
+            proc_id: self.proc_id,
+            path,
+            outcome,
+            start_ns: self.start_ns,
+            end_ns: row.wall_ns,
+            wait_ns: match (self.flag_ns, self.acquire_ns) {
+                (Some(f), Some(a)) => Some(a.saturating_sub(f)),
+                _ => None,
+            },
+            hold_ns: self.acquire_ns.map(|a| {
+                // For timeout-after-release spans the release stamp is
+                // the previous event; end_ns is close enough that we
+                // accept it rather than thread a third timestamp.
+                row.wall_ns.saturating_sub(a)
+            }),
+            batch: self.batch,
+            aborted_fast: self.aborted_fast,
+            reposts: self.reposts,
+            start_seq: self.start_seq,
+            end_seq: row.seq,
+        }
+    }
+}
+
+/// The per-thread protocol state.
+#[derive(Debug)]
+enum State {
+    /// Between operations.
+    Idle,
+    /// Saw `fast-attempt`, awaiting success or abort.
+    FastTried(Pending),
+    /// Fast path aborted; the slow path has not yet declared itself.
+    SlowStart(Pending),
+    /// `flag-raise` seen; waiting for the lock.
+    SlowWait(Pending),
+    /// `record-post` seen; waiting to be served or to win the lock.
+    Posted(Pending),
+    /// Holding the lock. `done` is set by `locked-complete` /
+    /// `slow-poisoned`, which are probed before the release.
+    Locked {
+        pending: Pending,
+        from_posted: bool,
+        done: Option<Outcome>,
+    },
+    /// Released without completing and not combining: the only legal
+    /// continuation is the under-lock `slow-timeout`.
+    AwaitTimeout(Pending),
+}
+
+fn is_annotation(name: &str) -> bool {
+    matches!(
+        name,
+        "contention-raise"
+            | "contention-clear"
+            | "turn-advance"
+            | "cas-fail"
+            | "fail-point"
+            | "lock-handoff"
+            | "helping-write"
+            | "record-handoff"
+    )
+}
+
+/// Replays one thread's stream. `truncated` relaxes the head of the
+/// stream: while no span has completed yet, events that are illegal in
+/// the current state are charged to ring wrap-around, and the state
+/// machine resets and resynchronises on the next clean span start.
+fn replay_thread<'a>(
+    rows: impl Iterator<Item = &'a Row>,
+    truncated: bool,
+    report: &mut SpanReport,
+) {
+    let mut state = State::Idle;
+    let mut synced = !truncated;
+
+    for row in rows {
+        if is_annotation(&row.name) {
+            continue;
+        }
+        state = match step(state, row, report, &mut synced) {
+            Ok(next) => next,
+            Err(prev) => {
+                // Illegal event. At the head of a truncated stream the
+                // start of this operation was overwritten; otherwise
+                // it is a real protocol violation.
+                if synced {
+                    report.malformed.push(Malformed {
+                        thread: row.thread,
+                        seq: row.seq,
+                        event: row.name.clone(),
+                        state: prev,
+                    });
+                } else {
+                    report.truncated_events += 1;
+                }
+                State::Idle
+            }
+        };
+    }
+    if !matches!(state, State::Idle) {
+        report.open += 1;
+    }
+}
+
+/// One transition. `Err(state_name)` means `row` is illegal in the
+/// current state (which is consumed; the caller resets to idle).
+#[allow(clippy::too_many_lines)]
+fn step(
+    state: State,
+    row: &Row,
+    report: &mut SpanReport,
+    synced: &mut bool,
+) -> Result<State, &'static str> {
+    let name = row.name.as_str();
+    let mut emit = |span: Span| {
+        *synced = true;
+        report.spans.push(span);
+    };
+    match state {
+        State::Idle => match name {
+            "fast-attempt" => Ok(State::FastTried(Pending::start(row))),
+            "flag-raise" => {
+                let mut p = Pending::start(row);
+                p.flag_ns = Some(row.wall_ns);
+                Ok(State::SlowWait(p))
+            }
+            "record-post" => Ok(State::Posted(Pending::start(row))),
+            // The unfair ablation takes the inner lock with no flag.
+            "lock-acquire" => {
+                let mut p = Pending::start(row);
+                p.acquire_ns = Some(row.wall_ns);
+                Ok(State::Locked {
+                    pending: p,
+                    from_posted: false,
+                    done: None,
+                })
+            }
+            _ => Err("idle"),
+        },
+        State::FastTried(mut p) => match name {
+            "fast-success" => {
+                emit(p.finish(row, Path::Fast, Outcome::Completed));
+                Ok(State::Idle)
+            }
+            "fast-abort" => {
+                p.aborted_fast = true;
+                Ok(State::SlowStart(p))
+            }
+            _ => Err("fast-tried"),
+        },
+        State::SlowStart(mut p) => match name {
+            "flag-raise" => {
+                p.flag_ns = Some(row.wall_ns);
+                if p.proc_id.is_none() {
+                    p.proc_id = row.proc_id;
+                }
+                Ok(State::SlowWait(p))
+            }
+            "record-post" => Ok(State::Posted(p)),
+            "lock-acquire" => {
+                p.acquire_ns = Some(row.wall_ns);
+                if p.proc_id.is_none() {
+                    p.proc_id = row.proc_id;
+                }
+                Ok(State::Locked {
+                    pending: p,
+                    from_posted: false,
+                    done: None,
+                })
+            }
+            // Deadline expired before the (unfair) inner lock came.
+            "slow-timeout" => {
+                emit(p.finish(row, Path::Locked, Outcome::TimedOut));
+                Ok(State::Idle)
+            }
+            _ => Err("slow-start"),
+        },
+        State::SlowWait(mut p) => match name {
+            "lock-acquire" => {
+                p.acquire_ns = Some(row.wall_ns);
+                Ok(State::Locked {
+                    pending: p,
+                    from_posted: false,
+                    done: None,
+                })
+            }
+            // Deadline expired in the wait queue.
+            "slow-timeout" => {
+                emit(p.finish(row, Path::Locked, Outcome::TimedOut));
+                Ok(State::Idle)
+            }
+            _ => Err("slow-wait"),
+        },
+        State::Posted(mut p) => match name {
+            "combined-complete" => {
+                emit(p.finish(row, Path::Combined, Outcome::Completed));
+                Ok(State::Idle)
+            }
+            "record-poisoned" => {
+                p.reposts += 1;
+                Ok(State::Posted(p))
+            }
+            // The repost after a poisoning.
+            "record-post" => Ok(State::Posted(p)),
+            "lock-acquire" => {
+                p.acquire_ns = Some(row.wall_ns);
+                if p.proc_id.is_none() {
+                    p.proc_id = row.proc_id;
+                }
+                Ok(State::Locked {
+                    pending: p,
+                    from_posted: true,
+                    done: None,
+                })
+            }
+            _ => Err("posted"),
+        },
+        State::Locked {
+            mut pending,
+            from_posted,
+            done,
+        } => match name {
+            "combine-batch" => {
+                pending.batch = row.value;
+                Ok(State::Locked {
+                    pending,
+                    from_posted,
+                    done,
+                })
+            }
+            "locked-complete" => Ok(State::Locked {
+                pending,
+                from_posted,
+                done: Some(Outcome::Completed),
+            }),
+            "slow-poisoned" => Ok(State::Locked {
+                pending,
+                from_posted,
+                done: Some(Outcome::Poisoned),
+            }),
+            "lock-release" => match done {
+                Some(outcome) => {
+                    let path = if pending.batch.is_some() {
+                        Path::Combiner
+                    } else {
+                        Path::Locked
+                    };
+                    emit(pending.finish(row, path, outcome));
+                    Ok(State::Idle)
+                }
+                // No completion under this tenure: a combining poster
+                // that lost the retract race bounces back to waiting;
+                // a deadline op is about to report its timeout.
+                None if from_posted => Ok(State::Posted(pending)),
+                None => Ok(State::AwaitTimeout(pending)),
+            },
+            _ => Err("locked"),
+        },
+        State::AwaitTimeout(p) => match name {
+            "slow-timeout" => {
+                emit(p.finish(row, Path::Locked, Outcome::TimedOut));
+                Ok(State::Idle)
+            }
+            _ => Err("await-timeout"),
+        },
+    }
+}
+
+/// Reconstructs every thread of `log` into operation spans.
+#[must_use]
+pub fn reconstruct(log: &EventLog) -> SpanReport {
+    let mut report = SpanReport::default();
+    for thread in log.threads() {
+        replay_thread(
+            log.thread_rows(thread),
+            log.truncated_for(thread) > 0,
+            &mut report,
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(body: &str) -> EventLog {
+        let text = format!("# cso-trace-events v1\n# dropped 0\n{body}");
+        EventLog::parse(&text).expect("test log parses")
+    }
+
+    #[test]
+    fn reconstructs_all_four_paths() {
+        // Thread 0: fast op, then a locked op with the full §4.4
+        // choreography. Thread 1: combining poster served by thread 2,
+        // which combines a batch of 2.
+        let log = parse(
+            "0\t0\t10\tfast-attempt\t-\t-\t-\n\
+             1\t0\t20\tfast-success\t-\t-\t-\n\
+             2\t0\t30\tfast-attempt\t-\t-\t-\n\
+             3\t0\t40\tfast-abort\t-\t-\t-\n\
+             4\t0\t50\tflag-raise\t-\t0\t-\n\
+             5\t0\t90\tlock-acquire\t-\t0\t-\n\
+             6\t0\t95\tcontention-raise\t-\t-\t-\n\
+             7\t0\t120\tlocked-complete\t-\t-\t-\n\
+             8\t0\t121\tcontention-clear\t-\t-\t-\n\
+             9\t0\t125\tlock-release\t-\t0\t-\n\
+             10\t0\t126\tturn-advance\t-\t1\t-\n\
+             11\t1\t10\trecord-post\t-\t-\t-\n\
+             12\t2\t11\trecord-post\t-\t-\t-\n\
+             13\t2\t15\tlock-acquire\t-\t2\t-\n\
+             14\t2\t40\tcombine-batch\t-\t-\t2\n\
+             15\t1\t45\trecord-handoff\t-\t-\t30\n\
+             16\t1\t46\tcombined-complete\t-\t-\t-\n\
+             17\t2\t50\tlocked-complete\t-\t-\t-\n\
+             18\t2\t55\tlock-release\t-\t2\t-\n",
+        );
+        let report = reconstruct(&log);
+        assert!(report.malformed.is_empty(), "{:?}", report.malformed);
+        assert_eq!(report.open, 0);
+        assert_eq!(report.spans.len(), 4);
+        assert_eq!(report.coverage(), 1.0);
+
+        let fast: Vec<_> = report.on_path(Path::Fast).collect();
+        assert_eq!(fast.len(), 1);
+        assert_eq!(fast[0].duration_ns(), 10);
+
+        let locked: Vec<_> = report.on_path(Path::Locked).collect();
+        assert_eq!(locked.len(), 1);
+        assert!(locked[0].aborted_fast);
+        assert_eq!(locked[0].proc_id, Some(0));
+        assert_eq!(locked[0].wait_ns, Some(40));
+        assert_eq!(locked[0].hold_ns, Some(35));
+
+        let combiner: Vec<_> = report.on_path(Path::Combiner).collect();
+        assert_eq!(combiner.len(), 1);
+        assert_eq!(combiner[0].batch, Some(2));
+
+        assert_eq!(report.on_path(Path::Combined).count(), 1);
+    }
+
+    #[test]
+    fn timeout_before_and_after_acquire() {
+        let log = parse(
+            "0\t0\t10\tflag-raise\t-\t0\t-\n\
+             1\t0\t60\tslow-timeout\t-\t-\t-\n\
+             2\t0\t70\tflag-raise\t-\t0\t-\n\
+             3\t0\t80\tlock-acquire\t-\t0\t-\n\
+             4\t0\t99\tlock-release\t-\t0\t-\n\
+             5\t0\t100\tslow-timeout\t-\t-\t-\n",
+        );
+        let report = reconstruct(&log);
+        assert!(report.malformed.is_empty(), "{:?}", report.malformed);
+        assert_eq!(report.spans.len(), 2);
+        assert!(report.spans.iter().all(|s| s.outcome == Outcome::TimedOut));
+        assert_eq!(report.spans[0].wait_ns, None);
+        assert_eq!(report.spans[1].wait_ns, Some(10));
+    }
+
+    #[test]
+    fn combining_bounce_and_repost_stay_one_span() {
+        // Poster loses the retract race (acquire → immediate release),
+        // then is poisoned, reposts, and is finally served.
+        let log = parse(
+            "0\t0\t10\trecord-post\t-\t-\t-\n\
+             1\t0\t20\tlock-acquire\t-\t0\t-\n\
+             2\t0\t25\tlock-release\t-\t0\t-\n\
+             3\t0\t30\trecord-poisoned\t-\t-\t-\n\
+             4\t0\t31\trecord-post\t-\t-\t-\n\
+             5\t0\t90\tcombined-complete\t-\t-\t-\n",
+        );
+        let report = reconstruct(&log);
+        assert!(report.malformed.is_empty(), "{:?}", report.malformed);
+        assert_eq!(report.spans.len(), 1);
+        let span = &report.spans[0];
+        assert_eq!(span.path, Path::Combined);
+        assert_eq!(span.reposts, 1);
+        assert_eq!(span.duration_ns(), 80);
+    }
+
+    #[test]
+    fn truncated_head_is_loss_but_later_orphans_are_malformed() {
+        // Thread 3's ring wrapped: its stream opens mid-operation.
+        let body = "0\t3\t10\tlocked-complete\t-\t-\t-\n\
+                    1\t3\t12\tlock-release\t-\t3\t-\n\
+                    2\t3\t20\tfast-attempt\t-\t-\t-\n\
+                    3\t3\t25\tfast-success\t-\t-\t-\n\
+                    4\t3\t30\tfast-success\t-\t-\t-\n";
+        let text = format!("# cso-trace-events v1\n# dropped 2\n# truncated 3 2\n{body}");
+        let log = EventLog::parse(&text).expect("parses");
+        let report = reconstruct(&log);
+        // The two orphans at the head are truncation loss; the stray
+        // fast-success *after* a clean span is a real violation.
+        assert_eq!(report.truncated_events, 2);
+        assert_eq!(report.spans.len(), 1);
+        assert_eq!(report.malformed.len(), 1);
+        assert_eq!(report.malformed[0].seq, 4);
+        assert_eq!(report.malformed[0].state, "idle");
+
+        // The same head orphans on an untruncated thread are
+        // violations.
+        let log = parse(body);
+        let report = reconstruct(&log);
+        assert_eq!(report.truncated_events, 0);
+        assert_eq!(report.malformed.len(), 3);
+        assert!((report.coverage() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capture_end_leaves_open_spans_not_errors() {
+        let log = parse(
+            "0\t0\t10\tfast-attempt\t-\t-\t-\n\
+             1\t1\t10\tflag-raise\t-\t1\t-\n",
+        );
+        let report = reconstruct(&log);
+        assert_eq!(report.open, 2);
+        assert!(report.malformed.is_empty());
+        assert_eq!(report.coverage(), 1.0);
+    }
+}

@@ -17,17 +17,18 @@
 //! grow. The acceptance bar is combining ≥ 1.5× plain at ≥ 8 threads.
 //!
 //! Besides the table, the run writes a machine-readable
-//! `results/BENCH_e12.json` (`CSO_E12_OUT` overrides the path) so CI
-//! can validate the numbers.
-
-use std::io::Write as _;
+//! `results/BENCH_e12_combining.json` in the shared report shape
+//! (`CSO_BENCH_OUT_DIR` overrides the directory) so CI can validate
+//! the numbers.
 
 use cso_bench::adapters::{drive_stack, prefill_stack, BenchStack};
+use cso_bench::jsonreport::BenchReport;
 use cso_bench::report::{fmt_rate, Table};
 use cso_bench::workload::OpMix;
 use cso_bench::{cell_duration, thread_counts};
 use cso_core::{CombiningStats, CsConfig};
 use cso_locks::TasLock;
+use cso_metrics::Json;
 use cso_stack::{CsStack, PushOutcome};
 
 /// A forced-slow-path stack under one of the two slow-path designs.
@@ -106,34 +107,23 @@ fn measure(threads: usize) -> Cell {
     }
 }
 
-fn json_report(cells: &[Cell]) -> String {
-    let mut out = String::from("{\n");
-    out.push_str("  \"experiment\": \"e12_combining\",\n");
-    out.push_str(&format!(
-        "  \"bench_ms\": {},\n  \"mix\": \"50/50\",\n  \"cells\": [\n",
-        cell_duration().as_millis()
-    ));
-    for (i, cell) in cells.iter().enumerate() {
-        out.push_str(&format!(
-            concat!(
-                "    {{\"threads\": {}, \"plain_ops_per_sec\": {:.1}, ",
-                "\"combining_ops_per_sec\": {:.1}, \"speedup\": {:.3}, ",
-                "\"batches\": {}, \"combined\": {}, ",
-                "\"max_batch\": {}, \"avg_batch\": {:.2}}}{}\n"
-            ),
-            cell.threads,
-            cell.plain_ops_per_sec,
-            cell.combining_ops_per_sec,
-            cell.speedup(),
-            cell.combining.batches,
-            cell.combining.combined,
-            cell.combining.max_batch,
-            cell.combining.avg_batch(),
-            if i + 1 < cells.len() { "," } else { "" },
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
+fn json_cells(cells: &[Cell]) -> Json {
+    Json::Arr(
+        cells
+            .iter()
+            .map(|cell| {
+                Json::obj()
+                    .field("threads", cell.threads as u64)
+                    .field("plain_ops_per_sec", cell.plain_ops_per_sec)
+                    .field("combining_ops_per_sec", cell.combining_ops_per_sec)
+                    .field("speedup", cell.speedup())
+                    .field("batches", cell.combining.batches)
+                    .field("combined", cell.combining.combined)
+                    .field("max_batch", cell.combining.max_batch)
+                    .field("avg_batch", cell.combining.avg_batch())
+            })
+            .collect(),
+    )
 }
 
 fn main() {
@@ -164,16 +154,11 @@ fn main() {
     }
     table.print();
 
-    let out_path = std::env::var("CSO_E12_OUT").unwrap_or_else(|_| {
-        let root =
-            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_e12.json");
-        root.to_string_lossy().into_owned()
-    });
-    let report = json_report(&cells);
-    match std::fs::File::create(&out_path).and_then(|mut f| f.write_all(report.as_bytes())) {
-        Ok(()) => println!("\nwrote {out_path}"),
-        Err(e) => eprintln!("\nfailed to write {out_path}: {e}"),
-    }
+    BenchReport::new("e12_combining")
+        .config("bench_ms", cell_duration().as_millis() as u64)
+        .config("mix", "50/50")
+        .metric("cells", json_cells(&cells))
+        .write();
 
     println!("\nReading: with the fast path off, every operation pays the lock.");
     println!("Plain hand-off serializes lock acquisitions; combining amortizes one");

@@ -9,6 +9,7 @@
 //! Every count is *measured* through `cso_memory::counting`, averaged
 //! over many operations so a single stray access cannot hide.
 
+use cso_bench::jsonreport::BenchReport;
 use cso_bench::report::Table;
 use cso_core::CsConfig;
 use cso_locks::{LamportFastLock, ProcLock, RawLock, TasLock, TicketLock};
@@ -188,6 +189,11 @@ fn main() {
     }
 
     table.print();
+
+    BenchReport::new("e1_access_counts")
+        .config("ops_per_cell", OPS)
+        .table("rows", &table)
+        .write();
 
     println!("\nNote: the paper's §1.2 announces \"seven\" accesses for the stack while");
     println!("Theorem 1 proves six; the measured six matches the theorem. The seven");

@@ -8,6 +8,7 @@
 
 use std::sync::atomic::Ordering;
 
+use cso_bench::jsonreport::BenchReport;
 use cso_bench::measure::timed_run;
 use cso_bench::report::{fmt_pct, fmt_rate, Table};
 use cso_bench::workload::{thread_rng, OpMix};
@@ -68,6 +69,7 @@ fn main() {
     }
 
     table.print();
+    let wall_clock_table = table;
     println!("\nRow `threads = 1` is the paper's solo-success guarantee (rate must be 0).");
     println!("NOTE: on few-core hosts threads interleave only at scheduler quanta, so");
     println!("wall-clock contention windows are rare; part 2 interleaves per access.\n");
@@ -121,6 +123,15 @@ fn main() {
         ]);
     }
     table.print();
+
+    BenchReport::new("e2_abort_rate")
+        .config("bench_ms", cell_duration().as_millis() as u64)
+        .config("mix", "50/50")
+        .config("model_schedules", 400u64)
+        .table("wall_clock", &wall_clock_table)
+        .table("model_interleaved", &table)
+        .write();
+
     println!("\nExpected shape: 0% solo, growing with the number of interleaved");
     println!("processes — ⊥ is the price of contention, and only of contention.");
     cso_bench::tracing::emit("e2_abort_rate");

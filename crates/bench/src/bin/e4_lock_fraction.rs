@@ -6,6 +6,7 @@
 //! interference: zero when solo, shrinking as think time grows.
 
 use cso_bench::adapters::{drive_stack, prefill_stack, CsAdapter};
+use cso_bench::jsonreport::BenchReport;
 use cso_bench::report::{fmt_pct, fmt_rate, Table};
 use cso_bench::workload::OpMix;
 use cso_bench::{cell_duration, thread_counts};
@@ -47,6 +48,7 @@ fn main() {
     }
 
     table.print();
+    let wall_clock_table = table;
     println!("\nRow `threads = 1` is Theorem 1's lock-free fast path (must be 0.00%).");
     println!("Longer think time = less interference = smaller lock fraction.");
     println!("NOTE: on few-core hosts wall-clock interleaving is quantum-grained, so");
@@ -106,6 +108,15 @@ fn main() {
         ]);
     }
     table.print();
+
+    BenchReport::new("e4_lock_fraction")
+        .config("bench_ms", cell_duration().as_millis() as u64)
+        .config("mix", "50/50")
+        .config("model_schedules", 400u64)
+        .table("wall_clock", &wall_clock_table)
+        .table("model_interleaved", &table)
+        .write();
+
     println!("\nContention-sensitivity, quantified: the lock engages exactly as often");
     println!("as operations actually interfere.");
     cso_bench::tracing::emit("e4_lock_fraction");

@@ -8,6 +8,7 @@
 use std::sync::atomic::Ordering;
 
 use cso_bench::adapters::{drive_queue, prefill_queue, queue_suite};
+use cso_bench::jsonreport::BenchReport;
 use cso_bench::measure::timed_run;
 use cso_bench::report::{fmt_pct, fmt_rate, Table};
 use cso_bench::workload::OpMix;
@@ -38,6 +39,7 @@ fn main() {
         table.row(row);
     }
     table.print();
+    let throughput_table = table;
 
     println!("\nE6 part 2: non-interference (§1.1) — weak-op abort rates by pairing");
     println!(
@@ -87,6 +89,14 @@ fn main() {
     }
 
     table.print();
+
+    BenchReport::new("e6_queue")
+        .config("bench_ms", cell_duration().as_millis() as u64)
+        .config("mix", "50/50")
+        .table("throughput", &throughput_table)
+        .table("non_interference", &table)
+        .write();
+
     println!("\nThe `enqueuer + dequeuer` row must read 0.00%: enqueue CASes only TAIL,");
     println!("dequeue only HEAD — the paper's non-interfering operations, realized.");
     cso_bench::tracing::emit("e6_queue");

@@ -13,6 +13,7 @@
 //! the one `CONTENTION` read; locking everything costs the most).
 
 use cso_bench::adapters::{drive_stack, prefill_stack, BenchStack, CsConfigAdapter};
+use cso_bench::jsonreport::BenchReport;
 use cso_bench::report::{fmt_pct, fmt_rate, Table};
 use cso_bench::workload::OpMix;
 use cso_bench::{cell_duration, thread_counts};
@@ -70,6 +71,14 @@ fn main() {
     }
 
     table.print();
+
+    BenchReport::new("e8_ablation")
+        .config("bench_ms", cell_duration().as_millis() as u64)
+        .config("threads", threads as u64)
+        .config("mix", "50/50")
+        .table("rows", &table)
+        .write();
+
     println!("\nReading: cs/no-flag shaves the solo cost to 5 accesses but loses the");
     println!("contention gate; cs/unfair keeps the fast path but lets the slow path");
     println!("starve threads (max/min, jain). The paper configuration is the");

@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use cso_bench::adapters::{prefill_stack, stack_suite, BenchStack};
+use cso_bench::jsonreport::BenchReport;
 use cso_bench::measure::{sample_latency, LatencySummary};
 use cso_bench::report::Table;
 
@@ -75,6 +76,13 @@ fn main() {
     }
 
     table.print();
+
+    BenchReport::new("e9_latency")
+        .config("samples", SAMPLES as u64)
+        .config("warmup", WARMUP as u64)
+        .table("rows", &table)
+        .write();
+
     println!("\nReading: the interferer inflates the tail (p99.9, max) of every");
     println!("implementation via preemption; the paper's claim is about the *fast");
     println!("path* staying lock-free — compare each impl's contended tail against");

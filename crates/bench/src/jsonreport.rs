@@ -1,0 +1,180 @@
+//! Uniform machine-readable experiment reports.
+//!
+//! Every `e*` binary finishes by assembling a [`BenchReport`] and
+//! calling [`BenchReport::write`], producing
+//! `results/BENCH_<experiment>.json` with the shared shape
+//!
+//! ```json
+//! {
+//!   "experiment": "e3_throughput",
+//!   "config": {"bench_ms": 300, "mix": "50/50"},
+//!   "metrics": {"rows": [{"impl": "cs-stack", "ops_per_sec": 1.2e6}]}
+//! }
+//! ```
+//!
+//! `cso-analyze bench-validate` checks every `BENCH_*.json` against
+//! exactly this schema (top-level object, string `experiment`, object
+//! `config`, object `metrics`), and `cso-analyze bench-summary` folds
+//! the directory into `results/BENCH_summary.json`.
+//!
+//! Environment knobs: `CSO_BENCH_OUT_DIR` overrides the output
+//! directory (default: the checked-in `results/` at the repo root).
+
+use std::path::PathBuf;
+
+use cso_metrics::Json;
+
+use crate::report::Table;
+
+/// Builder for one experiment's JSON report.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    experiment: String,
+    config: Vec<(String, Json)>,
+    metrics: Vec<(String, Json)>,
+}
+
+impl BenchReport {
+    /// An empty report for `experiment` (e.g. `"e3_throughput"` —
+    /// also the `BENCH_<experiment>.json` file stem).
+    #[must_use]
+    pub fn new(experiment: &str) -> BenchReport {
+        BenchReport {
+            experiment: experiment.to_owned(),
+            config: Vec::new(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Adds one configuration entry (thread counts, cell duration,
+    /// workload mix, …: the knobs that shaped the run).
+    #[must_use]
+    pub fn config(mut self, key: &str, value: impl Into<Json>) -> BenchReport {
+        self.config.push((key.to_owned(), value.into()));
+        self
+    }
+
+    /// Adds one measured metric entry.
+    #[must_use]
+    pub fn metric(mut self, key: &str, value: impl Into<Json>) -> BenchReport {
+        self.metrics.push((key.to_owned(), value.into()));
+        self
+    }
+
+    /// Adds a rendered [`Table`] under `key` as an array of row
+    /// objects keyed by the column headers, with best-effort typing:
+    /// cells that parse as integers or floats become JSON numbers,
+    /// everything else stays a string (so `"1.2M"`-style rendered
+    /// rates survive verbatim).
+    #[must_use]
+    pub fn table(self, key: &str, table: &Table) -> BenchReport {
+        let rows: Vec<Json> = table
+            .rows_iter()
+            .map(|row| {
+                let fields = table
+                    .headers()
+                    .iter()
+                    .zip(row.iter())
+                    .map(|(h, cell)| (h.clone(), typed_cell(cell)))
+                    .collect();
+                Json::Obj(fields)
+            })
+            .collect();
+        self.metric(key, Json::Arr(rows))
+    }
+
+    /// The report as a JSON value (the exact on-disk shape).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("experiment", self.experiment.as_str())
+            .field("config", Json::Obj(self.config.clone()))
+            .field("metrics", Json::Obj(self.metrics.clone()))
+    }
+
+    /// Where [`BenchReport::write`] will put this report:
+    /// `$CSO_BENCH_OUT_DIR/BENCH_<experiment>.json`, defaulting to the
+    /// repo's checked-in `results/` directory.
+    #[must_use]
+    pub fn default_path(&self) -> PathBuf {
+        let dir = std::env::var_os("CSO_BENCH_OUT_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| {
+                std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results")
+            });
+        dir.join(format!("BENCH_{}.json", self.experiment))
+    }
+
+    /// Writes the report to [`BenchReport::default_path`], printing
+    /// the destination (or the error — a read-only checkout must not
+    /// kill the experiment run).
+    pub fn write(&self) {
+        let path = self.default_path();
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(&path, self.to_json().render_pretty()) {
+            Ok(()) => println!("\nwrote {}", path.display()),
+            Err(e) => eprintln!("\nfailed to write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Best-effort typed parse of one rendered table cell.
+fn typed_cell(cell: &str) -> Json {
+    if let Ok(v) = cell.parse::<u64>() {
+        return Json::U64(v);
+    }
+    if let Ok(v) = cell.parse::<i64>() {
+        return Json::I64(v);
+    }
+    if let Ok(v) = cell.parse::<f64>() {
+        return Json::F64(v);
+    }
+    Json::Str(cell.to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_shape_matches_the_shared_schema() {
+        let mut table = Table::new(&["impl", "ops"]);
+        table.row(vec!["cs-stack".into(), "123".into()]);
+        let report = BenchReport::new("e_test")
+            .config("bench_ms", 50u64)
+            .config("mix", "50/50")
+            .table("rows", &table)
+            .metric("speedup", 1.5f64);
+        let json = report.to_json();
+        assert_eq!(
+            json.get("experiment").and_then(Json::as_str),
+            Some("e_test")
+        );
+        let config = json.get("config").unwrap();
+        assert_eq!(config.get("bench_ms").and_then(Json::as_u64), Some(50));
+        let rows = json
+            .get("metrics")
+            .and_then(|m| m.get("rows"))
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("impl").and_then(Json::as_str), Some("cs-stack"));
+        assert_eq!(rows[0].get("ops").and_then(Json::as_u64), Some(123));
+        // Round-trips through the parser.
+        let reparsed = Json::parse(&json.render_pretty()).unwrap();
+        assert_eq!(
+            reparsed.get("experiment").and_then(Json::as_str),
+            Some("e_test")
+        );
+    }
+
+    #[test]
+    fn cells_get_best_effort_types() {
+        assert_eq!(typed_cell("42"), Json::U64(42));
+        assert_eq!(typed_cell("-3"), Json::I64(-3));
+        assert_eq!(typed_cell("2.5"), Json::F64(2.5));
+        assert_eq!(typed_cell("1.2M"), Json::Str("1.2M".to_owned()));
+    }
+}

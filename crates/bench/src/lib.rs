@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod adapters;
+pub mod jsonreport;
 pub mod measure;
 pub mod microbench;
 pub mod report;

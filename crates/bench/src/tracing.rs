@@ -184,6 +184,19 @@ pub fn emit(bin: &str) {
         ),
         Err(e) => eprintln!("trace: cannot write {}: {e}", path.display()),
     }
+    // The analyzer input: the same events in the `cso-trace-events v1`
+    // TSV form `cso-analyze` consumes.
+    let events_path = std::env::var_os("CSO_TRACE_EVENTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/trace").join(format!("{bin}.events.tsv")));
+    match std::fs::write(&events_path, export::event_log(&trace)) {
+        Ok(()) => println!(
+            "event log: {} — analyze with `cso-analyze check {}`",
+            events_path.display(),
+            events_path.display()
+        ),
+        Err(e) => eprintln!("trace: cannot write {}: {e}", events_path.display()),
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +236,7 @@ mod tests {
                 ev(2, 4, Event::SlowPoisoned),
             ],
             dropped: 0,
+            truncated: Vec::new(),
         };
         assert_eq!(
             poisoning_causes(&trace),

@@ -20,13 +20,15 @@
 //!   [`ContentionSensitive::try_apply_for`].
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
 use cso_locks::{ProcLock, RawLock, StarvationFree};
 use cso_memory::backoff::{Deadline, Spinner};
 use cso_memory::combining::{CachePadded, PubRecord, RecordState};
 use cso_memory::fail_point;
 use cso_memory::reg::RegBool;
+use cso_metrics::{Counter, Gauge, Registry, Timer};
 use cso_trace::{probe, Event};
 
 use crate::abortable::Abortable;
@@ -133,6 +135,56 @@ impl Default for CsConfig {
 
 /// The publication list: one cache-padded record per process.
 type PubList<O> = Box<[CachePadded<PubRecord<<O as Abortable>::Op, <O as Abortable>::Response>>]>;
+
+/// Live registry handles mirroring the internal statistics, installed
+/// (at most once) by [`ContentionSensitive::attach_metrics`].
+///
+/// Unlike the internal counters — where combining handoffs land in
+/// `locked` — the three completion counters here are **disjoint by
+/// path** (`fast + locked + combined` = completions), so a scrape
+/// shows the path mix directly. The internal `PathStats::locked`
+/// equals `locked + combined` of this family.
+struct CsMetrics {
+    /// Fast-path completions (lines 01–03).
+    fast: Counter,
+    /// Fast-path weak-operation aborts (each one fell through to the
+    /// slow path).
+    fast_aborts: Counter,
+    /// Own-tenure slow-path completions (`SlowGuard` / combiner's own
+    /// operation).
+    locked: Counter,
+    /// Completions delivered by *another* process's combining tenure.
+    combined: Counter,
+    /// Survived under-lock panics.
+    poisoned: Counter,
+    /// Deadline expiries of `try_apply_for` / `try_apply_until`.
+    timeouts: Counter,
+    /// Poisoned publication-record handoffs (retried, not finished).
+    record_poisoned: Counter,
+    /// Combining lock tenures.
+    batches: Counter,
+    /// Requests served on behalf of other processes.
+    served: Counter,
+    /// Largest single combining tenure observed (own op + served).
+    max_batch: Gauge,
+    /// 1.0 while the adaptive gate diverts the fast path, else 0.0.
+    gate_engaged: Gauge,
+    /// The gate's current abort EWMA.
+    gate_abort_ewma: Gauge,
+    /// Fast-path completion latency.
+    fast_ns: Timer,
+    /// Slow-path completion latency (lock wait included).
+    locked_ns: Timer,
+}
+
+impl CsMetrics {
+    /// Publishes the gate's current state into the two gauges.
+    fn publish_gate(&self, gate: &AdaptiveGate) {
+        self.gate_abort_ewma.set(gate.abort_ewma());
+        self.gate_engaged
+            .set(if gate.engaged() { 1.0 } else { 0.0 });
+    }
+}
 
 /// How many operations completed on each path (diagnostics for
 /// experiment E4: "fraction of ops that took the lock").
@@ -349,6 +401,10 @@ pub struct ContentionSensitive<O: Abortable, L> {
     batches: AtomicU64,
     combined: AtomicU64,
     max_batch: AtomicU64,
+    /// Live registry handles, if [`ContentionSensitive::attach_metrics`]
+    /// was called. The `OnceLock` probe is a plain (uncounted) atomic
+    /// load, so unattached objects keep Theorem 1's access budget.
+    metrics: OnceLock<CsMetrics>,
 }
 
 /// RAII custody of the slow path's shared state (lines 07–12).
@@ -380,9 +436,15 @@ impl<O: Abortable, L: RawLock> Drop for SlowGuard<'_, O, L> {
         // already see this operation in the statistics.
         if self.completed {
             cs.locked.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = cs.metrics.get() {
+                m.locked.inc();
+            }
             probe!(Event::LockedComplete);
         } else if std::thread::panicking() {
             cs.poisoned.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = cs.metrics.get() {
+                m.poisoned.inc();
+            }
             probe!(Event::SlowPoisoned);
         }
         // Line 09.
@@ -437,9 +499,15 @@ impl<O: Abortable, L: RawLock> Drop for CombinerGuard<'_, O, L> {
         let cs = self.cs;
         if self.completed {
             cs.locked.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = cs.metrics.get() {
+                m.locked.inc();
+            }
             probe!(Event::LockedComplete);
         } else if std::thread::panicking() {
             cs.poisoned.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = cs.metrics.get() {
+                m.poisoned.inc();
+            }
             probe!(Event::SlowPoisoned);
             // Poison only the in-flight claims; their owners retry.
             for &i in &self.claimed[self.applied..] {
@@ -503,7 +571,51 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
             batches: AtomicU64::new(0),
             combined: AtomicU64::new(0),
             max_batch: AtomicU64::new(0),
+            metrics: OnceLock::new(),
         }
+    }
+
+    /// Registers this object's live metrics under `prefix` (e.g.
+    /// `prefix = "stack"` yields `stack_ops_fast_total`, …), wires the
+    /// [`StarvationFree`] lock's counters in under the same prefix,
+    /// and registers the global probe-ring drop gauge.
+    ///
+    /// The first call wins; later calls (including against a different
+    /// registry) are no-ops — the handles live for the object's
+    /// lifetime. Observability is strictly additive: unattached, every
+    /// metric site costs one *uncounted* atomic load (the `OnceLock`
+    /// probe), so the step-budget tests still measure Theorem 1's
+    /// bound unchanged. Attached, operations additionally bump
+    /// wait-free sharded counters and take two `Instant` readings to
+    /// feed the per-path latency histograms.
+    pub fn attach_metrics(&self, registry: &Registry, prefix: &str) {
+        if self.metrics.get().is_some() {
+            // Already attached: do not register names into (another)
+            // registry that will never receive increments. A racing
+            // first attach is still resolved by the `OnceLock` below.
+            return;
+        }
+        let _ = self.metrics.set(CsMetrics {
+            fast: registry.counter(&format!("{prefix}_ops_fast_total")),
+            fast_aborts: registry.counter(&format!("{prefix}_fast_aborts_total")),
+            locked: registry.counter(&format!("{prefix}_ops_locked_total")),
+            combined: registry.counter(&format!("{prefix}_ops_combined_total")),
+            poisoned: registry.counter(&format!("{prefix}_slow_poisoned_total")),
+            timeouts: registry.counter(&format!("{prefix}_timeouts_total")),
+            record_poisoned: registry.counter(&format!("{prefix}_record_poisoned_total")),
+            batches: registry.counter(&format!("{prefix}_combine_batches_total")),
+            served: registry.counter(&format!("{prefix}_combine_served_total")),
+            max_batch: registry.gauge(&format!("{prefix}_combine_max_batch")),
+            gate_engaged: registry.gauge(&format!("{prefix}_gate_engaged")),
+            gate_abort_ewma: registry.gauge(&format!("{prefix}_gate_abort_ewma")),
+            fast_ns: registry.timer(&format!("{prefix}_fast_ns")),
+            locked_ns: registry.timer(&format!("{prefix}_locked_ns")),
+        });
+        if let Some(m) = self.metrics.get() {
+            m.publish_gate(&self.gate);
+        }
+        self.lock.attach_metrics(registry, prefix);
+        registry.register_probe_drop_gauge();
     }
 
     /// The progress condition of the paper configuration.
@@ -522,9 +634,18 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
             return res;
         }
 
+        // The slow-path timer covers the lock wait too — that is the
+        // latency an operation diverted off the fast path actually
+        // pays. `Instant` is only read when metrics are attached.
+        let slow_t0 = self.metrics.get().map(|_| Instant::now());
+
         // The combining slow path replaces lines 04–13 wholesale.
         if self.config.combining {
-            return self.apply_combining(proc, op);
+            let res = self.apply_combining(proc, op);
+            if let (Some(m), Some(t0)) = (self.metrics.get(), slow_t0) {
+                m.locked_ns.record(t0.elapsed());
+            }
+            return res;
         }
 
         // Lines 04–06: acquire the (boosted) lock.
@@ -564,6 +685,9 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
         // Lines 09–13 run in the guard's drop (also on unwind).
         guard.completed = true;
         drop(guard);
+        if let (Some(m), Some(t0)) = (self.metrics.get(), slow_t0) {
+            m.locked_ns.record(t0.elapsed());
+        }
         res
     }
 
@@ -620,6 +744,8 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
             return Ok(res);
         }
 
+        let slow_t0 = self.metrics.get().map(|_| Instant::now());
+
         // Lines 04–06, bounded.
         fail_point!("cs::lock-wait");
         let acquired = if self.config.fair {
@@ -629,6 +755,9 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
         };
         if !acquired {
             self.timeouts.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = self.metrics.get() {
+                m.timeouts.inc();
+            }
             probe!(Event::SlowTimeout);
             return Err(TimedOut);
         }
@@ -654,12 +783,18 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
                 Ok(res) => {
                     guard.completed = true;
                     drop(guard);
+                    if let (Some(m), Some(t0)) = (self.metrics.get(), slow_t0) {
+                        m.locked_ns.record(t0.elapsed());
+                    }
                     return Ok(res);
                 }
                 Err(_) => {
                     if !spinner.spin_deadline(deadline) {
                         drop(guard);
                         self.timeouts.fetch_add(1, Ordering::Relaxed);
+                        if let Some(m) = self.metrics.get() {
+                            m.timeouts.inc();
+                        }
                         probe!(Event::SlowTimeout);
                         return Err(TimedOut);
                     }
@@ -684,18 +819,35 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
         }
         fail_point!("cs::fast", return None);
         probe!(Event::FastAttempt);
+        let m = self.metrics.get();
+        let t0 = m.map(|_| Instant::now());
         match self.inner.try_apply(op) {
             Ok(res) => {
                 if self.config.adaptive_gate {
                     self.gate.record(false);
                 }
                 self.fast.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = m {
+                    m.fast.inc();
+                    if let Some(t0) = t0 {
+                        m.fast_ns.record(t0.elapsed());
+                    }
+                    if self.config.adaptive_gate {
+                        m.publish_gate(&self.gate);
+                    }
+                }
                 probe!(Event::FastSuccess);
                 Some(res)
             }
             Err(_) => {
                 if self.config.adaptive_gate {
                     self.gate.record(true);
+                }
+                if let Some(m) = m {
+                    m.fast_aborts.inc();
+                    if self.config.adaptive_gate {
+                        m.publish_gate(&self.gate);
+                    }
                 }
                 probe!(Event::FastAbort);
                 None
@@ -730,6 +882,9 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
                     // An under-lock completion, attributed to this
                     // (invoking) process — the combiner only executed.
                     self.locked.fetch_add(1, Ordering::Relaxed);
+                    if let Some(m) = self.metrics.get() {
+                        m.combined.inc();
+                    }
                     #[cfg(feature = "trace")]
                     probe!(Event::RecordHandoff(
                         u32::try_from(posted_at.elapsed().as_nanos()).unwrap_or(u32::MAX)
@@ -742,6 +897,9 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
                     // operation took no effect. Reclaim and repost.
                     rec.reclaim_poisoned();
                     self.record_poisoned.fetch_add(1, Ordering::Relaxed);
+                    if let Some(m) = self.metrics.get() {
+                        m.record_poisoned.inc();
+                    }
                     probe!(Event::RecordPoisoned);
                     // SAFETY: as for the initial post above.
                     unsafe { rec.post(op) };
@@ -795,7 +953,14 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
         let served = self.serve_pending(&mut guard);
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.combined.fetch_add(served, Ordering::Relaxed);
-        self.max_batch.fetch_max(served + 1, Ordering::Relaxed);
+        let prev_max = self.max_batch.fetch_max(served + 1, Ordering::Relaxed);
+        if let Some(m) = self.metrics.get() {
+            m.batches.inc();
+            m.served.add(served);
+            // Racing tenures may publish out of order; the gauge is a
+            // best-effort view of the monotonic internal counter.
+            m.max_batch.set(prev_max.max(served + 1) as f64);
+        }
         probe!(Event::CombineBatch(
             u32::try_from(served + 1).unwrap_or(u32::MAX)
         ));
@@ -1176,6 +1341,88 @@ mod tests {
         assert!(stats.fast > 0, "probes and post-disengage ops run fast");
         assert_eq!(stats.total(), 2_000);
         assert!(cs.gate().stats().diverted > 0);
+    }
+
+    fn counter_value(snap: &cso_metrics::Snapshot, name: &str) -> Option<u64> {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    #[test]
+    fn attached_metrics_mirror_path_counters() {
+        let reg = Registry::new();
+        let cs = make(1, CsConfig::PAPER);
+        cs.attach_metrics(&reg, "t");
+        cs.apply(0, &Bump(1)); // scripted abort → locked
+        cs.apply(0, &Bump(1)); // fast
+        assert!(cs
+            .try_apply_for(1, &Bump(1), Duration::from_millis(50))
+            .is_ok()); // fast again (the single abort is spent)
+        let snap = reg.snapshot();
+        assert_eq!(counter_value(&snap, "t_ops_fast_total"), Some(2));
+        assert_eq!(counter_value(&snap, "t_ops_locked_total"), Some(1));
+        assert_eq!(counter_value(&snap, "t_ops_combined_total"), Some(0));
+        assert_eq!(counter_value(&snap, "t_fast_aborts_total"), Some(1));
+        assert_eq!(counter_value(&snap, "t_timeouts_total"), Some(0));
+        // The lock's own counters registered under the same prefix.
+        assert_eq!(counter_value(&snap, "t_lock_acquires_total"), Some(1));
+        // Per-path latency histograms saw each completion.
+        let timer = |name: &str| {
+            snap.timers
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, h)| h.count)
+        };
+        assert_eq!(timer("t_fast_ns"), Some(2));
+        assert_eq!(timer("t_locked_ns"), Some(1));
+    }
+
+    #[test]
+    fn attach_metrics_first_call_wins() {
+        let first = Registry::new();
+        let second = Registry::new();
+        let cs = make(0, CsConfig::PAPER);
+        cs.attach_metrics(&first, "a");
+        cs.attach_metrics(&second, "b");
+        cs.apply(0, &Bump(1));
+        assert_eq!(
+            counter_value(&first.snapshot(), "a_ops_fast_total"),
+            Some(1)
+        );
+        // The second attach was a full no-op: no "b_*" names were even
+        // registered, let alone incremented.
+        assert_eq!(counter_value(&second.snapshot(), "b_ops_fast_total"), None);
+    }
+
+    #[test]
+    fn attached_metrics_split_combining_completions() {
+        let reg = Registry::new();
+        let cs = make(0, CsConfig::COMBINING.without_fast_path());
+        cs.attach_metrics(&reg, "c");
+        assert_eq!(cs.apply(0, &Bump(5)), 5);
+        let snap = reg.snapshot();
+        // A solo combiner completes its own op under the lock: locked,
+        // not combined; one batch, nothing served.
+        assert_eq!(counter_value(&snap, "c_ops_locked_total"), Some(1));
+        assert_eq!(counter_value(&snap, "c_ops_combined_total"), Some(0));
+        assert_eq!(counter_value(&snap, "c_combine_batches_total"), Some(1));
+        assert_eq!(counter_value(&snap, "c_combine_served_total"), Some(0));
+    }
+
+    #[test]
+    fn attached_metrics_keep_the_counted_access_budget() {
+        // Attaching metrics must not add *counted* shared accesses:
+        // the handles are uncounted atomics, so the step-budget
+        // numbers of Theorem 1 are identical with a registry attached.
+        let reg = Registry::new();
+        let cs = make(0, CsConfig::PAPER);
+        cs.attach_metrics(&reg, "budget");
+        cs.apply(0, &Bump(1)); // warm the shard assignment
+        let scope = CountScope::start();
+        cs.apply(0, &Bump(1));
+        assert_eq!(scope.take().total(), 1);
     }
 
     #[test]

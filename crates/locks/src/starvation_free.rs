@@ -20,12 +20,26 @@
 //! unique contender allowed past line 05 and the deadlock-free inner
 //! lock must admit it.
 
+use std::sync::OnceLock;
+
 use cso_memory::backoff::{Deadline, Spinner};
 use cso_memory::fail_point;
 use cso_memory::reg::{RegBool, RegUsize};
+use cso_metrics::{Counter, Registry};
 use cso_trace::{probe, Event};
 
 use crate::raw::{ProcLock, RawLock};
+
+/// Registry handles for an attached [`StarvationFree`] lock. All
+/// counters are plain (uncounted) atomics, so attaching metrics never
+/// changes the paper's counted-access budgets.
+#[derive(Debug)]
+struct SfMetrics {
+    /// Successful acquisitions through the booster (any entry point).
+    acquires: Counter,
+    /// Line-11 `TURN` advances (the round-robin fairness handoffs).
+    turn_advances: Counter,
+}
 
 /// Boosts any deadlock-free [`RawLock`] into a starvation-free
 /// [`ProcLock`] using the paper's `FLAG`/`TURN` round-robin mechanism.
@@ -50,6 +64,8 @@ pub struct StarvationFree<L> {
     flag: Vec<RegBool>,
     /// Identity currently given priority; advances round-robin.
     turn: RegUsize,
+    /// Optional registry handles (see [`StarvationFree::attach_metrics`]).
+    metrics: OnceLock<SfMetrics>,
 }
 
 impl<L: RawLock> StarvationFree<L> {
@@ -65,6 +81,26 @@ impl<L: RawLock> StarvationFree<L> {
             inner,
             flag: (0..n).map(|_| RegBool::new(false)).collect(),
             turn: RegUsize::new(0),
+            metrics: OnceLock::new(),
+        }
+    }
+
+    /// Registers this lock's fairness metrics into `registry` under
+    /// `<prefix>_lock_acquires_total` and
+    /// `<prefix>_turn_advances_total`. Idempotent (the first
+    /// attachment wins); hot paths pay one uncounted atomic load when
+    /// unattached.
+    pub fn attach_metrics(&self, registry: &Registry, prefix: &str) {
+        let _ = self.metrics.set(SfMetrics {
+            acquires: registry.counter(&format!("{prefix}_lock_acquires_total")),
+            turn_advances: registry.counter(&format!("{prefix}_turn_advances_total")),
+        });
+    }
+
+    #[inline]
+    fn count_acquire(&self) {
+        if let Some(m) = self.metrics.get() {
+            m.acquires.inc();
         }
     }
 
@@ -90,6 +126,7 @@ impl<L: RawLock> StarvationFree<L> {
         self.flag[proc].write(true);
         let t = self.turn.read();
         if (t == proc || !self.flag[t].read()) && self.inner.try_lock() {
+            self.count_acquire();
             true
         } else {
             self.flag[proc].write(false);
@@ -116,6 +153,7 @@ impl<L: RawLock> StarvationFree<L> {
         assert!(proc < self.flag.len(), "process id out of range");
         // Line 04: announce the competition.
         self.flag[proc].write(true);
+        probe!(Event::FlagRaise(proc as u32));
         let mut spinner = Spinner::new();
         for _ in 0..budget {
             // Line 05 predicate.
@@ -125,6 +163,7 @@ impl<L: RawLock> StarvationFree<L> {
                 // abortable — try_lock, so a held inner lock counts
                 // against the budget instead of blocking forever.
                 if self.inner.try_lock() {
+                    self.count_acquire();
                     return true;
                 }
             }
@@ -153,6 +192,7 @@ impl<L: RawLock> StarvationFree<L> {
         assert!(proc < self.flag.len(), "process id out of range");
         // Line 04: announce the competition.
         self.flag[proc].write(true);
+        probe!(Event::FlagRaise(proc as u32));
         fail_point!("sfree::wait");
         // Line 05, deadline-bounded.
         let mut spinner = Spinner::new();
@@ -168,6 +208,7 @@ impl<L: RawLock> StarvationFree<L> {
         }
         // Line 06, deadline-bounded.
         if self.inner.try_lock_until(deadline) {
+            self.count_acquire();
             true
         } else {
             self.flag[proc].write(false);
@@ -185,6 +226,7 @@ impl<L: RawLock> ProcLock for StarvationFree<L> {
         assert!(proc < self.flag.len(), "process id out of range");
         // Line 04: announce the competition.
         self.flag[proc].write(true);
+        probe!(Event::FlagRaise(proc as u32));
         fail_point!("sfree::wait");
         // Line 05: wait until we have priority or the priority holder
         // is not competing.
@@ -198,6 +240,7 @@ impl<L: RawLock> ProcLock for StarvationFree<L> {
         }
         // Line 06: go through the (merely deadlock-free) inner lock.
         self.inner.lock();
+        self.count_acquire();
     }
 
     fn unlock(&self, proc: usize) {
@@ -212,6 +255,9 @@ impl<L: RawLock> ProcLock for StarvationFree<L> {
             let next = (t + 1) % self.flag.len();
             self.turn.write(next);
             probe!(Event::TurnAdvance(next as u32));
+            if let Some(m) = self.metrics.get() {
+                m.turn_advances.inc();
+            }
         }
         // Line 12.
         self.inner.unlock();
@@ -289,6 +335,29 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(victim_done.load(Ordering::SeqCst), 200);
+    }
+
+    #[test]
+    fn attached_metrics_count_acquires_and_turn_advances() {
+        let registry = cso_metrics::Registry::new();
+        let lock = StarvationFree::new(TasLock::new(), 2);
+        lock.attach_metrics(&registry, "sf");
+        for _ in 0..5 {
+            lock.lock(0);
+            lock.unlock(0);
+        }
+        assert!(lock.try_lock(1));
+        lock.unlock(1);
+        let acquires = registry.counter("sf_lock_acquires_total");
+        let advances = registry.counter("sf_turn_advances_total");
+        assert_eq!(acquires.value(), 6);
+        // Every solo unlock found FLAG[TURN] low and advanced TURN.
+        assert_eq!(advances.value(), 6);
+        // A second attachment is a no-op, not a double count.
+        lock.attach_metrics(&registry, "other");
+        lock.lock(0);
+        lock.unlock(0);
+        assert_eq!(acquires.value(), 7);
     }
 
     #[test]

@@ -1,0 +1,449 @@
+//! The metric primitives and the registry that aggregates them.
+//!
+//! # Sharding
+//!
+//! A [`Counter`] keeps [`SHARDS`] cache-padded `AtomicU64`s; each
+//! thread is assigned a home shard (round-robin at first use, cached
+//! in a thread-local) and increments only that shard with one relaxed
+//! `fetch_add` — wait-free, and free of the cross-core cache-line
+//! ping-pong a single shared counter would cost under contention.
+//! Reading a counter sums the shards.
+//!
+//! # `snapshot()` consistency model
+//!
+//! [`Registry::snapshot`] reads every metric with relaxed loads and no
+//! global lock-out of writers, so it is a *per-metric-consistent*
+//! view, not a cross-metric atomic cut:
+//!
+//! * each counter value is the sum of its shards as they were read —
+//!   monotone between snapshots, but an increment racing the snapshot
+//!   may appear in one counter and not yet in a logically-related one
+//!   (e.g. `ops_fast_total` may momentarily lag `ops_total`);
+//! * timer quantiles summarize *some recent prefix* of samples (see
+//!   `LogHistogram::snapshot`);
+//! * polled gauges run their closures at snapshot time.
+//!
+//! This is the standard contract of scrape-based metrics (Prometheus
+//! makes the same trade); rates and ratios computed across metrics are
+//! accurate to within the in-flight operations at scrape time.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use cso_memory::CachePadded;
+use cso_trace::{HistSnapshot, LogHistogram};
+
+/// Shards per counter. Threads hash onto shards round-robin; 16 covers
+/// the workspace's bench range (`CSO_MAX_THREADS` ≤ 16) without
+/// aliasing, and costs 16 × 128 B = 2 KiB per counter.
+pub const SHARDS: usize = 16;
+
+/// This thread's home shard, assigned round-robin at first use.
+fn home_shard() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    SHARD.with(|s| {
+        let mut idx = s.get();
+        if idx == usize::MAX {
+            idx = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            s.set(idx);
+        }
+        idx
+    })
+}
+
+/// A monotone event counter, sharded per thread. Cloning is shallow
+/// (an `Arc` bump): every clone observes the same value.
+#[derive(Clone)]
+pub struct Counter {
+    shards: Arc<[CachePadded<AtomicU64>]>,
+}
+
+impl Counter {
+    fn new() -> Counter {
+        Counter {
+            shards: (0..SHARDS)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+        }
+    }
+
+    /// Adds `n`. Wait-free: one relaxed `fetch_add` on the calling
+    /// thread's home shard.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[home_shard()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current total (sum over shards; monotone between reads).
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .fold(0u64, u64::wrapping_add)
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Counter({})", self.value())
+    }
+}
+
+/// A last-write-wins instantaneous value (stored as `f64` bits in one
+/// atomic). Clones share the value.
+#[derive(Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    fn new() -> Gauge {
+        Gauge {
+            bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+
+    /// Sets the gauge. Wait-free (one relaxed store).
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Gauge({})", self.get())
+    }
+}
+
+/// A latency recorder backed by a [`LogHistogram`] (≤6.25% relative
+/// quantile error, wait-free recording). Clones share the histogram.
+#[derive(Clone)]
+pub struct Timer {
+    hist: Arc<LogHistogram>,
+}
+
+impl Timer {
+    fn new() -> Timer {
+        Timer {
+            hist: Arc::new(LogHistogram::new()),
+        }
+    }
+
+    /// Records one duration sample.
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        self.hist.record(d);
+    }
+
+    /// Records one sample in nanoseconds.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        self.hist.record_ns(ns);
+    }
+
+    /// Times a closure and records its wall duration.
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.record(t0.elapsed());
+        out
+    }
+
+    /// A point-in-time percentile summary.
+    #[must_use]
+    pub fn snapshot(&self) -> HistSnapshot {
+        self.hist.snapshot()
+    }
+}
+
+impl std::fmt::Debug for Timer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Timer(count={})", self.snapshot().count)
+    }
+}
+
+/// A polled gauge: evaluated at snapshot time.
+type PolledFn = Box<dyn Fn() -> f64 + Send + Sync>;
+
+#[derive(Default)]
+struct Inner {
+    counters: Mutex<Vec<(String, Counter)>>,
+    gauges: Mutex<Vec<(String, Gauge)>>,
+    polled: Mutex<Vec<(String, PolledFn)>>,
+    timers: Mutex<Vec<(String, Timer)>>,
+}
+
+/// A named collection of metrics. Cloning is shallow; all clones feed
+/// the same snapshot. Registration takes a short-lived lock (do it at
+/// setup time); recording into the returned handles never locks.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+/// `true` for names Prometheus accepts: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn register<T: Clone>(table: &Mutex<Vec<(String, T)>>, name: &str, make: impl FnOnce() -> T) -> T {
+    assert!(valid_name(name), "invalid metric name {name:?}");
+    let mut table = table.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some((_, existing)) = table.iter().find(|(n, _)| n == name) {
+        return existing.clone();
+    }
+    let made = make();
+    table.push((name.to_owned(), made.clone()));
+    made
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Registers (or retrieves) the counter named `name`.
+    ///
+    /// Idempotent: a second registration under the same name returns a
+    /// handle to the same counter, so independent components can share
+    /// a series without coordination.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is not a valid Prometheus metric name
+    /// (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+    pub fn counter(&self, name: &str) -> Counter {
+        register(&self.inner.counters, name, Counter::new)
+    }
+
+    /// Registers (or retrieves) the gauge named `name`. See
+    /// [`Registry::counter`] for naming and idempotence.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        register(&self.inner.gauges, name, Gauge::new)
+    }
+
+    /// Registers (or retrieves) the timer named `name`. See
+    /// [`Registry::counter`] for naming and idempotence.
+    pub fn timer(&self, name: &str) -> Timer {
+        register(&self.inner.timers, name, Timer::new)
+    }
+
+    /// Registers a *polled* gauge: `f` runs at every snapshot and its
+    /// return value is reported under `name`. Re-registering a name
+    /// replaces the closure.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is invalid (see [`Registry::counter`]).
+    pub fn gauge_fn(&self, name: &str, f: impl Fn() -> f64 + Send + Sync + 'static) {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        let mut polled = self.inner.polled.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(slot) = polled.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = Box::new(f);
+        } else {
+            polled.push((name.to_owned(), Box::new(f)));
+        }
+    }
+
+    /// Registers the `cso_trace_ring_dropped` polled gauge: probe
+    /// events lost to ring wrap-around since the last `probe::clear()`
+    /// (always `0` without the `trace` feature). Surfacing the drop
+    /// count means a truncated trace is visible on the dashboard, not
+    /// just in the collected artifact.
+    pub fn register_probe_drop_gauge(&self) {
+        self.gauge_fn("cso_trace_ring_dropped", || {
+            cso_trace::probe::dropped() as f64
+        });
+    }
+
+    /// A point-in-time view of every registered metric, sorted by
+    /// name. See the module docs for the consistency model.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let counters: BTreeMap<String, u64> = self
+            .inner
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(n, c)| (n.clone(), c.value()))
+            .collect();
+        let mut gauges: BTreeMap<String, f64> = self
+            .inner
+            .gauges
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(n, g)| (n.clone(), g.get()))
+            .collect();
+        for (name, f) in self
+            .inner
+            .polled
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+        {
+            gauges.insert(name.clone(), f());
+        }
+        let timers: BTreeMap<String, HistSnapshot> = self
+            .inner
+            .timers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(n, t)| (n.clone(), t.snapshot()))
+            .collect();
+        Snapshot {
+            counters: counters.into_iter().collect(),
+            gauges: gauges.into_iter().collect(),
+            timers: timers.into_iter().collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        write!(
+            f,
+            "Registry({} counters, {} gauges, {} timers)",
+            s.counters.len(),
+            s.gauges.len(),
+            s.timers.len()
+        )
+    }
+}
+
+/// A point-in-time view of a [`Registry`], ready for export. All three
+/// lists are sorted by metric name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// `(name, total)` per counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per gauge, polled gauges included.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, summary)` per timer.
+    pub timers: Vec<(String, HistSnapshot)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let reg = Registry::new();
+        let c = reg.counter("ops_total");
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.value(), 80_000);
+        assert_eq!(
+            reg.snapshot().counters,
+            vec![("ops_total".to_owned(), 80_000)]
+        );
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let reg = Registry::new();
+        let a = reg.counter("x_total");
+        let b = reg.counter("x_total");
+        a.add(3);
+        b.add(4);
+        assert_eq!(a.value(), 7, "same series");
+        assert_eq!(reg.snapshot().counters.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_names_are_rejected() {
+        Registry::new().counter("no spaces allowed");
+    }
+
+    #[test]
+    fn gauges_and_polled_gauges_snapshot() {
+        let reg = Registry::new();
+        reg.gauge("ewma").set(0.25);
+        reg.gauge_fn("polled", || 42.0);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.gauges,
+            vec![("ewma".to_owned(), 0.25), ("polled".to_owned(), 42.0)]
+        );
+    }
+
+    #[test]
+    fn timer_snapshots_quantiles() {
+        let reg = Registry::new();
+        let t = reg.timer("fast_ns");
+        for i in 1..=100 {
+            t.record_ns(i * 1000);
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.count, 100);
+        assert!(snap.p50_ns >= 50_000 && snap.p50_ns <= 56_000, "{snap:?}");
+        let out = t.time(|| 7);
+        assert_eq!(out, 7);
+        assert_eq!(t.snapshot().count, 101);
+    }
+
+    #[test]
+    fn probe_drop_gauge_is_wired() {
+        let reg = Registry::new();
+        reg.register_probe_drop_gauge();
+        let snap = reg.snapshot();
+        let (name, v) = &snap.gauges[0];
+        assert_eq!(name, "cso_trace_ring_dropped");
+        // 0 in un-traced builds; >= 0 in traced builds (other tests in
+        // this process may have wrapped rings).
+        assert!(*v >= 0.0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let reg = Registry::new();
+        reg.counter("z_total");
+        reg.counter("a_total");
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a_total", "z_total"]);
+    }
+}

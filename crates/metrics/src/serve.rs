@@ -1,0 +1,279 @@
+//! The scrape endpoint and the headless periodic dump.
+//!
+//! Both are std-only (`std::net::TcpListener`, `std::thread`) because
+//! the workspace builds `--offline` with no external dependencies. The
+//! server speaks just enough HTTP/1.1 for `curl` and a Prometheus
+//! scraper: `GET /metrics` (text exposition), `GET /metrics.json`
+//! (JSON snapshot), 404 otherwise.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::prom::{render_json, render_prometheus};
+use crate::registry::Registry;
+
+/// A background scrape endpoint serving a [`Registry`].
+///
+/// ```no_run
+/// use cso_metrics::{MetricsServer, Registry};
+/// let registry = Registry::new();
+/// let server = MetricsServer::bind(registry, "127.0.0.1:9184").unwrap();
+/// println!("scrape http://{}/metrics", server.addr());
+/// // ... run the workload ...
+/// server.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and serves the
+    /// registry from a background thread until [`shutdown`].
+    ///
+    /// [`shutdown`]: MetricsServer::shutdown
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (address in use, permission, …).
+    pub fn bind(registry: Registry, addr: impl ToSocketAddrs) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("cso-metrics-serve".to_owned())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_flag.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        // One request per connection, best-effort: a
+                        // slow or broken scraper must not wedge the
+                        // serve thread.
+                        let _ = serve_one(stream, &registry);
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (the actual port when bound with port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the serve thread and joins it.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Reads one request head and writes the matching response.
+fn serve_one(mut stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut buf = [0u8; 2048];
+    let mut len = 0usize;
+    // Read until the end of the request head (or the buffer is full —
+    // longer requests than that are not scrapes we serve).
+    while len < buf.len() {
+        match stream.read(&mut buf[len..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                len += n;
+                if buf[..len].windows(4).any(|w| w == b"\r\n\r\n")
+                    || buf[..len].windows(2).any(|w| w == b"\n\n")
+                {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let path = head
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            render_prometheus(&registry.snapshot()),
+        ),
+        "/metrics.json" => (
+            "200 OK",
+            "application/json",
+            render_json(&registry.snapshot()).render_pretty(),
+        ),
+        _ => ("404 Not Found", "text/plain", "not found\n".to_owned()),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+/// A headless alternative to scraping: a background thread writes the
+/// JSON snapshot to a file every `interval`, plus a final write at
+/// stop, so batch runs leave a metrics artifact without opening a
+/// port.
+#[derive(Debug)]
+pub struct PeriodicDump {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl PeriodicDump {
+    /// Starts dumping `registry` to `path` every `interval`.
+    #[must_use]
+    pub fn spawn(registry: Registry, path: std::path::PathBuf, interval: Duration) -> PeriodicDump {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("cso-metrics-dump".to_owned())
+            .spawn(move || loop {
+                let json = render_json(&registry.snapshot()).render_pretty();
+                let _ = std::fs::write(&path, json);
+                if stop_flag.load(Ordering::Acquire) {
+                    break;
+                }
+                std::thread::park_timeout(interval);
+            })
+            .expect("spawn metrics dump thread");
+        PeriodicDump {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the dump thread after one final write.
+    pub fn stop(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Release);
+        handle.thread().unpark();
+        let _ = handle.join();
+    }
+}
+
+impl Drop for PeriodicDump {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prom::validate_prometheus;
+    use crate::Json;
+
+    /// A minimal HTTP GET against the server under test.
+    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").expect("header terminator");
+        (head.to_owned(), body.to_owned())
+    }
+
+    #[test]
+    fn serves_prometheus_and_json() {
+        let registry = Registry::new();
+        registry.counter("smoke_total").add(5);
+        registry.gauge("smoke_gauge").set(1.5);
+        registry.timer("smoke_ns").record_ns(1000);
+        let server = MetricsServer::bind(registry, "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        let (head, body) = http_get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"));
+        assert!(body.contains("smoke_total 5"));
+        validate_prometheus(&body).expect("valid exposition format");
+
+        let (head, body) = http_get(addr, "/metrics.json");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        let parsed = Json::parse(&body).unwrap();
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("smoke_total"))
+                .and_then(Json::as_u64),
+            Some(5)
+        );
+
+        let (head, _) = http_get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"));
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly_and_frees_the_port() {
+        let server = MetricsServer::bind(Registry::new(), "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        server.shutdown();
+        // The port is released: a rebind succeeds.
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok(), "port still held after shutdown");
+    }
+
+    #[test]
+    fn periodic_dump_writes_snapshots() {
+        let registry = Registry::new();
+        registry.counter("dumped_total").add(7);
+        let dir = std::env::temp_dir().join(format!("cso-metrics-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dump.json");
+        let dump = PeriodicDump::spawn(registry, path.clone(), Duration::from_secs(3600));
+        dump.stop(); // final write happens on stop even mid-interval
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("dumped_total"))
+                .and_then(Json::as_u64),
+            Some(7)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

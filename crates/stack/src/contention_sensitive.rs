@@ -204,6 +204,13 @@ impl<V: StackValue, L: RawLock> CsStack<V, L> {
     pub fn gate(&self) -> &AdaptiveGate {
         self.inner.gate()
     }
+
+    /// Registers this stack's live metrics under `prefix` (see
+    /// [`ContentionSensitive::attach_metrics`]; first call wins, and
+    /// unattached stacks keep Theorem 1's access budget untouched).
+    pub fn attach_metrics(&self, registry: &cso_metrics::Registry, prefix: &str) {
+        self.inner.attach_metrics(registry, prefix);
+    }
 }
 
 /// A `CsStack` is itself abortable in the degenerate sense that it

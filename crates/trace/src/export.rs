@@ -157,6 +157,60 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
     out
 }
 
+/// Renders a [`Trace`] as the `cso-trace-events v1` log: a line-based
+/// TSV made for the `cso-analyze` span reconstructor (stable, greppable
+/// and parseable without a JSON reader).
+///
+/// Layout:
+///
+/// ```text
+/// # cso-trace-events v1
+/// # dropped <total>
+/// # truncated <thread> <count>      (one line per wrapped ring)
+/// <seq>\t<thread>\t<wall_ns>\t<name>\t<site>\t<proc>\t<value>
+/// ```
+///
+/// Absent payload columns hold `-`. Rows are in logical-timestamp
+/// order (the order [`Trace::events`] already has). The `# truncated`
+/// headers let a consumer classify a wrapped thread's leading partial
+/// operation as *truncated* instead of *malformed*.
+#[must_use]
+pub fn event_log(trace: &Trace) -> String {
+    let mut out = String::with_capacity(64 + trace.events.len() * 48);
+    out.push_str("# cso-trace-events v1\n");
+    let _ = writeln!(out, "# dropped {}", trace.dropped);
+    for (thread, count) in &trace.truncated {
+        let _ = writeln!(out, "# truncated {thread} {count}");
+    }
+    for e in &trace.events {
+        let _ = write!(
+            out,
+            "{}\t{}\t{}\t{}\t",
+            e.seq,
+            e.thread,
+            e.wall_ns,
+            e.event.name()
+        );
+        match e.event.site() {
+            Some(site) => out.push_str(site),
+            None => out.push('-'),
+        }
+        match e.event.proc() {
+            Some(p) => {
+                let _ = write!(out, "\t{p}");
+            }
+            None => out.push_str("\t-"),
+        }
+        match e.event.value() {
+            Some(v) => {
+                let _ = writeln!(out, "\t{v}");
+            }
+            None => out.push_str("\t-\n"),
+        }
+    }
+    out
+}
+
 /// Renders a [`Trace`] as a plain-text counts table: one row per
 /// distinct [`Event::label`] (so CAS fails and fail points break out
 /// per site), descending by count, plus thread/drop totals.
@@ -242,6 +296,7 @@ mod tests {
                 ev(1, 3, 2_300, Event::LockRelease(1)),
             ],
             dropped: 2,
+            truncated: vec![(0, 2)],
         };
         let json = chrome_trace_json(&trace);
         assert_valid_json(&json);
@@ -264,6 +319,7 @@ mod tests {
         let trace = Trace {
             events: vec![ev(0, 0, 10, Event::LockRelease(3))],
             dropped: 0,
+            truncated: Vec::new(),
         };
         let json = chrome_trace_json(&trace);
         assert_valid_json(&json);
@@ -278,6 +334,32 @@ mod tests {
     }
 
     #[test]
+    fn event_log_round_trips_columns_and_headers() {
+        let trace = Trace {
+            events: vec![
+                ev(0, 0, 100, Event::FastAttempt),
+                ev(0, 1, 250, Event::CasFail("stack::top")),
+                ev(1, 2, 300, Event::FlagRaise(1)),
+                ev(1, 3, 400, Event::LockAcquire(1)),
+                ev(1, 4, 900, Event::CombineBatch(5)),
+            ],
+            dropped: 3,
+            truncated: vec![(1, 3)],
+        };
+        let log = event_log(&trace);
+        let mut lines = log.lines();
+        assert_eq!(lines.next(), Some("# cso-trace-events v1"));
+        assert_eq!(lines.next(), Some("# dropped 3"));
+        assert_eq!(lines.next(), Some("# truncated 1 3"));
+        assert_eq!(lines.next(), Some("0\t0\t100\tfast-attempt\t-\t-\t-"));
+        assert_eq!(lines.next(), Some("1\t0\t250\tcas-fail\tstack::top\t-\t-"));
+        assert_eq!(lines.next(), Some("2\t1\t300\tflag-raise\t-\t1\t-"));
+        assert_eq!(lines.next(), Some("3\t1\t400\tlock-acquire\t-\t1\t-"));
+        assert_eq!(lines.next(), Some("4\t1\t900\tcombine-batch\t-\t-\t5"));
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
     fn summary_groups_and_reports_totals() {
         let trace = Trace {
             events: vec![
@@ -286,6 +368,7 @@ mod tests {
                 ev(1, 2, 2, Event::FailPoint("cs::locked")),
             ],
             dropped: 7,
+            truncated: vec![(0, 3), (1, 4)],
         };
         let text = summary(&trace);
         assert!(text.contains("3 events on 2 thread(s), 7 dropped"));

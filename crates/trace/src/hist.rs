@@ -45,10 +45,16 @@ fn bucket_upper_bound(idx: usize) -> u64 {
     let rel = idx - LINEAR_LIMIT as usize;
     let msb = rel / SUB_BUCKETS + 4;
     let sub = (rel % SUB_BUCKETS) as u64;
-    // Bucket covers [base + sub*width, base + (sub+1)*width).
+    // Bucket covers [base + sub*width, base + (sub+1)*width). The top
+    // bucket's exclusive end is 2^64, which does not fit in a u64 —
+    // saturate so its representative is u64::MAX rather than a wrap to
+    // zero (which would report the largest samples as the smallest).
     let base = 1u64 << msb;
     let width = 1u64 << (msb - 4);
-    (base + (sub + 1) * width).saturating_sub(1)
+    match base.checked_add((sub + 1) * width) {
+        Some(end) => end - 1,
+        None => u64::MAX,
+    }
 }
 
 /// A concurrent log-bucketed histogram of `u64` samples (nanoseconds
@@ -247,6 +253,61 @@ mod tests {
         }
         assert_eq!(s.max_ns, 1_000_000, "max is exact");
         assert_eq!(s.mean_ns, 1_000_000, "mean is exact");
+    }
+
+    #[test]
+    fn top_bucket_saturates_instead_of_overflowing() {
+        // The last bucket's exclusive end is 2^64; its representative
+        // must saturate to u64::MAX, not wrap (a wrap would make the
+        // largest samples report as the smallest).
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(NUM_BUCKETS - 1), u64::MAX);
+
+        let h = LogHistogram::new();
+        h.record_ns(u64::MAX);
+        h.record_ns(u64::MAX - 1);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max_ns, u64::MAX, "max is exact");
+        for q in [s.p50_ns, s.p90_ns, s.p99_ns] {
+            assert_eq!(q, u64::MAX, "top-bucket quantile saturates");
+        }
+        // Every bucket's representative must cover the bucket.
+        for idx in 0..NUM_BUCKETS - 1 {
+            assert!(bucket_upper_bound(idx) < bucket_upper_bound(idx + 1));
+        }
+    }
+
+    #[test]
+    fn quantile_error_bounded_on_log_uniform_samples() {
+        // Property test: across log-uniformly distributed samples (the
+        // regime latency data lives in), every reported quantile must
+        // sit in [true, true * (1 + 1/16)] — the documented ≤6.25%
+        // relative error of 16 sub-buckets per power of two.
+        let mut rng = cso_memory::backoff::XorShift64::new(0x5eed_cafe);
+        for round in 0..8u64 {
+            let h = LogHistogram::new();
+            let mut samples: Vec<u64> = Vec::with_capacity(4096);
+            for _ in 0..4096 {
+                // Pick an exponent 4..=47, then a uniform mantissa.
+                let e = 4 + (rng.next_u64() % 44) as u32;
+                let v = (1u64 << e) | (rng.next_u64() & ((1u64 << e) - 1));
+                samples.push(v);
+                h.record_ns(v);
+            }
+            samples.sort_unstable();
+            let s = h.snapshot();
+            for (q, got) in [(0.50, s.p50_ns), (0.90, s.p90_ns), (0.99, s.p99_ns)] {
+                let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+                let truth = samples[rank - 1];
+                assert!(got >= truth, "round {round} q{q}: {got} < true {truth}");
+                assert!(
+                    got <= truth + truth / 16 + 1,
+                    "round {round} q{q}: {got} exceeds 6.25% above true {truth}"
+                );
+            }
+            assert_eq!(s.max_ns, *samples.last().unwrap(), "max is exact");
+        }
     }
 
     #[test]

@@ -43,8 +43,10 @@ pub enum Path {
 /// * the slow path: [`Event::LockAcquire`] / [`Event::LockRelease`] /
 ///   [`Event::LockedComplete`] / [`Event::SlowTimeout`] /
 ///   [`Event::SlowPoisoned`];
-/// * fairness: [`Event::TurnAdvance`] (line 11) and
-///   [`Event::LockHandoff`] (queue locks passing custody directly);
+/// * fairness: [`Event::FlagRaise`] (line 04 — the process announces
+///   interest before competing for the lock), [`Event::TurnAdvance`]
+///   (line 11) and [`Event::LockHandoff`] (queue locks passing custody
+///   directly);
 /// * flat combining: [`Event::RecordPost`] / [`Event::RecordHandoff`] /
 ///   [`Event::CombineBatch`] / [`Event::CombinedComplete`] /
 ///   [`Event::RecordPoisoned`] (the publication-record lifecycle of
@@ -106,6 +108,11 @@ pub enum Event {
     /// A waiter reclaimed a record the combiner poisoned mid-batch
     /// (the operation was not applied; the waiter reposts).
     RecordPoisoned,
+    /// Process `proc` raised its `FLAG` (line 04 — it is now owed the
+    /// lock within a bounded number of bypasses, §4.4). The interval
+    /// from this event to the same process's [`Event::LockAcquire`] is
+    /// the window the bypass-bound analyzer counts other acquirers in.
+    FlagRaise(u32),
 }
 
 impl Event {
@@ -133,6 +140,7 @@ impl Event {
             Event::CombineBatch(_) => "combine-batch",
             Event::CombinedComplete => "combined-complete",
             Event::RecordPoisoned => "record-poisoned",
+            Event::FlagRaise(_) => "flag-raise",
         }
     }
 
@@ -152,7 +160,10 @@ impl Event {
     #[must_use]
     pub fn proc(&self) -> Option<u32> {
         match self {
-            Event::LockAcquire(p) | Event::LockRelease(p) | Event::TurnAdvance(p) => Some(*p),
+            Event::LockAcquire(p)
+            | Event::LockRelease(p)
+            | Event::TurnAdvance(p)
+            | Event::FlagRaise(p) => Some(*p),
             _ => None,
         }
     }
@@ -212,6 +223,13 @@ pub struct Trace {
     pub events: Vec<TraceEvent>,
     /// Events overwritten by ring wrap-around before collection.
     pub dropped: u64,
+    /// Per-thread truncation markers: `(thread, overwritten)` for every
+    /// thread whose ring wrapped. A thread listed here has lost its
+    /// *oldest* events — its surviving prefix starts mid-stream, so a
+    /// span analyzer must treat that thread's leading partial operation
+    /// as truncated rather than malformed. Threads that lost nothing
+    /// are not listed.
+    pub truncated: Vec<(u32, u64)>,
 }
 
 impl Trace {
@@ -382,6 +400,7 @@ mod imp {
             Event::CombineBatch(v) => (17, v),
             Event::CombinedComplete => (18, 0),
             Event::RecordPoisoned => (19, 0),
+            Event::FlagRaise(p) => (20, p),
         }
     }
 
@@ -407,6 +426,7 @@ mod imp {
             17 => Event::CombineBatch(arg),
             18 => Event::CombinedComplete,
             19 => Event::RecordPoisoned,
+            20 => Event::FlagRaise(arg),
             _ => return None,
         })
     }
@@ -443,10 +463,14 @@ mod imp {
         let rings = RINGS.lock().unwrap_or_else(|e| e.into_inner());
         let mut events = Vec::new();
         let mut dropped = 0u64;
+        let mut truncated = Vec::new();
         for ring in rings.iter() {
             let head = ring.head.load(Ordering::Acquire);
             let floor = ring.floor.load(Ordering::Acquire);
             let oldest = head.saturating_sub(RING_CAPACITY as u64).max(floor);
+            if oldest > floor {
+                truncated.push((ring.thread, oldest - floor));
+            }
             dropped += oldest - floor;
             for i in oldest..head {
                 let slot = &ring.slots[(i as usize) & (RING_CAPACITY - 1)];
@@ -464,7 +488,27 @@ mod imp {
             }
         }
         events.sort_by_key(|e| e.seq);
-        Trace { events, dropped }
+        Trace {
+            events,
+            dropped,
+            truncated,
+        }
+    }
+
+    /// Events overwritten by ring wrap-around so far, summed over every
+    /// ring (relative to the last [`super::clear`]).
+    pub(super) fn dropped() -> u64 {
+        let rings = RINGS.lock().unwrap_or_else(|e| e.into_inner());
+        rings
+            .iter()
+            .map(|ring| {
+                let head = ring.head.load(Ordering::Acquire);
+                let floor = ring.floor.load(Ordering::Acquire);
+                head.saturating_sub(RING_CAPACITY as u64)
+                    .max(floor)
+                    .saturating_sub(floor)
+            })
+            .sum()
     }
 
     pub(super) fn clear() {
@@ -546,6 +590,23 @@ pub fn collect() -> Trace {
     }
 }
 
+/// Events overwritten by ring wrap-around so far, summed over every
+/// thread's ring (relative to the last [`clear`]). This is the live
+/// counterpart of [`Trace::dropped`]: a metrics registry can poll it as
+/// a gauge to surface trace loss without collecting. Zero without the
+/// `trace` feature.
+#[must_use]
+pub fn dropped() -> u64 {
+    #[cfg(feature = "trace")]
+    {
+        imp::dropped()
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        0
+    }
+}
+
 /// Logically discards everything recorded so far (subsequent
 /// [`collect`] calls return only newer events, and the dropped counter
 /// restarts). No-op without the `trace` feature.
@@ -590,6 +651,7 @@ mod tests {
                 mk(Event::CasFail("top"), 2),
             ],
             dropped: 0,
+            truncated: Vec::new(),
         };
         assert_eq!(
             trace.counts(),
@@ -671,8 +733,57 @@ mod tests {
             }
             let trace = collect();
             assert!(trace.dropped >= 100, "dropped {}", trace.dropped);
+            assert_eq!(
+                dropped(),
+                trace.dropped,
+                "live drop gauge matches the collected count"
+            );
             clear();
             assert_eq!(collect().dropped, 0, "clear restarts the drop counter");
+            assert_eq!(dropped(), 0);
+        }
+
+        #[test]
+        fn wraparound_marks_truncated_thread_without_reordering() {
+            let _serial = serial();
+            clear();
+            // Overflow this thread's ring so its oldest events are
+            // overwritten; a second thread stays under capacity.
+            let n = super::super::imp::RING_CAPACITY as u64 + 64;
+            for _ in 0..n {
+                record(Event::FastAttempt);
+            }
+            std::thread::spawn(|| record(Event::FastSuccess))
+                .join()
+                .unwrap();
+            let trace = collect();
+            // The wrapped thread must appear as a truncation marker with
+            // its overwritten count — never a silent gap.
+            let wrapped = trace
+                .events
+                .iter()
+                .find(|e| e.event == Event::FastAttempt)
+                .expect("surviving events present")
+                .thread;
+            let marker = trace.truncated.iter().find(|(t, _)| *t == wrapped);
+            assert!(marker.is_some(), "wrapped thread gets a truncation marker");
+            assert!(marker.unwrap().1 >= 64, "marker carries the drop count");
+            assert_eq!(
+                trace.truncated.iter().map(|(_, d)| d).sum::<u64>(),
+                trace.dropped,
+                "per-thread markers sum to the total"
+            );
+            // The other thread lost nothing and must not be marked.
+            let other = trace
+                .events
+                .iter()
+                .find(|e| e.event == Event::FastSuccess)
+                .expect("second thread's event survives")
+                .thread;
+            assert!(trace.truncated.iter().all(|(t, _)| *t != other));
+            // Survivors stay in logical order: truncation never reorders.
+            assert!(trace.events.windows(2).all(|w| w[0].seq < w[1].seq));
+            clear();
         }
 
         #[test]

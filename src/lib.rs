@@ -42,6 +42,7 @@
 //! | [`deque`] | the HLM obstruction-free deque (paper ref \[8\]) and its boosts — one object per rung of the hierarchy |
 //! | [`lincheck`] | history recording + Wing–Gong linearizability checker |
 //! | [`explore`] | step-machine model checker (exhaustive & randomized schedules) |
+//! | [`metrics`] | live metrics registry (sharded counters, gauges, log-histogram timers), Prometheus/JSON exporters, scrape endpoint |
 
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
@@ -54,5 +55,6 @@ pub use cso_explore as explore;
 pub use cso_lincheck as lincheck;
 pub use cso_locks as locks;
 pub use cso_memory as memory;
+pub use cso_metrics as metrics;
 pub use cso_queue as queue;
 pub use cso_stack as stack;

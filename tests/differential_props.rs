@@ -23,7 +23,7 @@ const CAPACITY: usize = 8;
 enum AnyStack {
     Weak(AbortableStack<u16>),
     Nb(NonBlockingStack<u16>),
-    Cs(CsStack<u16>),
+    Cs(Box<CsStack<u16>>),
     Treiber(TreiberStack<u16>),
     Elim(EliminationStack<u16>),
     Locked(LockStack<u16>),
@@ -34,7 +34,7 @@ impl AnyStack {
         vec![
             AnyStack::Weak(AbortableStack::new(CAPACITY)),
             AnyStack::Nb(NonBlockingStack::new(CAPACITY)),
-            AnyStack::Cs(CsStack::new(CAPACITY, 1)),
+            AnyStack::Cs(Box::new(CsStack::new(CAPACITY, 1))),
             AnyStack::Treiber(TreiberStack::new()),
             AnyStack::Elim(EliminationStack::new(2)),
             AnyStack::Locked(LockStack::new(CAPACITY)),
@@ -138,7 +138,7 @@ fn all_stacks_agree_with_the_sequential_reference() {
 enum AnyQueue {
     Weak(AbortableQueue<u16>),
     Nb(NonBlockingQueue<u16>),
-    Cs(CsQueue<u16>),
+    Cs(Box<CsQueue<u16>>),
     Ms(MsQueue<u16>),
     Locked(LockQueue<u16>),
 }
@@ -148,7 +148,7 @@ impl AnyQueue {
         vec![
             AnyQueue::Weak(AbortableQueue::new(CAPACITY)),
             AnyQueue::Nb(NonBlockingQueue::new(CAPACITY)),
-            AnyQueue::Cs(CsQueue::new(CAPACITY, 1)),
+            AnyQueue::Cs(Box::new(CsQueue::new(CAPACITY, 1))),
             AnyQueue::Ms(MsQueue::new()),
             AnyQueue::Locked(LockQueue::new(CAPACITY)),
         ]
