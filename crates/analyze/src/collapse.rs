@@ -87,7 +87,13 @@ impl CriticalPath {
 /// Computes per-path statistics and the lock's share of the capture.
 #[must_use]
 pub fn critical_path(report: &SpanReport) -> CriticalPath {
-    let paths = [Path::Fast, Path::Locked, Path::Combined, Path::Combiner];
+    let paths = [
+        Path::Fast,
+        Path::Eliminated,
+        Path::Locked,
+        Path::Combined,
+        Path::Combiner,
+    ];
     let per_path = paths
         .iter()
         .map(|&p| {

@@ -4,7 +4,13 @@
 //! mirrors the instrumented code paths of the Figure 3 transformation
 //! (see `cso-core::contention_sensitive` for the emission sites):
 //!
-//! * **fast**: `fast-attempt` → `fast-success`;
+//! * **fast**: `fast-attempt` → `fast-success`; the escalation
+//!   ladder's contention-management retries repeat `fast-attempt` →
+//!   `fast-abort` inside the same span;
+//! * **eliminated**: [`fast-attempt` → `fast-abort` →] `elim-attempt`
+//!   → `eliminated-complete` (a rendezvous with an inverse operation;
+//!   a failed attempt instead escalates into the locked/combined
+//!   choreography below);
 //! * **locked**: [`fast-abort` →] [`flag-raise` →] `lock-acquire` →
 //!   `locked-complete` → `lock-release` (completion is probed *before*
 //!   the release so observers never see a released lock with an
@@ -35,6 +41,9 @@ use crate::log::{EventLog, Row};
 pub enum Path {
     /// Lines 01–03: the weak operation succeeded without the lock.
     Fast,
+    /// Completed by rendezvous with an inverse operation (the
+    /// escalation ladder's elimination rung).
+    Eliminated,
     /// Lines 04–13: applied under the (§4.4-boosted) lock.
     Locked,
     /// Posted to the publication list and served by another process.
@@ -49,6 +58,7 @@ impl Path {
     pub fn label(self) -> &'static str {
         match self {
             Path::Fast => "fast",
+            Path::Eliminated => "eliminated",
             Path::Locked => "locked",
             Path::Combined => "combined",
             Path::Combiner => "combiner",
@@ -215,6 +225,9 @@ enum State {
     FastTried(Pending),
     /// Fast path aborted; the slow path has not yet declared itself.
     SlowStart(Pending),
+    /// `elim-attempt` seen; parked at the exchanger waiting for an
+    /// inverse operation (or about to escalate).
+    Eliminating(Pending),
     /// `flag-raise` seen; waiting for the lock.
     SlowWait(Pending),
     /// `record-post` seen; waiting to be served or to win the lock.
@@ -309,6 +322,9 @@ fn step(
                 Ok(State::SlowWait(p))
             }
             "record-post" => Ok(State::Posted(Pending::start(row))),
+            // A fast-path-less ablation can reach the elimination rung
+            // without a preceding weak-op attempt.
+            "elim-attempt" => Ok(State::Eliminating(Pending::start(row))),
             // The unfair ablation takes the inner lock with no flag.
             "lock-acquire" => {
                 let mut p = Pending::start(row);
@@ -333,6 +349,11 @@ fn step(
             _ => Err("fast-tried"),
         },
         State::SlowStart(mut p) => match name {
+            // A contention-management retry: the ladder re-attempts the
+            // weak operation (backoff-paced) within the same span.
+            "fast-attempt" => Ok(State::FastTried(p)),
+            // The ladder's elimination rung.
+            "elim-attempt" => Ok(State::Eliminating(p)),
             "flag-raise" => {
                 p.flag_ns = Some(row.wall_ns);
                 if p.proc_id.is_none() {
@@ -358,6 +379,39 @@ fn step(
                 Ok(State::Idle)
             }
             _ => Err("slow-start"),
+        },
+        State::Eliminating(mut p) => match name {
+            "eliminated-complete" => {
+                emit(p.finish(row, Path::Eliminated, Outcome::Completed));
+                Ok(State::Idle)
+            }
+            // No partner committed: the operation escalates onto the
+            // slow path, still within the same span.
+            "flag-raise" => {
+                p.flag_ns = Some(row.wall_ns);
+                if p.proc_id.is_none() {
+                    p.proc_id = row.proc_id;
+                }
+                Ok(State::SlowWait(p))
+            }
+            "record-post" => Ok(State::Posted(p)),
+            "lock-acquire" => {
+                p.acquire_ns = Some(row.wall_ns);
+                if p.proc_id.is_none() {
+                    p.proc_id = row.proc_id;
+                }
+                Ok(State::Locked {
+                    pending: p,
+                    from_posted: false,
+                    done: None,
+                })
+            }
+            // Deadline expired while parked at the exchanger.
+            "slow-timeout" => {
+                emit(p.finish(row, Path::Locked, Outcome::TimedOut));
+                Ok(State::Idle)
+            }
+            _ => Err("eliminating"),
         },
         State::SlowWait(mut p) => match name {
             "lock-acquire" => {
@@ -521,6 +575,52 @@ mod tests {
         assert_eq!(combiner[0].batch, Some(2));
 
         assert_eq!(report.on_path(Path::Combined).count(), 1);
+    }
+
+    #[test]
+    fn eliminated_span_covers_the_whole_ladder() {
+        // Thread 0 aborts the weak op, retries once under contention
+        // management, then rendezvouses at the exchanger. All of it is
+        // one span on the eliminated path.
+        let log = parse(
+            "0\t0\t10\tfast-attempt\t-\t-\t-\n\
+             1\t0\t20\tfast-abort\t-\t-\t-\n\
+             2\t0\t30\tfast-attempt\t-\t-\t-\n\
+             3\t0\t40\tfast-abort\t-\t-\t-\n\
+             4\t0\t50\telim-attempt\t-\t-\t-\n\
+             5\t0\t90\teliminated-complete\t-\t-\t-\n",
+        );
+        let report = reconstruct(&log);
+        assert!(report.malformed.is_empty(), "{:?}", report.malformed);
+        assert_eq!(report.spans.len(), 1);
+        let span = &report.spans[0];
+        assert_eq!(span.path, Path::Eliminated);
+        assert_eq!(span.outcome, Outcome::Completed);
+        assert!(span.aborted_fast);
+        assert_eq!(span.duration_ns(), 80);
+    }
+
+    #[test]
+    fn failed_elimination_escalates_within_one_span() {
+        // No partner commits; the operation walks the rest of the
+        // ladder onto the locked slow path.
+        let log = parse(
+            "0\t0\t10\tfast-attempt\t-\t-\t-\n\
+             1\t0\t20\tfast-abort\t-\t-\t-\n\
+             2\t0\t30\telim-attempt\t-\t-\t-\n\
+             3\t0\t60\tflag-raise\t-\t0\t-\n\
+             4\t0\t80\tlock-acquire\t-\t0\t-\n\
+             5\t0\t95\tlocked-complete\t-\t-\t-\n\
+             6\t0\t100\tlock-release\t-\t0\t-\n",
+        );
+        let report = reconstruct(&log);
+        assert!(report.malformed.is_empty(), "{:?}", report.malformed);
+        assert_eq!(report.spans.len(), 1);
+        let span = &report.spans[0];
+        assert_eq!(span.path, Path::Locked);
+        assert!(span.aborted_fast);
+        assert_eq!(span.wait_ns, Some(20));
+        assert_eq!(report.on_path(Path::Eliminated).count(), 0);
     }
 
     #[test]

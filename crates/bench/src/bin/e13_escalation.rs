@@ -1,0 +1,317 @@
+//! E13 — the contention-adaptive escalation ladder.
+//!
+//! Four variants of the contention-sensitive stack, all with the
+//! Theorem-1 fast path *on* (a solo weak op still costs exactly six
+//! counted accesses in every one of them), differing only in which
+//! middle rungs of the escalation ladder are armed:
+//!
+//! * `cs/plain` — [`CsConfig::PAPER`]: abort goes straight to the
+//!   §4.4-boosted lock;
+//! * `cs/cm` — [`CsConfig::with_cas_backoff`]: failure-history-driven
+//!   backoff paces a few weak-op retries before the lock;
+//! * `cs/elim` — [`CsConfig::with_elimination`]: aborted inverse
+//!   operations rendezvous at an exchanger before anyone raises
+//!   `CONTENTION` or takes the lock;
+//! * `cs/both` — [`CsConfig::LADDER`]: the full ladder.
+//!
+//! Under a symmetric push/pop mix with zero think time most aborts
+//! have an inverse partner in flight, so the ladder should convert
+//! lock escalations into retries and rendezvous: throughput rises and
+//! the locked fraction falls. The acceptance bar is `cs/both` ≥ 1.3×
+//! `cs/plain` at ≥ 8 threads.
+//!
+//! A second sweep (the *rescue* cells, the E12 regime) forces the
+//! fast path off so every operation would otherwise pay the lock,
+//! then arms the full ladder on top: the contention-management rung
+//! completes the weak op off the lock and the elimination rung pairs
+//! inverses at the exchanger. On a host whose fast path never aborts
+//! (e.g. one core, where interleaving only happens at preemption
+//! quanta) this is the sweep where the ladder's effect is visible.
+//!
+//! Besides the table, the run writes a machine-readable
+//! `results/BENCH_e13_escalation.json` in the shared report shape
+//! (`CSO_BENCH_OUT_DIR` overrides the directory) so CI can validate
+//! the numbers.
+
+use cso_bench::adapters::{drive_stack, prefill_stack, BenchStack};
+use cso_bench::jsonreport::BenchReport;
+use cso_bench::report::{fmt_rate, Table};
+use cso_bench::workload::OpMix;
+use cso_bench::{cell_duration, thread_counts};
+use cso_core::CsConfig;
+use cso_locks::TasLock;
+use cso_metrics::Json;
+use cso_stack::{CsStack, PushOutcome};
+
+/// The four ladder ablations, in escalation order.
+const VARIANTS: [(&str, CsConfig); 4] = [
+    ("cs/plain", CsConfig::PAPER),
+    ("cs/cm", CsConfig::PAPER.with_cas_backoff()),
+    ("cs/elim", CsConfig::PAPER.with_elimination()),
+    ("cs/both", CsConfig::LADDER),
+];
+
+/// A contention-sensitive stack under one ladder ablation.
+struct LadderAdapter {
+    label: &'static str,
+    stack: CsStack<u32>,
+}
+
+impl LadderAdapter {
+    fn new(label: &'static str, n: usize, config: CsConfig) -> LadderAdapter {
+        LadderAdapter {
+            label,
+            stack: CsStack::with_config(65_000, TasLock::new(), n, config),
+        }
+    }
+}
+
+impl BenchStack for LadderAdapter {
+    fn name(&self) -> &'static str {
+        self.label
+    }
+
+    fn push(&self, proc: usize, value: u32) -> bool {
+        self.stack.push(proc, value) == PushOutcome::Pushed
+    }
+
+    fn pop(&self, proc: usize) -> Option<u32> {
+        self.stack.pop(proc).into_option()
+    }
+
+    fn locked_fraction(&self) -> Option<f64> {
+        Some(self.stack.path_stats().locked_fraction())
+    }
+}
+
+/// One variant's numbers at one thread count.
+struct Sample {
+    ops_per_sec: f64,
+    locked_fraction: f64,
+    eliminated_fraction: f64,
+    eliminated_pairs: u64,
+}
+
+/// One measured cell: all four variants at one thread count.
+struct Cell {
+    threads: usize,
+    samples: [Sample; 4],
+}
+
+impl Cell {
+    /// `cs/both` over `cs/plain`.
+    fn speedup(&self) -> f64 {
+        if self.samples[0].ops_per_sec > 0.0 {
+            self.samples[3].ops_per_sec / self.samples[0].ops_per_sec
+        } else {
+            0.0
+        }
+    }
+}
+
+fn measure(threads: usize) -> Cell {
+    let duration = cell_duration();
+    let samples = VARIANTS.map(|(label, config)| {
+        let adapter = LadderAdapter::new(label, threads, config);
+        prefill_stack(&adapter, 16_384);
+        adapter.stack.reset_path_stats();
+        let run = drive_stack(&adapter, threads, duration, OpMix::BALANCED, 0);
+        let paths = adapter.stack.path_stats();
+        let total = paths.total().max(1);
+        Sample {
+            ops_per_sec: run.ops_per_sec(),
+            locked_fraction: paths.locked_fraction(),
+            eliminated_fraction: paths.eliminated as f64 / total as f64,
+            eliminated_pairs: adapter.stack.eliminated_pairs(),
+        }
+    });
+    Cell { threads, samples }
+}
+
+/// One rescue cell: forced-slow plain vs forced-slow + full ladder,
+/// plus an elimination-only variant (no retry rung, so every aborted
+/// op goes straight to the exchanger — the rendezvous machinery in
+/// isolation).
+struct RescueCell {
+    threads: usize,
+    plain_ops_per_sec: f64,
+    ladder_ops_per_sec: f64,
+    ladder_locked_fraction: f64,
+    ladder_eliminated_pairs: u64,
+    elim_ops_per_sec: f64,
+    elim_eliminated_pairs: u64,
+}
+
+impl RescueCell {
+    fn speedup(&self) -> f64 {
+        if self.plain_ops_per_sec > 0.0 {
+            self.ladder_ops_per_sec / self.plain_ops_per_sec
+        } else {
+            0.0
+        }
+    }
+}
+
+fn measure_rescue(threads: usize) -> RescueCell {
+    let duration = cell_duration();
+
+    let plain = LadderAdapter::new("slow/plain", threads, CsConfig::PAPER.without_fast_path());
+    prefill_stack(&plain, 16_384);
+    plain.stack.reset_path_stats();
+    let plain_run = drive_stack(&plain, threads, duration, OpMix::BALANCED, 0);
+
+    let ladder = LadderAdapter::new(
+        "slow/ladder",
+        threads,
+        CsConfig::PAPER
+            .without_fast_path()
+            .with_cas_backoff()
+            .with_elimination(),
+    );
+    prefill_stack(&ladder, 16_384);
+    ladder.stack.reset_path_stats();
+    let ladder_run = drive_stack(&ladder, threads, duration, OpMix::BALANCED, 0);
+
+    let elim = LadderAdapter::new(
+        "slow/elim",
+        threads,
+        CsConfig::PAPER.without_fast_path().with_elimination(),
+    );
+    prefill_stack(&elim, 16_384);
+    elim.stack.reset_path_stats();
+    let elim_run = drive_stack(&elim, threads, duration, OpMix::BALANCED, 0);
+
+    RescueCell {
+        threads,
+        plain_ops_per_sec: plain_run.ops_per_sec(),
+        ladder_ops_per_sec: ladder_run.ops_per_sec(),
+        ladder_locked_fraction: ladder.stack.path_stats().locked_fraction(),
+        ladder_eliminated_pairs: ladder.stack.eliminated_pairs(),
+        elim_ops_per_sec: elim_run.ops_per_sec(),
+        elim_eliminated_pairs: elim.stack.eliminated_pairs(),
+    }
+}
+
+fn json_rescue_cells(cells: &[RescueCell]) -> Json {
+    Json::Arr(
+        cells
+            .iter()
+            .map(|cell| {
+                Json::obj()
+                    .field("threads", cell.threads as u64)
+                    .field("plain_ops_per_sec", cell.plain_ops_per_sec)
+                    .field("ladder_ops_per_sec", cell.ladder_ops_per_sec)
+                    .field("speedup", cell.speedup())
+                    .field("ladder_locked_fraction", cell.ladder_locked_fraction)
+                    .field("ladder_eliminated_pairs", cell.ladder_eliminated_pairs)
+                    .field("elim_ops_per_sec", cell.elim_ops_per_sec)
+                    .field("elim_eliminated_pairs", cell.elim_eliminated_pairs)
+            })
+            .collect(),
+    )
+}
+
+fn json_cells(cells: &[Cell]) -> Json {
+    Json::Arr(
+        cells
+            .iter()
+            .map(|cell| {
+                let mut obj = Json::obj().field("threads", cell.threads as u64);
+                for ((label, _), sample) in VARIANTS.iter().zip(&cell.samples) {
+                    let key = label.trim_start_matches("cs/");
+                    obj = obj
+                        .field(&format!("{key}_ops_per_sec"), sample.ops_per_sec)
+                        .field(&format!("{key}_locked_fraction"), sample.locked_fraction)
+                        .field(
+                            &format!("{key}_eliminated_fraction"),
+                            sample.eliminated_fraction,
+                        )
+                        .field(&format!("{key}_eliminated_pairs"), sample.eliminated_pairs);
+                }
+                obj.field("speedup", cell.speedup())
+            })
+            .collect(),
+    )
+}
+
+fn main() {
+    println!("E13: escalation ladder ablations (fast path on everywhere)");
+    println!("({} ms per cell, 50/50 mix)\n", cell_duration().as_millis());
+
+    let cells: Vec<Cell> = thread_counts().into_iter().map(measure).collect();
+
+    let mut table = Table::new(&[
+        "threads",
+        "plain ops/s",
+        "cm ops/s",
+        "elim ops/s",
+        "both ops/s",
+        "both/plain",
+        "plain lock%",
+        "both lock%",
+        "both elim%",
+        "pairs",
+    ]);
+    for cell in &cells {
+        let s = &cell.samples;
+        table.row(vec![
+            cell.threads.to_string(),
+            fmt_rate(s[0].ops_per_sec),
+            fmt_rate(s[1].ops_per_sec),
+            fmt_rate(s[2].ops_per_sec),
+            fmt_rate(s[3].ops_per_sec),
+            format!("{:.2}x", cell.speedup()),
+            format!("{:.1}%", s[0].locked_fraction * 100.0),
+            format!("{:.1}%", s[3].locked_fraction * 100.0),
+            format!("{:.1}%", s[3].eliminated_fraction * 100.0),
+            s[3].eliminated_pairs.to_string(),
+        ]);
+    }
+    table.print();
+
+    println!("\nRescue sweep: fast path forced off (every op would pay the lock),");
+    println!("plain vs the full ladder layered on top.\n");
+
+    let rescue: Vec<RescueCell> = thread_counts().into_iter().map(measure_rescue).collect();
+
+    let mut rescue_table = Table::new(&[
+        "threads",
+        "plain ops/s",
+        "ladder ops/s",
+        "speedup",
+        "ladder lock%",
+        "ladder pairs",
+        "elim ops/s",
+        "elim pairs",
+    ]);
+    for cell in &rescue {
+        rescue_table.row(vec![
+            cell.threads.to_string(),
+            fmt_rate(cell.plain_ops_per_sec),
+            fmt_rate(cell.ladder_ops_per_sec),
+            format!("{:.2}x", cell.speedup()),
+            format!("{:.1}%", cell.ladder_locked_fraction * 100.0),
+            cell.ladder_eliminated_pairs.to_string(),
+            fmt_rate(cell.elim_ops_per_sec),
+            cell.elim_eliminated_pairs.to_string(),
+        ]);
+    }
+    rescue_table.print();
+
+    BenchReport::new("e13_escalation")
+        .config("bench_ms", cell_duration().as_millis() as u64)
+        .config("mix", "50/50")
+        .metric("cells", json_cells(&cells))
+        .metric("rescue_cells", json_rescue_cells(&rescue))
+        .write();
+
+    println!("\nReading: every variant keeps the six-access solo fast path; the");
+    println!("ladder only changes what an *aborted* weak op does next. Backoff-paced");
+    println!("retries absorb transient interference, elimination pairs inverse");
+    println!("operations off to the side, and both together should shrink the locked");
+    println!("fraction — the serial share that bounds scalability — as threads grow.");
+    println!("The rescue sweep shows the same ladder where lock pressure is real:");
+    println!("with the fast path off, plain pays a lock tenure per op while the");
+    println!("ladder completes off the lock (locked fraction → 0).");
+    cso_bench::tracing::emit("e13_escalation");
+}

@@ -24,15 +24,17 @@ use crate::report::Table;
 /// Latency histograms keyed by the completion path of each operation.
 ///
 /// [`PathHists::time`] wraps one operation: the sample is recorded
-/// into `fast` or `locked` when the probe layer knows which path the
-/// operation completed on, and into `unknown` otherwise (untraced
-/// build, a non-path-reporting implementation, or a timed-out
-/// invocation). All three histograms are concurrent — one `PathHists`
-/// can serve every worker thread of a driver.
+/// into `fast`, `eliminated` or `locked` when the probe layer knows
+/// which path the operation completed on, and into `unknown` otherwise
+/// (untraced build, a non-path-reporting implementation, or a
+/// timed-out invocation). All histograms are concurrent — one
+/// `PathHists` can serve every worker thread of a driver.
 #[derive(Default)]
 pub struct PathHists {
     /// Operations that completed on the lock-free fast path.
     pub fast: LogHistogram,
+    /// Operations that completed by elimination rendezvous.
+    pub eliminated: LogHistogram,
     /// Operations that completed under the lock.
     pub locked: LogHistogram,
     /// Operations whose path the probe layer could not attribute.
@@ -40,7 +42,7 @@ pub struct PathHists {
 }
 
 impl PathHists {
-    /// Three empty histograms.
+    /// Four empty histograms.
     #[must_use]
     pub fn new() -> PathHists {
         PathHists::default()
@@ -54,6 +56,7 @@ impl PathHists {
         let elapsed = start.elapsed();
         match probe::last_path() {
             Some(Path::Fast) => self.fast.record(elapsed),
+            Some(Path::Eliminated) => self.eliminated.record(elapsed),
             Some(Path::Locked) => self.locked.record(elapsed),
             None => self.unknown.record(elapsed),
         }
@@ -67,6 +70,7 @@ impl PathHists {
         let mut table = Table::new(&["path", "ops", "mean", "p50", "p90", "p99", "max"]);
         for (label, hist) in [
             ("fast", &self.fast),
+            ("eliminated", &self.eliminated),
             ("locked", &self.locked),
             ("unknown", &self.unknown),
         ] {
@@ -90,7 +94,10 @@ impl PathHists {
     /// True when nothing has been timed yet.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.fast.is_empty() && self.locked.is_empty() && self.unknown.is_empty()
+        self.fast.is_empty()
+            && self.eliminated.is_empty()
+            && self.locked.is_empty()
+            && self.unknown.is_empty()
     }
 }
 

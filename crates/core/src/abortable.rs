@@ -65,6 +65,29 @@ pub trait Abortable: Send + Sync {
     fn batch_end(&self, applied: usize) {
         let _ = applied;
     }
+
+    /// Elimination hook: attempts to complete `op` by *rendezvous*
+    /// with a concurrent inverse operation (e.g. a stack's push/pop
+    /// pair exchanging the value through `cso_memory::exchange`),
+    /// without touching the object's main state. The escalation
+    /// ladder of [`crate::ContentionSensitive`] (with
+    /// [`crate::CsConfig::elimination`]) calls this after a weak-op
+    /// abort, *before* raising `CONTENTION` or taking the lock.
+    ///
+    /// `polls` bounds how long the attempt may park waiting for a
+    /// partner (in spin iterations) — the caller scales it with its
+    /// contention estimate. The attempt must be bounded and must
+    /// return `None` (no effect) when no partner commits.
+    ///
+    /// A returned response must be one the operation could have
+    /// received from [`Abortable::try_apply`] in some linearizable
+    /// execution — the pair linearizes back-to-back at the instant of
+    /// the exchange. The default declines (objects without an inverse
+    /// structure simply never eliminate).
+    fn try_eliminate(&self, op: &Self::Op, polls: u32) -> Option<Self::Response> {
+        let _ = (op, polls);
+        None
+    }
 }
 
 /// Plug-in counters for the [`Abortable::batch_begin`] /
@@ -141,6 +164,10 @@ impl<O: Abortable + ?Sized> Abortable for &O {
     fn batch_end(&self, applied: usize) {
         (**self).batch_end(applied);
     }
+
+    fn try_eliminate(&self, op: &Self::Op, polls: u32) -> Option<Self::Response> {
+        (**self).try_eliminate(op, polls)
+    }
 }
 
 impl<O: Abortable + ?Sized> Abortable for std::sync::Arc<O> {
@@ -157,6 +184,10 @@ impl<O: Abortable + ?Sized> Abortable for std::sync::Arc<O> {
 
     fn batch_end(&self, applied: usize) {
         (**self).batch_end(applied);
+    }
+
+    fn try_eliminate(&self, op: &Self::Op, polls: u32) -> Option<Self::Response> {
+        (**self).try_eliminate(op, polls)
     }
 }
 

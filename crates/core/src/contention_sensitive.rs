@@ -19,12 +19,13 @@
 //!   reportable by the deadline-bounded
 //!   [`ContentionSensitive::try_apply_for`].
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use cso_locks::{ProcLock, RawLock, StarvationFree};
-use cso_memory::backoff::{Deadline, Spinner};
+use cso_memory::backoff::{CasBackoff, Deadline, Spinner};
 use cso_memory::combining::{CachePadded, PubRecord, RecordState};
 use cso_memory::fail_point;
 use cso_memory::reg::RegBool;
@@ -66,6 +67,20 @@ pub struct CsConfig {
     /// probing. Off, the `CONTENTION` register alone routes (the
     /// paper's exact behaviour).
     pub adaptive_gate: bool,
+    /// Escalation-ladder rung 2: after a fast-path abort, retry the
+    /// weak operation a bounded number of times under **lightweight
+    /// CAS contention management** (a per-thread, failure-history-
+    /// driven [`CasBackoff`]) before touching `CONTENTION` or the
+    /// lock. All bookkeeping is thread-local / uncounted, so the solo
+    /// fast path keeps Theorem 1's exact six accesses.
+    pub cas_backoff: bool,
+    /// Escalation-ladder rung 3: after the weak-op retries are
+    /// exhausted, attempt to complete by **elimination** — rendezvous
+    /// with a concurrent inverse operation via the object's
+    /// [`Abortable::try_eliminate`] hook (e.g. a stack's push/pop pair
+    /// exchanging through [`cso_memory::exchange`]). Objects without
+    /// an inverse structure decline and fall through to the lock.
+    pub elimination: bool,
 }
 
 impl CsConfig {
@@ -76,6 +91,8 @@ impl CsConfig {
         fast_path: true,
         combining: false,
         adaptive_gate: false,
+        cas_backoff: false,
+        elimination: false,
     };
     /// Ablation (i): no `CONTENTION` guard.
     pub const NO_FLAG: CsConfig = CsConfig {
@@ -84,6 +101,8 @@ impl CsConfig {
         fast_path: true,
         combining: false,
         adaptive_gate: false,
+        cas_backoff: false,
+        elimination: false,
     };
     /// Ablation (ii): no `FLAG`/`TURN` fairness.
     pub const UNFAIR: CsConfig = CsConfig {
@@ -92,6 +111,8 @@ impl CsConfig {
         fast_path: true,
         combining: false,
         adaptive_gate: false,
+        cas_backoff: false,
+        elimination: false,
     };
     /// The combining upgrade: Figure 3's fast path, a flat-combining
     /// slow path, and the adaptive gate in front of the lock.
@@ -101,6 +122,21 @@ impl CsConfig {
         fast_path: true,
         combining: true,
         adaptive_gate: true,
+        cas_backoff: false,
+        elimination: false,
+    };
+    /// The full escalation ladder (experiment E13): bare fast path,
+    /// then CAS contention management, then elimination, then the
+    /// lock. The paper's exact fast path and slow path bracket the two
+    /// new middle rungs.
+    pub const LADDER: CsConfig = CsConfig {
+        contention_flag: true,
+        fair: true,
+        fast_path: true,
+        combining: false,
+        adaptive_gate: false,
+        cas_backoff: true,
+        elimination: true,
     };
 
     /// This configuration with the flat-combining slow path enabled.
@@ -125,6 +161,22 @@ impl CsConfig {
         self.fast_path = false;
         self
     }
+
+    /// This configuration with the CAS contention-management rung
+    /// (bounded, backoff-paced weak-op retries) enabled.
+    #[must_use]
+    pub const fn with_cas_backoff(mut self) -> CsConfig {
+        self.cas_backoff = true;
+        self
+    }
+
+    /// This configuration with the elimination rung (rendezvous with a
+    /// concurrent inverse operation) enabled.
+    #[must_use]
+    pub const fn with_elimination(mut self) -> CsConfig {
+        self.elimination = true;
+        self
+    }
 }
 
 impl Default for CsConfig {
@@ -140,16 +192,20 @@ type PubList<O> = Box<[CachePadded<PubRecord<<O as Abortable>::Op, <O as Abortab
 /// (at most once) by [`ContentionSensitive::attach_metrics`].
 ///
 /// Unlike the internal counters — where combining handoffs land in
-/// `locked` — the three completion counters here are **disjoint by
-/// path** (`fast + locked + combined` = completions), so a scrape
-/// shows the path mix directly. The internal `PathStats::locked`
-/// equals `locked + combined` of this family.
+/// `locked` — the completion counters here are **disjoint by path**
+/// (`fast + eliminated + locked + combined` = completions), so a
+/// scrape shows the path mix directly. The internal
+/// `PathStats::locked` equals `locked + combined` of this family.
 struct CsMetrics {
-    /// Fast-path completions (lines 01–03).
+    /// Fast-path completions (lines 01–03), including the ladder's
+    /// contention-managed retries — every lock-free weak-op success.
     fast: Counter,
-    /// Fast-path weak-operation aborts (each one fell through to the
-    /// slow path).
+    /// Fast-path weak-operation aborts (fast path proper and ladder
+    /// retries; each one escalated one rung).
     fast_aborts: Counter,
+    /// Completions via elimination rendezvous (the ladder's middle
+    /// rung — no main-state access, no lock).
+    eliminated: Counter,
     /// Own-tenure slow-path completions (`SlowGuard` / combiner's own
     /// operation).
     locked: Counter,
@@ -191,8 +247,13 @@ impl CsMetrics {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PathStats {
     /// Operations that completed on the lock-free fast path
-    /// (lines 01–03).
+    /// (lines 01–03), including the escalation ladder's
+    /// contention-managed retries (still lock-free weak-op successes).
     pub fast: u64,
+    /// Operations that completed by elimination rendezvous — the
+    /// ladder's middle rung, touching neither the object's main state
+    /// nor the lock.
+    pub eliminated: u64,
     /// Operations that completed under the lock (lines 04–13).
     pub locked: u64,
 }
@@ -201,7 +262,7 @@ impl PathStats {
     /// Total completed operations.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.fast + self.locked
+        self.fast + self.eliminated + self.locked
     }
 
     /// Fraction of operations that needed the lock (0.0 when idle).
@@ -393,6 +454,7 @@ pub struct ContentionSensitive<O: Abortable, L> {
     // Path statistics: plain (uncounted) atomics — metrics, not part
     // of the algorithm's shared-memory footprint.
     fast: AtomicU64,
+    eliminated: AtomicU64,
     locked: AtomicU64,
     poisoned: AtomicU64,
     timeouts: AtomicU64,
@@ -447,9 +509,11 @@ impl<O: Abortable, L: RawLock> Drop for SlowGuard<'_, O, L> {
             }
             probe!(Event::SlowPoisoned);
         }
-        // Line 09.
-        if cs.config.contention_flag {
-            cs.contention.write(false);
+        // Line 09. `write_lazy` skips the store when the register
+        // already reads `false` (it never does on this path — the
+        // holder raised it at line 07 — so the solo budget is the
+        // same); the probe fires only for real transitions.
+        if cs.config.contention_flag && cs.contention.write_lazy(false) {
             probe!(Event::ContentionClear);
         }
         probe!(Event::LockRelease(self.proc as u32));
@@ -467,6 +531,31 @@ impl<O: Abortable, L: RawLock> Drop for SlowGuard<'_, O, L> {
 /// arrivals from starving the combiner's own caller; anything missed
 /// is picked up by the next tenure.
 const COMBINE_ROUNDS: usize = 3;
+
+/// Rung 2: how many contention-managed weak-op retries before the
+/// ladder escalates. Small by design — if three backoff-paced retries
+/// all abort, the contention is sustained and waiting longer at this
+/// rung just burns cycles.
+const CM_RETRIES: u32 = 3;
+
+/// Rung 3: elimination park length (spin polls) while the gate's abort
+/// EWMA is calm — a short window, since a partner is not especially
+/// likely.
+const ELIM_POLLS_SHORT: u32 = 64;
+
+/// Rung 3: elimination park length while the gate is engaged (the
+/// object is demonstrably hot) — park longer, an inverse operation is
+/// probably moments away.
+const ELIM_POLLS_LONG: u32 = 512;
+
+thread_local! {
+    /// Rung 2's failure history, per *thread* (Dice–Hendler–Mirsky-
+    /// style lightweight contention management): the thread, not the
+    /// object, is what experiences contention, so the history survives
+    /// across operations and across objects. Thread-local and
+    /// uncounted — invisible to the step-complexity accounting.
+    static CAS_CM: RefCell<CasBackoff> = RefCell::new(CasBackoff::from_entropy());
+}
 
 /// RAII custody of a **combining** lock tenure — the flat-combining
 /// counterpart of [`SlowGuard`].
@@ -514,8 +603,7 @@ impl<O: Abortable, L: RawLock> Drop for CombinerGuard<'_, O, L> {
                 cs.records[i].poison();
             }
         }
-        if cs.config.contention_flag {
-            cs.contention.write(false);
+        if cs.config.contention_flag && cs.contention.write_lazy(false) {
             probe!(Event::ContentionClear);
         }
         probe!(Event::LockRelease(self.proc as u32));
@@ -527,6 +615,7 @@ impl<O: Abortable, L> std::fmt::Debug for ContentionSensitive<O, L> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let stats = PathStats {
             fast: self.fast.load(Ordering::Relaxed),
+            eliminated: self.eliminated.load(Ordering::Relaxed),
             locked: self.locked.load(Ordering::Relaxed),
         };
         f.debug_struct("ContentionSensitive")
@@ -564,6 +653,7 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
             records: (0..n).map(|_| CachePadded::new(PubRecord::new())).collect(),
             gate: AdaptiveGate::new(),
             fast: AtomicU64::new(0),
+            eliminated: AtomicU64::new(0),
             locked: AtomicU64::new(0),
             poisoned: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
@@ -598,6 +688,7 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
         let _ = self.metrics.set(CsMetrics {
             fast: registry.counter(&format!("{prefix}_ops_fast_total")),
             fast_aborts: registry.counter(&format!("{prefix}_fast_aborts_total")),
+            eliminated: registry.counter(&format!("{prefix}_ops_eliminated_total")),
             locked: registry.counter(&format!("{prefix}_ops_locked_total")),
             combined: registry.counter(&format!("{prefix}_ops_combined_total")),
             poisoned: registry.counter(&format!("{prefix}_slow_poisoned_total")),
@@ -633,6 +724,10 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
         if let Some(res) = self.fast_path(op) {
             return res;
         }
+        // Rungs 2–3 of the escalation ladder (no-op unless enabled).
+        if let Some(res) = self.ladder(op) {
+            return res;
+        }
 
         // The slow-path timer covers the lock wait too — that is the
         // latency an operation diverted off the fast path actually
@@ -662,9 +757,11 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
             completed: false,
         };
 
-        // Line 07.
-        if self.config.contention_flag {
-            self.contention.write(true);
+        // Line 07. The previous holder lowered the register before
+        // releasing, so the lazy store is always a real toggle here —
+        // the read-before-write only saves the redundant-store case
+        // (repeated raises within one combining storm).
+        if self.config.contention_flag && self.contention.write_lazy(true) {
             probe!(Event::ContentionRaise);
         }
         fail_point!("cs::locked");
@@ -743,6 +840,14 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
         if let Some(res) = self.fast_path(op) {
             return Ok(res);
         }
+        // Rungs 2–3: bounded (backoff windows and park polls are
+        // finite), so one pass through the ladder respects any
+        // reasonable deadline; skip it entirely once expired.
+        if !deadline.expired() {
+            if let Some(res) = self.ladder(op) {
+                return Ok(res);
+            }
+        }
 
         let slow_t0 = self.metrics.get().map(|_| Instant::now());
 
@@ -768,9 +873,11 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
             completed: false,
         };
 
-        // Line 07.
-        if self.config.contention_flag {
-            self.contention.write(true);
+        // Line 07. The previous holder lowered the register before
+        // releasing, so the lazy store is always a real toggle here —
+        // the read-before-write only saves the redundant-store case
+        // (repeated raises within one combining storm).
+        if self.config.contention_flag && self.contention.write_lazy(true) {
             probe!(Event::ContentionRaise);
         }
         fail_point!("cs::locked");
@@ -855,6 +962,84 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
         }
     }
 
+    /// Rungs 2–3 of the escalation ladder, between the bare fast path
+    /// (rung 1) and the lock (rung 4):
+    ///
+    /// * **rung 2** ([`CsConfig::cas_backoff`]): up to [`CM_RETRIES`]
+    ///   weak-op retries, each paced by the thread's [`CasBackoff`]
+    ///   failure history — the retries are ordinary lock-free attempts,
+    ///   so successes count as `fast` and emit the fast-path probes;
+    /// * **rung 3** ([`CsConfig::elimination`]): one rendezvous attempt
+    ///   via [`Abortable::try_eliminate`], parking for a gate-scaled
+    ///   poll budget. A completion touches neither the object's main
+    ///   state nor the lock and counts as `eliminated`.
+    ///
+    /// Both rungs bail out the moment an uncounted peek shows
+    /// `CONTENTION` raised: a lock holder is in its line-08 window and
+    /// escalating (to queue behind it) beats interfering with it.
+    /// Returns `None` to escalate to the slow path. Solo invocations
+    /// never reach this method — their fast path succeeds — so
+    /// Theorem 1's six-access bound is untouched, which the
+    /// step-budget tests pin down with the ladder enabled.
+    fn ladder(&self, op: &O::Op) -> Option<O::Response> {
+        if self.config.cas_backoff {
+            for _ in 0..CM_RETRIES {
+                if self.config.contention_flag && self.contention.peek() {
+                    break;
+                }
+                CAS_CM.with(|cm| cm.borrow_mut().wait());
+                probe!(Event::FastAttempt);
+                match self.inner.try_apply(op) {
+                    Ok(res) => {
+                        CAS_CM.with(|cm| cm.borrow_mut().on_success());
+                        if self.config.adaptive_gate {
+                            self.gate.record(false);
+                        }
+                        self.fast.fetch_add(1, Ordering::Relaxed);
+                        if let Some(m) = self.metrics.get() {
+                            m.fast.inc();
+                            if self.config.adaptive_gate {
+                                m.publish_gate(&self.gate);
+                            }
+                        }
+                        probe!(Event::FastSuccess);
+                        return Some(res);
+                    }
+                    Err(_) => {
+                        CAS_CM.with(|cm| cm.borrow_mut().on_failure());
+                        if self.config.adaptive_gate {
+                            self.gate.record(true);
+                        }
+                        if let Some(m) = self.metrics.get() {
+                            m.fast_aborts.inc();
+                        }
+                        probe!(Event::FastAbort);
+                    }
+                }
+            }
+        }
+        if self.config.elimination {
+            if self.config.contention_flag && self.contention.peek() {
+                return None;
+            }
+            let polls = if self.gate.engaged() {
+                ELIM_POLLS_LONG
+            } else {
+                ELIM_POLLS_SHORT
+            };
+            probe!(Event::ElimAttempt);
+            if let Some(res) = self.inner.try_eliminate(op, polls) {
+                self.eliminated.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = self.metrics.get() {
+                    m.eliminated.inc();
+                }
+                probe!(Event::EliminatedComplete);
+                return Some(res);
+            }
+        }
+        None
+    }
+
     /// The flat-combining slow path: post a publication record, then
     /// spin locally until either a combiner delivers the response or
     /// the lock is won — in which case *we* are the combiner.
@@ -937,8 +1122,7 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
             completed: false,
         };
         // Line 07: divert fast-path arrivals while we batch.
-        if self.config.contention_flag {
-            self.contention.write(true);
+        if self.config.contention_flag && self.contention.write_lazy(true) {
             probe!(Event::ContentionRaise);
         }
         fail_point!("cs::locked");
@@ -1021,6 +1205,7 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
     pub fn stats(&self) -> PathStats {
         PathStats {
             fast: self.fast.load(Ordering::Relaxed),
+            eliminated: self.eliminated.load(Ordering::Relaxed),
             locked: self.locked.load(Ordering::Relaxed),
         }
     }
@@ -1065,6 +1250,7 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
     /// Resets the path and fault statistics to zero.
     pub fn reset_stats(&self) {
         self.fast.store(0, Ordering::Relaxed);
+        self.eliminated.store(0, Ordering::Relaxed);
         self.locked.store(0, Ordering::Relaxed);
         self.poisoned.store(0, Ordering::Relaxed);
         self.timeouts.store(0, Ordering::Relaxed);
@@ -1112,14 +1298,28 @@ mod tests {
     fn solo_apply_takes_fast_path() {
         let cs = make(0, CsConfig::PAPER);
         assert_eq!(cs.apply(0, &Bump(7)), 7);
-        assert_eq!(cs.stats(), PathStats { fast: 1, locked: 0 });
+        assert_eq!(
+            cs.stats(),
+            PathStats {
+                fast: 1,
+                eliminated: 0,
+                locked: 0
+            }
+        );
     }
 
     #[test]
     fn abort_falls_back_to_lock_and_succeeds() {
         let cs = make(1, CsConfig::PAPER);
         assert_eq!(cs.apply(2, &Bump(7)), 7);
-        assert_eq!(cs.stats(), PathStats { fast: 0, locked: 1 });
+        assert_eq!(
+            cs.stats(),
+            PathStats {
+                fast: 0,
+                eliminated: 0,
+                locked: 1
+            }
+        );
     }
 
     #[test]
@@ -1190,7 +1390,14 @@ mod tests {
         let t = cs.telemetry();
         assert_eq!(t.paths, cs.stats());
         assert_eq!(t.faults, cs.fault_stats());
-        assert_eq!(t.paths, PathStats { fast: 2, locked: 1 });
+        assert_eq!(
+            t.paths,
+            PathStats {
+                fast: 2,
+                eliminated: 0,
+                locked: 1
+            }
+        );
         assert_eq!(t.faults, FaultStats::default());
         assert_eq!(t.invocations(), 3);
         assert_eq!(t.degraded_fraction(), 0.0);
@@ -1199,7 +1406,11 @@ mod tests {
     #[test]
     fn telemetry_counts_degradations() {
         let t = Telemetry {
-            paths: PathStats { fast: 6, locked: 2 },
+            paths: PathStats {
+                fast: 6,
+                eliminated: 0,
+                locked: 2,
+            },
             faults: FaultStats {
                 poisoned: 1,
                 timeouts: 1,
@@ -1221,7 +1432,11 @@ mod tests {
 
     #[test]
     fn locked_fraction_math() {
-        let stats = PathStats { fast: 3, locked: 1 };
+        let stats = PathStats {
+            fast: 3,
+            eliminated: 0,
+            locked: 1,
+        };
         assert!((stats.locked_fraction() - 0.25).abs() < 1e-12);
         assert_eq!(PathStats::default().locked_fraction(), 0.0);
     }
@@ -1254,7 +1469,14 @@ mod tests {
         // lock, retracts its own record, and serves an empty batch.
         let cs = make(0, CsConfig::COMBINING.without_fast_path());
         assert_eq!(cs.apply(0, &Bump(5)), 5);
-        assert_eq!(cs.stats(), PathStats { fast: 0, locked: 1 });
+        assert_eq!(
+            cs.stats(),
+            PathStats {
+                fast: 0,
+                eliminated: 0,
+                locked: 1
+            }
+        );
         let combining = cs.combining_stats();
         assert_eq!(
             combining,
@@ -1279,7 +1501,14 @@ mod tests {
     fn combining_config_keeps_the_fast_path() {
         let cs = make(0, CsConfig::COMBINING);
         assert_eq!(cs.apply(0, &Bump(7)), 7);
-        assert_eq!(cs.stats(), PathStats { fast: 1, locked: 0 });
+        assert_eq!(
+            cs.stats(),
+            PathStats {
+                fast: 1,
+                eliminated: 0,
+                locked: 0
+            }
+        );
         // And the fast path still costs exactly one extra access (the
         // CONTENTION read): gate and records are uncounted.
         let scope = CountScope::start();
@@ -1314,6 +1543,7 @@ mod tests {
             stats,
             PathStats {
                 fast: 0,
+                eliminated: 0,
                 locked: expected
             }
         );
@@ -1423,6 +1653,144 @@ mod tests {
         let scope = CountScope::start();
         cs.apply(0, &Bump(1));
         assert_eq!(scope.take().total(), 1);
+    }
+
+    /// An abortable object with an always-available rendezvous
+    /// partner: the weak op aborts like [`ScriptedObject`], but
+    /// `try_eliminate` always succeeds — so the ladder's rung 3 can be
+    /// driven deterministically, single-threaded.
+    struct ElimWrap {
+        inner: ScriptedObject,
+        eliminations: AtomicU64,
+    }
+
+    impl Abortable for ElimWrap {
+        type Op = Bump;
+        type Response = u64;
+
+        fn try_apply(&self, op: &Bump) -> Result<u64, crate::error::Aborted> {
+            self.inner.try_apply(op)
+        }
+
+        fn try_eliminate(&self, op: &Bump, polls: u32) -> Option<u64> {
+            assert!(polls > 0, "the ladder must grant a park budget");
+            self.eliminations.fetch_add(1, Ordering::Relaxed);
+            Some(op.0)
+        }
+    }
+
+    #[test]
+    fn ladder_cm_retry_completes_lock_free() {
+        // One scripted abort defeats the fast path; the first
+        // contention-managed retry then succeeds — a lock-free
+        // completion, counted as fast, never touching the lock.
+        let cs = make(1, CsConfig::PAPER.with_cas_backoff());
+        assert_eq!(cs.apply(0, &Bump(7)), 7);
+        assert_eq!(
+            cs.stats(),
+            PathStats {
+                fast: 1,
+                eliminated: 0,
+                locked: 0
+            }
+        );
+    }
+
+    #[test]
+    fn ladder_elimination_completes_without_lock() {
+        let obj = ElimWrap {
+            inner: ScriptedObject::with_aborts(2),
+            eliminations: AtomicU64::new(0),
+        };
+        let cs = ContentionSensitive::with_config(
+            obj,
+            TasLock::new(),
+            4,
+            CsConfig::PAPER.with_elimination(),
+        );
+        assert_eq!(cs.apply(0, &Bump(9)), 9);
+        assert_eq!(
+            cs.stats(),
+            PathStats {
+                fast: 0,
+                eliminated: 1,
+                locked: 0
+            }
+        );
+        assert_eq!(cs.inner().eliminations.load(Ordering::Relaxed), 1);
+        // Eliminated completions are completions: the telemetry
+        // families stay a partition.
+        assert_eq!(cs.telemetry().invocations(), 1);
+    }
+
+    #[test]
+    fn ladder_escalates_to_lock_when_both_rungs_fail() {
+        // Four scripted aborts exhaust the fast attempt and all three
+        // CM retries; the default try_eliminate declines; the lock
+        // absorbs the rest (Figure 3's line 08).
+        let cs = make(4, CsConfig::PAPER.with_cas_backoff().with_elimination());
+        assert_eq!(cs.apply(3, &Bump(5)), 5);
+        assert_eq!(
+            cs.stats(),
+            PathStats {
+                fast: 0,
+                eliminated: 0,
+                locked: 1
+            }
+        );
+    }
+
+    #[test]
+    fn ladder_config_keeps_the_solo_access_budget() {
+        // Theorem 1 must be bit-for-bit intact with the full ladder
+        // enabled: a solo op succeeds on the fast path and the ladder
+        // is never entered, so the transformation still adds exactly
+        // one counted access (the CONTENTION read).
+        let cs = make(0, CsConfig::LADDER);
+        let scope = CountScope::start();
+        cs.apply(0, &Bump(1));
+        assert_eq!(scope.take().total(), 1);
+    }
+
+    #[test]
+    fn deadline_bounded_ladder_still_eliminates() {
+        let obj = ElimWrap {
+            inner: ScriptedObject::with_aborts(1),
+            eliminations: AtomicU64::new(0),
+        };
+        let cs = ContentionSensitive::with_config(
+            obj,
+            TasLock::new(),
+            4,
+            CsConfig::PAPER.with_elimination(),
+        );
+        assert_eq!(
+            cs.try_apply_for(1, &Bump(3), Duration::from_millis(100)),
+            Ok(3)
+        );
+        assert_eq!(cs.stats().eliminated, 1);
+    }
+
+    #[test]
+    fn attached_metrics_mirror_the_eliminated_path() {
+        let reg = Registry::new();
+        let obj = ElimWrap {
+            inner: ScriptedObject::with_aborts(1),
+            eliminations: AtomicU64::new(0),
+        };
+        let cs = ContentionSensitive::with_config(
+            obj,
+            TasLock::new(),
+            4,
+            CsConfig::PAPER.with_elimination(),
+        );
+        cs.attach_metrics(&reg, "e");
+        cs.apply(0, &Bump(1)); // fast abort → eliminated
+        cs.apply(0, &Bump(1)); // fast (the scripted abort is spent)
+        let snap = reg.snapshot();
+        assert_eq!(counter_value(&snap, "e_ops_eliminated_total"), Some(1));
+        assert_eq!(counter_value(&snap, "e_ops_fast_total"), Some(1));
+        assert_eq!(counter_value(&snap, "e_ops_locked_total"), Some(0));
     }
 
     #[test]

@@ -1,0 +1,430 @@
+//! Model-checking the elimination exchanger's slot protocol.
+//!
+//! `cso_memory::exchange` rests on a per-slot state machine:
+//!
+//! ```text
+//! EMPTY ──claim CAS──▶ CLAIMED ──publish──▶ WAITING ──taker CAS──▶ BUSY
+//!    ▲                                         │                     │
+//!    │                                   retract CAS             read item
+//!    └────── tag+1 ◀── RETRACT ◀───────────────┘        tag+1 ◀──────┘
+//! ```
+//!
+//! The decisive race is `WAITING`: the offeror's retract CAS (poll
+//! budget exhausted) against the taker's BUSY CAS — exactly one may
+//! win, and the parked item must go to the winner. The tag in the
+//! high bits increments on every recycle so a stale CAS from a
+//! previous occupancy can never succeed (the anti-ABA guard).
+//!
+//! This test hand-compiles offer and take into one-shared-access-per-
+//! step machines over the virtual memory and explores schedules:
+//! exhaustively for the offer/take pair and the two-offeror claim
+//! race, randomized for three processes. Invariants on every terminal
+//! execution:
+//!
+//! * **Slot recycles** — the slot is `EMPTY` once all operations
+//!   finish; no schedule strands it in `CLAIMED`/`WAITING`/`BUSY`.
+//! * **Exactly-once exchange** — completed offers and completed takes
+//!   pair up one-to-one, and each take returns a distinct offered
+//!   value (nothing lost, nothing duplicated).
+//! * **No item leak** — a retracting offeror gets its own value back
+//!   (modelled as the ⊥/no-effect outcome: the item never moved).
+
+use cso_explore::explorer::{explore_exhaustive, explore_random, ExploreConfig, Terminal};
+use cso_explore::machine::{Bot, Step, StepMachine};
+use cso_explore::mem::Mem;
+
+// Slot states (low byte of the slot word; the recycle tag lives in
+// the high bits, mirroring the real packed `(tag << 32) | state`).
+const EMPTY: u64 = 0;
+const CLAIMED: u64 = 1;
+const WAITING: u64 = 2;
+const BUSY: u64 = 3;
+const RETRACT: u64 = 4;
+
+/// Address of the slot's packed state word.
+const SLOT: usize = 0;
+/// Address of the slot's item cell (the `UnsafeCell` in the real
+/// code; its accesses happen only inside exclusive state windows).
+const ITEM: usize = 1;
+
+fn pack(tag: u64, state: u64) -> u64 {
+    state | (tag << 8)
+}
+
+fn state_of(word: u64) -> u64 {
+    word & 0xFF
+}
+
+fn tag_of(word: u64) -> u64 {
+    word >> 8
+}
+
+fn initial_mem() -> Mem {
+    Mem::new(vec![0; 2])
+}
+
+/// One exchanger operation: park `value` and wait `polls` iterations
+/// (an offer), or scan for a parked partner `polls` times (a take).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ExchangeOp {
+    Offer { value: u64, polls: u32 },
+    Take { polls: u32 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pc {
+    /// Read the slot word to decide what to do.
+    Read,
+    /// Offer: try to move EMPTY → CLAIMED.
+    ClaimCas(u64),
+    /// Offer: park the item in the exclusive CLAIMED window.
+    WriteItem(u64),
+    /// Offer: publish WAITING.
+    Publish(u64),
+    /// Offer: poll for a taker; the payload is the published tag.
+    Poll(u64, u32),
+    /// Offer: poll budget exhausted — try WAITING → RETRACT.
+    RetractCas(u64),
+    /// Offer: exclusive RETRACT window — take the item back.
+    TakeBack(u64),
+    /// Offer: recycle the slot after a retract (tag bump).
+    RecycleRetract(u64),
+    /// Take: try WAITING → BUSY.
+    BusyCas(u64),
+    /// Take: exclusive BUSY window — read the parked item.
+    ReadItem(u64),
+    /// Take: recycle the slot (tag bump); payload carries the item.
+    Recycle(u64, u64),
+}
+
+#[derive(Debug, Clone)]
+struct ExchangeMachine {
+    op: ExchangeOp,
+    pc: Pc,
+    /// Take-side retries left (each failed scan costs one).
+    scans_left: u32,
+}
+
+impl ExchangeMachine {
+    fn new(op: ExchangeOp) -> ExchangeMachine {
+        let scans_left = match op {
+            ExchangeOp::Offer { .. } => 0,
+            ExchangeOp::Take { polls } => polls,
+        };
+        ExchangeMachine {
+            op,
+            pc: Pc::Read,
+            scans_left,
+        }
+    }
+}
+
+impl StepMachine<u64> for ExchangeMachine {
+    fn step(&mut self, mem: &mut Mem) -> Step<u64> {
+        match self.pc {
+            Pc::Read => {
+                let word = mem.read(SLOT);
+                match self.op {
+                    ExchangeOp::Offer { .. } => {
+                        if state_of(word) == EMPTY {
+                            self.pc = Pc::ClaimCas(word);
+                            Step::Continue
+                        } else {
+                            // Occupied slot: the real offer declines.
+                            Step::Done(Err(Bot))
+                        }
+                    }
+                    ExchangeOp::Take { .. } => {
+                        if state_of(word) == WAITING {
+                            self.pc = Pc::BusyCas(word);
+                            Step::Continue
+                        } else if self.scans_left > 0 {
+                            self.scans_left -= 1;
+                            Step::Continue
+                        } else {
+                            // Nothing parked: the real take returns None.
+                            Step::Done(Err(Bot))
+                        }
+                    }
+                }
+            }
+            Pc::ClaimCas(word) => {
+                let tag = tag_of(word);
+                if mem.cas(SLOT, word, pack(tag, CLAIMED)) {
+                    self.pc = Pc::WriteItem(tag);
+                } else {
+                    // Lost the claim race: decline.
+                    return Step::Done(Err(Bot));
+                }
+                Step::Continue
+            }
+            Pc::WriteItem(tag) => {
+                let ExchangeOp::Offer { value, .. } = self.op else {
+                    unreachable!("only offers write items");
+                };
+                mem.write(ITEM, value);
+                self.pc = Pc::Publish(tag);
+                Step::Continue
+            }
+            Pc::Publish(tag) => {
+                mem.write(SLOT, pack(tag, WAITING));
+                let ExchangeOp::Offer { polls, .. } = self.op else {
+                    unreachable!("only offers publish");
+                };
+                self.pc = Pc::Poll(tag, polls);
+                Step::Continue
+            }
+            Pc::Poll(tag, left) => {
+                let word = mem.read(SLOT);
+                if tag_of(word) != tag || state_of(word) == BUSY {
+                    // A taker committed: the item is theirs.
+                    return Step::Done(Ok(0));
+                }
+                if left == 0 {
+                    self.pc = Pc::RetractCas(tag);
+                } else {
+                    self.pc = Pc::Poll(tag, left - 1);
+                }
+                Step::Continue
+            }
+            Pc::RetractCas(tag) => {
+                if mem.cas(SLOT, pack(tag, WAITING), pack(tag, RETRACT)) {
+                    self.pc = Pc::TakeBack(tag);
+                    Step::Continue
+                } else {
+                    // The retract lost: a taker got there first.
+                    Step::Done(Ok(0))
+                }
+            }
+            Pc::TakeBack(tag) => {
+                let got = mem.read(ITEM);
+                let ExchangeOp::Offer { value, .. } = self.op else {
+                    unreachable!("only offers retract");
+                };
+                assert_eq!(got, value, "a retract must recover the parked item");
+                self.pc = Pc::RecycleRetract(tag);
+                Step::Continue
+            }
+            Pc::RecycleRetract(tag) => {
+                mem.write(SLOT, pack(tag.wrapping_add(1), EMPTY));
+                // No exchange happened: the offer had no effect.
+                Step::Done(Err(Bot))
+            }
+            Pc::BusyCas(word) => {
+                let tag = tag_of(word);
+                if mem.cas(SLOT, word, pack(tag, BUSY)) {
+                    self.pc = Pc::ReadItem(tag);
+                    Step::Continue
+                } else if self.scans_left > 0 {
+                    self.scans_left -= 1;
+                    self.pc = Pc::Read;
+                    Step::Continue
+                } else {
+                    Step::Done(Err(Bot))
+                }
+            }
+            Pc::ReadItem(tag) => {
+                let item = mem.read(ITEM);
+                self.pc = Pc::Recycle(tag, item);
+                Step::Continue
+            }
+            Pc::Recycle(tag, item) => {
+                mem.write(SLOT, pack(tag.wrapping_add(1), EMPTY));
+                Step::Done(Ok(item))
+            }
+        }
+    }
+}
+
+/// The per-terminal invariants; see the module docs.
+fn check_terminal(terminal: &Terminal<ExchangeOp, u64>, offered: &[u64]) {
+    assert_eq!(
+        state_of(terminal.mem.read(SLOT)),
+        EMPTY,
+        "slot stranded in a non-EMPTY state"
+    );
+
+    // Completed (non-⊥) operations pair up: every take's value is a
+    // distinct offered value, and the counts match.
+    let mut taken: Vec<u64> = Vec::new();
+    let mut offers_ok = 0usize;
+    for op in terminal.history.operations() {
+        let (resp, _) = op.returned.as_ref().expect("terminal ops are complete");
+        match op.op {
+            ExchangeOp::Offer { .. } => offers_ok += 1,
+            ExchangeOp::Take { .. } => taken.push(*resp),
+        }
+    }
+    assert_eq!(
+        offers_ok,
+        taken.len(),
+        "offers and takes must complete in pairs"
+    );
+    taken.sort_unstable();
+    taken.dedup();
+    assert_eq!(taken.len(), offers_ok, "a value was taken twice");
+    for v in &taken {
+        assert!(offered.contains(v), "take returned a never-offered value");
+    }
+}
+
+/// The decisive WAITING race, deterministically: the offeror parks,
+/// the taker commits BUSY, the offeror's poll observes it.
+#[test]
+fn deterministic_rendezvous() {
+    let mut mem = initial_mem();
+    let mut offeror = ExchangeMachine::new(ExchangeOp::Offer { value: 7, polls: 2 });
+    let mut taker = ExchangeMachine::new(ExchangeOp::Take { polls: 2 });
+
+    // Offer: read, claim, park, publish.
+    for _ in 0..4 {
+        assert_eq!(offeror.step(&mut mem), Step::Continue);
+    }
+    assert_eq!(state_of(mem.read(SLOT)), WAITING);
+
+    // Take: read (sees WAITING), BUSY CAS, read item, recycle.
+    let took = loop {
+        match taker.step(&mut mem) {
+            Step::Continue => {}
+            Step::Done(resp) => break resp.expect("taker commits"),
+        }
+    };
+    assert_eq!(took, 7);
+    assert_eq!(state_of(mem.read(SLOT)), EMPTY);
+    assert_eq!(tag_of(mem.read(SLOT)), 1, "recycle bumps the tag");
+
+    // The offeror's next poll observes the exchange.
+    let offered = loop {
+        match offeror.step(&mut mem) {
+            Step::Continue => {}
+            Step::Done(resp) => break resp,
+        }
+    };
+    assert_eq!(offered, Ok(0), "the offeror sees the taker's commit");
+}
+
+/// A retract that races nobody, deterministically: the poll budget
+/// runs dry, the retract CAS wins, the item comes back, the slot
+/// recycles with a bumped tag.
+#[test]
+fn deterministic_retract_recovers_the_item() {
+    let mut mem = initial_mem();
+    let mut offeror = ExchangeMachine::new(ExchangeOp::Offer { value: 9, polls: 1 });
+    let out = loop {
+        match offeror.step(&mut mem) {
+            Step::Continue => {}
+            Step::Done(resp) => break resp,
+        }
+    };
+    assert_eq!(out, Err(Bot), "no partner: the offer has no effect");
+    assert_eq!(state_of(mem.read(SLOT)), EMPTY);
+    assert_eq!(tag_of(mem.read(SLOT)), 1, "retract recycle bumps the tag");
+}
+
+fn exhaustive_config() -> ExploreConfig {
+    ExploreConfig {
+        // An offer runs read + claim + park + publish + polls + the
+        // retract triple; a take runs scans + BUSY + read + recycle.
+        // 12 covers every interesting chain at polls ≤ 3.
+        max_steps_per_op: 12,
+        max_executions: 6_000_000,
+    }
+}
+
+/// Every interleaving of one offer against one take: rendezvous,
+/// missed windows, and the retract-vs-BUSY race all keep the
+/// invariants.
+#[test]
+fn exhaustive_offer_take_race() {
+    let scripts = vec![
+        vec![ExchangeOp::Offer { value: 7, polls: 3 }],
+        vec![ExchangeOp::Take { polls: 3 }],
+    ];
+    let config = exhaustive_config();
+    let mut exchanged = 0usize;
+    let mut missed = 0usize;
+    let stats = explore_exhaustive(
+        &initial_mem(),
+        &scripts,
+        |_, op: &ExchangeOp| ExchangeMachine::new(op.clone()),
+        &config,
+        |terminal| {
+            check_terminal(terminal, &[7]);
+            if terminal.aborted == 0 {
+                exchanged += 1;
+            } else {
+                missed += 1;
+            }
+        },
+    );
+    assert!(stats.executions > 100, "got {}", stats.executions);
+    assert!(
+        stats.executions < config.max_executions,
+        "hit the execution cap — the exploration was not exhaustive"
+    );
+    assert!(exchanged > 0, "no schedule ever paired the couple");
+    assert!(missed > 0, "no schedule ever missed the window");
+}
+
+/// Every interleaving of two offers racing for the one slot: at most
+/// one claims; the loser declines with its value intact.
+#[test]
+fn exhaustive_two_offeror_claim_race() {
+    let scripts = vec![
+        vec![ExchangeOp::Offer { value: 7, polls: 2 }],
+        vec![ExchangeOp::Offer { value: 9, polls: 2 }],
+    ];
+    let config = exhaustive_config();
+    let stats = explore_exhaustive(
+        &initial_mem(),
+        &scripts,
+        |_, op: &ExchangeOp| ExchangeMachine::new(op.clone()),
+        &config,
+        |terminal| {
+            // With no taker, no offer may complete as an exchange.
+            assert_eq!(
+                terminal.history.operations().len(),
+                0,
+                "an offer claimed an exchange with no taker"
+            );
+            assert_eq!(state_of(terminal.mem.read(SLOT)), EMPTY);
+        },
+    );
+    // The loser usually declines within two steps, so the full
+    // schedule tree is small — but it must still be fully explored.
+    assert!(stats.executions > 20, "got {}", stats.executions);
+    assert!(
+        stats.executions < config.max_executions,
+        "hit the execution cap — the exploration was not exhaustive"
+    );
+}
+
+/// Three processes (two offerors, one taker) under randomized
+/// schedules: whatever pairs, pairs exactly once.
+#[test]
+fn random_three_process_exchange() {
+    let scripts = vec![
+        vec![ExchangeOp::Offer { value: 7, polls: 6 }],
+        vec![ExchangeOp::Offer { value: 9, polls: 6 }],
+        vec![ExchangeOp::Take { polls: 6 }],
+    ];
+    let config = ExploreConfig {
+        max_steps_per_op: 120,
+        max_executions: usize::MAX,
+    };
+    let mut exchanged = 0usize;
+    let stats = explore_random(
+        &initial_mem(),
+        &scripts,
+        |_, op: &ExchangeOp| ExchangeMachine::new(op.clone()),
+        &config,
+        4_000,
+        0xE11A,
+        |terminal| {
+            check_terminal(terminal, &[7, 9]);
+            exchanged += terminal.history.operations().len();
+        },
+    );
+    assert!(stats.executions > 3_000, "got {}", stats.executions);
+    assert!(exchanged > 0, "no random schedule ever exchanged");
+}

@@ -23,6 +23,7 @@
 use std::sync::OnceLock;
 
 use cso_memory::backoff::{Deadline, Spinner};
+use cso_memory::combining::CachePadded;
 use cso_memory::fail_point;
 use cso_memory::reg::{RegBool, RegUsize};
 use cso_metrics::{Counter, Registry};
@@ -60,10 +61,17 @@ struct SfMetrics {
 #[derive(Debug)]
 pub struct StarvationFree<L> {
     inner: L,
-    /// `FLAG[i]`: process `i` is competing for the lock.
-    flag: Vec<RegBool>,
+    /// `FLAG[i]`: process `i` is competing for the lock. Each entry
+    /// sits on its own cache line: `FLAG[i]` is written only by
+    /// process `i` but spun on by every line-05 waiter, so packed
+    /// entries would put each flag write on the coherence critical
+    /// path of unrelated waiters (false sharing).
+    flag: Vec<CachePadded<RegBool>>,
     /// Identity currently given priority; advances round-robin.
-    turn: RegUsize,
+    /// Padded away from the `flag` vector and the inner lock word for
+    /// the same reason — every waiter re-reads `TURN` in its spin
+    /// loop.
+    turn: CachePadded<RegUsize>,
     /// Optional registry handles (see [`StarvationFree::attach_metrics`]).
     metrics: OnceLock<SfMetrics>,
 }
@@ -79,8 +87,10 @@ impl<L: RawLock> StarvationFree<L> {
         assert!(n > 0, "the booster needs at least one process");
         StarvationFree {
             inner,
-            flag: (0..n).map(|_| RegBool::new(false)).collect(),
-            turn: RegUsize::new(0),
+            flag: (0..n)
+                .map(|_| CachePadded::new(RegBool::new(false)))
+                .collect(),
+            turn: CachePadded::new(RegUsize::new(0)),
             metrics: OnceLock::new(),
         }
     }
@@ -335,6 +345,27 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(victim_done.load(Ordering::SeqCst), 200);
+    }
+
+    #[test]
+    fn flag_and_turn_live_on_distinct_cache_lines() {
+        // Compile-time: the padding wrapper really is line-sized.
+        const _: () = assert!(std::mem::align_of::<CachePadded<RegBool>>() >= 128);
+        const _: () = assert!(std::mem::size_of::<CachePadded<RegBool>>() >= 128);
+        const _: () = assert!(std::mem::align_of::<CachePadded<RegUsize>>() >= 128);
+
+        // Runtime: adjacent FLAG entries are at least a line apart,
+        // and TURN shares a line with none of them.
+        let lock = StarvationFree::new(TasLock::new(), 3);
+        let addr = |i: usize| std::ptr::from_ref::<CachePadded<RegBool>>(&lock.flag[i]) as usize;
+        for i in 0..2 {
+            assert!(addr(i + 1).abs_diff(addr(i)) >= 128);
+            assert_eq!(addr(i) % 128, 0);
+        }
+        let turn = std::ptr::from_ref::<CachePadded<RegUsize>>(&lock.turn) as usize;
+        for i in 0..3 {
+            assert!(turn.abs_diff(addr(i)) >= 128);
+        }
     }
 
     #[test]

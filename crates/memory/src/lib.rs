@@ -20,6 +20,9 @@
 //!   used to lift the 32-bit-value algorithms to arbitrary payloads;
 //! * [`combining`] — cache-padded publication records for the
 //!   flat-combining slow path (post → claim → complete/poison);
+//! * [`exchange`] — the elimination rendezvous slots (offer → park →
+//!   take/retract) shared by the elimination-stack baseline and the
+//!   contention-sensitive escalation ladder;
 //! * [`epoch`] — a minimal epoch-based reclamation scheme for the
 //!   node-allocating baselines (Treiber, Michael–Scott, elimination);
 //! * [`chaos`] (behind the `chaos` cargo feature) — the fail-point
@@ -51,6 +54,7 @@ pub mod chaos;
 pub mod combining;
 pub mod counting;
 pub mod epoch;
+pub mod exchange;
 pub mod packed;
 pub mod reg;
 pub mod registry;
@@ -96,6 +100,7 @@ pub use backoff::Deadline;
 pub use bits::Bits32;
 pub use combining::{CachePadded, PubRecord, RecordState};
 pub use counting::{AccessCounts, CountScope};
+pub use exchange::Exchanger;
 pub use packed::{DequeState, DequeWord, HeadWord, SlotWord, TailWord, TopWord};
 pub use reg::{Reg64, RegBool, RegUsize};
 pub use registry::{ProcRegistry, ProcToken, RegistryFull};

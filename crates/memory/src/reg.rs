@@ -11,6 +11,20 @@
 //!   algorithms is their structure, not fence minimization. Baseline
 //!   structures that traditionally use acquire/release live outside
 //!   this module.
+//!
+//! # Uncounted validation peeks
+//!
+//! The `peek` / `cas_validated` / `write_lazy` members are the one
+//! sanctioned exception to "every access records itself": they issue a
+//! *plain relaxed load* that is **not** counted, in the spirit of
+//! Dice, Hendler & Mirsky's read-validate-before-CAS — a doomed CAS
+//! (or redundant store) costs an exclusive cache-line acquisition,
+//! while a shared read does not. The accounting contract stays
+//! honest because the peek can only *remove* counted accesses that
+//! were about to happen (the skipped CAS/store), never add any: on
+//! the contention-free paths the validation always passes and the
+//! counted totals are bit-for-bit identical — which is what the
+//! `step_budget` regression tests pin down.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
@@ -78,6 +92,29 @@ impl Reg64 {
             .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
             .map(|_| ())
     }
+
+    /// **Uncounted** relaxed load — an engineering-level peek used only
+    /// to avoid doomed counted accesses (see the module docs). Never
+    /// use it where the algorithm's correctness needs a counted read.
+    #[inline]
+    #[must_use]
+    pub fn peek(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    /// Read-validate-before-CAS: if an uncounted [`Reg64::peek`]
+    /// already shows the register diverged from `old`, reports failure
+    /// **without issuing the CAS** (zero counted accesses); otherwise
+    /// performs the ordinary counted [`Reg64::cas`]. On uncontended
+    /// paths the validation passes and the cost is exactly one counted
+    /// CAS, so solo step budgets are unchanged.
+    #[inline]
+    pub fn cas_validated(&self, old: u64, new: u64) -> bool {
+        if self.cell.load(Ordering::Relaxed) != old {
+            return false;
+        }
+        self.cas(old, new)
+    }
 }
 
 /// A counted boolean atomic register (the paper's `CONTENTION` and
@@ -132,6 +169,29 @@ impl RegBool {
     pub fn swap(&self, value: bool) -> bool {
         record(AccessKind::Cas);
         self.cell.swap(value, Ordering::SeqCst)
+    }
+
+    /// **Uncounted** relaxed load — see the module docs and
+    /// [`Reg64::peek`].
+    #[inline]
+    #[must_use]
+    pub fn peek(&self) -> bool {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    /// Store-if-different: if an uncounted [`RegBool::peek`] already
+    /// shows `value`, skips the store entirely (zero counted accesses,
+    /// no cache-line invalidation) and returns `false`; otherwise
+    /// performs the ordinary counted [`RegBool::write`] and returns
+    /// `true`. On paths where the write is a real toggle the store
+    /// always happens, so solo step budgets are unchanged.
+    #[inline]
+    pub fn write_lazy(&self, value: bool) -> bool {
+        if self.cell.load(Ordering::Relaxed) == value {
+            return false;
+        }
+        self.write(value);
+        true
     }
 }
 
@@ -225,6 +285,36 @@ mod tests {
         r.cas(1, 3); // failed CAS still counts: it touched shared memory
         let c = scope.take();
         assert_eq!((c.reads, c.writes, c.cas), (1, 1, 2));
+    }
+
+    #[test]
+    fn peeks_and_validated_ops_are_uncounted_only_when_they_skip() {
+        let r = Reg64::new(5);
+        let scope = CountScope::start();
+        assert_eq!(r.peek(), 5); // uncounted
+        assert!(!r.cas_validated(9, 1)); // validation fails: no CAS issued
+        assert_eq!(scope.take().total(), 0, "skipped accesses must not count");
+
+        let scope = CountScope::start();
+        assert!(r.cas_validated(5, 6)); // validation passes: one counted CAS
+        let c = scope.take();
+        assert_eq!((c.reads, c.writes, c.cas), (0, 0, 1));
+        assert_eq!(r.read(), 6);
+    }
+
+    #[test]
+    fn write_lazy_skips_redundant_stores() {
+        let b = RegBool::new(false);
+        let scope = CountScope::start();
+        assert!(!b.write_lazy(false), "redundant store must be skipped");
+        assert_eq!(scope.take().total(), 0);
+
+        let scope = CountScope::start();
+        assert!(b.write_lazy(true), "a real toggle must store");
+        let c = scope.take();
+        assert_eq!((c.reads, c.writes, c.cas), (0, 1, 0));
+        assert!(b.read());
+        assert!(b.peek());
     }
 
     #[test]

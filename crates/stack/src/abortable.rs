@@ -8,6 +8,8 @@ use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use cso_core::{Abortable, Aborted, BatchCounters, BatchStats};
+use cso_memory::combining::CachePadded;
+use cso_memory::exchange::Exchanger;
 use cso_memory::fail_point;
 use cso_memory::packed::{SlotWord, TopWord};
 use cso_memory::reg::Reg64;
@@ -80,10 +82,18 @@ impl AbortStats {
 /// ```
 #[derive(Debug)]
 pub struct AbortableStack<V> {
-    /// The `TOP` register.
-    top: Reg64,
+    /// The `TOP` register — every operation's decisive `C&S` lands
+    /// here, so it gets its own cache line: without the padding, the
+    /// adjacent `STACK[..]` slots (helped lazily by *other*
+    /// operations) would false-share with the hottest word in the
+    /// structure.
+    top: CachePadded<Reg64>,
     /// `STACK[0..k]`: entry 0 is the dummy; capacity is `len - 1`.
     slots: Box<[Reg64]>,
+    /// Rendezvous slots for the escalation ladder's elimination rung
+    /// ([`Abortable::try_eliminate`]): inverse push/pop pairs exchange
+    /// values here without touching `TOP` at all.
+    exchanger: Exchanger<u32>,
     // Diagnostics (not shared-memory accesses).
     push_attempts: AtomicU64,
     push_aborts: AtomicU64,
@@ -96,6 +106,11 @@ pub struct AbortableStack<V> {
 /// The dummy value stored below the stack bottom (never observed by
 /// users: popping at index 0 returns `Empty` before reading it).
 const BOTTOM: u32 = 0;
+
+/// Rendezvous slots in the elimination exchanger. Small and fixed: one
+/// pairing per slot at a time is plenty below ~16 threads, and the
+/// ladder falls through to the lock anyway when slots are contended.
+const ELIM_SLOTS: usize = 4;
 
 impl<V: StackValue> AbortableStack<V> {
     /// Creates an empty stack of capacity `capacity`.
@@ -129,8 +144,9 @@ impl<V: StackValue> AbortableStack<V> {
             })
             .collect();
         AbortableStack {
-            top,
+            top: CachePadded::new(top),
             slots,
+            exchanger: Exchanger::new(ELIM_SLOTS),
             push_attempts: AtomicU64::new(0),
             push_aborts: AtomicU64::new(0),
             pop_attempts: AtomicU64::new(0),
@@ -217,8 +233,12 @@ impl<V: StackValue> AbortableStack<V> {
             value: value.to_bits(),
             seq: next_slot.seq.wrapping_add(1),
         };
-        // Lines 06–07: register the push in TOP, or abort.
-        if self.top.cas(observed.pack(), newtop.pack()) {
+        // Lines 06–07: register the push in TOP, or abort. The
+        // validated CAS peeks (uncounted) first: a doomed C&S on a
+        // diverged TOP costs an exclusive cache-line acquisition for
+        // nothing, while solo the validation always passes and the
+        // counted cost is identical (pinned by the five-access tests).
+        if self.top.cas_validated(observed.pack(), newtop.pack()) {
             Ok(PushOutcome::Pushed)
         } else {
             self.push_aborts.fetch_add(1, Ordering::Relaxed);
@@ -258,8 +278,9 @@ impl<V: StackValue> AbortableStack<V> {
             value: below.value,
             seq: below.seq.wrapping_add(1),
         };
-        // Lines 13–14: register the pop in TOP, or abort.
-        if self.top.cas(observed.pack(), newtop.pack()) {
+        // Lines 13–14: register the pop in TOP, or abort (validated
+        // C&S — see `weak_push`).
+        if self.top.cas_validated(observed.pack(), newtop.pack()) {
             Ok(PopOutcome::Popped(V::from_bits(observed.value)))
         } else {
             self.pop_aborts.fetch_add(1, Ordering::Relaxed);
@@ -293,6 +314,14 @@ impl<V: StackValue> AbortableStack<V> {
     pub fn batch_stats(&self) -> BatchStats {
         self.batch.snapshot()
     }
+
+    /// Push/pop *pairs* completed by elimination rendezvous through
+    /// [`Abortable::try_eliminate`] (zero unless an escalation ladder
+    /// with `elimination` drives this stack).
+    #[must_use]
+    pub fn eliminated_pairs(&self) -> u64 {
+        self.exchanger.exchanges()
+    }
 }
 
 /// Plugs the stack into the generic transformations of `cso-core`
@@ -314,6 +343,44 @@ impl<V: StackValue> Abortable for AbortableStack<V> {
 
     fn batch_end(&self, applied: usize) {
         self.batch.end(applied);
+    }
+
+    /// Elimination: an aborted push parks its value in the exchanger;
+    /// an aborted pop takes a parked value directly. The pair
+    /// linearizes as back-to-back `push(v); pop() → v` at the instant
+    /// the taker commits — sound whenever the stack has room for the
+    /// transiting value at that instant, which the taker validates
+    /// (under the sequential spec the push must be legal; the pop then
+    /// trivially is, the stack being momentarily non-empty).
+    fn try_eliminate(&self, op: &StackOp<V>, polls: u32) -> Option<StackResponse<V>> {
+        match op {
+            StackOp::Push(v) => {
+                // Quick decline while TOP shows a full stack: the pair
+                // could not linearize (its push would have to return
+                // Full). The authoritative admission check runs on the
+                // taker side; this peek (uncounted) just avoids
+                // parking a value no pop may legally take.
+                if usize::from(TopWord::unpack(self.top.peek()).index) >= self.capacity() {
+                    return None;
+                }
+                self.exchanger
+                    .offer(v.to_bits(), polls)
+                    .ok()
+                    .map(|()| StackResponse::Push(PushOutcome::Pushed))
+            }
+            StackOp::Pop => self
+                .exchanger
+                .take_if(|| {
+                    // Admission check, evaluated after the partner is
+                    // observed parked and before the taking C&S — an
+                    // instant inside both operations' intervals. The
+                    // pair linearizes here, so occupancy < capacity
+                    // must hold *now* for the eliminated push to be
+                    // legal.
+                    usize::from(TopWord::unpack(self.top.peek()).index) < self.capacity()
+                })
+                .map(|bits| StackResponse::Pop(PopOutcome::Popped(V::from_bits(bits)))),
+        }
     }
 }
 
@@ -432,6 +499,66 @@ mod tests {
     #[should_panic(expected = "16-bit index")]
     fn oversized_capacity_panics() {
         let _ = AbortableStack::<u32>::new(usize::from(u16::MAX));
+    }
+
+    #[test]
+    fn top_register_is_cache_padded() {
+        // Compile-time: the wrapper pads to at least 128 bytes.
+        const _: () = assert!(std::mem::align_of::<CachePadded<Reg64>>() >= 128);
+        const _: () = assert!(std::mem::size_of::<CachePadded<Reg64>>() >= 128);
+        let stack: AbortableStack<u32> = AbortableStack::new(4);
+        let top_addr = std::ptr::from_ref::<Reg64>(&stack.top) as usize;
+        assert_eq!(top_addr % 128, 0, "TOP must start its own cache line");
+        // The helped slots live outside TOP's padded line, so lazy
+        // helping writes never false-share with the decisive C&S.
+        let slot0 = std::ptr::from_ref::<Reg64>(&stack.slots[0]) as usize;
+        assert!(slot0.abs_diff(top_addr) >= 128);
+    }
+
+    #[test]
+    fn elimination_pairs_exchange_without_touching_top() {
+        use std::sync::Arc;
+        let stack: Arc<AbortableStack<u32>> = Arc::new(AbortableStack::new(8));
+        let offeror = {
+            let stack = Arc::clone(&stack);
+            std::thread::spawn(move || loop {
+                match stack.try_eliminate(&StackOp::Push(42), 10_000) {
+                    Some(resp) => return resp,
+                    None => std::thread::yield_now(),
+                }
+            })
+        };
+        let popped = loop {
+            if let Some(resp) = stack.try_eliminate(&StackOp::Pop, 0) {
+                break resp;
+            }
+            std::hint::spin_loop();
+        };
+        assert_eq!(offeror.join().unwrap().expect_push(), PushOutcome::Pushed);
+        assert_eq!(popped.expect_pop(), PopOutcome::Popped(42));
+        assert_eq!(stack.eliminated_pairs(), 1);
+        assert!(stack.is_empty(), "elimination must not touch the stack");
+        // No weak operation ran at all: the rendezvous bypassed TOP.
+        assert_eq!(stack.abort_stats(), AbortStats::default());
+    }
+
+    #[test]
+    fn taker_admission_rejects_when_stack_is_full() {
+        let stack: AbortableStack<u32> = AbortableStack::new(1);
+        stack.weak_push(9).unwrap();
+        // A full stack pre-declines the offering side outright.
+        assert!(stack.try_eliminate(&StackOp::Push(1), 1).is_none());
+        // A value parked directly (as if the stack filled after the
+        // offeror's peek) must be refused by the taker's admission
+        // check: the pair's push could only return Full here.
+        std::thread::scope(|s| {
+            let parked = s.spawn(|| stack.exchanger.offer(5, 200_000));
+            for _ in 0..1_000 {
+                assert!(stack.try_eliminate(&StackOp::Pop, 0).is_none());
+            }
+            assert_eq!(parked.join().unwrap(), Err(5), "no pop may admit it");
+        });
+        assert_eq!(stack.eliminated_pairs(), 0);
     }
 
     /// Concurrent aborts leave the stack consistent: every pushed

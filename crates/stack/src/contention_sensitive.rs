@@ -165,10 +165,20 @@ impl<V: StackValue, L: RawLock> CsStack<V, L> {
         self.inner.n()
     }
 
-    /// How many operations completed on the fast path vs under the
-    /// lock (experiment E4).
+    /// How many operations completed on each path — fast, eliminated
+    /// (the escalation ladder's rendezvous rung), or under the lock
+    /// (experiments E4 and E13).
     pub fn path_stats(&self) -> PathStats {
         self.inner.stats()
+    }
+
+    /// Push/pop *pairs* completed by elimination rendezvous (zero
+    /// unless built with [`CsConfig::with_elimination`]). Each pair
+    /// accounts for **two** entries in [`PathStats::eliminated`] once
+    /// both sides return.
+    #[must_use]
+    pub fn eliminated_pairs(&self) -> u64 {
+        self.inner.inner().eliminated_pairs()
     }
 
     /// Resets the path statistics.
@@ -404,6 +414,70 @@ mod tests {
         assert_eq!(combining.batches + combining.combined, paths.locked);
         // The batch hooks reached the abortable stack itself.
         assert_eq!(stack.batch_stats().applied, combining.combined);
+    }
+
+    #[test]
+    fn ladder_config_preserves_theorem_one_budget() {
+        // Arming both middle rungs must not cost a solo operation
+        // anything: the fast path succeeds and the ladder is never
+        // entered, so Theorem 1's six accesses stay exact.
+        let stack: CsStack<u32> = CsStack::with_config(64, TasLock::new(), 4, CsConfig::LADDER);
+        stack.push(0, 1);
+        let scope = CountScope::start();
+        stack.push(0, 2);
+        assert_eq!(scope.take().total(), 6, "Theorem 1 with the ladder armed");
+        let scope = CountScope::start();
+        assert_eq!(stack.pop(0), PopOutcome::Popped(2));
+        assert_eq!(scope.take().total(), 6);
+        assert_eq!(stack.path_stats().locked, 0);
+        assert_eq!(stack.eliminated_pairs(), 0, "solo ops never rendezvous");
+    }
+
+    #[test]
+    fn ladder_config_conserves_values_under_contention() {
+        const THREADS: u32 = 4;
+        const PER_THREAD: u32 = 1_500;
+        let stack: Arc<CsStack<u32>> = Arc::new(CsStack::with_config(
+            (THREADS * PER_THREAD) as usize,
+            TasLock::new(),
+            THREADS as usize,
+            CsConfig::LADDER,
+        ));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let stack = Arc::clone(&stack);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    for i in 0..PER_THREAD {
+                        assert_eq!(
+                            stack.push(t as usize, t * PER_THREAD + i),
+                            PushOutcome::Pushed
+                        );
+                        if let PopOutcome::Popped(v) = stack.pop(t as usize) {
+                            got.push(v);
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<u32> = Vec::new();
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        while let PopOutcome::Popped(v) = stack.pop(0) {
+            all.push(v);
+        }
+        // Conservation: eliminated pairs hand the value straight from
+        // pusher to popper, so nothing is lost or duplicated.
+        assert_eq!(all.len(), (THREADS * PER_THREAD) as usize);
+        let distinct: HashSet<u32> = all.iter().copied().collect();
+        assert_eq!(distinct.len(), all.len());
+        // Every completion took exactly one rung of the ladder.
+        let paths = stack.path_stats();
+        assert_eq!(paths.total(), u64::from(THREADS * PER_THREAD) * 2 + 1);
+        // Both sides of each rendezvous count in `eliminated`.
+        assert_eq!(paths.eliminated, stack.eliminated_pairs() * 2);
     }
 
     #[test]

@@ -10,64 +10,24 @@
 //! This is an **extension** (see `DESIGN.md`): the paper mentions no
 //! elimination, but its related-work discussion of contention
 //! management motivates including one strong lock-free baseline.
+//!
+//! The rendezvous machinery itself — the tagged slot state machine,
+//! its exclusive cell windows and its panic-safe retract — lives in
+//! [`cso_memory::exchange`], shared with the contention-sensitive
+//! escalation ladder; this file only combines it with a Treiber stack.
 
-use std::cell::{RefCell, UnsafeCell};
 use std::mem::ManuallyDrop;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 
 use cso_core::ProgressCondition;
-use cso_memory::backoff::XorShift64;
 use cso_memory::epoch::{self, Atomic, Owned};
-
-// Exchange-slot states (low 32 bits of the packed word; high 32 = tag).
-const EMPTY: u32 = 0;
-/// A pusher owns the cell and is writing its item.
-const CLAIMED: u32 = 1;
-/// An item is parked and available to a popper.
-const WAITING: u32 = 2;
-/// A popper owns the cell and is taking the item.
-const BUSY: u32 = 3;
-/// The pusher timed out and is reclaiming its item.
-const RETRACT: u32 = 4;
-
-fn pack(tag: u32, state: u32) -> u64 {
-    (u64::from(tag) << 32) | u64::from(state)
-}
-
-fn unpack(word: u64) -> (u32, u32) {
-    ((word >> 32) as u32, word as u32)
-}
-
-struct ExchangeSlot<T> {
-    state: AtomicU64,
-    item: UnsafeCell<Option<T>>,
-}
-
-// SAFETY: the slot's state machine grants exclusive access to `item`
-// to exactly one thread at a time (see the window analysis on
-// `try_eliminate_push` / `try_eliminate_pop`), and items move across
-// threads, hence `T: Send`.
-unsafe impl<T: Send> Send for ExchangeSlot<T> {}
-unsafe impl<T: Send> Sync for ExchangeSlot<T> {}
-
-impl<T> ExchangeSlot<T> {
-    fn new() -> ExchangeSlot<T> {
-        ExchangeSlot {
-            state: AtomicU64::new(pack(0, EMPTY)),
-            item: UnsafeCell::new(None),
-        }
-    }
-}
-
-thread_local! {
-    static RNG: RefCell<XorShift64> = RefCell::new(XorShift64::from_entropy());
-}
+use cso_memory::exchange::Exchanger;
 
 /// A lock-free stack with an elimination back-off array.
 ///
 /// Push and pop first attempt one CAS on the Treiber head; on failure
-/// (i.e. under contention) they visit a random slot of the elimination
-/// array, where a concurrent push/pop pair can exchange the value and
+/// (i.e. under contention) they visit the elimination [`Exchanger`],
+/// where a concurrent push/pop pair can exchange the value and
 /// complete without ever modifying the stack.
 ///
 /// ```
@@ -80,8 +40,7 @@ thread_local! {
 /// ```
 pub struct EliminationStack<T> {
     head: Atomic<Node<T>>,
-    slots: Box<[ExchangeSlot<T>]>,
-    eliminated: AtomicU64,
+    exchanger: Exchanger<T>,
 }
 
 struct Node<T> {
@@ -100,11 +59,9 @@ impl<T: Send> EliminationStack<T> {
     /// Panics if `slots == 0`.
     #[must_use]
     pub fn new(slots: usize) -> EliminationStack<T> {
-        assert!(slots > 0, "the elimination array needs at least one slot");
         EliminationStack {
             head: Atomic::null(),
-            slots: (0..slots).map(|_| ExchangeSlot::new()).collect(),
-            eliminated: AtomicU64::new(0),
+            exchanger: Exchanger::new(slots),
         }
     }
 
@@ -114,7 +71,7 @@ impl<T: Send> EliminationStack<T> {
     /// Number of operation *pairs* completed via elimination.
     #[must_use]
     pub fn eliminated_pairs(&self) -> u64 {
-        self.eliminated.load(Ordering::Relaxed)
+        self.exchanger.exchanges()
     }
 
     /// Pushes `value` (unbounded; always succeeds).
@@ -125,11 +82,8 @@ impl<T: Send> EliminationStack<T> {
                 Err(v) => value = v,
             }
             // Head contention: try to meet a popper instead.
-            match self.try_eliminate_push(value) {
-                Ok(()) => {
-                    self.eliminated.fetch_add(1, Ordering::Relaxed);
-                    return;
-                }
+            match self.exchanger.offer(value, Self::PARK_POLLS) {
+                Ok(()) => return,
                 Err(v) => value = v,
             }
         }
@@ -142,7 +96,7 @@ impl<T: Send> EliminationStack<T> {
             if let Ok(result) = self.try_pop() {
                 return result;
             }
-            if let Some(value) = self.try_eliminate_pop() {
+            if let Some(value) = self.exchanger.take() {
                 return Some(value);
             }
         }
@@ -194,95 +148,6 @@ impl<T: Send> EliminationStack<T> {
         }
     }
 
-    /// Parks `value` in a random slot hoping a popper takes it.
-    ///
-    /// Cell-access windows (exclusive by the state machine):
-    /// pusher owns the cell from the `EMPTY→CLAIMED` CAS to the
-    /// `WAITING` store, and again from a successful `WAITING→RETRACT`
-    /// CAS to the `EMPTY` store; a popper owns it from a successful
-    /// `WAITING→BUSY` CAS to its `EMPTY` store. A new claim is only
-    /// possible after an `EMPTY` store with a bumped tag.
-    fn try_eliminate_push(&self, value: T) -> Result<(), T> {
-        let slot = self.random_slot();
-        let word = slot.state.load(Ordering::Acquire);
-        let (tag, state) = unpack(word);
-        if state != EMPTY
-            || slot
-                .state
-                .compare_exchange(
-                    word,
-                    pack(tag, CLAIMED),
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                )
-                .is_err()
-        {
-            return Err(value);
-        }
-        // We own the cell: park the item.
-        // SAFETY: exclusive window (CLAIMED).
-        unsafe { *slot.item.get() = Some(value) };
-        slot.state.store(pack(tag, WAITING), Ordering::Release);
-
-        for _ in 0..Self::PARK_POLLS {
-            let (now_tag, now_state) = unpack(slot.state.load(Ordering::Acquire));
-            if now_tag != tag || now_state == BUSY {
-                // A popper moved us to BUSY (and possibly already
-                // recycled the slot): the item is theirs.
-                return Ok(());
-            }
-            std::hint::spin_loop();
-        }
-        // Timed out: retract if no popper has committed.
-        if slot
-            .state
-            .compare_exchange(
-                pack(tag, WAITING),
-                pack(tag, RETRACT),
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            )
-            .is_ok()
-        {
-            // SAFETY: exclusive window (RETRACT).
-            let value = unsafe { (*slot.item.get()).take() }.expect("parked item present");
-            slot.state
-                .store(pack(tag.wrapping_add(1), EMPTY), Ordering::Release);
-            Err(value)
-        } else {
-            // The CAS lost: a popper got there first — exchanged.
-            Ok(())
-        }
-    }
-
-    /// Visits a random slot hoping to find a parked pusher.
-    fn try_eliminate_pop(&self) -> Option<T> {
-        let slot = self.random_slot();
-        let word = slot.state.load(Ordering::Acquire);
-        let (tag, state) = unpack(word);
-        if state != WAITING {
-            return None;
-        }
-        if slot
-            .state
-            .compare_exchange(word, pack(tag, BUSY), Ordering::AcqRel, Ordering::Acquire)
-            .is_err()
-        {
-            return None;
-        }
-        // SAFETY: exclusive window (BUSY).
-        let value = unsafe { (*slot.item.get()).take() }.expect("parked item present");
-        slot.state
-            .store(pack(tag.wrapping_add(1), EMPTY), Ordering::Release);
-        // The pair is counted on the push side.
-        Some(value)
-    }
-
-    fn random_slot(&self) -> &ExchangeSlot<T> {
-        let idx = RNG.with(|rng| rng.borrow_mut().next_below(self.slots.len() as u64)) as usize;
-        &self.slots[idx]
-    }
-
     /// Racy emptiness snapshot of the backing stack (parked items in
     /// the elimination array are in flight, not "in" the stack).
     #[must_use]
@@ -305,15 +170,14 @@ impl<T> Drop for EliminationStack<T> {
             }
         }
         // Parked items (if a thread died mid-exchange) drop with the
-        // UnsafeCell<Option<T>> automatically.
+        // exchanger's slot cells automatically.
     }
 }
 
 impl<T> std::fmt::Debug for EliminationStack<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EliminationStack")
-            .field("slots", &self.slots.len())
-            .field("eliminated_pairs", &self.eliminated.load(Ordering::Relaxed))
+            .field("exchanger", &self.exchanger)
             .finish_non_exhaustive()
     }
 }
@@ -322,6 +186,7 @@ impl<T> std::fmt::Debug for EliminationStack<T> {
 mod tests {
     use super::*;
     use std::collections::HashSet;
+    use std::sync::atomic::Ordering;
     use std::sync::Arc;
 
     #[test]

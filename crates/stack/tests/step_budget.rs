@@ -100,6 +100,61 @@ fn combining_config_keeps_theorem_one_exact() {
     assert_eq!(cs.combining_stats().batches, 0);
 }
 
+/// Theorem 1 must survive the escalation ladder too: with the
+/// contention-management and elimination rungs *armed* (the `LADDER`
+/// config), a contention-free strong operation still performs exactly
+/// six counted shared-memory accesses — the ladder only runs after a
+/// weak-op abort, which never happens solo, and its own machinery
+/// (backoff state, exchanger slots) lives in uncounted memory.
+#[test]
+fn ladder_config_keeps_theorem_one_exact() {
+    let cs: CsStack<u32> = CsStack::with_config(1024, TasLock::new(), 4, CsConfig::LADDER);
+    cs.push(0, 0);
+    cs.pop(0);
+
+    let auditor = StepAuditor::strict(STRONG_BUDGET);
+    for i in 0..10_000u32 {
+        assert_eq!(auditor.audit(|| cs.push(0, i)), PushOutcome::Pushed);
+        assert_eq!(auditor.audit(|| cs.pop(0)), PopOutcome::Popped(i));
+    }
+
+    let report = auditor.report();
+    assert_eq!(report.checked, 20_000);
+    assert!(report.clean());
+    assert_eq!(report.worst, STRONG_BUDGET, "Theorem 1 is still tight");
+    assert_eq!(cs.path_stats().locked, 0, "solo ops never take the lock");
+    assert_eq!(cs.path_stats().eliminated, 0, "solo ops never rendezvous");
+    assert_eq!(cs.eliminated_pairs(), 0);
+}
+
+/// A vetoed operation that the ladder rescues stays cheap: one aborted
+/// weak attempt plus one contention-management retry, never the lock.
+/// The retry is a full weak operation, so the whole strong op lands
+/// within `6 + 5` counted accesses.
+#[cfg(feature = "chaos")]
+#[test]
+fn ladder_rescued_ops_stay_within_one_extra_weak_attempt() {
+    use cso_memory::chaos::{self, Fault, Plan};
+
+    let cs: CsStack<u32> = CsStack::with_config(1024, TasLock::new(), 4, CsConfig::LADDER);
+    cs.push(0, 0);
+
+    let auditor = StepAuditor::strict(STRONG_BUDGET + WEAK_COST);
+    for i in 0..1_000u32 {
+        chaos::arm_plan("cs::fast", Plan::once(Fault::SpuriousAbort));
+        assert_eq!(auditor.audit(|| cs.push(0, i)), PushOutcome::Pushed);
+        cs.pop(0);
+    }
+    chaos::reset();
+
+    assert!(auditor.report().clean());
+    assert_eq!(
+        cs.path_stats().locked,
+        0,
+        "the contention-management rung must absorb every veto"
+    );
+}
+
 /// The adaptive gate's full cycle, step-counted: engaged, it diverts
 /// operations onto the combining slow path (which costs more than six
 /// counted accesses — the batch apply runs under the lock); its

@@ -26,6 +26,10 @@ use std::fmt;
 pub enum Path {
     /// Lines 01–03: the lock-free fast path.
     Fast,
+    /// The elimination middle rung of the escalation ladder: the
+    /// operation completed by rendezvous with a concurrent inverse
+    /// (never touching the object's main state or the lock).
+    Eliminated,
     /// Lines 04–13: under the (boosted) lock.
     Locked,
 }
@@ -51,6 +55,8 @@ pub enum Path {
 ///   [`Event::CombineBatch`] / [`Event::CombinedComplete`] /
 ///   [`Event::RecordPoisoned`] (the publication-record lifecycle of
 ///   the combining slow path);
+/// * elimination: [`Event::ElimAttempt`] / [`Event::EliminatedComplete`]
+///   (the escalation ladder's rendezvous middle rung);
 /// * chaos: [`Event::FailPoint`] — a fail point *fired* (see
 ///   [`crate::install_chaos_hook`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,6 +119,13 @@ pub enum Event {
     /// from this event to the same process's [`Event::LockAcquire`] is
     /// the window the bypass-bound analyzer counts other acquirers in.
     FlagRaise(u32),
+    /// An aborted weak operation entered the elimination rendezvous
+    /// (the escalation ladder's middle rung, before `CONTENTION`).
+    ElimAttempt,
+    /// The operation completed by exchanging with a concurrent inverse
+    /// operation — neither the object's main state nor the lock was
+    /// touched.
+    EliminatedComplete,
 }
 
 impl Event {
@@ -141,6 +154,8 @@ impl Event {
             Event::CombinedComplete => "combined-complete",
             Event::RecordPoisoned => "record-poisoned",
             Event::FlagRaise(_) => "flag-raise",
+            Event::ElimAttempt => "elim-attempt",
+            Event::EliminatedComplete => "eliminated-complete",
         }
     }
 
@@ -401,6 +416,8 @@ mod imp {
             Event::CombinedComplete => (18, 0),
             Event::RecordPoisoned => (19, 0),
             Event::FlagRaise(p) => (20, p),
+            Event::ElimAttempt => (21, 0),
+            Event::EliminatedComplete => (22, 0),
         }
     }
 
@@ -427,6 +444,8 @@ mod imp {
             18 => Event::CombinedComplete,
             19 => Event::RecordPoisoned,
             20 => Event::FlagRaise(arg),
+            21 => Event::ElimAttempt,
+            22 => Event::EliminatedComplete,
             _ => return None,
         })
     }
@@ -434,6 +453,7 @@ mod imp {
     pub(super) fn record(event: Event) {
         match event {
             Event::FastSuccess => LAST_PATH.with(|p| p.set(Some(Path::Fast))),
+            Event::EliminatedComplete => LAST_PATH.with(|p| p.set(Some(Path::Eliminated))),
             Event::LockedComplete | Event::CombinedComplete => {
                 LAST_PATH.with(|p| p.set(Some(Path::Locked)));
             }
@@ -532,6 +552,7 @@ pub fn record(event: Event) {
 
 /// The path taken by the calling thread's most recently **completed**
 /// strong operation: `Some(Fast)` after a fast-path success,
+/// `Some(Eliminated)` after a rendezvous completion,
 /// `Some(Locked)` after an under-lock completion, `None` initially and
 /// after a timeout or survived panic (no completion took place).
 ///
@@ -634,6 +655,8 @@ mod tests {
         assert_eq!(Event::RecordHandoff(120).value(), Some(120));
         assert_eq!(Event::CombineBatch(5).label(), "combine-batch");
         assert_eq!(Event::RecordPost.value(), None);
+        assert_eq!(Event::ElimAttempt.label(), "elim-attempt");
+        assert_eq!(Event::EliminatedComplete.label(), "eliminated-complete");
     }
 
     #[test]
@@ -716,6 +739,8 @@ mod tests {
             let _serial = serial();
             record(Event::FastSuccess);
             assert_eq!(last_path(), Some(Path::Fast));
+            record(Event::EliminatedComplete);
+            assert_eq!(last_path(), Some(Path::Eliminated));
             record(Event::LockedComplete);
             assert_eq!(last_path(), Some(Path::Locked));
             record(Event::SlowTimeout);

@@ -138,6 +138,69 @@ fn cs_queue_conserves_values_under_chaos() {
     chaos::reset();
 }
 
+/// The escalation ladder under an abort storm: weak operations abort
+/// (in the fast path, in the contention-management retries, and under
+/// the lock), exchanger claims are spuriously refused, and the lock
+/// yields — yet every value pushed once comes out exactly once, and
+/// the eliminated-path accounting stays consistent with the
+/// exchanger's pair counter.
+#[test]
+fn cs_stack_ladder_conserves_values_under_chaos() {
+    let _serial = serial();
+    chaos::reset();
+    chaos::arm_plan("stack::push", Plan::one_in(Fault::SpuriousAbort, 3));
+    chaos::arm_plan("stack::pop", Plan::one_in(Fault::SpuriousAbort, 3));
+    chaos::arm_plan("cs::fast", Plan::one_in(Fault::SpuriousAbort, 4));
+    chaos::arm_plan("exchange::claim", Plan::one_in(Fault::SpuriousAbort, 3));
+    chaos::arm_plan("tas::acquire", Plan::one_in(Fault::Yield, 2));
+
+    const WORKERS: u32 = 4;
+    const PER_THREAD: u32 = 400;
+    let stack: CsStack<u32> = CsStack::with_config(
+        4096,
+        cso::locks::TasLock::new(),
+        WORKERS as usize,
+        CsConfig::LADDER,
+    );
+    let mut all: Vec<u32> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|t| {
+                let stack = &stack;
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    for i in 0..PER_THREAD {
+                        assert_eq!(
+                            stack.push(t as usize, t * PER_THREAD + i),
+                            PushOutcome::Pushed
+                        );
+                        if let PopOutcome::Popped(v) = stack.pop(t as usize) {
+                            got.push(v);
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    while let PopOutcome::Popped(v) = stack.pop(0) {
+        all.push(v);
+    }
+    // Conservation: an eliminated pair hands the value from pusher to
+    // popper directly; with claims randomly refused and retries
+    // aborting, nothing may be lost or duplicated.
+    assert_eq!(all.len(), (WORKERS * PER_THREAD) as usize);
+    assert_eq!(all.iter().collect::<HashSet<_>>().len(), all.len());
+    let paths = stack.path_stats();
+    assert_eq!(paths.eliminated, stack.eliminated_pairs() * 2);
+    assert_eq!(paths.total(), u64::from(WORKERS * PER_THREAD) * 2 + 1);
+    assert!(chaos::fires("stack::push") > 0);
+    chaos::reset();
+}
+
 #[test]
 fn cs_queue_linearizes_under_chaos() {
     let _serial = serial();

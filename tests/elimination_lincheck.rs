@@ -1,0 +1,141 @@
+//! Linearizability of the elimination rung.
+//!
+//! An eliminated pair never touches the stack's `TOP`: the pusher's
+//! value flows straight to the popper through the exchanger, and the
+//! pair linearizes back-to-back at the taker's admission instant —
+//! which lies inside both operations' invoke/return windows (the
+//! offeror is still parked when the taker commits). These stress
+//! tests record live histories with the owner-pinned
+//! [`Recorder::begin`] handles and run them through the Wing–Gong
+//! checker, so that claim is checked against real interleavings
+//! rather than argued.
+
+use cso::core::CsConfig;
+use cso::lincheck::checker::check_linearizable;
+use cso::lincheck::recorder::Recorder;
+use cso::lincheck::specs::stack::{SpecStackOp, SpecStackResp, StackSpec};
+use cso::locks::TasLock;
+use cso::stack::{CsStack, PopOutcome, PushOutcome};
+
+const THREADS: usize = 3;
+const OPS: usize = 7;
+
+fn drive_round(stack: &CsStack<u32>, round: usize) -> Recorder<SpecStackOp, SpecStackResp> {
+    let recorder: Recorder<SpecStackOp, SpecStackResp> = Recorder::new();
+    std::thread::scope(|s| {
+        for proc in 0..THREADS {
+            let recorder = recorder.clone();
+            s.spawn(move || {
+                for i in 0..OPS {
+                    if (proc * 31 + i * 17 + round) % 2 == 0 {
+                        let v = (round * 100 + proc * OPS + i) as u32;
+                        let handle = recorder.begin(proc, SpecStackOp::Push(v));
+                        match stack.push(proc, v) {
+                            PushOutcome::Pushed => handle.finish(SpecStackResp::Pushed),
+                            PushOutcome::Full => handle.finish(SpecStackResp::Full),
+                        }
+                    } else {
+                        let handle = recorder.begin(proc, SpecStackOp::Pop);
+                        match stack.pop(proc) {
+                            PopOutcome::Popped(v) => handle.finish(SpecStackResp::Popped(v)),
+                            PopOutcome::Empty => handle.finish(SpecStackResp::Empty),
+                        }
+                    }
+                    if i % 2 == round % 2 {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+    });
+    recorder
+}
+
+/// The full ladder with the fast path *on*: mixed fast, retried,
+/// eliminated, and locked completions must all linearize together.
+#[test]
+fn ladder_stack_histories_linearize() {
+    let spec = StackSpec::new(4);
+    for round in 0..120 {
+        let stack: CsStack<u32> =
+            CsStack::with_config(4, TasLock::new(), THREADS, CsConfig::LADDER);
+        let history = drive_round(&stack, round).finish();
+        assert!(
+            check_linearizable(&spec, &history).is_linearizable(),
+            "round {round}:\n{history}"
+        );
+    }
+}
+
+/// Elimination-heavy regime: fast path off and no retry rung, so
+/// every operation goes straight to the exchanger before the lock.
+/// The histories must linearize, and — across the whole run — real
+/// rendezvous must have happened (the machinery was exercised, not
+/// just compiled).
+#[test]
+fn elimination_heavy_histories_linearize_and_rendezvous() {
+    let spec = StackSpec::new(4);
+    let config = CsConfig::PAPER.without_fast_path().with_elimination();
+    let mut total_pairs = 0u64;
+    let mut total_eliminated = 0u64;
+    for round in 0..120 {
+        let stack: CsStack<u32> = CsStack::with_config(4, TasLock::new(), THREADS, config);
+        let history = drive_round(&stack, round).finish();
+        assert!(
+            check_linearizable(&spec, &history).is_linearizable(),
+            "round {round}:\n{history}"
+        );
+        assert_eq!(stack.path_stats().fast, 0, "fast path must be off");
+        total_pairs += stack.eliminated_pairs();
+        total_eliminated += stack.path_stats().eliminated;
+    }
+    assert!(
+        total_pairs > 0,
+        "120 elimination-heavy rounds never paired an inverse couple"
+    );
+    // Both sides of every rendezvous completed on the eliminated path.
+    assert_eq!(total_eliminated, total_pairs * 2);
+}
+
+/// The `Path::Eliminated` accounting surfaces agree with each other:
+/// the per-object path statistics, the exchanger's pair counter, and
+/// the attached `cso-metrics` registry all describe the same run.
+/// (The trace/analyzer surface is checked end-to-end by the traced
+/// E13 run in CI: `cso-analyze` reconstructs the eliminated spans
+/// with full coverage.)
+#[test]
+fn eliminated_path_surfaces_agree() {
+    let registry = cso::metrics::Registry::new();
+    let config = CsConfig::PAPER.without_fast_path().with_elimination();
+    let stack: CsStack<u32> = CsStack::with_config(64, TasLock::new(), THREADS, config);
+    stack.attach_metrics(&registry, "e13");
+
+    std::thread::scope(|s| {
+        for proc in 0..THREADS {
+            let stack = &stack;
+            s.spawn(move || {
+                for i in 0..2_000u32 {
+                    if (proc as u32 + i) % 2 == 0 {
+                        stack.push(proc, i);
+                    } else {
+                        stack.pop(proc);
+                    }
+                }
+            });
+        }
+    });
+
+    let paths = stack.path_stats();
+    assert_eq!(
+        paths.eliminated,
+        stack.eliminated_pairs() * 2,
+        "path stats vs exchanger pair counter"
+    );
+    assert_eq!(
+        registry.counter("e13_ops_eliminated_total").value(),
+        paths.eliminated,
+        "metrics registry vs path stats"
+    );
+    // Paths partition completions: every op finished on exactly one.
+    assert_eq!(paths.total(), u64::from(THREADS as u32) * 2_000);
+}
