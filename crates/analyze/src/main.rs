@@ -88,6 +88,12 @@ fn print_span_report(report: &SpanReport, log: &EventLog) {
         report.malformed.len()
     );
     println!("coverage: {:.2}%", report.coverage() * 100.0);
+    if report.recovery.any() {
+        println!(
+            "recovery: {} suspicion(s) raised, {} orphaned record(s) reclaimed, {} lock succession(s)",
+            report.recovery.suspects, report.recovery.reclaimed, report.recovery.successions
+        );
+    }
     for m in report.malformed.iter().take(5) {
         println!(
             "  malformed: thread {} seq {} `{}` illegal in state `{}`",

@@ -130,6 +130,30 @@ pub struct Malformed {
     pub state: &'static str,
 }
 
+/// Crash-recovery annotations observed in the log: suspicions raised,
+/// orphaned combining records tombstoned, and lock successions (see
+/// the `cso-core` recovery subsystem). These are annotations, not span
+/// boundaries — they enrich the report without ever breaking span
+/// reconstruction, so a traced recovery run still reaches full
+/// coverage.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryCounts {
+    /// `suspect-raised` events: a process was suspected dead.
+    pub suspects: u64,
+    /// `record-reclaimed` events: an orphaned record was tombstoned.
+    pub reclaimed: u64,
+    /// `lock-succeeded` events: a waiter seized a dead holder's lock.
+    pub successions: u64,
+}
+
+impl RecoveryCounts {
+    /// Whether any recovery activity was observed at all.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.suspects + self.reclaimed + self.successions > 0
+    }
+}
+
 /// The result of replaying a whole log.
 #[derive(Debug, Default)]
 pub struct SpanReport {
@@ -141,6 +165,8 @@ pub struct SpanReport {
     pub truncated_events: usize,
     /// Protocol violations.
     pub malformed: Vec<Malformed>,
+    /// Crash-recovery activity (annotation events).
+    pub recovery: RecoveryCounts,
 }
 
 impl SpanReport {
@@ -255,6 +281,9 @@ fn is_annotation(name: &str) -> bool {
             | "lock-handoff"
             | "helping-write"
             | "record-handoff"
+            | "suspect-raised"
+            | "record-reclaimed"
+            | "lock-succeeded"
     )
 }
 
@@ -272,6 +301,12 @@ fn replay_thread<'a>(
 
     for row in rows {
         if is_annotation(&row.name) {
+            match row.name.as_str() {
+                "suspect-raised" => report.recovery.suspects += 1,
+                "record-reclaimed" => report.recovery.reclaimed += 1,
+                "lock-succeeded" => report.recovery.successions += 1,
+                _ => {}
+            }
             continue;
         }
         state = match step(state, row, report, &mut synced) {
@@ -414,6 +449,10 @@ fn step(
             _ => Err("eliminating"),
         },
         State::SlowWait(mut p) => match name {
+            // A recovering lock re-raises its flag once per backoff
+            // slice while it waits out a suspected-dead holder; the
+            // wait stays one span, timed from the first raise.
+            "flag-raise" => Ok(State::SlowWait(p)),
             "lock-acquire" => {
                 p.acquire_ns = Some(row.wall_ns);
                 Ok(State::Locked {

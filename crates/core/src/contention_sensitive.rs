@@ -17,23 +17,35 @@
 //!   alongside the path counters);
 //! * **unbounded waits** on a genuinely wedged lock are made
 //!   reportable by the deadline-bounded
-//!   [`ContentionSensitive::try_apply_for`].
+//!   [`ContentionSensitive::try_apply_for`];
+//! * **process crashes inside the critical section** — the §5 wedge
+//!   itself — are *recovered from* when [`CsConfig::recovery`] is set:
+//!   a [`Liveness`] lease suspects silent processes, waiters run the
+//!   lock-succession protocol of [`StarvationFree::lock_recovering`],
+//!   and combiners retire (tombstone) the publication records of
+//!   suspected-dead posters instead of applying them. Recovery is
+//!   budgeted ([`RecoveryPolicy::max_successions`]) and degrades
+//!   gracefully: combining → plain locking → fail-fast
+//!   [`Unrecoverable`]. All of its bookkeeping lives in plain
+//!   (uncounted) atomics, so Theorem 1's counted budgets are
+//!   untouched.
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-use cso_locks::{ProcLock, RawLock, StarvationFree};
+use cso_locks::{ProcLock, RawLock, RecoveringLock, StarvationFree, Succession};
 use cso_memory::backoff::{CasBackoff, Deadline, Spinner};
 use cso_memory::combining::{CachePadded, PubRecord, RecordState};
 use cso_memory::fail_point;
+use cso_memory::liveness::{Liveness, RecoveryPolicy};
 use cso_memory::reg::RegBool;
 use cso_metrics::{Counter, Gauge, Registry, Timer};
 use cso_trace::{probe, Event};
 
 use crate::abortable::Abortable;
-use crate::error::TimedOut;
+use crate::error::{CsError, TimedOut, Unrecoverable};
 use crate::gate::AdaptiveGate;
 use crate::progress::ProgressCondition;
 
@@ -81,6 +93,16 @@ pub struct CsConfig {
     /// exchanging through [`cso_memory::exchange`]). Objects without
     /// an inverse structure decline and fall through to the lock.
     pub elimination: bool,
+    /// Crash tolerance for the slow path (the paper's §5 caveat): when
+    /// `Some`, the object keeps a per-process [`Liveness`] lease,
+    /// acquires the slow-path lock through the succession protocol of
+    /// [`StarvationFree::lock_recovering`], and lets combiners retire
+    /// the publication records of suspected-dead posters. `None` (the
+    /// default everywhere) leaves the paper's fault model unchanged.
+    /// Recovery implies the `FLAG`/`TURN` booster on the plain lock
+    /// path (the succession protocol lives there), overriding `fair:
+    /// false`.
+    pub recovery: Option<RecoveryPolicy>,
 }
 
 impl CsConfig {
@@ -93,6 +115,7 @@ impl CsConfig {
         adaptive_gate: false,
         cas_backoff: false,
         elimination: false,
+        recovery: None,
     };
     /// Ablation (i): no `CONTENTION` guard.
     pub const NO_FLAG: CsConfig = CsConfig {
@@ -103,6 +126,7 @@ impl CsConfig {
         adaptive_gate: false,
         cas_backoff: false,
         elimination: false,
+        recovery: None,
     };
     /// Ablation (ii): no `FLAG`/`TURN` fairness.
     pub const UNFAIR: CsConfig = CsConfig {
@@ -113,6 +137,7 @@ impl CsConfig {
         adaptive_gate: false,
         cas_backoff: false,
         elimination: false,
+        recovery: None,
     };
     /// The combining upgrade: Figure 3's fast path, a flat-combining
     /// slow path, and the adaptive gate in front of the lock.
@@ -124,6 +149,7 @@ impl CsConfig {
         adaptive_gate: true,
         cas_backoff: false,
         elimination: false,
+        recovery: None,
     };
     /// The full escalation ladder (experiment E13): bare fast path,
     /// then CAS contention management, then elimination, then the
@@ -137,6 +163,7 @@ impl CsConfig {
         adaptive_gate: false,
         cas_backoff: true,
         elimination: true,
+        recovery: None,
     };
 
     /// This configuration with the flat-combining slow path enabled.
@@ -175,6 +202,14 @@ impl CsConfig {
     #[must_use]
     pub const fn with_elimination(mut self) -> CsConfig {
         self.elimination = true;
+        self
+    }
+
+    /// This configuration with crash recovery enabled under `policy`
+    /// (see [`CsConfig::recovery`]).
+    #[must_use]
+    pub const fn with_recovery(mut self, policy: RecoveryPolicy) -> CsConfig {
+        self.recovery = Some(policy);
         self
     }
 }
@@ -217,6 +252,9 @@ struct CsMetrics {
     timeouts: Counter,
     /// Poisoned publication-record handoffs (retried, not finished).
     record_poisoned: Counter,
+    /// Publication records retired (tombstoned) because their owner
+    /// was suspected dead.
+    reclaimed: Counter,
     /// Combining lock tenures.
     batches: Counter,
     /// Requests served on behalf of other processes.
@@ -231,6 +269,9 @@ struct CsMetrics {
     fast_ns: Timer,
     /// Slow-path completion latency (lock wait included).
     locked_ns: Timer,
+    /// Time-to-recover: latency of slow-path acquisitions that went
+    /// through at least one lock succession.
+    recover_ns: Timer,
 }
 
 impl CsMetrics {
@@ -323,10 +364,22 @@ pub const LOCKED_SOLO_ACCESS_BOUND: u64 = 13;
 /// non-⊥ response), split by which Figure 3 path they took, while
 /// [`FaultStats`] counts the invocations that **degraded** instead —
 /// unwound by a panic under the lock, or gave up at a deadline. Every
-/// finished invocation lands in exactly one of the four counters, so
-/// [`Telemetry::invocations`] (`fast + locked + poisoned + timeouts`)
-/// is the total number of strong invocations that have returned,
-/// normally or otherwise.
+/// finished invocation lands in exactly one of five counters, giving
+/// the closed form
+///
+/// ```text
+/// invocations = fast + eliminated + locked + poisoned + timeouts
+/// ```
+///
+/// where `locked` includes the operations a combiner executed on the
+/// invoker's behalf (attributed to the invoker; the *live-metrics*
+/// family splits them out as `combined` instead), and
+/// [`FaultStats::record_poisoned`] is deliberately absent — poisoned
+/// handoffs are retried inside a still-running invocation, not
+/// finished ones. [`Telemetry::invocations`] computes exactly this
+/// sum, and a regression test
+/// (`telemetry_invocations_match_the_documented_closed_form`) pins the
+/// identity.
 ///
 /// Prefer [`ContentionSensitive::telemetry`] over calling
 /// [`ContentionSensitive::stats`] and
@@ -392,6 +445,46 @@ impl CombiningStats {
             (self.batches + self.combined) as f64 / self.batches as f64
         }
     }
+}
+
+/// Crash-recovery activity counters, from
+/// [`ContentionSensitive::recovery_stats`] (`None` unless
+/// [`CsConfig::recovery`] is set).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Publication records retired (tombstoned) by a combiner because
+    /// their owner was suspected dead. Each one's operation was
+    /// applied **zero** times; a falsely suspected owner reclaims and
+    /// reposts.
+    pub reclaimed: u64,
+    /// Completed lock successions (custody seized from a suspected-
+    /// dead holder).
+    pub successions: u64,
+    /// Unlock attempts by displaced (falsely suspected, then
+    /// succeeded) holders that were fenced off.
+    pub fenced_unlocks: u64,
+    /// The degradation rung: `0` = normal, `1` = combining disabled
+    /// (half the succession budget spent — new arrivals take the plain
+    /// recovering lock), `2` = unrecoverable (budget exhausted; the
+    /// slow path fails fast).
+    pub degraded: u32,
+    /// True once the succession budget is exhausted (same condition as
+    /// [`ContentionSensitive::is_poisoned`]).
+    pub failed: bool,
+}
+
+/// Private crash-recovery state, present when [`CsConfig::recovery`]
+/// is set. Everything here is a plain (uncounted) atomic or an
+/// uncounted lease read: recovery must not perturb Theorem 1's counted
+/// budgets.
+struct RecoveryInner {
+    /// The per-process failure detector, shared with the lock.
+    live: Arc<Liveness>,
+    policy: RecoveryPolicy,
+    /// Publication records tombstoned on behalf of suspected corpses.
+    reclaimed: AtomicU64,
+    /// High-water degradation rung (see [`RecoveryStats::degraded`]).
+    degraded: AtomicU32,
 }
 
 /// Figure 3 of the paper, generalized to any [`Abortable`] object:
@@ -467,6 +560,8 @@ pub struct ContentionSensitive<O: Abortable, L> {
     /// was called. The `OnceLock` probe is a plain (uncounted) atomic
     /// load, so unattached objects keep Theorem 1's access budget.
     metrics: OnceLock<CsMetrics>,
+    /// Crash-recovery state, if [`CsConfig::recovery`] is set.
+    recovery: Option<RecoveryInner>,
 }
 
 /// RAII custody of the slow path's shared state (lines 07–12).
@@ -518,7 +613,9 @@ impl<O: Abortable, L: RawLock> Drop for SlowGuard<'_, O, L> {
         }
         probe!(Event::LockRelease(self.proc as u32));
         // Lines 10–12 (fair) or line 12 alone (unfair ablation).
-        if cs.config.fair {
+        // Recovery implies the booster: the recovering acquisition
+        // went through FLAG/TURN, so the release must too.
+        if cs.config.fair || cs.recovery.is_some() {
             cs.lock.unlock(self.proc);
         } else {
             cs.lock.inner().unlock();
@@ -607,7 +704,11 @@ impl<O: Abortable, L: RawLock> Drop for CombinerGuard<'_, O, L> {
             probe!(Event::ContentionClear);
         }
         probe!(Event::LockRelease(self.proc as u32));
-        cs.lock.inner().unlock();
+        // Custody-fenced release: a combiner that was falsely
+        // suspected and succeeded mid-tenure must not release the
+        // inner lock out from under its successor. Without recovery
+        // this is exactly `inner().unlock()`.
+        cs.lock.raw_unlock(self.proc);
     }
 }
 
@@ -645,10 +746,21 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
     /// Panics if `n == 0`.
     #[must_use]
     pub fn with_config(inner: O, lock: L, n: usize, config: CsConfig) -> ContentionSensitive<O, L> {
+        let lock = StarvationFree::new(lock, n);
+        let recovery = config.recovery.map(|policy| {
+            let live = Liveness::new(n);
+            lock.enable_recovery(Arc::clone(&live), policy);
+            RecoveryInner {
+                live,
+                policy,
+                reclaimed: AtomicU64::new(0),
+                degraded: AtomicU32::new(0),
+            }
+        });
         ContentionSensitive {
             inner,
             contention: RegBool::new(false),
-            lock: StarvationFree::new(lock, n),
+            lock,
             config,
             records: (0..n).map(|_| CachePadded::new(PubRecord::new())).collect(),
             gate: AdaptiveGate::new(),
@@ -662,6 +774,7 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
             combined: AtomicU64::new(0),
             max_batch: AtomicU64::new(0),
             metrics: OnceLock::new(),
+            recovery,
         }
     }
 
@@ -694,6 +807,7 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
             poisoned: registry.counter(&format!("{prefix}_slow_poisoned_total")),
             timeouts: registry.counter(&format!("{prefix}_timeouts_total")),
             record_poisoned: registry.counter(&format!("{prefix}_record_poisoned_total")),
+            reclaimed: registry.counter(&format!("{prefix}_records_reclaimed_total")),
             batches: registry.counter(&format!("{prefix}_combine_batches_total")),
             served: registry.counter(&format!("{prefix}_combine_served_total")),
             max_batch: registry.gauge(&format!("{prefix}_combine_max_batch")),
@@ -701,6 +815,7 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
             gate_abort_ewma: registry.gauge(&format!("{prefix}_gate_abort_ewma")),
             fast_ns: registry.timer(&format!("{prefix}_fast_ns")),
             locked_ns: registry.timer(&format!("{prefix}_locked_ns")),
+            recover_ns: registry.timer(&format!("{prefix}_recover_ns")),
         });
         if let Some(m) = self.metrics.get() {
             m.publish_gate(&self.gate);
@@ -717,7 +832,11 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
     ///
     /// # Panics
     ///
-    /// Panics if `proc` is not below the `n` given at construction.
+    /// Panics if `proc` is not below the `n` given at construction,
+    /// or — with [`CsConfig::recovery`] — if the operation needs the
+    /// slow path after the lock became [`Unrecoverable`] (use
+    /// [`ContentionSensitive::try_apply_for`] for a non-panicking
+    /// report of that state).
     pub fn apply(&self, proc: usize, op: &O::Op) -> O::Response {
         assert!(proc < self.lock.n(), "process id out of range");
         // Lines 01–03: the lock-free shortcut.
@@ -734,8 +853,10 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
         // pays. `Instant` is only read when metrics are attached.
         let slow_t0 = self.metrics.get().map(|_| Instant::now());
 
-        // The combining slow path replaces lines 04–13 wholesale.
-        if self.config.combining {
+        // The combining slow path replaces lines 04–13 wholesale
+        // (until repeated successions degrade it back to plain
+        // locking).
+        if self.combining_enabled() {
             let res = self.apply_combining(proc, op);
             if let (Some(m), Some(t0)) = (self.metrics.get(), slow_t0) {
                 m.locked_ns.record(t0.elapsed());
@@ -745,10 +866,8 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
 
         // Lines 04–06: acquire the (boosted) lock.
         fail_point!("cs::lock-wait");
-        if self.config.fair {
-            self.lock.lock(proc);
-        } else {
-            self.lock.inner().lock();
+        if let Err(e) = self.lock_slow(proc) {
+            panic!("{e}");
         }
         probe!(Event::LockAcquire(proc as u32));
         let mut guard = SlowGuard {
@@ -802,9 +921,11 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
     ///
     /// # Errors
     ///
-    /// Returns [`TimedOut`] if the deadline expired first. The
-    /// operation took no effect in that case: it either never acquired
-    /// the lock, or held it only across aborted weak attempts.
+    /// Returns [`CsError::TimedOut`] if the deadline expired first,
+    /// and [`CsError::Unrecoverable`] if [`CsConfig::recovery`] is set
+    /// and the lock's succession budget is exhausted. Either way the
+    /// operation took no effect: it either never acquired the lock, or
+    /// held it only across aborted weak attempts.
     ///
     /// # Panics
     ///
@@ -814,7 +935,7 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
         proc: usize,
         op: &O::Op,
         timeout: Duration,
-    ) -> Result<O::Response, TimedOut> {
+    ) -> Result<O::Response, CsError> {
         self.try_apply_until(proc, op, Deadline::after(timeout))
     }
 
@@ -823,8 +944,9 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
     ///
     /// # Errors
     ///
-    /// Returns [`TimedOut`] if the deadline expired first; the object
-    /// is unchanged.
+    /// Returns [`CsError::TimedOut`] if the deadline expired first and
+    /// [`CsError::Unrecoverable`] if the crash-succession budget is
+    /// exhausted; the object is unchanged either way.
     ///
     /// # Panics
     ///
@@ -834,7 +956,7 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
         proc: usize,
         op: &O::Op,
         deadline: Deadline,
-    ) -> Result<O::Response, TimedOut> {
+    ) -> Result<O::Response, CsError> {
         assert!(proc < self.lock.n(), "process id out of range");
         // Lines 01–03: the shortcut costs no waiting, deadline or not.
         if let Some(res) = self.fast_path(op) {
@@ -853,7 +975,22 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
 
         // Lines 04–06, bounded.
         fail_point!("cs::lock-wait");
-        let acquired = if self.config.fair {
+        let acquired = if let Some(rcv) = &self.recovery {
+            rcv.live.announce(proc);
+            let before = self.successions();
+            let t0 = self.metrics.get().map(|_| Instant::now());
+            match self.lock.lock_recovering_until(proc, deadline) {
+                RecoveringLock::Acquired => {
+                    self.note_recovered(before, t0);
+                    true
+                }
+                RecoveringLock::TimedOut => false,
+                RecoveringLock::Poisoned => {
+                    self.note_degraded();
+                    return Err(CsError::Unrecoverable);
+                }
+            }
+        } else if self.config.fair {
             self.lock.lock_until(proc, deadline)
         } else {
             self.lock.inner().try_lock_until(deadline)
@@ -864,7 +1001,7 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
                 m.timeouts.inc();
             }
             probe!(Event::SlowTimeout);
-            return Err(TimedOut);
+            return Err(TimedOut.into());
         }
         probe!(Event::LockAcquire(proc as u32));
         let mut guard = SlowGuard {
@@ -903,11 +1040,87 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
                             m.timeouts.inc();
                         }
                         probe!(Event::SlowTimeout);
-                        return Err(TimedOut);
+                        return Err(TimedOut.into());
                     }
                 }
             }
         }
+    }
+
+    /// Whether new arrivals should take the combining slow path: the
+    /// configuration enables it *and* the degradation ladder has not
+    /// fallen back to plain locking (rung 1). In-flight posters are
+    /// unaffected — every waiter can still become its own combiner.
+    fn combining_enabled(&self) -> bool {
+        self.config.combining
+            && self
+                .recovery
+                .as_ref()
+                .map_or(true, |r| r.degraded.load(Ordering::Relaxed) == 0)
+    }
+
+    /// Lines 04–06 for the plain (non-combining) slow path: the
+    /// boosted lock, via the crash-recovering acquisition when
+    /// [`CsConfig::recovery`] is set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Unrecoverable`] once the succession budget is
+    /// exhausted (nothing is held; the operation had no effect).
+    fn lock_slow(&self, proc: usize) -> Result<(), Unrecoverable> {
+        let Some(rcv) = &self.recovery else {
+            if self.config.fair {
+                self.lock.lock(proc);
+            } else {
+                self.lock.inner().lock();
+            }
+            return Ok(());
+        };
+        rcv.live.announce(proc);
+        let before = self.successions();
+        let t0 = self.metrics.get().map(|_| Instant::now());
+        if !self.lock.lock_recovering(proc) {
+            self.note_degraded();
+            return Err(Unrecoverable);
+        }
+        self.note_recovered(before, t0);
+        Ok(())
+    }
+
+    /// Completed lock successions so far (0 when recovery is off).
+    fn successions(&self) -> u64 {
+        self.lock.recovery_stats().map_or(0, |s| s.successions)
+    }
+
+    /// After a recovering acquisition: if it went through a
+    /// succession, record the time-to-recover, and refresh the
+    /// degradation rung either way.
+    fn note_recovered(&self, successions_before: u64, t0: Option<Instant>) {
+        if self.successions() > successions_before {
+            if let (Some(m), Some(t0)) = (self.metrics.get(), t0) {
+                m.recover_ns.record(t0.elapsed());
+            }
+        }
+        self.note_degraded();
+    }
+
+    /// Folds the lock's recovery state into the degradation high-water
+    /// mark: rung 1 (combining disabled) once half the succession
+    /// budget is spent, rung 2 (unrecoverable) once the lock poisons
+    /// itself. Monotone — a rung is never un-climbed, so the ladder
+    /// cannot flap.
+    fn note_degraded(&self) {
+        let Some(rcv) = &self.recovery else {
+            return;
+        };
+        let rung = if self.lock.is_poisoned() {
+            2
+        } else {
+            u32::from(
+                self.successions() >= u64::from(rcv.policy.max_successions.div_ceil(2).max(1)),
+            )
+        };
+        rcv.degraded.fetch_max(rung, Ordering::Relaxed);
     }
 
     /// Lines 01–03: one `CONTENTION` read plus a weak attempt. With
@@ -1050,15 +1263,19 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
     /// served within the next full tenure — no waiter starves as long
     /// as some poster wins the (deadlock-free) lock.
     fn apply_combining(&self, proc: usize, op: &O::Op) -> O::Response {
+        if let Some(rcv) = &self.recovery {
+            rcv.live.announce(proc);
+        }
         let rec: &PubRecord<O::Op, O::Response> = &self.records[proc];
         #[cfg(feature = "trace")]
         let posted_at = std::time::Instant::now();
         // SAFETY: this frame does not return until the record reaches
         // a terminal state it consumes (retract under the lock, take
-        // after Done, reclaim after Poisoned), so `op` stays valid for
-        // any claimer.
+        // after Done, reclaim after Poisoned/Tombstone), so `op` stays
+        // valid for any claimer.
         unsafe { rec.post(op) };
         probe!(Event::RecordPost);
+        fail_point!("cs::post");
         let mut spinner = Spinner::new();
         loop {
             match rec.state() {
@@ -1090,8 +1307,23 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
                     unsafe { rec.post(op) };
                     probe!(Event::RecordPost);
                 }
+                RecordState::Tombstone => {
+                    // A combiner suspected us dead and retired the
+                    // request *unapplied*. We are alive to read this,
+                    // so the suspicion was false: refresh the lease,
+                    // reclaim, and repost — the operation has still
+                    // been applied exactly zero times.
+                    rec.reclaim_tombstone();
+                    if let Some(rcv) = &self.recovery {
+                        rcv.live.announce(proc);
+                    }
+                    // SAFETY: as for the initial post above.
+                    unsafe { rec.post(op) };
+                    probe!(Event::RecordPost);
+                }
                 _ => {
                     if self.lock.inner().try_lock() {
+                        self.lock.note_holder(proc);
                         probe!(Event::LockAcquire(proc as u32));
                         if rec.try_retract() {
                             return self.combine(proc, op);
@@ -1100,11 +1332,56 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
                         // terminal state just before we acquired;
                         // release and collect it on the next poll.
                         probe!(Event::LockRelease(proc as u32));
-                        self.lock.inner().unlock();
+                        self.lock.raw_unlock(proc);
+                    } else if let Some(rcv) = &self.recovery {
+                        rcv.live.beat(proc);
+                        // The lock is held: maybe by a live combiner
+                        // about to serve us, maybe by a corpse. Try to
+                        // seize custody of a suspected-dead holder's
+                        // tenure (no-op before the grace period).
+                        if self.lock.try_succeed_raw(proc) == Succession::Acquired {
+                            self.note_degraded();
+                            probe!(Event::LockAcquire(proc as u32));
+                            // The corpse's in-flight claims will never
+                            // complete; poison them so their (live)
+                            // owners reclaim and repost. Our own
+                            // record may be among them, in which case
+                            // the retract below fails and the Poisoned
+                            // arm of this loop reposts it.
+                            self.poison_orphan_claims();
+                            if rec.try_retract() {
+                                return self.combine(proc, op);
+                            }
+                            probe!(Event::LockRelease(proc as u32));
+                            self.lock.raw_unlock(proc);
+                        } else {
+                            spinner.spin();
+                        }
                     } else {
                         spinner.spin();
                     }
                 }
+            }
+        }
+    }
+
+    /// Called with the inner lock freshly *seized* from a suspected-
+    /// dead combiner: every record still `Claimed` — the seizer's own
+    /// included — was in flight under the corpse (claims happen only
+    /// under the lock we now hold) and will never complete. Poison
+    /// them so their owners reclaim and repost.
+    ///
+    /// Exactly-once caveat: if the corpse crashed *between* applying a
+    /// claimed operation and writing `complete`, the owner's retry
+    /// applies it twice. That two-instruction handoff window is the
+    /// residual hazard of crash recovery without write-ahead intent
+    /// logging; the chaos fail points sit before the apply, so every
+    /// instrumented kill stays exactly-once (see DESIGN.md).
+    fn poison_orphan_claims(&self) {
+        for r in &self.records {
+            if r.state() == RecordState::Claimed {
+                r.poison();
+                probe!(Event::RecordPoisoned);
             }
         }
     }
@@ -1168,6 +1445,27 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
             for (i, rec) in self.records.iter().enumerate() {
                 if i == guard.proc {
                     continue;
+                }
+                if let Some(rcv) = &self.recovery {
+                    // Orphan reclamation: a request whose poster is
+                    // suspected dead is retired *unapplied* — nobody
+                    // will collect its response. The POSTED→TOMBSTONE
+                    // CAS makes this exactly-once: the record is
+                    // either claimed (applied once) or tombstoned
+                    // (applied zero times), never both; a falsely
+                    // suspected poster reclaims and reposts.
+                    if rec.state() == RecordState::Posted
+                        && rcv.live.suspect(i, rcv.policy.grace)
+                        && rec.try_tombstone_posted()
+                    {
+                        rcv.reclaimed.fetch_add(1, Ordering::Relaxed);
+                        if let Some(m) = self.metrics.get() {
+                            m.reclaimed.inc();
+                        }
+                        probe!(Event::SuspectRaised(i as u32));
+                        probe!(Event::RecordReclaimed(i as u32));
+                        continue;
+                    }
                 }
                 if let Some(ptr) = rec.try_claim() {
                     guard.claimed.push(i);
@@ -1245,6 +1543,43 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
             paths: self.stats(),
             faults: self.fault_stats(),
         }
+    }
+
+    /// Whether the slow path has permanently failed: the crash-
+    /// succession budget is exhausted, [`ContentionSensitive::apply`]
+    /// panics when diverted off the fast path and
+    /// [`ContentionSensitive::try_apply_for`] reports
+    /// [`CsError::Unrecoverable`]. Always `false` without
+    /// [`CsConfig::recovery`]. The *fast* path keeps completing
+    /// operations either way — only the lock is lost.
+    #[must_use]
+    pub fn is_poisoned(&self) -> bool {
+        self.lock.is_poisoned()
+    }
+
+    /// Snapshot of the crash-recovery counters; `None` unless
+    /// [`CsConfig::recovery`] is set.
+    #[must_use]
+    pub fn recovery_stats(&self) -> Option<RecoveryStats> {
+        let rcv = self.recovery.as_ref()?;
+        self.note_degraded();
+        let sf = self.lock.recovery_stats()?;
+        Some(RecoveryStats {
+            reclaimed: rcv.reclaimed.load(Ordering::Relaxed),
+            successions: sf.successions,
+            fenced_unlocks: sf.fenced_unlocks,
+            degraded: rcv.degraded.load(Ordering::Relaxed),
+            failed: sf.failed,
+        })
+    }
+
+    /// The per-process failure detector backing crash recovery;
+    /// `None` unless [`CsConfig::recovery`] is set. Chaos harnesses
+    /// use it to declare a stalled process dead
+    /// ([`Liveness::mark_dead`]) without waiting out the grace period.
+    #[must_use]
+    pub fn liveness(&self) -> Option<&Arc<Liveness>> {
+        self.recovery.as_ref().map(|r| &r.live)
     }
 
     /// Resets the path and fault statistics to zero.
@@ -1420,6 +1755,217 @@ mod tests {
         };
         assert_eq!(t.invocations(), 10);
         assert!((t.degraded_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn telemetry_invocations_match_the_documented_closed_form() {
+        // The documented identity: invocations = fast + eliminated +
+        // locked + poisoned + timeouts, with `record_poisoned`
+        // excluded (retried handoffs, not finished invocations) and
+        // combined completions already inside `locked`.
+        let t = Telemetry {
+            paths: PathStats {
+                fast: 3,
+                eliminated: 2,
+                locked: 5,
+            },
+            faults: FaultStats {
+                poisoned: 1,
+                timeouts: 4,
+                record_poisoned: 99,
+            },
+        };
+        assert_eq!(t.invocations(), 3 + 2 + 5 + 1 + 4);
+        assert_eq!(
+            t.invocations(),
+            t.paths.fast
+                + t.paths.eliminated
+                + t.paths.locked
+                + t.faults.poisoned
+                + t.faults.timeouts
+        );
+    }
+
+    #[test]
+    fn with_recovery_builder_sets_the_policy() {
+        assert_eq!(CsConfig::PAPER.recovery, None);
+        assert_eq!(CsConfig::COMBINING.recovery, None);
+        assert_eq!(CsConfig::LADDER.recovery, None);
+        let cfg = CsConfig::PAPER.with_recovery(RecoveryPolicy::DEFAULT);
+        assert_eq!(cfg.recovery, Some(RecoveryPolicy::DEFAULT));
+        // Everything else is untouched.
+        assert_eq!(
+            CsConfig {
+                recovery: None,
+                ..cfg
+            },
+            CsConfig::PAPER
+        );
+    }
+
+    #[test]
+    fn recovery_accessors_are_inert_when_disabled() {
+        let cs = make(0, CsConfig::PAPER);
+        assert!(cs.recovery_stats().is_none());
+        assert!(cs.liveness().is_none());
+        assert!(!cs.is_poisoned());
+    }
+
+    /// Parks its first `try_apply` caller forever — a deterministic
+    /// stand-in for a process that crashes inside the critical
+    /// section. The parked thread is never unparked or joined; it
+    /// plays the corpse for the rest of the test.
+    struct ParkFirst {
+        armed: std::sync::atomic::AtomicBool,
+        parked: Arc<std::sync::atomic::AtomicBool>,
+        inner: ScriptedObject,
+    }
+
+    impl Abortable for ParkFirst {
+        type Op = Bump;
+        type Response = u64;
+
+        fn try_apply(&self, op: &Bump) -> Result<u64, crate::error::Aborted> {
+            if self.armed.swap(false, Ordering::SeqCst) {
+                self.parked.store(true, Ordering::SeqCst);
+                loop {
+                    std::thread::park();
+                }
+            }
+            self.inner.try_apply(op)
+        }
+    }
+
+    /// A recovery policy for tests: only an explicit `mark_dead`
+    /// raises suspicion (huge grace) and waits retry quickly.
+    fn recovery_policy() -> RecoveryPolicy {
+        RecoveryPolicy {
+            grace: Duration::from_secs(3600),
+            max_successions: 4,
+            backoff: Duration::from_millis(1),
+        }
+    }
+
+    fn park_first(
+        parked: &Arc<std::sync::atomic::AtomicBool>,
+        config: CsConfig,
+    ) -> Arc<ContentionSensitive<ParkFirst, TasLock>> {
+        let obj = ParkFirst {
+            armed: std::sync::atomic::AtomicBool::new(true),
+            parked: Arc::clone(parked),
+            inner: ScriptedObject::with_aborts(0),
+        };
+        Arc::new(ContentionSensitive::with_config(
+            obj,
+            TasLock::new(),
+            4,
+            config,
+        ))
+    }
+
+    #[test]
+    fn slow_path_survives_a_holder_that_dies_under_the_lock() {
+        let parked = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let cs = park_first(
+            &parked,
+            CsConfig::PAPER
+                .without_fast_path()
+                .with_recovery(recovery_policy()),
+        );
+        let _corpse = {
+            let cs = Arc::clone(&cs);
+            std::thread::spawn(move || cs.apply(0, &Bump(100)))
+        };
+        while !parked.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        cs.liveness().expect("recovery enabled").mark_dead(0);
+
+        // The survivor's operation completes via lock succession; the
+        // corpse's operation was never applied.
+        assert_eq!(cs.apply(1, &Bump(2)), 2);
+        let stats = cs.recovery_stats().unwrap();
+        assert_eq!(stats.successions, 1);
+        assert_eq!(stats.fenced_unlocks, 0);
+        assert_eq!(stats.degraded, 0, "half the budget is not yet spent");
+        assert!(!stats.failed);
+        assert!(!cs.is_poisoned());
+        // And the object keeps working normally afterwards.
+        assert_eq!(cs.apply(2, &Bump(3)), 5);
+    }
+
+    #[test]
+    fn exhausted_succession_budget_poisons_the_slow_path() {
+        let parked = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut policy = recovery_policy();
+        policy.max_successions = 0;
+        let cs = park_first(
+            &parked,
+            CsConfig::PAPER.without_fast_path().with_recovery(policy),
+        );
+        let _corpse = {
+            let cs = Arc::clone(&cs);
+            std::thread::spawn(move || cs.apply(0, &Bump(100)))
+        };
+        while !parked.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        cs.liveness().unwrap().mark_dead(0);
+
+        // A zero budget means the very first needed succession fails
+        // fast — a distinct failure mode from a timeout.
+        assert_eq!(
+            cs.try_apply_for(1, &Bump(2), Duration::from_secs(5)),
+            Err(CsError::Unrecoverable)
+        );
+        assert!(cs.is_poisoned());
+        let stats = cs.recovery_stats().unwrap();
+        assert!(stats.failed);
+        assert_eq!(stats.degraded, 2);
+        assert_eq!(stats.successions, 0);
+        assert_eq!(cs.fault_stats().timeouts, 0);
+
+        // The infallible entry point fails fast too, by panicking.
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cs.apply(2, &Bump(1))))
+            .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("unrecoverable"), "{msg}");
+    }
+
+    #[test]
+    fn combining_seizes_a_dead_combiners_tenure_and_degrades() {
+        let parked = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut policy = recovery_policy();
+        policy.max_successions = 2; // rung 1 after ceil(2/2) = 1
+        let cs = park_first(
+            &parked,
+            CsConfig::COMBINING
+                .without_fast_path()
+                .with_recovery(policy),
+        );
+        // The corpse becomes a combiner (retracts its own record,
+        // takes the inner lock) and parks applying its own operation.
+        let _corpse = {
+            let cs = Arc::clone(&cs);
+            std::thread::spawn(move || cs.apply(0, &Bump(100)))
+        };
+        while !parked.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        cs.liveness().unwrap().mark_dead(0);
+
+        // The survivor seizes the dead combiner's tenure raw (no
+        // FLAG), combines, and completes.
+        assert_eq!(cs.apply(1, &Bump(2)), 2);
+        let stats = cs.recovery_stats().unwrap();
+        assert_eq!(stats.successions, 1);
+        assert_eq!(stats.degraded, 1, "combining disabled at half the budget");
+
+        // Degraded arrivals fall back to the plain recovering lock —
+        // and still complete.
+        assert_eq!(cs.apply(2, &Bump(3)), 5);
+        assert!(!cs.is_poisoned());
+        assert_eq!(cs.fault_stats(), FaultStats::default());
     }
 
     #[test]

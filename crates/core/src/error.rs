@@ -58,6 +58,71 @@ impl fmt::Display for TimedOut {
 
 impl Error for TimedOut {}
 
+/// The slow path is permanently broken: the crash-recovery succession
+/// budget ([`RecoveryPolicy::max_successions`]) was exhausted, so the
+/// object fails fast instead of masking a correlated failure forever.
+/// The failed operation had no effect; every subsequent deadline-bound
+/// slow-path operation on the same object fails the same way.
+///
+/// [`RecoveryPolicy::max_successions`]: cso_memory::liveness::RecoveryPolicy
+///
+/// ```
+/// use cso_core::Unrecoverable;
+/// assert_eq!(
+///     Unrecoverable.to_string(),
+///     "slow path unrecoverable: crash-succession budget exhausted; no effect",
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Unrecoverable;
+
+impl fmt::Display for Unrecoverable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("slow path unrecoverable: crash-succession budget exhausted; no effect")
+    }
+}
+
+impl Error for Unrecoverable {}
+
+/// The failure modes of a deadline-bounded strong operation
+/// ([`ContentionSensitive::try_apply_for`]): either the deadline
+/// expired ([`TimedOut`], transient — retry later) or the object
+/// degraded past recovery ([`Unrecoverable`], permanent). Either way
+/// the operation had **no effect**.
+///
+/// [`ContentionSensitive::try_apply_for`]: crate::ContentionSensitive::try_apply_for
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CsError {
+    /// The deadline expired before the operation completed.
+    TimedOut,
+    /// The crash-succession budget is exhausted; the slow path is
+    /// permanently closed.
+    Unrecoverable,
+}
+
+impl fmt::Display for CsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsError::TimedOut => TimedOut.fmt(f),
+            CsError::Unrecoverable => Unrecoverable.fmt(f),
+        }
+    }
+}
+
+impl Error for CsError {}
+
+impl From<TimedOut> for CsError {
+    fn from(_: TimedOut) -> CsError {
+        CsError::TimedOut
+    }
+}
+
+impl From<Unrecoverable> for CsError {
+    fn from(_: Unrecoverable) -> CsError {
+        CsError::Unrecoverable
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,6 +131,19 @@ mod tests {
     fn is_a_well_behaved_error() {
         fn assert_error<E: Error + Send + Sync + 'static>() {}
         assert_error::<Aborted>();
+        assert_error::<Unrecoverable>();
+        assert_error::<CsError>();
         assert!(Aborted.to_string().contains("aborted"));
+    }
+
+    #[test]
+    fn cs_error_wraps_both_failure_modes() {
+        assert_eq!(CsError::from(TimedOut), CsError::TimedOut);
+        assert_eq!(CsError::from(Unrecoverable), CsError::Unrecoverable);
+        assert_eq!(CsError::TimedOut.to_string(), TimedOut.to_string());
+        assert_eq!(
+            CsError::Unrecoverable.to_string(),
+            Unrecoverable.to_string()
+        );
     }
 }

@@ -67,10 +67,11 @@ pub mod progress;
 
 pub use abortable::{Abortable, BatchCounters, BatchStats};
 pub use contention_sensitive::{
-    CombiningStats, ContentionSensitive, CsConfig, FaultStats, PathStats, Telemetry,
+    CombiningStats, ContentionSensitive, CsConfig, FaultStats, PathStats, RecoveryStats, Telemetry,
     LOCKED_SOLO_ACCESS_BOUND,
 };
-pub use error::{Aborted, TimedOut};
+pub use cso_memory::liveness::{Liveness, RecoveryPolicy};
+pub use error::{Aborted, CsError, TimedOut, Unrecoverable};
 pub use gate::{AdaptiveGate, GateStats};
 pub use manager::{ContentionManager, ExpBackoff, NoBackoff, SpinBackoff, YieldBackoff};
 pub use nonblocking::NonBlocking;

@@ -12,7 +12,7 @@ use std::thread;
 use std::time::Duration;
 
 use common::{Add, FlakyCounter};
-use cso_core::{ContentionSensitive, TimedOut};
+use cso_core::{ContentionSensitive, CsConfig, CsError, RecoveryPolicy};
 use cso_locks::TasLock;
 use cso_memory::chaos::{self, Fault, Plan};
 
@@ -75,7 +75,7 @@ fn injected_panic_in_locked_slow_path_leaves_object_usable() {
 
 /// Acceptance test 2: a lock holder stalled forever (the §5 crash the
 /// algorithm cannot survive) wedges unbounded `apply` — but
-/// `try_apply_for` reports [`TimedOut`] instead of hanging.
+/// `try_apply_for` reports [`CsError::TimedOut`] instead of hanging.
 #[test]
 fn try_apply_for_times_out_when_holder_stalls_forever() {
     let _serial = serial();
@@ -94,7 +94,7 @@ fn try_apply_for_times_out_when_holder_stalls_forever() {
 
     // The holder is parked with the lock held and CONTENTION raised.
     let res = cs.try_apply_for(1, &Add(2), Duration::from_millis(50));
-    assert_eq!(res, Err(TimedOut));
+    assert_eq!(res, Err(CsError::TimedOut));
     assert_eq!(cs.fault_stats().timeouts, 1);
     assert_eq!(cs.inner().value(), 0);
 
@@ -159,6 +159,57 @@ fn delay_and_yield_faults_preserve_correctness_under_load() {
     assert_eq!(cs.stats().total(), THREADS as u64 * OPS);
     assert_eq!(cs.fault_stats().poisoned, 0);
     chaos::reset();
+}
+
+/// Crash recovery for the combining slow path: a poster that dies
+/// right after publishing its record must not be waited on forever —
+/// the next combiner tombstones the orphan and completes. If the owner
+/// was only *falsely* suspected, it finds the tombstone on revival,
+/// reclaims it, reposts, and its operation still applies exactly once.
+#[test]
+fn dead_posters_record_is_tombstoned_and_reposted_on_revival() {
+    let _serial = serial();
+    chaos::reset();
+    let policy = RecoveryPolicy {
+        grace: Duration::from_secs(3600), // only an explicit mark_dead suspects
+        max_successions: 8,
+        backoff: Duration::from_millis(1),
+    };
+    let config = CsConfig::COMBINING
+        .without_fast_path()
+        .with_recovery(policy);
+    let cs = Arc::new(ContentionSensitive::with_config(
+        FlakyCounter::new(),
+        TasLock::new(),
+        2,
+        config,
+    ));
+    chaos::arm_plan("cs::post", Plan::once(Fault::StallForever));
+    let wedged = {
+        let cs = Arc::clone(&cs);
+        thread::spawn(move || cs.apply(0, &Add(100)))
+    };
+    while chaos::fires("cs::post") == 0 {
+        thread::sleep(Duration::from_millis(1));
+    }
+    cs.liveness().unwrap().mark_dead(0);
+
+    // The survivor combines past the orphaned record by retiring it.
+    assert_eq!(cs.apply(1, &Add(2)), 2);
+    let stats = cs.recovery_stats().unwrap();
+    assert_eq!(stats.reclaimed, 1);
+    assert_eq!(stats.successions, 0, "the corpse never held the lock");
+    assert!(!cs.is_poisoned());
+
+    // Exactly-once, half one: the tombstoned operation did NOT apply.
+    assert_eq!(cs.inner().value(), 2);
+
+    // Revive the falsely-suspected poster: it reclaims the tombstone,
+    // re-announces itself, reposts, and completes.
+    chaos::reset();
+    assert_eq!(wedged.join().unwrap(), 102);
+    // Exactly-once, half two: the revived operation applied once.
+    assert_eq!(cs.inner().value(), 102);
 }
 
 /// Coverage tracing proves the fail points are actually threaded

@@ -15,7 +15,7 @@ use std::thread;
 use std::time::Duration;
 
 use common::{Add, FlakyCounter};
-use cso_core::{ContentionSensitive, CsConfig, TimedOut};
+use cso_core::{ContentionSensitive, CsConfig, CsError};
 use cso_locks::TasLock;
 use cso_memory::backoff::Deadline;
 
@@ -80,7 +80,7 @@ fn try_apply_for_times_out_while_the_holder_is_stuck() {
     // The bounded call reports the wedge instead of hanging, with no
     // effect on the object.
     let res = cs.try_apply_for(1, &Add(2), Duration::from_millis(50));
-    assert_eq!(res, Err(TimedOut));
+    assert_eq!(res, Err(CsError::TimedOut));
     assert_eq!(cs.fault_stats().timeouts, 1);
     assert_eq!(cs.inner().value(), 0);
 
@@ -98,7 +98,7 @@ fn try_apply_for_times_out_under_the_lock_and_releases_it() {
     // retry loop can never finish.
     cs.inner().abort_next(usize::MAX);
     let res = cs.try_apply_for(0, &Add(1), Duration::from_millis(40));
-    assert_eq!(res, Err(TimedOut));
+    assert_eq!(res, Err(CsError::TimedOut));
     let faults = cs.fault_stats();
     assert_eq!(faults.timeouts, 1);
     assert_eq!(faults.poisoned, 0, "a timeout is not a poisoning");
@@ -121,7 +121,10 @@ fn zero_timeout_still_serves_the_wait_free_fast_path() {
     assert_eq!(cs.try_apply_for(0, &Add(1), Duration::ZERO), Ok(5));
     // Only an op that cannot finish inside its budget gives up.
     cs.inner().abort_next(usize::MAX);
-    assert_eq!(cs.try_apply_for(0, &Add(1), Duration::ZERO), Err(TimedOut));
+    assert_eq!(
+        cs.try_apply_for(0, &Add(1), Duration::ZERO),
+        Err(CsError::TimedOut)
+    );
     cs.inner().abort_next(0);
     assert_eq!(cs.inner().value(), 5);
 }
@@ -154,7 +157,7 @@ fn unfair_ablation_times_out_on_the_raw_lock() {
     }
     // Without FLAG/TURN the deadline applies directly to try_lock_until.
     let res = cs.try_apply_for(1, &Add(2), Duration::from_millis(30));
-    assert_eq!(res, Err(TimedOut));
+    assert_eq!(res, Err(CsError::TimedOut));
     cs.inner().gate.open();
     assert_eq!(worker.join().unwrap(), 1);
     assert_eq!(cs.apply(1, &Add(2)), 3);

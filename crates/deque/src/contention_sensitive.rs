@@ -3,7 +3,7 @@
 
 use cso_core::{
     AdaptiveGate, BatchStats, CombiningStats, ContentionSensitive, CsConfig, FaultStats, PathStats,
-    ProgressCondition,
+    ProgressCondition, RecoveryStats,
 };
 use cso_locks::{RawLock, TasLock};
 use cso_memory::bits::Bits32;
@@ -170,6 +170,30 @@ impl<V: Bits32, L: RawLock> CsDeque<V, L> {
     /// [`CsConfig::with_adaptive_gate`]).
     pub fn gate(&self) -> &AdaptiveGate {
         self.inner.gate()
+    }
+
+    /// Whether the slow path is permanently closed because the
+    /// crash-recovery succession budget ran out (see
+    /// [`ContentionSensitive::is_poisoned`]).
+    #[must_use]
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.is_poisoned()
+    }
+
+    /// Crash-recovery counters, or `None` unless built with
+    /// [`CsConfig::with_recovery`] (see
+    /// [`ContentionSensitive::recovery_stats`]).
+    #[must_use]
+    pub fn recovery_stats(&self) -> Option<RecoveryStats> {
+        self.inner.recovery_stats()
+    }
+
+    /// The liveness registry driving crash recovery, or `None` unless
+    /// built with [`CsConfig::with_recovery`] (see
+    /// [`ContentionSensitive::liveness`]).
+    #[must_use]
+    pub fn liveness(&self) -> Option<&std::sync::Arc<cso_core::Liveness>> {
+        self.inner.liveness()
     }
 
     /// Registers this deque's live metrics under `prefix` (see

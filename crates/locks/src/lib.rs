@@ -64,7 +64,7 @@ pub use mcs::McsLock;
 pub use os::OsLock;
 pub use peterson::{PetersonLock, TournamentLock};
 pub use raw::{Anonymous, ProcLock, RawLock};
-pub use starvation_free::StarvationFree;
+pub use starvation_free::{RecoveringLock, SfRecoveryStats, StarvationFree, Succession};
 pub use tas::TasLock;
 pub use ticket::TicketLock;
 pub use ttas::TtasLock;

@@ -19,17 +19,108 @@
 //! anyone (Lemma 3, case 2/3), so a flagged process is eventually the
 //! unique contender allowed past line 05 and the deadlock-free inner
 //! lock must admit it.
+//!
+//! # Crash tolerance: lock succession
+//!
+//! The argument above assumes the holder keeps taking steps. §5 of the
+//! paper concedes the price of the locked slow path: "if a process
+//! crashes while it is inside its critical section, the object is
+//! blocked forever". [`StarvationFree::enable_recovery`] attaches a
+//! [`Liveness`] lease and a [`RecoveryPolicy`]; waiters can then run
+//! [`StarvationFree::lock_recovering`], which falls back to a bounded
+//! **succession protocol** when the recorded holder is suspected dead:
+//! seize custody of the (still-locked) inner lock word with a CAS on
+//! the holder cell, clear the dead process's `FLAG`, and re-arm `TURN`
+//! past it, so the round-robin sweep — and with it Lemma 3 — resumes
+//! among the survivors. The displaced holder's `unlock` is *fenced*:
+//! it loses the custody CAS and must not touch the inner lock the
+//! successor now owns. Successions are budgeted; past
+//! `max_successions` the lock declares itself unrecoverable
+//! ([`StarvationFree::is_poisoned`]) rather than mask a correlated
+//! failure forever.
 
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use cso_memory::backoff::{Deadline, Spinner};
 use cso_memory::combining::CachePadded;
 use cso_memory::fail_point;
+use cso_memory::liveness::{Liveness, RecoveryPolicy};
 use cso_memory::reg::{RegBool, RegUsize};
 use cso_metrics::{Counter, Registry};
 use cso_trace::{probe, Event};
 
 use crate::raw::{ProcLock, RawLock};
+
+/// Sentinel for "no recorded holder" in [`RecoveryState::holder`].
+const NO_HOLDER: usize = usize::MAX;
+
+/// Crash-recovery state, attached once via
+/// [`StarvationFree::enable_recovery`]. All plain (uncounted) atomics:
+/// custody tracking must not perturb the paper's counted budgets.
+#[derive(Debug)]
+struct RecoveryState {
+    live: Arc<Liveness>,
+    policy: RecoveryPolicy,
+    /// Identity currently holding the inner lock (`NO_HOLDER` = free).
+    /// Written by the holder on acquire; surrendered by CAS — exactly
+    /// one of {holder's unlock, a successor's seizure} wins it.
+    holder: AtomicUsize,
+    /// Succession critical section: `recoverer + 1`, `0` = free. The
+    /// lease itself is breakable (a recoverer can die too).
+    recovering: AtomicUsize,
+    /// Completed successions (monotone; feeds the degradation ladder).
+    successions: AtomicU64,
+    /// Unlocks by a displaced holder that were fenced off.
+    fenced_unlocks: AtomicU64,
+    /// Set once the succession budget is exhausted: the lock is
+    /// unrecoverable and every `lock_recovering` fails fast.
+    failed: AtomicBool,
+}
+
+/// The outcome of one [`StarvationFree::try_succeed`] attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Succession {
+    /// The caller now holds the lock (inherited custody of the inner
+    /// lock word; release with [`ProcLock::unlock`]).
+    Acquired,
+    /// Nothing to succeed: the lock is free, recovery is not enabled,
+    /// or the recorded holder is not suspected dead. Keep waiting.
+    NoSuspect,
+    /// Another (live) process is running the succession protocol.
+    Busy,
+    /// The succession budget is exhausted; the lock is poisoned.
+    Exhausted,
+}
+
+/// The outcome of a deadline-bounded recovering acquisition
+/// ([`StarvationFree::lock_recovering_until`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveringLock {
+    /// The lock is held (acquired normally or by succession); release
+    /// with [`ProcLock::unlock`].
+    Acquired,
+    /// The deadline expired first. Nothing is held and the caller's
+    /// `FLAG` is lowered.
+    TimedOut,
+    /// The succession budget is exhausted; the lock is unrecoverable
+    /// (see [`StarvationFree::is_poisoned`]).
+    Poisoned,
+}
+
+/// A snapshot of recovery progress, from
+/// [`StarvationFree::recovery_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SfRecoveryStats {
+    /// Completed lock successions.
+    pub successions: u64,
+    /// Unlock attempts by displaced holders that were fenced off.
+    pub fenced_unlocks: u64,
+    /// True once the succession budget is exhausted.
+    pub failed: bool,
+    /// The recorded current holder, if any.
+    pub holder: Option<usize>,
+}
 
 /// Registry handles for an attached [`StarvationFree`] lock. All
 /// counters are plain (uncounted) atomics, so attaching metrics never
@@ -40,6 +131,8 @@ struct SfMetrics {
     acquires: Counter,
     /// Line-11 `TURN` advances (the round-robin fairness handoffs).
     turn_advances: Counter,
+    /// Completed lock successions (custody seized from a dead holder).
+    successions: Counter,
 }
 
 /// Boosts any deadlock-free [`RawLock`] into a starvation-free
@@ -74,6 +167,9 @@ pub struct StarvationFree<L> {
     turn: CachePadded<RegUsize>,
     /// Optional registry handles (see [`StarvationFree::attach_metrics`]).
     metrics: OnceLock<SfMetrics>,
+    /// Optional crash-recovery state (see
+    /// [`StarvationFree::enable_recovery`]).
+    recovery: OnceLock<RecoveryState>,
 }
 
 impl<L: RawLock> StarvationFree<L> {
@@ -92,18 +188,21 @@ impl<L: RawLock> StarvationFree<L> {
                 .collect(),
             turn: CachePadded::new(RegUsize::new(0)),
             metrics: OnceLock::new(),
+            recovery: OnceLock::new(),
         }
     }
 
     /// Registers this lock's fairness metrics into `registry` under
-    /// `<prefix>_lock_acquires_total` and
-    /// `<prefix>_turn_advances_total`. Idempotent (the first
+    /// `<prefix>_lock_acquires_total`,
+    /// `<prefix>_turn_advances_total` and
+    /// `<prefix>_lock_successions_total`. Idempotent (the first
     /// attachment wins); hot paths pay one uncounted atomic load when
     /// unattached.
     pub fn attach_metrics(&self, registry: &Registry, prefix: &str) {
         let _ = self.metrics.set(SfMetrics {
             acquires: registry.counter(&format!("{prefix}_lock_acquires_total")),
             turn_advances: registry.counter(&format!("{prefix}_turn_advances_total")),
+            successions: registry.counter(&format!("{prefix}_lock_successions_total")),
         });
     }
 
@@ -136,6 +235,7 @@ impl<L: RawLock> StarvationFree<L> {
         self.flag[proc].write(true);
         let t = self.turn.read();
         if (t == proc || !self.flag[t].read()) && self.inner.try_lock() {
+            self.note_holder(proc);
             self.count_acquire();
             true
         } else {
@@ -173,6 +273,7 @@ impl<L: RawLock> StarvationFree<L> {
                 // abortable — try_lock, so a held inner lock counts
                 // against the budget instead of blocking forever.
                 if self.inner.try_lock() {
+                    self.note_holder(proc);
                     self.count_acquire();
                     return true;
                 }
@@ -218,11 +319,315 @@ impl<L: RawLock> StarvationFree<L> {
         }
         // Line 06, deadline-bounded.
         if self.inner.try_lock_until(deadline) {
+            self.note_holder(proc);
             self.count_acquire();
             true
         } else {
             self.flag[proc].write(false);
             false
+        }
+    }
+
+    /// Attaches crash recovery: `live` supplies failure suspicion and
+    /// `policy` bounds it. Idempotent (the first attachment wins).
+    ///
+    /// Once enabled, every acquisition records its identity in an
+    /// (uncounted) holder cell, [`ProcLock::unlock`] is custody-fenced,
+    /// and waiters may run [`StarvationFree::lock_recovering`] /
+    /// [`StarvationFree::try_succeed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `live` tracks fewer identities than this lock.
+    pub fn enable_recovery(&self, live: Arc<Liveness>, policy: RecoveryPolicy) {
+        assert!(
+            live.n() >= self.flag.len(),
+            "liveness registry smaller than the lock's process range"
+        );
+        let _ = self.recovery.set(RecoveryState {
+            live,
+            policy,
+            holder: AtomicUsize::new(NO_HOLDER),
+            recovering: AtomicUsize::new(0),
+            successions: AtomicU64::new(0),
+            fenced_unlocks: AtomicU64::new(0),
+            failed: AtomicBool::new(false),
+        });
+    }
+
+    /// Records `proc` as the inner-lock holder. No-op unless recovery
+    /// is enabled. The boosted entry points do this themselves; call
+    /// it only when taking the inner lock *directly* via
+    /// [`StarvationFree::inner`] (the combining path), and pair with
+    /// [`StarvationFree::raw_unlock`].
+    #[inline]
+    pub fn note_holder(&self, proc: usize) {
+        if let Some(rec) = self.recovery.get() {
+            rec.holder.store(proc, Ordering::Release);
+        }
+    }
+
+    /// Gives up custody of the inner lock. Returns `false` — and the
+    /// caller must then leave the inner lock alone — when a successor
+    /// seized custody in the meantime: exactly one of {the holder's
+    /// surrender, a successor's seizure} wins the CAS on the holder
+    /// cell.
+    fn surrender_custody(&self, proc: usize) -> bool {
+        let Some(rec) = self.recovery.get() else {
+            return true;
+        };
+        if rec
+            .holder
+            .compare_exchange(proc, NO_HOLDER, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+        {
+            true
+        } else {
+            rec.fenced_unlocks.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// Fenced release of the **inner** lock for callers that acquired
+    /// it directly (combining path): the custody check of
+    /// [`ProcLock::unlock`] without the `FLAG`/`TURN` bookkeeping.
+    /// Returns whether the inner lock was actually released.
+    pub fn raw_unlock(&self, proc: usize) -> bool {
+        if self.surrender_custody(proc) {
+            self.inner.unlock();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True once the succession budget was exhausted and the lock
+    /// declared itself unrecoverable.
+    #[must_use]
+    pub fn is_poisoned(&self) -> bool {
+        self.recovery
+            .get()
+            .is_some_and(|r| r.failed.load(Ordering::Acquire))
+    }
+
+    /// A snapshot of recovery progress; `None` until
+    /// [`StarvationFree::enable_recovery`].
+    #[must_use]
+    pub fn recovery_stats(&self) -> Option<SfRecoveryStats> {
+        self.recovery.get().map(|r| SfRecoveryStats {
+            successions: r.successions.load(Ordering::Acquire),
+            fenced_unlocks: r.fenced_unlocks.load(Ordering::Acquire),
+            failed: r.failed.load(Ordering::Acquire),
+            holder: match r.holder.load(Ordering::Acquire) {
+                NO_HOLDER => None,
+                h => Some(h),
+            },
+        })
+    }
+
+    /// If the line-05 priority holder (`TURN`) is a suspected corpse
+    /// with its `FLAG` still up — the wedge that blocks every waiter's
+    /// wait predicate — clear its flag and re-arm `TURN` past it.
+    /// Harmless under false suspicion: a live `t` merely loses its
+    /// priority slot, never mutual exclusion (the inner lock still
+    /// arbitrates).
+    fn unwedge_turn(&self, proc: usize, rec: &RecoveryState) {
+        let t = self.turn.read();
+        if t != proc && self.flag[t].read() && rec.live.suspect(t, rec.policy.grace) {
+            probe!(Event::SuspectRaised(t as u32));
+            self.flag[t].write(false);
+            let next = (t + 1) % self.flag.len();
+            self.turn.write(next);
+            probe!(Event::TurnAdvance(next as u32));
+            if let Some(m) = self.metrics.get() {
+                m.turn_advances.inc();
+            }
+        }
+    }
+
+    /// One bounded attempt to recover the lock from a suspected-dead
+    /// holder. Safe to call at any time; it never blocks.
+    ///
+    /// The successor inherits the *still-locked* inner lock word by
+    /// winning a CAS on the holder cell (custody transfer) — the lock
+    /// is never observably unlocked in between, so no third process
+    /// can slip in. It then clears the dead holder's `FLAG` and
+    /// re-arms `TURN`, restoring the Lemma 3 round-robin sweep among
+    /// the survivors. A falsely suspected (live) holder discovers the
+    /// seizure when its fenced `unlock` loses the custody CAS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is out of range.
+    pub fn try_succeed(&self, proc: usize) -> Succession {
+        self.succeed_impl(proc, true)
+    }
+
+    /// [`StarvationFree::try_succeed`] for callers that hold (or want)
+    /// the **inner** lock directly, like the combining slow path:
+    /// custody is seized without raising `FLAG[proc]`, so the
+    /// acquisition must be released with [`StarvationFree::raw_unlock`]
+    /// rather than [`ProcLock::unlock`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is out of range.
+    pub fn try_succeed_raw(&self, proc: usize) -> Succession {
+        self.succeed_impl(proc, false)
+    }
+
+    fn succeed_impl(&self, proc: usize, boosted: bool) -> Succession {
+        assert!(proc < self.flag.len(), "process id out of range");
+        let Some(rec) = self.recovery.get() else {
+            return Succession::NoSuspect;
+        };
+        if rec.failed.load(Ordering::Acquire) {
+            return Succession::Exhausted;
+        }
+        // A free lock needs no succession — take it normally. This
+        // also covers a holder that died *after* surrendering custody:
+        // the inner lock is free even though nobody advanced TURN.
+        if boosted {
+            if self.try_lock(proc) {
+                return Succession::Acquired;
+            }
+        } else if self.inner.try_lock() {
+            self.note_holder(proc);
+            self.count_acquire();
+            return Succession::Acquired;
+        }
+        // Identify the corpse.
+        let h = rec.holder.load(Ordering::Acquire);
+        if h == NO_HOLDER || h == proc || !rec.live.suspect(h, rec.policy.grace) {
+            return Succession::NoSuspect;
+        }
+        probe!(Event::SuspectRaised(h as u32));
+        // Enter the succession critical section. The lease is itself
+        // breakable — a recoverer can die too.
+        let me = proc + 1;
+        let cur = rec.recovering.load(Ordering::Acquire);
+        if cur == me
+            || (cur != 0 && !rec.live.suspect(cur - 1, rec.policy.grace))
+            || rec
+                .recovering
+                .compare_exchange(cur, me, Ordering::AcqRel, Ordering::Relaxed)
+                .is_err()
+        {
+            return Succession::Busy;
+        }
+        let outcome = 'seize: {
+            // Re-validate under the lease: the holder may have
+            // unlocked, been succeeded, or proven alive while we raced
+            // here.
+            if rec.holder.load(Ordering::Acquire) != h || !rec.live.suspect(h, rec.policy.grace) {
+                break 'seize Succession::NoSuspect;
+            }
+            // Budget: fail fast instead of masking a correlated
+            // failure forever.
+            if rec.successions.load(Ordering::Acquire) >= u64::from(rec.policy.max_successions) {
+                rec.failed.store(true, Ordering::Release);
+                break 'seize Succession::Exhausted;
+            }
+            // Custody transfer: inherit the still-locked inner word.
+            if rec
+                .holder
+                .compare_exchange(h, proc, Ordering::AcqRel, Ordering::Relaxed)
+                .is_err()
+            {
+                break 'seize Succession::NoSuspect;
+            }
+            rec.successions.fetch_add(1, Ordering::AcqRel);
+            // The corpse is no longer competing: clear its FLAG and
+            // re-arm TURN past it (the §4.4 recovery writes).
+            self.flag[h].write(false);
+            let t = self.turn.read();
+            if t == h {
+                let next = (t + 1) % self.flag.len();
+                self.turn.write(next);
+                probe!(Event::TurnAdvance(next as u32));
+            }
+            // We are the holder now; on the boosted path, compete
+            // like one (raw callers release via `raw_unlock` and must
+            // not leave a ghost FLAG behind).
+            if boosted {
+                self.flag[proc].write(true);
+                probe!(Event::FlagRaise(proc as u32));
+            }
+            probe!(Event::LockSucceeded(proc as u32));
+            if let Some(m) = self.metrics.get() {
+                m.successions.inc();
+                m.acquires.inc();
+            }
+            Succession::Acquired
+        };
+        rec.recovering.store(0, Ordering::Release);
+        outcome
+    }
+
+    /// Blocking acquisition that survives dead peers: behaves like
+    /// [`ProcLock::lock`] while everyone is live, and runs
+    /// [`StarvationFree::try_succeed`] (plus the line-05
+    /// [`TURN` unwedge](StarvationFree::try_succeed)) whenever a
+    /// bounded wait expires. Heartbeats the caller's own lease each
+    /// round. Returns `false` only when the lock is unrecoverable
+    /// (succession budget exhausted — see
+    /// [`StarvationFree::is_poisoned`]).
+    ///
+    /// Without [`StarvationFree::enable_recovery`] this is exactly
+    /// [`ProcLock::lock`] (and always returns `true`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is out of range.
+    pub fn lock_recovering(&self, proc: usize) -> bool {
+        match self.lock_recovering_until(proc, Deadline::NEVER) {
+            RecoveringLock::Acquired => true,
+            // NEVER cannot time out; Poisoned is the only failure.
+            RecoveringLock::TimedOut | RecoveringLock::Poisoned => false,
+        }
+    }
+
+    /// Deadline-bounded [`StarvationFree::lock_recovering`]: waits in
+    /// `policy.backoff`-sized slices, running the unwedge/succession
+    /// protocol between slices, until the lock is acquired, the
+    /// deadline expires, or the lock poisons itself. Without
+    /// [`StarvationFree::enable_recovery`] this is exactly
+    /// [`StarvationFree::lock_until`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is out of range.
+    pub fn lock_recovering_until(&self, proc: usize, deadline: Deadline) -> RecoveringLock {
+        let Some(rec) = self.recovery.get() else {
+            return if self.lock_until(proc, deadline) {
+                RecoveringLock::Acquired
+            } else {
+                RecoveringLock::TimedOut
+            };
+        };
+        loop {
+            if rec.failed.load(Ordering::Acquire) {
+                return RecoveringLock::Poisoned;
+            }
+            rec.live.beat(proc);
+            let slice = match deadline.remaining() {
+                None => rec.policy.backoff,
+                Some(left) => left.min(rec.policy.backoff),
+            };
+            if self.lock_until(proc, Deadline::after(slice)) {
+                return RecoveringLock::Acquired;
+            }
+            // The bounded wait expired: unwedge a dead priority
+            // holder, then try to succeed a dead lock holder.
+            self.unwedge_turn(proc, rec);
+            match self.try_succeed(proc) {
+                Succession::Acquired => return RecoveringLock::Acquired,
+                Succession::Exhausted => return RecoveringLock::Poisoned,
+                Succession::NoSuspect | Succession::Busy => {}
+            }
+            if deadline.expired() {
+                return RecoveringLock::TimedOut;
+            }
         }
     }
 }
@@ -250,12 +655,22 @@ impl<L: RawLock> ProcLock for StarvationFree<L> {
         }
         // Line 06: go through the (merely deadlock-free) inner lock.
         self.inner.lock();
+        self.note_holder(proc);
         self.count_acquire();
     }
 
     fn unlock(&self, proc: usize) {
         assert!(proc < self.flag.len(), "process id out of range");
         fail_point!("sfree::unlock");
+        // Custody check first (recovery only): a displaced holder —
+        // falsely suspected, then succeeded — no longer owns the inner
+        // lock and must not release it out from under its successor.
+        // Exactly one of {this surrender, a successor's seizure} wins
+        // the holder cell.
+        if !self.surrender_custody(proc) {
+            self.flag[proc].write(false);
+            return;
+        }
         // Line 10: we are no longer competing.
         self.flag[proc].write(false);
         // Line 11: if the priority holder is idle, pass priority on —
@@ -389,6 +804,216 @@ mod tests {
         lock.lock(0);
         lock.unlock(0);
         assert_eq!(acquires.value(), 7);
+    }
+
+    /// A recovery policy for tests: only explicit `mark_dead` raises
+    /// suspicion (huge grace), and waits retry quickly.
+    fn test_policy() -> cso_memory::liveness::RecoveryPolicy {
+        cso_memory::liveness::RecoveryPolicy {
+            grace: std::time::Duration::from_secs(3600),
+            max_successions: 4,
+            backoff: std::time::Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn succession_seizes_a_dead_holders_lock_and_fences_its_unlock() {
+        use cso_memory::liveness::Liveness;
+        let lock = StarvationFree::new(TasLock::new(), 3);
+        let live = Liveness::new(3);
+        lock.enable_recovery(Arc::clone(&live), test_policy());
+        for p in 0..3 {
+            live.announce(p);
+        }
+
+        lock.lock(0);
+        assert_eq!(lock.try_succeed(1), Succession::NoSuspect, "live holder");
+        live.mark_dead(0);
+        assert_eq!(lock.try_succeed(1), Succession::Acquired);
+        let stats = lock.recovery_stats().expect("recovery enabled");
+        assert_eq!(stats.successions, 1);
+        assert_eq!(stats.holder, Some(1));
+        assert!(!stats.failed);
+
+        // The displaced holder's unlock is fenced off: it must not
+        // release the lock its successor now owns.
+        lock.unlock(0);
+        let stats = lock.recovery_stats().unwrap();
+        assert_eq!(stats.fenced_unlocks, 1);
+        assert_eq!(stats.holder, Some(1), "successor still holds");
+        assert!(!lock.try_lock(2), "lock is genuinely still held");
+
+        // The successor releases normally and the lock stays usable.
+        lock.unlock(1);
+        assert!(lock.try_lock(2));
+        lock.unlock(2);
+    }
+
+    #[test]
+    fn succession_budget_exhausts_and_poisons_the_lock() {
+        use cso_memory::liveness::Liveness;
+        let mut policy = test_policy();
+        policy.max_successions = 1;
+        let lock = StarvationFree::new(TasLock::new(), 3);
+        let live = Liveness::new(3);
+        lock.enable_recovery(Arc::clone(&live), policy);
+        for p in 0..3 {
+            live.announce(p);
+        }
+
+        lock.lock(0);
+        live.mark_dead(0);
+        assert_eq!(lock.try_succeed(1), Succession::Acquired);
+        assert!(!lock.is_poisoned());
+
+        // The successor dies too: the budget (1) is spent, so the next
+        // succession fails fast instead of masking a correlated
+        // failure.
+        live.mark_dead(1);
+        assert_eq!(lock.try_succeed(2), Succession::Exhausted);
+        assert!(lock.is_poisoned());
+        assert!(lock.recovery_stats().unwrap().failed);
+        assert!(!lock.lock_recovering(2), "poisoned lock fails fast");
+    }
+
+    #[test]
+    fn lock_recovering_survives_a_holder_that_dies_mid_section() {
+        use cso_memory::liveness::Liveness;
+        let lock = Arc::new(StarvationFree::new(TasLock::new(), 2));
+        let live = Liveness::new(2);
+        lock.enable_recovery(Arc::clone(&live), test_policy());
+        live.announce(0);
+        live.announce(1);
+
+        // Process 0 takes the lock and "crashes" (never unlocks).
+        lock.lock(0);
+        live.mark_dead(0);
+
+        // Process 1 must get through anyway, via succession.
+        assert!(lock.lock_recovering(1));
+        assert_eq!(lock.recovery_stats().unwrap().holder, Some(1));
+        lock.unlock(1);
+
+        // And the lock remains a working lock afterwards.
+        assert!(lock.lock_recovering(1));
+        lock.unlock(1);
+        assert_eq!(lock.recovery_stats().unwrap().successions, 1);
+    }
+
+    #[test]
+    fn lock_recovering_until_times_out_on_a_live_holder() {
+        use cso_memory::liveness::Liveness;
+        let lock = StarvationFree::new(TasLock::new(), 2);
+        let live = Liveness::new(2);
+        lock.enable_recovery(Arc::clone(&live), test_policy());
+        live.announce(0);
+        live.announce(1);
+
+        // A live holder is never succeeded: the bounded wait expires.
+        lock.lock(0);
+        assert_eq!(
+            lock.lock_recovering_until(1, Deadline::after(std::time::Duration::from_millis(5))),
+            RecoveringLock::TimedOut
+        );
+        lock.unlock(0);
+
+        // Free lock: acquired within the deadline.
+        assert_eq!(
+            lock.lock_recovering_until(1, Deadline::after(std::time::Duration::from_millis(50))),
+            RecoveringLock::Acquired
+        );
+        lock.unlock(1);
+
+        // Dead holder: succeeded within the deadline.
+        lock.lock(0);
+        live.mark_dead(0);
+        assert_eq!(
+            lock.lock_recovering_until(1, Deadline::after(std::time::Duration::from_secs(5))),
+            RecoveringLock::Acquired
+        );
+        lock.unlock(1);
+    }
+
+    #[test]
+    fn raw_unlock_pairs_with_note_holder_and_fences_seizure() {
+        use cso_memory::liveness::Liveness;
+        let lock = StarvationFree::new(TasLock::new(), 2);
+        let live = Liveness::new(2);
+        lock.enable_recovery(Arc::clone(&live), test_policy());
+        live.announce(0);
+        live.announce(1);
+
+        // The combining path takes the inner lock directly.
+        assert!(lock.inner().try_lock());
+        lock.note_holder(0);
+        assert_eq!(lock.recovery_stats().unwrap().holder, Some(0));
+        live.mark_dead(0);
+        assert_eq!(lock.try_succeed(1), Succession::Acquired);
+        assert!(!lock.raw_unlock(0), "displaced combiner is fenced");
+        lock.unlock(1);
+
+        // Un-seized raw custody round-trips cleanly.
+        live.announce(0);
+        assert!(lock.inner().try_lock());
+        lock.note_holder(0);
+        assert!(lock.raw_unlock(0));
+        assert!(lock.try_lock(1));
+        lock.unlock(1);
+    }
+
+    #[test]
+    fn raw_succession_leaves_no_ghost_flag() {
+        use cso_memory::liveness::Liveness;
+        let lock = StarvationFree::new(TasLock::new(), 2);
+        let live = Liveness::new(2);
+        lock.enable_recovery(Arc::clone(&live), test_policy());
+        live.announce(0);
+        live.announce(1);
+
+        // A direct inner-lock holder (combining tenure) dies.
+        assert!(lock.inner().try_lock());
+        lock.note_holder(0);
+        live.mark_dead(0);
+        assert_eq!(lock.try_succeed_raw(1), Succession::Acquired);
+        assert_eq!(lock.recovery_stats().unwrap().holder, Some(1));
+        assert!(lock.raw_unlock(1));
+
+        // No FLAG was raised by the raw seizure: a boosted waiter gets
+        // straight through instead of waiting on a ghost competitor.
+        assert!(lock.try_lock(0) || lock.try_lock(1));
+    }
+
+    #[test]
+    fn without_recovery_the_new_entry_points_degrade_to_plain_locking() {
+        let lock = StarvationFree::new(TasLock::new(), 2);
+        assert!(lock.lock_recovering(0));
+        assert_eq!(lock.try_succeed(1), Succession::NoSuspect);
+        lock.unlock(0);
+        assert!(!lock.is_poisoned());
+        assert!(lock.recovery_stats().is_none());
+        // The raw custody pair is a plain inner lock/unlock.
+        assert!(lock.inner().try_lock());
+        lock.note_holder(0);
+        assert!(lock.raw_unlock(0));
+    }
+
+    #[test]
+    fn succession_is_counted_by_attached_metrics() {
+        use cso_memory::liveness::Liveness;
+        let registry = cso_metrics::Registry::new();
+        let lock = StarvationFree::new(TasLock::new(), 2);
+        lock.attach_metrics(&registry, "sfr");
+        let live = Liveness::new(2);
+        lock.enable_recovery(Arc::clone(&live), test_policy());
+        live.announce(0);
+        live.announce(1);
+        lock.lock(0);
+        live.mark_dead(0);
+        assert_eq!(lock.try_succeed(1), Succession::Acquired);
+        lock.unlock(1);
+        assert_eq!(registry.counter("sfr_lock_successions_total").value(), 1);
+        // The seizure is an acquisition too.
+        assert_eq!(registry.counter("sfr_lock_acquires_total").value(), 2);
     }
 
     #[test]

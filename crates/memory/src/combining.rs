@@ -36,6 +36,17 @@
 //! from a dead one — observes a terminal state, reclaims the record,
 //! and retries cleanly. The poisoned operation was never applied.
 //!
+//! `TOMBSTONE` is the crash-*of-the-owner* story, the dual of
+//! `POISONED`: a combiner that finds a `POSTED` record whose owner is
+//! suspected dead (see [`crate::liveness`]) retires it with
+//! [`PubRecord::try_tombstone_posted`] **without applying it**, so a
+//! dead process's request can never be applied with nobody to receive
+//! the response. Tombstone-without-apply is what keeps exactly-once
+//! intact under *false* suspicion: a live owner that was merely slow
+//! observes `TOMBSTONE` (a terminal state), reclaims the record with
+//! [`PubRecord::reclaim_tombstone`], and reposts — its operation was
+//! applied zero times so far, never two.
+//!
 //! # Memory safety
 //!
 //! The record stores the operation as a raw pointer into the owner's
@@ -62,6 +73,7 @@ const POSTED: u32 = 1;
 const CLAIMED: u32 = 2;
 const DONE: u32 = 3;
 const POISONED: u32 = 4;
+const TOMBSTONE: u32 = 5;
 
 /// Pads and aligns `T` to 128 bytes so adjacent values never share a
 /// cache line (128 covers the spatial-prefetcher pairs on x86 and the
@@ -115,6 +127,10 @@ pub enum RecordState {
     /// The claiming combiner unwound before applying the request; the
     /// owner must reclaim and retry.
     Poisoned,
+    /// A combiner retired the request *unapplied* because the owner
+    /// was suspected dead. A falsely suspected owner reclaims with
+    /// [`PubRecord::reclaim_tombstone`] and reposts.
+    Tombstone,
 }
 
 /// One publication record: a single-producer mailbox through which a
@@ -157,6 +173,7 @@ impl<Op, Resp> PubRecord<Op, Resp> {
             POSTED => RecordState::Posted,
             CLAIMED => RecordState::Claimed,
             DONE => RecordState::Done,
+            TOMBSTONE => RecordState::Tombstone,
             _ => RecordState::Poisoned,
         }
     }
@@ -275,6 +292,40 @@ impl<Op, Resp> PubRecord<Op, Resp> {
         );
         self.status.store(EMPTY, Ordering::Release);
     }
+
+    /// Retires a pending request **without applying it** (combiner
+    /// side): `POSTED → TOMBSTONE`. For records whose owner is
+    /// suspected dead — the combiner must not apply an operation whose
+    /// poster may never collect the response, so the record is parked
+    /// in a terminal state instead.
+    ///
+    /// Returns `false` if the record was no longer `POSTED` (the owner
+    /// retracted, or another combiner claimed it) — suspicion raced
+    /// with life, and the loser simply walks away. The CAS makes
+    /// apply-then-tombstone impossible: a record is either claimed
+    /// (and eventually applied exactly once) or tombstoned (applied
+    /// zero times), never both.
+    pub fn try_tombstone_posted(&self) -> bool {
+        self.status
+            .compare_exchange(POSTED, TOMBSTONE, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Reclaims a tombstoned record (owner side): `TOMBSTONE → EMPTY`.
+    /// The request was **not** applied; a falsely suspected owner may
+    /// repost it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record is not `TOMBSTONE` (a protocol violation).
+    pub fn reclaim_tombstone(&self) {
+        assert_eq!(
+            self.status.load(Ordering::Acquire),
+            TOMBSTONE,
+            "reclaim on an untombstoned publication record"
+        );
+        self.status.store(EMPTY, Ordering::Release);
+    }
 }
 
 impl<Op, Resp> Default for PubRecord<Op, Resp> {
@@ -355,6 +406,54 @@ mod tests {
         let _ = rec.try_claim().expect("claimable again");
         rec.complete(90);
         assert_eq!(rec.take_response(), 90);
+    }
+
+    #[test]
+    fn tombstone_retires_a_post_without_applying_it() {
+        let rec: PubRecord<u32, u32> = PubRecord::new();
+        let op = 5u32;
+        // SAFETY: `op` outlives the protocol run below.
+        unsafe { rec.post(&op) };
+        assert!(rec.try_tombstone_posted(), "posted record tombstones");
+        assert_eq!(rec.state(), RecordState::Tombstone);
+        // Terminal for both sides: no claim, no retract.
+        assert!(rec.try_claim().is_none(), "tombstone is not claimable");
+        assert!(!rec.try_retract(), "tombstone is not retractable");
+        // A falsely suspected (live) owner reclaims and reposts.
+        rec.reclaim_tombstone();
+        assert_eq!(rec.state(), RecordState::Empty);
+        // SAFETY: as above.
+        unsafe { rec.post(&op) };
+        let _ = rec.try_claim().expect("reposted record is claimable");
+        rec.complete(50);
+        assert_eq!(rec.take_response(), 50);
+    }
+
+    #[test]
+    fn tombstone_loses_the_race_to_a_claim_or_retract() {
+        let rec: PubRecord<u32, u32> = PubRecord::new();
+        let op = 3u32;
+        // Claimed first: tombstone must fail (the op will be applied
+        // exactly once by the claimer).
+        // SAFETY: `op` outlives the protocol run below.
+        unsafe { rec.post(&op) };
+        let _ = rec.try_claim().expect("claimable");
+        assert!(!rec.try_tombstone_posted(), "claimed record survives");
+        rec.complete(30);
+        assert_eq!(rec.take_response(), 30);
+        // Retracted first: nothing left to tombstone.
+        // SAFETY: as above.
+        unsafe { rec.post(&op) };
+        assert!(rec.try_retract());
+        assert!(!rec.try_tombstone_posted(), "empty record survives");
+        assert_eq!(rec.state(), RecordState::Empty);
+    }
+
+    #[test]
+    #[should_panic(expected = "untombstoned")]
+    fn reclaim_tombstone_on_live_record_is_a_protocol_violation() {
+        let rec: PubRecord<u32, u32> = PubRecord::new();
+        rec.reclaim_tombstone();
     }
 
     #[test]

@@ -25,6 +25,9 @@
 //!   contention-sensitive escalation ladder;
 //! * [`epoch`] — a minimal epoch-based reclamation scheme for the
 //!   node-allocating baselines (Treiber, Michael–Scott, elimination);
+//! * [`liveness`] — a lease-based failure detector (announce / beat /
+//!   exit, plus `suspect`) and the [`liveness::RecoveryPolicy`] that
+//!   governs crash recovery of the locked slow path;
 //! * [`chaos`] (behind the `chaos` cargo feature) — the fail-point
 //!   registry behind [`fail_point!`], for fault-injection testing of
 //!   the §5 crash caveat.
@@ -55,6 +58,7 @@ pub mod combining;
 pub mod counting;
 pub mod epoch;
 pub mod exchange;
+pub mod liveness;
 pub mod packed;
 pub mod reg;
 pub mod registry;
@@ -101,6 +105,7 @@ pub use bits::Bits32;
 pub use combining::{CachePadded, PubRecord, RecordState};
 pub use counting::{AccessCounts, CountScope};
 pub use exchange::Exchanger;
+pub use liveness::{Liveness, RecoveryPolicy};
 pub use packed::{DequeState, DequeWord, HeadWord, SlotWord, TailWord, TopWord};
 pub use reg::{Reg64, RegBool, RegUsize};
 pub use registry::{ProcRegistry, ProcToken, RegistryFull};

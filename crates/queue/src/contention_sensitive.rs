@@ -4,8 +4,8 @@
 use std::time::Duration;
 
 use cso_core::{
-    AdaptiveGate, BatchStats, CombiningStats, ContentionSensitive, CsConfig, FaultStats, PathStats,
-    ProgressCondition, TimedOut,
+    AdaptiveGate, BatchStats, CombiningStats, ContentionSensitive, CsConfig, CsError, FaultStats,
+    PathStats, ProgressCondition, RecoveryStats,
 };
 use cso_locks::{RawLock, TasLock};
 use cso_memory::bits::Bits32;
@@ -109,7 +109,9 @@ impl<V: Bits32, L: RawLock> CsQueue<V, L> {
     ///
     /// # Errors
     ///
-    /// Returns [`TimedOut`] if the deadline expired first.
+    /// Returns [`CsError::TimedOut`] if the deadline expired first, or
+    /// [`CsError::Unrecoverable`] if the crash-recovery succession
+    /// budget is exhausted (see [`cso_core::RecoveryPolicy`]).
     ///
     /// # Panics
     ///
@@ -119,7 +121,7 @@ impl<V: Bits32, L: RawLock> CsQueue<V, L> {
         proc: usize,
         value: V,
         timeout: Duration,
-    ) -> Result<EnqueueOutcome, TimedOut> {
+    ) -> Result<EnqueueOutcome, CsError> {
         self.inner
             .try_apply_for(proc, &QueueOp::Enqueue(value), timeout)
             .map(|resp| resp.expect_enqueue())
@@ -130,7 +132,9 @@ impl<V: Bits32, L: RawLock> CsQueue<V, L> {
     ///
     /// # Errors
     ///
-    /// Returns [`TimedOut`] if the deadline expired first.
+    /// Returns [`CsError::TimedOut`] if the deadline expired first, or
+    /// [`CsError::Unrecoverable`] if the crash-recovery succession
+    /// budget is exhausted.
     ///
     /// # Panics
     ///
@@ -139,7 +143,7 @@ impl<V: Bits32, L: RawLock> CsQueue<V, L> {
         &self,
         proc: usize,
         timeout: Duration,
-    ) -> Result<DequeueOutcome<V>, TimedOut> {
+    ) -> Result<DequeueOutcome<V>, CsError> {
         self.inner
             .try_apply_for(proc, &QueueOp::Dequeue, timeout)
             .map(|resp| resp.expect_dequeue())
@@ -206,6 +210,30 @@ impl<V: Bits32, L: RawLock> CsQueue<V, L> {
     /// [`CsConfig::with_adaptive_gate`]).
     pub fn gate(&self) -> &AdaptiveGate {
         self.inner.gate()
+    }
+
+    /// Whether the slow path is permanently closed because the
+    /// crash-recovery succession budget ran out (see
+    /// [`ContentionSensitive::is_poisoned`]).
+    #[must_use]
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.is_poisoned()
+    }
+
+    /// Crash-recovery counters, or `None` unless built with
+    /// [`CsConfig::with_recovery`] (see
+    /// [`ContentionSensitive::recovery_stats`]).
+    #[must_use]
+    pub fn recovery_stats(&self) -> Option<RecoveryStats> {
+        self.inner.recovery_stats()
+    }
+
+    /// The liveness registry driving crash recovery, or `None` unless
+    /// built with [`CsConfig::with_recovery`] (see
+    /// [`ContentionSensitive::liveness`]).
+    #[must_use]
+    pub fn liveness(&self) -> Option<&std::sync::Arc<cso_core::Liveness>> {
+        self.inner.liveness()
     }
 
     /// Registers this queue's live metrics under `prefix` (see

@@ -4,7 +4,7 @@ use std::time::Duration;
 
 use cso_core::{
     Abortable, Aborted, AdaptiveGate, BatchStats, CombiningStats, ContentionSensitive, CsConfig,
-    FaultStats, PathStats, ProgressCondition, TimedOut,
+    CsError, FaultStats, PathStats, ProgressCondition, RecoveryStats,
 };
 use cso_locks::{RawLock, TasLock};
 
@@ -110,7 +110,9 @@ impl<V: StackValue, L: RawLock> CsStack<V, L> {
     ///
     /// # Errors
     ///
-    /// Returns [`TimedOut`] if the deadline expired first.
+    /// Returns [`CsError::TimedOut`] if the deadline expired first, or
+    /// [`CsError::Unrecoverable`] if the crash-recovery succession
+    /// budget is exhausted (see [`cso_core::RecoveryPolicy`]).
     ///
     /// # Panics
     ///
@@ -120,7 +122,7 @@ impl<V: StackValue, L: RawLock> CsStack<V, L> {
         proc: usize,
         value: V,
         timeout: Duration,
-    ) -> Result<PushOutcome, TimedOut> {
+    ) -> Result<PushOutcome, CsError> {
         self.inner
             .try_apply_for(proc, &StackOp::Push(value), timeout)
             .map(|resp| resp.expect_push())
@@ -130,12 +132,14 @@ impl<V: StackValue, L: RawLock> CsStack<V, L> {
     ///
     /// # Errors
     ///
-    /// Returns [`TimedOut`] if the deadline expired first.
+    /// Returns [`CsError::TimedOut`] if the deadline expired first, or
+    /// [`CsError::Unrecoverable`] if the crash-recovery succession
+    /// budget is exhausted.
     ///
     /// # Panics
     ///
     /// Panics if `proc >= n`.
-    pub fn try_pop_for(&self, proc: usize, timeout: Duration) -> Result<PopOutcome<V>, TimedOut> {
+    pub fn try_pop_for(&self, proc: usize, timeout: Duration) -> Result<PopOutcome<V>, CsError> {
         self.inner
             .try_apply_for(proc, &StackOp::Pop, timeout)
             .map(|resp| resp.expect_pop())
@@ -213,6 +217,30 @@ impl<V: StackValue, L: RawLock> CsStack<V, L> {
     /// [`CsConfig::with_adaptive_gate`]).
     pub fn gate(&self) -> &AdaptiveGate {
         self.inner.gate()
+    }
+
+    /// Whether the slow path is permanently closed because the
+    /// crash-recovery succession budget ran out (see
+    /// [`ContentionSensitive::is_poisoned`]).
+    #[must_use]
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.is_poisoned()
+    }
+
+    /// Crash-recovery counters, or `None` unless built with
+    /// [`CsConfig::with_recovery`] (see
+    /// [`ContentionSensitive::recovery_stats`]).
+    #[must_use]
+    pub fn recovery_stats(&self) -> Option<RecoveryStats> {
+        self.inner.recovery_stats()
+    }
+
+    /// The liveness registry driving crash recovery, or `None` unless
+    /// built with [`CsConfig::with_recovery`] (see
+    /// [`ContentionSensitive::liveness`]).
+    #[must_use]
+    pub fn liveness(&self) -> Option<&std::sync::Arc<cso_core::Liveness>> {
+        self.inner.liveness()
     }
 
     /// Registers this stack's live metrics under `prefix` (see

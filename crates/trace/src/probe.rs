@@ -58,7 +58,10 @@ pub enum Path {
 /// * elimination: [`Event::ElimAttempt`] / [`Event::EliminatedComplete`]
 ///   (the escalation ladder's rendezvous middle rung);
 /// * chaos: [`Event::FailPoint`] — a fail point *fired* (see
-///   [`crate::install_chaos_hook`]).
+///   [`crate::install_chaos_hook`]);
+/// * crash recovery: [`Event::SuspectRaised`] /
+///   [`Event::RecordReclaimed`] / [`Event::LockSucceeded`] (liveness
+///   suspicion, publication-record tombstoning, lock succession).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
     /// A fast-path weak operation is about to run (line 02 entered).
@@ -126,6 +129,18 @@ pub enum Event {
     /// operation — neither the object's main state nor the lock was
     /// touched.
     EliminatedComplete,
+    /// Process `proc` was suspected dead (stale liveness lease or an
+    /// explicit kill) by a recovering peer. Opens the time-to-recover
+    /// window the analyzer measures up to [`Event::LockSucceeded`] /
+    /// [`Event::RecordReclaimed`].
+    SuspectRaised(u32),
+    /// A combiner retired a POSTED publication record whose owner
+    /// `proc` was suspected dead (tombstoned, **not** applied).
+    RecordReclaimed(u32),
+    /// Process `proc` seized the slow-path lock from a suspected-dead
+    /// holder (custody transfer; the inner lock word was never
+    /// observably free in between).
+    LockSucceeded(u32),
 }
 
 impl Event {
@@ -156,6 +171,9 @@ impl Event {
             Event::FlagRaise(_) => "flag-raise",
             Event::ElimAttempt => "elim-attempt",
             Event::EliminatedComplete => "eliminated-complete",
+            Event::SuspectRaised(_) => "suspect-raised",
+            Event::RecordReclaimed(_) => "record-reclaimed",
+            Event::LockSucceeded(_) => "lock-succeeded",
         }
     }
 
@@ -178,7 +196,10 @@ impl Event {
             Event::LockAcquire(p)
             | Event::LockRelease(p)
             | Event::TurnAdvance(p)
-            | Event::FlagRaise(p) => Some(*p),
+            | Event::FlagRaise(p)
+            | Event::SuspectRaised(p)
+            | Event::RecordReclaimed(p)
+            | Event::LockSucceeded(p) => Some(*p),
             _ => None,
         }
     }
@@ -418,6 +439,9 @@ mod imp {
             Event::FlagRaise(p) => (20, p),
             Event::ElimAttempt => (21, 0),
             Event::EliminatedComplete => (22, 0),
+            Event::SuspectRaised(p) => (23, p),
+            Event::RecordReclaimed(p) => (24, p),
+            Event::LockSucceeded(p) => (25, p),
         }
     }
 
@@ -446,6 +470,9 @@ mod imp {
             20 => Event::FlagRaise(arg),
             21 => Event::ElimAttempt,
             22 => Event::EliminatedComplete,
+            23 => Event::SuspectRaised(arg),
+            24 => Event::RecordReclaimed(arg),
+            25 => Event::LockSucceeded(arg),
             _ => return None,
         })
     }
@@ -657,6 +684,11 @@ mod tests {
         assert_eq!(Event::RecordPost.value(), None);
         assert_eq!(Event::ElimAttempt.label(), "elim-attempt");
         assert_eq!(Event::EliminatedComplete.label(), "eliminated-complete");
+        assert_eq!(Event::SuspectRaised(2).proc(), Some(2));
+        assert_eq!(Event::SuspectRaised(2).to_string(), "suspect-raised(2)");
+        assert_eq!(Event::RecordReclaimed(1).label(), "record-reclaimed");
+        assert_eq!(Event::LockSucceeded(0).proc(), Some(0));
+        assert_eq!(Event::LockSucceeded(0).to_string(), "lock-succeeded(0)");
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
 
-use cso::core::CsConfig;
+use cso::core::{CsConfig, RecoveryPolicy};
 use cso::deque::{CsDeque, DequeOp, DequePopOutcome, DequePushOutcome, End, SeqDeque};
 use cso::lincheck::checker::check_linearizable;
 use cso::lincheck::recorder::Recorder;
@@ -383,6 +383,83 @@ fn panic_in_stack_slow_path_preserves_conservation() {
         (1..=10).collect::<Vec<u32>>(),
         "999 must not leak in"
     );
+    chaos::reset();
+}
+
+/// The §5 caveat, *solved*: a lock holder hard-killed inside the
+/// critical section — stalled forever, never resumed, never joined —
+/// used to wedge every slow-path operation for good. With a
+/// [`RecoveryPolicy`] armed, the survivors suspect the corpse, seize
+/// the lock by custody transfer, and finish **all** of their
+/// operations. Conservation is exact: the dead process stalled before
+/// its weak operation, so its value never appears.
+#[test]
+fn hard_killed_lock_holder_is_succeeded_and_survivors_complete() {
+    let _serial = serial();
+    chaos::reset();
+    const SURVIVORS: usize = 3;
+    const PER_THREAD: u32 = 200;
+    let policy = RecoveryPolicy {
+        grace: Duration::from_secs(3600), // suspect only on mark_dead
+        max_successions: 8,
+        backoff: Duration::from_millis(1),
+    };
+    let config = CsConfig::PAPER.without_fast_path().with_recovery(policy);
+    let stack = std::sync::Arc::new(CsStack::<u32>::with_config(
+        4096,
+        cso::locks::TasLock::new(),
+        SURVIVORS + 1,
+        config,
+    ));
+
+    // The victim (proc 0) takes the slow-path lock and dies there.
+    chaos::arm_plan("cs::locked", Plan::once(Fault::StallForever));
+    let _corpse = {
+        let stack = std::sync::Arc::clone(&stack);
+        std::thread::spawn(move || {
+            let _ = stack.push(0, 999_999);
+        })
+    };
+    while chaos::fires("cs::locked") == 0 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    stack.liveness().expect("recovery enabled").mark_dead(0);
+
+    // Every surviving process completes its whole workload — no wedge.
+    std::thread::scope(|s| {
+        for proc in 1..=SURVIVORS {
+            let stack = &stack;
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let v = proc as u32 * PER_THREAD + i;
+                    assert_eq!(stack.push(proc, v), PushOutcome::Pushed);
+                }
+            });
+        }
+    });
+
+    let stats = stack.recovery_stats().expect("recovery enabled");
+    assert!(stats.successions >= 1, "the corpse's lock was never seized");
+    assert!(!stats.failed);
+    assert!(!stack.is_poisoned());
+    assert_eq!(stack.fault_stats().poisoned, 0);
+
+    // Exact conservation: all survivor values once, the corpse's never.
+    let mut drained = Vec::new();
+    while let PopOutcome::Popped(v) = stack.pop(1) {
+        drained.push(v);
+    }
+    drained.sort_unstable();
+    let expected: Vec<u32> = (1..=SURVIVORS as u32)
+        .flat_map(|p| p * PER_THREAD..(p + 1) * PER_THREAD)
+        .collect();
+    assert_eq!(
+        drained, expected,
+        "values lost or duplicated past the crash"
+    );
+
+    // reset() revives the corpse; its push lands on a fenced unlock
+    // (the lock moved on without it) and harms nothing.
     chaos::reset();
 }
 
