@@ -9,9 +9,12 @@
 //!
 //! `validate` enforces that shape; `summarize` folds a results
 //! directory into one `BENCH_summary.json` with every experiment's
-//! config inline and scalar metrics lifted to the top (arrays and
-//! tables are summarised by length, not copied — the per-experiment
-//! files stay the source of truth).
+//! config and metrics carried **verbatim**. The summary duplicates the
+//! per-experiment files on purpose: it is the checked-in baseline that
+//! `cso-analyze regress --baseline` gates against, and a gate can only
+//! compare numbers the baseline actually contains. (An earlier shape
+//! folded arrays to row counts, which silently left every table-valued
+//! experiment ungated.)
 
 use std::path::{Path, PathBuf};
 
@@ -80,37 +83,14 @@ pub fn report_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
-/// One metric folded into the summary: scalars verbatim, containers
-/// by size.
-fn fold_metric(value: &Json) -> Json {
-    match value {
-        Json::Arr(items) => Json::obj().field("rows", items.len() as u64),
-        Json::Obj(fields) => {
-            // A bench table ({"headers": [...], "rows": [...]}) folds
-            // to its row count; other objects to their field count.
-            match value.get("rows").and_then(Json::as_arr) {
-                Some(rows) => Json::obj().field("rows", rows.len() as u64),
-                None => Json::obj().field("fields", fields.len() as u64),
-            }
-        }
-        scalar => scalar.clone(),
-    }
-}
-
 /// Folds validated reports into the summary document. `files` pairs
-/// each file name with its parsed report.
+/// each file name with its parsed report. Metrics are carried
+/// verbatim so the summary can serve as a regression baseline.
 #[must_use]
 pub fn summarize(files: &[(String, Json)]) -> Json {
     let experiments: Vec<Json> = files
         .iter()
         .map(|(name, report)| {
-            let metrics = report
-                .get("metrics")
-                .and_then(Json::as_obj)
-                .unwrap_or(&[])
-                .iter()
-                .map(|(k, v)| (k.clone(), fold_metric(v)))
-                .collect();
             Json::obj()
                 .field(
                     "experiment",
@@ -124,7 +104,10 @@ pub fn summarize(files: &[(String, Json)]) -> Json {
                     "config",
                     report.get("config").cloned().unwrap_or(Json::Null),
                 )
-                .field("metrics", Json::Obj(metrics))
+                .field(
+                    "metrics",
+                    report.get("metrics").cloned().unwrap_or(Json::Null),
+                )
         })
         .collect();
     Json::obj()
@@ -166,7 +149,7 @@ mod tests {
     }
 
     #[test]
-    fn summary_folds_tables_to_row_counts() {
+    fn summary_carries_metrics_verbatim() {
         let files = vec![
             (
                 "BENCH_e1.json".to_owned(),
@@ -198,24 +181,17 @@ mod tests {
                 .and_then(Json::as_u64),
             Some(10)
         );
-        let metrics = e1.get("metrics").expect("metrics");
-        assert_eq!(
-            metrics
-                .get("rows")
-                .and_then(|t| t.get("rows"))
-                .and_then(Json::as_u64),
-            Some(2),
-            "table folded to row count"
-        );
-        assert_eq!(metrics.get("solo").and_then(Json::as_u64), Some(6));
+        // Metrics land in the summary untouched — the summary is the
+        // regression baseline, so every numeric leaf must survive.
+        assert_eq!(e1.get("metrics"), files[0].1.get("metrics"));
         let e3 = &experiments[1];
         assert_eq!(
             e3.get("metrics")
                 .and_then(|m| m.get("cells"))
-                .and_then(|t| t.get("rows"))
-                .and_then(Json::as_u64),
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
             Some(3),
-            "array folded to length"
+            "arrays copied, not folded"
         );
         // The summary itself renders as valid JSON.
         Json::parse(&summary.render_pretty()).expect("round-trips");

@@ -121,48 +121,63 @@ pub fn critical_path(report: &SpanReport) -> CriticalPath {
     }
 }
 
-/// Renders spans in collapsed-stack format, nanosecond weights,
-/// lexicographically sorted (stable output for diffing).
-#[must_use]
-pub fn collapsed(report: &SpanReport) -> String {
-    let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+/// Folds one span into a collapsed-stack accumulator (stack → total
+/// nanoseconds). The live aggregator feeds spans here one at a time as
+/// they complete; [`collapsed`] folds a whole report and renders. Both
+/// produce identical stacks for identical spans.
+pub fn add_span(stacks: &mut BTreeMap<String, u64>, span: &Span) {
     let mut add = |stack: String, ns: u64| {
         if ns > 0 {
             *stacks.entry(stack).or_insert(0) += ns;
         }
     };
-    for span in &report.spans {
-        let who = match span.proc_id {
-            Some(p) => format!("proc_{p}"),
-            None => format!("thread_{}", span.thread),
-        };
-        let leaf = match span.outcome {
-            Outcome::Completed => span.path.label().to_owned(),
-            Outcome::TimedOut => format!("{};timeout", span.path.label()),
-            Outcome::Poisoned => format!("{};poisoned", span.path.label()),
-        };
-        match (span.wait_ns, span.hold_ns) {
-            (wait, Some(hold)) => {
-                let wait = wait.unwrap_or(0);
-                add(format!("{who};{leaf};wait"), wait);
-                add(format!("{who};{leaf};hold"), hold);
-                // Anything not in wait or hold (fast-abort, post spin).
-                add(
-                    format!("{who};{leaf};other"),
-                    span.duration_ns().saturating_sub(wait + hold),
-                );
-            }
-            _ => add(format!("{who};{leaf}"), span.duration_ns()),
+    let who = match span.proc_id {
+        Some(p) => format!("proc_{p}"),
+        None => format!("thread_{}", span.thread),
+    };
+    let leaf = match span.outcome {
+        Outcome::Completed => span.path.label().to_owned(),
+        Outcome::TimedOut => format!("{};timeout", span.path.label()),
+        Outcome::Poisoned => format!("{};poisoned", span.path.label()),
+    };
+    match (span.wait_ns, span.hold_ns) {
+        (wait, Some(hold)) => {
+            let wait = wait.unwrap_or(0);
+            add(format!("{who};{leaf};wait"), wait);
+            add(format!("{who};{leaf};hold"), hold);
+            // Anything not in wait or hold (fast-abort, post spin).
+            add(
+                format!("{who};{leaf};other"),
+                span.duration_ns().saturating_sub(wait + hold),
+            );
         }
+        _ => add(format!("{who};{leaf}"), span.duration_ns()),
     }
+}
+
+/// Renders a collapsed-stack accumulator, one `stack weight` line per
+/// entry, lexicographically sorted (stable output for diffing).
+#[must_use]
+pub fn render_stacks(stacks: &BTreeMap<String, u64>) -> String {
     let mut out = String::new();
     for (stack, ns) in stacks {
-        out.push_str(&stack);
+        out.push_str(stack);
         out.push(' ');
         out.push_str(&ns.to_string());
         out.push('\n');
     }
     out
+}
+
+/// Renders spans in collapsed-stack format, nanosecond weights,
+/// lexicographically sorted (stable output for diffing).
+#[must_use]
+pub fn collapsed(report: &SpanReport) -> String {
+    let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+    for span in &report.spans {
+        add_span(&mut stacks, span);
+    }
+    render_stacks(&stacks)
 }
 
 #[cfg(test)]

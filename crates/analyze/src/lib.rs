@@ -22,7 +22,9 @@
 //! * [`collapse`] — critical-path statistics and collapsed-stack
 //!   (flamegraph) output;
 //! * [`bench`] — validation and aggregation of the `BENCH_*.json`
-//!   reports the bench binaries emit.
+//!   reports the bench binaries emit;
+//! * [`regress`] — per-metric noise-band comparison of two bench
+//!   reports (the CI perf gate's engine).
 //!
 //! The `cso-analyze` binary fronts all of it; `cso-analyze check` is
 //! the CI entry point (nonzero exit on a bypass violation or span
@@ -35,4 +37,5 @@ pub mod bypass;
 pub mod collapse;
 pub mod convoy;
 pub mod log;
+pub mod regress;
 pub mod spans;

@@ -8,17 +8,19 @@
 //! cso-analyze check   <events.tsv> [--procs N] [--bound K] [--min-coverage F]
 //! cso-analyze bench-summary  <results-dir>               fold BENCH_*.json into BENCH_summary.json
 //! cso-analyze bench-validate <file-or-dir>...            schema-check BENCH_*.json reports
+//! cso-analyze regress --baseline <base.json> <current.json> [--tolerance F] [--warn-only]
 //! ```
 //!
 //! Exit status: 0 clean, 1 an analysis found a violation (bypass
-//! bound exceeded, span coverage below threshold, schema invalid),
-//! 2 usage / IO / parse errors.
+//! bound exceeded, span coverage below threshold, schema invalid,
+//! perf regression outside the noise band), 2 usage / IO / parse
+//! errors.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use cso_analyze::spans::SpanReport;
-use cso_analyze::{bench, bypass, collapse, convoy, log::EventLog, spans};
+use cso_analyze::{bench, bypass, collapse, convoy, log::EventLog, regress, spans};
 use cso_metrics::Json;
 
 /// Minimum fraction of observed operations that must reconstruct into
@@ -39,7 +41,10 @@ fn usage() -> ExitCode {
          \n\
          bench-report commands:\n\
          \x20 bench-summary  <results-dir>              write <dir>/BENCH_summary.json\n\
-         \x20 bench-validate <file-or-dir>...           validate BENCH_*.json against the schema"
+         \x20 bench-validate <file-or-dir>...           validate BENCH_*.json against the schema\n\
+         \x20 regress --baseline <base.json> <current.json> [--tolerance F] [--warn-only]\n\
+         \x20                                           compare two reports (or summaries) with\n\
+         \x20                                           per-metric noise bands; exit 1 on regression"
     );
     ExitCode::from(2)
 }
@@ -357,6 +362,78 @@ fn cmd_bench_validate(args: Vec<String>) -> Result<ExitCode, String> {
     })
 }
 
+fn cmd_regress(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let baseline = take_flag(&mut args, "--baseline")?
+        .ok_or_else(|| "regress needs --baseline <base.json>".to_owned())?;
+    let tolerance =
+        parse_flag::<f64>(&mut args, "--tolerance")?.unwrap_or(regress::DEFAULT_TOLERANCE);
+    if !(0.0..1.0).contains(&tolerance) {
+        return Err(format!("--tolerance must be in [0, 1), got {tolerance}"));
+    }
+    let warn_only = match args.iter().position(|a| a == "--warn-only") {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    };
+    let [current] = &args[..] else {
+        return Err("regress takes exactly one current report".to_owned());
+    };
+    let base = load_report(Path::new(&baseline))?;
+    let cur = load_report(Path::new(current))?;
+    let report = regress::compare(&base, &cur, tolerance);
+
+    println!(
+        "compared {} metric(s) against {} (noise band ±{:.0}%)",
+        report.deltas.len(),
+        baseline,
+        tolerance * 100.0
+    );
+    for delta in &report.deltas {
+        let verdict = if delta.regressed {
+            "REGRESSION"
+        } else if delta.direction == regress::Direction::Informational {
+            "info"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {verdict:>10}: {} {} -> {} ({:+.1}%)",
+            delta.path,
+            delta.baseline,
+            delta.current,
+            delta.change * 100.0
+        );
+    }
+    for skipped in &report.skipped {
+        println!("  skipped: {skipped}");
+    }
+    let regressions = report.regressions().count();
+    if report.deltas.is_empty() {
+        // A gate that compared nothing must not pass vacuously: the
+        // baseline does not cover this run (wrong experiment name,
+        // incompatible shapes, stale summary format).
+        eprintln!("FAIL: no shared numeric metric between baseline and current report");
+        return Ok(if warn_only {
+            eprintln!("WARNING: continuing anyway (--warn-only)");
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        });
+    }
+    if regressions == 0 {
+        println!("regress OK: every shared metric within the noise band");
+        Ok(ExitCode::SUCCESS)
+    } else if warn_only {
+        eprintln!("WARNING: {regressions} metric(s) outside the noise band (--warn-only)");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!("FAIL: {regressions} metric(s) regressed beyond the noise band");
+        Ok(ExitCode::FAILURE)
+    }
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -371,6 +448,7 @@ fn main() -> ExitCode {
         "check" => cmd_check(args),
         "bench-summary" => cmd_bench_summary(args),
         "bench-validate" => cmd_bench_validate(args),
+        "regress" => cmd_regress(args),
         _ => {
             eprintln!("unknown command: {command}");
             return usage();

@@ -1,0 +1,395 @@
+//! Perf-regression comparison between two bench reports.
+//!
+//! [`compare`] walks two `BENCH_*.json` documents (single reports or
+//! `BENCH_summary.json` folds — experiments are matched by name, so a
+//! summary baseline can gate a single re-run report) and classifies
+//! every shared numeric leaf:
+//!
+//! * keys that look like throughput (`*per_sec*`, `*throughput*`,
+//!   `*speedup*`, `*coverage*`) regress when the current value falls
+//!   more than the tolerance *below* the baseline;
+//! * keys that look like cost (`*_ns*`, `*_ms*`, `*latency*`,
+//!   `*dropped*`, `*malformed*`, `*recover*`) regress when the current
+//!   value rises more than the tolerance *above* it;
+//! * everything else is informational — compared and reported, never
+//!   failed on. Unclassified keys nested inside a classified container
+//!   inherit its direction (`ops_per_sec[2].threads_4` is throughput).
+//!
+//! The tolerance is the per-metric **noise band**: benchmark numbers
+//! jitter run to run (scheduler, frequency scaling, cache state), so
+//! a gate that fails on any decline is a gate that cries wolf. The
+//! default band ([`DEFAULT_TOLERANCE`]) is ±15%, wide enough for
+//! same-machine back-to-back runs and tight enough to catch a real
+//! 20% collapse; CI passes a wider band when comparing across runner
+//! generations. Arrays are compared element-wise only when both sides
+//! have the same length — a length mismatch is config drift (different
+//! thread counts, different cell grid), recorded as skipped rather
+//! than guessed at.
+
+use cso_metrics::Json;
+
+/// The default relative noise band (±15%).
+pub const DEFAULT_TOLERANCE: f64 = 0.15;
+
+/// How a metric's value relates to goodness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Bigger is better (throughput-like): regression = decline.
+    HigherBetter,
+    /// Smaller is better (latency/loss-like): regression = rise.
+    LowerBetter,
+    /// No judgement (counts, configs echoed into metrics).
+    Informational,
+}
+
+/// Classifies a metric key (one path segment) by name. Leaves whose
+/// own key is unclassified inherit the nearest classified ancestor:
+/// `ops_per_sec[0].threads_4` is throughput because it sits inside an
+/// `ops_per_sec` container, even though `threads_4` alone says
+/// nothing. (The experiment name itself never classifies — `walk`
+/// starts the inherited context at [`Direction::Informational`].)
+#[must_use]
+pub fn direction(key: &str) -> Direction {
+    const HIGHER: &[&str] = &["per_sec", "throughput", "speedup", "coverage"];
+    const LOWER: &[&str] = &["_ns", "_ms", "latency", "dropped", "malformed", "recover"];
+    if HIGHER.iter().any(|n| key.contains(n)) {
+        Direction::HigherBetter
+    } else if LOWER.iter().any(|n| key.contains(n)) {
+        Direction::LowerBetter
+    } else {
+        Direction::Informational
+    }
+}
+
+/// One compared numeric leaf.
+#[derive(Debug, Clone)]
+pub struct Delta {
+    /// Dotted path from the metrics root, e.g.
+    /// `e13_escalation.cells[3].ladder_ops_per_sec`.
+    pub path: String,
+    /// The baseline value.
+    pub baseline: f64,
+    /// The current value.
+    pub current: f64,
+    /// The key's classification.
+    pub direction: Direction,
+    /// Relative change `(current - baseline) / baseline` (0 when the
+    /// baseline is 0).
+    pub change: f64,
+    /// Whether the change crosses the noise band in the bad direction.
+    pub regressed: bool,
+}
+
+/// The full comparison result.
+#[derive(Debug, Default)]
+pub struct RegressReport {
+    /// Every numeric leaf present on both sides.
+    pub deltas: Vec<Delta>,
+    /// Paths that could not be compared (missing on one side, type
+    /// mismatch, or array length drift) — config drift, not failures.
+    pub skipped: Vec<String>,
+    /// The noise band the comparison used.
+    pub tolerance: f64,
+}
+
+impl RegressReport {
+    /// The leaves that crossed the noise band in the bad direction.
+    pub fn regressions(&self) -> impl Iterator<Item = &Delta> {
+        self.deltas.iter().filter(|d| d.regressed)
+    }
+
+    /// True when nothing regressed.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.regressions().next().is_none()
+    }
+}
+
+/// The comparable experiments in a document: a summary contributes
+/// every experiment's metrics, a single report contributes its own.
+fn experiments(doc: &Json) -> Vec<(String, &Json)> {
+    if let Some(list) = doc.get("experiments").and_then(Json::as_arr) {
+        return list
+            .iter()
+            .filter_map(|e| {
+                let name = e.get("experiment").and_then(Json::as_str)?;
+                Some((name.to_owned(), e.get("metrics")?))
+            })
+            .collect();
+    }
+    match (
+        doc.get("experiment").and_then(Json::as_str),
+        doc.get("metrics"),
+    ) {
+        (Some(name), Some(metrics)) => vec![(name.to_owned(), metrics)],
+        _ => Vec::new(),
+    }
+}
+
+fn walk(base: &Json, cur: &Json, path: &str, inherited: Direction, report: &mut RegressReport) {
+    match (base, cur) {
+        (Json::Obj(base_fields), Json::Obj(_)) => {
+            for (k, bv) in base_fields {
+                let child = format!("{path}.{k}");
+                let dir = match direction(k) {
+                    Direction::Informational => inherited,
+                    classified => classified,
+                };
+                match cur.get(k) {
+                    Some(cv) => walk(bv, cv, &child, dir, report),
+                    None => report.skipped.push(format!("{child} (missing in current)")),
+                }
+            }
+        }
+        (Json::Arr(bs), Json::Arr(cs)) => {
+            if bs.len() == cs.len() {
+                for (i, (bv, cv)) in bs.iter().zip(cs.iter()).enumerate() {
+                    walk(bv, cv, &format!("{path}[{i}]"), inherited, report);
+                }
+            } else {
+                report.skipped.push(format!(
+                    "{path} (array length {} vs {}: config drift)",
+                    bs.len(),
+                    cs.len()
+                ));
+            }
+        }
+        _ => match (base.as_f64(), cur.as_f64()) {
+            (Some(b), Some(c)) => {
+                let dir = inherited;
+                let change = if b == 0.0 { 0.0 } else { (c - b) / b };
+                let regressed = b != 0.0
+                    && match dir {
+                        Direction::HigherBetter => change < -report.tolerance,
+                        Direction::LowerBetter => change > report.tolerance,
+                        Direction::Informational => false,
+                    };
+                report.deltas.push(Delta {
+                    path: path.to_owned(),
+                    baseline: b,
+                    current: c,
+                    direction: dir,
+                    change,
+                    regressed,
+                });
+            }
+            (None, None) => {
+                // Matching non-numeric scalars (strings, bools, nulls)
+                // are not metrics; a container on one side only is a
+                // shape mismatch and must not vanish silently.
+                let container = |j: &Json| matches!(j, Json::Obj(_) | Json::Arr(_));
+                if container(base) || container(cur) {
+                    report
+                        .skipped
+                        .push(format!("{path} (shape mismatch between runs)"));
+                }
+            }
+            _ => report
+                .skipped
+                .push(format!("{path} (type mismatch between runs)")),
+        },
+    }
+}
+
+/// Compares `current` against `baseline` with the given noise band.
+/// Either side may be a single `BENCH_*.json` report or a
+/// `BENCH_summary.json`; experiments are matched by name and
+/// experiments present on only one side are recorded as skipped.
+#[must_use]
+pub fn compare(baseline: &Json, current: &Json, tolerance: f64) -> RegressReport {
+    let mut report = RegressReport {
+        tolerance,
+        ..RegressReport::default()
+    };
+    let base_experiments = experiments(baseline);
+    let cur_experiments = experiments(current);
+    for (name, base_metrics) in &base_experiments {
+        match cur_experiments.iter().find(|(n, _)| n == name) {
+            Some((_, cur_metrics)) => {
+                // The experiment name never classifies its metrics
+                // (e9_latency holds throughput numbers too).
+                walk(
+                    base_metrics,
+                    cur_metrics,
+                    name,
+                    Direction::Informational,
+                    &mut report,
+                );
+            }
+            None => {
+                // Only a drift when the current side is a summary: a
+                // single-report run is *expected* to cover one of the
+                // baseline's experiments.
+                if cur_experiments.len() != 1 || current.get("experiment").is_none() {
+                    report.skipped.push(format!("{name} (missing in current)"));
+                }
+            }
+        }
+    }
+    for (name, _) in &cur_experiments {
+        if !base_experiments.iter().any(|(n, _)| n == name) {
+            report
+                .skipped
+                .push(format!("{name} (no baseline yet: new experiment)"));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(text: &str) -> Json {
+        Json::parse(text).expect("test document parses")
+    }
+
+    #[test]
+    fn direction_classifies_by_key() {
+        assert_eq!(direction("ops_per_sec"), Direction::HigherBetter);
+        assert_eq!(direction("ladder_ops_per_sec"), Direction::HigherBetter);
+        assert_eq!(direction("p99_ns"), Direction::LowerBetter);
+        assert_eq!(direction("time_to_recover_ms"), Direction::LowerBetter);
+        assert_eq!(direction("dropped"), Direction::LowerBetter);
+        assert_eq!(direction("threads"), Direction::Informational);
+        assert_eq!(direction("batch"), Direction::Informational);
+    }
+
+    #[test]
+    fn twenty_percent_throughput_drop_regresses() {
+        let base = doc(r#"{"experiment":"e3","config":{},"metrics":{"ops_per_sec":1000000.0}}"#);
+        let cur = doc(r#"{"experiment":"e3","config":{},"metrics":{"ops_per_sec":800000.0}}"#);
+        let report = compare(&base, &cur, DEFAULT_TOLERANCE);
+        assert!(!report.ok());
+        let regression = report.regressions().next().expect("one regression");
+        assert_eq!(regression.path, "e3.ops_per_sec");
+        assert!((regression.change + 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replay_within_the_noise_band_passes() {
+        let base = doc(r#"{"experiment":"e3","config":{},
+                "metrics":{"ops_per_sec":1000000.0,"p99_ns":500,"threads":8}}"#);
+        let cur = doc(r#"{"experiment":"e3","config":{},
+                "metrics":{"ops_per_sec":920000.0,"p99_ns":540,"threads":8}}"#);
+        let report = compare(&base, &cur, DEFAULT_TOLERANCE);
+        assert!(
+            report.ok(),
+            "{:?}",
+            report.regressions().collect::<Vec<_>>()
+        );
+        assert_eq!(report.deltas.len(), 3);
+    }
+
+    #[test]
+    fn improvements_never_regress() {
+        let base =
+            doc(r#"{"experiment":"e3","config":{},"metrics":{"ops_per_sec":100,"p99_ns":900}}"#);
+        let cur =
+            doc(r#"{"experiment":"e3","config":{},"metrics":{"ops_per_sec":500,"p99_ns":100}}"#);
+        assert!(compare(&base, &cur, DEFAULT_TOLERANCE).ok());
+    }
+
+    #[test]
+    fn latency_rise_regresses() {
+        let base = doc(r#"{"experiment":"e3","config":{},"metrics":{"p99_ns":100.0}}"#);
+        let cur = doc(r#"{"experiment":"e3","config":{},"metrics":{"p99_ns":140.0}}"#);
+        let report = compare(&base, &cur, DEFAULT_TOLERANCE);
+        assert_eq!(report.regressions().count(), 1);
+    }
+
+    #[test]
+    fn arrays_compare_elementwise_and_drift_is_skipped() {
+        let base = doc(r#"{"experiment":"e13","config":{},
+                "metrics":{"cells":[{"ops_per_sec":100},{"ops_per_sec":200}]}}"#);
+        let cur = doc(r#"{"experiment":"e13","config":{},
+                "metrics":{"cells":[{"ops_per_sec":99},{"ops_per_sec":20}]}}"#);
+        let report = compare(&base, &cur, DEFAULT_TOLERANCE);
+        let regression = report.regressions().next().expect("cell 1 regressed");
+        assert_eq!(regression.path, "e13.cells[1].ops_per_sec");
+        assert_eq!(report.regressions().count(), 1);
+
+        let drifted = doc(r#"{"experiment":"e13","config":{},
+                "metrics":{"cells":[{"ops_per_sec":1}]}}"#);
+        let report = compare(&base, &drifted, DEFAULT_TOLERANCE);
+        assert!(report.ok());
+        assert!(report.skipped.iter().any(|s| s.contains("config drift")));
+    }
+
+    #[test]
+    fn summary_baseline_gates_a_single_report() {
+        let base = doc(r#"{"schema":"cso-bench-summary v1","experiments":[
+                {"experiment":"e3","file":"BENCH_e3.json","config":{},
+                 "metrics":{"ops_per_sec":1000}},
+                {"experiment":"e13","file":"BENCH_e13.json","config":{},
+                 "metrics":{"ops_per_sec":2000}}]}"#);
+        let cur = doc(r#"{"experiment":"e3","config":{},"metrics":{"ops_per_sec":700}}"#);
+        let report = compare(&base, &cur, DEFAULT_TOLERANCE);
+        assert_eq!(report.regressions().count(), 1);
+        // e13 absent from a single-report run is expected, not drift.
+        assert!(report.skipped.is_empty(), "{:?}", report.skipped);
+
+        // A summary-vs-summary comparison does flag a vanished
+        // experiment.
+        let cur_summary = doc(r#"{"schema":"cso-bench-summary v1","experiments":[
+                {"experiment":"e3","file":"BENCH_e3.json","config":{},
+                 "metrics":{"ops_per_sec":1000}}]}"#);
+        let report = compare(&base, &cur_summary, DEFAULT_TOLERANCE);
+        assert!(report.skipped.iter().any(|s| s.contains("e13")));
+    }
+
+    #[test]
+    fn leaves_inherit_direction_from_classified_ancestors() {
+        // E3's shape: metrics.ops_per_sec is an array of per-impl rows
+        // whose numeric keys are threads_N — unclassified on their
+        // own, throughput by context. A 20% drop there must gate.
+        let base = doc(r#"{"experiment":"e3","config":{},"metrics":
+                {"ops_per_sec":[{"impl":"cs-stack","threads_4":1000.0}]}}"#);
+        let cur = doc(r#"{"experiment":"e3","config":{},"metrics":
+                {"ops_per_sec":[{"impl":"cs-stack","threads_4":800.0}]}}"#);
+        let report = compare(&base, &cur, DEFAULT_TOLERANCE);
+        let regression = report.regressions().next().expect("nested drop gates");
+        assert_eq!(regression.path, "e3.ops_per_sec[0].threads_4");
+        assert_eq!(regression.direction, Direction::HigherBetter);
+
+        // A leaf with its own classification overrides the inherited
+        // one: a *_ns key inside a throughput container is still cost.
+        let base = doc(r#"{"experiment":"e9","config":{},"metrics":
+                {"throughput":{"p99_ns":100.0}}}"#);
+        let cur = doc(r#"{"experiment":"e9","config":{},"metrics":
+                {"throughput":{"p99_ns":140.0}}}"#);
+        let report = compare(&base, &cur, DEFAULT_TOLERANCE);
+        assert_eq!(report.regressions().count(), 1, "latency rise still gates");
+    }
+
+    #[test]
+    fn container_vs_scalar_mismatch_is_recorded_not_swallowed() {
+        // Regression guard for a real incident: an old summary format
+        // folded arrays to {"rows": N}, so a summary baseline compared
+        // against a full report hit Obj-vs-Arr at every table metric —
+        // and the comparison reported "0 metric(s), OK" instead of
+        // surfacing that it had nothing to gate on.
+        let base = doc(r#"{"experiment":"e13","config":{},"metrics":{"cells":{"rows":6}}}"#);
+        let cur =
+            doc(r#"{"experiment":"e13","config":{},"metrics":{"cells":[{"ops_per_sec":1}]}}"#);
+        let report = compare(&base, &cur, DEFAULT_TOLERANCE);
+        assert!(report.deltas.is_empty());
+        assert!(
+            report
+                .skipped
+                .iter()
+                .any(|s| s.contains("cells") && s.contains("shape mismatch")),
+            "{:?}",
+            report.skipped
+        );
+    }
+
+    #[test]
+    fn zero_baseline_never_divides_or_regresses() {
+        let base = doc(r#"{"experiment":"e3","config":{},"metrics":{"ops_per_sec":0}}"#);
+        let cur = doc(r#"{"experiment":"e3","config":{},"metrics":{"ops_per_sec":0}}"#);
+        let report = compare(&base, &cur, DEFAULT_TOLERANCE);
+        assert!(report.ok());
+        assert_eq!(report.deltas[0].change, 0.0);
+    }
+}

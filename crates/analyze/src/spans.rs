@@ -270,7 +270,11 @@ enum State {
     AwaitTimeout(Pending),
 }
 
-fn is_annotation(name: &str) -> bool {
+/// Whether `name` only annotates a path: annotation events never
+/// delimit spans and are legal in every state. (Recovery annotations
+/// additionally bump [`RecoveryCounts`].)
+#[must_use]
+pub fn is_annotation(name: &str) -> bool {
     matches!(
         name,
         "contention-raise"
@@ -287,68 +291,149 @@ fn is_annotation(name: &str) -> bool {
     )
 }
 
-/// Replays one thread's stream. `truncated` relaxes the head of the
-/// stream: while no span has completed yet, events that are illegal in
-/// the current state are charged to ring wrap-around, and the state
-/// machine resets and resynchronises on the next clean span start.
+/// What feeding one row into a [`ThreadReplayer`] produced.
+#[derive(Debug)]
+pub enum Fed {
+    /// The row advanced (or annotated) the in-flight operation without
+    /// completing it.
+    Quiet,
+    /// The row completed an operation span.
+    Span(Span),
+    /// The row was illegal in the current state — a protocol
+    /// violation. The machine has reset to idle.
+    Malformed(Malformed),
+    /// The row was illegal, but this stream's truncated head has not
+    /// resynchronised yet: the event is ring wrap-around loss, not an
+    /// error. The machine has reset to idle.
+    Orphan,
+}
+
+/// An incremental, one-thread instance of the span state machine: the
+/// streaming counterpart of [`reconstruct`] (which is implemented on
+/// top of it). A live aggregator keeps one replayer per recording
+/// thread and feeds each harvested batch's rows in sequence order;
+/// batch boundaries are invisible to the protocol, so live and
+/// post-mortem replays of the same stream yield identical spans.
+#[derive(Debug)]
+pub struct ThreadReplayer {
+    state: State,
+    synced: bool,
+    recovery: RecoveryCounts,
+}
+
+impl ThreadReplayer {
+    /// A fresh machine. `truncated` relaxes the head of the stream:
+    /// until the first span completes, illegal events are classified
+    /// [`Fed::Orphan`] (ring wrap-around loss) rather than
+    /// [`Fed::Malformed`], and the machine resynchronises on the next
+    /// clean span start.
+    #[must_use]
+    pub fn new(truncated: bool) -> ThreadReplayer {
+        ThreadReplayer {
+            state: State::Idle,
+            synced: !truncated,
+            recovery: RecoveryCounts::default(),
+        }
+    }
+
+    /// Marks the stream as having lost events (e.g. a harvest pass
+    /// reported nonzero loss on this thread's ring): the machine
+    /// resets to idle and treats the next illegal events as orphans
+    /// until it resynchronises, exactly like a truncated head.
+    pub fn desync(&mut self) {
+        self.state = State::Idle;
+        self.synced = false;
+    }
+
+    /// Whether an operation is currently in flight (a capture that
+    /// ends now would report it as open, not as an error).
+    #[must_use]
+    pub fn is_open(&self) -> bool {
+        !matches!(self.state, State::Idle)
+    }
+
+    /// Recovery annotations seen so far.
+    #[must_use]
+    pub fn recovery(&self) -> RecoveryCounts {
+        self.recovery
+    }
+
+    /// Advances the machine by one row.
+    pub fn feed(&mut self, row: &Row) -> Fed {
+        if is_annotation(&row.name) {
+            match row.name.as_str() {
+                "suspect-raised" => self.recovery.suspects += 1,
+                "record-reclaimed" => self.recovery.reclaimed += 1,
+                "lock-succeeded" => self.recovery.successions += 1,
+                _ => {}
+            }
+            return Fed::Quiet;
+        }
+        match step(std::mem::replace(&mut self.state, State::Idle), row) {
+            Ok((next, span)) => {
+                self.state = next;
+                match span {
+                    Some(span) => {
+                        self.synced = true;
+                        Fed::Span(span)
+                    }
+                    None => Fed::Quiet,
+                }
+            }
+            Err(prev) => {
+                // Illegal event. At the head of a truncated stream the
+                // start of this operation was overwritten; otherwise
+                // it is a real protocol violation.
+                if self.synced {
+                    Fed::Malformed(Malformed {
+                        thread: row.thread,
+                        seq: row.seq,
+                        event: row.name.clone(),
+                        state: prev,
+                    })
+                } else {
+                    Fed::Orphan
+                }
+            }
+        }
+    }
+}
+
+/// Replays one thread's stream into `report`.
 fn replay_thread<'a>(
     rows: impl Iterator<Item = &'a Row>,
     truncated: bool,
     report: &mut SpanReport,
 ) {
-    let mut state = State::Idle;
-    let mut synced = !truncated;
-
+    let mut replayer = ThreadReplayer::new(truncated);
     for row in rows {
-        if is_annotation(&row.name) {
-            match row.name.as_str() {
-                "suspect-raised" => report.recovery.suspects += 1,
-                "record-reclaimed" => report.recovery.reclaimed += 1,
-                "lock-succeeded" => report.recovery.successions += 1,
-                _ => {}
-            }
-            continue;
+        match replayer.feed(row) {
+            Fed::Quiet => {}
+            Fed::Span(span) => report.spans.push(span),
+            Fed::Malformed(m) => report.malformed.push(m),
+            Fed::Orphan => report.truncated_events += 1,
         }
-        state = match step(state, row, report, &mut synced) {
-            Ok(next) => next,
-            Err(prev) => {
-                // Illegal event. At the head of a truncated stream the
-                // start of this operation was overwritten; otherwise
-                // it is a real protocol violation.
-                if synced {
-                    report.malformed.push(Malformed {
-                        thread: row.thread,
-                        seq: row.seq,
-                        event: row.name.clone(),
-                        state: prev,
-                    });
-                } else {
-                    report.truncated_events += 1;
-                }
-                State::Idle
-            }
-        };
     }
-    if !matches!(state, State::Idle) {
+    let recovery = replayer.recovery();
+    report.recovery.suspects += recovery.suspects;
+    report.recovery.reclaimed += recovery.reclaimed;
+    report.recovery.successions += recovery.successions;
+    if replayer.is_open() {
         report.open += 1;
     }
 }
 
-/// One transition. `Err(state_name)` means `row` is illegal in the
+/// One pure transition: the next state, plus the span the row
+/// completed, if any. `Err(state_name)` means `row` is illegal in the
 /// current state (which is consumed; the caller resets to idle).
 #[allow(clippy::too_many_lines)]
-fn step(
-    state: State,
-    row: &Row,
-    report: &mut SpanReport,
-    synced: &mut bool,
-) -> Result<State, &'static str> {
+fn step(state: State, row: &Row) -> Result<(State, Option<Span>), &'static str> {
     let name = row.name.as_str();
+    let mut emitted = None;
     let mut emit = |span: Span| {
-        *synced = true;
-        report.spans.push(span);
+        emitted = Some(span);
     };
-    match state {
+    let next = match state {
         State::Idle => match name {
             "fast-attempt" => Ok(State::FastTried(Pending::start(row))),
             "flag-raise" => {
@@ -540,7 +625,8 @@ fn step(
             }
             _ => Err("await-timeout"),
         },
-    }
+    };
+    Ok((next?, emitted))
 }
 
 /// Reconstructs every thread of `log` into operation spans.
@@ -727,6 +813,84 @@ mod tests {
         assert_eq!(report.truncated_events, 0);
         assert_eq!(report.malformed.len(), 3);
         assert!((report.coverage() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incremental_replayer_matches_batch_reconstruct() {
+        let log = parse(
+            "0\t0\t10\tfast-attempt\t-\t-\t-\n\
+             1\t0\t20\tfast-success\t-\t-\t-\n\
+             2\t0\t30\tfast-attempt\t-\t-\t-\n\
+             3\t0\t40\tfast-abort\t-\t-\t-\n\
+             4\t0\t50\tflag-raise\t-\t0\t-\n\
+             5\t0\t90\tlock-acquire\t-\t0\t-\n\
+             6\t0\t120\tlocked-complete\t-\t-\t-\n\
+             7\t0\t125\tlock-release\t-\t0\t-\n\
+             8\t0\t130\tsuspect-raised\t-\t1\t-\n\
+             9\t0\t140\tfast-success\t-\t-\t-\n",
+        );
+        let batch = reconstruct(&log);
+
+        // Feed the same stream row by row — batch boundaries anywhere.
+        let mut replayer = ThreadReplayer::new(false);
+        let mut spans = Vec::new();
+        let mut malformed = 0;
+        for row in log.thread_rows(0) {
+            match replayer.feed(row) {
+                Fed::Quiet | Fed::Orphan => {}
+                Fed::Span(s) => spans.push(s),
+                Fed::Malformed(_) => malformed += 1,
+            }
+        }
+        assert_eq!(spans.len(), batch.spans.len());
+        assert_eq!(malformed, batch.malformed.len());
+        assert_eq!(replayer.recovery().suspects, batch.recovery.suspects);
+        assert!(!replayer.is_open());
+        for (live, post) in spans.iter().zip(batch.spans.iter()) {
+            assert_eq!(live.path, post.path);
+            assert_eq!(live.start_seq, post.start_seq);
+            assert_eq!(live.end_seq, post.end_seq);
+            assert_eq!(live.duration_ns(), post.duration_ns());
+        }
+    }
+
+    #[test]
+    fn desync_turns_orphans_back_into_loss() {
+        let mk = |seq, name: &str| Row {
+            seq,
+            thread: 0,
+            wall_ns: seq * 10,
+            name: name.to_owned(),
+            site: None,
+            proc_id: None,
+            value: None,
+        };
+        let mut replayer = ThreadReplayer::new(false);
+        assert!(matches!(replayer.feed(&mk(0, "fast-attempt")), Fed::Quiet));
+        assert!(matches!(
+            replayer.feed(&mk(1, "fast-success")),
+            Fed::Span(_)
+        ));
+        // Synced now: a stray completion is a violation...
+        assert!(matches!(
+            replayer.feed(&mk(2, "fast-success")),
+            Fed::Malformed(_)
+        ));
+        // ...but after a reported harvest loss it is charged to the
+        // gap, and the machine resynchronises on the next clean span.
+        replayer.desync();
+        assert!(!replayer.is_open());
+        assert!(matches!(replayer.feed(&mk(3, "lock-release")), Fed::Orphan));
+        assert!(matches!(replayer.feed(&mk(4, "fast-attempt")), Fed::Quiet));
+        assert!(replayer.is_open());
+        assert!(matches!(
+            replayer.feed(&mk(5, "fast-success")),
+            Fed::Span(_)
+        ));
+        assert!(matches!(
+            replayer.feed(&mk(6, "lock-release")),
+            Fed::Malformed(_)
+        ));
     }
 
     #[test]

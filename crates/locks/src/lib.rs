@@ -69,6 +69,19 @@ pub use tas::TasLock;
 pub use ticket::TicketLock;
 pub use ttas::TtasLock;
 
+/// Every probe event the lock substrate emits, paired with the causal
+/// site class a what-if profiling run delays it under (`"-"` for
+/// events never delayed). The class names mirror
+/// `cso_trace::probe::SiteClass`; `cso-profile` carries a test keeping
+/// this table and `Event::site_class` in sync.
+pub const PROBE_SITES: &[(&str, &str)] = &[
+    ("flag-raise", "flag-wait"),
+    ("turn-advance", "lock-handoff"),
+    ("lock-handoff", "lock-handoff"),
+    ("lock-succeeded", "lock-handoff"),
+    ("suspect-raised", "-"),
+];
+
 #[cfg(test)]
 pub(crate) mod testutil {
     //! Shared stress harnesses: every lock must provide mutual

@@ -37,4 +37,4 @@ pub mod serve;
 
 pub use json::Json;
 pub use registry::{Counter, Gauge, Registry, Snapshot, Timer};
-pub use serve::{MetricsServer, PeriodicDump};
+pub use serve::{MetricsServer, PeriodicDump, RouteHandler, Routes};

@@ -4,7 +4,8 @@
 //! the workspace builds `--offline` with no external dependencies. The
 //! server speaks just enough HTTP/1.1 for `curl` and a Prometheus
 //! scraper: `GET /metrics` (text exposition), `GET /metrics.json`
-//! (JSON snapshot), 404 otherwise.
+//! (JSON snapshot), any [`Routes`] the embedder registered, 404 for
+//! unknown paths, and 400 for a request line that is not a `GET`.
 
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -14,6 +15,57 @@ use std::time::Duration;
 
 use crate::prom::{render_json, render_prometheus};
 use crate::registry::Registry;
+
+/// A pluggable route: returns `(content type, body)`; the server adds
+/// the status line and headers. Handlers run on the serve thread, one
+/// request at a time — keep them snapshot-cheap.
+pub type RouteHandler = Arc<dyn Fn() -> (String, String) + Send + Sync>;
+
+/// Extra `GET` routes served alongside the built-in `/metrics` and
+/// `/metrics.json` (which always win on a path collision). This keeps
+/// `cso-metrics` ignorant of what it serves: the profiling crate
+/// plugs `/profile`, `/spans.json` and `/flamegraph` in from outside.
+#[derive(Clone, Default)]
+pub struct Routes {
+    routes: Vec<(String, RouteHandler)>,
+}
+
+impl Routes {
+    /// No extra routes.
+    #[must_use]
+    pub fn new() -> Routes {
+        Routes::default()
+    }
+
+    /// Registers `handler` for exact-match `path` (e.g. `/profile`).
+    #[must_use]
+    pub fn add(
+        mut self,
+        path: impl Into<String>,
+        handler: impl Fn() -> (String, String) + Send + Sync + 'static,
+    ) -> Routes {
+        self.routes.push((path.into(), Arc::new(handler)));
+        self
+    }
+
+    /// The registered paths, in registration order.
+    #[must_use]
+    pub fn paths(&self) -> Vec<&str> {
+        self.routes.iter().map(|(p, _)| p.as_str()).collect()
+    }
+
+    fn lookup(&self, path: &str) -> Option<&RouteHandler> {
+        self.routes.iter().find(|(p, _)| p == path).map(|(_, h)| h)
+    }
+}
+
+impl std::fmt::Debug for Routes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Routes")
+            .field("paths", &self.paths())
+            .finish()
+    }
+}
 
 /// A background scrape endpoint serving a [`Registry`].
 ///
@@ -42,6 +94,20 @@ impl MetricsServer {
     ///
     /// Propagates the bind failure (address in use, permission, …).
     pub fn bind(registry: Registry, addr: impl ToSocketAddrs) -> std::io::Result<MetricsServer> {
+        MetricsServer::bind_with_routes(registry, addr, Routes::new())
+    }
+
+    /// Like [`MetricsServer::bind`], plus embedder-supplied [`Routes`]
+    /// served alongside the built-ins.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (address in use, permission, …).
+    pub fn bind_with_routes(
+        registry: Registry,
+        addr: impl ToSocketAddrs,
+        routes: Routes,
+    ) -> std::io::Result<MetricsServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -57,7 +123,7 @@ impl MetricsServer {
                         // One request per connection, best-effort: a
                         // slow or broken scraper must not wedge the
                         // serve thread.
-                        let _ = serve_one(stream, &registry);
+                        let _ = serve_one(stream, &registry, &routes);
                     }
                 }
             })?;
@@ -97,7 +163,7 @@ impl Drop for MetricsServer {
 }
 
 /// Reads one request head and writes the matching response.
-fn serve_one(mut stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+fn serve_one(mut stream: TcpStream, registry: &Registry, routes: &Routes) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
     let mut buf = [0u8; 2048];
@@ -119,23 +185,42 @@ fn serve_one(mut stream: TcpStream, registry: &Registry) -> std::io::Result<()> 
         }
     }
     let head = String::from_utf8_lossy(&buf[..len]);
-    let path = head
-        .lines()
-        .next()
-        .and_then(|line| line.split_whitespace().nth(1))
-        .unwrap_or("/");
+    // A well-formed request line is `GET <path> HTTP/1.x`. Anything
+    // else — wrong method, missing path, binary noise — is a 400, not
+    // a 404: the request was unintelligible, not a miss.
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let path = match (parts.next(), parts.next()) {
+        (Some("GET"), Some(path)) if path.starts_with('/') => Some(path),
+        _ => None,
+    };
     let (status, content_type, body) = match path {
-        "/metrics" => (
+        None => (
+            "400 Bad Request",
+            "text/plain".to_owned(),
+            "bad request\n".to_owned(),
+        ),
+        Some("/metrics") => (
             "200 OK",
-            "text/plain; version=0.0.4",
+            "text/plain; version=0.0.4".to_owned(),
             render_prometheus(&registry.snapshot()),
         ),
-        "/metrics.json" => (
+        Some("/metrics.json") => (
             "200 OK",
-            "application/json",
+            "application/json".to_owned(),
             render_json(&registry.snapshot()).render_pretty(),
         ),
-        _ => ("404 Not Found", "text/plain", "not found\n".to_owned()),
+        Some(other) => match routes.lookup(other) {
+            Some(handler) => {
+                let (content_type, body) = handler();
+                ("200 OK", content_type, body)
+            }
+            None => (
+                "404 Not Found",
+                "text/plain".to_owned(),
+                "not found\n".to_owned(),
+            ),
+        },
     };
     let response = format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
@@ -243,6 +328,67 @@ mod tests {
         let (head, _) = http_get(addr, "/nope");
         assert!(head.starts_with("HTTP/1.1 404"));
 
+        server.shutdown();
+    }
+
+    #[test]
+    fn custom_routes_serve_alongside_builtins() {
+        let registry = Registry::new();
+        registry.counter("routed_total").add(1);
+        let hits = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let hits_in_route = Arc::clone(&hits);
+        let routes = Routes::new()
+            .add("/profile", move || {
+                hits_in_route.fetch_add(1, Ordering::Relaxed);
+                ("text/plain".to_owned(), "live profile\n".to_owned())
+            })
+            .add("/spans.json", || {
+                ("application/json".to_owned(), "{\"spans\":0}".to_owned())
+            });
+        assert_eq!(routes.paths(), vec!["/profile", "/spans.json"]);
+        let server = MetricsServer::bind_with_routes(registry, "127.0.0.1:0", routes).unwrap();
+        let addr = server.addr();
+
+        let (head, body) = http_get(addr, "/profile");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("text/plain"));
+        assert_eq!(body, "live profile\n");
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+
+        let (head, body) = http_get(addr, "/spans.json");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        assert!(head.contains("application/json"));
+        assert_eq!(body, "{\"spans\":0}");
+
+        // Built-ins still win, and unknown paths still miss.
+        let (head, body) = http_get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        assert!(body.contains("routed_total 1"));
+        let (head, _) = http_get(addr, "/not-a-route");
+        assert!(head.starts_with("HTTP/1.1 404"));
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_lines_get_400() {
+        let server = MetricsServer::bind(Registry::new(), "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        for raw in [
+            "BLARG\r\n\r\n",                  // no path at all
+            "POST /metrics HTTP/1.1\r\n\r\n", // wrong method
+            "GET metrics HTTP/1.1\r\n\r\n",   // path without leading /
+            "\r\n\r\n",                       // empty request line
+        ] {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(raw.as_bytes()).unwrap();
+            let mut response = String::new();
+            stream.read_to_string(&mut response).unwrap();
+            assert!(
+                response.starts_with("HTTP/1.1 400"),
+                "{raw:?} -> {response:?}"
+            );
+        }
         server.shutdown();
     }
 

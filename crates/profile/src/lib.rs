@@ -1,0 +1,52 @@
+//! # `cso-profile` — continuous profiling for contention-sensitive objects
+//!
+//! `cso-trace` records into fixed per-thread rings, so a long run
+//! overwrites its own history; `cso-analyze` replays captures after
+//! the fact. This crate closes the gap between the two with four
+//! pieces that work while the workload runs:
+//!
+//! * [`harvest::Harvester`] — a background thread that drains every
+//!   probe ring (via `cso_trace::probe::harvest`) faster than the
+//!   rings wrap, making arbitrarily long traces lossless: the drop
+//!   gauge stays 0 and every event reaches the aggregator exactly
+//!   once;
+//! * [`aggregate::LiveAggregator`] — the streaming port of
+//!   `cso_analyze::spans`: each harvested batch feeds per-thread
+//!   [`cso_analyze::spans::ThreadReplayer`] state machines, and the
+//!   completed spans fold into bounded-memory aggregates — per-path
+//!   latency histograms, lock wait/hold quantiles, convoy and
+//!   combiner-stall detection, recovery counts, and collapsed stacks;
+//! * [`causal`] — a coz-style *causal* (what-if) profiler: to ask
+//!   "how much would speeding up site class X help?", it delays every
+//!   *other* probe-site class by a calibrated amount and compares
+//!   throughput against an everything-delayed baseline. The class
+//!   whose exclusion buys the most virtual speedup is the bottleneck;
+//! * [`routes`] — `/profile`, `/spans.json` and `/flamegraph`
+//!   handlers for [`cso_metrics::MetricsServer`], serving the live
+//!   aggregate over the same port as `/metrics`.
+//!
+//! Everything is std-only and compiles without the `trace` feature —
+//! the harvester then drains empty rings and the causal injector is
+//! inert, so embedding the profiler costs nothing in untraced builds.
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod causal;
+pub mod harvest;
+pub mod routes;
+
+pub use aggregate::{LiveAggregator, ProfileSnapshot};
+pub use causal::{CausalConfig, CausalReport, SiteGain};
+pub use harvest::Harvester;
+pub use routes::profile_routes;
+
+/// Serializes tests that touch the process-global probe rings or the
+/// causal injector (the rings have a single logical consumer).
+#[cfg(all(test, feature = "trace"))]
+fn test_serial() -> std::sync::MutexGuard<'static, ()> {
+    static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -239,6 +239,103 @@ impl fmt::Display for Event {
     }
 }
 
+/// The four candidate bottlenecks a causal (what-if) profiling run
+/// ranks against each other. Every probe event maps to at most one
+/// class (see [`Event::site_class`]); events outside the four classes
+/// (completions, chaos fires, recovery markers) are never delayed.
+///
+/// The classes follow the transformation's cost structure:
+/// [`SiteClass::CasRetry`] is the fast path's retry machinery,
+/// [`SiteClass::FlagWait`] the FLAG-to-acquire wait of the §4.4 boosted
+/// lock, [`SiteClass::LockHandoff`] the release/TURN/succession custody
+/// transfer, and [`SiteClass::Combining`] the publication-record
+/// lifecycle of the combining slow path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiteClass {
+    /// Fast-path retry machinery: `fast-attempt`, `fast-abort`,
+    /// `cas-fail`, `helping-write`.
+    CasRetry,
+    /// FLAG raise through lock acquisition: `flag-raise`,
+    /// `lock-acquire`.
+    FlagWait,
+    /// Lock custody transfer: `lock-release`, `turn-advance`,
+    /// `lock-handoff`, `lock-succeeded`.
+    LockHandoff,
+    /// Combining tenure: `record-post`, `record-handoff`,
+    /// `combine-batch`, `combined-complete`, `record-poisoned`.
+    Combining,
+}
+
+impl SiteClass {
+    /// Every class, in a stable order (bit index order).
+    pub const ALL: [SiteClass; 4] = [
+        SiteClass::CasRetry,
+        SiteClass::FlagWait,
+        SiteClass::LockHandoff,
+        SiteClass::Combining,
+    ];
+
+    /// A stable short name (`cas-retry`, `flag-wait`, `lock-handoff`,
+    /// `combining`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SiteClass::CasRetry => "cas-retry",
+            SiteClass::FlagWait => "flag-wait",
+            SiteClass::LockHandoff => "lock-handoff",
+            SiteClass::Combining => "combining",
+        }
+    }
+
+    /// The inverse of [`SiteClass::name`].
+    #[must_use]
+    pub fn parse(name: &str) -> Option<SiteClass> {
+        SiteClass::ALL.iter().copied().find(|c| c.name() == name)
+    }
+
+    /// This class's bit in a delay mask (see [`set_causal_delays`]).
+    #[must_use]
+    pub fn bit(self) -> u32 {
+        1 << (self as u32)
+    }
+
+    /// The mask selecting every class.
+    #[must_use]
+    pub fn mask_all() -> u32 {
+        SiteClass::ALL.iter().map(|c| c.bit()).fold(0, |a, b| a | b)
+    }
+}
+
+impl fmt::Display for SiteClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Event {
+    /// The causal site class this event belongs to, or `None` for
+    /// events that a causal profiling run never delays.
+    #[must_use]
+    pub fn site_class(&self) -> Option<SiteClass> {
+        match self {
+            Event::FastAttempt | Event::FastAbort | Event::CasFail(_) | Event::HelpingWrite(_) => {
+                Some(SiteClass::CasRetry)
+            }
+            Event::FlagRaise(_) | Event::LockAcquire(_) => Some(SiteClass::FlagWait),
+            Event::LockRelease(_)
+            | Event::TurnAdvance(_)
+            | Event::LockHandoff(_)
+            | Event::LockSucceeded(_) => Some(SiteClass::LockHandoff),
+            Event::RecordPost
+            | Event::RecordHandoff(_)
+            | Event::CombineBatch(_)
+            | Event::CombinedComplete
+            | Event::RecordPoisoned => Some(SiteClass::Combining),
+            _ => None,
+        }
+    }
+}
+
 /// One collected event: which thread, when (logical and wall), what.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
@@ -265,6 +362,23 @@ pub struct Trace {
     /// span analyzer must treat that thread's leading partial operation
     /// as truncated rather than malformed. Threads that lost nothing
     /// are not listed.
+    pub truncated: Vec<(u32, u64)>,
+}
+
+/// One harvester pass over every ring: the events drained since the
+/// previous pass, plus how many were overwritten before this pass could
+/// read them (see [`harvest`]).
+#[derive(Debug, Clone, Default)]
+pub struct Harvested {
+    /// The drained events, sorted by [`TraceEvent::seq`].
+    pub events: Vec<TraceEvent>,
+    /// Events lost to ring wrap-around between passes: they were
+    /// overwritten (or observed mid-overwrite) before this pass read
+    /// them. A harvester that keeps pace reports 0 here on every pass.
+    pub lost: u64,
+    /// Per-thread loss markers, `(thread, lost)`, for the threads that
+    /// contributed to [`Harvested::lost`] — a streaming span analyzer
+    /// desynchronises exactly those threads' state machines.
     pub truncated: Vec<(u32, u64)>,
 }
 
@@ -301,17 +415,23 @@ impl Trace {
 
 #[cfg(feature = "trace")]
 mod imp {
-    use super::{Event, Path, Trace, TraceEvent};
+    use super::{Event, Harvested, Path, Trace, TraceEvent};
     use std::cell::{Cell, OnceCell, RefCell};
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
     use std::sync::{Arc, Mutex, OnceLock};
-    use std::time::Instant;
+    use std::time::{Duration, Instant};
 
     /// Events kept per thread before the ring wraps (power of two).
     pub(super) const RING_CAPACITY: usize = 1 << 12;
 
     /// Runtime master switch (the compile-time switch is the feature).
     static ENABLED: AtomicBool = AtomicBool::new(true);
+
+    /// Causal-profiling delay config, packed `mask << 32 | delay_ns`
+    /// where `mask` selects [`super::SiteClass`] bits. Zero when
+    /// inactive, so the per-event cost outside a profiling window is
+    /// one relaxed load.
+    static CAUSAL: AtomicU64 = AtomicU64::new(0);
 
     /// The global logical clock: one relaxed `fetch_add` per event.
     static SEQ: AtomicU64 = AtomicU64::new(0);
@@ -487,11 +607,45 @@ mod imp {
             Event::SlowTimeout | Event::SlowPoisoned => LAST_PATH.with(|p| p.set(None)),
             _ => {}
         }
+        let causal = CAUSAL.load(Ordering::Relaxed);
+        if causal != 0 {
+            if let Some(class) = event.site_class() {
+                if (causal >> 32) as u32 & class.bit() != 0 {
+                    spin_delay(causal as u32);
+                }
+            }
+        }
         if !ENABLED.load(Ordering::Relaxed) {
             return;
         }
         let (code, arg) = encode(event);
         MY_RING.with(|cell| cell.get_or_init(register_ring).push(code, arg));
+    }
+
+    /// Busy-wait for `delay_ns`: causal injection must not yield the
+    /// core (a sleep would let the scheduler hide the virtual slowdown).
+    fn spin_delay(delay_ns: u32) {
+        let deadline = Duration::from_nanos(u64::from(delay_ns));
+        let start = Instant::now();
+        while start.elapsed() < deadline {
+            std::hint::spin_loop();
+        }
+    }
+
+    pub(super) fn set_causal_delays(mask: u32, delay_ns: u32) {
+        let packed = if mask == 0 || delay_ns == 0 {
+            0
+        } else {
+            u64::from(mask) << 32 | u64::from(delay_ns)
+        };
+        CAUSAL.store(packed, Ordering::SeqCst);
+    }
+
+    pub(super) fn causal_delays() -> Option<(u32, u32)> {
+        match CAUSAL.load(Ordering::Relaxed) {
+            0 => None,
+            packed => Some(((packed >> 32) as u32, packed as u32)),
+        }
     }
 
     pub(super) fn last_path() -> Option<Path> {
@@ -506,35 +660,51 @@ mod imp {
         ENABLED.load(Ordering::Relaxed)
     }
 
+    /// One ring's readable window: `(head, oldest)` where `oldest` is
+    /// the first index still in the ring and above the floor. Indices
+    /// in `floor..oldest` were overwritten unread — that gap *is* the
+    /// ring's drop count, so every consumer below derives loss from
+    /// this one helper and the global and per-thread counts agree by
+    /// construction.
+    fn ring_window(ring: &Ring) -> (u64, u64, u64) {
+        let head = ring.head.load(Ordering::Acquire);
+        let floor = ring.floor.load(Ordering::Acquire);
+        let oldest = head.saturating_sub(RING_CAPACITY as u64).max(floor);
+        (head, oldest, oldest - floor)
+    }
+
+    fn read_range(ring: &Ring, from: u64, to: u64, events: &mut Vec<TraceEvent>) {
+        for i in from..to {
+            let slot = &ring.slots[(i as usize) & (RING_CAPACITY - 1)];
+            let word = slot.word.load(Ordering::Relaxed);
+            let code = (word >> 32) as u8;
+            let arg = word as u32;
+            if let Some(event) = decode(code, arg) {
+                events.push(TraceEvent {
+                    thread: ring.thread,
+                    seq: slot.seq.load(Ordering::Relaxed),
+                    wall_ns: slot.wall_ns.load(Ordering::Relaxed),
+                    event,
+                });
+            }
+        }
+    }
+
     pub(super) fn collect() -> Trace {
         let rings = RINGS.lock().unwrap_or_else(|e| e.into_inner());
         let mut events = Vec::new();
-        let mut dropped = 0u64;
         let mut truncated = Vec::new();
         for ring in rings.iter() {
-            let head = ring.head.load(Ordering::Acquire);
-            let floor = ring.floor.load(Ordering::Acquire);
-            let oldest = head.saturating_sub(RING_CAPACITY as u64).max(floor);
-            if oldest > floor {
-                truncated.push((ring.thread, oldest - floor));
+            let (head, oldest, lost) = ring_window(ring);
+            if lost > 0 {
+                truncated.push((ring.thread, lost));
             }
-            dropped += oldest - floor;
-            for i in oldest..head {
-                let slot = &ring.slots[(i as usize) & (RING_CAPACITY - 1)];
-                let word = slot.word.load(Ordering::Relaxed);
-                let code = (word >> 32) as u8;
-                let arg = word as u32;
-                if let Some(event) = decode(code, arg) {
-                    events.push(TraceEvent {
-                        thread: ring.thread,
-                        seq: slot.seq.load(Ordering::Relaxed),
-                        wall_ns: slot.wall_ns.load(Ordering::Relaxed),
-                        event,
-                    });
-                }
-            }
+            read_range(ring, oldest, head, &mut events);
         }
         events.sort_by_key(|e| e.seq);
+        // The global count is the per-thread markers' sum *by
+        // construction* — there is no second accounting path to drift.
+        let dropped = truncated.iter().map(|(_, d)| d).sum();
         Trace {
             events,
             dropped,
@@ -543,19 +713,82 @@ mod imp {
     }
 
     /// Events overwritten by ring wrap-around so far, summed over every
-    /// ring (relative to the last [`super::clear`]).
+    /// ring (relative to the last [`super::clear`] / [`super::harvest`]).
     pub(super) fn dropped() -> u64 {
+        let rings = RINGS.lock().unwrap_or_else(|e| e.into_inner());
+        rings.iter().map(|ring| ring_window(ring).2).sum()
+    }
+
+    /// Events ever pushed into any ring (monotonic; unaffected by
+    /// [`super::clear`]).
+    pub(super) fn emitted() -> u64 {
         let rings = RINGS.lock().unwrap_or_else(|e| e.into_inner());
         rings
             .iter()
-            .map(|ring| {
-                let head = ring.head.load(Ordering::Acquire);
-                let floor = ring.floor.load(Ordering::Acquire);
-                head.saturating_sub(RING_CAPACITY as u64)
-                    .max(floor)
-                    .saturating_sub(floor)
-            })
+            .map(|ring| ring.head.load(Ordering::Acquire))
             .sum()
+    }
+
+    pub(super) fn harvest() -> Harvested {
+        // The RINGS mutex serializes harvest against collect/clear and
+        // against concurrent harvesters: each ring has exactly one
+        // consumer at a time, so advancing the floor below is safe.
+        let rings = RINGS.lock().unwrap_or_else(|e| e.into_inner());
+        let mut events = Vec::new();
+        let mut lost = 0u64;
+        let mut truncated = Vec::new();
+        for ring in rings.iter() {
+            let (head, oldest, gap) = ring_window(ring);
+            let mut ring_lost = gap;
+            let mut batch: Vec<(u64, TraceEvent)> = Vec::with_capacity((head - oldest) as usize);
+            for i in oldest..head {
+                let slot = &ring.slots[(i as usize) & (RING_CAPACITY - 1)];
+                let word = slot.word.load(Ordering::Relaxed);
+                if let Some(event) = decode((word >> 32) as u8, word as u32) {
+                    batch.push((
+                        i,
+                        TraceEvent {
+                            thread: ring.thread,
+                            seq: slot.seq.load(Ordering::Relaxed),
+                            wall_ns: slot.wall_ns.load(Ordering::Relaxed),
+                            event,
+                        },
+                    ));
+                }
+            }
+            // Writers kept pushing while we read. Any index the head
+            // has since come within one capacity of was potentially
+            // mid-overwrite during the read above — discard those reads
+            // and count them lost rather than hand back torn slots.
+            // The +1: a write publishes its head increment *after* the
+            // slot stores, so when `head_now` reads `j` the writer may
+            // still be scribbling index `j`'s slot — which index
+            // `j - capacity` shares. Keeping that boundary index can
+            // ingest the new lap's word under the old index and then
+            // read the same word again next pass (a duplicate that
+            // breaks `ingested + lost == emitted`).
+            let head_now = ring.head.load(Ordering::Acquire);
+            let safe_from = (head_now + 1).saturating_sub(RING_CAPACITY as u64);
+            if safe_from > oldest {
+                ring_lost += safe_from.min(head) - oldest;
+                batch.retain(|(i, _)| *i >= safe_from);
+            }
+            events.extend(batch.into_iter().map(|(_, e)| e));
+            if ring_lost > 0 {
+                truncated.push((ring.thread, ring_lost));
+            }
+            lost += ring_lost;
+            // Everything up to the observed head is now consumed:
+            // overwriting it no longer counts as a drop. fetch_max
+            // keeps a concurrent clear()'s higher floor intact.
+            ring.floor.fetch_max(head, Ordering::AcqRel);
+        }
+        events.sort_by_key(|e| e.seq);
+        Harvested {
+            events,
+            lost,
+            truncated,
+        }
     }
 
     pub(super) fn clear() {
@@ -663,6 +896,80 @@ pub fn clear() {
     imp::clear();
 }
 
+/// Drains every ring since the previous harvest (or [`clear`]) and
+/// advances the consumed watermark, so events a harvester has already
+/// read are **not** counted as drops when the ring later overwrites
+/// them. A background thread calling this faster than any ring wraps
+/// makes long traces lossless: [`dropped`] stays 0 and the union of
+/// all [`Harvested::events`] is the complete event stream.
+///
+/// Harvest passes are serialized against each other and against
+/// [`collect`] / [`clear`] (single consumer per ring). A [`collect`]
+/// *after* a harvest returns only the not-yet-harvested tail — the
+/// harvester owns everything before its watermark. Empty without the
+/// `trace` feature.
+#[must_use]
+pub fn harvest() -> Harvested {
+    #[cfg(feature = "trace")]
+    {
+        imp::harvest()
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        Harvested::default()
+    }
+}
+
+/// Events ever recorded into any thread's ring: a monotonic counter
+/// unaffected by [`clear`] or [`harvest`]. The losslessness check is
+/// `aggregated == emitted() delta` over a harvested window. Zero
+/// without the `trace` feature.
+#[must_use]
+pub fn emitted() -> u64 {
+    #[cfg(feature = "trace")]
+    {
+        imp::emitted()
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        0
+    }
+}
+
+/// Arms causal-profiling delay injection: every probe event whose
+/// [`Event::site_class`] bit is set in `mask` busy-waits `delay_ns`
+/// nanoseconds before recording. A causal profiler delays every class
+/// *except* the one under test and compares throughput against an
+/// all-classes-delayed baseline (coz-style virtual speedup). Passing
+/// `mask == 0` or `delay_ns == 0` disarms. Costs one relaxed atomic
+/// load per probe event while disarmed; no-op without the `trace`
+/// feature.
+pub fn set_causal_delays(mask: u32, delay_ns: u32) {
+    #[cfg(feature = "trace")]
+    imp::set_causal_delays(mask, delay_ns);
+    #[cfg(not(feature = "trace"))]
+    let _ = (mask, delay_ns);
+}
+
+/// Disarms causal-profiling delay injection.
+pub fn clear_causal_delays() {
+    set_causal_delays(0, 0);
+}
+
+/// The armed `(mask, delay_ns)` pair, or `None` when injection is
+/// disarmed (always `None` without the `trace` feature).
+#[must_use]
+pub fn causal_delays() -> Option<(u32, u32)> {
+    #[cfg(feature = "trace")]
+    {
+        imp::causal_delays()
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -719,6 +1026,34 @@ mod tests {
         assert!(!trace.is_empty());
     }
 
+    #[test]
+    fn site_classes_partition_the_taxonomy() {
+        use SiteClass::*;
+        assert_eq!(Event::FastAttempt.site_class(), Some(CasRetry));
+        assert_eq!(Event::FastAbort.site_class(), Some(CasRetry));
+        assert_eq!(Event::CasFail("top").site_class(), Some(CasRetry));
+        assert_eq!(Event::HelpingWrite("top").site_class(), Some(CasRetry));
+        assert_eq!(Event::FlagRaise(0).site_class(), Some(FlagWait));
+        assert_eq!(Event::LockAcquire(0).site_class(), Some(FlagWait));
+        assert_eq!(Event::LockRelease(0).site_class(), Some(LockHandoff));
+        assert_eq!(Event::TurnAdvance(0).site_class(), Some(LockHandoff));
+        assert_eq!(Event::LockHandoff("mcs").site_class(), Some(LockHandoff));
+        assert_eq!(Event::LockSucceeded(0).site_class(), Some(LockHandoff));
+        assert_eq!(Event::RecordPost.site_class(), Some(Combining));
+        assert_eq!(Event::CombineBatch(3).site_class(), Some(Combining));
+        // Completions, chaos and recovery markers are never delayed.
+        assert_eq!(Event::FastSuccess.site_class(), None);
+        assert_eq!(Event::LockedComplete.site_class(), None);
+        assert_eq!(Event::FailPoint("x").site_class(), None);
+        assert_eq!(Event::SuspectRaised(0).site_class(), None);
+        for class in SiteClass::ALL {
+            assert_eq!(SiteClass::parse(class.name()), Some(class));
+        }
+        assert_eq!(SiteClass::parse("nope"), None);
+        assert_eq!(SiteClass::mask_all(), 0b1111);
+        assert_eq!(SiteClass::CasRetry.to_string(), "cas-retry");
+    }
+
     #[cfg(not(feature = "trace"))]
     #[test]
     fn disabled_build_records_nothing() {
@@ -726,6 +1061,11 @@ mod tests {
         assert!(collect().is_empty());
         assert_eq!(last_path(), None);
         assert!(!enabled());
+        assert!(harvest().events.is_empty());
+        assert_eq!(emitted(), 0);
+        set_causal_delays(SiteClass::mask_all(), 1_000);
+        assert_eq!(causal_delays(), None);
+        clear_causal_delays();
     }
 
     #[cfg(feature = "trace")]
@@ -840,6 +1180,135 @@ mod tests {
             assert!(trace.truncated.iter().all(|(t, _)| *t != other));
             // Survivors stay in logical order: truncation never reorders.
             assert!(trace.events.windows(2).all(|w| w[0].seq < w[1].seq));
+            clear();
+        }
+
+        #[test]
+        fn harvest_is_lossless_across_many_wraps() {
+            let _serial = serial();
+            clear();
+            let emitted_before = emitted();
+            let chunk = super::super::imp::RING_CAPACITY as u64 / 2;
+            let rounds = 24; // 12x the ring capacity in total
+            let mut harvested = 0u64;
+            let mut lost = 0u64;
+            for _ in 0..rounds {
+                for _ in 0..chunk {
+                    record(Event::FastAttempt);
+                }
+                let batch = harvest();
+                harvested += batch.events.len() as u64;
+                lost += batch.lost;
+            }
+            let total = emitted() - emitted_before;
+            assert_eq!(total, chunk * rounds);
+            assert_eq!(lost, 0, "a keeping-pace harvester loses nothing");
+            assert_eq!(harvested, total, "every emitted event was drained");
+            assert_eq!(dropped(), 0, "harvested overwrites are not drops");
+            assert_eq!(collect().dropped, 0);
+            clear();
+        }
+
+        #[test]
+        fn unharvested_overflow_still_counts_as_lost() {
+            let _serial = serial();
+            clear();
+            let n = super::super::imp::RING_CAPACITY as u64 + 200;
+            for _ in 0..n {
+                record(Event::FastAttempt);
+            }
+            let batch = harvest();
+            assert!(batch.lost >= 200, "lost {}", batch.lost);
+            assert_eq!(batch.events.len() as u64 + batch.lost, n);
+            // The harvest consumed everything: the gauge restarts.
+            assert_eq!(dropped(), 0);
+            clear();
+        }
+
+        #[test]
+        fn collect_after_harvest_returns_only_the_tail() {
+            let _serial = serial();
+            clear();
+            record(Event::ContentionRaise);
+            let batch = harvest();
+            assert!(batch
+                .events
+                .iter()
+                .any(|e| e.event == Event::ContentionRaise));
+            record(Event::ContentionClear);
+            let trace = collect();
+            assert!(
+                !trace
+                    .events
+                    .iter()
+                    .any(|e| e.event == Event::ContentionRaise),
+                "harvested events are owned by the harvester"
+            );
+            assert!(trace
+                .events
+                .iter()
+                .any(|e| e.event == Event::ContentionClear));
+            clear();
+        }
+
+        #[test]
+        fn dropped_is_the_sum_of_per_thread_markers_across_clear() {
+            let _serial = serial();
+            clear();
+            // Wrap this thread's ring, then add a second non-wrapped
+            // ring: the global gauge must equal the marker sum.
+            let n = super::super::imp::RING_CAPACITY as u64 + 500;
+            for _ in 0..n {
+                record(Event::FastAttempt);
+            }
+            std::thread::spawn(|| record(Event::FastSuccess))
+                .join()
+                .unwrap();
+            let trace = collect();
+            let marker_sum: u64 = trace.truncated.iter().map(|(_, d)| d).sum();
+            assert_eq!(trace.dropped, marker_sum);
+            assert_eq!(dropped(), marker_sum, "live gauge agrees with markers");
+            // clear() resets both accountings together — they cannot
+            // disagree afterwards because both derive from the floor.
+            clear();
+            assert_eq!(dropped(), 0);
+            let trace = collect();
+            assert_eq!(trace.dropped, 0);
+            assert!(trace.truncated.is_empty());
+            record(Event::FastAttempt);
+            let trace = collect();
+            assert_eq!(trace.dropped, 0);
+            assert!(trace.truncated.is_empty());
+            clear();
+        }
+
+        #[test]
+        fn causal_delays_slow_only_masked_classes() {
+            let _serial = serial();
+            clear();
+            clear_causal_delays();
+            assert_eq!(causal_delays(), None);
+            set_causal_delays(SiteClass::FlagWait.bit(), 200_000);
+            assert_eq!(causal_delays(), Some((SiteClass::FlagWait.bit(), 200_000)));
+            let t = std::time::Instant::now();
+            record(Event::FlagRaise(0)); // flag-wait: delayed
+            let delayed = t.elapsed();
+            let t = std::time::Instant::now();
+            record(Event::FastSuccess); // classless: never delayed
+            let undelayed = t.elapsed();
+            clear_causal_delays();
+            assert_eq!(causal_delays(), None);
+            assert!(
+                delayed.as_nanos() >= 200_000,
+                "masked class was delayed ({delayed:?})"
+            );
+            assert!(
+                undelayed < delayed,
+                "unmasked record ({undelayed:?}) is faster than delayed ({delayed:?})"
+            );
+            let t = std::time::Instant::now();
+            record(Event::FlagRaise(0));
+            assert!(t.elapsed().as_nanos() < 200_000, "disarm removes the delay");
             clear();
         }
 

@@ -43,6 +43,8 @@
 //! | [`lincheck`] | history recording + Wing–Gong linearizability checker |
 //! | [`explore`] | step-machine model checker (exhaustive & randomized schedules) |
 //! | [`metrics`] | live metrics registry (sharded counters, gauges, log-histogram timers), Prometheus/JSON exporters, scrape endpoint |
+//! | [`trace`] | feature-gated probe rings, latency histograms, step auditor, Chrome trace export |
+//! | [`profile`] | continuous profiling: background ring harvester, online span aggregator, causal (what-if) profiler, live `/profile` + `/spans.json` + `/flamegraph` routes |
 
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
@@ -56,5 +58,7 @@ pub use cso_lincheck as lincheck;
 pub use cso_locks as locks;
 pub use cso_memory as memory;
 pub use cso_metrics as metrics;
+pub use cso_profile as profile;
 pub use cso_queue as queue;
 pub use cso_stack as stack;
+pub use cso_trace as trace;
