@@ -10,6 +10,8 @@ use std::hint;
 use std::thread;
 use std::time::{Duration, Instant};
 
+use crate::runtime::{Active, Runtime};
+
 /// A point in time a wait loop must not spin past.
 ///
 /// The paper's waits (Figure 3 line 05, the line-08 retry loop, every
@@ -100,9 +102,15 @@ impl XorShift64 {
         }
     }
 
-    /// Creates a generator seeded from the current thread and time.
+    /// Creates a generator seeded from the current thread and time —
+    /// or, inside a model-runtime session, from the session's
+    /// deterministic entropy (so replayed schedules reseed
+    /// identically).
     #[must_use]
     pub fn from_entropy() -> XorShift64 {
+        if let Some(seed) = Active::entropy_seed() {
+            return XorShift64::new(seed);
+        }
         use std::collections::hash_map::RandomState;
         use std::hash::{BuildHasher, Hasher};
         let mut hasher = RandomState::new().build_hasher();
@@ -175,6 +183,15 @@ impl Backoff {
 
     /// Waits for the current delay and doubles it (up to the cap).
     pub fn spin(&mut self) {
+        if Active::spin_hint() {
+            // A model session absorbed the wait (and marked this
+            // thread as busy-waiting); the delay still escalates so
+            // `is_yielding` behaves identically.
+            if self.step < Self::MAX_STEP {
+                self.step += 1;
+            }
+            return;
+        }
         if self.step < Self::YIELD_THRESHOLD {
             for _ in 0..(1u32 << self.step) {
                 hint::spin_loop();
@@ -190,6 +207,12 @@ impl Backoff {
     /// Like [`Backoff::spin`] but randomizes the spin count in
     /// `[1, 2^step]`, decorrelating threads that failed together.
     pub fn spin_jittered(&mut self, rng: &mut XorShift64) {
+        if Active::spin_hint() {
+            if self.step < Self::MAX_STEP {
+                self.step += 1;
+            }
+            return;
+        }
         if self.step < Self::YIELD_THRESHOLD {
             let max = 1u64 << self.step;
             for _ in 0..=rng.next_below(max) {
@@ -246,6 +269,9 @@ impl Spinner {
     /// Waits one step: a pause instruction for the first
     /// [`Spinner::SPIN_LIMIT`] calls, a `thread::yield_now` after.
     pub fn spin(&mut self) {
+        if Active::spin_hint() {
+            return;
+        }
         if self.count < Self::SPIN_LIMIT {
             self.count += 1;
             hint::spin_loop();
@@ -367,6 +393,13 @@ impl CasBackoff {
     /// (free at level 0), yielding once first at high levels. Call
     /// *before* retrying the CAS.
     pub fn wait(&mut self) {
+        // Model sessions hint unconditionally — the manager's level is
+        // per-thread state that survives across explored schedules, so
+        // a level-dependent yield would make replays of the same
+        // schedule prefix diverge.
+        if Active::spin_hint() {
+            return;
+        }
         if self.level == 0 {
             return;
         }

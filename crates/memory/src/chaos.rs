@@ -38,6 +38,7 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use crate::backoff::XorShift64;
+use crate::runtime::{Active, Runtime};
 
 /// What an armed fail point injects when it fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -277,8 +278,17 @@ pub fn hit(site: &'static str) -> Action {
         if s.hits <= s.plan.after {
             return None;
         }
-        if s.plan.one_in > 1 && s.rng.next_below(s.plan.one_in) != 0 {
-            return None;
+        if s.plan.one_in > 1 {
+            // Under the model runtime the fire/skip draw is a recorded
+            // schedule decision (deterministic, replayable); otherwise
+            // it falls back to the site's thread-agnostic RNG.
+            let fired = match Active::chaos_one_in(s.plan.one_in) {
+                Some(fired) => fired,
+                None => s.rng.next_below(s.plan.one_in) == 0,
+            };
+            if !fired {
+                return None;
+            }
         }
         s.fires += 1;
         *reg.fires.entry(site).or_insert(0) += 1;
@@ -297,11 +307,19 @@ pub fn hit(site: &'static str) -> Action {
     }
     match fault {
         Fault::Delay(d) => {
-            std::thread::sleep(d);
+            // Inside a model session a wall-clock sleep is meaningless
+            // (and harmful: it stalls the serialized schedule); one
+            // spin-hint yields the same "someone else runs first"
+            // effect deterministically.
+            if !Active::spin_hint() {
+                std::thread::sleep(d);
+            }
             Action::Continue
         }
         Fault::Yield => {
-            std::thread::yield_now();
+            if !Active::spin_hint() {
+                std::thread::yield_now();
+            }
             Action::Continue
         }
         Fault::SpuriousAbort => Action::Abort,
@@ -309,7 +327,9 @@ pub fn hit(site: &'static str) -> Action {
         Fault::StallForever => {
             let generation = GENERATION.load(Ordering::SeqCst);
             while GENERATION.load(Ordering::SeqCst) == generation {
-                std::thread::park_timeout(Duration::from_micros(200));
+                if !Active::spin_hint() {
+                    std::thread::park_timeout(Duration::from_micros(200));
+                }
             }
             Action::Continue
         }

@@ -98,6 +98,20 @@ thread_local! {
     static RNG: RefCell<XorShift64> = RefCell::new(XorShift64::from_entropy());
 }
 
+/// A pseudo-random value in `[0, bound)` for slot selection. Inside a
+/// model-runtime session it is drawn from the session's deterministic
+/// entropy instead of the persistent thread-local generator — the
+/// thread-local survives across explored schedules (the exploration
+/// body runs many times on one OS thread), which would make replays
+/// of the same schedule prefix diverge.
+fn random_below(bound: u64) -> u64 {
+    use crate::runtime::{Active, Runtime};
+    if let Some(seed) = Active::entropy_seed() {
+        return XorShift64::new(seed).next_below(bound);
+    }
+    RNG.with(|rng| rng.borrow_mut().next_below(bound))
+}
+
 /// Retracts a parked item if the offeror unwinds mid-exchange.
 ///
 /// Armed between the `WAITING` store and the normal resolution of an
@@ -218,7 +232,14 @@ impl<T: Send> Exchanger<T> {
                 guard.armed = false;
                 return Ok(());
             }
-            if i % 64 == 63 {
+            let absorbed = {
+                use crate::runtime::{Active, Runtime};
+                Active::spin_hint()
+            };
+            if absorbed {
+                // A model session absorbed the wait and will run the
+                // prospective taker before us.
+            } else if i % 64 == 63 {
                 // On an oversubscribed host the partner cannot run
                 // while we spin; hand over the quantum periodically so
                 // a parked offer is actually visible to it. The item
@@ -273,7 +294,7 @@ impl<T: Send> Exchanger<T> {
     ///
     /// Scans every slot starting from a random index.
     pub fn take_if(&self, mut admit: impl FnMut() -> bool) -> Option<T> {
-        let start = RNG.with(|rng| rng.borrow_mut().next_below(self.slots.len() as u64)) as usize;
+        let start = random_below(self.slots.len() as u64) as usize;
         for i in 0..self.slots.len() {
             let slot = &*self.slots[(start + i) % self.slots.len()];
             let word = slot.state.load(Ordering::Acquire);
@@ -309,7 +330,7 @@ impl<T: Send> Exchanger<T> {
     }
 
     fn random_slot(&self) -> &ExchangeSlot<T> {
-        let idx = RNG.with(|rng| rng.borrow_mut().next_below(self.slots.len() as u64)) as usize;
+        let idx = random_below(self.slots.len() as u64) as usize;
         &self.slots[idx]
     }
 }

@@ -62,6 +62,7 @@ pub mod liveness;
 pub mod packed;
 pub mod reg;
 pub mod registry;
+pub mod runtime;
 pub mod slab;
 
 /// Declares a named fault-injection site (see [`chaos`]).

@@ -29,6 +29,23 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 use crate::counting::{record, AccessKind};
+use crate::runtime::{Active, Runtime};
+
+/// One counted access: first a runtime scheduling hook (a yield point
+/// under the `model` feature, nothing under the default [`Active`] =
+/// `StdRuntime`), then the thread-local accounting.
+#[inline(always)]
+fn access(kind: AccessKind) {
+    Active::before_access(kind);
+    record(kind);
+}
+
+/// One uncounted peek: scheduled by the model runtime (racy peek-based
+/// code must still be visible to the explorer), free otherwise.
+#[inline(always)]
+fn peek_point() {
+    Active::before_peek();
+}
 
 /// A counted 64-bit atomic register.
 ///
@@ -60,14 +77,14 @@ impl Reg64 {
     /// Atomically reads the register.
     #[inline]
     pub fn read(&self) -> u64 {
-        record(AccessKind::Read);
+        access(AccessKind::Read);
         self.cell.load(Ordering::SeqCst)
     }
 
     /// Atomically writes `value` into the register.
     #[inline]
     pub fn write(&self, value: u64) {
-        record(AccessKind::Write);
+        access(AccessKind::Write);
         self.cell.store(value, Ordering::SeqCst);
     }
 
@@ -76,7 +93,7 @@ impl Reg64 {
     /// otherwise returns `false` and leaves the register unchanged.
     #[inline]
     pub fn cas(&self, old: u64, new: u64) -> bool {
-        record(AccessKind::Cas);
+        access(AccessKind::Cas);
         self.cell
             .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
             .is_ok()
@@ -87,7 +104,7 @@ impl Reg64 {
     /// boolean, but the previous value of X" (§2.2).
     #[inline]
     pub fn cas_observe(&self, old: u64, new: u64) -> Result<(), u64> {
-        record(AccessKind::Cas);
+        access(AccessKind::Cas);
         self.cell
             .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
             .map(|_| ())
@@ -99,6 +116,7 @@ impl Reg64 {
     #[inline]
     #[must_use]
     pub fn peek(&self) -> u64 {
+        peek_point();
         self.cell.load(Ordering::Relaxed)
     }
 
@@ -110,6 +128,7 @@ impl Reg64 {
     /// CAS, so solo step budgets are unchanged.
     #[inline]
     pub fn cas_validated(&self, old: u64, new: u64) -> bool {
+        peek_point();
         if self.cell.load(Ordering::Relaxed) != old {
             return false;
         }
@@ -143,21 +162,21 @@ impl RegBool {
     /// Atomically reads the register.
     #[inline]
     pub fn read(&self) -> bool {
-        record(AccessKind::Read);
+        access(AccessKind::Read);
         self.cell.load(Ordering::SeqCst)
     }
 
     /// Atomically writes `value`.
     #[inline]
     pub fn write(&self, value: bool) {
-        record(AccessKind::Write);
+        access(AccessKind::Write);
         self.cell.store(value, Ordering::SeqCst);
     }
 
     /// Atomic `Compare&Swap`; returns whether the swap happened.
     #[inline]
     pub fn cas(&self, old: bool, new: bool) -> bool {
-        record(AccessKind::Cas);
+        access(AccessKind::Cas);
         self.cell
             .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
             .is_ok()
@@ -167,7 +186,7 @@ impl RegBool {
     /// Counted as one CAS-class access (it is a read-modify-write).
     #[inline]
     pub fn swap(&self, value: bool) -> bool {
-        record(AccessKind::Cas);
+        access(AccessKind::Cas);
         self.cell.swap(value, Ordering::SeqCst)
     }
 
@@ -176,6 +195,7 @@ impl RegBool {
     #[inline]
     #[must_use]
     pub fn peek(&self) -> bool {
+        peek_point();
         self.cell.load(Ordering::Relaxed)
     }
 
@@ -187,6 +207,7 @@ impl RegBool {
     /// always happens, so solo step budgets are unchanged.
     #[inline]
     pub fn write_lazy(&self, value: bool) -> bool {
+        peek_point();
         if self.cell.load(Ordering::Relaxed) == value {
             return false;
         }
@@ -222,21 +243,21 @@ impl RegUsize {
     /// Atomically reads the register.
     #[inline]
     pub fn read(&self) -> usize {
-        record(AccessKind::Read);
+        access(AccessKind::Read);
         self.cell.load(Ordering::SeqCst)
     }
 
     /// Atomically writes `value`.
     #[inline]
     pub fn write(&self, value: usize) {
-        record(AccessKind::Write);
+        access(AccessKind::Write);
         self.cell.store(value, Ordering::SeqCst);
     }
 
     /// Atomic `Compare&Swap`; returns whether the swap happened.
     #[inline]
     pub fn cas(&self, old: usize, new: usize) -> bool {
-        record(AccessKind::Cas);
+        access(AccessKind::Cas);
         self.cell
             .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
             .is_ok()
@@ -246,7 +267,7 @@ impl RegUsize {
     /// Counted as one CAS-class access.
     #[inline]
     pub fn fetch_add(&self, delta: usize) -> usize {
-        record(AccessKind::Cas);
+        access(AccessKind::Cas);
         self.cell.fetch_add(delta, Ordering::SeqCst)
     }
 
@@ -254,7 +275,7 @@ impl RegUsize {
     /// Counted as one CAS-class access.
     #[inline]
     pub fn swap(&self, value: usize) -> usize {
-        record(AccessKind::Cas);
+        access(AccessKind::Cas);
         self.cell.swap(value, Ordering::SeqCst)
     }
 }

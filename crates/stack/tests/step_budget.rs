@@ -25,6 +25,14 @@ const STRONG_BUDGET: u64 = 6;
 /// Figure 1's cost for a solo weak operation.
 const WEAK_COST: u64 = 5;
 
+/// The access-counting substrate this whole file leans on must be the
+/// zero-cost passthrough in a default build — the `model` runtime is
+/// opt-in and would invalidate the bit-exact totals below.
+#[test]
+fn default_build_runs_the_std_runtime() {
+    assert_eq!(cso_memory::runtime::active_name(), "std");
+}
+
 #[test]
 fn contention_free_strong_ops_stay_within_six_accesses() {
     let cs: CsStack<u32> = CsStack::new(1024, 4);

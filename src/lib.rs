@@ -60,5 +60,11 @@ pub use cso_memory as memory;
 pub use cso_metrics as metrics;
 pub use cso_profile as profile;
 pub use cso_queue as queue;
+/// The deterministic-interleaving runtime (only with the `model`
+/// feature): drives the production structures through exhaustive,
+/// seeded-random, or replayed schedules. See `tests/model_explore.rs`
+/// and the CONTRIBUTING.md model-test guide.
+#[cfg(feature = "model")]
+pub use cso_sched as sched;
 pub use cso_stack as stack;
 pub use cso_trace as trace;

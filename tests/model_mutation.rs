@@ -1,0 +1,233 @@
+//! Mutation self-test: proof the model harness can actually fail.
+//!
+//! A verification harness that has never caught a planted bug proves
+//! nothing. This file carries a test-only copy of the Figure 1
+//! abortable stack with **one deliberate mutation**: the helping write
+//! (lines 02/15–16, which completes the previous operation's lazy slot
+//! update) is moved from *before* the decisive `TOP` C&S to *after*
+//! it. Solo the mutant is indistinguishable — same results, same
+//! five counted accesses — but the paper's key invariant ("a new TOP
+//! is only installed after the current top slot is finalized") is
+//! broken: a concurrent pop can read the stale below-top slot and
+//! resurrect a dead value. The explorer must find that interleaving
+//! within a bounded schedule count, and its printed trace must replay
+//! to the same violation.
+//!
+//! Requires `--features model`.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use cso::memory::packed::{SlotWord, TopWord};
+use cso::memory::reg::Reg64;
+use cso::sched::{spawn, Explorer};
+
+/// `⊥` — the paper's "no value" sentinel (must match the real stack's
+/// convention of using the value-field zero state for ⊥; the mutant
+/// only ever stores non-zero payloads).
+const BOTTOM: u32 = 0;
+
+/// The Figure 1 stack with a switch to reorder the helping write.
+/// Faithful to `cso_stack::AbortableStack` in structure and counted
+/// cost; stripped of stats, elimination, and fail points.
+struct MutableStack {
+    top: Reg64,
+    slots: Vec<Reg64>,
+    /// `false` = faithful Figure 1; `true` = help AFTER the TOP C&S.
+    help_after_cas: bool,
+}
+
+impl MutableStack {
+    fn new(capacity: usize, help_after_cas: bool) -> MutableStack {
+        let top = Reg64::new(
+            TopWord {
+                index: 0,
+                seq: 0,
+                value: BOTTOM,
+            }
+            .pack(),
+        );
+        let slots = (0..=capacity)
+            .map(|x| {
+                let seq = if x == 0 { u16::MAX } else { 0 };
+                Reg64::new(SlotWord { value: BOTTOM, seq }.pack())
+            })
+            .collect();
+        MutableStack {
+            top,
+            slots,
+            help_after_cas,
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.len() - 1
+    }
+
+    /// Lines 15–16: finish the pending lazy write of the operation
+    /// that installed `top`.
+    fn help(&self, top: TopWord) {
+        let slot = &self.slots[usize::from(top.index)];
+        let current = SlotWord::unpack(slot.read());
+        let old = SlotWord {
+            value: current.value,
+            seq: top.seq.wrapping_sub(1),
+        };
+        let new = SlotWord {
+            value: top.value,
+            seq: top.seq,
+        };
+        let _ = slot.cas(old.pack(), new.pack());
+    }
+
+    /// Lines 01–07, with the help either in its rightful place
+    /// (line 02) or mutated to after the decisive C&S.
+    fn weak_push(&self, value: u32) -> Result<bool, ()> {
+        let observed = TopWord::unpack(self.top.read());
+        if !self.help_after_cas {
+            self.help(observed);
+        }
+        if usize::from(observed.index) == self.capacity() {
+            if self.help_after_cas {
+                self.help(observed);
+            }
+            return Ok(false); // full
+        }
+        let next_slot = SlotWord::unpack(self.slots[usize::from(observed.index) + 1].read());
+        let newtop = TopWord {
+            index: observed.index + 1,
+            value,
+            seq: next_slot.seq.wrapping_add(1),
+        };
+        if self.top.cas(observed.pack(), newtop.pack()) {
+            if self.help_after_cas {
+                // THE MUTATION: the previous top slot gets finalized
+                // only after the new TOP is already visible — a window
+                // in which a concurrent pop reads the stale slot.
+                self.help(observed);
+            }
+            Ok(true)
+        } else {
+            Err(())
+        }
+    }
+
+    /// Lines 08–14 (faithful in both variants; the push-side mutation
+    /// is what poisons the slot this reads).
+    fn weak_pop(&self) -> Result<Option<u32>, ()> {
+        let observed = TopWord::unpack(self.top.read());
+        self.help(observed);
+        if observed.index == 0 {
+            return Ok(None); // empty
+        }
+        let below = SlotWord::unpack(self.slots[usize::from(observed.index) - 1].read());
+        let newtop = TopWord {
+            index: observed.index - 1,
+            value: below.value,
+            seq: below.seq.wrapping_add(1),
+        };
+        if self.top.cas(observed.pack(), newtop.pack()) {
+            Ok(Some(observed.value))
+        } else {
+            Err(())
+        }
+    }
+
+    /// Retry loops turning the weak ops strong (Figure 2).
+    fn push(&self, value: u32) -> bool {
+        loop {
+            if let Ok(done) = self.weak_push(value) {
+                return done;
+            }
+        }
+    }
+
+    fn pop(&self) -> Option<u32> {
+        loop {
+            if let Ok(v) = self.weak_pop() {
+                return v;
+            }
+        }
+    }
+}
+
+/// The conservation body both variants run: push {1, 2} from two
+/// threads (1 solo before spawning, 2 concurrently with a pop), then
+/// drain and demand the popped multiset is exactly {1, 2}.
+fn conservation_body(help_after_cas: bool) {
+    let stack = Arc::new(MutableStack::new(3, help_after_cas));
+    assert!(stack.push(1), "solo push cannot fail");
+    let child = {
+        let stack = Arc::clone(&stack);
+        spawn(move || {
+            assert!(stack.push(2), "capacity 3 cannot fill");
+        })
+    };
+    let mut got = Vec::new();
+    if let Some(v) = stack.pop() {
+        got.push(v);
+    }
+    child.join();
+    while let Some(v) = stack.pop() {
+        got.push(v);
+    }
+    let distinct: BTreeSet<u32> = got.iter().copied().collect();
+    assert_eq!(got.len(), 2, "conservation violated: popped {got:?}");
+    assert_eq!(
+        distinct,
+        BTreeSet::from([1, 2]),
+        "conservation violated: popped {got:?}"
+    );
+}
+
+/// The unmutated control: the faithful Figure 1 ordering survives the
+/// identical exhaustive exploration.
+#[test]
+fn faithful_ordering_survives_exploration() {
+    let report = Explorer::exhaustive().explore(|| conservation_body(false));
+    report.assert_ok();
+    assert!(report.exhausted, "{report}");
+    assert!(report.schedules > 1, "{report}");
+}
+
+/// The planted bug is found, within a bounded schedule count.
+#[test]
+fn mutant_is_killed_within_bounded_schedules() {
+    let report = Explorer::exhaustive()
+        .with_max_schedules(2_000)
+        .explore(|| conservation_body(true));
+    let violation = report.assert_violation();
+    assert!(
+        violation.message.contains("conservation violated"),
+        "wrong oracle fired: {}",
+        violation.message
+    );
+    assert!(
+        report.schedules <= 2_000,
+        "took {} schedules to kill the mutant",
+        report.schedules
+    );
+    assert!(
+        !violation.trace.is_empty(),
+        "a racing schedule must have branch decisions"
+    );
+
+    // The printed trace replays to the same violation, first try.
+    let replayed = Explorer::replay(&violation.trace).explore(|| conservation_body(true));
+    let again = replayed.assert_violation();
+    assert_eq!(again.message, violation.message, "replay diverged");
+    assert_eq!(replayed.schedules, 1, "replay is a single execution");
+}
+
+/// The mutation needs real interleaving to matter: with preemptions
+/// forbidden the mutant passes every (serial) schedule — evidence the
+/// kill above came from the explorer's interleavings, not from a
+/// sequential bug in the copy.
+#[test]
+fn mutant_survives_serial_schedules() {
+    let report = Explorer::exhaustive()
+        .with_preemption_bound(Some(0))
+        .explore(|| conservation_body(true));
+    report.assert_ok();
+    assert!(report.exhausted, "{report}");
+}
