@@ -1,0 +1,255 @@
+//! The cross-thread helped-by graph.
+//!
+//! Combining, elimination, and lock succession all complete (or
+//! enable) an operation on a *different* thread than its invoker, so
+//! per-thread spans alone cannot say who did the work. The causal
+//! annotations ([`crate::spans::HelpKind`]) close that gap; this
+//! module folds a [`SpanReport`] into the graph they induce: edge
+//! counts per `(kind, helper thread → owner thread)` pair plus the
+//! attribution coverage the observability acceptance gate checks —
+//! the fraction of operations that *should* carry an edge (combined
+//! and eliminated completions) that actually do.
+
+use std::collections::BTreeMap;
+
+use cso_metrics::Json;
+
+use crate::spans::{HelpKind, Path, Span, SpanReport};
+
+/// One aggregated helped-by edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CausalEdge {
+    /// What kind of help flowed along the edge.
+    pub kind: HelpKind,
+    /// Trace-thread id of the helper (combiner, partner, previous
+    /// holder, or corpse).
+    pub helper: u32,
+    /// Trace-thread id of the operation's invoking thread.
+    pub owner: u32,
+    /// Operations that received this exact edge.
+    pub count: u64,
+}
+
+/// The helped-by graph of one capture, with attribution coverage.
+#[derive(Debug, Clone, Default)]
+pub struct CausalReport {
+    /// Aggregated edges, heaviest first.
+    pub edges: Vec<CausalEdge>,
+    /// Combined-path spans observed / carrying a combiner edge.
+    pub combined: (u64, u64),
+    /// Eliminated-path spans observed / carrying a partner edge.
+    pub eliminated: (u64, u64),
+    /// Lock-handoff edges observed (no expected denominator: a free
+    /// lock acquires without a predecessor).
+    pub handoffs: u64,
+    /// Custody-transfer (succession) edges observed.
+    pub custody: u64,
+}
+
+impl CausalReport {
+    /// Fraction of operations that should carry a helper edge
+    /// (combined + eliminated completions) that do. 1.0 when none
+    /// were observed. The e14 acceptance gate requires ≥ 0.99.
+    #[must_use]
+    pub fn attribution(&self) -> f64 {
+        let expected = self.combined.0 + self.eliminated.0;
+        if expected == 0 {
+            1.0
+        } else {
+            (self.combined.1 + self.eliminated.1) as f64 / expected as f64
+        }
+    }
+
+    /// Total operations carrying any causal edge.
+    #[must_use]
+    pub fn attributed(&self) -> u64 {
+        self.edges.iter().map(|e| e.count).sum()
+    }
+
+    /// The JSON document `/causal.json` serves.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let edges = self
+            .edges
+            .iter()
+            .map(|e| {
+                Json::obj()
+                    .field("kind", e.kind.label())
+                    .field("helper_thread", u64::from(e.helper))
+                    .field("owner_thread", u64::from(e.owner))
+                    .field("count", e.count)
+            })
+            .collect();
+        Json::obj()
+            .field("schema", "cso-causal v1")
+            .field("attributed", self.attributed())
+            .field(
+                "coverage",
+                Json::obj()
+                    .field("combined_expected", self.combined.0)
+                    .field("combined_attributed", self.combined.1)
+                    .field("eliminated_expected", self.eliminated.0)
+                    .field("eliminated_attributed", self.eliminated.1)
+                    .field("handoffs", self.handoffs)
+                    .field("custody_transfers", self.custody)
+                    .field("attribution", self.attribution()),
+            )
+            .field("edges", Json::Arr(edges))
+    }
+}
+
+/// The streaming fold behind [`causal_graph`]. `cso-profile`'s live
+/// aggregator holds one and feeds it each completed span, so the live
+/// `/causal.json` graph and the post-mortem one cannot drift.
+#[derive(Debug, Clone, Default)]
+pub struct CausalAccumulator {
+    counts: BTreeMap<(u8, u32, u32), (HelpKind, u64)>,
+    combined: (u64, u64),
+    eliminated: (u64, u64),
+    handoffs: u64,
+    custody: u64,
+}
+
+impl CausalAccumulator {
+    /// Folds one completed span in.
+    pub fn add_span(&mut self, span: &Span) {
+        match span.path {
+            Path::Combined => self.combined.0 += 1,
+            Path::Eliminated => self.eliminated.0 += 1,
+            _ => {}
+        }
+        let Some((kind, helper)) = span.helped_by else {
+            return;
+        };
+        match kind {
+            HelpKind::Combiner if span.path == Path::Combined => self.combined.1 += 1,
+            HelpKind::Partner if span.path == Path::Eliminated => self.eliminated.1 += 1,
+            HelpKind::Handoff => self.handoffs += 1,
+            HelpKind::Custody => self.custody += 1,
+            // A combiner/partner edge on an unexpected path still
+            // counts as an edge, just not as path coverage.
+            HelpKind::Combiner | HelpKind::Partner => {}
+        }
+        let key = (kind as u8, helper, span.thread);
+        self.counts.entry(key).or_insert((kind, 0)).1 += 1;
+    }
+
+    /// Renders the graph accumulated so far.
+    #[must_use]
+    pub fn report(&self) -> CausalReport {
+        let mut edges: Vec<CausalEdge> = self
+            .counts
+            .iter()
+            .map(|(&(_, helper, owner), &(kind, count))| CausalEdge {
+                kind,
+                helper,
+                owner,
+                count,
+            })
+            .collect();
+        edges.sort_by_key(|e| std::cmp::Reverse(e.count));
+        CausalReport {
+            edges,
+            combined: self.combined,
+            eliminated: self.eliminated,
+            handoffs: self.handoffs,
+            custody: self.custody,
+        }
+    }
+}
+
+/// Folds the spans of `report` into the helped-by graph.
+#[must_use]
+pub fn causal_graph(report: &SpanReport) -> CausalReport {
+    let mut acc = CausalAccumulator::default();
+    for span in &report.spans {
+        acc.add_span(span);
+    }
+    acc.report()
+}
+
+/// Renders the graph as a deterministic text block (one edge per
+/// line), for the CLI report.
+#[must_use]
+pub fn render(report: &CausalReport) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "causal edges: {} ops attributed ({} combined / {} eliminated / {} handoff / {} custody)",
+        report.attributed(),
+        report.combined.1,
+        report.eliminated.1,
+        report.handoffs,
+        report.custody,
+    );
+    let _ = writeln!(
+        s,
+        "attribution coverage: {:.4} ({} of {} expected)",
+        report.attribution(),
+        report.combined.1 + report.eliminated.1,
+        report.combined.0 + report.eliminated.0,
+    );
+    for e in &report.edges {
+        let _ = writeln!(
+            s,
+            "  {:<9} thread_{} -> thread_{}  x{}",
+            e.kind.label(),
+            e.helper,
+            e.owner,
+            e.count
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::EventLog;
+    use crate::spans::reconstruct;
+
+    fn parse(body: &str) -> EventLog {
+        let text = format!("# cso-trace-events v1\n# dropped 0\n{body}");
+        EventLog::parse(&text).expect("test log parses")
+    }
+
+    #[test]
+    fn graph_counts_edges_and_coverage() {
+        // Two combined ops served by thread 9, one of them (seq 4-5)
+        // stripped of its annotation to model a lost stamp.
+        let log = parse(
+            "0\t1\t10\trecord-post\t-\t-\t-\n\
+             1\t1\t20\thelped-by-combiner\t-\t-\t9\n\
+             2\t1\t21\tcombined-complete\t-\t-\t-\n\
+             3\t2\t10\trecord-post\t-\t-\t-\n\
+             4\t2\t25\tcombined-complete\t-\t-\t-\n\
+             5\t1\t30\trecord-post\t-\t-\t-\n\
+             6\t1\t40\thelped-by-combiner\t-\t-\t9\n\
+             7\t1\t41\tcombined-complete\t-\t-\t-\n",
+        );
+        let report = reconstruct(&log);
+        let graph = causal_graph(&report);
+        assert_eq!(graph.combined, (3, 2));
+        assert_eq!(graph.eliminated, (0, 0));
+        assert!((graph.attribution() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(graph.edges.len(), 1);
+        let edge = graph.edges[0];
+        assert_eq!(
+            (edge.kind, edge.helper, edge.owner, edge.count),
+            (HelpKind::Combiner, 9, 1, 2)
+        );
+        let text = render(&graph);
+        assert!(
+            text.contains("combiner  thread_9 -> thread_1  x2"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn empty_capture_has_full_attribution() {
+        let graph = causal_graph(&Default::default());
+        assert_eq!(graph.attribution(), 1.0);
+        assert_eq!(graph.attributed(), 0);
+    }
+}

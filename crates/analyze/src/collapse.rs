@@ -121,13 +121,38 @@ pub fn critical_path(report: &SpanReport) -> CriticalPath {
     }
 }
 
+/// Escapes one frame name for the collapsed-stack grammar: `;`
+/// separates frames and the final space separates the stack from its
+/// weight, so neither may appear *inside* a frame. `;` becomes `:`
+/// and any whitespace becomes `_` — lossy but grammar-safe, which is
+/// the property downstream tooling (`flamegraph.pl`, `inferno`)
+/// actually needs.
+#[must_use]
+pub fn escape_frame(frame: &str) -> String {
+    frame
+        .chars()
+        .map(|c| match c {
+            ';' => ':',
+            c if c.is_whitespace() => '_',
+            c => c,
+        })
+        .collect()
+}
+
 /// Folds one span into a collapsed-stack accumulator (stack → total
 /// nanoseconds). The live aggregator feeds spans here one at a time as
 /// they complete; [`collapsed`] folds a whole report and renders. Both
-/// produce identical stacks for identical spans.
+/// produce identical stacks for identical spans. Every frame passes
+/// through [`escape_frame`], so a hostile label cannot corrupt the
+/// line grammar.
 pub fn add_span(stacks: &mut BTreeMap<String, u64>, span: &Span) {
-    let mut add = |stack: String, ns: u64| {
+    let mut add = |frames: &[&str], ns: u64| {
         if ns > 0 {
+            let stack = frames
+                .iter()
+                .map(|f| escape_frame(f))
+                .collect::<Vec<_>>()
+                .join(";");
             *stacks.entry(stack).or_insert(0) += ns;
         }
     };
@@ -135,23 +160,24 @@ pub fn add_span(stacks: &mut BTreeMap<String, u64>, span: &Span) {
         Some(p) => format!("proc_{p}"),
         None => format!("thread_{}", span.thread),
     };
-    let leaf = match span.outcome {
-        Outcome::Completed => span.path.label().to_owned(),
-        Outcome::TimedOut => format!("{};timeout", span.path.label()),
-        Outcome::Poisoned => format!("{};poisoned", span.path.label()),
-    };
+    let mut frames = vec![who.as_str(), span.path.label()];
+    match span.outcome {
+        Outcome::Completed => {}
+        Outcome::TimedOut => frames.push("timeout"),
+        Outcome::Poisoned => frames.push("poisoned"),
+    }
     match (span.wait_ns, span.hold_ns) {
         (wait, Some(hold)) => {
             let wait = wait.unwrap_or(0);
-            add(format!("{who};{leaf};wait"), wait);
-            add(format!("{who};{leaf};hold"), hold);
+            add(&[&frames[..], &["wait"]].concat(), wait);
+            add(&[&frames[..], &["hold"]].concat(), hold);
             // Anything not in wait or hold (fast-abort, post spin).
             add(
-                format!("{who};{leaf};other"),
+                &[&frames[..], &["other"]].concat(),
                 span.duration_ns().saturating_sub(wait + hold),
             );
         }
-        _ => add(format!("{who};{leaf}"), span.duration_ns()),
+        _ => add(&frames, span.duration_ns()),
     }
 }
 
@@ -210,6 +236,15 @@ mod tests {
             let (_, weight) = line.rsplit_once(' ').expect("stack weight");
             weight.parse::<u64>().expect("numeric weight");
         }
+    }
+
+    #[test]
+    fn escape_frame_neutralizes_the_grammar_characters() {
+        assert_eq!(escape_frame("plain_frame"), "plain_frame");
+        assert_eq!(escape_frame("a;b c\td\ne"), "a:b_c_d_e");
+        let escaped = escape_frame("evil; frame\u{a0}name");
+        assert!(!escaped.contains(';'), "{escaped}");
+        assert!(!escaped.chars().any(char::is_whitespace), "{escaped}");
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //!   emission sites, classifying each operation as fast / locked /
 //!   combined / combiner and each anomaly as truncation loss or a
 //!   protocol violation;
+//! * [`causal`] — the cross-thread helped-by graph: folds the causal
+//!   annotations (combiner / elimination partner / lock handoff /
+//!   custody transfer) into per-edge counts and the attribution
+//!   coverage the observability gate enforces;
 //! * [`bypass`] — the empirical §4.4 starvation-freedom check: no
 //!   `flag-raise(p)` → `lock-acquire(p)` interval may contain more
 //!   than `n − 1` acquisitions by other processes;
@@ -34,6 +38,7 @@
 
 pub mod bench;
 pub mod bypass;
+pub mod causal;
 pub mod collapse;
 pub mod convoy;
 pub mod log;

@@ -5,7 +5,9 @@
 //! cso-analyze bypass  <events.tsv> [--procs N] [--bound K]   §4.4 bypass-bound check
 //! cso-analyze convoy  <events.tsv> [--gap-ns G]          lock convoys + combiner stalls
 //! cso-analyze collapse <events.tsv>                      collapsed stacks (flamegraph input)
+//! cso-analyze causal  <events.tsv>                       cross-thread helped-by graph
 //! cso-analyze check   <events.tsv> [--procs N] [--bound K] [--min-coverage F]
+//!                     [--min-attribution F]
 //! cso-analyze bench-summary  <results-dir>               fold BENCH_*.json into BENCH_summary.json
 //! cso-analyze bench-validate <file-or-dir>...            schema-check BENCH_*.json reports
 //! cso-analyze regress --baseline <base.json> <current.json> [--tolerance F] [--warn-only]
@@ -20,7 +22,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use cso_analyze::spans::SpanReport;
-use cso_analyze::{bench, bypass, collapse, convoy, log::EventLog, regress, spans};
+use cso_analyze::{bench, bypass, causal, collapse, convoy, log::EventLog, regress, spans};
 use cso_metrics::Json;
 
 /// Minimum fraction of observed operations that must reconstruct into
@@ -36,8 +38,10 @@ fn usage() -> ExitCode {
          \x20 bypass   <events.tsv> [--procs N] [--bound K]  check the section-4.4 bypass bound\n\
          \x20 convoy   <events.tsv> [--gap-ns G]        detect lock convoys and combiner stalls\n\
          \x20 collapse <events.tsv>                     emit collapsed stacks (ns weights)\n\
+         \x20 causal   <events.tsv>                     cross-thread helped-by graph\n\
          \x20 check    <events.tsv> [--procs N] [--bound K] [--min-coverage F]\n\
-         \x20                                           spans + bypass; nonzero exit on failure\n\
+         \x20          [--min-attribution F]            spans + bypass + causal attribution;\n\
+         \x20                                           nonzero exit on failure\n\
          \n\
          bench-report commands:\n\
          \x20 bench-summary  <results-dir>              write <dir>/BENCH_summary.json\n\
@@ -251,11 +255,22 @@ fn cmd_collapse(args: Vec<String>) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+fn cmd_causal(args: Vec<String>) -> Result<ExitCode, String> {
+    let [path] = &args[..] else {
+        return Err("causal takes exactly one events file".to_owned());
+    };
+    let log = load_log(path)?;
+    let graph = causal::causal_graph(&spans::reconstruct(&log));
+    print!("{}", causal::render(&graph));
+    Ok(ExitCode::SUCCESS)
+}
+
 fn cmd_check(mut args: Vec<String>) -> Result<ExitCode, String> {
     let procs = parse_flag::<usize>(&mut args, "--procs")?;
     let bound = parse_flag::<u64>(&mut args, "--bound")?;
     let min_coverage =
         parse_flag::<f64>(&mut args, "--min-coverage")?.unwrap_or(DEFAULT_MIN_COVERAGE);
+    let min_attribution = parse_flag::<f64>(&mut args, "--min-attribution")?;
     let [path] = &args[..] else {
         return Err("check takes exactly one events file".to_owned());
     };
@@ -268,6 +283,9 @@ fn cmd_check(mut args: Vec<String>) -> Result<ExitCode, String> {
     print_bypass_report(&bypass_report);
     println!();
     print_convoy_report(&convoy::analyze(&log, None));
+    println!();
+    let causal_report = causal::causal_graph(&span_report);
+    print!("{}", causal::render(&causal_report));
 
     let mut failed = false;
     if span_report.coverage() < min_coverage {
@@ -284,6 +302,15 @@ fn cmd_check(mut args: Vec<String>) -> Result<ExitCode, String> {
             bypass_report.violations.len()
         );
         failed = true;
+    }
+    if let Some(min) = min_attribution {
+        if causal_report.attribution() < min {
+            eprintln!(
+                "FAIL: causal attribution {:.4} below the {min:.4} threshold",
+                causal_report.attribution()
+            );
+            failed = true;
+        }
     }
     if failed {
         Ok(ExitCode::FAILURE)
@@ -445,6 +472,7 @@ fn main() -> ExitCode {
         "bypass" => cmd_bypass(args),
         "convoy" => cmd_convoy(args),
         "collapse" => cmd_collapse(args),
+        "causal" => cmd_causal(args),
         "check" => cmd_check(args),
         "bench-summary" => cmd_bench_summary(args),
         "bench-validate" => cmd_bench_validate(args),

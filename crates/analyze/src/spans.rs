@@ -33,6 +33,13 @@
 //! protocol yields a [`Malformed`] record — except at the head of a
 //! thread whose ring wrapped, where orphaned events are classified as
 //! truncation loss instead.
+//!
+//! **Causal annotations** (`helped-by-combiner`, `helped-by-partner`,
+//! `handoff-from`, `custody-from`) carry the trace-thread id of the
+//! peer that completed, paired with, or preceded the in-flight
+//! operation; the replayer attaches the edge to the span it completes
+//! inside ([`Span::helped_by`]), turning per-thread streams into a
+//! cross-thread helped-by graph.
 
 use crate::log::{EventLog, Row};
 
@@ -64,6 +71,56 @@ impl Path {
             Path::Combiner => "combiner",
         }
     }
+}
+
+/// The kind of cross-thread help a causal annotation records. Mirrors
+/// `cso_trace::HelpKind` (duplicated because this crate analyzes text
+/// logs without depending on the tracing crate; `cso-profile` carries
+/// a test keeping the two in sync).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HelpKind {
+    /// A combiner tenure executed the operation (`helped-by-combiner`).
+    Combiner,
+    /// An inverse operation paired in the elimination rendezvous
+    /// (`helped-by-partner`).
+    Partner,
+    /// The lock was handed off by the previous holder (`handoff-from`).
+    Handoff,
+    /// Lock custody was seized from a dead holder (`custody-from`).
+    Custody,
+}
+
+impl HelpKind {
+    /// Parses the annotation event name; `None` for non-causal events.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<HelpKind> {
+        match name {
+            "helped-by-combiner" => Some(HelpKind::Combiner),
+            "helped-by-partner" => Some(HelpKind::Partner),
+            "handoff-from" => Some(HelpKind::Handoff),
+            "custody-from" => Some(HelpKind::Custody),
+            _ => None,
+        }
+    }
+
+    /// Stable lower-case label for reports and JSON.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            HelpKind::Combiner => "combiner",
+            HelpKind::Partner => "partner",
+            HelpKind::Handoff => "handoff",
+            HelpKind::Custody => "custody",
+        }
+    }
+
+    /// Every kind, for exhaustive reports.
+    pub const ALL: [HelpKind; 4] = [
+        HelpKind::Combiner,
+        HelpKind::Partner,
+        HelpKind::Handoff,
+        HelpKind::Custody,
+    ];
 }
 
 /// How an operation span ended.
@@ -106,6 +163,10 @@ pub struct Span {
     pub start_seq: u64,
     /// Sequence number of the last event.
     pub end_seq: u64,
+    /// Cross-thread causal edge: the kind of help this operation
+    /// received and the trace-thread id of the helper (last annotation
+    /// wins when an operation records several).
+    pub helped_by: Option<(HelpKind, u32)>,
 }
 
 impl Span {
@@ -238,6 +299,9 @@ impl Pending {
             reposts: self.reposts,
             start_seq: self.start_seq,
             end_seq: row.seq,
+            // Attached by the replayer when the span completes (causal
+            // annotations are replayer-level state, not protocol state).
+            helped_by: None,
         }
     }
 }
@@ -288,6 +352,10 @@ pub fn is_annotation(name: &str) -> bool {
             | "suspect-raised"
             | "record-reclaimed"
             | "lock-succeeded"
+            | "helped-by-combiner"
+            | "helped-by-partner"
+            | "handoff-from"
+            | "custody-from"
     )
 }
 
@@ -319,6 +387,9 @@ pub struct ThreadReplayer {
     state: State,
     synced: bool,
     recovery: RecoveryCounts,
+    /// Stashed causal annotation, attached to the span it completes
+    /// inside; discarded when the machine resets without completing.
+    helped: Option<(HelpKind, u32)>,
 }
 
 impl ThreadReplayer {
@@ -333,6 +404,7 @@ impl ThreadReplayer {
             state: State::Idle,
             synced: !truncated,
             recovery: RecoveryCounts::default(),
+            helped: None,
         }
     }
 
@@ -343,6 +415,7 @@ impl ThreadReplayer {
     pub fn desync(&mut self) {
         self.state = State::Idle;
         self.synced = false;
+        self.helped = None;
     }
 
     /// Whether an operation is currently in flight (a capture that
@@ -367,14 +440,18 @@ impl ThreadReplayer {
                 "lock-succeeded" => self.recovery.successions += 1,
                 _ => {}
             }
+            if let (Some(kind), Some(tid)) = (HelpKind::from_name(&row.name), row.value) {
+                self.helped = Some((kind, tid as u32));
+            }
             return Fed::Quiet;
         }
         match step(std::mem::replace(&mut self.state, State::Idle), row) {
             Ok((next, span)) => {
                 self.state = next;
                 match span {
-                    Some(span) => {
+                    Some(mut span) => {
                         self.synced = true;
+                        span.helped_by = self.helped.take();
                         Fed::Span(span)
                     }
                     None => Fed::Quiet,
@@ -384,6 +461,7 @@ impl ThreadReplayer {
                 // Illegal event. At the head of a truncated stream the
                 // start of this operation was overwritten; otherwise
                 // it is a real protocol violation.
+                self.helped = None;
                 if self.synced {
                     Fed::Malformed(Malformed {
                         thread: row.thread,
@@ -891,6 +969,92 @@ mod tests {
             replayer.feed(&mk(6, "lock-release")),
             Fed::Malformed(_)
         ));
+    }
+
+    #[test]
+    fn causal_annotations_attach_to_their_spans() {
+        // Thread 1 is served by a combiner on thread 2; thread 0 takes
+        // the lock twice, the second acquisition handed off from the
+        // first (same thread here — the replayer does not judge).
+        let log = parse(
+            "0\t1\t10\trecord-post\t-\t-\t-\n\
+             1\t1\t45\thelped-by-combiner\t-\t-\t2\n\
+             2\t1\t46\tcombined-complete\t-\t-\t-\n\
+             3\t0\t10\tflag-raise\t-\t0\t-\n\
+             4\t0\t20\tlock-acquire\t-\t0\t-\n\
+             5\t0\t30\tlocked-complete\t-\t-\t-\n\
+             6\t0\t35\tlock-release\t-\t0\t-\n\
+             7\t0\t40\tflag-raise\t-\t0\t-\n\
+             8\t0\t50\thandoff-from\t-\t-\t7\n\
+             9\t0\t51\tlock-acquire\t-\t0\t-\n\
+             10\t0\t60\tlocked-complete\t-\t-\t-\n\
+             11\t0\t65\tlock-release\t-\t0\t-\n",
+        );
+        let report = reconstruct(&log);
+        assert!(report.malformed.is_empty(), "{:?}", report.malformed);
+        assert_eq!(report.spans.len(), 3);
+
+        let combined: Vec<_> = report.on_path(Path::Combined).collect();
+        assert_eq!(combined[0].helped_by, Some((HelpKind::Combiner, 2)));
+
+        let locked: Vec<_> = report.on_path(Path::Locked).collect();
+        assert_eq!(locked.len(), 2);
+        assert_eq!(
+            locked[0].helped_by, None,
+            "first acquire: nobody handed off"
+        );
+        assert_eq!(locked[1].helped_by, Some((HelpKind::Handoff, 7)));
+    }
+
+    #[test]
+    fn causal_stash_does_not_leak_across_malformed_resets() {
+        let mk = |seq, name: &str, value: Option<u64>| Row {
+            seq,
+            thread: 0,
+            wall_ns: seq * 10,
+            name: name.to_owned(),
+            site: None,
+            proc_id: None,
+            value,
+        };
+        let mut replayer = ThreadReplayer::new(false);
+        // An op picks up an edge but dies malformed...
+        assert!(matches!(
+            replayer.feed(&mk(0, "fast-attempt", None)),
+            Fed::Quiet
+        ));
+        assert!(matches!(
+            replayer.feed(&mk(1, "helped-by-partner", Some(5))),
+            Fed::Quiet
+        ));
+        assert!(matches!(
+            replayer.feed(&mk(2, "lock-release", None)),
+            Fed::Malformed(_)
+        ));
+        // ...and the next clean span must not inherit the edge.
+        assert!(matches!(
+            replayer.feed(&mk(3, "fast-attempt", None)),
+            Fed::Quiet
+        ));
+        match replayer.feed(&mk(4, "fast-success", None)) {
+            Fed::Span(span) => assert_eq!(span.helped_by, None),
+            other => panic!("expected a span, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn help_kind_labels_round_trip_through_event_names() {
+        for kind in HelpKind::ALL {
+            let name = match kind {
+                HelpKind::Combiner => "helped-by-combiner",
+                HelpKind::Partner => "helped-by-partner",
+                HelpKind::Handoff => "handoff-from",
+                HelpKind::Custody => "custody-from",
+            };
+            assert_eq!(HelpKind::from_name(name), Some(kind));
+            assert!(is_annotation(name), "{name} must never delimit spans");
+        }
+        assert_eq!(HelpKind::from_name("fast-attempt"), None);
     }
 
     #[test]

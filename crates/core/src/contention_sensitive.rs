@@ -37,12 +37,12 @@ use std::time::{Duration, Instant};
 
 use cso_locks::{ProcLock, RawLock, RecoveringLock, StarvationFree, Succession};
 use cso_memory::backoff::{CasBackoff, Deadline, Spinner};
-use cso_memory::combining::{CachePadded, PubRecord, RecordState};
+use cso_memory::combining::{CachePadded, PubRecord, RecordState, NO_HELPER};
 use cso_memory::fail_point;
 use cso_memory::liveness::{Liveness, RecoveryPolicy};
 use cso_memory::reg::RegBool;
 use cso_metrics::{Counter, Gauge, Registry, Timer};
-use cso_trace::{probe, Event};
+use cso_trace::{probe, probe_if, Event};
 
 use crate::abortable::Abortable;
 use crate::error::{CsError, TimedOut, Unrecoverable};
@@ -1280,6 +1280,11 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
         loop {
             match rec.state() {
                 RecordState::Done => {
+                    // Causal edge: the combiner stamped its trace-
+                    // thread id before `complete`, and `state()`'s
+                    // Acquire pairs with `complete`'s Release, so the
+                    // stamp read here is the thread that executed us.
+                    let helper = rec.helper();
                     let res = rec.take_response();
                     // An under-lock completion, attributed to this
                     // (invoking) process — the combiner only executed.
@@ -1291,6 +1296,7 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
                     probe!(Event::RecordHandoff(
                         u32::try_from(posted_at.elapsed().as_nanos()).unwrap_or(u32::MAX)
                     ));
+                    probe_if!(helper != NO_HELPER, Event::HelpedByCombiner(helper));
                     probe!(Event::CombinedComplete);
                     return res;
                 }
@@ -1437,6 +1443,10 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
     fn serve_pending(&self, guard: &mut CombinerGuard<'_, O, L>) -> u64 {
         let mut ops: Vec<*const O::Op> = Vec::new();
         let mut served = 0u64;
+        // This tenure's trace-thread id, stamped into every record we
+        // complete so the owner can attribute its completion to us
+        // (`NO_HELPER` in untraced builds — owners then skip the edge).
+        let combiner_tid = cso_trace::probe::thread_id();
         for _ in 0..COMBINE_ROUNDS {
             // Claim phase: collect everything posted so far.
             ops.clear();
@@ -1490,6 +1500,7 @@ impl<O: Abortable, L: RawLock> ContentionSensitive<O, L> {
                         Err(_) => spinner.spin(),
                     }
                 };
+                self.records[guard.claimed[k]].stamp_helper(combiner_tid);
                 self.records[guard.claimed[k]].complete(res);
                 guard.applied = k + 1;
             }

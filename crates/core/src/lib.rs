@@ -105,6 +105,9 @@ pub const PROBE_SITES: &[(&str, &str)] = &[
     ("record-poisoned", "combining"),
     ("suspect-raised", "-"),
     ("record-reclaimed", "-"),
+    // Causal annotation (which thread's tenure executed our record);
+    // never delayed — attribution, not work.
+    ("helped-by-combiner", "-"),
 ];
 
 #[cfg(test)]

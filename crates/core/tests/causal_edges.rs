@@ -1,0 +1,105 @@
+//! Cross-thread causal edges through the combining slow path: an
+//! operation executed by another thread's combiner tenure must carry a
+//! `helped-by-combiner` annotation naming that thread, and a thread
+//! that combines for itself must not fabricate one.
+#![cfg(feature = "trace")]
+
+mod common;
+
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread;
+
+use common::{Add, FlakyCounter};
+use cso_core::{ContentionSensitive, CsConfig};
+use cso_locks::TasLock;
+use cso_trace::{probe, Event};
+
+/// The probe rings are process-global; live tests serialize.
+fn serial() -> MutexGuard<'static, ()> {
+    static M: Mutex<()> = Mutex::new(());
+    M.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Every slow-path operation goes through combining (no fast path to
+/// short-circuit the scenario).
+fn combining_only() -> CsConfig {
+    CsConfig {
+        fast_path: false,
+        adaptive_gate: false,
+        ..CsConfig::COMBINING
+    }
+}
+
+#[test]
+fn combined_completion_names_the_combiners_thread() {
+    let _serial = serial();
+    probe::clear();
+    let cs = Arc::new(ContentionSensitive::with_config(
+        FlakyCounter::new(),
+        TasLock::new(),
+        2,
+        combining_only(),
+    ));
+
+    // Thread A wins the lock and blocks mid-tenure at the gate...
+    cs.inner().gate.close();
+    let a = {
+        let cs = Arc::clone(&cs);
+        thread::spawn(move || {
+            cs.apply(0, &Add(1));
+            probe::thread_id()
+        })
+    };
+    while cs.inner().gate.waiting() == 0 {
+        thread::yield_now();
+    }
+
+    // ...while thread B posts its record and spins on the held lock.
+    // B's `record-post` probe is the signal that the record is up.
+    let posted = probe::emitted();
+    let b = {
+        let cs = Arc::clone(&cs);
+        thread::spawn(move || {
+            cs.apply(1, &Add(2));
+            probe::thread_id()
+        })
+    };
+    while probe::emitted() == posted {
+        thread::yield_now();
+    }
+
+    // Released, A's sweep claims and executes B's record.
+    cs.inner().gate.open();
+    let a_tid = a.join().unwrap();
+    let b_tid = b.join().unwrap();
+
+    let trace = probe::collect();
+    let edge = trace
+        .events
+        .iter()
+        .find(|e| matches!(e.event, Event::HelpedByCombiner(_)))
+        .expect("the served operation records a helped-by edge");
+    assert_eq!(edge.event, Event::HelpedByCombiner(a_tid));
+    assert_eq!(edge.thread, b_tid, "the edge sits on the owner's thread");
+}
+
+#[test]
+fn a_thread_combining_for_itself_records_no_edge() {
+    let _serial = serial();
+    probe::clear();
+    let cs =
+        ContentionSensitive::with_config(FlakyCounter::new(), TasLock::new(), 2, combining_only());
+    // Solo: the poster always wins the lock, retracts its own record,
+    // and is its own combiner — nobody helped.
+    for i in 1..=4 {
+        assert_eq!(cs.apply(0, &Add(1)), i);
+    }
+    let trace = probe::collect();
+    assert!(
+        !trace
+            .events
+            .iter()
+            .any(|e| matches!(e.event, Event::HelpedByCombiner(_))),
+        "self-combining must not fabricate a helped-by edge"
+    );
+}

@@ -1,0 +1,70 @@
+//! Causal attribution through the deque's combining slow path — the
+//! deque reuses the Figure 3 transformation, so a combined push/pop
+//! must carry a `helped-by-combiner` edge exactly like the stack and
+//! queue.
+#![cfg(feature = "trace")]
+
+use std::sync::Arc;
+
+use cso_core::CsConfig;
+use cso_deque::{CsDeque, DequePopOutcome, DequePushOutcome};
+use cso_locks::TasLock;
+use cso_trace::{probe, Event};
+
+#[test]
+fn combined_deque_ops_are_attributed_to_their_combiner() {
+    // Small enough that no per-thread ring (4096 slots) evicts events.
+    const THREADS: u32 = 3;
+    const PER_THREAD: u32 = 60;
+    probe::clear();
+    let config = CsConfig::PAPER.without_fast_path().with_combining();
+    let deque: Arc<CsDeque<u32>> = Arc::new(CsDeque::with_config(
+        1024,
+        TasLock::new(),
+        THREADS as usize,
+        config,
+    ));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let deque = Arc::clone(&deque);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    let v = t * PER_THREAD + i;
+                    let outcome = if t % 2 == 0 {
+                        deque.push_left(t as usize, v)
+                    } else {
+                        deque.push_right(t as usize, v)
+                    };
+                    assert_eq!(outcome, DequePushOutcome::Pushed);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut drained = 0;
+    while let DequePopOutcome::Popped(_) = deque.pop_left(0) {
+        drained += 1;
+    }
+    assert_eq!(drained, THREADS * PER_THREAD);
+
+    let trace = probe::collect();
+    assert_eq!(trace.dropped, 0, "rings must not have truncated");
+    let edges: Vec<_> = trace
+        .events
+        .iter()
+        .filter_map(|e| match e.event {
+            Event::HelpedByCombiner(tid) => Some((e.thread, tid)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        edges.len() as u64,
+        deque.combining_stats().combined,
+        "one helped-by edge per combined operation"
+    );
+    for (owner, helper) in edges {
+        assert_ne!(owner, helper, "nobody combines for themselves");
+    }
+}

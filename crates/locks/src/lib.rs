@@ -80,6 +80,10 @@ pub const PROBE_SITES: &[(&str, &str)] = &[
     ("lock-handoff", "lock-handoff"),
     ("lock-succeeded", "lock-handoff"),
     ("suspect-raised", "-"),
+    // Causal annotations (cross-thread helped-by edges); never
+    // delayed — they carry attribution, not work.
+    ("handoff-from", "-"),
+    ("custody-from", "-"),
 ];
 
 #[cfg(test)]

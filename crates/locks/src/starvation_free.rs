@@ -39,7 +39,7 @@
 //! ([`StarvationFree::is_poisoned`]) rather than mask a correlated
 //! failure forever.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use cso_memory::backoff::{Deadline, Spinner};
@@ -48,7 +48,7 @@ use cso_memory::fail_point;
 use cso_memory::liveness::{Liveness, RecoveryPolicy};
 use cso_memory::reg::{RegBool, RegUsize};
 use cso_metrics::{Counter, Registry};
-use cso_trace::{probe, Event};
+use cso_trace::{probe, probe_if, Event, NO_TID};
 
 use crate::raw::{ProcLock, RawLock};
 
@@ -170,6 +170,16 @@ pub struct StarvationFree<L> {
     /// Optional crash-recovery state (see
     /// [`StarvationFree::enable_recovery`]).
     recovery: OnceLock<RecoveryState>,
+    /// Trace-thread id of the last releaser, consumed (swapped back to
+    /// [`NO_TID`]) by the next acquirer to emit
+    /// [`Event::HandoffFrom`]. A plain (uncounted) atomic: causal
+    /// stamps must not perturb the paper's counted budgets. Padded —
+    /// every release writes it while waiters hammer the inner word.
+    prev_tid: CachePadded<AtomicU32>,
+    /// Trace-thread id of the current holder's OS thread (uncounted).
+    /// Read by a successor after winning the custody CAS to emit
+    /// [`Event::CustodyFrom`] against the corpse's thread.
+    holder_tid: CachePadded<AtomicU32>,
 }
 
 impl<L: RawLock> StarvationFree<L> {
@@ -189,6 +199,8 @@ impl<L: RawLock> StarvationFree<L> {
             turn: CachePadded::new(RegUsize::new(0)),
             metrics: OnceLock::new(),
             recovery: OnceLock::new(),
+            prev_tid: CachePadded::new(AtomicU32::new(NO_TID)),
+            holder_tid: CachePadded::new(AtomicU32::new(NO_TID)),
         }
     }
 
@@ -355,16 +367,38 @@ impl<L: RawLock> StarvationFree<L> {
         });
     }
 
-    /// Records `proc` as the inner-lock holder. No-op unless recovery
-    /// is enabled. The boosted entry points do this themselves; call
-    /// it only when taking the inner lock *directly* via
-    /// [`StarvationFree::inner`] (the combining path), and pair with
-    /// [`StarvationFree::raw_unlock`].
+    /// Records `proc` as the inner-lock holder (recovery custody, when
+    /// enabled) and stamps the causal handoff cells. The boosted entry
+    /// points do this themselves; call it only when taking the inner
+    /// lock *directly* via [`StarvationFree::inner`] (the combining
+    /// path), and pair with [`StarvationFree::raw_unlock`].
     #[inline]
     pub fn note_holder(&self, proc: usize) {
         if let Some(rec) = self.recovery.get() {
             rec.holder.store(proc, Ordering::Release);
         }
+        self.stamp_acquire();
+    }
+
+    /// Causal stamp at every acquisition: consume the releaser's
+    /// handoff stamp (so a later successor can never observe a stale
+    /// one) and record our own thread as holder. The consuming `swap`
+    /// plus the emission keep the helped-by edge exactly-once per
+    /// handoff. Relaxed suffices — the stamp was published by the
+    /// releaser's inner-lock Release and we hold the lock's Acquire.
+    #[inline]
+    fn stamp_acquire(&self) {
+        let prev = self.prev_tid.swap(NO_TID, Ordering::Relaxed);
+        probe_if!(prev != NO_TID, Event::HandoffFrom(prev));
+        self.holder_tid.store(probe::thread_id(), Ordering::Relaxed);
+    }
+
+    /// Causal stamp at every release: leave our thread id for the next
+    /// acquirer. Must run *before* the inner lock's Release store so
+    /// the stamp is published with it.
+    #[inline]
+    fn stamp_release(&self) {
+        self.prev_tid.store(probe::thread_id(), Ordering::Relaxed);
     }
 
     /// Gives up custody of the inner lock. Returns `false` — and the
@@ -394,6 +428,7 @@ impl<L: RawLock> StarvationFree<L> {
     /// Returns whether the inner lock was actually released.
     pub fn raw_unlock(&self, proc: usize) -> bool {
         if self.surrender_custody(proc) {
+            self.stamp_release();
             self.inner.unlock();
             true
         } else {
@@ -537,6 +572,12 @@ impl<L: RawLock> StarvationFree<L> {
                 break 'seize Succession::NoSuspect;
             }
             rec.successions.fetch_add(1, Ordering::AcqRel);
+            // Causal edge: custody of the still-locked inner word came
+            // from the corpse's thread. Read its acquire stamp before
+            // overwriting with our own.
+            let corpse_tid = self.holder_tid.load(Ordering::Relaxed);
+            probe_if!(corpse_tid != NO_TID, Event::CustodyFrom(corpse_tid));
+            self.holder_tid.store(probe::thread_id(), Ordering::Relaxed);
             // The corpse is no longer competing: clear its FLAG and
             // re-arm TURN past it (the §4.4 recovery writes).
             self.flag[h].write(false);
@@ -685,6 +726,7 @@ impl<L: RawLock> ProcLock for StarvationFree<L> {
             }
         }
         // Line 12.
+        self.stamp_release();
         self.inner.unlock();
     }
 }
@@ -804,6 +846,116 @@ mod tests {
         lock.lock(0);
         lock.unlock(0);
         assert_eq!(acquires.value(), 7);
+    }
+
+    /// Causal-edge stamps only materialize with the `trace` feature
+    /// (thread ids come from the probe rings); the cells themselves
+    /// exist in every build.
+    #[cfg(feature = "trace")]
+    mod causal {
+        use super::*;
+
+        /// The probe rings are process-global; live tests serialize.
+        fn serial() -> std::sync::MutexGuard<'static, ()> {
+            static M: std::sync::Mutex<()> = std::sync::Mutex::new(());
+            M.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+
+        #[test]
+        fn unlock_then_lock_emits_a_handoff_edge() {
+            let _serial = serial();
+            probe::clear();
+            let lock = Arc::new(StarvationFree::new(TasLock::new(), 2));
+            lock.lock(0);
+            let releaser = probe::thread_id();
+            lock.unlock(0);
+            let peer = Arc::clone(&lock);
+            std::thread::spawn(move || {
+                peer.lock(1);
+                peer.unlock(1);
+            })
+            .join()
+            .unwrap();
+            let trace = probe::collect();
+            let edge = trace
+                .events
+                .iter()
+                .find(|e| matches!(e.event, Event::HandoffFrom(_)))
+                .expect("the second acquisition records a handoff edge");
+            assert_eq!(edge.event, Event::HandoffFrom(releaser));
+            assert_ne!(
+                edge.thread, releaser,
+                "the edge is on the acquirer's thread"
+            );
+        }
+
+        #[test]
+        fn succession_emits_a_custody_edge_from_the_corpse_thread() {
+            use cso_memory::liveness::Liveness;
+            let _serial = serial();
+            probe::clear();
+            let lock = Arc::new(StarvationFree::new(TasLock::new(), 3));
+            let live = Liveness::new(3);
+            lock.enable_recovery(Arc::clone(&live), test_policy());
+            for p in 0..3 {
+                live.announce(p);
+            }
+            // The corpse acquires on a different OS thread, then "dies"
+            // holding the lock.
+            let held = Arc::clone(&lock);
+            let corpse_tid = std::thread::spawn(move || {
+                held.lock(0);
+                probe::thread_id()
+            })
+            .join()
+            .unwrap();
+            live.mark_dead(0);
+            assert_eq!(lock.try_succeed(1), Succession::Acquired);
+            let trace = probe::collect();
+            let edge = trace
+                .events
+                .iter()
+                .find(|e| matches!(e.event, Event::CustodyFrom(_)))
+                .expect("the seizure records a custody edge");
+            assert_eq!(edge.event, Event::CustodyFrom(corpse_tid));
+            assert_ne!(
+                edge.thread, corpse_tid,
+                "the edge is on the successor's thread"
+            );
+            lock.unlock(1);
+        }
+
+        #[test]
+        fn a_successor_never_sees_the_pre_corpse_handoff_stamp() {
+            use cso_memory::liveness::Liveness;
+            let _serial = serial();
+            probe::clear();
+            let lock = Arc::new(StarvationFree::new(TasLock::new(), 3));
+            let live = Liveness::new(3);
+            lock.enable_recovery(Arc::clone(&live), test_policy());
+            for p in 0..3 {
+                live.announce(p);
+            }
+            // A full handoff cycle first, so prev_tid has been written
+            // once...
+            lock.lock(2);
+            lock.unlock(2);
+            // ...then the corpse acquires (consuming the stamp) and dies.
+            let held = Arc::clone(&lock);
+            std::thread::spawn(move || held.lock(0)).join().unwrap();
+            live.mark_dead(0);
+            probe::clear();
+            assert_eq!(lock.try_succeed(1), Succession::Acquired);
+            let trace = probe::collect();
+            assert!(
+                !trace
+                    .events
+                    .iter()
+                    .any(|e| matches!(e.event, Event::HandoffFrom(_))),
+                "custody transfer must not fabricate a handoff edge"
+            );
+            lock.unlock(1);
+        }
     }
 
     /// A recovery policy for tests: only explicit `mark_dead` raises

@@ -133,12 +133,22 @@ pub enum RecordState {
     Tombstone,
 }
 
+/// The helper stamp a fresh [`PubRecord`] carries: "nobody". Matches
+/// `cso_trace::NO_TID` so the value flows straight into causal-edge
+/// probe payloads (this crate cannot depend on cso-trace — the chaos
+/// hook points the other way — so the sentinel is duplicated here).
+pub const NO_HELPER: u32 = u32::MAX;
+
 /// One publication record: a single-producer mailbox through which a
 /// contended operation is handed to a combiner and its response handed
 /// back. See the module docs for the protocol and its safety argument.
 #[derive(Debug)]
 pub struct PubRecord<Op, Resp> {
     status: AtomicU32,
+    /// Trace thread id of the combiner that last completed this
+    /// record, [`NO_HELPER`] initially. An uncounted engineering-side
+    /// stamp (like `status`): never part of the paper's step budgets.
+    helper: AtomicU32,
     op: UnsafeCell<*const Op>,
     resp: UnsafeCell<Option<Resp>>,
 }
@@ -159,6 +169,7 @@ impl<Op, Resp> PubRecord<Op, Resp> {
     pub fn new() -> PubRecord<Op, Resp> {
         PubRecord {
             status: AtomicU32::new(EMPTY),
+            helper: AtomicU32::new(NO_HELPER),
             op: UnsafeCell::new(std::ptr::null()),
             resp: UnsafeCell::new(None),
         }
@@ -225,6 +236,25 @@ impl<Op, Resp> PubRecord<Op, Resp> {
         // SAFETY: the successful CAS acquired the POSTED publication,
         // and CLAIMED grants this thread exclusive cell access.
         Some(unsafe { *self.op.get() })
+    }
+
+    /// Stamps the combiner's identity (a trace thread id) onto the
+    /// record, to be read back by the owner after it observes `Done`.
+    /// Call while holding the claim, before [`PubRecord::complete`]:
+    /// the `Release` store in `complete` then publishes the stamp
+    /// together with the response. A plain (uncounted) store — causal
+    /// attribution must not perturb the step audit.
+    pub fn stamp_helper(&self, tid: u32) {
+        self.helper.store(tid, Ordering::Relaxed);
+    }
+
+    /// The identity stamped by the combiner that last completed this
+    /// record ([`NO_HELPER`] if none ever did). Meaningful to the
+    /// owner only after observing `Done` — the `Acquire` load in
+    /// [`PubRecord::state`] makes the claimer's stamp visible.
+    #[must_use]
+    pub fn helper(&self) -> u32 {
+        self.helper.load(Ordering::Relaxed)
     }
 
     /// Delivers the response (combiner side): `CLAIMED → DONE`.
@@ -466,6 +496,21 @@ mod tests {
             rec.post(&op);
             rec.post(&op);
         }
+    }
+
+    #[test]
+    fn helper_stamp_rides_the_done_transition() {
+        let rec: PubRecord<u32, u32> = PubRecord::new();
+        assert_eq!(rec.helper(), NO_HELPER, "fresh record has no helper");
+        let op = 4u32;
+        // SAFETY: `op` outlives the protocol run below.
+        unsafe { rec.post(&op) };
+        let _ = rec.try_claim().expect("claimable");
+        rec.stamp_helper(7);
+        rec.complete(40);
+        assert_eq!(rec.state(), RecordState::Done);
+        assert_eq!(rec.helper(), 7, "owner reads the combiner's stamp");
+        assert_eq!(rec.take_response(), 40);
     }
 
     #[test]

@@ -52,7 +52,7 @@ use std::cell::{RefCell, UnsafeCell};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::backoff::XorShift64;
-use crate::combining::CachePadded;
+use crate::combining::{CachePadded, NO_HELPER};
 use crate::fail_point;
 
 // Slot states (low 32 bits of the packed word; high 32 bits = tag).
@@ -74,8 +74,29 @@ fn unpack(word: u64) -> (u32, u32) {
     ((word >> 32) as u32, word as u32)
 }
 
+/// How long a stamped offeror polls for its partner's identity stamp
+/// after detecting the exchange. The taker writes the stamp between
+/// its `WAITING→BUSY` commit and the recycling `EMPTY` store, so an
+/// offeror that observed `BUSY` may be a few instructions early; one
+/// that observed the recycled tag is never early (the `EMPTY` release
+/// store orders the stamp before it). Missing the bound degrades the
+/// edge to [`NO_HELPER`] — attribution is best-effort, the exchange
+/// itself is already decided.
+const STAMP_POLLS: u32 = 256;
+
 struct ExchangeSlot<T> {
     state: AtomicU64,
+    /// Tag-validated offeror identity, packed `tag << 32 | tid`,
+    /// written inside the exclusive `CLAIMED` window (published by the
+    /// `WAITING` release store) and read by the taker inside its
+    /// exclusive `BUSY` window. The tag check rejects stamps from a
+    /// previous occupancy of the slot — the same anti-ABA discipline
+    /// as the state word itself.
+    offeror_stamp: AtomicU64,
+    /// Tag-validated taker identity, written between the
+    /// `WAITING→BUSY` commit and the recycling `EMPTY` store, read by
+    /// the parked offeror once it detects the exchange.
+    taker_stamp: AtomicU64,
     item: UnsafeCell<Option<T>>,
 }
 
@@ -89,6 +110,10 @@ impl<T> ExchangeSlot<T> {
     fn new() -> ExchangeSlot<T> {
         ExchangeSlot {
             state: AtomicU64::new(pack(0, EMPTY)),
+            // Tag u32::MAX can never match a live occupancy's tag
+            // until the 2^32nd recycle, so fresh stamps read invalid.
+            offeror_stamp: AtomicU64::new(pack(u32::MAX, NO_HELPER)),
+            taker_stamp: AtomicU64::new(pack(u32::MAX, NO_HELPER)),
             item: UnsafeCell::new(None),
         }
     }
@@ -197,6 +222,16 @@ impl<T: Send> Exchanger<T> {
     /// time). Panic-safe: an unwind while the item is parked retracts
     /// it or concedes to a committed taker (see the module docs).
     pub fn offer(&self, value: T, polls: u32) -> Result<(), T> {
+        self.offer_stamped(value, polls, NO_HELPER).map(|_| ())
+    }
+
+    /// [`Exchanger::offer`] with causal attribution: stamps `me` (a
+    /// trace thread id) into the slot for the taker to read, and on
+    /// success returns the taker's stamp — [`NO_HELPER`] when the
+    /// partner did not identify itself or its stamp was not yet
+    /// visible. The stamps are plain uncounted stores; the exchange
+    /// protocol and its step costs are unchanged.
+    pub fn offer_stamped(&self, value: T, polls: u32, me: u32) -> Result<u32, T> {
         fail_point!("exchange::claim", return Err(value));
         let slot = self.random_slot();
         let word = slot.state.load(Ordering::Acquire);
@@ -214,9 +249,11 @@ impl<T: Send> Exchanger<T> {
         {
             return Err(value);
         }
-        // We own the cell: park the item.
+        // We own the cell: park the item and our identity stamp (the
+        // WAITING release store below publishes both).
         // SAFETY: exclusive window (CLAIMED).
         unsafe { *slot.item.get() = Some(value) };
+        slot.offeror_stamp.store(pack(tag, me), Ordering::Relaxed);
         let mut guard = ParkGuard {
             slot,
             tag,
@@ -230,7 +267,7 @@ impl<T: Send> Exchanger<T> {
                 // A taker moved us to BUSY (and possibly already
                 // recycled the slot): the item is theirs.
                 guard.armed = false;
-                return Ok(());
+                return Ok(taker_stamp_of(slot, tag));
             }
             let absorbed = {
                 use crate::runtime::{Active, Runtime};
@@ -272,7 +309,7 @@ impl<T: Send> Exchanger<T> {
             Err(value)
         } else {
             // The CAS lost: a taker got there first — exchanged.
-            Ok(())
+            Ok(taker_stamp_of(slot, tag))
         }
     }
 
@@ -293,7 +330,16 @@ impl<T: Send> Exchanger<T> {
     /// the eliminated pair may linearize.
     ///
     /// Scans every slot starting from a random index.
-    pub fn take_if(&self, mut admit: impl FnMut() -> bool) -> Option<T> {
+    pub fn take_if(&self, admit: impl FnMut() -> bool) -> Option<T> {
+        self.take_if_stamped(admit, NO_HELPER)
+            .map(|(value, _)| value)
+    }
+
+    /// [`Exchanger::take_if`] with causal attribution: stamps `me` (a
+    /// trace thread id) for the parked offeror to read, and returns
+    /// the offeror's stamp alongside the item — [`NO_HELPER`] when the
+    /// offeror did not identify itself.
+    pub fn take_if_stamped(&self, mut admit: impl FnMut() -> bool, me: u32) -> Option<(T, u32)> {
         let start = random_below(self.slots.len() as u64) as usize;
         for i in 0..self.slots.len() {
             let slot = &*self.slots[(start + i) % self.slots.len()];
@@ -312,10 +358,16 @@ impl<T: Send> Exchanger<T> {
             }
             // SAFETY: exclusive window (BUSY).
             let value = unsafe { (*slot.item.get()).take() }.expect("parked item present");
+            // Read the offeror's stamp (published by its WAITING
+            // store) and leave ours before the recycling store makes
+            // the slot claimable again — both inside the BUSY window.
+            let (stamp_tag, partner) = unpack(slot.offeror_stamp.load(Ordering::Relaxed));
+            let partner = if stamp_tag == tag { partner } else { NO_HELPER };
+            slot.taker_stamp.store(pack(tag, me), Ordering::Release);
             slot.state
                 .store(pack(tag.wrapping_add(1), EMPTY), Ordering::Release);
             self.exchanged.fetch_add(1, Ordering::Relaxed);
-            return Some(value);
+            return Some((value, partner));
         }
         None
     }
@@ -333,6 +385,22 @@ impl<T: Send> Exchanger<T> {
         let idx = random_below(self.slots.len() as u64) as usize;
         &self.slots[idx]
     }
+}
+
+/// The taker's identity stamp for the rendezvous tagged `tag`, polled
+/// briefly (see [`STAMP_POLLS`]); [`NO_HELPER`] if it never became
+/// visible. Called by an offeror that has already detected its
+/// exchange, so the slot may be in any later state — the tag check is
+/// what ties the stamp to *this* rendezvous.
+fn taker_stamp_of<T>(slot: &ExchangeSlot<T>, tag: u32) -> u32 {
+    for _ in 0..STAMP_POLLS {
+        let (stamp_tag, tid) = unpack(slot.taker_stamp.load(Ordering::Acquire));
+        if stamp_tag == tag {
+            return tid;
+        }
+        std::hint::spin_loop();
+    }
+    NO_HELPER
 }
 
 impl<T> std::fmt::Debug for Exchanger<T> {
@@ -408,6 +476,63 @@ mod tests {
         assert_eq!(ex.take(), Some(9), "a later taker still gets it");
         offeror.join().unwrap();
         assert_eq!(ex.exchanges(), 1);
+    }
+
+    #[test]
+    fn stamped_rendezvous_reports_both_identities() {
+        let ex: Arc<Exchanger<u32>> = Arc::new(Exchanger::new(1));
+        let offeror = {
+            let ex = Arc::clone(&ex);
+            std::thread::spawn(move || loop {
+                match ex.offer_stamped(42, 10_000, 11) {
+                    Ok(partner) => return partner,
+                    Err(_) => std::thread::yield_now(),
+                }
+            })
+        };
+        let (got, offeror_id) = loop {
+            if let Some(pair) = ex.take_if_stamped(|| true, 22) {
+                break pair;
+            }
+            std::hint::spin_loop();
+        };
+        let taker_id = offeror.join().unwrap();
+        assert_eq!(got, 42);
+        assert_eq!(offeror_id, 11, "taker learns the offeror's identity");
+        assert_eq!(taker_id, 22, "offeror learns the taker's identity");
+        assert_eq!(ex.exchanges(), 1);
+        assert!(ex.is_idle());
+    }
+
+    #[test]
+    fn unstamped_calls_report_no_helper() {
+        let ex: Arc<Exchanger<u32>> = Arc::new(Exchanger::new(1));
+        let offeror = {
+            let ex = Arc::clone(&ex);
+            std::thread::spawn(move || loop {
+                match ex.offer_stamped(5, 10_000, 33) {
+                    Ok(partner) => return partner,
+                    Err(_) => std::thread::yield_now(),
+                }
+            })
+        };
+        // A plain take leaves no taker stamp for this occupancy.
+        let got = loop {
+            if let Some(v) = ex.take() {
+                break v;
+            }
+            std::hint::spin_loop();
+        };
+        assert_eq!(got, 5);
+        assert_eq!(
+            offeror.join().unwrap(),
+            NO_HELPER,
+            "anonymous taker yields an unattributable edge"
+        );
+        // A stale stamp from the previous cycle must not leak into a
+        // fresh rendezvous either way (tag validation).
+        assert_eq!(ex.offer(6, 0), Err(6));
+        assert!(ex.is_idle());
     }
 
     #[test]

@@ -103,7 +103,7 @@ macro_rules! fail_point {
 
 pub use backoff::Deadline;
 pub use bits::Bits32;
-pub use combining::{CachePadded, PubRecord, RecordState};
+pub use combining::{CachePadded, PubRecord, RecordState, NO_HELPER};
 pub use counting::{AccessCounts, CountScope};
 pub use exchange::Exchanger;
 pub use liveness::{Liveness, RecoveryPolicy};

@@ -272,6 +272,44 @@ impl Registry {
         }
     }
 
+    /// Registers the build-identity and uptime series:
+    ///
+    /// * `cso_build_info` — always `1` (a presence marker, scrapeable
+    ///   as "the process is up and identified");
+    /// * `cso_build_version_major` / `_minor` / `_patch` — the crate
+    ///   version, spread over three series because the registry is
+    ///   label-free by design;
+    /// * `cso_feature_trace` / `cso_feature_chaos` /
+    ///   `cso_feature_model` — `1` when the corresponding compile-time
+    ///   capability was enabled for this build, else `0`;
+    /// * `cso_process_uptime_seconds` — polled; seconds since this
+    ///   method ran (call it once at startup so the gauge tracks
+    ///   process lifetime).
+    pub fn register_build_info(&self) {
+        self.gauge("cso_build_info").set(1.0);
+        let mut parts = env!("CARGO_PKG_VERSION")
+            .split('.')
+            .map(|p| p.parse::<u64>().unwrap_or(0));
+        for name in [
+            "cso_build_version_major",
+            "cso_build_version_minor",
+            "cso_build_version_patch",
+        ] {
+            self.gauge(name).set(parts.next().unwrap_or(0) as f64);
+        }
+        for (name, enabled) in [
+            ("cso_feature_trace", cfg!(feature = "trace")),
+            ("cso_feature_chaos", cfg!(feature = "chaos")),
+            ("cso_feature_model", cfg!(feature = "model")),
+        ] {
+            self.gauge(name).set(f64::from(u8::from(enabled)));
+        }
+        let start = Instant::now();
+        self.gauge_fn("cso_process_uptime_seconds", move || {
+            start.elapsed().as_secs_f64()
+        });
+    }
+
     /// Registers the `cso_trace_ring_dropped` polled gauge: probe
     /// events lost to ring wrap-around since the last `probe::clear()`
     /// (always `0` without the `trace` feature). Surfacing the drop
@@ -435,6 +473,37 @@ mod tests {
         // 0 in un-traced builds; >= 0 in traced builds (other tests in
         // this process may have wrapped rings).
         assert!(*v >= 0.0);
+    }
+
+    #[test]
+    fn build_info_reports_identity_features_and_uptime() {
+        let reg = Registry::new();
+        reg.register_build_info();
+        let snap = reg.snapshot();
+        let get = |name: &str| {
+            snap.gauges
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing gauge {name}"))
+                .1
+        };
+        assert_eq!(get("cso_build_info"), 1.0);
+        let version = format!(
+            "{}.{}.{}",
+            get("cso_build_version_major"),
+            get("cso_build_version_minor"),
+            get("cso_build_version_patch")
+        );
+        assert_eq!(version, "0.1.0");
+        for feature in ["trace", "chaos", "model"] {
+            let v = get(&format!("cso_feature_{feature}"));
+            assert!(v == 0.0 || v == 1.0, "{feature}: {v}");
+        }
+        assert_eq!(
+            get("cso_feature_trace"),
+            f64::from(u8::from(cfg!(feature = "trace")))
+        );
+        assert!(get("cso_process_uptime_seconds") >= 0.0);
     }
 
     #[test]

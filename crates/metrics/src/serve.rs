@@ -48,13 +48,26 @@ impl Routes {
         self
     }
 
+    /// Appends every route of `other`, preserving registration order
+    /// (so `profile_routes(...).merge(watch_routes(...))` serves both
+    /// tables on one port). On a path collision the earlier
+    /// registration wins, matching lookup order.
+    #[must_use]
+    pub fn merge(mut self, other: Routes) -> Routes {
+        self.routes.extend(other.routes);
+        self
+    }
+
     /// The registered paths, in registration order.
     #[must_use]
     pub fn paths(&self) -> Vec<&str> {
         self.routes.iter().map(|(p, _)| p.as_str()).collect()
     }
 
-    fn lookup(&self, path: &str) -> Option<&RouteHandler> {
+    /// The handler registered for exact-match `path`, if any. Public
+    /// so route tables can be exercised without a live socket.
+    #[must_use]
+    pub fn lookup(&self, path: &str) -> Option<&RouteHandler> {
         self.routes.iter().find(|(p, _)| p == path).map(|(_, h)| h)
     }
 }
@@ -389,6 +402,72 @@ mod tests {
                 "{raw:?} -> {response:?}"
             );
         }
+        server.shutdown();
+    }
+
+    /// A client that sends half a request head and then stalls must
+    /// not wedge the single serve thread: the 500 ms read timeout
+    /// fires, the stalled connection gets whatever answer its partial
+    /// head earned, and the next well-formed scrape is served.
+    #[test]
+    fn a_stalled_partial_request_cannot_wedge_the_serve_thread() {
+        let registry = Registry::new();
+        registry.counter("survived_total").add(1);
+        let server = MetricsServer::bind(registry, "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        let mut stalled = TcpStream::connect(addr).unwrap();
+        stalled.write_all(b"GET /metr").unwrap(); // no head terminator
+        let start = std::time::Instant::now();
+
+        // While the stalled connection sits in its read timeout, a
+        // fresh scrape queues behind it and must still complete.
+        let (head, body) = http_get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("survived_total 1"));
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "stalled client held the serve thread for {:?}",
+            start.elapsed()
+        );
+
+        // The stalled connection itself was answered after the read
+        // timeout: its truncated head parsed as `GET /metr`, a miss.
+        let mut response = String::new();
+        stalled.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 404"), "{response:?}");
+
+        server.shutdown();
+    }
+
+    /// A client that connects, never writes a byte, and walks away
+    /// (plus one that requests but never reads) must leave the server
+    /// able to answer the next scraper.
+    #[test]
+    fn silent_and_never_reading_clients_are_shed() {
+        let registry = Registry::new();
+        registry.counter("shed_total").add(2);
+        let server = MetricsServer::bind(registry, "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        // Mute client: opens a connection and sends nothing. Held open
+        // across the follow-up scrape so the timeout, not the client,
+        // frees the thread.
+        let mute = TcpStream::connect(addr).unwrap();
+
+        // Deaf client: sends a valid request, never reads the
+        // response, and hangs up. (The response fits the kernel socket
+        // buffer, so at worst the write timeout applies.)
+        let mut deaf = TcpStream::connect(addr).unwrap();
+        deaf.write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        drop(deaf);
+
+        let (head, body) = http_get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("shed_total 2"));
+
+        drop(mute);
         server.shutdown();
     }
 

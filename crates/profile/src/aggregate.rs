@@ -26,12 +26,13 @@
 //! entries for any workload).
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
+use cso_analyze::causal::{CausalAccumulator, CausalReport};
 use cso_analyze::collapse;
 use cso_analyze::log::Row;
 use cso_analyze::spans::{Fed, RecoveryCounts, ThreadReplayer};
-use cso_metrics::Json;
+use cso_metrics::{Json, Registry};
 use cso_trace::probe::{Harvested, TraceEvent};
 use cso_trace::{HistSnapshot, LogHistogram};
 
@@ -141,6 +142,38 @@ struct AggState {
     max_proc: Option<u32>,
     event_counts: BTreeMap<String, u64>,
     stacks: BTreeMap<String, u64>,
+    causal: CausalAccumulator,
+    bypass: BypassTracker,
+    truncated_counts: BTreeMap<u32, u64>,
+    registry: Option<Registry>,
+}
+
+/// Streaming port of `cso_analyze::bypass`: each open `flag-raise(p)`
+/// → `lock-acquire(p)` interval counts acquisitions by other
+/// processes; the watchdog checks the running max against `n − 1`.
+#[derive(Debug, Default)]
+struct BypassTracker {
+    open: BTreeMap<u32, u64>,
+    max_bypass: u64,
+    intervals: u64,
+}
+
+impl BypassTracker {
+    fn on_flag_raise(&mut self, proc_id: u32) {
+        self.open.entry(proc_id).or_insert(0);
+    }
+
+    fn on_lock_acquire(&mut self, proc_id: u32) {
+        for (&waiter, bypasses) in &mut self.open {
+            if waiter != proc_id {
+                *bypasses += 1;
+            }
+        }
+        if let Some(bypasses) = self.open.remove(&proc_id) {
+            self.intervals += 1;
+            self.max_bypass = self.max_bypass.max(bypasses);
+        }
+    }
 }
 
 impl AggState {
@@ -164,6 +197,10 @@ impl AggState {
             max_proc: None,
             event_counts: BTreeMap::new(),
             stacks: BTreeMap::new(),
+            causal: CausalAccumulator::default(),
+            bypass: BypassTracker::default(),
+            truncated_counts: BTreeMap::new(),
+            registry: None,
         }
     }
 
@@ -211,6 +248,19 @@ pub struct ProfileSnapshot {
     pub event_counts: Vec<(String, u64)>,
     /// The live probe drop gauge at snapshot time.
     pub dropped_gauge: u64,
+    /// The cross-thread helped-by graph (`/causal.json`).
+    pub causal: CausalReport,
+    /// Worst §4.4 bypass count over closed flag→acquire intervals.
+    pub max_bypass: u64,
+    /// Closed flag→acquire intervals.
+    pub bypass_intervals: u64,
+    /// Flagged processes still waiting at snapshot time.
+    pub bypass_open: u64,
+    /// Distinct process ids seen (`max + 1`) — the `n` in the §4.4
+    /// `n − 1` bound. 0 until a proc-carrying event arrives.
+    pub procs: u64,
+    /// `(thread, events lost)` per thread whose ring ever truncated.
+    pub truncated_threads: Vec<(u32, u64)>,
 }
 
 /// The live aggregator. One instance per process; the harvester feeds
@@ -253,7 +303,14 @@ impl LiveAggregator {
         // A thread that lost events mid-stream cannot trust its state
         // machine any more: desynchronise it so the gap's orphans are
         // charged to loss, and resync on the next clean span start.
-        for &(thread, _) in &batch.truncated {
+        for &(thread, lost) in &batch.truncated {
+            let total = state.truncated_counts.entry(thread).or_insert(0);
+            *total += lost;
+            if let Some(registry) = &state.registry {
+                registry
+                    .gauge(&format!("cso_harvest_truncated_events_thread_{thread}"))
+                    .set(*total as f64);
+            }
             match state.replayers.get_mut(&thread) {
                 Some(replayer) => replayer.desync(),
                 None => state.truncated_at_start.push(thread),
@@ -283,12 +340,50 @@ impl LiveAggregator {
                     if let Some(wait) = span.wait_ns {
                         state.wait_hist.record_ns(wait);
                     }
+                    state.causal.add_span(&span);
                     collapse::add_span(&mut state.stacks, &span);
                 }
                 Fed::Malformed(_) => state.malformed += 1,
                 Fed::Orphan => state.orphans += 1,
             }
         }
+    }
+
+    /// Publishes harvester conservation to `registry` and keeps it
+    /// published:
+    ///
+    /// * `cso_harvest_ingested_total` / `cso_harvest_batches_total` /
+    ///   `cso_harvest_lost_total` — polled at scrape time, so the
+    ///   conservation identity *ingested + lost + drop gauge = emitted*
+    ///   is checkable from `/metrics` alone;
+    /// * `cso_trace_ring_dropped` — the live probe drop gauge;
+    /// * `cso_harvest_truncated_events_thread_<t>` — one gauge per
+    ///   thread whose ring ever truncated, registered lazily when the
+    ///   first loss is harvested (threads with lossless rings get no
+    ///   series).
+    pub fn register_metrics(self: &Arc<Self>, registry: &Registry) {
+        for (name, read) in [
+            (
+                "cso_harvest_ingested_total",
+                (|s: &AggState| s.events_ingested) as fn(&AggState) -> u64,
+            ),
+            ("cso_harvest_batches_total", |s: &AggState| s.batches),
+            ("cso_harvest_lost_total", |s: &AggState| s.lost),
+        ] {
+            let agg = Arc::clone(self);
+            registry.gauge_fn(name, move || {
+                read(&agg.inner.lock().unwrap_or_else(|e| e.into_inner())) as f64
+            });
+        }
+        registry.register_probe_drop_gauge();
+        let mut state = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        // Backfill truncations harvested before the registry arrived.
+        for (&thread, &total) in &state.truncated_counts {
+            registry
+                .gauge(&format!("cso_harvest_truncated_events_thread_{thread}"))
+                .set(total as f64);
+        }
+        state.registry = Some(registry.clone());
     }
 
     /// Total events ingested so far (the losslessness counter: equal
@@ -346,6 +441,16 @@ impl LiveAggregator {
             recovery,
             event_counts,
             dropped_gauge: cso_trace::probe::dropped(),
+            causal: state.causal.report(),
+            max_bypass: state.bypass.max_bypass,
+            bypass_intervals: state.bypass.intervals,
+            bypass_open: state.bypass.open.len() as u64,
+            procs: state.max_proc.map_or(0, |p| u64::from(p) + 1),
+            truncated_threads: state
+                .truncated_counts
+                .iter()
+                .map(|(&t, &n)| (t, n))
+                .collect(),
         }
     }
 
@@ -363,7 +468,15 @@ impl LiveAggregator {
 /// stall detector, and the convoy tracker.
 fn track_tenure(state: &mut AggState, row: &Row) {
     match row.name.as_str() {
+        "flag-raise" => {
+            if let Some(p) = row.proc_id {
+                state.bypass.on_flag_raise(p);
+            }
+        }
         "lock-acquire" => {
+            if let Some(p) = row.proc_id {
+                state.bypass.on_lock_acquire(p);
+            }
             state.open_tenures.insert(
                 row.thread,
                 (row.wall_ns, None, row.proc_id.unwrap_or(u32::MAX)),
@@ -445,7 +558,16 @@ impl ProfileSnapshot {
                     .field("events_ingested", self.events_ingested)
                     .field("batches", self.batches)
                     .field("lost", self.lost)
-                    .field("dropped_gauge", self.dropped_gauge),
+                    .field("dropped_gauge", self.dropped_gauge)
+                    .field(
+                        "truncated_threads",
+                        Json::Obj(
+                            self.truncated_threads
+                                .iter()
+                                .map(|(t, n)| (format!("thread_{t}"), Json::from(*n)))
+                                .collect(),
+                        ),
+                    ),
             )
             .field(
                 "spans",
@@ -472,6 +594,21 @@ impl ProfileSnapshot {
                     .field("suspects", self.recovery.suspects)
                     .field("reclaimed", self.recovery.reclaimed)
                     .field("successions", self.recovery.successions),
+            )
+            .field(
+                "bypass",
+                Json::obj()
+                    .field("max_bypass", self.max_bypass)
+                    .field("intervals", self.bypass_intervals)
+                    .field("open", self.bypass_open)
+                    .field("procs", self.procs),
+            )
+            .field(
+                "causal",
+                Json::obj()
+                    .field("attributed", self.causal.attributed())
+                    .field("attribution", self.causal.attribution())
+                    .field("edges", self.causal.edges.len()),
             )
             .field("events_by_label", Json::Obj(events))
     }
@@ -514,6 +651,18 @@ impl ProfileSnapshot {
             out,
             "pathologies: {} convoys (longest run {}), {} combiner stalls",
             self.convoys, self.longest_convoy_run, self.stalls
+        );
+        let _ = writeln!(
+            out,
+            "bypass: max {} over {} closed interval(s), {} open, {} proc(s)",
+            self.max_bypass, self.bypass_intervals, self.bypass_open, self.procs
+        );
+        let _ = writeln!(
+            out,
+            "causal: {} op(s) attributed over {} edge(s), attribution {:.4}",
+            self.causal.attributed(),
+            self.causal.edges.len(),
+            self.causal.attribution()
         );
         if self.recovery.any() {
             let _ = writeln!(
@@ -675,6 +824,90 @@ mod tests {
         let snap = agg.snapshot();
         assert_eq!(snap.stalls, 1, "{snap:?}");
         assert_eq!(snap.convoys, 0);
+    }
+
+    #[test]
+    fn harvest_conservation_is_published_to_a_registry() {
+        let agg = std::sync::Arc::new(LiveAggregator::new());
+        let reg = Registry::new();
+        agg.register_metrics(&reg);
+        agg.ingest(&Harvested {
+            events: vec![
+                ev(0, 0, 1, Event::FastAttempt),
+                ev(1, 0, 2, Event::FastSuccess),
+            ],
+            lost: 5,
+            truncated: vec![(0, 5)],
+        });
+        let snap = reg.snapshot();
+        let get = |name: &str| {
+            snap.gauges
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing gauge {name}"))
+                .1
+        };
+        assert_eq!(get("cso_harvest_ingested_total"), 2.0);
+        assert_eq!(get("cso_harvest_batches_total"), 1.0);
+        assert_eq!(get("cso_harvest_lost_total"), 5.0);
+        assert_eq!(get("cso_harvest_truncated_events_thread_0"), 5.0);
+        assert!(get("cso_trace_ring_dropped") >= 0.0);
+        assert_eq!(agg.snapshot().truncated_threads, vec![(0, 5)]);
+
+        // Late binding backfills truncations already harvested.
+        let late = Registry::new();
+        agg.register_metrics(&late);
+        let snap = late.snapshot();
+        let truncated = snap
+            .gauges
+            .iter()
+            .find(|(n, _)| n == "cso_harvest_truncated_events_thread_0")
+            .expect("backfilled gauge")
+            .1;
+        assert_eq!(truncated, 5.0);
+    }
+
+    #[test]
+    fn causal_edges_and_bypass_fold_into_the_snapshot() {
+        let agg = LiveAggregator::new();
+        agg.ingest(&batch(vec![
+            // Proc 0 flags, proc 1 acquires twice before proc 0 gets
+            // in: a closed interval with 2 bypasses.
+            ev(0, 0, 10, Event::FlagRaise(0)),
+            ev(1, 1, 11, Event::FlagRaise(1)),
+            ev(2, 1, 12, Event::LockAcquire(1)),
+            ev(3, 1, 13, Event::LockedComplete),
+            ev(4, 1, 14, Event::LockRelease(1)),
+            ev(5, 1, 15, Event::FlagRaise(1)),
+            ev(6, 1, 16, Event::LockAcquire(1)),
+            ev(7, 1, 17, Event::LockedComplete),
+            ev(8, 1, 18, Event::LockRelease(1)),
+            ev(9, 0, 20, Event::LockAcquire(0)),
+            ev(10, 0, 21, Event::LockedComplete),
+            ev(11, 0, 22, Event::LockRelease(0)),
+            // A combined op on thread 2, served by thread 9's combiner.
+            ev(12, 2, 30, Event::RecordPost),
+            ev(13, 2, 40, Event::HelpedByCombiner(9)),
+            ev(14, 2, 41, Event::CombinedComplete),
+        ]));
+        let snap = agg.snapshot();
+        assert_eq!(snap.max_bypass, 2);
+        assert_eq!(snap.bypass_intervals, 3);
+        assert_eq!(snap.bypass_open, 0);
+        assert_eq!(snap.procs, 2);
+        assert_eq!(snap.causal.combined, (1, 1));
+        assert_eq!(snap.causal.attributed(), 1);
+        assert!((snap.causal.attribution() - 1.0).abs() < f64::EPSILON);
+        let edge = snap.causal.edges[0];
+        assert_eq!((edge.helper, edge.owner, edge.count), (9, 2, 1));
+        let text = snap.render_text();
+        assert!(
+            text.contains("bypass: max 2 over 3 closed interval(s)"),
+            "{text}"
+        );
+        assert!(text.contains("causal: 1 op(s) attributed"), "{text}");
+        Json::parse(&snap.to_json().render_pretty()).expect("valid JSON");
+        Json::parse(&snap.causal.to_json().render_pretty()).expect("valid causal JSON");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! | `/profile` | `text/plain` | human-readable live profile ([`ProfileSnapshot::render_text`]) |
 //! | `/spans.json` | `application/json` | the full snapshot ([`ProfileSnapshot::to_json`]) |
 //! | `/flamegraph` | `text/plain` | collapsed stacks (pipe into `flamegraph.pl`) |
+//! | `/causal.json` | `application/json` | the cross-thread helped-by graph ([`cso_analyze::causal::CausalReport::to_json`]) |
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -29,13 +30,15 @@ use cso_metrics::Routes;
 
 use crate::aggregate::LiveAggregator;
 
-/// Builds the `/profile`, `/spans.json` and `/flamegraph` route table
-/// over a shared aggregator (each request takes a fresh snapshot).
+/// Builds the `/profile`, `/spans.json`, `/flamegraph` and
+/// `/causal.json` route table over a shared aggregator (each request
+/// takes a fresh snapshot).
 #[must_use]
 pub fn profile_routes(aggregator: Arc<LiveAggregator>) -> Routes {
     let profile = Arc::clone(&aggregator);
     let spans = Arc::clone(&aggregator);
-    let flame = aggregator;
+    let flame = Arc::clone(&aggregator);
+    let causal = aggregator;
     Routes::new()
         .add("/profile", move || {
             (
@@ -52,6 +55,12 @@ pub fn profile_routes(aggregator: Arc<LiveAggregator>) -> Routes {
         .add("/flamegraph", move || {
             ("text/plain; charset=utf-8".to_owned(), flame.collapsed())
         })
+        .add("/causal.json", move || {
+            (
+                "application/json".to_owned(),
+                causal.snapshot().causal.to_json().render_pretty(),
+            )
+        })
 }
 
 #[cfg(test)]
@@ -60,10 +69,13 @@ mod tests {
     use cso_trace::SiteClass;
 
     #[test]
-    fn routes_cover_the_three_profile_endpoints() {
+    fn routes_cover_the_four_profile_endpoints() {
         let routes = profile_routes(Arc::new(LiveAggregator::new()));
         let paths = routes.paths();
-        assert_eq!(paths, vec!["/profile", "/spans.json", "/flamegraph"]);
+        assert_eq!(
+            paths,
+            vec!["/profile", "/spans.json", "/flamegraph", "/causal.json"]
+        );
     }
 
     /// The probe-site tables published by `cso-core` and `cso-locks`
@@ -73,9 +85,10 @@ mod tests {
     /// class no instrumented code can ever hit.
     #[test]
     fn probe_site_tables_match_the_causal_taxonomy() {
-        let tables: [(&str, &[(&str, &str)]); 2] = [
+        let tables: [(&str, &[(&str, &str)]); 3] = [
             ("cso-core", cso_core::PROBE_SITES),
             ("cso-locks", cso_locks::PROBE_SITES),
+            ("cso-stack", cso_stack::PROBE_SITES),
         ];
         let mut seen = Vec::new();
         for (owner, table) in tables {
@@ -131,11 +144,33 @@ mod tests {
             "suspect-raised",
             "record-reclaimed",
             "lock-succeeded",
+            "helped-by-combiner",
+            "helped-by-partner",
+            "handoff-from",
+            "custody-from",
         ];
-        for table in [cso_core::PROBE_SITES, cso_locks::PROBE_SITES] {
+        for table in [
+            cso_core::PROBE_SITES,
+            cso_locks::PROBE_SITES,
+            cso_stack::PROBE_SITES,
+        ] {
             for &(site, _) in table {
                 assert!(known.contains(&site), "unknown probe site name: {site}");
             }
+        }
+    }
+
+    /// `cso_analyze::spans::HelpKind` mirrors `cso_trace::HelpKind`
+    /// without a dependency edge; this test is the sync contract: the
+    /// labels and the event names the analyzer parses must match what
+    /// the tracer emits.
+    #[test]
+    fn help_kind_taxonomies_stay_in_sync() {
+        use cso_analyze::spans::HelpKind as AnalyzeKind;
+        use cso_trace::HelpKind as TraceKind;
+        assert_eq!(AnalyzeKind::ALL.len(), TraceKind::ALL.len());
+        for (a, t) in AnalyzeKind::ALL.iter().zip(TraceKind::ALL.iter()) {
+            assert_eq!(a.label(), t.name(), "kind label drift");
         }
     }
 }

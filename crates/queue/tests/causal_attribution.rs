@@ -1,0 +1,70 @@
+//! Causal attribution through the queue's combining slow path: every
+//! operation a combiner executed on behalf of another process must
+//! carry a `helped-by-combiner` edge naming the combiner's thread —
+//! the live-coverage contract `/causal.json` builds on.
+#![cfg(feature = "trace")]
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use cso_core::CsConfig;
+use cso_locks::TasLock;
+use cso_queue::{CsQueue, DequeueOutcome, EnqueueOutcome};
+use cso_trace::{probe, Event};
+
+#[test]
+fn every_combined_op_carries_a_helper_edge() {
+    // Small enough that no per-thread ring (4096 slots) evicts events.
+    const THREADS: u32 = 3;
+    const PER_THREAD: u32 = 60;
+    probe::clear();
+    let config = CsConfig::PAPER.without_fast_path().with_combining();
+    let queue: Arc<CsQueue<u32>> = Arc::new(CsQueue::with_config(
+        1024,
+        TasLock::new(),
+        THREADS as usize,
+        config,
+    ));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    assert_eq!(
+                        queue.enqueue(t as usize, t * PER_THREAD + i),
+                        EnqueueOutcome::Enqueued
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut seen = HashSet::new();
+    while let DequeueOutcome::Dequeued(v) = queue.dequeue(0) {
+        assert!(seen.insert(v), "duplicate value {v}");
+    }
+    assert_eq!(seen.len(), (THREADS * PER_THREAD) as usize);
+
+    let trace = probe::collect();
+    assert_eq!(trace.dropped, 0, "rings must not have truncated");
+    let edges: Vec<_> = trace
+        .events
+        .iter()
+        .filter_map(|e| match e.event {
+            Event::HelpedByCombiner(tid) => Some((e.thread, tid)),
+            _ => None,
+        })
+        .collect();
+    // Exactly the combined operations are attributed — no more (a
+    // self-combiner records no edge), no fewer (every stamp is read).
+    assert_eq!(
+        edges.len() as u64,
+        queue.combining_stats().combined,
+        "one helped-by edge per combined operation"
+    );
+    for (owner, helper) in edges {
+        assert_ne!(owner, helper, "nobody combines for themselves");
+    }
+}

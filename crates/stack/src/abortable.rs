@@ -8,7 +8,7 @@ use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use cso_core::{Abortable, Aborted, BatchCounters, BatchStats};
-use cso_memory::combining::CachePadded;
+use cso_memory::combining::{CachePadded, NO_HELPER};
 use cso_memory::exchange::Exchanger;
 use cso_memory::fail_point;
 use cso_memory::packed::{SlotWord, TopWord};
@@ -364,22 +364,35 @@ impl<V: StackValue> Abortable for AbortableStack<V> {
                     return None;
                 }
                 self.exchanger
-                    .offer(v.to_bits(), polls)
+                    .offer_stamped(v.to_bits(), polls, probe::thread_id())
                     .ok()
-                    .map(|()| StackResponse::Push(PushOutcome::Pushed))
+                    .map(|partner| {
+                        // Causal edge: the taker's stamp names the
+                        // thread whose pop absorbed this value.
+                        probe_if!(partner != NO_HELPER, Event::HelpedByPartner(partner));
+                        StackResponse::Push(PushOutcome::Pushed)
+                    })
             }
             StackOp::Pop => self
                 .exchanger
-                .take_if(|| {
-                    // Admission check, evaluated after the partner is
-                    // observed parked and before the taking C&S — an
-                    // instant inside both operations' intervals. The
-                    // pair linearizes here, so occupancy < capacity
-                    // must hold *now* for the eliminated push to be
-                    // legal.
-                    usize::from(TopWord::unpack(self.top.peek()).index) < self.capacity()
-                })
-                .map(|bits| StackResponse::Pop(PopOutcome::Popped(V::from_bits(bits)))),
+                .take_if_stamped(
+                    || {
+                        // Admission check, evaluated after the partner
+                        // is observed parked and before the taking C&S
+                        // — an instant inside both operations'
+                        // intervals. The pair linearizes here, so
+                        // occupancy < capacity must hold *now* for the
+                        // eliminated push to be legal.
+                        usize::from(TopWord::unpack(self.top.peek()).index) < self.capacity()
+                    },
+                    probe::thread_id(),
+                )
+                .map(|(bits, partner)| {
+                    // Causal edge: the offeror's stamp names the thread
+                    // whose push supplied this value.
+                    probe_if!(partner != NO_HELPER, Event::HelpedByPartner(partner));
+                    StackResponse::Pop(PopOutcome::Popped(V::from_bits(bits)))
+                }),
         }
     }
 }
@@ -540,6 +553,51 @@ mod tests {
         assert!(stack.is_empty(), "elimination must not touch the stack");
         // No weak operation ran at all: the rendezvous bypassed TOP.
         assert_eq!(stack.abort_stats(), AbortStats::default());
+    }
+
+    /// The causal stamps ride the rendezvous only when the probe rings
+    /// are live (thread ids come from registration order).
+    #[cfg(feature = "trace")]
+    #[test]
+    fn eliminated_pair_records_both_partner_edges() {
+        use cso_trace::probe;
+        use std::sync::Arc;
+
+        let stack: Arc<AbortableStack<u32>> = Arc::new(AbortableStack::new(8));
+        let taker_tid = probe::thread_id();
+        let offeror = {
+            let stack = Arc::clone(&stack);
+            std::thread::spawn(move || loop {
+                match stack.try_eliminate(&StackOp::Push(42), 10_000) {
+                    Some(_) => return probe::thread_id(),
+                    None => std::thread::yield_now(),
+                }
+            })
+        };
+        while stack.try_eliminate(&StackOp::Pop, 0).is_none() {
+            std::hint::spin_loop();
+        }
+        let offeror_tid = offeror.join().unwrap();
+        // The rings are process-global and other tests emit too; only
+        // assert our own edges exist, one on each side's thread.
+        let trace = probe::collect();
+        let edges: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.event, Event::HelpedByPartner(_)))
+            .collect();
+        assert!(
+            edges
+                .iter()
+                .any(|e| e.thread == taker_tid && e.event == Event::HelpedByPartner(offeror_tid)),
+            "the pop must name the offering thread"
+        );
+        assert!(
+            edges
+                .iter()
+                .any(|e| e.thread == offeror_tid && e.event == Event::HelpedByPartner(taker_tid)),
+            "the push must name the taking thread"
+        );
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub mod probe;
 
 pub use audit::{AuditReport, StepAuditor};
 pub use hist::{HistSnapshot, LogHistogram};
-pub use probe::{Event, Harvested, Path, SiteClass, Trace, TraceEvent};
+pub use probe::{Event, Harvested, HelpKind, Path, SiteClass, Trace, TraceEvent, NO_TID};
 
 /// Records a probe [`Event`] on the calling thread.
 ///

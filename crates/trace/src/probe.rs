@@ -61,7 +61,14 @@ pub enum Path {
 ///   [`crate::install_chaos_hook`]);
 /// * crash recovery: [`Event::SuspectRaised`] /
 ///   [`Event::RecordReclaimed`] / [`Event::LockSucceeded`] (liveness
-///   suspicion, publication-record tombstoning, lock succession).
+///   suspicion, publication-record tombstoning, lock succession);
+/// * causal edges: [`Event::HelpedByCombiner`] /
+///   [`Event::HelpedByPartner`] / [`Event::HandoffFrom`] /
+///   [`Event::CustodyFrom`] — cross-thread completion attribution.
+///   Each carries the **trace thread id** (see [`thread_id`]) of the
+///   thread that did the cross-thread work, recorded on the *invoking*
+///   thread at the moment it observes the completion, so a replayer
+///   can attach a helped-by edge to the span it is about to close.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
     /// A fast-path weak operation is about to run (line 02 entered).
@@ -141,6 +148,70 @@ pub enum Event {
     /// holder (custody transfer; the inner lock word was never
     /// observably free in between).
     LockSucceeded(u32),
+    /// This thread's operation was applied by a combiner running on
+    /// the given trace thread (the CLAIMED→DONE cross-thread
+    /// completion). Recorded just before [`Event::CombinedComplete`].
+    HelpedByCombiner(u32),
+    /// This thread's operation completed by elimination rendezvous
+    /// with a partner running on the given trace thread. Recorded just
+    /// before [`Event::EliminatedComplete`].
+    HelpedByPartner(u32),
+    /// This thread acquired the slow-path lock that the given trace
+    /// thread released (the lock/TURN handoff edge). Recorded just
+    /// after [`Event::LockAcquire`].
+    HandoffFrom(u32),
+    /// This thread seized lock custody from a suspected-dead holder
+    /// whose last tenure ran on the given trace thread. Recorded just
+    /// after [`Event::LockSucceeded`].
+    CustodyFrom(u32),
+}
+
+/// The trace thread id recorded when a causal stamp could not be
+/// attributed (the helper ran before ever registering a ring, or the
+/// build is untraced). Causal events carrying this value are kept as
+/// annotations but excluded from the helped-by graph.
+pub const NO_TID: u32 = u32::MAX;
+
+/// The kind of cross-thread help a causal edge records — which of the
+/// four completion sites stamped it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HelpKind {
+    /// Flat-combining CLAIMED→DONE: a combiner applied the op.
+    Combiner,
+    /// Elimination rendezvous: an inverse op exchanged with this one.
+    Partner,
+    /// Lock/TURN handoff: the previous holder passed the lock on.
+    Handoff,
+    /// Succession: custody was seized from a dead holder's tenure.
+    Custody,
+}
+
+impl HelpKind {
+    /// A stable short name (`combiner`, `partner`, `handoff`,
+    /// `custody`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            HelpKind::Combiner => "combiner",
+            HelpKind::Partner => "partner",
+            HelpKind::Handoff => "handoff",
+            HelpKind::Custody => "custody",
+        }
+    }
+
+    /// Every kind, in a stable order.
+    pub const ALL: [HelpKind; 4] = [
+        HelpKind::Combiner,
+        HelpKind::Partner,
+        HelpKind::Handoff,
+        HelpKind::Custody,
+    ];
+}
+
+impl fmt::Display for HelpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 impl Event {
@@ -174,6 +245,10 @@ impl Event {
             Event::SuspectRaised(_) => "suspect-raised",
             Event::RecordReclaimed(_) => "record-reclaimed",
             Event::LockSucceeded(_) => "lock-succeeded",
+            Event::HelpedByCombiner(_) => "helped-by-combiner",
+            Event::HelpedByPartner(_) => "helped-by-partner",
+            Event::HandoffFrom(_) => "handoff-from",
+            Event::CustodyFrom(_) => "custody-from",
         }
     }
 
@@ -205,14 +280,36 @@ impl Event {
     }
 
     /// The measurement payload, for the variants that carry one: the
-    /// handoff latency of [`Event::RecordHandoff`] (nanoseconds) or the
-    /// batch size of [`Event::CombineBatch`].
+    /// handoff latency of [`Event::RecordHandoff`] (nanoseconds), the
+    /// batch size of [`Event::CombineBatch`], or the helper trace
+    /// thread id of the causal-edge events.
     #[must_use]
     pub fn value(&self) -> Option<u32> {
         match self {
-            Event::RecordHandoff(v) | Event::CombineBatch(v) => Some(*v),
+            Event::RecordHandoff(v)
+            | Event::CombineBatch(v)
+            | Event::HelpedByCombiner(v)
+            | Event::HelpedByPartner(v)
+            | Event::HandoffFrom(v)
+            | Event::CustodyFrom(v) => Some(*v),
             _ => None,
         }
+    }
+
+    /// The causal edge this event records, for the four helped-by
+    /// variants: `(kind, helper trace thread id)`. Returns `None` both
+    /// for non-causal events and for causal events stamped [`NO_TID`]
+    /// (an unattributable helper never enters the graph).
+    #[must_use]
+    pub fn help(&self) -> Option<(HelpKind, u32)> {
+        let (kind, tid) = match self {
+            Event::HelpedByCombiner(t) => (HelpKind::Combiner, *t),
+            Event::HelpedByPartner(t) => (HelpKind::Partner, *t),
+            Event::HandoffFrom(t) => (HelpKind::Handoff, *t),
+            Event::CustodyFrom(t) => (HelpKind::Custody, *t),
+            _ => return None,
+        };
+        (tid != NO_TID).then_some((kind, tid))
     }
 
     /// A qualified label: the name, plus `@site` or `(proc)` when the
@@ -562,6 +659,10 @@ mod imp {
             Event::SuspectRaised(p) => (23, p),
             Event::RecordReclaimed(p) => (24, p),
             Event::LockSucceeded(p) => (25, p),
+            Event::HelpedByCombiner(t) => (26, t),
+            Event::HelpedByPartner(t) => (27, t),
+            Event::HandoffFrom(t) => (28, t),
+            Event::CustodyFrom(t) => (29, t),
         }
     }
 
@@ -593,6 +694,10 @@ mod imp {
             23 => Event::SuspectRaised(arg),
             24 => Event::RecordReclaimed(arg),
             25 => Event::LockSucceeded(arg),
+            26 => Event::HelpedByCombiner(arg),
+            27 => Event::HelpedByPartner(arg),
+            28 => Event::HandoffFrom(arg),
+            29 => Event::CustodyFrom(arg),
             _ => return None,
         })
     }
@@ -650,6 +755,10 @@ mod imp {
 
     pub(super) fn last_path() -> Option<Path> {
         LAST_PATH.with(Cell::get)
+    }
+
+    pub(super) fn thread_id() -> u32 {
+        MY_RING.with(|cell| cell.get_or_init(register_ring).thread)
     }
 
     pub(super) fn set_enabled(on: bool) {
@@ -829,6 +938,25 @@ pub fn last_path() -> Option<Path> {
     }
 }
 
+/// The calling thread's dense trace thread id — the same id every
+/// [`TraceEvent`] recorded by this thread carries. Registering a ring
+/// on first use makes the id stable for the thread's lifetime, so the
+/// causal stamp sites can write it into shared (uncounted) cells for a
+/// helped thread to read back. Returns [`NO_TID`] without the `trace`
+/// feature (stamps then mark the edge unattributable, and readers skip
+/// the probe).
+#[must_use]
+pub fn thread_id() -> u32 {
+    #[cfg(feature = "trace")]
+    {
+        imp::thread_id()
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        NO_TID
+    }
+}
+
 /// Runtime master switch for recording (default on). Turning it off
 /// leaves probe sites at one relaxed atomic load each — useful for
 /// measuring instrumentation overhead within a single traced build.
@@ -999,6 +1127,37 @@ mod tests {
     }
 
     #[test]
+    fn causal_events_expose_their_edges() {
+        assert_eq!(Event::HelpedByCombiner(3).label(), "helped-by-combiner");
+        assert_eq!(Event::HelpedByPartner(1).name(), "helped-by-partner");
+        assert_eq!(Event::HandoffFrom(2).name(), "handoff-from");
+        assert_eq!(Event::CustodyFrom(0).name(), "custody-from");
+        // The helper tid rides in the measurement payload (so it
+        // survives the TSV `value` column round trip).
+        assert_eq!(Event::HelpedByCombiner(3).value(), Some(3));
+        assert_eq!(Event::HandoffFrom(2).value(), Some(2));
+        assert_eq!(Event::HelpedByCombiner(3).proc(), None);
+        assert_eq!(
+            Event::HelpedByCombiner(3).help(),
+            Some((HelpKind::Combiner, 3))
+        );
+        assert_eq!(
+            Event::HelpedByPartner(1).help(),
+            Some((HelpKind::Partner, 1))
+        );
+        assert_eq!(Event::HandoffFrom(2).help(), Some((HelpKind::Handoff, 2)));
+        assert_eq!(Event::CustodyFrom(0).help(), Some((HelpKind::Custody, 0)));
+        // NO_TID marks an unattributable edge: kept as an annotation,
+        // excluded from the graph.
+        assert_eq!(Event::HandoffFrom(NO_TID).help(), None);
+        assert_eq!(Event::FastSuccess.help(), None);
+        for kind in HelpKind::ALL {
+            assert!(!kind.name().is_empty());
+        }
+        assert_eq!(HelpKind::Combiner.to_string(), "combiner");
+    }
+
+    #[test]
     fn trace_counts_group_and_sort() {
         let mk = |event, seq| TraceEvent {
             thread: 0,
@@ -1046,6 +1205,12 @@ mod tests {
         assert_eq!(Event::LockedComplete.site_class(), None);
         assert_eq!(Event::FailPoint("x").site_class(), None);
         assert_eq!(Event::SuspectRaised(0).site_class(), None);
+        // Causal annotations must never be delayed either: they sit
+        // inside completion windows a delay would skew.
+        assert_eq!(Event::HelpedByCombiner(0).site_class(), None);
+        assert_eq!(Event::HelpedByPartner(0).site_class(), None);
+        assert_eq!(Event::HandoffFrom(0).site_class(), None);
+        assert_eq!(Event::CustodyFrom(0).site_class(), None);
         for class in SiteClass::ALL {
             assert_eq!(SiteClass::parse(class.name()), Some(class));
         }
@@ -1061,6 +1226,7 @@ mod tests {
         assert!(collect().is_empty());
         assert_eq!(last_path(), None);
         assert!(!enabled());
+        assert_eq!(thread_id(), NO_TID, "untraced builds have no thread id");
         assert!(harvest().events.is_empty());
         assert_eq!(emitted(), 0);
         set_causal_delays(SiteClass::mask_all(), 1_000);
@@ -1103,6 +1269,26 @@ mod tests {
             assert!(ours.len() >= 3, "got {} events", ours.len());
             // Logical timestamps are strictly increasing in the merge.
             assert!(trace.events.windows(2).all(|w| w[0].seq < w[1].seq));
+            clear();
+        }
+
+        #[test]
+        fn thread_id_is_stable_and_matches_recorded_events() {
+            let _serial = serial();
+            clear();
+            let me = thread_id();
+            assert_eq!(me, thread_id(), "id is stable across calls");
+            assert_ne!(me, NO_TID);
+            record(Event::HandoffFrom(me));
+            let trace = collect();
+            let ev = trace
+                .events
+                .iter()
+                .find(|e| e.event == Event::HandoffFrom(me))
+                .expect("causal event round-trips through the ring");
+            assert_eq!(ev.thread, me, "thread_id matches the ring's id");
+            let other = std::thread::spawn(thread_id).join().unwrap();
+            assert_ne!(other, me, "each thread gets a distinct id");
             clear();
         }
 

@@ -1,0 +1,378 @@
+//! Declarative SLOs with multi-window burn-rate evaluation.
+//!
+//! An [`SloSpec`] names an objective over the live per-path operation
+//! counts: the fraction of operations completing *off* the listed
+//! `good` paths must stay within `budget`. One line per objective:
+//!
+//! ```text
+//! # name   budget  windows          good paths
+//! fastpath budget=0.05 short=60s long=600s good=fast,eliminated
+//! served   budget=0.001 short=30s long=300s good=fast,eliminated,locked,combined,combiner
+//! ```
+//!
+//! The [`SloEngine`] folds aggregator snapshots into per-objective
+//! sample rings and evaluates the classic two-window burn rate: the
+//! error rate over each window divided by the budget. An objective
+//! *fires* only when **both** windows burn above 1.0 — the short
+//! window makes alerts fast to clear, the long window keeps a brief
+//! spike from paging anyone (the standard multi-window multi-burn
+//! construction).
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// One declarative objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Objective name (used in metrics and alerts).
+    pub name: String,
+    /// Error budget as a fraction of operations (e.g. `0.05`).
+    pub budget: f64,
+    /// Fast-reacting evaluation window.
+    pub short: Duration,
+    /// Slow, spike-tolerant evaluation window.
+    pub long: Duration,
+    /// Path labels counted as good (everything else burns budget).
+    pub good: Vec<String>,
+}
+
+impl SloSpec {
+    /// Parses one spec line (see the module docs for the format).
+    pub fn parse_line(line: &str) -> Result<SloSpec, String> {
+        let mut fields = line.split_whitespace();
+        let name = fields.next().ok_or("empty spec line")?.to_owned();
+        let (mut budget, mut short, mut long, mut good) = (None, None, None, None);
+        for field in fields {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("{name}: expected key=value, got {field:?}"))?;
+            match key {
+                "budget" => {
+                    let b: f64 = value
+                        .parse()
+                        .map_err(|_| format!("{name}: bad budget {value:?}"))?;
+                    if !(0.0..=1.0).contains(&b) || b == 0.0 {
+                        return Err(format!("{name}: budget must be in (0, 1], got {value}"));
+                    }
+                    budget = Some(b);
+                }
+                "short" => short = Some(parse_seconds(&name, value)?),
+                "long" => long = Some(parse_seconds(&name, value)?),
+                "good" => {
+                    good = Some(
+                        value
+                            .split(',')
+                            .filter(|p| !p.is_empty())
+                            .map(str::to_owned)
+                            .collect::<Vec<_>>(),
+                    );
+                }
+                other => return Err(format!("{name}: unknown key {other:?}")),
+            }
+        }
+        let spec = SloSpec {
+            name: name.clone(),
+            budget: budget.ok_or_else(|| format!("{name}: missing budget="))?,
+            short: short.ok_or_else(|| format!("{name}: missing short="))?,
+            long: long.ok_or_else(|| format!("{name}: missing long="))?,
+            good: good.ok_or_else(|| format!("{name}: missing good="))?,
+        };
+        if spec.good.is_empty() {
+            return Err(format!("{name}: good= lists no paths"));
+        }
+        if spec.short >= spec.long {
+            return Err(format!(
+                "{name}: short window ({:?}) must be shorter than long ({:?})",
+                spec.short, spec.long
+            ));
+        }
+        Ok(spec)
+    }
+
+    /// Parses a whole config: one spec per line, `#` comments and
+    /// blank lines ignored.
+    pub fn parse(text: &str) -> Result<Vec<SloSpec>, String> {
+        text.lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(SloSpec::parse_line)
+            .collect()
+    }
+}
+
+fn parse_seconds(name: &str, value: &str) -> Result<Duration, String> {
+    let digits = value
+        .strip_suffix('s')
+        .ok_or_else(|| format!("{name}: windows take seconds, e.g. 60s, got {value:?}"))?;
+    let secs: u64 = digits
+        .parse()
+        .map_err(|_| format!("{name}: bad window {value:?}"))?;
+    if secs == 0 {
+        return Err(format!("{name}: zero-length window"));
+    }
+    Ok(Duration::from_secs(secs))
+}
+
+/// The live evaluation of one objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloStatus {
+    /// Objective name.
+    pub name: String,
+    /// The configured budget.
+    pub budget: f64,
+    /// Burn rate over the short window (1.0 = burning exactly at
+    /// budget).
+    pub short_burn: f64,
+    /// Burn rate over the long window.
+    pub long_burn: f64,
+    /// `true` when both windows burn above 1.0.
+    pub firing: bool,
+    /// Cumulative operations observed.
+    pub total: u64,
+    /// Cumulative operations on good paths.
+    pub good: u64,
+}
+
+/// `(elapsed, cumulative total, cumulative good)` — one reading.
+type Sample = (Duration, u64, u64);
+
+#[derive(Debug)]
+struct Series {
+    spec: SloSpec,
+    samples: VecDeque<Sample>,
+}
+
+impl Series {
+    /// Burn rate over a trailing window ending at the newest sample.
+    fn burn(&self, window: Duration) -> f64 {
+        let Some(&(now, total, good)) = self.samples.back() else {
+            return 0.0;
+        };
+        let cutoff = now.saturating_sub(window);
+        // Baseline: the newest sample at or before the window start
+        // (falling back to the oldest reading while the window is
+        // still filling).
+        let &(_, base_total, base_good) = self
+            .samples
+            .iter()
+            .rev()
+            .find(|&&(t, _, _)| t <= cutoff)
+            .unwrap_or_else(|| self.samples.front().expect("non-empty"));
+        let d_total = total.saturating_sub(base_total);
+        let d_bad = d_total.saturating_sub(good.saturating_sub(base_good));
+        if d_total == 0 {
+            return 0.0;
+        }
+        (d_bad as f64 / d_total as f64) / self.spec.budget
+    }
+
+    fn status(&self) -> SloStatus {
+        let short_burn = self.burn(self.spec.short);
+        let long_burn = self.burn(self.spec.long);
+        let (total, good) = self
+            .samples
+            .back()
+            .map_or((0, 0), |&(_, total, good)| (total, good));
+        SloStatus {
+            name: self.spec.name.clone(),
+            budget: self.spec.budget,
+            short_burn,
+            long_burn,
+            firing: short_burn > 1.0 && long_burn > 1.0,
+            total,
+            good,
+        }
+    }
+}
+
+/// Folds per-path operation counts into burn-rate evaluations for a
+/// set of objectives. Time is passed in explicitly (elapsed since the
+/// watchdog started) so evaluation is deterministic under test.
+#[derive(Debug)]
+pub struct SloEngine {
+    series: Vec<Series>,
+}
+
+impl SloEngine {
+    /// Builds an engine over the given objectives.
+    #[must_use]
+    pub fn new(specs: Vec<SloSpec>) -> SloEngine {
+        SloEngine {
+            series: specs
+                .into_iter()
+                .map(|spec| Series {
+                    spec,
+                    samples: VecDeque::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// `true` when no objectives are configured.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Records one reading of the cumulative per-path operation
+    /// counts at elapsed time `t`. Readings closer together than a
+    /// twentieth of the short window coalesce in place, bounding ring
+    /// memory regardless of tick cadence; readings older than the
+    /// long window (plus one baseline) are dropped.
+    pub fn observe(&mut self, t: Duration, per_path: &[(&str, u64)]) {
+        for series in &mut self.series {
+            let total: u64 = per_path.iter().map(|&(_, n)| n).sum();
+            let good: u64 = per_path
+                .iter()
+                .filter(|(label, _)| series.spec.good.iter().any(|g| g == label))
+                .map(|&(_, n)| n)
+                .sum();
+            let granule = (series.spec.short / 20).max(Duration::from_millis(1));
+            let coalesce = series.samples.len() >= 2
+                && series
+                    .samples
+                    .back()
+                    .is_some_and(|&(bt, _, _)| t < bt + granule);
+            if coalesce {
+                *series.samples.back_mut().expect("non-empty") = (t, total, good);
+            } else {
+                series.samples.push_back((t, total, good));
+            }
+            while series.samples.len() >= 2 && series.samples[1].0 + series.spec.long <= t {
+                series.samples.pop_front();
+            }
+        }
+    }
+
+    /// Evaluates every objective at the latest reading.
+    #[must_use]
+    pub fn status(&self) -> Vec<SloStatus> {
+        self.series.iter().map(Series::status).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(line: &str) -> SloSpec {
+        SloSpec::parse_line(line).expect("parses")
+    }
+
+    #[test]
+    fn the_config_grammar_round_trips() {
+        let text = "\
+# objectives for e16
+fastpath budget=0.05 short=60s long=600s good=fast,eliminated
+served budget=0.001 short=30s long=300s good=fast,locked
+";
+        let specs = SloSpec::parse(text).expect("parses");
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].name, "fastpath");
+        assert!((specs[0].budget - 0.05).abs() < 1e-12);
+        assert_eq!(specs[0].short, Duration::from_secs(60));
+        assert_eq!(specs[0].long, Duration::from_secs(600));
+        assert_eq!(specs[0].good, vec!["fast", "eliminated"]);
+        assert_eq!(specs[1].good, vec!["fast", "locked"]);
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_reasons() {
+        for (line, needle) in [
+            ("x short=1s long=2s good=fast", "missing budget"),
+            ("x budget=0.1 long=2s good=fast", "missing short"),
+            ("x budget=0.1 short=1s good=fast", "missing long"),
+            ("x budget=0.1 short=1s long=2s", "missing good"),
+            ("x budget=2 short=1s long=2s good=fast", "budget must be"),
+            ("x budget=0 short=1s long=2s good=fast", "budget must be"),
+            ("x budget=0.1 short=5s long=2s good=fast", "must be shorter"),
+            ("x budget=0.1 short=1m long=2s good=fast", "seconds"),
+            ("x budget=0.1 short=0s long=2s good=fast", "zero-length"),
+            ("x budget=0.1 short=1s long=2s good=fast extra", "key=value"),
+            (
+                "x budget=0.1 short=1s long=2s good=fast zzz=1",
+                "unknown key",
+            ),
+        ] {
+            let err = SloSpec::parse_line(line).expect_err(line);
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn burn_fires_only_when_both_windows_exceed_budget() {
+        let mut engine = SloEngine::new(vec![spec(
+            "fastpath budget=0.10 short=10s long=100s good=fast",
+        )]);
+        // 100 ops, all good: no burn.
+        engine.observe(Duration::from_secs(0), &[("fast", 100), ("locked", 0)]);
+        engine.observe(Duration::from_secs(5), &[("fast", 200), ("locked", 0)]);
+        let s = &engine.status()[0];
+        assert_eq!((s.short_burn, s.long_burn), (0.0, 0.0));
+        assert!(!s.firing);
+
+        // Sustained 50% slow-path: burn 5x in both windows -> firing.
+        for t in (10u64..=220).step_by(5) {
+            let ops = 200 + (t - 5) * 20;
+            engine.observe(
+                Duration::from_secs(t),
+                &[("fast", ops / 2 + 100), ("locked", ops / 2 - 100)],
+            );
+        }
+        let s = &engine.status()[0];
+        assert!(s.short_burn > 4.0, "short burn {}", s.short_burn);
+        assert!(s.long_burn > 1.0, "long burn {}", s.long_burn);
+        assert!(s.firing);
+    }
+
+    #[test]
+    fn a_short_spike_does_not_fire_the_long_window() {
+        let mut engine = SloEngine::new(vec![spec(
+            "fastpath budget=0.10 short=10s long=1000s good=fast",
+        )]);
+        // A long clean history...
+        engine.observe(Duration::from_secs(0), &[("fast", 0), ("locked", 0)]);
+        engine.observe(
+            Duration::from_secs(500),
+            &[("fast", 100_000), ("locked", 0)],
+        );
+        // ...then a 10-second spike of pure slow path.
+        engine.observe(
+            Duration::from_secs(510),
+            &[("fast", 100_000), ("locked", 1_000)],
+        );
+        let s = &engine.status()[0];
+        assert!(s.short_burn > 1.0, "short window sees the spike");
+        assert!(s.long_burn < 1.0, "long window absorbs it");
+        assert!(!s.firing, "multi-window gating holds the page");
+    }
+
+    #[test]
+    fn empty_engines_and_empty_windows_burn_nothing() {
+        let mut engine = SloEngine::new(vec![spec("quiet budget=0.5 short=1s long=10s good=fast")]);
+        assert!(!engine.is_empty());
+        assert_eq!(engine.status()[0].short_burn, 0.0, "no samples yet");
+        engine.observe(Duration::from_secs(1), &[]);
+        let s = &engine.status()[0];
+        assert_eq!((s.total, s.good), (0, 0));
+        assert!(!s.firing, "zero traffic burns nothing");
+        assert!(SloEngine::new(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn the_sample_ring_stays_bounded() {
+        let mut engine = SloEngine::new(vec![spec(
+            "fastpath budget=0.10 short=20s long=60s good=fast",
+        )]);
+        // Simulate a 25ms cadence for 10 minutes: 24k ticks must
+        // coalesce into ~one sample per short/20 = 1s granule, capped
+        // further by the long-window trim.
+        for tick in 0..24_000u64 {
+            engine.observe(Duration::from_millis(tick * 25), &[("fast", tick)]);
+        }
+        let len = engine.series[0].samples.len();
+        assert!(len < 80, "ring kept {len} samples");
+        let s = &engine.status()[0];
+        assert_eq!(s.total, 23_999);
+    }
+}

@@ -44,7 +44,8 @@
 //! | [`explore`] | step-machine model checker (exhaustive & randomized schedules) |
 //! | [`metrics`] | live metrics registry (sharded counters, gauges, log-histogram timers), Prometheus/JSON exporters, scrape endpoint |
 //! | [`trace`] | feature-gated probe rings, latency histograms, step auditor, Chrome trace export |
-//! | [`profile`] | continuous profiling: background ring harvester, online span aggregator, causal (what-if) profiler, live `/profile` + `/spans.json` + `/flamegraph` routes |
+//! | [`profile`] | continuous profiling: background ring harvester, online span aggregator, causal (what-if) profiler, live `/profile` + `/spans.json` + `/flamegraph` + `/causal.json` routes |
+//! | [`watch`] | online runtime verification: the invariant watchdog, declarative SLOs with burn-rate alerting, `/health` + `/alerts.json` routes, JSONL event export |
 
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
@@ -68,3 +69,4 @@ pub use cso_queue as queue;
 pub use cso_sched as sched;
 pub use cso_stack as stack;
 pub use cso_trace as trace;
+pub use cso_watch as watch;

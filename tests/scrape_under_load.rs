@@ -18,6 +18,7 @@ use std::time::Duration;
 use cso::metrics::{Json, MetricsServer, Registry};
 use cso::profile::{profile_routes, Harvester, LiveAggregator};
 use cso::stack::CsStack;
+use cso::watch::{watch_routes, Invariant, Watchdog};
 
 fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
@@ -37,10 +38,18 @@ fn scrapes_stay_consistent_while_workers_hammer_the_stack() {
     let ops_counter = registry.counter("scrape_smoke_ops_total");
     let aggregator = Arc::new(LiveAggregator::new());
     let harvester = Harvester::start_with(Arc::clone(&aggregator), Duration::from_millis(2));
+    // The watchdog rides along on the same port. Only loss-tolerant
+    // invariants are armed: eight zero-think-time workers may out-emit
+    // the harvester (see the conservation check at the bottom), and a
+    // lossy event stream makes bypass counting approximate.
+    let dog = Watchdog::builder()
+        .invariant(Invariant::poison_free(&aggregator))
+        .cadence(Duration::from_millis(5))
+        .spawn();
     let server = MetricsServer::bind_with_routes(
         registry,
         "127.0.0.1:0",
-        profile_routes(Arc::clone(&aggregator)),
+        profile_routes(Arc::clone(&aggregator)).merge(watch_routes(&dog)),
     )
     .expect("bind scrape server");
     let addr = server.addr();
@@ -96,6 +105,47 @@ fn scrapes_stay_consistent_while_workers_hammer_the_stack() {
         let (head, _) = http_get(addr, "/flamegraph");
         assert!(head.starts_with("HTTP/1.1 200"), "round {round}: {head}");
 
+        let (head, body) = http_get(addr, "/causal.json");
+        assert!(head.starts_with("HTTP/1.1 200"), "round {round}: {head}");
+        assert!(head.contains("application/json"), "round {round}: {head}");
+        let doc = Json::parse(&body)
+            .unwrap_or_else(|e| panic!("round {round}: /causal.json unparseable: {e}\n{body}"));
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("cso-causal v1"),
+            "round {round}: causal schema"
+        );
+
+        let (head, body) = http_get(addr, "/health");
+        assert!(head.starts_with("HTTP/1.1 200"), "round {round}: {head}");
+        assert!(head.contains("application/json"), "round {round}: {head}");
+        let doc = Json::parse(&body)
+            .unwrap_or_else(|e| panic!("round {round}: /health unparseable: {e}\n{body}"));
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("cso-health v1"),
+            "round {round}: health schema"
+        );
+        let status = doc.get("status").and_then(Json::as_str).unwrap_or("?");
+        assert!(
+            ["OK", "DEGRADED", "POISONED"].contains(&status),
+            "round {round}: bogus health status {status:?}"
+        );
+
+        let (head, body) = http_get(addr, "/alerts.json");
+        assert!(head.starts_with("HTTP/1.1 200"), "round {round}: {head}");
+        let doc = Json::parse(&body)
+            .unwrap_or_else(|e| panic!("round {round}: /alerts.json unparseable: {e}\n{body}"));
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("cso-alerts v1"),
+            "round {round}: alerts schema"
+        );
+        assert!(
+            doc.get("active").is_some_and(|a| a.as_arr().is_some()),
+            "round {round}: alerts shape"
+        );
+
         // Unknown routes keep 404-ing under load.
         let (head, _) = http_get(addr, "/definitely-not-a-route");
         assert!(head.starts_with("HTTP/1.1 404"), "round {round}: {head}");
@@ -122,5 +172,10 @@ fn scrapes_stay_consistent_while_workers_hammer_the_stack() {
         assert!(snap.events_ingested > 0, "trace build: events flowed");
         assert!(snap.spans > 0, "trace build: spans reconstructed");
     }
+    // No lock was poisoned, so the one armed invariant never fired:
+    // the scrape storm produced zero alert transitions.
+    assert_eq!(dog.status(), "OK", "{:?}", dog.alerts_json());
+    assert_eq!(dog.transitions(), 0, "{:?}", dog.alerts_json());
+    dog.stop();
     server.shutdown();
 }
