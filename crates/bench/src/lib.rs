@@ -58,7 +58,7 @@ pub fn thread_counts() -> Vec<usize> {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(8usize);
-    [1usize, 2, 3, 4, 6, 8, 12, 16]
+    [1usize, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64]
         .into_iter()
         .filter(|&t| t <= max)
         .collect()

@@ -9,7 +9,10 @@ use std::time::{Duration, Instant};
 pub struct RunResult {
     /// Operations completed by each thread.
     pub per_thread: Vec<u64>,
-    /// Wall-clock time actually measured.
+    /// Wall-clock time actually measured, floored by the CPU time the
+    /// process consumed divided by the core count (see
+    /// [`process_cpu_time`]): a monotonic clock that slips under
+    /// virtualization cannot make a cell look faster than the silicon.
     pub elapsed: Duration,
 }
 
@@ -85,6 +88,7 @@ where
     let barrier = Barrier::new(threads + 1);
     let mut per_thread = vec![0u64; threads];
     let mut elapsed = Duration::ZERO;
+    let cpu_before = process_cpu_time();
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
@@ -107,10 +111,48 @@ where
         elapsed = start.elapsed();
     });
 
+    // Guard against guest-clock slip. Under virtualization (vCPU
+    // steal, hypervisor pause/resume) CLOCK_MONOTONIC can advance far
+    // less than the time the cell actually ran, inflating ops/s by an
+    // order of magnitude in sporadic cells. Real wall time is never
+    // less than the CPU time the process burned divided by the cores
+    // it could burn it on, so floor `elapsed` there. On an honest
+    // clock the floor is below the measurement (workers never exceed
+    // full utilization) and this is a no-op.
+    if let (Some(before), Some(after)) = (cpu_before, process_cpu_time()) {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1) as u32;
+        let floor = after.saturating_sub(before) / cores;
+        if floor > elapsed {
+            elapsed = floor;
+        }
+    }
+
     RunResult {
         per_thread,
         elapsed,
     }
+}
+
+/// Total CPU time (user + system, all threads) this process has
+/// consumed, from `/proc/self/stat`; `None` where unavailable.
+///
+/// Used by [`timed_run`] to bound clock-slip: utime/stime are fields
+/// 14 and 15, counted in `USER_HZ` ticks (100/s on every mainstream
+/// Linux — the kernel ABI froze the exported value decades ago).
+#[must_use]
+pub fn process_cpu_time() -> Option<Duration> {
+    if !cfg!(target_os = "linux") {
+        return None;
+    }
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // The comm field may contain spaces/parens: skip past the last ')'.
+    let after_comm = stat.rsplit(')').next()?;
+    let mut fields = after_comm.split_whitespace();
+    let utime: u64 = fields.nth(11)?.parse().ok()?;
+    let stime: u64 = fields.next()?.parse().ok()?;
+    Some(Duration::from_millis((utime + stime) * 10))
 }
 
 /// Percentile summary of sampled operation latencies (nanoseconds).
@@ -201,6 +243,35 @@ mod tests {
         assert!(result.total_ops() > 0);
         assert!(result.ops_per_sec() > 0.0);
         assert!(result.min_ops() <= result.max_ops());
+    }
+
+    #[test]
+    fn process_cpu_time_is_monotonic_where_available() {
+        let Some(before) = process_cpu_time() else {
+            return; // not Linux: the guard is simply disabled
+        };
+        // Burn a little CPU so the counter has a chance to move.
+        let mut acc = 0u64;
+        for i in 0..5_000_000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+        let after = process_cpu_time().expect("available above");
+        assert!(after >= before, "{after:?} < {before:?}");
+    }
+
+    #[test]
+    fn elapsed_never_understates_cpu_share() {
+        // A busy 30 ms cell: the corrected elapsed must be at least the
+        // cell's CPU share and at least the requested duration.
+        let result = timed_run(2, Duration::from_millis(30), |_t, stop| {
+            let mut ops = 0;
+            while !stop.load(Ordering::Relaxed) {
+                ops += 1;
+            }
+            ops
+        });
+        assert!(result.elapsed >= Duration::from_millis(30));
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use std::collections::HashSet;
 
 use crate::history::History;
-use crate::spec::SeqSpec;
+use crate::spec::{RelaxedSpec, SeqSpec};
 
 /// The verdict of [`check_linearizable`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -285,6 +285,125 @@ pub fn check_linearizable<S: SeqSpec>(spec: &S, history: &History<S::Op, S::Resp
         &mut witness,
     ) {
         debug_assert!(witness.len() >= total.min(witness.len()));
+        LinResult::Linearizable { witness }
+    } else {
+        LinResult::NotLinearizable
+    }
+}
+
+/// Decides whether `history` is linearizable with respect to a
+/// **nondeterministic** (relaxed) specification: the Wing & Gong
+/// search, additionally branching over every candidate outcome the
+/// spec allows for the chosen operation.
+///
+/// With a deterministic [`SeqSpec`] (every `SeqSpec` is a
+/// [`RelaxedSpec`] with singleton candidates) this agrees exactly with
+/// [`check_linearizable`] — the k-relaxed specs in
+/// [`crate::specs::relaxed`] with `k = 0` therefore decide strict
+/// linearizability.
+///
+/// # Panics
+///
+/// Panics if the history contains more than 128 operations.
+///
+/// ```
+/// use cso_lincheck::checker::check_relaxed_linearizable;
+/// use cso_lincheck::history::History;
+/// use cso_lincheck::specs::relaxed::KStackSpec;
+/// use cso_lincheck::specs::stack::{SpecStackOp as Op, SpecStackResp as Resp};
+///
+/// // Two sequential pushes, then a pop returning the *bottom* value:
+/// // distance 1 from the top — illegal strictly, legal for k = 1.
+/// let mut h = History::new();
+/// h.invoke(0, Op::Push(1));
+/// h.ret(0, Resp::Pushed);
+/// h.invoke(0, Op::Push(2));
+/// h.ret(0, Resp::Pushed);
+/// h.invoke(0, Op::Pop);
+/// h.ret(0, Resp::Popped(1));
+/// assert!(!check_relaxed_linearizable(&KStackSpec::new(4, 0), &h).is_linearizable());
+/// assert!(check_relaxed_linearizable(&KStackSpec::new(4, 1), &h).is_linearizable());
+/// ```
+pub fn check_relaxed_linearizable<S: RelaxedSpec>(
+    spec: &S,
+    history: &History<S::Op, S::Resp>,
+) -> LinResult {
+    let ops = history.operations();
+    assert!(
+        ops.len() <= 128,
+        "checker supports at most 128 operations per history"
+    );
+    let completed_mask: u128 = ops
+        .iter()
+        .enumerate()
+        .filter(|(_, op)| op.returned.is_some())
+        .fold(0u128, |mask, (i, _)| mask | (1u128 << i));
+
+    fn dfs<S: RelaxedSpec>(
+        spec: &S,
+        ops: &[crate::history::OpRecord<S::Op, S::Resp>],
+        linearized: u128,
+        state: &S::State,
+        completed_mask: u128,
+        visited: &mut HashSet<(u128, S::State)>,
+        witness: &mut Vec<usize>,
+    ) -> bool {
+        if linearized & completed_mask == completed_mask {
+            return true;
+        }
+        if !visited.insert((linearized, state.clone())) {
+            return false;
+        }
+        let frontier = ops
+            .iter()
+            .enumerate()
+            .filter(|(i, op)| linearized & (1 << i) == 0 && op.returned.is_some())
+            .map(|(_, op)| op.returned.as_ref().expect("filtered").1)
+            .min()
+            .unwrap_or(usize::MAX);
+        for (i, op) in ops.iter().enumerate() {
+            if linearized & (1 << i) != 0 || op.invoked_at >= frontier {
+                continue;
+            }
+            // Branch over every candidate outcome the relaxed spec
+            // allows; completed operations constrain the response,
+            // pending ones accept any candidate.
+            for (next_state, resp) in spec.candidates(state, &op.op) {
+                if let Some((actual, _)) = &op.returned {
+                    if resp != *actual {
+                        continue;
+                    }
+                }
+                witness.push(i);
+                if dfs(
+                    spec,
+                    ops,
+                    linearized | (1 << i),
+                    &next_state,
+                    completed_mask,
+                    visited,
+                    witness,
+                ) {
+                    return true;
+                }
+                witness.pop();
+            }
+        }
+        false
+    }
+
+    let mut visited: HashSet<(u128, S::State)> = HashSet::new();
+    let mut witness: Vec<usize> = Vec::new();
+    let initial = spec.initial();
+    if dfs(
+        spec,
+        &ops,
+        0,
+        &initial,
+        completed_mask,
+        &mut visited,
+        &mut witness,
+    ) {
         LinResult::Linearizable { witness }
     } else {
         LinResult::NotLinearizable

@@ -17,7 +17,9 @@
 //!   backtracking search with Lowe-style memoization of
 //!   (linearized-set, state) configurations;
 //! * [`specs`] — ready-made specifications for the paper's objects
-//!   (bounded stack, bounded queue, CAS register).
+//!   (bounded stack, bounded queue, CAS register) plus the k-relaxed
+//!   variants decided by [`check_relaxed_linearizable`] against the
+//!   nondeterministic [`RelaxedSpec`] trait.
 //!
 //! # Example
 //!
@@ -46,7 +48,10 @@ pub mod recorder;
 pub mod spec;
 pub mod specs;
 
-pub use checker::{check_linearizable, check_linearizable_bounded, BoundedLinResult, LinResult};
+pub use checker::{
+    check_linearizable, check_linearizable_bounded, check_relaxed_linearizable, BoundedLinResult,
+    LinResult,
+};
 pub use history::{Event, History};
 pub use recorder::{OpHandle, Recorder};
-pub use spec::SeqSpec;
+pub use spec::{RelaxedSpec, SeqSpec};

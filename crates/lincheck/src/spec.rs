@@ -24,6 +24,53 @@ pub trait SeqSpec {
     fn apply(&self, state: &Self::State, op: &Self::Op) -> (Self::State, Self::Resp);
 }
 
+/// A **nondeterministic** sequential specification: applying an
+/// operation may legally produce any one of several (state, response)
+/// outcomes.
+///
+/// This is the shape k-relaxed objects take (Henzinger et al.,
+/// "quantitative relaxation"): a k-relaxed pop may return any of the
+/// top k + 1 elements, so the specification is a relation, not a
+/// function. The checker
+/// ([`check_relaxed_linearizable`](crate::checker::check_relaxed_linearizable))
+/// branches over the candidates whose response matches the observed
+/// one.
+///
+/// Every deterministic [`SeqSpec`] is trivially a `RelaxedSpec` with a
+/// singleton candidate set; the blanket impl below provides that, so
+/// the relaxed checker with a strict spec decides plain
+/// linearizability.
+pub trait RelaxedSpec {
+    /// The abstract object state.
+    type State: Clone + Eq + Hash;
+    /// Operation descriptors.
+    type Op: Clone;
+    /// Operation responses.
+    type Resp: Clone + Eq;
+
+    /// The object's initial state.
+    fn initial(&self) -> Self::State;
+
+    /// Every (next-state, response) pair a sequential execution could
+    /// legally produce for `op` in `state`. Must be non-empty and
+    /// deterministic as a *set* (same inputs, same candidates).
+    fn candidates(&self, state: &Self::State, op: &Self::Op) -> Vec<(Self::State, Self::Resp)>;
+}
+
+impl<S: SeqSpec> RelaxedSpec for S {
+    type State = S::State;
+    type Op = S::Op;
+    type Resp = S::Resp;
+
+    fn initial(&self) -> Self::State {
+        SeqSpec::initial(self)
+    }
+
+    fn candidates(&self, state: &Self::State, op: &Self::Op) -> Vec<(Self::State, Self::Resp)> {
+        vec![SeqSpec::apply(self, state, op)]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -47,10 +94,18 @@ mod tests {
     #[test]
     fn specs_are_pure_state_machines() {
         let spec = CounterSpec;
-        let s0 = spec.initial();
+        // (Qualified calls: the RelaxedSpec blanket impl also applies.)
+        let s0 = SeqSpec::initial(&spec);
         let (s1, r1) = spec.apply(&s0, &5);
         assert_eq!((s1, r1), (5, 5));
         // Reapplying from the same state gives the same result.
         assert_eq!(spec.apply(&s0, &5), (5, 5));
+    }
+
+    #[test]
+    fn every_seqspec_is_a_singleton_relaxed_spec() {
+        let spec = CounterSpec;
+        let s0 = RelaxedSpec::initial(&spec);
+        assert_eq!(spec.candidates(&s0, &5), vec![(5, 5)]);
     }
 }

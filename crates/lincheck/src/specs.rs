@@ -2,4 +2,5 @@
 
 pub mod queue;
 pub mod register;
+pub mod relaxed;
 pub mod stack;

@@ -1,0 +1,285 @@
+//! k-relaxed sequential specifications (out-of-order distance ≤ k).
+//!
+//! Following the quantitative-relaxation framing (Henzinger et al.;
+//! see PAPERS.md), a *k-relaxed* stack/queue weakens only the removal
+//! end and the boundary answers, by a checked distance `k`:
+//!
+//! * a pop/dequeue may return any element within distance `k` of the
+//!   strict answer (top of the stack, front of the queue);
+//! * `Empty` is legal while at most `k` elements are resident (an
+//!   in-flight operation may not have seen them);
+//! * `Full` is legal while at least `capacity − k` elements are
+//!   resident.
+//!
+//! Insertions stay strict (they always append). With `k = 0` both
+//! specs are **exactly** the deterministic [`StackSpec`] /
+//! [`QueueSpec`] semantics, which the unit tests pin down.
+//!
+//! These are [`RelaxedSpec`]s — relations, not functions — decided by
+//! [`check_relaxed_linearizable`](crate::checker::check_relaxed_linearizable).
+//! `cso-shard`'s relaxed mode advertises its bound via
+//! `relaxation_bound()`; feeding that bound as `k` here is how
+//! `tests/sharding_lincheck.rs` proves the observed relaxation never
+//! exceeds the configured one.
+//!
+//! [`StackSpec`]: crate::specs::stack::StackSpec
+//! [`QueueSpec`]: crate::specs::queue::QueueSpec
+
+use std::collections::VecDeque;
+
+use crate::spec::RelaxedSpec;
+use crate::specs::queue::{SpecQueueOp, SpecQueueResp};
+use crate::specs::stack::{SpecStackOp, SpecStackResp};
+
+/// The k-relaxed bounded LIFO stack specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KStackSpec {
+    capacity: usize,
+    k: usize,
+}
+
+impl KStackSpec {
+    /// A stack of capacity `capacity` whose pops may reach `k` deep.
+    #[must_use]
+    pub fn new(capacity: usize, k: usize) -> KStackSpec {
+        KStackSpec { capacity, k }
+    }
+
+    /// The relaxation bound `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl RelaxedSpec for KStackSpec {
+    type State = Vec<u32>;
+    type Op = SpecStackOp;
+    type Resp = SpecStackResp;
+
+    fn initial(&self) -> Vec<u32> {
+        Vec::new()
+    }
+
+    fn candidates(&self, state: &Vec<u32>, op: &SpecStackOp) -> Vec<(Vec<u32>, SpecStackResp)> {
+        match op {
+            SpecStackOp::Push(v) => {
+                let mut out = Vec::new();
+                if state.len() < self.capacity {
+                    let mut next = state.clone();
+                    next.push(*v);
+                    out.push((next, SpecStackResp::Pushed));
+                }
+                // Full may be answered while ≥ capacity − k resident.
+                if state.len() + self.k >= self.capacity {
+                    out.push((state.clone(), SpecStackResp::Full));
+                }
+                out
+            }
+            SpecStackOp::Pop => {
+                let mut out = Vec::new();
+                // Any element within distance k of the top.
+                if !state.is_empty() {
+                    for depth in 0..=self.k.min(state.len() - 1) {
+                        let idx = state.len() - 1 - depth;
+                        let mut next = state.clone();
+                        let v = next.remove(idx);
+                        out.push((next, SpecStackResp::Popped(v)));
+                    }
+                }
+                // Empty may be answered while ≤ k resident.
+                if state.len() <= self.k {
+                    out.push((state.clone(), SpecStackResp::Empty));
+                }
+                out
+            }
+        }
+    }
+}
+
+/// The k-relaxed bounded FIFO queue specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KQueueSpec {
+    capacity: usize,
+    k: usize,
+}
+
+impl KQueueSpec {
+    /// A queue of capacity `capacity` whose dequeues may reach `k`
+    /// past the front.
+    #[must_use]
+    pub fn new(capacity: usize, k: usize) -> KQueueSpec {
+        KQueueSpec { capacity, k }
+    }
+
+    /// The relaxation bound `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl RelaxedSpec for KQueueSpec {
+    type State = VecDeque<u32>;
+    type Op = SpecQueueOp;
+    type Resp = SpecQueueResp;
+
+    fn initial(&self) -> VecDeque<u32> {
+        VecDeque::new()
+    }
+
+    fn candidates(
+        &self,
+        state: &VecDeque<u32>,
+        op: &SpecQueueOp,
+    ) -> Vec<(VecDeque<u32>, SpecQueueResp)> {
+        match op {
+            SpecQueueOp::Enqueue(v) => {
+                let mut out = Vec::new();
+                if state.len() < self.capacity {
+                    let mut next = state.clone();
+                    next.push_back(*v);
+                    out.push((next, SpecQueueResp::Enqueued));
+                }
+                if state.len() + self.k >= self.capacity {
+                    out.push((state.clone(), SpecQueueResp::Full));
+                }
+                out
+            }
+            SpecQueueOp::Dequeue => {
+                let mut out = Vec::new();
+                // Any element within distance k of the front.
+                if !state.is_empty() {
+                    for depth in 0..=self.k.min(state.len() - 1) {
+                        let mut next = state.clone();
+                        let v = next.remove(depth).expect("depth < len");
+                        out.push((next, SpecQueueResp::Dequeued(v)));
+                    }
+                }
+                if state.len() <= self.k {
+                    out.push((state.clone(), SpecQueueResp::Empty));
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{check_linearizable, check_relaxed_linearizable};
+    use crate::history::History;
+    use crate::specs::queue::QueueSpec;
+    use crate::specs::stack::StackSpec;
+
+    #[test]
+    fn k0_stack_candidates_match_the_strict_spec() {
+        use crate::spec::SeqSpec;
+        let strict = StackSpec::new(2);
+        let relaxed = KStackSpec::new(2, 0);
+        for state in [vec![], vec![1], vec![1, 2]] {
+            for op in [SpecStackOp::Push(9), SpecStackOp::Pop] {
+                let got = relaxed.candidates(&state, &op);
+                assert_eq!(got.len(), 1, "k=0 must be deterministic");
+                assert_eq!(got[0], strict.apply(&state, &op));
+            }
+        }
+    }
+
+    #[test]
+    fn k0_queue_candidates_match_the_strict_spec() {
+        use crate::spec::SeqSpec;
+        let strict = QueueSpec::new(2);
+        let relaxed = KQueueSpec::new(2, 0);
+        for state in [VecDeque::new(), VecDeque::from([1]), VecDeque::from([1, 2])] {
+            for op in [SpecQueueOp::Enqueue(9), SpecQueueOp::Dequeue] {
+                let got = relaxed.candidates(&state, &op);
+                assert_eq!(got.len(), 1, "k=0 must be deterministic");
+                assert_eq!(got[0], strict.apply(&state, &op));
+            }
+        }
+    }
+
+    #[test]
+    fn pop_depth_is_bounded_by_k() {
+        // [1, 2, 3]: pop may return 3 (depth 0) or 2 (depth 1) with
+        // k = 1, but never 1 (depth 2).
+        let spec = KStackSpec::new(8, 1);
+        let state = vec![1, 2, 3];
+        let popped: Vec<SpecStackResp> = spec
+            .candidates(&state, &SpecStackOp::Pop)
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        assert!(popped.contains(&SpecStackResp::Popped(3)));
+        assert!(popped.contains(&SpecStackResp::Popped(2)));
+        assert!(!popped.contains(&SpecStackResp::Popped(1)));
+        assert!(!popped.contains(&SpecStackResp::Empty), "3 > k resident");
+    }
+
+    #[test]
+    fn empty_and_full_windows_scale_with_k() {
+        let spec = KQueueSpec::new(4, 2);
+        // 2 resident ≤ k: Empty is a legal answer.
+        let resps: Vec<SpecQueueResp> = spec
+            .candidates(&VecDeque::from([1, 2]), &SpecQueueOp::Dequeue)
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        assert!(resps.contains(&SpecQueueResp::Empty));
+        // 2 resident ≥ capacity − k: Full is a legal answer too.
+        let resps: Vec<SpecQueueResp> = spec
+            .candidates(&VecDeque::from([1, 2]), &SpecQueueOp::Enqueue(9))
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        assert!(resps.contains(&SpecQueueResp::Full));
+        assert!(resps.contains(&SpecQueueResp::Enqueued));
+    }
+
+    #[test]
+    fn out_of_order_dequeue_needs_large_enough_k() {
+        // enq 1, 2, 3 sequentially; dequeue returns 3 (distance 2).
+        let mut h = History::new();
+        for v in 1..=3 {
+            h.invoke(0, SpecQueueOp::Enqueue(v));
+            h.ret(0, SpecQueueResp::Enqueued);
+        }
+        h.invoke(1, SpecQueueOp::Dequeue);
+        h.ret(1, SpecQueueResp::Dequeued(3));
+        assert!(!check_relaxed_linearizable(&KQueueSpec::new(8, 1), &h).is_linearizable());
+        assert!(check_relaxed_linearizable(&KQueueSpec::new(8, 2), &h).is_linearizable());
+        // And the strict checker rejects it outright.
+        assert!(!check_linearizable(&QueueSpec::new(8), &h).is_linearizable());
+    }
+
+    #[test]
+    fn relaxed_checker_with_k0_agrees_with_strict() {
+        // A legal strict history passes both checkers.
+        let mut h = History::new();
+        h.invoke(0, SpecStackOp::Push(1));
+        h.invoke(1, SpecStackOp::Pop);
+        h.ret(0, SpecStackResp::Pushed);
+        h.ret(1, SpecStackResp::Popped(1));
+        assert!(check_linearizable(&StackSpec::new(4), &h).is_linearizable());
+        assert!(check_relaxed_linearizable(&KStackSpec::new(4, 0), &h).is_linearizable());
+        // An illegal one fails both.
+        let mut bad = History::new();
+        bad.invoke(0, SpecStackOp::Pop);
+        bad.ret(0, SpecStackResp::Popped(7));
+        assert!(!check_linearizable(&StackSpec::new(4), &bad).is_linearizable());
+        assert!(!check_relaxed_linearizable(&KStackSpec::new(4, 0), &bad).is_linearizable());
+    }
+
+    #[test]
+    fn seqspec_blanket_impl_feeds_the_relaxed_checker() {
+        // A deterministic spec run through the relaxed checker.
+        let mut h = History::new();
+        h.invoke(0, SpecQueueOp::Enqueue(5));
+        h.ret(0, SpecQueueResp::Enqueued);
+        h.invoke(0, SpecQueueOp::Dequeue);
+        h.ret(0, SpecQueueResp::Dequeued(5));
+        assert!(check_relaxed_linearizable(&QueueSpec::new(4), &h).is_linearizable());
+    }
+}

@@ -1,0 +1,77 @@
+//! Sharded, elastic multi-lane wrappers over the contention-sensitive
+//! objects.
+//!
+//! Every structure in `cso-stack` / `cso-queue` is a single Figure-3
+//! TOP/CONTENTION/FLAG/TURN cell, so its peak throughput is capped by
+//! one contended cache line no matter how many cores are offered.
+//! This crate scales past that cell by composition, not by changing
+//! the paper's algorithms: [`ShardedCsStack`] and [`ShardedCsQueue`]
+//! are **N independent Figure-3 cells** (each a full `CsStack` /
+//! `CsQueue` with the escalation ladder, combining slow path, and
+//! crash-recovery machinery intact) behind a thin router.
+//!
+//! The router adds three things:
+//!
+//! * **Thread-affine lanes with bounded work-stealing.** Process `p`
+//!   routes to lane `p mod active`; a pop that finds its home lane
+//!   empty steals from the other lanes (guided by the occupancy
+//!   aggregate below), and a push that finds its home lane full spills
+//!   the same way. Every router step is an *uncounted* access — the
+//!   per-lane solo budget stays at Theorem 1's exact six (stack) /
+//!   seven (queue) counted shared-memory accesses.
+//! * **Two ordering modes** ([`ShardMode`]). `Strict` keeps exact
+//!   LIFO/FIFO semantics via an order journal — a ticket latch
+//!   serializes lane selection, so the structure is linearizable
+//!   against the *unrelaxed* sequential spec (the "stealing tax" E17
+//!   quantifies). `Relaxed { k }` drops the global order section and
+//!   enforces an explicit out-of-order bound instead: per-lane
+//!   capacity is derived from `k` so that a popped element can never
+//!   be more than [`relaxation_bound`](ShardedCsStack::relaxation_bound)
+//!   positions away from the strict answer (see DESIGN.md "Sharding &
+//!   elasticity" for the bound's proof sketch).
+//! * **Elastic lane count.** When enabled, an [`AdaptiveGate`]
+//!   (the same EWMA gate that drives the combining slow path) watches
+//!   an in-flight-overlap contention signal and doubles/halves the
+//!   active lane prefix: a solo thread contracts to one cell — solo
+//!   cost identical to an unsharded cell — and rising contention fans
+//!   out to the configured maximum. Pops always steal from *all*
+//!   lanes, so a merge can never strand values in a deactivated lane.
+//!
+//! Routing decisions read an f-array-style [`LaneAggregate`]: per-lane
+//! occupancy counters plus a nonempty bitmask, maintained with plain
+//! (uncounted) atomics next to each lane operation, giving the router
+//! an O(1) view of total size and which lanes are worth probing —
+//! no speculative lane probes, no counted accesses.
+//!
+//! [`AdaptiveGate`]: cso_core::AdaptiveGate
+//!
+//! # Quick start
+//!
+//! ```
+//! use cso_shard::{ShardConfig, ShardedCsStack};
+//! use cso_stack::{PopOutcome, PushOutcome};
+//!
+//! // 4 lanes, k-relaxed with out-of-order distance ≤ 8, elastic.
+//! let stack: ShardedCsStack<u32> =
+//!     ShardedCsStack::new(64, 8, ShardConfig::relaxed(4, 8).with_elastic());
+//! assert_eq!(stack.push(0, 7), PushOutcome::Pushed);
+//! assert_eq!(stack.pop(0), PopOutcome::Popped(7));
+//! assert!(stack.relaxation_bound() <= 8.max(stack.n() - 1));
+//! ```
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod config;
+mod elastic;
+mod order;
+mod queue;
+mod router;
+mod stack;
+
+pub use aggregate::LaneAggregate;
+pub use config::{ShardConfig, ShardMode};
+pub use queue::ShardedCsQueue;
+pub use router::RouterStats;
+pub use stack::ShardedCsStack;

@@ -1,0 +1,433 @@
+//! The sharded contention-sensitive queue.
+
+use cso_locks::TasLock;
+use cso_metrics::Registry;
+use cso_queue::{CsQueue, DequeueOutcome, EnqueueOutcome, QueueValue};
+
+use crate::aggregate::LaneAggregate;
+use crate::config::{ShardConfig, ShardMode};
+use crate::router::{Router, RouterStats, ShardLane};
+
+impl<V: QueueValue> ShardLane for CsQueue<V, TasLock> {
+    type Value = V;
+
+    fn lane_push(&self, proc: usize, value: V) -> bool {
+        matches!(self.enqueue(proc, value), EnqueueOutcome::Enqueued)
+    }
+
+    fn lane_pop(&self, proc: usize) -> Option<V> {
+        self.dequeue(proc).into_option()
+    }
+
+    fn lane_len(&self) -> usize {
+        self.len()
+    }
+
+    fn lane_attach_metrics(&self, registry: &Registry, prefix: &str) {
+        self.attach_metrics(registry, prefix);
+    }
+}
+
+/// N independent Figure-3 queue cells behind the sharding router.
+///
+/// Each lane is a full [`CsQueue`] — non-interfering enqueue/dequeue
+/// pairs, the escalation ladder, combining, and recovery all work
+/// unchanged per lane, and each lane keeps the exact seven-access solo
+/// budget (the router adds only uncounted bookkeeping). See the crate
+/// docs for the ordering modes and the elasticity protocol.
+///
+/// ```
+/// use cso_shard::{ShardConfig, ShardedCsQueue};
+/// use cso_queue::{DequeueOutcome, EnqueueOutcome};
+///
+/// let queue: ShardedCsQueue<u32> = ShardedCsQueue::new(16, 4, ShardConfig::strict(2));
+/// assert_eq!(queue.enqueue(0, 1), EnqueueOutcome::Enqueued);
+/// assert_eq!(queue.enqueue(1, 2), EnqueueOutcome::Enqueued);
+/// // Strict mode: exact FIFO across lanes.
+/// assert_eq!(queue.dequeue(2), DequeueOutcome::Dequeued(1));
+/// assert_eq!(queue.dequeue(3), DequeueOutcome::Dequeued(2));
+/// assert_eq!(queue.dequeue(0), DequeueOutcome::Empty);
+/// ```
+pub struct ShardedCsQueue<V: QueueValue = u32> {
+    router: Router<CsQueue<V, TasLock>>,
+}
+
+impl<V: QueueValue> ShardedCsQueue<V> {
+    /// A sharded queue holding up to `capacity` values for processes
+    /// `0..n`, laid out per `config`.
+    ///
+    /// `CsQueue` lanes need power-of-two capacities (≤ 2¹⁵), so the
+    /// per-lane capacity is rounded: strict mode rounds the requested
+    /// capacity *up* to a power of two per lane (the order journal
+    /// still enforces the exact requested global bound, so
+    /// `capacity()` reports what was asked for); relaxed mode rounds
+    /// the derived `min(ceil(capacity / lanes), k / (lanes − 1))`
+    /// *down* (never below 1) so the relaxation bound stays valid, and
+    /// `capacity()` reports the effective `lanes × lane_cap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.lanes` is outside `1..=64`, if a relaxed
+    /// config has `k < lanes − 1`, or if a rounded lane capacity
+    /// violates `CsQueue`'s own limits.
+    #[must_use]
+    pub fn new(capacity: usize, n: usize, config: ShardConfig) -> ShardedCsQueue<V> {
+        assert!((1..=64).contains(&config.lanes), "lanes must be in 1..=64");
+        let (lane_cap, effective) = match config.mode {
+            ShardMode::Strict => (capacity.next_power_of_two(), capacity),
+            ShardMode::Relaxed { k } => {
+                assert!(
+                    config.lanes == 1 || k >= config.lanes - 1,
+                    "relaxed mode needs k >= lanes - 1 (got k={k}, lanes={})",
+                    config.lanes
+                );
+                let per_lane = capacity.div_ceil(config.lanes).max(1);
+                let from_k = if config.lanes > 1 {
+                    k / (config.lanes - 1)
+                } else {
+                    usize::MAX
+                };
+                let raw = per_lane.min(from_k);
+                // Round down to a power of two (floor at 1) so the
+                // k-derived bound is never exceeded.
+                let lane_cap = if raw.is_power_of_two() {
+                    raw
+                } else {
+                    (raw.next_power_of_two()) / 2
+                }
+                .max(1);
+                (lane_cap, lane_cap * config.lanes)
+            }
+        };
+        let lanes: Vec<CsQueue<V, TasLock>> = (0..config.lanes)
+            .map(|_| CsQueue::with_config(lane_cap, TasLock::new(), n, config.cs))
+            .collect();
+        ShardedCsQueue {
+            router: Router::new(lanes, &config, n, effective, lane_cap, true),
+        }
+    }
+
+    /// Enqueues `value` on behalf of process `proc`.
+    pub fn enqueue(&self, proc: usize, value: V) -> EnqueueOutcome {
+        if self.router.push(proc, value) {
+            EnqueueOutcome::Enqueued
+        } else {
+            EnqueueOutcome::Full
+        }
+    }
+
+    /// Dequeues on behalf of process `proc`.
+    pub fn dequeue(&self, proc: usize) -> DequeueOutcome<V> {
+        match self.router.pop(proc) {
+            Some(v) => DequeueOutcome::Dequeued(v),
+            None => DequeueOutcome::Empty,
+        }
+    }
+
+    /// Total capacity (strict: as requested; relaxed: `lanes ×
+    /// lane_cap`, see [`ShardedCsQueue::new`]).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.router.capacity()
+    }
+
+    /// Believed element count — one O(1) uncounted read (exact at
+    /// quiescence; lags by at most the in-flight operations).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.router.len()
+    }
+
+    /// Whether the queue is believed empty (same freshness as `len`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of processes the structure was built for.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.router.n()
+    }
+
+    /// Number of lanes (total, including inactive ones).
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.router.lanes().len()
+    }
+
+    /// Length of the currently active lane prefix.
+    #[must_use]
+    pub fn active_lanes(&self) -> usize {
+        self.router.elastic().active()
+    }
+
+    /// The ordering mode.
+    #[must_use]
+    pub fn mode(&self) -> ShardMode {
+        self.router.mode()
+    }
+
+    /// The checked out-of-order bound: 0 in strict mode; in relaxed
+    /// mode `max((lanes − 1) × lane_cap, n − 1)`.
+    #[must_use]
+    pub fn relaxation_bound(&self) -> usize {
+        self.router.relaxation_bound()
+    }
+
+    /// A snapshot of the router's counters.
+    #[must_use]
+    pub fn router_stats(&self) -> RouterStats {
+        self.router.stats()
+    }
+
+    /// The occupancy aggregate (per-lane counts, total, mask).
+    #[must_use]
+    pub fn aggregate(&self) -> &LaneAggregate {
+        self.router.aggregate()
+    }
+
+    /// Direct access to lane `i` (telemetry: `path_stats()`,
+    /// `combining_stats()`, … of the underlying cell).
+    #[must_use]
+    pub fn lane(&self, i: usize) -> &CsQueue<V, TasLock> {
+        &self.router.lanes()[i]
+    }
+
+    /// The EWMA gate driving elastic split/merge decisions.
+    #[must_use]
+    pub fn gate(&self) -> &cso_core::AdaptiveGate {
+        self.router.elastic().gate()
+    }
+
+    /// Whether elastic lane scaling is enabled.
+    #[must_use]
+    pub fn elastic_enabled(&self) -> bool {
+        self.router.elastic().enabled()
+    }
+
+    /// Re-derives the occupancy aggregate (and, in strict mode, the
+    /// order journal) from lane ground truth. Called automatically
+    /// after a detected crash; exposed for audits and tests.
+    pub fn refresh_occupancy(&self) {
+        self.router.heal();
+    }
+
+    /// Registers per-lane metrics under `{prefix}_lane{i}` plus the
+    /// router's own counters/gauges under `{prefix}_router_*`.
+    pub fn attach_metrics(&self, registry: &Registry, prefix: &str) {
+        self.router.attach_metrics(registry, prefix);
+    }
+}
+
+impl<V: QueueValue> std::fmt::Debug for ShardedCsQueue<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCsQueue")
+            .field("lanes", &self.lanes())
+            .field("active", &self.active_lanes())
+            .field("mode", &self.mode())
+            .field("len", &self.len())
+            .field("capacity", &self.capacity())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cso_memory::CountScope;
+
+    #[test]
+    fn strict_mode_is_exact_fifo_across_lanes() {
+        let queue: ShardedCsQueue<u32> = ShardedCsQueue::new(32, 4, ShardConfig::strict(4));
+        for (proc, v) in [(0, 10), (1, 11), (2, 12), (3, 13), (0, 14)] {
+            assert_eq!(queue.enqueue(proc, v), EnqueueOutcome::Enqueued);
+        }
+        for expect in [10, 11, 12, 13, 14] {
+            assert_eq!(queue.dequeue(1), DequeueOutcome::Dequeued(expect));
+        }
+        assert_eq!(queue.dequeue(0), DequeueOutcome::Empty);
+        assert_eq!(queue.relaxation_bound(), 0);
+    }
+
+    #[test]
+    fn strict_full_is_the_requested_capacity() {
+        // Lanes round up to capacity 4, but the journal enforces 3.
+        let queue: ShardedCsQueue<u32> = ShardedCsQueue::new(3, 2, ShardConfig::strict(2));
+        assert_eq!(queue.capacity(), 3);
+        for v in 0..3 {
+            assert_eq!(queue.enqueue(0, v), EnqueueOutcome::Enqueued);
+        }
+        assert_eq!(queue.enqueue(1, 99), EnqueueOutcome::Full);
+        assert_eq!(queue.len(), 3);
+    }
+
+    #[test]
+    fn solo_enqueue_and_dequeue_cost_exactly_seven_counted_accesses() {
+        for config in [
+            ShardConfig::strict(4),
+            ShardConfig::relaxed(4, 12),
+            ShardConfig::relaxed(4, 12).with_elastic(),
+        ] {
+            let queue: ShardedCsQueue<u32> = ShardedCsQueue::new(64, 4, config);
+            let scope = CountScope::start();
+            assert_eq!(queue.enqueue(0, 7), EnqueueOutcome::Enqueued);
+            assert_eq!(scope.take().total(), 7, "solo enqueue under {config:?}");
+            let scope = CountScope::start();
+            assert_eq!(queue.dequeue(0), DequeueOutcome::Dequeued(7));
+            assert_eq!(scope.take().total(), 7, "solo dequeue under {config:?}");
+        }
+    }
+
+    #[test]
+    fn relaxed_lane_caps_round_down_to_powers_of_two() {
+        // ceil(48/4)=12, k/(lanes-1)=24/3=8 → min 8 (already pow2).
+        let q: ShardedCsQueue<u32> = ShardedCsQueue::new(48, 4, ShardConfig::relaxed(4, 24));
+        assert_eq!(q.capacity(), 32);
+        assert_eq!(q.relaxation_bound(), 24); // (4-1)*8 = 24 ≥ n-1
+                                              // ceil(60/4)=15, 21/3=7 → min 7 → rounds down to 4.
+        let q: ShardedCsQueue<u32> = ShardedCsQueue::new(60, 4, ShardConfig::relaxed(4, 21));
+        assert_eq!(q.capacity(), 16);
+        assert!(q.relaxation_bound() <= 21);
+    }
+
+    #[test]
+    fn relaxed_dequeue_stays_within_the_relaxation_bound() {
+        let queue: ShardedCsQueue<u32> = ShardedCsQueue::new(8, 4, ShardConfig::relaxed(2, 4));
+        let mut enqueued = Vec::new();
+        for (proc, v) in [(0, 1), (1, 2), (0, 3), (1, 4), (0, 5), (1, 6)] {
+            assert_eq!(queue.enqueue(proc, v), EnqueueOutcome::Enqueued);
+            enqueued.push(v);
+        }
+        let bound = queue.relaxation_bound();
+        let mut resident = enqueued.clone();
+        for proc in 0..6 {
+            if let DequeueOutcome::Dequeued(v) = queue.dequeue(proc % 4) {
+                let pos_from_front = resident.iter().position(|&x| x == v).unwrap();
+                assert!(
+                    pos_from_front <= bound,
+                    "{v} was {pos_from_front} from the front"
+                );
+                resident.retain(|&x| x != v);
+            }
+        }
+        assert!(resident.is_empty());
+    }
+
+    #[test]
+    fn full_only_after_every_lane_is_full() {
+        // 4 lanes × lane_cap 1 (k = 3).
+        let queue: ShardedCsQueue<u32> = ShardedCsQueue::new(4, 2, ShardConfig::relaxed(4, 3));
+        assert_eq!(queue.capacity(), 4);
+        for v in 0..4 {
+            assert_eq!(queue.enqueue(0, v), EnqueueOutcome::Enqueued, "enqueue {v}");
+        }
+        assert_eq!(queue.enqueue(0, 99), EnqueueOutcome::Full);
+        assert!(queue.router_stats().spills >= 3);
+        assert_eq!(queue.len(), 4);
+    }
+
+    #[test]
+    fn elastic_contracts_to_one_lane_when_solo() {
+        let queue: ShardedCsQueue<u32> = ShardedCsQueue::new(
+            64,
+            4,
+            ShardConfig::relaxed(4, 16)
+                .with_elastic()
+                .with_elastic_cadence(8, 0),
+        );
+        assert_eq!(queue.active_lanes(), 1, "starts contracted");
+        for i in 0..200 {
+            assert_eq!(queue.enqueue(0, i), EnqueueOutcome::Enqueued);
+            assert!(queue.dequeue(0).is_dequeued());
+        }
+        assert_eq!(
+            queue.active_lanes(),
+            1,
+            "solo traffic must stay at one lane"
+        );
+        let scope = CountScope::start();
+        assert_eq!(queue.enqueue(0, 7), EnqueueOutcome::Enqueued);
+        assert_eq!(scope.take().total(), 7);
+        let _ = queue.dequeue(0);
+    }
+
+    #[test]
+    fn concurrent_mixed_ops_conserve_values_in_both_modes() {
+        for config in [
+            ShardConfig::strict(4),
+            ShardConfig::relaxed(4, 768).with_elastic(),
+        ] {
+            let queue: ShardedCsQueue<u32> = ShardedCsQueue::new(1024, 8, config);
+            let drained = std::sync::Mutex::new(Vec::new());
+            std::thread::scope(|s| {
+                for proc in 0..8 {
+                    let queue = &queue;
+                    let drained = &drained;
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        for i in 0..100u32 {
+                            let v = proc as u32 * 1000 + i;
+                            assert_eq!(queue.enqueue(proc, v), EnqueueOutcome::Enqueued);
+                            if i % 2 == 0 {
+                                if let DequeueOutcome::Dequeued(v) = queue.dequeue(proc) {
+                                    mine.push(v);
+                                }
+                            }
+                        }
+                        drained.lock().unwrap().extend(mine);
+                    });
+                }
+            });
+            let mut seen: Vec<u32> = drained.into_inner().unwrap();
+            for proc in 0..8 {
+                while let DequeueOutcome::Dequeued(v) = queue.dequeue(proc) {
+                    seen.push(v);
+                }
+            }
+            seen.sort_unstable();
+            let mut expect: Vec<u32> = (0..8)
+                .flat_map(|p| (0..100).map(move |i| p * 1000 + i))
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(seen, expect, "conservation under {config:?}");
+            assert_eq!(queue.len(), 0);
+        }
+    }
+
+    #[test]
+    fn solo_affine_traffic_is_exact_fifo_even_relaxed() {
+        // A solo producer routes every value to its home lane (never
+        // full below lane_cap) and drains it back first: no steals, no
+        // spills, exact FIFO — relaxation costs nothing when unused.
+        let queue: ShardedCsQueue<u32> = ShardedCsQueue::new(64, 2, ShardConfig::relaxed(2, 8));
+        let lane_cap = queue.aggregate().lane_cap();
+        for v in 0..lane_cap as u32 {
+            assert_eq!(queue.enqueue(0, v), EnqueueOutcome::Enqueued);
+        }
+        let mut got = Vec::new();
+        while let DequeueOutcome::Dequeued(v) = queue.dequeue(0) {
+            got.push(v);
+        }
+        assert_eq!(got, (0..lane_cap as u32).collect::<Vec<_>>());
+        let stats = queue.router_stats();
+        assert_eq!(stats.spills, 0);
+        assert_eq!(stats.steals, 0);
+    }
+
+    #[test]
+    fn refresh_occupancy_rederives_the_aggregate() {
+        let queue: ShardedCsQueue<u32> = ShardedCsQueue::new(16, 2, ShardConfig::strict(2));
+        for v in 0..6 {
+            assert_eq!(queue.enqueue(v as usize % 2, v), EnqueueOutcome::Enqueued);
+        }
+        let before = queue.len();
+        queue.refresh_occupancy();
+        assert_eq!(queue.len(), before, "heal must agree with live counts");
+        // Strict heal preserves the exact FIFO order too.
+        for expect in 0..6 {
+            assert_eq!(queue.dequeue(0), DequeueOutcome::Dequeued(expect));
+        }
+        assert!(queue.router_stats().heals >= 1);
+    }
+}

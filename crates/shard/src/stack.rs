@@ -1,0 +1,429 @@
+//! The sharded contention-sensitive stack.
+
+use cso_locks::TasLock;
+use cso_metrics::Registry;
+use cso_stack::{CsStack, PopOutcome, PushOutcome, StackValue};
+
+use crate::aggregate::LaneAggregate;
+use crate::config::{ShardConfig, ShardMode};
+use crate::router::{Router, RouterStats, ShardLane};
+
+impl<V: StackValue> ShardLane for CsStack<V, TasLock> {
+    type Value = V;
+
+    fn lane_push(&self, proc: usize, value: V) -> bool {
+        matches!(self.push(proc, value), PushOutcome::Pushed)
+    }
+
+    fn lane_pop(&self, proc: usize) -> Option<V> {
+        self.pop(proc).into_option()
+    }
+
+    fn lane_len(&self) -> usize {
+        self.len()
+    }
+
+    fn lane_attach_metrics(&self, registry: &Registry, prefix: &str) {
+        self.attach_metrics(registry, prefix);
+    }
+}
+
+/// N independent Figure-3 stack cells behind the sharding router.
+///
+/// Each lane is a full [`CsStack`] — the escalation ladder, combining
+/// slow path, and recovery machinery all work unchanged per lane, and
+/// each lane keeps Theorem 1's exact six-access solo budget (the
+/// router adds only uncounted bookkeeping). See the crate docs for
+/// the ordering modes and the elasticity protocol.
+///
+/// ```
+/// use cso_shard::{ShardConfig, ShardedCsStack};
+/// use cso_stack::{PopOutcome, PushOutcome};
+///
+/// let stack: ShardedCsStack<u32> = ShardedCsStack::new(16, 4, ShardConfig::strict(2));
+/// assert_eq!(stack.push(0, 1), PushOutcome::Pushed);
+/// assert_eq!(stack.push(1, 2), PushOutcome::Pushed);
+/// // Strict mode: exact LIFO across lanes.
+/// assert_eq!(stack.pop(2), PopOutcome::Popped(2));
+/// assert_eq!(stack.pop(3), PopOutcome::Popped(1));
+/// assert_eq!(stack.pop(0), PopOutcome::Empty);
+/// ```
+pub struct ShardedCsStack<V: StackValue = u32> {
+    router: Router<CsStack<V, TasLock>>,
+}
+
+impl<V: StackValue> ShardedCsStack<V> {
+    /// A sharded stack holding up to `capacity` values for processes
+    /// `0..n`, laid out per `config`.
+    ///
+    /// In strict mode every lane is sized to the full `capacity` (the
+    /// order journal enforces the global bound), so `capacity()`
+    /// reports exactly the requested capacity. In relaxed mode the
+    /// per-lane capacity is `min(ceil(capacity / lanes), k / (lanes −
+    /// 1))` — the second term is what makes the relaxation bound hold
+    /// — and `capacity()` reports the effective `lanes × lane_cap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.lanes` is outside `1..=64`, if a relaxed
+    /// config has `k < lanes − 1` (some lane could hold nothing), or
+    /// if the per-lane capacity violates `CsStack`'s own limits.
+    #[must_use]
+    pub fn new(capacity: usize, n: usize, config: ShardConfig) -> ShardedCsStack<V> {
+        assert!((1..=64).contains(&config.lanes), "lanes must be in 1..=64");
+        let (lane_cap, effective) = match config.mode {
+            ShardMode::Strict => (capacity, capacity),
+            ShardMode::Relaxed { k } => {
+                assert!(
+                    config.lanes == 1 || k >= config.lanes - 1,
+                    "relaxed mode needs k >= lanes - 1 (got k={k}, lanes={})",
+                    config.lanes
+                );
+                let per_lane = capacity.div_ceil(config.lanes).max(1);
+                let from_k = if config.lanes > 1 {
+                    k / (config.lanes - 1)
+                } else {
+                    usize::MAX
+                };
+                let lane_cap = per_lane.min(from_k);
+                (lane_cap, lane_cap * config.lanes)
+            }
+        };
+        let lanes: Vec<CsStack<V, TasLock>> = (0..config.lanes)
+            .map(|_| CsStack::with_config(lane_cap, TasLock::new(), n, config.cs))
+            .collect();
+        ShardedCsStack {
+            router: Router::new(lanes, &config, n, effective, lane_cap, false),
+        }
+    }
+
+    /// Pushes `value` on behalf of process `proc`.
+    pub fn push(&self, proc: usize, value: V) -> PushOutcome {
+        if self.router.push(proc, value) {
+            PushOutcome::Pushed
+        } else {
+            PushOutcome::Full
+        }
+    }
+
+    /// Pops on behalf of process `proc`.
+    pub fn pop(&self, proc: usize) -> PopOutcome<V> {
+        match self.router.pop(proc) {
+            Some(v) => PopOutcome::Popped(v),
+            None => PopOutcome::Empty,
+        }
+    }
+
+    /// Total capacity (strict: as requested; relaxed: `lanes ×
+    /// lane_cap`, see [`ShardedCsStack::new`]).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.router.capacity()
+    }
+
+    /// Believed element count — one O(1) uncounted read (exact at
+    /// quiescence; lags by at most the in-flight operations).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.router.len()
+    }
+
+    /// Whether the stack is believed empty (same freshness as `len`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of processes the structure was built for.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.router.n()
+    }
+
+    /// Number of lanes (total, including inactive ones).
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.router.lanes().len()
+    }
+
+    /// Length of the currently active lane prefix.
+    #[must_use]
+    pub fn active_lanes(&self) -> usize {
+        self.router.elastic().active()
+    }
+
+    /// The ordering mode.
+    #[must_use]
+    pub fn mode(&self) -> ShardMode {
+        self.router.mode()
+    }
+
+    /// The checked out-of-order bound: 0 in strict mode; in relaxed
+    /// mode `max((lanes − 1) × lane_cap, n − 1)` (the first term
+    /// bounds how far a popped value can be from the strict answer,
+    /// the second the slack on Empty/Full answers from in-flight
+    /// operations).
+    #[must_use]
+    pub fn relaxation_bound(&self) -> usize {
+        self.router.relaxation_bound()
+    }
+
+    /// A snapshot of the router's counters.
+    #[must_use]
+    pub fn router_stats(&self) -> RouterStats {
+        self.router.stats()
+    }
+
+    /// The occupancy aggregate (per-lane counts, total, mask).
+    #[must_use]
+    pub fn aggregate(&self) -> &LaneAggregate {
+        self.router.aggregate()
+    }
+
+    /// Direct access to lane `i` (telemetry: `path_stats()`,
+    /// `combining_stats()`, … of the underlying cell).
+    #[must_use]
+    pub fn lane(&self, i: usize) -> &CsStack<V, TasLock> {
+        &self.router.lanes()[i]
+    }
+
+    /// The EWMA gate driving elastic split/merge decisions.
+    #[must_use]
+    pub fn gate(&self) -> &cso_core::AdaptiveGate {
+        self.router.elastic().gate()
+    }
+
+    /// Whether elastic lane scaling is enabled.
+    #[must_use]
+    pub fn elastic_enabled(&self) -> bool {
+        self.router.elastic().enabled()
+    }
+
+    /// Re-derives the occupancy aggregate (and, in strict mode, the
+    /// order journal) from lane ground truth. Called automatically
+    /// after a detected crash; exposed for audits and tests.
+    pub fn refresh_occupancy(&self) {
+        self.router.heal();
+    }
+
+    /// Registers per-lane metrics under `{prefix}_lane{i}` plus the
+    /// router's own counters/gauges under `{prefix}_router_*`.
+    pub fn attach_metrics(&self, registry: &Registry, prefix: &str) {
+        self.router.attach_metrics(registry, prefix);
+    }
+}
+
+impl<V: StackValue> std::fmt::Debug for ShardedCsStack<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCsStack")
+            .field("lanes", &self.lanes())
+            .field("active", &self.active_lanes())
+            .field("mode", &self.mode())
+            .field("len", &self.len())
+            .field("capacity", &self.capacity())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cso_memory::CountScope;
+
+    #[test]
+    fn strict_mode_is_exact_lifo_across_lanes() {
+        let stack: ShardedCsStack<u32> = ShardedCsStack::new(32, 4, ShardConfig::strict(4));
+        // Different procs land in different lanes; order must still be
+        // globally LIFO.
+        for (proc, v) in [(0, 10), (1, 11), (2, 12), (3, 13), (0, 14)] {
+            assert_eq!(stack.push(proc, v), PushOutcome::Pushed);
+        }
+        for expect in [14, 13, 12, 11, 10] {
+            assert_eq!(stack.pop(1), PopOutcome::Popped(expect));
+        }
+        assert_eq!(stack.pop(0), PopOutcome::Empty);
+        assert_eq!(stack.relaxation_bound(), 0);
+    }
+
+    #[test]
+    fn strict_full_is_the_requested_capacity() {
+        let stack: ShardedCsStack<u32> = ShardedCsStack::new(3, 2, ShardConfig::strict(2));
+        assert_eq!(stack.capacity(), 3);
+        for v in 0..3 {
+            assert_eq!(stack.push(0, v), PushOutcome::Pushed);
+        }
+        assert_eq!(stack.push(1, 99), PushOutcome::Full);
+        assert_eq!(stack.len(), 3);
+    }
+
+    #[test]
+    fn solo_push_and_pop_cost_exactly_six_counted_accesses() {
+        for config in [
+            ShardConfig::strict(4),
+            ShardConfig::relaxed(4, 8),
+            ShardConfig::relaxed(4, 8).with_elastic(),
+        ] {
+            let stack: ShardedCsStack<u32> = ShardedCsStack::new(64, 4, config);
+            let scope = CountScope::start();
+            assert_eq!(stack.push(0, 7), PushOutcome::Pushed);
+            assert_eq!(scope.take().total(), 6, "solo push under {config:?}");
+            let scope = CountScope::start();
+            assert_eq!(stack.pop(0), PopOutcome::Popped(7));
+            assert_eq!(scope.take().total(), 6, "solo pop under {config:?}");
+        }
+    }
+
+    #[test]
+    fn relaxed_pop_stays_within_the_relaxation_bound() {
+        // 2 lanes × lane_cap 2 (k = 2): a popped value may be at most
+        // 2 positions from the strict LIFO answer.
+        let stack: ShardedCsStack<u32> = ShardedCsStack::new(4, 4, ShardConfig::relaxed(2, 2));
+        assert_eq!(stack.relaxation_bound(), 3); // max(2, n-1=3)
+                                                 // Fill from alternating procs so both lanes hold values.
+        let mut pushed = Vec::new();
+        for (proc, v) in [(0, 1), (1, 2), (0, 3), (1, 4)] {
+            assert_eq!(stack.push(proc, v), PushOutcome::Pushed);
+            pushed.push(v);
+        }
+        // Pop everything; every answer must be within `bound` of the
+        // newest still-resident element's position.
+        let bound = stack.relaxation_bound();
+        let mut resident: Vec<u32> = pushed.clone();
+        for proc in 0..4 {
+            if let PopOutcome::Popped(v) = stack.pop(proc) {
+                let pos_from_top = resident.iter().rev().position(|&x| x == v).unwrap();
+                assert!(pos_from_top <= bound, "{v} was {pos_from_top} from the top");
+                resident.retain(|&x| x != v);
+            }
+        }
+        assert!(resident.is_empty());
+    }
+
+    #[test]
+    fn spill_routes_a_push_past_a_full_home_lane() {
+        // lane_cap = 1 (k=3, 4 lanes): proc 0's home lane fills after
+        // one push; the second push must spill, not report Full.
+        let stack: ShardedCsStack<u32> = ShardedCsStack::new(4, 4, ShardConfig::relaxed(4, 3));
+        assert_eq!(stack.push(0, 1), PushOutcome::Pushed);
+        assert_eq!(stack.push(0, 2), PushOutcome::Pushed);
+        assert!(stack.router_stats().spills >= 1);
+        // And a pop from a proc whose home lane is empty steals.
+        assert!(stack.pop(3).is_popped());
+        assert!(stack.pop(3).is_popped());
+        assert!(stack.router_stats().steals >= 1);
+        assert_eq!(stack.pop(0), PopOutcome::Empty);
+    }
+
+    #[test]
+    fn full_only_after_every_lane_is_full() {
+        let stack: ShardedCsStack<u32> = ShardedCsStack::new(4, 2, ShardConfig::relaxed(4, 3));
+        assert_eq!(stack.capacity(), 4);
+        for v in 0..4 {
+            assert_eq!(stack.push(0, v), PushOutcome::Pushed, "push {v}");
+        }
+        assert_eq!(stack.push(0, 99), PushOutcome::Full);
+        assert_eq!(stack.len(), 4);
+    }
+
+    #[test]
+    fn elastic_contracts_to_one_lane_when_solo() {
+        let stack: ShardedCsStack<u32> = ShardedCsStack::new(
+            64,
+            4,
+            ShardConfig::relaxed(4, 16)
+                .with_elastic()
+                .with_elastic_cadence(8, 0),
+        );
+        assert_eq!(stack.active_lanes(), 1, "starts contracted");
+        for i in 0..200 {
+            assert_eq!(stack.push(0, i), PushOutcome::Pushed);
+            assert!(stack.pop(0).is_popped());
+        }
+        assert_eq!(
+            stack.active_lanes(),
+            1,
+            "solo traffic must stay at one lane"
+        );
+        // Solo budget at one active lane is still exactly six.
+        let scope = CountScope::start();
+        assert_eq!(stack.push(0, 7), PushOutcome::Pushed);
+        assert_eq!(scope.take().total(), 6);
+        let _ = stack.pop(0);
+    }
+
+    #[test]
+    fn concurrent_mixed_ops_conserve_values_in_both_modes() {
+        for config in [
+            ShardConfig::strict(4),
+            ShardConfig::relaxed(4, 768).with_elastic(),
+        ] {
+            let stack: ShardedCsStack<u32> = ShardedCsStack::new(1024, 8, config);
+            let popped = std::sync::Mutex::new(Vec::new());
+            std::thread::scope(|s| {
+                for proc in 0..8 {
+                    let stack = &stack;
+                    let popped = &popped;
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        for i in 0..100u32 {
+                            let v = proc as u32 * 1000 + i;
+                            assert_eq!(stack.push(proc, v), PushOutcome::Pushed);
+                            if i % 2 == 0 {
+                                if let PopOutcome::Popped(v) = stack.pop(proc) {
+                                    mine.push(v);
+                                }
+                            }
+                        }
+                        popped.lock().unwrap().extend(mine);
+                    });
+                }
+            });
+            // Drain and account for every value exactly once.
+            let mut seen: Vec<u32> = popped.into_inner().unwrap();
+            for proc in 0..8 {
+                while let PopOutcome::Popped(v) = stack.pop(proc) {
+                    seen.push(v);
+                }
+            }
+            seen.sort_unstable();
+            let mut expect: Vec<u32> = (0..8)
+                .flat_map(|p| (0..100).map(move |i| p * 1000 + i))
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(seen, expect, "conservation under {config:?}");
+            assert_eq!(stack.len(), 0);
+        }
+    }
+
+    #[test]
+    fn refresh_occupancy_rederives_the_aggregate() {
+        let stack: ShardedCsStack<u32> = ShardedCsStack::new(16, 2, ShardConfig::relaxed(2, 4));
+        for v in 0..6 {
+            assert_eq!(stack.push(v as usize % 2, v), PushOutcome::Pushed);
+        }
+        let before = stack.len();
+        stack.refresh_occupancy();
+        assert_eq!(stack.len(), before, "heal must agree with live counts");
+        assert_eq!(
+            (0..stack.lanes())
+                .map(|i| stack.lane(i).len())
+                .sum::<usize>(),
+            before
+        );
+        assert!(stack.router_stats().heals >= 1);
+    }
+
+    #[test]
+    fn attach_metrics_exposes_lanes_and_router() {
+        let registry = Registry::new();
+        let stack: ShardedCsStack<u32> = ShardedCsStack::new(16, 2, ShardConfig::relaxed(2, 4));
+        stack.attach_metrics(&registry, "shard_stack");
+        let _ = stack.push(0, 1);
+        let _ = stack.pop(1);
+        let snapshot = registry.snapshot();
+        let names: Vec<&str> = snapshot.counters.iter().map(|c| c.0.as_str()).collect();
+        assert!(names.iter().any(|n| n.starts_with("shard_stack_lane0_")));
+        assert!(names.iter().any(|n| n.starts_with("shard_stack_lane1_")));
+        assert!(names.contains(&"shard_stack_router_steals_total"));
+    }
+}

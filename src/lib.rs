@@ -67,6 +67,7 @@ pub use cso_queue as queue;
 /// and the CONTRIBUTING.md model-test guide.
 #[cfg(feature = "model")]
 pub use cso_sched as sched;
+pub use cso_shard as shard;
 pub use cso_stack as stack;
 pub use cso_trace as trace;
 pub use cso_watch as watch;

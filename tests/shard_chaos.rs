@@ -1,0 +1,279 @@
+//! Chaos stress for the sharded router: spurious aborts, panic kills,
+//! and hard-stalled lock holders, audited against the per-lane
+//! occupancy aggregate.
+//!
+//! These tests require the `chaos` feature:
+//!
+//! ```text
+//! cargo test --features chaos --test shard_chaos
+//! ```
+//!
+//! The E14 kill-site audit, shard edition: the router updates the
+//! aggregate *after* a lane operation returns, so a kill before the
+//! lane applies leaves nothing to record, and a kill after the apply
+//! but before the update marks the aggregate dirty (unwind guard) for
+//! the next operation to heal. Every test here closes with the same
+//! invariant: **a killed operation may neither leak nor double-count
+//! lane occupancy** — after `refresh_occupancy()`, the aggregate
+//! equals the sum of lane ground truths and the drained values equal
+//! the successfully pushed ones exactly.
+//!
+//! The chaos fail-point registry is process-global, so tests serialize
+//! behind one mutex (same pattern as `tests/chaos_stress.rs`).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+use cso::core::{CsConfig, RecoveryPolicy};
+use cso::memory::chaos::{self, Fault, Plan};
+use cso::shard::{ShardConfig, ShardedCsStack};
+use cso::stack::{PopOutcome, PushOutcome};
+
+// The chaos registry is process-global: serialize the scenarios.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Sum of lane ground truths — what the aggregate must agree with at
+/// quiescence.
+fn lane_sum(stack: &ShardedCsStack<u32>) -> usize {
+    (0..stack.lanes()).map(|i| stack.lane(i).len()).sum()
+}
+
+/// Spurious-abort storm over a mixed 3-thread workload in both modes:
+/// aborted attempts retry down the ladder, but completed operations
+/// must conserve values and the aggregate must track the lanes.
+#[test]
+fn abort_storm_conserves_values_and_aggregate() {
+    let _serial = serial();
+    for config in [ShardConfig::strict(2), ShardConfig::relaxed(2, 4)] {
+        for round in 0..40usize {
+            chaos::reset();
+            chaos::arm_plan("stack::push", Plan::one_in(Fault::SpuriousAbort, 3));
+            chaos::arm_plan("stack::pop", Plan::one_in(Fault::SpuriousAbort, 3));
+            chaos::arm_plan("cs::fast", Plan::one_in(Fault::SpuriousAbort, 4));
+            chaos::arm_plan("tas::acquire", Plan::one_in(Fault::Yield, 2));
+
+            let stack: ShardedCsStack<u32> = ShardedCsStack::new(64, 3, config);
+            let pushed = Mutex::new(Vec::new());
+            let popped = Mutex::new(Vec::new());
+            std::thread::scope(|s| {
+                for proc in 0..3 {
+                    let stack = &stack;
+                    let pushed = &pushed;
+                    let popped = &popped;
+                    s.spawn(move || {
+                        for i in 0..7usize {
+                            if (proc * 31 + i * 17 + round) % 3 != 0 {
+                                let v = (round * 100 + proc * 7 + i) as u32;
+                                if stack.push(proc, v) == PushOutcome::Pushed {
+                                    pushed.lock().unwrap().push(v);
+                                }
+                            } else if let PopOutcome::Popped(v) = stack.pop(proc) {
+                                popped.lock().unwrap().push(v);
+                            }
+                        }
+                    });
+                }
+            });
+
+            // Aggregate audit at quiescence.
+            stack.refresh_occupancy();
+            assert_eq!(
+                stack.aggregate().len(),
+                lane_sum(&stack),
+                "aggregate drifted"
+            );
+
+            // Conservation: popped ∪ residue == successfully pushed.
+            let mut seen = popped.into_inner().unwrap();
+            while let PopOutcome::Popped(v) = stack.pop(0) {
+                seen.push(v);
+            }
+            seen.sort_unstable();
+            let mut expect = pushed.into_inner().unwrap();
+            expect.sort_unstable();
+            assert_eq!(seen, expect, "round {round} under {config:?}");
+        }
+    }
+    assert!(chaos::fires("stack::push") > 0, "the storm never fired");
+    chaos::reset();
+}
+
+/// A panic kill inside a **relaxed-mode** lane operation (fast path
+/// vetoed, victim dies under the lane lock): the unwind guard marks
+/// the aggregate dirty, the next operation heals it, and the victim's
+/// value neither leaks in nor double-counts.
+#[test]
+fn panic_kill_in_relaxed_lane_heals_the_aggregate() {
+    let _serial = serial();
+    chaos::reset();
+    let stack: ShardedCsStack<u32> = ShardedCsStack::new(32, 3, ShardConfig::relaxed(2, 16));
+    for v in 1..=10 {
+        assert_eq!(stack.push(0, v), PushOutcome::Pushed);
+    }
+    let len_before = stack.len();
+
+    chaos::arm_plan("cs::fast", Plan::once(Fault::SpuriousAbort));
+    chaos::arm_plan("cs::locked", Plan::once(Fault::Panic));
+    let killed = catch_unwind(AssertUnwindSafe(|| stack.push(1, 999)));
+    assert!(killed.is_err(), "the injected panic must surface");
+    assert!(
+        stack.aggregate().is_dirty(),
+        "a kill mid-lane must flag the aggregate"
+    );
+
+    // The next routed operation heals before doing anything else.
+    assert_eq!(stack.push(2, 11), PushOutcome::Pushed);
+    assert!(!stack.aggregate().is_dirty(), "heal must consume the flag");
+    assert!(stack.router_stats().heals >= 1);
+    assert_eq!(stack.len(), len_before + 1, "999 must not be counted");
+    assert_eq!(stack.aggregate().len(), lane_sum(&stack));
+
+    // Conservation: the victim's value never surfaces.
+    let mut drained = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..3)
+            .map(|proc| {
+                let stack = &stack;
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    while let PopOutcome::Popped(v) = stack.pop(proc) {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for h in handles {
+            drained.extend(h.join().unwrap());
+        }
+    });
+    drained.sort_unstable();
+    assert_eq!(drained, (1..=11).collect::<Vec<u32>>(), "999 leaked in");
+    chaos::reset();
+}
+
+/// A panic kill inside a **strict-mode** lane operation: the order
+/// latch releases on unwind (no wedge), the journal stays consistent
+/// with the lanes after the heal, and the surviving values drain in
+/// exact LIFO order.
+#[test]
+fn panic_kill_in_strict_mode_releases_the_latch_and_keeps_order() {
+    let _serial = serial();
+    chaos::reset();
+    let stack: ShardedCsStack<u32> = ShardedCsStack::new(32, 3, ShardConfig::strict(2));
+    for v in 1..=6 {
+        assert_eq!(stack.push(0, v), PushOutcome::Pushed);
+    }
+
+    chaos::arm_plan("cs::fast", Plan::once(Fault::SpuriousAbort));
+    chaos::arm_plan("cs::locked", Plan::once(Fault::Panic));
+    let killed = catch_unwind(AssertUnwindSafe(|| stack.push(1, 999)));
+    assert!(killed.is_err(), "the injected panic must surface");
+
+    // The latch must have been released by the guard's unwind drop:
+    // every operation below would wedge otherwise.
+    stack.refresh_occupancy();
+    assert_eq!(stack.aggregate().len(), lane_sum(&stack));
+    assert_eq!(stack.len(), 6, "999 must not be journaled");
+
+    // Exact LIFO across the kill.
+    for expect in (1..=6).rev() {
+        assert_eq!(stack.pop(2), PopOutcome::Popped(expect));
+    }
+    assert_eq!(stack.pop(0), PopOutcome::Empty);
+    chaos::reset();
+}
+
+/// The E14 endgame at shard level: a victim hard-stalled forever while
+/// holding one lane's slow-path lock. With a [`RecoveryPolicy`] on the
+/// lanes, survivors routed to that lane suspect the corpse, seize the
+/// lock by succession, and complete; conservation and the aggregate
+/// stay exact. (Relaxed mode: strict mode's order latch has no
+/// succession protocol, so its crash story covers unwinding kills
+/// only — see DESIGN.md.)
+#[test]
+fn stalled_lane_lock_holder_is_succeeded_and_aggregate_stays_exact() {
+    let _serial = serial();
+    chaos::reset();
+    const PER_THREAD: u32 = 50;
+    let policy = RecoveryPolicy {
+        grace: Duration::from_secs(3600), // suspect only on mark_dead
+        max_successions: 8,
+        backoff: Duration::from_millis(1),
+    };
+    let cs = CsConfig::PAPER.without_fast_path().with_recovery(policy);
+    // 2 lanes, n = 4: procs 0 and 2 share home lane 0, so survivor 2
+    // must cross the corpse's lane.
+    let stack = Arc::new(ShardedCsStack::<u32>::new(
+        4096,
+        4,
+        ShardConfig::relaxed(2, 4096).with_cs(cs),
+    ));
+
+    // The victim (proc 0, home lane 0) takes lane 0's slow-path lock
+    // and dies there.
+    chaos::arm_plan("cs::locked", Plan::once(Fault::StallForever));
+    let _corpse = {
+        let stack = Arc::clone(&stack);
+        std::thread::spawn(move || {
+            let _ = stack.push(0, 999_999);
+        })
+    };
+    while chaos::fires("cs::locked") == 0 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    stack
+        .lane(0)
+        .liveness()
+        .expect("recovery enabled")
+        .mark_dead(0);
+
+    // Survivors 1..=3 complete their whole workloads — including
+    // proc 2, whose home lane is the corpse's.
+    std::thread::scope(|s| {
+        for proc in 1..=3usize {
+            let stack = &stack;
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let v = proc as u32 * PER_THREAD + i;
+                    assert_eq!(stack.push(proc, v), PushOutcome::Pushed);
+                }
+            });
+        }
+    });
+    let successions: u64 = (0..stack.lanes())
+        .map(|i| {
+            stack
+                .lane(i)
+                .recovery_stats()
+                .expect("recovery enabled")
+                .successions
+        })
+        .sum();
+    assert!(successions >= 1, "the corpse's lane lock was never seized");
+
+    // Kill-site audit: the stalled op applied nothing and recorded
+    // nothing — no leak, no double-count.
+    stack.refresh_occupancy();
+    assert_eq!(stack.aggregate().len(), lane_sum(&stack));
+    assert_eq!(lane_sum(&stack), 3 * PER_THREAD as usize);
+
+    let mut drained = Vec::new();
+    while let PopOutcome::Popped(v) = stack.pop(1) {
+        drained.push(v);
+    }
+    drained.sort_unstable();
+    let expected: Vec<u32> = (1..=3u32)
+        .flat_map(|p| p * PER_THREAD..(p + 1) * PER_THREAD)
+        .collect();
+    assert_eq!(
+        drained, expected,
+        "values lost or duplicated past the crash"
+    );
+    chaos::reset();
+}
